@@ -1,0 +1,136 @@
+// MICRO -- google-benchmark micro-benchmarks of the library's hot paths:
+// timed-word access and merging, tape gating, TBA stepping, relational
+// joins, lifespan algebra, the network range predicate, and the process
+// runtime.
+
+#include <benchmark/benchmark.h>
+
+#include "rtw/adhoc/network.hpp"
+#include "rtw/automata/timed_buchi.hpp"
+#include "rtw/core/acceptor.hpp"
+#include "rtw/core/concat.hpp"
+#include "rtw/par/process.hpp"
+#include "rtw/rtdb/algebra.hpp"
+#include "rtw/rtdb/ngc.hpp"
+#include "rtw/rtdb/temporal.hpp"
+
+namespace {
+
+using namespace rtw::core;
+
+void BM_TimedWordLassoAccess(benchmark::State& state) {
+  auto w = TimedWord::lasso({{Symbol::chr('p'), 0}},
+                            {{Symbol::chr('a'), 1}, {Symbol::chr('b'), 2}}, 2);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.at(i++ % 10000));
+  }
+}
+BENCHMARK(BM_TimedWordLassoAccess);
+
+void BM_ConcatFiniteMerge(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  std::vector<TimedSymbol> a, b;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    a.push_back({Symbol::chr('a'), 2 * i});
+    b.push_back({Symbol::chr('b'), 2 * i + 1});
+  }
+  const auto wa = TimedWord::finite(a);
+  const auto wb = TimedWord::finite(b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(concat(wa, wb));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n));
+}
+BENCHMARK(BM_ConcatFiniteMerge)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_InputTapeGating(benchmark::State& state) {
+  auto w = TimedWord::lasso({}, {{Symbol::chr('x'), 1}}, 1);
+  for (auto _ : state) {
+    InputTape tape(w);
+    std::uint64_t total = 0;
+    for (Tick t = 0; t < 256; ++t) total += tape.take_available(t).size();
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_InputTapeGating);
+
+void BM_TbaLassoAcceptance(benchmark::State& state) {
+  using namespace rtw::automata;
+  TimedBuchiAutomaton tba(2, 0, 1);
+  tba.add_transition({0, 1, Symbol::chr('a'), {0}, ClockConstraint::top()});
+  tba.add_transition({1, 0, Symbol::chr('b'), {}, ClockConstraint::le(0, 2)});
+  tba.add_final(0);
+  auto w = TimedWord::lasso({}, {{Symbol::chr('a'), 0}, {Symbol::chr('b'), 2}},
+                            4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tba.accepts_lasso(w));
+  }
+}
+BENCHMARK(BM_TbaLassoAcceptance);
+
+void BM_NaturalJoinNgc(benchmark::State& state) {
+  using namespace rtw::rtdb;
+  const auto db = ngc::figure1_instance();
+  const auto q = ngc::november_artists_query();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q(db));
+  }
+}
+BENCHMARK(BM_NaturalJoinNgc);
+
+void BM_LifespanAlgebra(benchmark::State& state) {
+  using namespace rtw::rtdb;
+  const auto a =
+      Lifespan::interval(0, 10).unite(Lifespan::interval(20, 30)).unite(
+          Lifespan::interval(50, 80));
+  const auto b = Lifespan::interval(5, 60);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.intersect(b).complement().unite(a));
+  }
+}
+BENCHMARK(BM_LifespanAlgebra);
+
+void BM_NetworkRangeQueries(benchmark::State& state) {
+  using namespace rtw::adhoc;
+  NetworkConfig config;
+  config.nodes = 20;
+  config.seed = 3;
+  Network net(config);
+  Tick t = 0;
+  for (auto _ : state) {
+    std::size_t links = 0;
+    ++t;
+    for (NodeId i = 0; i < net.size(); ++i)
+      for (NodeId j = 0; j < net.size(); ++j)
+        links += net.range(i, j, t % 400);
+    benchmark::DoNotOptimize(links);
+  }
+}
+BENCHMARK(BM_NetworkRangeQueries);
+
+void BM_ProcessSystemTick(benchmark::State& state) {
+  using namespace rtw::par;
+  class Chat final : public Process {
+  public:
+    explicit Chat(ProcId self) : self_(self) {}
+    void on_tick(ProcContext& ctx) override {
+      ctx.send((self_ + 1) % 8, Symbol::nat(ctx.now()));
+    }
+
+  private:
+    ProcId self_;
+  };
+  for (auto _ : state) {
+    ProcessSystem system(8, [](ProcId id) {
+      return std::make_unique<Chat>(id);
+    });
+    benchmark::DoNotOptimize(system.run(64));
+  }
+}
+BENCHMARK(BM_ProcessSystemTick);
+
+}  // namespace
+
+BENCHMARK_MAIN();

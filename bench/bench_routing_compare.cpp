@@ -1,0 +1,146 @@
+// EXP-ROUTE -- the routing problem in ad hoc networks (section 5.2),
+// regenerating the shape of the Broch et al. [12] comparison the paper
+// builds its metrics on.
+//
+// Sweep: pause time (mobility knob: 0 = constant motion, large = static)
+// x protocol {flooding, DSDV, DSR, AODV}, reporting the three measures
+// the paper maps onto words of R_{n,u}:
+//   * delivery ratio,
+//   * routing overhead (control transmissions per originated message,
+//     plus data transmissions for flooding's redundancy),
+//   * path optimality (hops above the shortest path existing at
+//     origination), including the [12]-style histogram for one cell.
+//
+// Expected shape (per [12]): on-demand protocols (DSR/AODV) sustain high
+// delivery across mobility while DSDV degrades at low pause times (stale
+// tables); flooding delivers most but at maximal transmission cost;
+// on-demand overhead falls as the network gets more static.
+
+#include <iostream>
+
+#include "rtw/adhoc/metrics.hpp"
+#include "rtw/adhoc/protocols.hpp"
+#include "rtw/adhoc/words.hpp"
+#include "rtw/sim/table.hpp"
+
+using namespace rtw::adhoc;
+
+namespace {
+
+struct ProtocolSpec {
+  const char* name;
+  ProtocolFactory factory;
+};
+
+RoutingMetrics run_cell(const ProtocolFactory& factory, Tick pause,
+                        std::uint64_t seed,
+                        std::vector<DataSpec>* out_messages = nullptr,
+                        const Network** out_net = nullptr) {
+  static std::vector<std::unique_ptr<Network>> keepalive;
+  NetworkConfig config;
+  config.nodes = 20;
+  config.region = {150, 150};
+  config.radio_range = 45;
+  config.min_speed = 0.5;
+  config.max_speed = 3.0;
+  config.pause_time = pause;
+  config.seed = seed;
+  auto net = std::make_unique<Network>(config);
+
+  Simulator sim(*net, factory);
+  rtw::sim::Xoshiro256ss rng(seed * 77 + pause);
+  std::vector<DataSpec> messages;
+  for (std::uint64_t m = 0; m < 30; ++m) {
+    DataSpec spec;
+    spec.data_id = m + 1;
+    spec.src = static_cast<NodeId>(rng.uniform(std::uint64_t{20}));
+    do {
+      spec.dst = static_cast<NodeId>(rng.uniform(std::uint64_t{20}));
+    } while (spec.dst == spec.src);
+    spec.at = 40 + m * 12;  // spread over the run, after a warm-up
+    sim.schedule(spec);
+    messages.push_back(spec);
+  }
+  const auto result = sim.run(500);
+  auto metrics = compute_metrics(result, *net, messages);
+  if (out_messages) *out_messages = messages;
+  if (out_net) {
+    keepalive.push_back(std::move(net));
+    *out_net = keepalive.back().get();
+  }
+  return metrics;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<ProtocolSpec> protocols = {
+      {"flooding", flooding_factory()},
+      {"gossip.6", gossip_factory(0.6, 5)},
+      {"dsdv", dsdv_factory(15)},
+      {"dsr", dsr_factory()},
+      {"aodv", aodv_factory()},
+  };
+  const std::vector<Tick> pauses = {0, 30, 120, 500};
+  const std::vector<std::uint64_t> seeds = {11, 23, 47};
+
+  std::cout << "==========================================================\n";
+  std::cout << " EXP-ROUTE: 20 nodes, 150x150, range 45, 30 msgs, 500 ticks\n";
+  std::cout << " (3 seeds per cell; pause 500 = essentially static)\n";
+  std::cout << "==========================================================\n\n";
+
+  std::cout << "--- delivery ratio vs pause time --------------------------\n";
+  rtw::sim::Table td({"protocol", "pause 0", "pause 30", "pause 120",
+                      "pause 500"});
+  for (const auto& p : protocols) {
+    td.row().cell(p.name);
+    for (Tick pause : pauses) {
+      double ratio = 0;
+      for (auto seed : seeds) ratio += run_cell(p.factory, pause, seed)
+                                            .delivery_ratio();
+      td.cell(ratio / static_cast<double>(seeds.size()), 3);
+    }
+  }
+  td.print(std::cout, 1);
+
+  std::cout << "\n--- transmissions per originated message ----------------\n";
+  rtw::sim::Table to({"protocol", "pause 0", "pause 30", "pause 120",
+                      "pause 500"});
+  for (const auto& p : protocols) {
+    to.row().cell(p.name);
+    for (Tick pause : pauses) {
+      double overhead = 0;
+      for (auto seed : seeds)
+        overhead += run_cell(p.factory, pause, seed).overhead_per_message();
+      to.cell(overhead / static_cast<double>(seeds.size()), 1);
+    }
+  }
+  to.print(std::cout, 1);
+
+  std::cout << "\n--- mean extra hops above the optimal path --------------\n";
+  rtw::sim::Table th({"protocol", "pause 0", "pause 30", "pause 120",
+                      "pause 500"});
+  for (const auto& p : protocols) {
+    th.row().cell(p.name);
+    for (Tick pause : pauses) {
+      rtw::sim::OnlineStats agg;
+      for (auto seed : seeds)
+        agg.merge(run_cell(p.factory, pause, seed).hop_difference);
+      th.cell(agg.mean(), 2);
+    }
+  }
+  th.print(std::cout, 1);
+
+  std::cout << "\n--- path-optimality histogram: AODV at pause 120 "
+               "(hops above optimal) ---\n";
+  const auto metrics = run_cell(aodv_factory(), 120, 11);
+  std::cout << metrics.path_optimality.render(36);
+
+  std::cout << "\nexpected shape (Broch et al. [12]): on-demand (DSR/AODV) "
+               "keep delivery high\nacross mobility, DSDV degrades at "
+               "pause 0 (stale tables), flooding delivers most\nwith "
+               "maximal transmissions; overhead of on-demand falls as "
+               "pause grows; most\ndeliveries take the optimal path with a "
+               "small positive tail.\n";
+  return 0;
+}

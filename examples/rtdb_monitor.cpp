@@ -1,0 +1,118 @@
+// A real-time database session (section 5.1): the Figure 1 gallery
+// database, the MonthChange purge rule of section 5.1.2, sensor image
+// objects with consistency checks, and a Definition 5.1 recognition run.
+//
+//   $ ./rtdb_monitor
+
+#include <iostream>
+
+#include "rtw/rtdb/active.hpp"
+#include "rtw/rtdb/algebra.hpp"
+#include "rtw/rtdb/ngc.hpp"
+#include "rtw/rtdb/recognition.hpp"
+#include "rtw/rtdb/rtdb.hpp"
+#include "rtw/rtdb/temporal.hpp"
+
+using namespace rtw::rtdb;
+using rtw::core::Tick;
+
+int main() {
+  std::cout << "== real-time database (section 5.1) ==\n\n";
+
+  // --- Figure 1 + Figure 2 ----------------------------------------------
+  auto db = ngc::figure1_instance();
+  std::cout << db.to_string();
+  std::cout << "query: which artist is exhibited in which city in November\n";
+  std::cout << ngc::november_artists_query()(db).to_string() << "\n";
+
+  // --- The section 5.1.2 rule: on MonthChange del(Date < CurrentDate) ---
+  RuleEngine engine;
+  Rule purge;
+  purge.name = "purge-past";
+  purge.event = "MonthChange";
+  purge.condition = [](const Database&, const Event&) { return true; };
+  purge.action = [](Database& d, const Event& e, const EmitFn&) {
+    const Date current = std::get<Date>(e.attributes.at("CurrentDate"));
+    auto& sch = d.get("Schedules");
+    sch.erase_if([&sch, &current](const Tuple& t) {
+      return std::get<Date>(sch.field(t, "Date")) < current;
+    });
+  };
+  engine.add_rule(std::move(purge));
+  Event november;
+  november.name = "MonthChange";
+  november.attributes["CurrentDate"] = Value{Date{1999, 11}};
+  engine.process(db, std::move(november));
+  std::cout << "after MonthChange(November 1999), Schedules has "
+            << db.get("Schedules").size() << " rows (October purged)\n\n";
+
+  // --- Image / derived / invariant objects ------------------------------
+  RealTimeDatabase rtdb(4);
+  rtdb.add_image({"visitors", 5, [](Tick t) {
+                    return Value{static_cast<std::int64_t>(40 + (t * 13) % 25)};
+                  }});
+  rtdb.add_image({"temperature", 8, [](Tick t) {
+                    return Value{static_cast<std::int64_t>(18 + t % 5)};
+                  }});
+  rtdb.add_derived({"comfort-index",
+                    {"visitors", "temperature"},
+                    [](const std::vector<TimedValue>& in) {
+                      return Value{std::get<std::int64_t>(in[1].value) * 100 /
+                                   std::max<std::int64_t>(
+                                       1, std::get<std::int64_t>(in[0].value))};
+                    }});
+  rtdb.add_invariant("gallery", Value{std::string("National Gallery")});
+
+  for (Tick t = 0; t <= 40; ++t) rtdb.tick(t);
+  const auto visitors = rtdb.image_value("visitors");
+  const auto comfort = rtdb.derived_value("comfort-index");
+  std::cout << "sampled until t=40:\n";
+  std::cout << "  visitors       = " << to_string(visitors->value)
+            << " (valid at " << visitors->valid_time << ")\n";
+  std::cout << "  comfort-index  = " << to_string(comfort->value)
+            << " (timestamp = oldest input = " << comfort->valid_time
+            << ")\n";
+  std::cout << "  absolutely consistent (T_a=8)?  "
+            << (rtdb.absolutely_consistent(42, 8) ? "yes" : "no") << "\n";
+  std::cout << "  relatively consistent (T_r=0)?  "
+            << (rtdb.relatively_consistent(0) ? "yes" : "no") << "\n\n";
+
+  // --- Definition 5.1 recognition ---------------------------------------
+  RtdbWordSpec spec;
+  spec.invariants = {{"gallery", Value{std::string("NGC")}}};
+  spec.images.push_back({"visitors", 5, [](Tick t) {
+                           return Value{static_cast<std::int64_t>(
+                               40 + (t * 13) % 25)};
+                         }});
+  QueryCatalog catalog;
+  catalog.add(Query("busy", [](const Database& d) {
+    const auto& objects = d.get("Objects");
+    return project(
+        select(objects,
+               [](const Relation& rel, const Tuple& t) {
+                 const auto* v =
+                     std::get_if<std::int64_t>(&rel.field(t, "Value"));
+                 return v && *v >= 50;
+               }),
+        {"Name"});
+  }));
+
+  AperiodicQuerySpec query;
+  query.query = "busy";
+  query.candidate = {Value{std::string("visitors")}};
+  query.issue_time = 12;
+  query.usefulness = rtw::deadline::Usefulness::firm(30, 10);
+  query.min_acceptable = 1;
+
+  const auto word =
+      rtw::core::concat(build_dbB(spec), build_aq(query));
+  RecognitionAcceptor acceptor(catalog, linear_cost());
+  rtw::core::RunOptions options;
+  options.horizon = 600;
+  const auto result = rtw::core::run_acceptor(acceptor, word, options);
+  std::cout << "recognition word db_B aq[busy, visitors, t=12]: "
+            << (result.accepted ? "ACCEPT" : "REJECT")
+            << " (visitors at t=10 is "
+            << to_string(spec.images[0].sampler(10)) << ")\n";
+  return 0;
+}

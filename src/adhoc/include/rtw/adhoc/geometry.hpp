@@ -1,0 +1,28 @@
+#pragma once
+/// \file geometry.hpp
+/// Plane geometry for node positions.
+
+#include <cmath>
+
+namespace rtw::adhoc {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Vec2 operator*(Vec2 a, double s) {
+    return {a.x * s, a.y * s};
+  }
+  friend constexpr bool operator==(Vec2, Vec2) = default;
+};
+
+inline double norm(Vec2 v) { return std::sqrt(v.x * v.x + v.y * v.y); }
+inline double distance(Vec2 a, Vec2 b) { return norm(a - b); }
+
+}  // namespace rtw::adhoc

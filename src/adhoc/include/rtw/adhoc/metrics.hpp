@@ -1,0 +1,50 @@
+#pragma once
+/// \file metrics.hpp
+/// The three performance measures of Broch et al. [12] that section 5.2.4
+/// maps onto words of R_{n,u}:
+///   * routing overhead -- the total number of (control) transmissions,
+///     f + g in word terms;
+///   * path optimality  -- delivered hop count minus the shortest path
+///     that existed when the message was originated;
+///   * delivery ratio   -- delivered / originated.
+
+#include <optional>
+
+#include "rtw/adhoc/words.hpp"
+#include "rtw/sim/histogram.hpp"
+#include "rtw/sim/stats.hpp"
+
+namespace rtw::adhoc {
+
+/// Aggregated metrics over one simulation run.
+struct RoutingMetrics {
+  std::uint64_t originated = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t control_transmissions = 0;
+  std::uint64_t data_transmissions = 0;
+  rtw::sim::OnlineStats latency;           ///< delivery - origination
+  rtw::sim::OnlineStats hop_difference;    ///< actual - optimal hops
+  rtw::sim::Histogram path_optimality{0, 8};
+
+  double delivery_ratio() const {
+    return originated
+               ? static_cast<double>(delivered) /
+                     static_cast<double>(originated)
+               : 0.0;
+  }
+  /// Overhead per originated message (control packets; flooding's data
+  /// rebroadcasts are charged as overhead too, minus the useful path).
+  double overhead_per_message() const {
+    if (!originated) return 0.0;
+    return static_cast<double>(control_transmissions + data_transmissions) /
+           static_cast<double>(originated);
+  }
+};
+
+/// Computes the [12] metrics for a batch of scheduled messages against
+/// their simulation result.  Path optimality compares each delivery's hop
+/// count to Network::static_shortest_hops at origination time.
+RoutingMetrics compute_metrics(const SimResult& result, const Network& network,
+                               const std::vector<DataSpec>& messages);
+
+}  // namespace rtw::adhoc

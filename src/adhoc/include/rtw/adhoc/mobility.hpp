@@ -1,0 +1,95 @@
+#pragma once
+/// \file mobility.hpp
+/// Mobility models for ad hoc network nodes (section 5.2.2).
+///
+/// The paper notes that constant velocity "is made for simulation purposes"
+/// [12] and adopts the general case where only the current position is
+/// known [11].  The library offers:
+///   * Stationary      -- fixed position;
+///   * ConstantVelocity -- straight-line motion with billiard reflection
+///     off the region borders;
+///   * RandomWaypoint  -- the model of Broch et al. [12]: pick a uniform
+///     destination, move at a uniform speed, pause, repeat.  `pause_time`
+///     is the experiment knob of EXP-ROUTE (pause 0 = constant motion,
+///     large pause = near-static network).
+///
+/// All models are deterministic functions of (seed, node, t), so the word
+/// encodings h_i and the simulator see identical trajectories.
+
+#include <cstdint>
+#include <memory>
+
+#include "rtw/adhoc/geometry.hpp"
+#include "rtw/core/timed_word.hpp"
+#include "rtw/sim/rng.hpp"
+
+namespace rtw::adhoc {
+
+using rtw::core::Tick;
+using NodeId = std::uint32_t;
+
+/// The rectangular region nodes live in.
+struct Region {
+  double width = 100.0;
+  double height = 100.0;
+};
+
+/// A trajectory: position as a pure function of time.
+class Mobility {
+public:
+  virtual ~Mobility() = default;
+  virtual Vec2 position(Tick t) const = 0;
+};
+
+class Stationary final : public Mobility {
+public:
+  explicit Stationary(Vec2 at) : at_(at) {}
+  Vec2 position(Tick) const override { return at_; }
+
+private:
+  Vec2 at_;
+};
+
+class ConstantVelocity final : public Mobility {
+public:
+  /// Moves from `start` with `velocity` per tick, reflecting off the
+  /// region borders.
+  ConstantVelocity(Vec2 start, Vec2 velocity, Region region);
+  Vec2 position(Tick t) const override;
+
+private:
+  Vec2 start_;
+  Vec2 velocity_;
+  Region region_;
+};
+
+class RandomWaypoint final : public Mobility {
+public:
+  /// Deterministic in (seed, node).  Speeds are uniform in
+  /// [min_speed, max_speed] (distance units per tick); after each leg the
+  /// node pauses `pause_time` ticks.
+  RandomWaypoint(Region region, double min_speed, double max_speed,
+                 Tick pause_time, std::uint64_t seed, NodeId node);
+
+  Vec2 position(Tick t) const override;
+
+private:
+  struct Leg {
+    Tick start = 0;      ///< movement begins
+    Tick arrive = 0;     ///< movement ends (pause begins)
+    Tick depart = 0;     ///< pause ends = next leg's start
+    Vec2 from;
+    Vec2 to;
+  };
+
+  const Leg& leg_covering(Tick t) const;
+
+  Region region_;
+  double min_speed_;
+  double max_speed_;
+  Tick pause_;
+  mutable rtw::sim::Xoshiro256ss rng_;
+  mutable std::vector<Leg> legs_;
+};
+
+}  // namespace rtw::adhoc

@@ -1,0 +1,72 @@
+#pragma once
+/// \file network.hpp
+/// The ad hoc network substrate (section 5.2): n mobile nodes, the
+/// range(n1, n2, t) predicate, and the temporal-connectivity oracle used
+/// for path-optimality metrics.
+///
+/// Radio model: unit disk -- range(n1, n2, t) holds iff the Euclidean
+/// distance between the nodes' positions at t is at most `radio_range`.
+/// Transmission takes one time unit (the paper's granularity assumption,
+/// section 5.2.1): a message emitted at t is received at t + 1 by nodes in
+/// range of the sender *at time t*.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "rtw/adhoc/mobility.hpp"
+
+namespace rtw::adhoc {
+
+/// Configuration for a randomly generated mobile network.
+struct NetworkConfig {
+  NodeId nodes = 10;
+  Region region{100.0, 100.0};
+  double radio_range = 35.0;
+  double min_speed = 0.5;
+  double max_speed = 2.0;
+  Tick pause_time = 20;
+  std::uint64_t seed = 1;
+};
+
+/// An n-node network with per-node trajectories.
+class Network {
+public:
+  /// Random-waypoint network per `config`.
+  explicit Network(const NetworkConfig& config);
+
+  /// Custom trajectories (for tests and hand-built scenarios).
+  Network(std::vector<std::unique_ptr<Mobility>> trajectories,
+          double radio_range);
+
+  NodeId size() const noexcept { return static_cast<NodeId>(nodes_.size()); }
+  double radio_range() const noexcept { return radio_range_; }
+
+  Vec2 position(NodeId node, Tick t) const;
+
+  /// The paper's range(n1, n2, t) predicate.  range(i, i, t) is false.
+  bool range(NodeId a, NodeId b, Tick t) const;
+
+  /// Neighbors of `node` at time t.
+  std::vector<NodeId> neighbors(NodeId node, Tick t) const;
+
+  /// Hop count of the shortest path in the *static* connectivity graph at
+  /// time t (BFS); nullopt when disconnected.  This is the [12]
+  /// path-optimality baseline ("length of the shortest path that physically
+  /// existed ... when originated").
+  std::optional<unsigned> static_shortest_hops(NodeId src, NodeId dst,
+                                               Tick t) const;
+
+  /// Earliest delivery time over the *temporal* graph: starting at `src`
+  /// at time t0, a message can hop to any node in range of its holder at
+  /// each tick (arriving one tick later).  nullopt if `dst` is unreachable
+  /// by `deadline`.
+  std::optional<Tick> earliest_delivery(NodeId src, NodeId dst, Tick t0,
+                                        Tick deadline) const;
+
+private:
+  std::vector<std::unique_ptr<Mobility>> nodes_;
+  double radio_range_;
+};
+
+}  // namespace rtw::adhoc

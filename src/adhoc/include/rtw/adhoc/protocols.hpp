@@ -1,0 +1,178 @@
+#pragma once
+/// \file protocols.hpp
+/// The routing protocols compared in EXP-ROUTE, modeled after the families
+/// evaluated by Broch et al. [12] (the paper's performance-comparison
+/// reference):
+///
+///   * Flooding  -- the brute-force baseline: every node rebroadcasts each
+///     unseen data packet once.  Maximal overhead, near-maximal delivery.
+///   * DSDV-like -- proactive distance-vector with per-destination
+///     sequence numbers and periodic full-table broadcasts.  Degrades with
+///     mobility (tables go stale between updates).  Simplification vs the
+///     full protocol: no triggered updates or broken-link (odd-sequence)
+///     advertisements.
+///   * DSR-like  -- on-demand source routing: route-request floods
+///     accumulate the path, the destination returns a route reply along
+///     the reversed path, data carries the full source route.
+///     Simplification: no promiscuous route shortening, no route-error
+///     packets (a broken source route loses the packet and is retried by
+///     the origin's request timer).
+///   * AODV-like -- on-demand distance vector: request floods install
+///     reverse pointers, replies install forward entries, data is
+///     forwarded hop by hop.  Simplification: only the destination
+///     answers requests; no route-error propagation (stale entries age
+///     out via lifetimes).
+///
+/// All four share the simulator's radio model; factories are provided for
+/// plugging into Simulator.
+
+#include <map>
+#include <set>
+
+#include "rtw/adhoc/simulator.hpp"
+
+namespace rtw::adhoc {
+
+class FloodingProtocol final : public RoutingProtocol {
+public:
+  /// `ttl` bounds rebroadcast depth (use >= network diameter).
+  explicit FloodingProtocol(NodeId self, std::uint32_t ttl = 64);
+
+  std::string name() const override { return "flooding"; }
+  void on_tick(NodeContext&) override {}
+  void on_receive(NodeContext& ctx, const Packet& packet) override;
+  void originate(NodeContext& ctx, NodeId dst, std::uint64_t data_id) override;
+
+private:
+  NodeId self_;
+  std::uint32_t ttl_;
+  std::set<std::pair<NodeId, std::uint64_t>> seen_;  ///< (origin, data_id)
+};
+
+class DsdvProtocol final : public RoutingProtocol {
+public:
+  DsdvProtocol(NodeId self, Tick update_period = 15);
+
+  std::string name() const override { return "dsdv"; }
+  void on_tick(NodeContext& ctx) override;
+  void on_receive(NodeContext& ctx, const Packet& packet) override;
+  void originate(NodeContext& ctx, NodeId dst, std::uint64_t data_id) override;
+
+private:
+  struct Entry {
+    NodeId next_hop = 0;
+    std::uint32_t metric = 0;
+    std::uint64_t seq = 0;
+  };
+  void forward_data(NodeContext& ctx, Packet p);
+
+  NodeId self_;
+  Tick update_period_;
+  std::uint64_t own_seq_ = 0;
+  std::map<NodeId, Entry> table_;
+};
+
+class DsrProtocol final : public RoutingProtocol {
+public:
+  DsrProtocol(NodeId self, Tick request_retry = 25,
+              std::uint32_t max_retries = 4);
+
+  std::string name() const override { return "dsr"; }
+  void on_tick(NodeContext& ctx) override;
+  void on_receive(NodeContext& ctx, const Packet& packet) override;
+  void originate(NodeContext& ctx, NodeId dst, std::uint64_t data_id) override;
+
+private:
+  struct PendingData {
+    std::uint64_t data_id = 0;
+    NodeId dst = 0;
+    Tick next_request = 0;
+    std::uint32_t retries = 0;
+  };
+  void send_along_route(NodeContext& ctx, NodeId dst, std::uint64_t data_id,
+                        const std::vector<NodeId>& route);
+  void issue_request(NodeContext& ctx, NodeId dst);
+
+  NodeId self_;
+  Tick request_retry_;
+  std::uint32_t max_retries_;
+  std::uint64_t request_seq_ = 0;
+  std::map<NodeId, std::vector<NodeId>> route_cache_;  ///< dst -> full path
+  std::set<std::pair<NodeId, std::uint64_t>> seen_requests_;
+  std::vector<PendingData> buffer_;
+};
+
+class AodvProtocol final : public RoutingProtocol {
+public:
+  AodvProtocol(NodeId self, Tick route_lifetime = 120, Tick request_retry = 25,
+               std::uint32_t max_retries = 4);
+
+  std::string name() const override { return "aodv"; }
+  void on_tick(NodeContext& ctx) override;
+  void on_receive(NodeContext& ctx, const Packet& packet) override;
+  void originate(NodeContext& ctx, NodeId dst, std::uint64_t data_id) override;
+
+private:
+  struct Route {
+    NodeId next_hop = 0;
+    std::uint32_t hops = 0;
+    std::uint64_t dst_seq = 0;
+    Tick expires = 0;
+  };
+  struct PendingData {
+    std::uint64_t data_id = 0;
+    NodeId dst = 0;
+    Tick next_request = 0;
+    std::uint32_t retries = 0;
+  };
+  bool have_route(NodeId dst, Tick now) const;
+  void install(NodeId dst, NodeId next_hop, std::uint32_t hops,
+               std::uint64_t seq, Tick now);
+  void issue_request(NodeContext& ctx, NodeId dst);
+
+  NodeId self_;
+  Tick lifetime_;
+  Tick request_retry_;
+  std::uint32_t max_retries_;
+  std::uint64_t own_seq_ = 0;
+  std::uint64_t rreq_seq_ = 0;
+  std::map<NodeId, Route> table_;
+  std::set<std::pair<NodeId, std::uint64_t>> seen_requests_;
+  std::vector<PendingData> buffer_;
+};
+
+/// Gossip: probabilistic flooding -- each node rebroadcasts an unseen data
+/// packet with probability `p` (deterministic per (seed, node, packet)).
+/// The classic overhead/reliability dial between flooding (p = 1) and
+/// nothing (p = 0).
+class GossipProtocol final : public RoutingProtocol {
+public:
+  GossipProtocol(NodeId self, double forward_probability, std::uint64_t seed,
+                 std::uint32_t ttl = 64);
+
+  std::string name() const override { return "gossip"; }
+  void on_tick(NodeContext&) override {}
+  void on_receive(NodeContext& ctx, const Packet& packet) override;
+  void originate(NodeContext& ctx, NodeId dst, std::uint64_t data_id) override;
+
+private:
+  NodeId self_;
+  double p_;
+  std::uint32_t ttl_;
+  rtw::sim::Xoshiro256ss rng_;
+  std::set<std::pair<NodeId, std::uint64_t>> seen_;
+};
+
+/// Factories for the Simulator.
+ProtocolFactory flooding_factory(std::uint32_t ttl = 64);
+ProtocolFactory gossip_factory(double forward_probability,
+                               std::uint64_t seed = 1,
+                               std::uint32_t ttl = 64);
+ProtocolFactory dsdv_factory(Tick update_period = 15);
+ProtocolFactory dsr_factory(Tick request_retry = 25,
+                            std::uint32_t max_retries = 4);
+ProtocolFactory aodv_factory(Tick route_lifetime = 120,
+                             Tick request_retry = 25,
+                             std::uint32_t max_retries = 4);
+
+}  // namespace rtw::adhoc

@@ -1,0 +1,70 @@
+#pragma once
+/// \file route_acceptor.hpp
+/// Section 5.2.5's "immediate variant": a real-time algorithm that accepts
+/// the language R_{n,u} -- consuming the *word* (message and receive-event
+/// groups on the input tape) rather than a structured trace.
+///
+/// The acceptor is parameterized, like R_{n,u} itself, by the network
+/// (for the range predicate) and by the message u = (source s,
+/// destination d, body b, origination time t).  It parses the stream's
+/// "$ ... $" groups:
+///   * 4 payload fields (t @ s @ d @ b)  -- a message word m_u;
+///   * 3 payload fields (t @ s @ d)      -- a receive event r_u;
+///   * node words h_i also use $-groups but carry the `@`-separated
+///     position fixes; they are recognized by their leading node id field
+///     count and ignored (the network parameter already supplies
+///     positions).
+///
+/// Groups whose body equals b form the hop chain u_1..u_f; the acceptor
+/// checks conditions 1-2 incrementally (chain continuity, unit hop
+/// latency, range at send time) and locks s_f when a receive event lands
+/// the chain on d (condition 3: t'_f finite).  Structure violations lock
+/// s_r; an undelivered word never locks and is rejected at the horizon --
+/// exactly the R_{n,u} semantics.
+
+#include <optional>
+
+#include "rtw/adhoc/words.hpp"
+#include "rtw/core/acceptor.hpp"
+
+namespace rtw::adhoc {
+
+/// The message-u parameters of R_{n,u}.
+struct RouteQuery {
+  NodeId source = 0;
+  NodeId destination = 0;
+  std::uint64_t body = 0;
+  Tick originated_at = 0;
+};
+
+class RouteWordAcceptor final : public rtw::core::RealTimeAlgorithm {
+public:
+  /// Keeps a non-owning reference to the network (outlives the acceptor).
+  RouteWordAcceptor(const Network& network, RouteQuery query);
+
+  void on_tick(const rtw::core::StepContext& ctx) override;
+  std::optional<bool> locked() const override;
+  void reset() override;
+  std::string name() const override { return "route-word-acceptor"; }
+
+  std::size_t hops_seen() const noexcept { return hops_.size(); }
+
+private:
+  void close_group(Tick group_time);
+
+  const Network* network_;
+  RouteQuery query_;
+
+  // Group scanner state.
+  bool in_group_ = false;
+  std::vector<std::uint64_t> fields_;  ///< nat payloads of the open group
+  std::size_t field_count_ = 0;
+  Tick group_time_ = 0;
+  bool seen_nat_in_field_ = false;
+
+  // Chain state.
+  std::vector<HopMessage> hops_;      ///< sends observed for body b
+  std::optional<bool> lock_;
+};
+
+}  // namespace rtw::adhoc

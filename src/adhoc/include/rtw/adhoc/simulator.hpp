@@ -1,0 +1,171 @@
+#pragma once
+/// \file simulator.hpp
+/// Discrete-event simulator for ad hoc routing protocols.
+///
+/// Semantics (section 5.2.1): transmitting takes one time unit.  A packet
+/// sent at tick t is delivered at tick t + 1 to the addressee (unicast, if
+/// still within the sender's range *at send time*) or to every node in
+/// range at send time (broadcast).  Every transmission and reception is
+/// logged; the trace is the raw material for the word encodings m_u / r_u
+/// and for the Broch-et-al. metrics.
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "rtw/adhoc/network.hpp"
+
+namespace rtw::adhoc {
+
+inline constexpr NodeId kBroadcast = 0xffffffffu;
+
+/// A packet on the air or in an inbox.
+struct Packet {
+  enum class Kind {
+    Data,          ///< application payload
+    RouteRequest,  ///< DSR / AODV route discovery
+    RouteReply,    ///< DSR / AODV discovery answer
+    TableUpdate,   ///< DSDV periodic dump
+  };
+
+  Kind kind = Kind::Data;
+  NodeId origin = 0;      ///< original source s of the logical message
+  NodeId final_dst = 0;   ///< intended destination d
+  NodeId from = 0;        ///< this hop's sender
+  NodeId to = kBroadcast; ///< this hop's addressee (kBroadcast = broadcast)
+  std::uint64_t data_id = 0;   ///< logical message id (body b, Data only)
+  std::uint64_t seq = 0;       ///< per-origin sequence (dedupe, freshness)
+  std::uint32_t ttl = 64;
+  std::uint32_t hops_traveled = 0;
+  Tick originated_at = 0;
+  std::vector<NodeId> route;   ///< DSR accumulated/source route
+  /// DSDV table entries: (destination, metric, sequence).
+  std::vector<std::tuple<NodeId, std::uint32_t, std::uint64_t>> table;
+};
+
+std::string to_string(Packet::Kind k);
+
+/// One logged transmission (a send event: the paper's m_u).
+struct SendEvent {
+  Tick time = 0;
+  Packet packet;
+};
+
+/// One logged reception (the paper's r_u: receive events).
+struct ReceiveEvent {
+  Tick time = 0;
+  NodeId by = 0;
+  Packet packet;
+};
+
+/// A logical application message to be routed (the paper's u).
+struct DataSpec {
+  std::uint64_t data_id = 0;
+  NodeId src = 0;
+  NodeId dst = 0;
+  Tick at = 0;  ///< origination time t
+};
+
+/// Delivery record for a logical message.
+struct Delivery {
+  std::uint64_t data_id = 0;
+  Tick delivered_at = 0;
+  std::uint32_t hops = 0;
+};
+
+class Simulator;
+
+/// Per-node view handed to protocol callbacks.
+class NodeContext {
+public:
+  NodeContext(Simulator& sim, NodeId self, Tick now)
+      : sim_(&sim), self_(self), now_(now) {}
+
+  NodeId self() const noexcept { return self_; }
+  Tick now() const noexcept { return now_; }
+  /// The node's own position -- the only thing a node knows about the
+  /// world (section 5.2.2).
+  Vec2 position() const;
+
+  /// Queues `p` for transmission this tick (delivered next tick).  The
+  /// simulator fills in `from` and stamps the hop counter.
+  void send(Packet p, NodeId to);
+  void broadcast(Packet p);
+
+private:
+  Simulator* sim_;
+  NodeId self_;
+  Tick now_;
+};
+
+/// A routing protocol instance, one per node.
+class RoutingProtocol {
+public:
+  virtual ~RoutingProtocol() = default;
+  virtual std::string name() const = 0;
+  /// Called once per tick before packet processing (beacons, timers).
+  virtual void on_tick(NodeContext& ctx) = 0;
+  /// Called for each packet delivered to this node this tick.  Data
+  /// packets addressed to this node as final destination are consumed by
+  /// the simulator (delivery is recorded) *after* this call returns.
+  virtual void on_receive(NodeContext& ctx, const Packet& packet) = 0;
+  /// Called when the application asks this node to send payload
+  /// `data_id` to `dst`.
+  virtual void originate(NodeContext& ctx, NodeId dst,
+                         std::uint64_t data_id) = 0;
+};
+
+using ProtocolFactory =
+    std::function<std::unique_ptr<RoutingProtocol>(NodeId)>;
+
+/// Radio-layer options.
+struct RadioModel {
+  /// ALOHA-style interference: when two or more packets reach the same
+  /// node in one tick, they all collide there and none is received.  Off
+  /// by default (the paper's section 5.2.1 model is collision-free).
+  bool collisions = false;
+};
+
+/// Simulation results.
+struct SimResult {
+  std::vector<SendEvent> sends;
+  std::vector<ReceiveEvent> receives;
+  std::vector<Delivery> deliveries;      ///< first delivery per data_id
+  std::uint64_t originated = 0;
+  std::uint64_t control_transmissions = 0;  ///< non-Data sends
+  std::uint64_t data_transmissions = 0;     ///< Data sends (incl. relays)
+  std::uint64_t collided = 0;               ///< packets lost to interference
+
+  std::optional<Delivery> delivery_of(std::uint64_t data_id) const;
+};
+
+class Simulator {
+public:
+  Simulator(const Network& network, const ProtocolFactory& factory,
+            RadioModel radio = {});
+
+  /// Schedules a logical message origination.
+  void schedule(DataSpec spec);
+
+  /// Runs ticks 0..horizon-1 and returns the trace.
+  SimResult run(Tick horizon);
+
+  const Network& network() const noexcept { return *network_; }
+
+private:
+  friend class NodeContext;
+  void transmit(NodeId from, Packet p, NodeId to, Tick now);
+
+  const Network* network_;
+  RadioModel radio_;
+  std::vector<std::unique_ptr<RoutingProtocol>> protocols_;
+  std::vector<DataSpec> pending_;
+  std::vector<std::pair<Tick, Packet>> airborne_;  ///< sent this tick
+  SimResult result_;
+  std::map<std::uint64_t, bool> delivered_;
+};
+
+}  // namespace rtw::adhoc

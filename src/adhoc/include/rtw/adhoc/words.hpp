@@ -1,0 +1,133 @@
+#pragma once
+/// \file words.hpp
+/// Section 5.2.2-5.2.5: the word encodings of nodes, messages and receive
+/// events, the routing problem R_{n,u}, and the distributed decomposition
+/// H_i = L_i R_i.
+///
+/// Encodings (the paper's enc over Sigma with $ and @ delimiters):
+///   * h_i  -- node i: "$ e(i) @ e(q_i) $" at time 0, then
+///     "$ e(i) @ e(p_i(t)) $" for each t = 1, 2, ... (the successive
+///     positions with their time labels);
+///   * m_u  -- message u sent at time t: "$ e(t) @ e(s) @ e(d) @ e(b) $"
+///     at time t;
+///   * r_u  -- the receive event: "$ e(t) @ e(s) @ e(d) $" at time t'.
+///
+/// A routing instance word is h_1 ... h_n m_{u_1} r_{u_1} ... (Definition
+/// 3.5 merges).  `RouteTrace` carries the same information structurally
+/// (hop messages with times/sources/destinations/bodies), and
+/// `validate_route` checks the three conditions of section 5.2.4:
+///   1. all hop bodies equal b, s_1 = s, d_f = d, t_1 = t;
+///   2. the chain matches: d_i = s_{i+1}, t'_i = t_{i+1}, and
+///      range(s_i, d_i, t_i) holds;
+///   3. t'_f is finite (the message is delivered).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rtw/adhoc/network.hpp"
+#include "rtw/adhoc/simulator.hpp"
+#include "rtw/core/concat.hpp"
+#include "rtw/core/timed_word.hpp"
+
+namespace rtw::adhoc {
+
+/// h_i: the timed omega-word of node i (invariant characteristics q_i at
+/// time 0, then one position fix per tick).  Generator-backed; proven
+/// well-behaved.
+rtw::core::TimedWord node_word(const Network& network, NodeId node);
+
+/// a_n = h_1 h_2 ... h_n: the network with no messages.
+rtw::core::TimedWord network_word(const Network& network);
+
+/// One-hop message record (the m_u / r_u pair of section 5.2.3).
+struct HopMessage {
+  Tick sent_at = 0;        ///< t_i
+  Tick received_at = 0;    ///< t'_i
+  NodeId src = 0;          ///< s_i
+  NodeId dst = 0;          ///< d_i
+  std::uint64_t body = 0;  ///< b_i (the logical message id)
+};
+
+/// m_u as a finite timed word.
+rtw::core::TimedWord message_word(const HopMessage& hop);
+/// r_u as a finite timed word.
+rtw::core::TimedWord receive_word(const HopMessage& hop);
+
+/// A candidate member of R_{n,u}: the data-bearing hop chain u_1..u_f plus
+/// auxiliary routing messages rt_1..rt_g (discovery, updates).
+struct RouteTrace {
+  NodeId source = 0;         ///< s
+  NodeId destination = 0;    ///< d
+  std::uint64_t body = 0;    ///< b
+  Tick originated_at = 0;    ///< t
+  std::vector<HopMessage> hops;      ///< u_1 ... u_f (in order)
+  std::vector<HopMessage> auxiliary; ///< rt_1 ... rt_g
+  bool delivered = false;            ///< t'_f finite (condition 3)
+
+  /// Routing overhead f + g.
+  std::uint64_t overhead() const {
+    return hops.size() + auxiliary.size();
+  }
+};
+
+/// Extracts the RouteTrace of logical message `data_id` from a simulation
+/// result: the hop chain is reconstructed from the Data receive events
+/// (each relay is one u_i); all control transmissions are rt_j.
+RouteTrace extract_route(const SimResult& result, const Network& network,
+                         std::uint64_t data_id);
+
+/// Checks the section 5.2.4 conditions; returns a human-readable violation
+/// or nullopt when the trace is a valid member of R_{n,u}.
+std::optional<std::string> validate_route(const RouteTrace& trace,
+                                          const Network& network);
+
+/// The lossy variant R'_{n,u} (end of section 5.2.4): condition 3 is
+/// dropped -- undelivered messages (t'_f = omega) are members too.  The
+/// paper also notes that in practice "a lost message is a message for
+/// which t'_f - t_1 > T"; `loss_threshold`, when set, applies that
+/// reading: a delivery slower than T counts as lost but the word is still
+/// in R'.  Returns the violation (structure errors still reject) or
+/// nullopt.
+std::optional<std::string> validate_route_lossy(
+    const RouteTrace& trace, const Network& network,
+    std::optional<Tick> loss_threshold = std::nullopt);
+
+/// True when the trace counts as *lost* under the threshold reading:
+/// never delivered, or delivered later than originated_at + threshold.
+bool is_lost(const RouteTrace& trace, Tick loss_threshold);
+
+/// The full routing-instance word: h_1..h_n merged with every m/r word of
+/// the trace, truncated to position fixes up to `horizon` (the h_i words
+/// are infinite; acceptance machinery uses prefixes).
+rtw::core::TimedWord route_instance_word(const RouteTrace& trace,
+                                         const Network& network);
+
+// ------------------------------------------------- distributed views (5.2.5)
+
+/// The local component L_i: h_i plus every message *sent* by node i.
+struct LocalView {
+  NodeId node = 0;
+  std::vector<HopMessage> sent;  ///< messages with src == node
+};
+
+/// The remote component R_i: the receive events of messages addressed to i
+/// (the union of M_{l,i} over all l).
+struct RemoteView {
+  NodeId node = 0;
+  std::vector<HopMessage> received;  ///< messages with dst == node
+};
+
+/// M_{i,j}: receive events of messages sent from i to j.
+std::vector<HopMessage> m_between(const RouteTrace& trace, NodeId i, NodeId j);
+
+/// Decomposes a trace into per-node views H_i = (L_i, R_i).
+std::vector<std::pair<LocalView, RemoteView>> decompose(
+    const RouteTrace& trace, NodeId nodes);
+
+/// H_i = L_i R_i as a timed word (node word merged with the view's
+/// message/receive words).
+rtw::core::TimedWord view_word(const Network& network, const LocalView& local,
+                               const RemoteView& remote);
+
+}  // namespace rtw::adhoc

@@ -1,0 +1,131 @@
+#include "rtw/adhoc/protocols.hpp"
+
+namespace rtw::adhoc {
+
+AodvProtocol::AodvProtocol(NodeId self, Tick route_lifetime,
+                           Tick request_retry, std::uint32_t max_retries)
+    : self_(self),
+      lifetime_(route_lifetime),
+      request_retry_(request_retry),
+      max_retries_(max_retries) {}
+
+bool AodvProtocol::have_route(NodeId dst, Tick now) const {
+  const auto it = table_.find(dst);
+  return it != table_.end() && it->second.expires > now;
+}
+
+void AodvProtocol::install(NodeId dst, NodeId next_hop, std::uint32_t hops,
+                           std::uint64_t seq, Tick now) {
+  const auto it = table_.find(dst);
+  if (it != table_.end() && it->second.expires > now) {
+    // Prefer fresher sequence numbers, then shorter routes.
+    if (seq < it->second.dst_seq) return;
+    if (seq == it->second.dst_seq && hops >= it->second.hops) {
+      it->second.expires = now + lifetime_;  // refresh only
+      return;
+    }
+  }
+  table_[dst] = Route{next_hop, hops, seq, now + lifetime_};
+}
+
+void AodvProtocol::issue_request(NodeContext& ctx, NodeId dst) {
+  Packet p;
+  p.kind = Packet::Kind::RouteRequest;
+  p.origin = self_;
+  p.final_dst = dst;
+  p.seq = ++rreq_seq_;
+  p.data_id = ++own_seq_;  // carries the origin's sequence number
+  seen_requests_.insert({self_, p.seq});
+  ctx.broadcast(std::move(p));
+}
+
+void AodvProtocol::originate(NodeContext& ctx, NodeId dst,
+                             std::uint64_t data_id) {
+  if (have_route(dst, ctx.now())) {
+    Packet p;
+    p.kind = Packet::Kind::Data;
+    p.origin = self_;
+    p.final_dst = dst;
+    p.data_id = data_id;
+    p.originated_at = ctx.now();
+    ctx.send(std::move(p), table_[dst].next_hop);
+    return;
+  }
+  buffer_.push_back({data_id, dst, ctx.now() + request_retry_, 0});
+  issue_request(ctx, dst);
+}
+
+void AodvProtocol::on_tick(NodeContext& ctx) {
+  std::vector<PendingData> kept;
+  for (auto& pending : buffer_) {
+    if (have_route(pending.dst, ctx.now())) {
+      Packet p;
+      p.kind = Packet::Kind::Data;
+      p.origin = self_;
+      p.final_dst = pending.dst;
+      p.data_id = pending.data_id;
+      p.originated_at = ctx.now();
+      ctx.send(std::move(p), table_[pending.dst].next_hop);
+      continue;
+    }
+    if (ctx.now() >= pending.next_request) {
+      if (pending.retries >= max_retries_) continue;
+      ++pending.retries;
+      pending.next_request = ctx.now() + request_retry_;
+      issue_request(ctx, pending.dst);
+    }
+    kept.push_back(pending);
+  }
+  buffer_ = std::move(kept);
+}
+
+void AodvProtocol::on_receive(NodeContext& ctx, const Packet& packet) {
+  switch (packet.kind) {
+    case Packet::Kind::RouteRequest: {
+      // Install / refresh the reverse route toward the requester.
+      install(packet.origin, packet.from, packet.hops_traveled, packet.data_id,
+              ctx.now());
+      if (!seen_requests_.insert({packet.origin, packet.seq}).second) return;
+      if (packet.final_dst == self_) {
+        ++own_seq_;
+        Packet reply;
+        reply.kind = Packet::Kind::RouteReply;
+        reply.origin = self_;
+        reply.final_dst = packet.origin;
+        reply.seq = own_seq_;
+        ctx.send(std::move(reply), packet.from);
+        return;
+      }
+      if (packet.ttl == 0) return;
+      ctx.broadcast(packet);
+      return;
+    }
+    case Packet::Kind::RouteReply: {
+      // Install the forward route toward the replying destination.
+      install(packet.origin, packet.from, packet.hops_traveled, packet.seq,
+              ctx.now());
+      if (packet.final_dst == self_) return;  // requester: buffer flushes
+      if (have_route(packet.final_dst, ctx.now()))
+        ctx.send(packet, table_[packet.final_dst].next_hop);
+      return;
+    }
+    case Packet::Kind::Data: {
+      if (packet.final_dst == self_) return;
+      if (have_route(packet.final_dst, ctx.now()))
+        ctx.send(packet, table_[packet.final_dst].next_hop);
+      return;  // no route: dropped (no route-error in this model)
+    }
+    case Packet::Kind::TableUpdate:
+      return;
+  }
+}
+
+ProtocolFactory aodv_factory(Tick route_lifetime, Tick request_retry,
+                             std::uint32_t max_retries) {
+  return [route_lifetime, request_retry, max_retries](NodeId id) {
+    return std::make_unique<AodvProtocol>(id, route_lifetime, request_retry,
+                                          max_retries);
+  };
+}
+
+}  // namespace rtw::adhoc

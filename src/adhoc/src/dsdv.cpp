@@ -1,0 +1,69 @@
+#include "rtw/adhoc/protocols.hpp"
+
+namespace rtw::adhoc {
+
+DsdvProtocol::DsdvProtocol(NodeId self, Tick update_period)
+    : self_(self), update_period_(update_period) {
+  table_[self_] = Entry{self_, 0, 0};
+}
+
+void DsdvProtocol::on_tick(NodeContext& ctx) {
+  if (ctx.now() % update_period_ != (self_ % update_period_)) return;
+  // Periodic full dump with a fresh (even) own sequence number.
+  own_seq_ += 2;
+  table_[self_] = Entry{self_, 0, own_seq_};
+  Packet p;
+  p.kind = Packet::Kind::TableUpdate;
+  p.origin = self_;
+  p.final_dst = kBroadcast;
+  p.ttl = 1;  // one-hop advertisement
+  for (const auto& [dst, entry] : table_)
+    p.table.emplace_back(dst, entry.metric, entry.seq);
+  ctx.broadcast(std::move(p));
+}
+
+void DsdvProtocol::on_receive(NodeContext& ctx, const Packet& packet) {
+  if (packet.kind == Packet::Kind::TableUpdate) {
+    const NodeId via = packet.from;
+    for (const auto& [dst, metric, seq] : packet.table) {
+      if (dst == self_) continue;
+      const std::uint32_t candidate = metric + 1;
+      const auto it = table_.find(dst);
+      // Adopt on strictly newer sequence, or same sequence with a better
+      // metric (the DSDV selection rule).
+      if (it == table_.end() || seq > it->second.seq ||
+          (seq == it->second.seq && candidate < it->second.metric)) {
+        table_[dst] = Entry{via, candidate, seq};
+      }
+    }
+    return;
+  }
+  if (packet.kind == Packet::Kind::Data && packet.final_dst != self_)
+    forward_data(ctx, packet);
+}
+
+void DsdvProtocol::forward_data(NodeContext& ctx, Packet p) {
+  const auto it = table_.find(p.final_dst);
+  if (it == table_.end() || it->second.next_hop == self_)
+    return;  // no route: the packet is dropped
+  ctx.send(std::move(p), it->second.next_hop);
+}
+
+void DsdvProtocol::originate(NodeContext& ctx, NodeId dst,
+                             std::uint64_t data_id) {
+  Packet p;
+  p.kind = Packet::Kind::Data;
+  p.origin = self_;
+  p.final_dst = dst;
+  p.data_id = data_id;
+  p.originated_at = ctx.now();
+  forward_data(ctx, std::move(p));
+}
+
+ProtocolFactory dsdv_factory(Tick update_period) {
+  return [update_period](NodeId id) {
+    return std::make_unique<DsdvProtocol>(id, update_period);
+  };
+}
+
+}  // namespace rtw::adhoc

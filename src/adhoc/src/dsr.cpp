@@ -1,0 +1,132 @@
+#include "rtw/adhoc/protocols.hpp"
+
+#include <algorithm>
+
+namespace rtw::adhoc {
+
+DsrProtocol::DsrProtocol(NodeId self, Tick request_retry,
+                         std::uint32_t max_retries)
+    : self_(self), request_retry_(request_retry), max_retries_(max_retries) {}
+
+void DsrProtocol::issue_request(NodeContext& ctx, NodeId dst) {
+  Packet p;
+  p.kind = Packet::Kind::RouteRequest;
+  p.origin = self_;
+  p.final_dst = dst;
+  p.seq = ++request_seq_;
+  p.route = {self_};  // accumulated path starts at the requester
+  seen_requests_.insert({self_, p.seq});
+  ctx.broadcast(std::move(p));
+}
+
+void DsrProtocol::send_along_route(NodeContext& ctx, NodeId dst,
+                                   std::uint64_t data_id,
+                                   const std::vector<NodeId>& route) {
+  Packet p;
+  p.kind = Packet::Kind::Data;
+  p.origin = self_;
+  p.final_dst = dst;
+  p.data_id = data_id;
+  p.originated_at = ctx.now();
+  p.route = route;  // full source route: self_, ..., dst
+  // Next hop is the entry after self_ in the route.
+  const auto it = std::find(route.begin(), route.end(), self_);
+  if (it == route.end() || it + 1 == route.end()) return;
+  ctx.send(std::move(p), *(it + 1));
+}
+
+void DsrProtocol::originate(NodeContext& ctx, NodeId dst,
+                            std::uint64_t data_id) {
+  if (const auto it = route_cache_.find(dst); it != route_cache_.end()) {
+    send_along_route(ctx, dst, data_id, it->second);
+    return;
+  }
+  buffer_.push_back({data_id, dst, ctx.now() + request_retry_, 0});
+  issue_request(ctx, dst);
+}
+
+void DsrProtocol::on_tick(NodeContext& ctx) {
+  // Retry pending discoveries; drop after max_retries.
+  std::vector<PendingData> kept;
+  for (auto& pending : buffer_) {
+    if (const auto it = route_cache_.find(pending.dst);
+        it != route_cache_.end()) {
+      send_along_route(ctx, pending.dst, pending.data_id, it->second);
+      continue;
+    }
+    if (ctx.now() >= pending.next_request) {
+      if (pending.retries >= max_retries_) continue;  // give up
+      ++pending.retries;
+      pending.next_request = ctx.now() + request_retry_;
+      issue_request(ctx, pending.dst);
+    }
+    kept.push_back(pending);
+  }
+  buffer_ = std::move(kept);
+}
+
+void DsrProtocol::on_receive(NodeContext& ctx, const Packet& packet) {
+  switch (packet.kind) {
+    case Packet::Kind::RouteRequest: {
+      if (!seen_requests_.insert({packet.origin, packet.seq}).second) return;
+      if (std::find(packet.route.begin(), packet.route.end(), self_) !=
+          packet.route.end())
+        return;  // already on the accumulated path (loop)
+      std::vector<NodeId> path = packet.route;
+      path.push_back(self_);
+      if (packet.final_dst == self_) {
+        // Answer with the full route, unicast back along the reverse path.
+        Packet reply;
+        reply.kind = Packet::Kind::RouteReply;
+        reply.origin = self_;
+        reply.final_dst = packet.origin;
+        reply.seq = packet.seq;
+        reply.route = path;  // origin ... self_
+        // Reverse route: previous node on the accumulated path.
+        ctx.send(std::move(reply), packet.route.back());
+        return;
+      }
+      if (packet.ttl == 0) return;
+      Packet fwd = packet;
+      fwd.route = std::move(path);
+      ctx.broadcast(std::move(fwd));
+      return;
+    }
+    case Packet::Kind::RouteReply: {
+      // The reply's route runs origin_of_request ... destination; every
+      // node on it may cache the suffix from itself.
+      const auto self_pos =
+          std::find(packet.route.begin(), packet.route.end(), self_);
+      if (self_pos == packet.route.end()) return;
+      route_cache_[packet.route.back()] =
+          std::vector<NodeId>(self_pos, packet.route.end());
+      if (packet.final_dst == self_) return;  // requester: buffer flushes
+                                              // on the next tick
+      // Keep relaying toward the requester along the reverse path.
+      if (self_pos != packet.route.begin())
+        ctx.send(packet, *(self_pos - 1));
+      return;
+    }
+    case Packet::Kind::Data: {
+      if (packet.final_dst == self_) return;  // delivered
+      // Source-routed forwarding.
+      const auto self_pos =
+          std::find(packet.route.begin(), packet.route.end(), self_);
+      if (self_pos == packet.route.end() ||
+          self_pos + 1 == packet.route.end())
+        return;  // not on the route / malformed: drop
+      ctx.send(packet, *(self_pos + 1));
+      return;
+    }
+    case Packet::Kind::TableUpdate:
+      return;  // not ours
+  }
+}
+
+ProtocolFactory dsr_factory(Tick request_retry, std::uint32_t max_retries) {
+  return [request_retry, max_retries](NodeId id) {
+    return std::make_unique<DsrProtocol>(id, request_retry, max_retries);
+  };
+}
+
+}  // namespace rtw::adhoc

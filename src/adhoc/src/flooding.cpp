@@ -1,0 +1,73 @@
+#include "rtw/adhoc/protocols.hpp"
+
+namespace rtw::adhoc {
+
+FloodingProtocol::FloodingProtocol(NodeId self, std::uint32_t ttl)
+    : self_(self), ttl_(ttl) {}
+
+void FloodingProtocol::originate(NodeContext& ctx, NodeId dst,
+                                 std::uint64_t data_id) {
+  Packet p;
+  p.kind = Packet::Kind::Data;
+  p.origin = self_;
+  p.final_dst = dst;
+  p.data_id = data_id;
+  p.ttl = ttl_;
+  p.originated_at = ctx.now();
+  seen_.insert({self_, data_id});
+  ctx.broadcast(std::move(p));
+}
+
+void FloodingProtocol::on_receive(NodeContext& ctx, const Packet& packet) {
+  if (packet.kind != Packet::Kind::Data) return;
+  if (!seen_.insert({packet.origin, packet.data_id}).second) return;
+  if (packet.final_dst == self_) return;  // consumed; no rebroadcast needed
+  if (packet.ttl == 0) return;
+  ctx.broadcast(packet);  // hop counters/ttl are updated by the simulator
+}
+
+ProtocolFactory flooding_factory(std::uint32_t ttl) {
+  return [ttl](NodeId id) {
+    return std::make_unique<FloodingProtocol>(id, ttl);
+  };
+}
+
+GossipProtocol::GossipProtocol(NodeId self, double forward_probability,
+                               std::uint64_t seed, std::uint32_t ttl)
+    : self_(self),
+      p_(forward_probability),
+      ttl_(ttl),
+      rng_(rtw::sim::Xoshiro256ss(seed).substream(self)) {}
+
+void GossipProtocol::originate(NodeContext& ctx, NodeId dst,
+                               std::uint64_t data_id) {
+  Packet packet;
+  packet.kind = Packet::Kind::Data;
+  packet.origin = self_;
+  packet.final_dst = dst;
+  packet.data_id = data_id;
+  packet.ttl = ttl_;
+  packet.originated_at = ctx.now();
+  seen_.insert({self_, data_id});
+  // The origin always transmits (gossiping gates only relays).
+  ctx.broadcast(std::move(packet));
+}
+
+void GossipProtocol::on_receive(NodeContext& ctx, const Packet& packet) {
+  if (packet.kind != Packet::Kind::Data) return;
+  if (!seen_.insert({packet.origin, packet.data_id}).second) return;
+  if (packet.final_dst == self_) return;
+  if (packet.ttl == 0) return;
+  if (!rng_.bernoulli(p_)) return;  // the gossip coin
+  ctx.broadcast(packet);
+}
+
+ProtocolFactory gossip_factory(double forward_probability, std::uint64_t seed,
+                               std::uint32_t ttl) {
+  return [forward_probability, seed, ttl](NodeId id) {
+    return std::make_unique<GossipProtocol>(id, forward_probability, seed,
+                                            ttl);
+  };
+}
+
+}  // namespace rtw::adhoc

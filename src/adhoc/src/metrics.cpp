@@ -1,0 +1,30 @@
+#include "rtw/adhoc/metrics.hpp"
+
+namespace rtw::adhoc {
+
+RoutingMetrics compute_metrics(const SimResult& result, const Network& network,
+                               const std::vector<DataSpec>& messages) {
+  RoutingMetrics metrics;
+  metrics.originated = messages.size();
+  metrics.control_transmissions = result.control_transmissions;
+  metrics.data_transmissions = result.data_transmissions;
+
+  for (const auto& msg : messages) {
+    const auto delivery = result.delivery_of(msg.data_id);
+    if (!delivery) continue;
+    ++metrics.delivered;
+    metrics.latency.add(
+        static_cast<double>(delivery->delivered_at - msg.at));
+    const auto optimal =
+        network.static_shortest_hops(msg.src, msg.dst, msg.at);
+    if (optimal && *optimal > 0) {
+      const auto diff = static_cast<std::int64_t>(delivery->hops) -
+                        static_cast<std::int64_t>(*optimal);
+      metrics.hop_difference.add(static_cast<double>(diff));
+      metrics.path_optimality.add(diff);
+    }
+  }
+  return metrics;
+}
+
+}  // namespace rtw::adhoc

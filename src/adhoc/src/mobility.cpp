@@ -1,0 +1,86 @@
+#include "rtw/adhoc/mobility.hpp"
+
+#include <algorithm>
+
+#include "rtw/core/error.hpp"
+
+namespace rtw::adhoc {
+
+namespace {
+
+/// Reflects a 1-D coordinate into [0, limit] (billiard bounce).
+double reflect(double x, double limit) {
+  if (limit <= 0.0) return 0.0;
+  const double period = 2.0 * limit;
+  double m = std::fmod(x, period);
+  if (m < 0) m += period;
+  return m <= limit ? m : period - m;
+}
+
+}  // namespace
+
+ConstantVelocity::ConstantVelocity(Vec2 start, Vec2 velocity, Region region)
+    : start_(start), velocity_(velocity), region_(region) {}
+
+Vec2 ConstantVelocity::position(Tick t) const {
+  const double ft = static_cast<double>(t);
+  return {reflect(start_.x + velocity_.x * ft, region_.width),
+          reflect(start_.y + velocity_.y * ft, region_.height)};
+}
+
+RandomWaypoint::RandomWaypoint(Region region, double min_speed,
+                               double max_speed, Tick pause_time,
+                               std::uint64_t seed, NodeId node)
+    : region_(region),
+      min_speed_(min_speed),
+      max_speed_(max_speed),
+      pause_(pause_time),
+      rng_(rtw::sim::Xoshiro256ss(seed).substream(node)) {
+  if (min_speed <= 0 || max_speed < min_speed)
+    throw rtw::core::ModelError("RandomWaypoint: bad speed range");
+  // First leg starts at a uniform position.
+  Leg first;
+  first.from = {rng_.uniform_real(0, region_.width),
+                rng_.uniform_real(0, region_.height)};
+  first.to = {rng_.uniform_real(0, region_.width),
+              rng_.uniform_real(0, region_.height)};
+  const double speed = rng_.uniform_real(min_speed_, max_speed_);
+  const double dist = distance(first.from, first.to);
+  const Tick travel = std::max<Tick>(1, static_cast<Tick>(dist / speed));
+  first.start = 0;
+  first.arrive = travel;
+  first.depart = first.arrive + pause_;
+  legs_.push_back(first);
+}
+
+const RandomWaypoint::Leg& RandomWaypoint::leg_covering(Tick t) const {
+  while (legs_.back().depart < t) {
+    const Leg& prev = legs_.back();
+    Leg next;
+    next.from = prev.to;
+    next.to = {rng_.uniform_real(0, region_.width),
+               rng_.uniform_real(0, region_.height)};
+    const double speed = rng_.uniform_real(min_speed_, max_speed_);
+    const double dist = distance(next.from, next.to);
+    const Tick travel = std::max<Tick>(1, static_cast<Tick>(dist / speed));
+    next.start = prev.depart;
+    next.arrive = next.start + travel;
+    next.depart = next.arrive + pause_;
+    legs_.push_back(next);
+  }
+  // Binary search the covering leg (t <= leg.depart, t >= leg.start).
+  const auto it = std::lower_bound(
+      legs_.begin(), legs_.end(), t,
+      [](const Leg& leg, Tick tt) { return leg.depart < tt; });
+  return *it;
+}
+
+Vec2 RandomWaypoint::position(Tick t) const {
+  const Leg& leg = leg_covering(t);
+  if (t >= leg.arrive) return leg.to;  // paused at the waypoint
+  const double progress = static_cast<double>(t - leg.start) /
+                          static_cast<double>(leg.arrive - leg.start);
+  return leg.from + (leg.to - leg.from) * progress;
+}
+
+}  // namespace rtw::adhoc

@@ -1,0 +1,91 @@
+#include "rtw/adhoc/network.hpp"
+
+#include <deque>
+
+#include "rtw/core/error.hpp"
+
+namespace rtw::adhoc {
+
+Network::Network(const NetworkConfig& config)
+    : radio_range_(config.radio_range) {
+  if (config.nodes == 0)
+    throw rtw::core::ModelError("Network: need at least one node");
+  for (NodeId i = 0; i < config.nodes; ++i)
+    nodes_.push_back(std::make_unique<RandomWaypoint>(
+        config.region, config.min_speed, config.max_speed, config.pause_time,
+        config.seed, i));
+}
+
+Network::Network(std::vector<std::unique_ptr<Mobility>> trajectories,
+                 double radio_range)
+    : nodes_(std::move(trajectories)), radio_range_(radio_range) {
+  if (nodes_.empty())
+    throw rtw::core::ModelError("Network: need at least one node");
+  for (const auto& m : nodes_)
+    if (!m) throw rtw::core::ModelError("Network: null trajectory");
+}
+
+Vec2 Network::position(NodeId node, Tick t) const {
+  if (node >= nodes_.size())
+    throw rtw::core::ModelError("Network: node id out of range");
+  return nodes_[node]->position(t);
+}
+
+bool Network::range(NodeId a, NodeId b, Tick t) const {
+  if (a == b) return false;
+  return distance(position(a, t), position(b, t)) <= radio_range_;
+}
+
+std::vector<NodeId> Network::neighbors(NodeId node, Tick t) const {
+  std::vector<NodeId> out;
+  for (NodeId other = 0; other < size(); ++other)
+    if (range(node, other, t)) out.push_back(other);
+  return out;
+}
+
+std::optional<unsigned> Network::static_shortest_hops(NodeId src, NodeId dst,
+                                                      Tick t) const {
+  if (src == dst) return 0u;
+  std::vector<unsigned> dist(size(), ~0u);
+  std::deque<NodeId> queue{src};
+  dist[src] = 0;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (NodeId v : neighbors(u, t)) {
+      if (dist[v] != ~0u) continue;
+      dist[v] = dist[u] + 1;
+      if (v == dst) return dist[v];
+      queue.push_back(v);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Tick> Network::earliest_delivery(NodeId src, NodeId dst,
+                                               Tick t0, Tick deadline) const {
+  if (src == dst) return t0;
+  // Earliest-arrival BFS on the temporal graph: holder set per tick.  A
+  // node holding the message at time t can hand it to every neighbor at t,
+  // who holds it from t + 1.
+  std::vector<char> holds(size(), 0);
+  holds[src] = 1;
+  for (Tick t = t0; t < deadline; ++t) {
+    std::vector<NodeId> holders;
+    for (NodeId i = 0; i < size(); ++i)
+      if (holds[i]) holders.push_back(i);
+    bool changed = false;
+    for (NodeId u : holders) {
+      for (NodeId v : neighbors(u, t)) {
+        if (holds[v]) continue;
+        if (v == dst) return t + 1;
+        holds[v] = 1;
+        changed = true;
+      }
+    }
+    if (!changed && holders.size() == size()) break;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rtw::adhoc

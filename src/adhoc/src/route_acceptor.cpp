@@ -1,0 +1,115 @@
+#include "rtw/adhoc/route_acceptor.hpp"
+
+namespace rtw::adhoc {
+
+using rtw::core::StepContext;
+using rtw::core::Symbol;
+
+RouteWordAcceptor::RouteWordAcceptor(const Network& network, RouteQuery query)
+    : network_(&network), query_(query) {}
+
+void RouteWordAcceptor::reset() {
+  in_group_ = false;
+  fields_.clear();
+  field_count_ = 0;
+  group_time_ = 0;
+  seen_nat_in_field_ = false;
+  hops_.clear();
+  lock_.reset();
+}
+
+void RouteWordAcceptor::close_group(Tick group_time) {
+  // fields_ holds one nat per field (first nat wins); field_count_ is the
+  // @-separated arity.  m_u groups have 4 fields, r_u groups 3.
+  if (field_count_ == 4 && fields_.size() == 4) {
+    const Tick sent_at = fields_[0];
+    const auto src = static_cast<NodeId>(fields_[1]);
+    const auto dst = static_cast<NodeId>(fields_[2]);
+    const std::uint64_t body = fields_[3];
+    if (body != query_.body) return;  // auxiliary traffic: not our chain
+    if (sent_at != group_time) return;  // not a message encoding
+    // Condition 1/2 checks for the next hop of u's chain.
+    if (hops_.empty()) {
+      if (src != query_.source || sent_at < query_.originated_at) {
+        lock_ = false;
+        return;
+      }
+    } else {
+      const HopMessage& prev = hops_.back();
+      if (prev.received_at == 0) {
+        lock_ = false;  // previous hop never confirmed before the next send
+        return;
+      }
+      if (src != prev.dst || sent_at != prev.received_at) {
+        lock_ = false;  // chain continuity broken (condition 2)
+        return;
+      }
+    }
+    if (src >= network_->size() || dst >= network_->size() ||
+        !network_->range(src, dst, sent_at)) {
+      lock_ = false;  // range(s_i, d_i, t_i) fails (condition 2)
+      return;
+    }
+    hops_.push_back({sent_at, 0, src, dst, body});
+    return;
+  }
+
+  if (field_count_ == 3 && fields_.size() == 3 && !hops_.empty()) {
+    HopMessage& pending = hops_.back();
+    if (pending.received_at != 0) return;  // nothing awaiting receipt
+    const Tick sent_at = fields_[0];
+    const auto src = static_cast<NodeId>(fields_[1]);
+    const auto dst = static_cast<NodeId>(fields_[2]);
+    if (sent_at != pending.sent_at || src != pending.src ||
+        dst != pending.dst)
+      return;  // some other event (e.g. a node position fix)
+    if (group_time != sent_at + 1) {
+      lock_ = false;  // hop latency violates the section 5.2.1 granularity
+      return;
+    }
+    pending.received_at = group_time;
+    if (dst == query_.destination) lock_ = true;  // t'_f finite: condition 3
+  }
+}
+
+void RouteWordAcceptor::on_tick(const StepContext& ctx) {
+  if (lock_) {
+    if (*lock_ && ctx.out.can_write(ctx.now))
+      ctx.out.write(ctx.now, ctx.out.accept_symbol());
+    return;
+  }
+  const Symbol dollar = rtw::core::marks::dollar();
+  const Symbol at = rtw::core::marks::at();
+  for (const auto& ts : ctx.arrivals) {
+    if (lock_) break;
+    if (ts.sym == dollar) {
+      if (in_group_) {
+        close_group(group_time_);
+        in_group_ = false;
+      } else {
+        in_group_ = true;
+        fields_.clear();
+        field_count_ = 1;
+        seen_nat_in_field_ = false;
+        group_time_ = ts.time;
+      }
+      continue;
+    }
+    if (!in_group_) continue;
+    if (ts.sym == at) {
+      ++field_count_;
+      seen_nat_in_field_ = false;
+      continue;
+    }
+    if (ts.sym.is_nat() && !seen_nat_in_field_) {
+      fields_.push_back(ts.sym.as_nat());
+      seen_nat_in_field_ = true;
+    }
+  }
+  if (lock_ && *lock_ && ctx.out.can_write(ctx.now))
+    ctx.out.write(ctx.now, ctx.out.accept_symbol());
+}
+
+std::optional<bool> RouteWordAcceptor::locked() const { return lock_; }
+
+}  // namespace rtw::adhoc

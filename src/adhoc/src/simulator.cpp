@@ -1,0 +1,137 @@
+#include "rtw/adhoc/simulator.hpp"
+
+#include <algorithm>
+
+#include "rtw/core/error.hpp"
+
+namespace rtw::adhoc {
+
+std::string to_string(Packet::Kind k) {
+  switch (k) {
+    case Packet::Kind::Data:
+      return "data";
+    case Packet::Kind::RouteRequest:
+      return "rreq";
+    case Packet::Kind::RouteReply:
+      return "rrep";
+    case Packet::Kind::TableUpdate:
+      return "update";
+  }
+  return "?";
+}
+
+std::optional<Delivery> SimResult::delivery_of(std::uint64_t data_id) const {
+  for (const auto& d : deliveries)
+    if (d.data_id == data_id) return d;
+  return std::nullopt;
+}
+
+Vec2 NodeContext::position() const {
+  return sim_->network().position(self_, now_);
+}
+
+void NodeContext::send(Packet p, NodeId to) {
+  sim_->transmit(self_, std::move(p), to, now_);
+}
+
+void NodeContext::broadcast(Packet p) {
+  sim_->transmit(self_, std::move(p), kBroadcast, now_);
+}
+
+Simulator::Simulator(const Network& network, const ProtocolFactory& factory,
+                     RadioModel radio)
+    : network_(&network), radio_(radio) {
+  if (!factory)
+    throw rtw::core::ModelError("Simulator: null protocol factory");
+  for (NodeId i = 0; i < network.size(); ++i) {
+    auto protocol = factory(i);
+    if (!protocol)
+      throw rtw::core::ModelError("Simulator: factory returned null");
+    protocols_.push_back(std::move(protocol));
+  }
+}
+
+void Simulator::schedule(DataSpec spec) {
+  if (spec.src >= network_->size() || spec.dst >= network_->size())
+    throw rtw::core::ModelError("Simulator: data endpoints out of range");
+  pending_.push_back(spec);
+}
+
+void Simulator::transmit(NodeId from, Packet p, NodeId to, Tick now) {
+  p.from = from;
+  p.to = to;
+  if (p.ttl == 0) return;  // expired: dropped silently
+  airborne_.emplace_back(now, p);
+  result_.sends.push_back({now, p});
+  if (p.kind == Packet::Kind::Data)
+    ++result_.data_transmissions;
+  else
+    ++result_.control_transmissions;
+}
+
+SimResult Simulator::run(Tick horizon) {
+  std::vector<std::pair<Tick, Packet>> in_flight;
+
+  for (Tick now = 0; now < horizon; ++now) {
+    // 1. Deliver packets sent last tick: reception set is determined by
+    //    the sender's range at *send* time (section 5.2.1).
+    std::vector<std::vector<Packet>> inboxes(network_->size());
+    for (const auto& [sent_at, p] : in_flight) {
+      if (p.to == kBroadcast) {
+        for (NodeId node : network_->neighbors(p.from, sent_at))
+          inboxes[node].push_back(p);
+      } else if (p.to < network_->size() &&
+                 network_->range(p.from, p.to, sent_at)) {
+        inboxes[p.to].push_back(p);
+      }
+      // else: addressee out of range -- the packet is lost.
+    }
+    in_flight.clear();
+
+    // 1b. Interference: under the ALOHA radio, simultaneous arrivals at a
+    // node destroy each other.
+    if (radio_.collisions) {
+      for (auto& inbox : inboxes) {
+        if (inbox.size() >= 2) {
+          result_.collided += inbox.size();
+          inbox.clear();
+        }
+      }
+    }
+
+    // 2. Per node: timers, then packet processing, then originations.
+    for (NodeId node = 0; node < network_->size(); ++node) {
+      NodeContext ctx(*this, node, now);
+      protocols_[node]->on_tick(ctx);
+      for (auto& p : inboxes[node]) {
+        Packet received = p;
+        ++received.hops_traveled;
+        --received.ttl;
+        result_.receives.push_back({now, node, received});
+        protocols_[node]->on_receive(ctx, received);
+        if (received.kind == Packet::Kind::Data &&
+            received.final_dst == node && !delivered_[received.data_id]) {
+          delivered_[received.data_id] = true;
+          result_.deliveries.push_back(
+              {received.data_id, now, received.hops_traveled});
+        }
+      }
+    }
+    for (const auto& spec : pending_) {
+      if (spec.at != now) continue;
+      NodeContext ctx(*this, spec.src, now);
+      ++result_.originated;
+      protocols_[spec.src]->originate(ctx, spec.dst, spec.data_id);
+    }
+
+    // 3. Everything sent during this tick flies until the next.
+    in_flight = std::move(airborne_);
+    airborne_.clear();
+  }
+  SimResult out = std::move(result_);
+  result_ = {};
+  delivered_.clear();
+  return out;
+}
+
+}  // namespace rtw::adhoc

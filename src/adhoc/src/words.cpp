@@ -1,0 +1,322 @@
+#include "rtw/adhoc/words.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "rtw/core/error.hpp"
+
+namespace rtw::adhoc {
+
+using rtw::core::Symbol;
+using rtw::core::TimedSymbol;
+using rtw::core::TimedWord;
+
+namespace {
+
+Symbol dollar() { return rtw::core::marks::dollar(); }
+Symbol at_mark() { return rtw::core::marks::at(); }
+
+void append_nat(std::vector<TimedSymbol>& out, std::uint64_t value, Tick t) {
+  out.push_back({Symbol::nat(value), t});
+}
+
+void append_position(std::vector<TimedSymbol>& out, Vec2 p, Tick t) {
+  // Positions are encoded to integer precision -- enough to reconstruct
+  // connectivity at the radio-range granularity used here.
+  append_nat(out, static_cast<std::uint64_t>(std::max(0.0, p.x)), t);
+  out.push_back({at_mark(), t});
+  append_nat(out, static_cast<std::uint64_t>(std::max(0.0, p.y)), t);
+}
+
+}  // namespace
+
+TimedWord node_word(const Network& network, NodeId node) {
+  if (node >= network.size())
+    throw rtw::core::ModelError("node_word: node out of range");
+  struct State {
+    const Network* network;
+    NodeId node;
+    std::vector<TimedSymbol> cache;
+    Tick next_fix = 0;
+    std::mutex mutex;
+
+    void extend() {
+      std::vector<TimedSymbol> group;
+      const Tick t = next_fix;
+      group.push_back({dollar(), t});
+      group.push_back({Symbol::nat(node), t});
+      group.push_back({at_mark(), t});
+      if (t == 0) {
+        // q_i: the invariant characteristics -- here the radio range.
+        append_nat(group,
+                   static_cast<std::uint64_t>(network->radio_range()), t);
+        group.push_back({at_mark(), t});
+      }
+      append_position(group, network->position(node, t), t);
+      group.push_back({dollar(), t});
+      cache.insert(cache.end(), group.begin(), group.end());
+      ++next_fix;
+    }
+  };
+  auto state = std::make_shared<State>();
+  state->network = &network;
+  state->node = node;
+  rtw::core::GeneratorTraits traits;
+  traits.monotone_proven = true;
+  traits.progress_proven = true;  // one fix per tick
+  return TimedWord::generator(
+      [state](std::uint64_t i) {
+        std::lock_guard lock(state->mutex);
+        while (state->cache.size() <= i) state->extend();
+        return state->cache[i];
+      },
+      traits, "h_" + std::to_string(node));
+}
+
+TimedWord network_word(const Network& network) {
+  std::vector<TimedWord> parts;
+  for (NodeId i = 0; i < network.size(); ++i)
+    parts.push_back(node_word(network, i));
+  return rtw::core::concat_all(parts);
+}
+
+TimedWord message_word(const HopMessage& hop) {
+  std::vector<TimedSymbol> out;
+  const Tick t = hop.sent_at;
+  out.push_back({dollar(), t});
+  append_nat(out, t, t);
+  out.push_back({at_mark(), t});
+  append_nat(out, hop.src, t);
+  out.push_back({at_mark(), t});
+  append_nat(out, hop.dst, t);
+  out.push_back({at_mark(), t});
+  append_nat(out, hop.body, t);
+  out.push_back({dollar(), t});
+  return TimedWord::finite(std::move(out));
+}
+
+TimedWord receive_word(const HopMessage& hop) {
+  std::vector<TimedSymbol> out;
+  const Tick t = hop.received_at;
+  out.push_back({dollar(), t});
+  append_nat(out, hop.sent_at, t);
+  out.push_back({at_mark(), t});
+  append_nat(out, hop.src, t);
+  out.push_back({at_mark(), t});
+  append_nat(out, hop.dst, t);
+  out.push_back({dollar(), t});
+  return TimedWord::finite(std::move(out));
+}
+
+RouteTrace extract_route(const SimResult& result, const Network& network,
+                         std::uint64_t data_id) {
+  (void)network;
+  RouteTrace trace;
+  trace.body = data_id;
+
+  // Hop chain: the Data receive events for this data_id, chained from the
+  // origin.  Each receive (time, by, packet.from) is one u_i.  Relays and
+  // flooding may fork the chain; follow the path that first reaches the
+  // final destination by walking receive events in time order, tracking
+  // which nodes hold the message and their hop history.
+  std::map<NodeId, std::vector<HopMessage>> history;
+  bool origin_known = false;
+
+  for (const auto& recv : result.receives) {
+    const Packet& p = recv.packet;
+    if (p.kind != Packet::Kind::Data || p.data_id != data_id) continue;
+    if (!origin_known) {
+      trace.source = p.origin;
+      trace.destination = p.final_dst;
+      trace.originated_at = p.originated_at;
+      origin_known = true;
+      history[p.origin] = {};
+    }
+    const NodeId sender = p.from;
+    // The sender's history + this hop becomes the receiver's history, if
+    // the receiver has none yet (first arrival wins -- earliest path).
+    if (history.count(recv.by)) continue;
+    const auto it = history.find(sender);
+    if (it == history.end()) continue;  // sender path unknown (shouldn't be)
+    std::vector<HopMessage> chain = it->second;
+    chain.push_back({recv.time - 1, recv.time, sender, recv.by, data_id});
+    if (recv.by == p.final_dst) {
+      trace.hops = std::move(chain);
+      trace.delivered = true;
+      break;
+    }
+    history[recv.by] = std::move(chain);
+  }
+
+  if (!origin_known) {
+    // Never transmitted/received: reconstruct endpoints from sends if any.
+    for (const auto& send : result.sends) {
+      if (send.packet.kind == Packet::Kind::Data &&
+          send.packet.data_id == data_id) {
+        trace.source = send.packet.origin;
+        trace.destination = send.packet.final_dst;
+        trace.originated_at = send.packet.originated_at;
+        break;
+      }
+    }
+  }
+
+  // Auxiliary messages rt_j: every control transmission (they support the
+  // routing process as a whole).
+  for (const auto& send : result.sends) {
+    if (send.packet.kind == Packet::Kind::Data) continue;
+    trace.auxiliary.push_back({send.time, send.time + 1, send.packet.from,
+                               send.packet.to == kBroadcast
+                                   ? send.packet.final_dst
+                                   : send.packet.to,
+                               send.packet.seq});
+  }
+  return trace;
+}
+
+namespace {
+
+/// Shared structural checks (conditions 1 and 2); condition 3 is the
+/// caller's business (R vs R').
+std::optional<std::string> validate_structure(const RouteTrace& trace,
+                                              const Network& network);
+
+}  // namespace
+
+std::optional<std::string> validate_route(const RouteTrace& trace,
+                                          const Network& network) {
+  if (!trace.delivered) return "condition 3: t'_f is not finite";
+  return validate_structure(trace, network);
+}
+
+std::optional<std::string> validate_route_lossy(
+    const RouteTrace& trace, const Network& network,
+    std::optional<Tick> loss_threshold) {
+  if (!trace.delivered) {
+    // In R' an undelivered message is a member as long as the *partial*
+    // structure is sound; an empty chain is trivially sound.
+    if (trace.hops.empty()) return std::nullopt;
+    RouteTrace partial = trace;
+    partial.delivered = true;  // structure check only; skip endpoint check
+    // The last hop need not reach the destination.
+    const auto why = validate_structure(partial, network);
+    if (why && why->find("d_f != d") != std::string::npos)
+      return std::nullopt;  // incomplete chain: expected for a lost message
+    return why;
+  }
+  if (loss_threshold && is_lost(trace, *loss_threshold))
+    return std::nullopt;  // lost-by-threshold: still a member of R'
+  return validate_structure(trace, network);
+}
+
+bool is_lost(const RouteTrace& trace, Tick loss_threshold) {
+  if (!trace.delivered || trace.hops.empty()) return true;
+  return trace.hops.back().received_at - trace.originated_at > loss_threshold;
+}
+
+namespace {
+
+std::optional<std::string> validate_structure(const RouteTrace& trace,
+                                              const Network& network) {
+  std::ostringstream why;
+  if (trace.hops.empty()) {
+    if (trace.source == trace.destination) return std::nullopt;
+    return "empty hop chain for distinct endpoints";
+  }
+  // Condition 1.
+  if (trace.hops.front().src != trace.source)
+    return "condition 1: s_1 != s";
+  if (trace.hops.back().dst != trace.destination)
+    return "condition 1: d_f != d";
+  // Condition 1's t_1 = t, read operationally: on-demand protocols hold u
+  // at the source while discovering a route, so the first hop may not
+  // precede the generation time (and equals it for proactive protocols).
+  if (trace.hops.front().sent_at < trace.originated_at)
+    return "condition 1: t_1 precedes t";
+  for (std::size_t i = 0; i < trace.hops.size(); ++i)
+    if (trace.hops[i].body != trace.body) {
+      why << "condition 1: b_" << i + 1 << " != b";
+      return why.str();
+    }
+  // Condition 2.
+  for (std::size_t i = 0; i + 1 < trace.hops.size(); ++i) {
+    if (trace.hops[i].dst != trace.hops[i + 1].src) {
+      why << "condition 2: d_" << i + 1 << " != s_" << i + 2;
+      return why.str();
+    }
+    if (trace.hops[i].received_at != trace.hops[i + 1].sent_at) {
+      why << "condition 2: t'_" << i + 1 << " != t_" << i + 2;
+      return why.str();
+    }
+  }
+  for (std::size_t i = 0; i < trace.hops.size(); ++i) {
+    const auto& hop = trace.hops[i];
+    if (!network.range(hop.src, hop.dst, hop.sent_at)) {
+      why << "condition 2: range(s_" << i + 1 << ", d_" << i + 1 << ", t_"
+          << i + 1 << ") is false";
+      return why.str();
+    }
+    if (hop.received_at != hop.sent_at + 1) {
+      why << "granularity: hop " << i + 1 << " does not take one time unit";
+      return why.str();
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+TimedWord route_instance_word(const RouteTrace& trace,
+                              const Network& network) {
+  std::vector<TimedWord> parts;
+  parts.push_back(network_word(network));
+  for (const auto& hop : trace.hops) {
+    parts.push_back(message_word(hop));
+    parts.push_back(receive_word(hop));
+  }
+  for (const auto& aux : trace.auxiliary) {
+    parts.push_back(message_word(aux));
+    parts.push_back(receive_word(aux));
+  }
+  return rtw::core::concat_all(parts);
+}
+
+std::vector<HopMessage> m_between(const RouteTrace& trace, NodeId i,
+                                  NodeId j) {
+  std::vector<HopMessage> out;
+  for (const auto& hop : trace.hops)
+    if (hop.src == i && hop.dst == j) out.push_back(hop);
+  for (const auto& aux : trace.auxiliary)
+    if (aux.src == i && aux.dst == j) out.push_back(aux);
+  return out;
+}
+
+std::vector<std::pair<LocalView, RemoteView>> decompose(
+    const RouteTrace& trace, NodeId nodes) {
+  std::vector<std::pair<LocalView, RemoteView>> views(nodes);
+  for (NodeId i = 0; i < nodes; ++i) {
+    views[i].first.node = i;
+    views[i].second.node = i;
+  }
+  auto place = [&](const HopMessage& hop) {
+    if (hop.src < nodes) views[hop.src].first.sent.push_back(hop);
+    if (hop.dst < nodes) views[hop.dst].second.received.push_back(hop);
+  };
+  for (const auto& hop : trace.hops) place(hop);
+  for (const auto& aux : trace.auxiliary) place(aux);
+  return views;
+}
+
+TimedWord view_word(const Network& network, const LocalView& local,
+                    const RemoteView& remote) {
+  std::vector<TimedWord> parts;
+  parts.push_back(node_word(network, local.node));
+  for (const auto& hop : local.sent) parts.push_back(message_word(hop));
+  for (const auto& hop : remote.received) parts.push_back(receive_word(hop));
+  return rtw::core::concat_all(parts);
+}
+
+}  // namespace rtw::adhoc

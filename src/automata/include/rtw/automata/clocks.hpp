@@ -1,0 +1,75 @@
+#pragma once
+/// \file clocks.hpp
+/// Clocks and clock constraints Phi(X) (section 2.1).
+///
+/// A clock is a variable over time whose value is the time elapsed since it
+/// was last reset.  A constraint d in Phi(X) has one of the forms
+///   x <= c,  c <= x,  ¬d1,  d1 ∧ d2.
+/// Since the paper makes time discrete (Definition 3.1), clock values here
+/// are naturals, and the *capped valuation* abstraction is exact: any value
+/// above the largest constant appearing in a TBA's constraints behaves
+/// identically, so valuations can be truncated to cmax+1, making the
+/// configuration space finite and TBA acceptance on lasso words decidable.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rtw/core/timed_word.hpp"
+
+namespace rtw::automata {
+
+using ClockId = std::uint32_t;
+using ClockValue = rtw::core::Tick;
+
+/// A clock valuation: value per clock id.
+using ClockValuation = std::vector<ClockValue>;
+
+/// Constraint AST (immutable, shared).
+class ClockConstraint {
+public:
+  /// The constant `true` (empty conjunction).
+  static ClockConstraint top();
+  /// x <= c
+  static ClockConstraint le(ClockId x, ClockValue c);
+  /// c <= x
+  static ClockConstraint ge(ClockId x, ClockValue c);
+  /// Derived forms, built from the four primitives:
+  static ClockConstraint lt(ClockId x, ClockValue c);  ///< ¬(c <= x)
+  static ClockConstraint gt(ClockId x, ClockValue c);  ///< ¬(x <= c)
+  static ClockConstraint eq(ClockId x, ClockValue c);  ///< x<=c ∧ c<=x
+
+  ClockConstraint operator!() const;
+  ClockConstraint operator&&(const ClockConstraint& other) const;
+
+  /// Evaluates against a valuation.
+  bool satisfied(const ClockValuation& nu) const;
+
+  /// Largest constant mentioned (0 for top).  Drives valuation capping.
+  ClockValue max_constant() const;
+
+  /// Largest clock id mentioned + 1 (0 for top).
+  ClockId clocks_used() const;
+
+  std::string to_string() const;
+
+  /// Opaque AST node (defined in clocks.cpp; public so the evaluator's
+  /// internal helpers can traverse it).
+  struct Node;
+
+private:
+  explicit ClockConstraint(std::shared_ptr<const Node> node);
+  std::shared_ptr<const Node> node_;
+};
+
+/// Applies `elapsed` ticks to every clock, capping at `cap` (pass the TBA's
+/// cmax+1; values above the cap are indistinguishable to any constraint
+/// with constants <= cmax).
+ClockValuation advance(const ClockValuation& nu, ClockValue elapsed,
+                       ClockValue cap);
+
+/// Resets the listed clocks to zero.
+ClockValuation reset(ClockValuation nu, const std::vector<ClockId>& clocks);
+
+}  // namespace rtw::automata

@@ -1,0 +1,22 @@
+#pragma once
+/// \file dot.hpp
+/// Graphviz export for the automata types -- `dot -Tpng` renders the
+/// state graphs for papers, docs and debugging.
+
+#include <string>
+
+#include "rtw/automata/omega.hpp"
+#include "rtw/automata/timed_buchi.hpp"
+
+namespace rtw::automata {
+
+/// DOT source for a finite automaton (final states doubly circled, the
+/// initial state marked by an entry arrow; lambda edges dashed).
+std::string to_dot(const FiniteAutomaton& fa,
+                   const std::string& name = "automaton");
+
+/// DOT source for a TBA: edges labeled "symbol / guard / resets".
+std::string to_dot(const TimedBuchiAutomaton& tba,
+                   const std::string& name = "tba");
+
+}  // namespace rtw::automata

@@ -1,0 +1,72 @@
+#pragma once
+/// \file finite_automaton.hpp
+/// The "general finite automaton" of section 2: A = (Sigma, S, s0, delta, F)
+/// with a transition *relation* delta ⊆ S × S × Sigma (nondeterministic) and
+/// acceptance by final state at the end of the input.
+///
+/// States are dense indices 0..states()-1; the alphabet is implicit in the
+/// transitions (any rtw::core::Symbol may label an edge).  Lambda (epsilon)
+/// transitions are supported because the proof of Theorem 3.1 constructs an
+/// automaton A' with lambda-transitions from a fresh initial state.
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "rtw/core/symbol.hpp"
+
+namespace rtw::automata {
+
+using State = std::uint32_t;
+
+/// One element (s, s', a) of the transition relation.
+struct Transition {
+  State from;
+  State to;
+  rtw::core::Symbol symbol;
+};
+
+/// Nondeterministic finite automaton with optional lambda moves.
+class FiniteAutomaton {
+public:
+  /// `states` is the size of S; `initial` must be < states.
+  FiniteAutomaton(State states, State initial);
+
+  State states() const noexcept { return states_; }
+  State initial() const noexcept { return initial_; }
+
+  /// Adds (from, to, symbol) to delta.
+  void add_transition(State from, State to, rtw::core::Symbol symbol);
+  /// Adds a lambda-transition (taken without consuming input).
+  void add_lambda(State from, State to);
+  void add_final(State s);
+  bool is_final(State s) const;
+
+  const std::vector<Transition>& transitions() const noexcept {
+    return transitions_;
+  }
+  const std::set<State>& finals() const noexcept { return finals_; }
+
+  /// Lambda-closure of a state set.
+  std::set<State> closure(std::set<State> states) const;
+
+  /// One symbol step: closure(move(closure(states), symbol)).
+  std::set<State> step(const std::set<State>& states,
+                       rtw::core::Symbol symbol) const;
+
+  /// Subset-construction acceptance of a finite symbol word.
+  bool accepts(const std::vector<rtw::core::Symbol>& word) const;
+
+  /// State set reached after reading `word` from the initial state.
+  std::set<State> run(const std::vector<rtw::core::Symbol>& word) const;
+
+private:
+  State states_;
+  State initial_;
+  std::vector<Transition> transitions_;
+  std::vector<std::pair<State, State>> lambdas_;
+  std::set<State> finals_;
+};
+
+}  // namespace rtw::automata

@@ -1,0 +1,84 @@
+#pragma once
+/// \file omega.hpp
+/// Omega-automata (section 2.1): Buchi and Muller acceptance over
+/// ultimately periodic (lasso) omega-words.
+///
+/// An omega-word sigma = prefix · cycle^omega is the finite representation
+/// under which acceptance is decidable:
+///   * Buchi (nondeterministic): inf(r) ∩ F ≠ ∅ for some run r.  Decided on
+///     the product graph (state, cycle position): an accepting run exists
+///     iff some node carrying a final state is reachable from the start set
+///     and lies on a cycle of the product graph.
+///   * Muller (deterministic): inf(r) ∈ 𝓕.  The deterministic run's
+///     (state, cycle position) pairs eventually repeat; the states inside
+///     the repeating loop are exactly inf(r).
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "rtw/automata/finite_automaton.hpp"
+#include "rtw/core/symbol.hpp"
+
+namespace rtw::automata {
+
+/// An ultimately periodic omega-word over plain (untimed) symbols.
+struct OmegaWord {
+  std::vector<rtw::core::Symbol> prefix;
+  std::vector<rtw::core::Symbol> cycle;  ///< must be nonempty
+
+  /// Element access with lasso indexing.
+  rtw::core::Symbol at(std::uint64_t i) const {
+    if (i < prefix.size()) return prefix[i];
+    return cycle[(i - prefix.size()) % cycle.size()];
+  }
+
+  /// First n symbols, unrolled.
+  std::vector<rtw::core::Symbol> unroll(std::uint64_t n) const;
+};
+
+/// Convenience constructor from character strings.
+OmegaWord omega_word(std::string_view prefix, std::string_view cycle);
+
+/// Buchi automaton: a FiniteAutomaton whose `finals` play the role of the
+/// acceptance set F; runs are over omega-words.
+class BuchiAutomaton {
+public:
+  explicit BuchiAutomaton(FiniteAutomaton base) : base_(std::move(base)) {}
+
+  const FiniteAutomaton& base() const noexcept { return base_; }
+
+  /// Exact acceptance on a lasso word (see file comment).  Lambda moves in
+  /// the base automaton are honored (closure before every step).
+  bool accepts(const OmegaWord& word) const;
+
+private:
+  FiniteAutomaton base_;
+};
+
+/// Deterministic Muller automaton.  Transitions must be deterministic
+/// (at most one successor per (state, symbol)); lambda moves are not
+/// allowed.  The acceptance family is a set of state sets.
+class MullerAutomaton {
+public:
+  MullerAutomaton(FiniteAutomaton base,
+                  std::vector<std::set<State>> acceptance_family);
+
+  const FiniteAutomaton& base() const noexcept { return base_; }
+  const std::vector<std::set<State>>& family() const noexcept {
+    return family_;
+  }
+
+  /// Exact acceptance: compute inf(r) of the unique run (the run dies ->
+  /// reject) and test membership in the family.
+  bool accepts(const OmegaWord& word) const;
+
+  /// inf(r) of the unique run over `word`, or empty set if the run dies.
+  std::set<State> inf(const OmegaWord& word) const;
+
+private:
+  FiniteAutomaton base_;
+  std::vector<std::set<State>> family_;
+};
+
+}  // namespace rtw::automata

@@ -1,0 +1,53 @@
+#pragma once
+/// \file operations.hpp
+/// Closure constructions on Buchi automata, mirroring Theorem 3.3's
+/// operations at the automaton level:
+///   * union        -- disjoint sum with a fresh initial state;
+///   * intersection -- the classic 2-phase product (a run must visit
+///     accepting states of *both* factors infinitely often, tracked by a
+///     phase flag that flips on each factor's acceptance).
+///
+/// Complementation of nondeterministic Buchi automata (Safra) is out of
+/// scope; for the deterministic case use MullerAutomaton with the
+/// complemented family.
+
+#include "rtw/automata/omega.hpp"
+#include "rtw/automata/timed_buchi.hpp"
+#include "rtw/core/language.hpp"
+
+namespace rtw::automata {
+
+/// L(a) ∪ L(b).
+BuchiAutomaton buchi_union(const BuchiAutomaton& a, const BuchiAutomaton& b);
+
+/// L(a) ∩ L(b) via the 2-phase product construction.
+BuchiAutomaton buchi_intersection(const BuchiAutomaton& a,
+                                  const BuchiAutomaton& b);
+
+/// Emptiness: L(a) == ∅ iff no final state is reachable from the initial
+/// state and lies on a cycle.  `alphabet` bounds the symbols explored
+/// (defaults to the symbols on the automaton's transitions).
+bool buchi_empty(const BuchiAutomaton& a);
+
+/// A witness of non-emptiness: an accepted lasso word (prefix to a
+/// reachable final state on a cycle, plus the cycle), or nullopt when the
+/// language is empty.  The returned word always satisfies
+/// `a.accepts(*witness)`.
+std::optional<OmegaWord> buchi_witness(const BuchiAutomaton& a);
+
+/// Converts a *deterministic* Buchi automaton into the equivalent Muller
+/// automaton: acceptance family = every state set intersecting F (for
+/// deterministic automata, inf(r) ∩ F ≠ ∅ iff inf(r) is in that family).
+/// Throws ModelError if the base automaton is nondeterministic.
+MullerAutomaton buchi_to_muller(const BuchiAutomaton& a);
+
+/// The timed omega-language of a TBA as an rtw::core::TimedLanguage:
+/// membership is exact for lasso words (accepts_lasso) and false for any
+/// other representation; the sampler returns the TBA's well-behaved
+/// witness (one canonical member; throws via the sampler contract when
+/// the language is empty).  Bridges the automata layer to the section 3
+/// language layer.
+rtw::core::TimedLanguage tba_language(TimedBuchiAutomaton tba,
+                                      std::string name = "L(tba)");
+
+}  // namespace rtw::automata

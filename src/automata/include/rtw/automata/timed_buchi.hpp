@@ -1,0 +1,105 @@
+#pragma once
+/// \file timed_buchi.hpp
+/// Timed Buchi automata (section 2.1, after Alur & Dill [10]).
+///
+/// A TBA is A = (Sigma, S, s0, delta, C, F) with delta ⊆ S × S × Sigma ×
+/// 2^C × Phi(C): a transition (s, s', a, l, d) consumes `a`, is enabled when
+/// the clocks advanced by the elapsed time satisfy `d`, and resets the
+/// clocks in `l`.  Runs follow equation (1) of the paper.
+///
+/// Acceptance over ultimately periodic timed words is decided *exactly*:
+/// with discrete time, valuations capped at cmax+1 (cmax = largest constant
+/// in any constraint) are a finite, exact abstraction, and the elapsed-time
+/// pattern of a lasso timed word is itself periodic, so the Buchi condition
+/// reduces to a cycle search on the finite product graph
+/// (state, capped valuation, cycle position).
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "rtw/automata/clocks.hpp"
+#include "rtw/core/timed_word.hpp"
+
+namespace rtw::automata {
+
+using State = std::uint32_t;
+
+/// A TBA transition (s, s', a, l, d).
+struct TimedTransition {
+  State from;
+  State to;
+  rtw::core::Symbol symbol;
+  std::vector<ClockId> resets;          ///< l: clocks reset to zero
+  ClockConstraint guard;                ///< d: enabling constraint
+};
+
+/// A configuration of a TBA run: (s_i, nu_i) of equation (1).
+struct TbaConfig {
+  State state;
+  ClockValuation valuation;
+
+  friend bool operator==(const TbaConfig&, const TbaConfig&) = default;
+  friend auto operator<=>(const TbaConfig& a, const TbaConfig& b) {
+    if (auto c = a.state <=> b.state; c != 0) return c;
+    return a.valuation <=> b.valuation;
+  }
+};
+
+class TimedBuchiAutomaton {
+public:
+  /// `clocks` is |C|; `states` is |S|.
+  TimedBuchiAutomaton(State states, State initial, ClockId clocks);
+
+  void add_transition(TimedTransition t);
+  void add_final(State s);
+
+  State states() const noexcept { return states_; }
+  State initial() const noexcept { return initial_; }
+  ClockId clocks() const noexcept { return clocks_; }
+  bool is_final(State s) const { return finals_.count(s) > 0; }
+  const std::vector<TimedTransition>& transitions() const noexcept {
+    return transitions_;
+  }
+
+  /// Largest constant across all guards (drives valuation capping).
+  ClockValue max_constant() const;
+
+  /// Configurations reachable after consuming the first `n` elements of
+  /// `word` (nu_0 = 0 everywhere; the first elapsed time is tau_1 - 0).
+  /// Works on any TimedWord; used for prefix simulation and tests.
+  std::set<TbaConfig> run_prefix(const rtw::core::TimedWord& word,
+                                 std::uint64_t n) const;
+
+  /// Exact Buchi acceptance over an ultimately periodic timed word
+  /// (the word must use the lasso representation).  See file comment.
+  bool accepts_lasso(const rtw::core::TimedWord& word) const;
+
+  /// Emptiness of the *well-behaved* timed language: is there any
+  /// well-behaved timed word this TBA accepts?  Decided on the capped
+  /// configuration graph, where per-step delays range over [0, cmax+1]
+  /// (larger delays are indistinguishable): the language is nonempty iff
+  /// a final state lies on a reachable cycle whose total delay is
+  /// positive (a zero-delay cycle only witnesses Zeno words, which are
+  /// not well-behaved).
+  bool empty_wellbehaved() const;
+
+  /// A witness for non-emptiness: an accepted, proven well-behaved lasso
+  /// timed word, or nullopt when empty_wellbehaved().  Always satisfies
+  /// accepts_lasso(*witness).
+  std::optional<rtw::core::TimedWord> witness_wellbehaved() const;
+
+private:
+  State states_;
+  State initial_;
+  ClockId clocks_;
+  std::vector<TimedTransition> transitions_;
+  std::set<State> finals_;
+
+  /// Successor configurations after consuming `symbol` with `elapsed` time.
+  std::vector<TbaConfig> step(const TbaConfig& config,
+                              rtw::core::Symbol symbol, ClockValue elapsed,
+                              ClockValue cap) const;
+};
+
+}  // namespace rtw::automata

@@ -1,0 +1,69 @@
+#pragma once
+/// \file witness.hpp
+/// The witness language of Theorem 3.1 / Corollary 3.2, executable.
+///
+/// L        = { a^u b^x c^v d^x | u, x, v > 0 }      (not regular)
+/// L_omega  = { l1 $ l2 $ l3 $ ... | l_i ∈ L }        (not omega-regular)
+///
+/// The paper notes L_omega is practically meaningful: a^u b^x c^v is a
+/// database, d^x a key, and b^x the matching instance.
+///
+/// This module provides membership tests, sample generators, the proof's
+/// A' construction (the finite automaton extracted from a candidate Buchi
+/// acceptor), and an empirical refuter that, given any Buchi automaton,
+/// searches for a word on which it disagrees with L_omega -- the engine
+/// behind the bench_thm31_nonregular harness.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rtw/automata/omega.hpp"
+
+namespace rtw::automata {
+
+/// Membership in L = a^u b^x c^v d^x (u, x, v > 0).
+bool in_block_language(const std::vector<rtw::core::Symbol>& word);
+bool in_block_language(std::string_view word);
+
+/// Canonical member of L with parameters (u, x, v).
+std::string block_word(unsigned u, unsigned x, unsigned v);
+
+/// Bounded membership in L_omega on a lasso word: the word must decompose
+/// as $-separated blocks, each in L, checked across the prefix and one full
+/// period of complete blocks (exact for lassos whose cycle contains at
+/// least one $; a cycle without $ is rejected outright, as the word would
+/// have finitely many blocks).
+bool in_l_omega(const OmegaWord& word);
+
+/// Sample member of L_omega: blocks (u,x,v) = f(i) repeating.
+OmegaWord l_omega_member(unsigned u, unsigned x, unsigned v);
+
+/// A disagreement between a candidate Buchi automaton and L_omega.
+struct Counterexample {
+  OmegaWord word;
+  bool automaton_accepts = false;
+  bool in_language = false;
+  std::string describe() const;
+};
+
+/// Searches a family of probe words (members with x up to `max_x`, and
+/// corrupted near-members with mismatched d-runs) for a word on which
+/// `candidate` disagrees with L_omega.  Returns nullopt only if the
+/// candidate classifies every probe correctly (which Theorem 3.1 says is
+/// impossible for a true acceptor of L_omega; small automata always fail
+/// on probes with x beyond their state count).
+std::optional<Counterexample> refute_buchi_candidate(
+    const BuchiAutomaton& candidate, unsigned max_x);
+
+/// The A' construction from the proof of Theorem 3.1: given a Buchi
+/// automaton A (purported acceptor of L_omega), builds the finite automaton
+/// A' whose initial state s' lambda-moves into S1 (states A can be in right
+/// after reading $) and whose finals are S2 (states A can be in right
+/// before reading $).  S1 and S2 are approximated by subset simulation of A
+/// over the given sample member of L_omega, unrolled `laps` cycles.
+FiniteAutomaton theorem31_extract(const BuchiAutomaton& a,
+                                  const OmegaWord& sample, unsigned laps);
+
+}  // namespace rtw::automata

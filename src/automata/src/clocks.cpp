@@ -1,0 +1,194 @@
+#include "rtw/automata/clocks.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "rtw/core/error.hpp"
+
+namespace rtw::automata {
+
+struct ClockConstraint::Node {
+  enum class Kind { Top, Le, Ge, Not, And } kind = Kind::Top;
+  ClockId clock = 0;
+  ClockValue constant = 0;
+  std::shared_ptr<const Node> left;
+  std::shared_ptr<const Node> right;
+};
+
+ClockConstraint::ClockConstraint(std::shared_ptr<const Node> node)
+    : node_(std::move(node)) {}
+
+ClockConstraint ClockConstraint::top() {
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::Top;
+  return ClockConstraint(std::move(n));
+}
+
+ClockConstraint ClockConstraint::le(ClockId x, ClockValue c) {
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::Le;
+  n->clock = x;
+  n->constant = c;
+  return ClockConstraint(std::move(n));
+}
+
+ClockConstraint ClockConstraint::ge(ClockId x, ClockValue c) {
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::Ge;
+  n->clock = x;
+  n->constant = c;
+  return ClockConstraint(std::move(n));
+}
+
+ClockConstraint ClockConstraint::lt(ClockId x, ClockValue c) {
+  return !ge(x, c);
+}
+ClockConstraint ClockConstraint::gt(ClockId x, ClockValue c) {
+  return !le(x, c);
+}
+ClockConstraint ClockConstraint::eq(ClockId x, ClockValue c) {
+  return le(x, c) && ge(x, c);
+}
+
+ClockConstraint ClockConstraint::operator!() const {
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::Not;
+  n->left = node_;
+  return ClockConstraint(std::move(n));
+}
+
+ClockConstraint ClockConstraint::operator&&(
+    const ClockConstraint& other) const {
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::And;
+  n->left = node_;
+  n->right = other.node_;
+  return ClockConstraint(std::move(n));
+}
+
+namespace {
+
+bool eval(const ClockConstraint::Node*, const ClockValuation&);
+
+}  // namespace
+
+// Out-of-line recursion helpers need access to Node; define eval as a
+// static-in-namespace function over the node type.
+namespace {
+
+bool eval(const ClockConstraint::Node* n, const ClockValuation& nu) {
+  using Kind = ClockConstraint::Node::Kind;
+  switch (n->kind) {
+    case Kind::Top:
+      return true;
+    case Kind::Le:
+      if (n->clock >= nu.size())
+        throw rtw::core::ModelError("ClockConstraint: clock id out of range");
+      return nu[n->clock] <= n->constant;
+    case Kind::Ge:
+      if (n->clock >= nu.size())
+        throw rtw::core::ModelError("ClockConstraint: clock id out of range");
+      return nu[n->clock] >= n->constant;
+    case Kind::Not:
+      return !eval(n->left.get(), nu);
+    case Kind::And:
+      return eval(n->left.get(), nu) && eval(n->right.get(), nu);
+  }
+  return false;
+}
+
+ClockValue max_const(const ClockConstraint::Node* n) {
+  using Kind = ClockConstraint::Node::Kind;
+  switch (n->kind) {
+    case Kind::Top:
+      return 0;
+    case Kind::Le:
+    case Kind::Ge:
+      return n->constant;
+    case Kind::Not:
+      return max_const(n->left.get());
+    case Kind::And:
+      return std::max(max_const(n->left.get()), max_const(n->right.get()));
+  }
+  return 0;
+}
+
+ClockId max_clock(const ClockConstraint::Node* n) {
+  using Kind = ClockConstraint::Node::Kind;
+  switch (n->kind) {
+    case Kind::Top:
+      return 0;
+    case Kind::Le:
+    case Kind::Ge:
+      return n->clock + 1;
+    case Kind::Not:
+      return max_clock(n->left.get());
+    case Kind::And:
+      return std::max(max_clock(n->left.get()), max_clock(n->right.get()));
+  }
+  return 0;
+}
+
+void render(const ClockConstraint::Node* n, std::ostringstream& out) {
+  using Kind = ClockConstraint::Node::Kind;
+  switch (n->kind) {
+    case Kind::Top:
+      out << "true";
+      return;
+    case Kind::Le:
+      out << "x" << n->clock << "<=" << n->constant;
+      return;
+    case Kind::Ge:
+      out << n->constant << "<=x" << n->clock;
+      return;
+    case Kind::Not:
+      out << "!(";
+      render(n->left.get(), out);
+      out << ")";
+      return;
+    case Kind::And:
+      out << "(";
+      render(n->left.get(), out);
+      out << " & ";
+      render(n->right.get(), out);
+      out << ")";
+      return;
+  }
+}
+
+}  // namespace
+
+bool ClockConstraint::satisfied(const ClockValuation& nu) const {
+  return eval(node_.get(), nu);
+}
+
+ClockValue ClockConstraint::max_constant() const {
+  return max_const(node_.get());
+}
+
+ClockId ClockConstraint::clocks_used() const { return max_clock(node_.get()); }
+
+std::string ClockConstraint::to_string() const {
+  std::ostringstream out;
+  render(node_.get(), out);
+  return out.str();
+}
+
+ClockValuation advance(const ClockValuation& nu, ClockValue elapsed,
+                       ClockValue cap) {
+  ClockValuation out(nu.size());
+  for (std::size_t i = 0; i < nu.size(); ++i)
+    out[i] = std::min<ClockValue>(nu[i] + elapsed, cap);
+  return out;
+}
+
+ClockValuation reset(ClockValuation nu, const std::vector<ClockId>& clocks) {
+  for (ClockId c : clocks) {
+    if (c >= nu.size())
+      throw rtw::core::ModelError("reset: clock id out of range");
+    nu[c] = 0;
+  }
+  return nu;
+}
+
+}  // namespace rtw::automata

@@ -1,0 +1,72 @@
+#include "rtw/automata/dot.hpp"
+
+#include <sstream>
+
+namespace rtw::automata {
+
+namespace {
+
+std::string escape(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void emit_header(std::ostringstream& out, const std::string& name) {
+  out << "digraph \"" << escape(name) << "\" {\n";
+  out << "  rankdir=LR;\n";
+  out << "  node [shape=circle];\n";
+  out << "  __start [shape=point];\n";
+}
+
+}  // namespace
+
+std::string to_dot(const FiniteAutomaton& fa, const std::string& name) {
+  std::ostringstream out;
+  emit_header(out, name);
+  for (State s : fa.finals())
+    out << "  " << s << " [shape=doublecircle];\n";
+  out << "  __start -> " << fa.initial() << ";\n";
+  for (const auto& t : fa.transitions())
+    out << "  " << t.from << " -> " << t.to << " [label=\""
+        << escape(t.symbol.to_string()) << "\"];\n";
+  // Lambda moves are not exposed individually by the public API; the
+  // closure behaviour is visible through `step`.  Render what we can: the
+  // closure of each state minus itself.
+  for (State s = 0; s < fa.states(); ++s) {
+    for (State t : fa.closure({s})) {
+      if (t == s) continue;
+      out << "  " << s << " -> " << t
+          << " [style=dashed, label=\"λ\"];\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string to_dot(const TimedBuchiAutomaton& tba, const std::string& name) {
+  std::ostringstream out;
+  emit_header(out, name);
+  for (State s = 0; s < tba.states(); ++s)
+    if (tba.is_final(s)) out << "  " << s << " [shape=doublecircle];\n";
+  out << "  __start -> " << tba.initial() << ";\n";
+  for (const auto& t : tba.transitions()) {
+    out << "  " << t.from << " -> " << t.to << " [label=\""
+        << escape(t.symbol.to_string()) << " / "
+        << escape(t.guard.to_string());
+    if (!t.resets.empty()) {
+      out << " / reset{";
+      for (std::size_t i = 0; i < t.resets.size(); ++i)
+        out << (i ? "," : "") << "x" << t.resets[i];
+      out << "}";
+    }
+    out << "\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace rtw::automata

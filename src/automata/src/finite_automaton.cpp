@@ -1,0 +1,74 @@
+#include "rtw/automata/finite_automaton.hpp"
+
+#include <deque>
+
+#include "rtw/core/error.hpp"
+
+namespace rtw::automata {
+
+FiniteAutomaton::FiniteAutomaton(State states, State initial)
+    : states_(states), initial_(initial) {
+  if (initial >= states)
+    throw rtw::core::ModelError("FiniteAutomaton: initial state out of range");
+}
+
+void FiniteAutomaton::add_transition(State from, State to,
+                                     rtw::core::Symbol symbol) {
+  if (from >= states_ || to >= states_)
+    throw rtw::core::ModelError("FiniteAutomaton: transition out of range");
+  transitions_.push_back({from, to, symbol});
+}
+
+void FiniteAutomaton::add_lambda(State from, State to) {
+  if (from >= states_ || to >= states_)
+    throw rtw::core::ModelError("FiniteAutomaton: lambda out of range");
+  lambdas_.emplace_back(from, to);
+}
+
+void FiniteAutomaton::add_final(State s) {
+  if (s >= states_)
+    throw rtw::core::ModelError("FiniteAutomaton: final state out of range");
+  finals_.insert(s);
+}
+
+bool FiniteAutomaton::is_final(State s) const { return finals_.count(s) > 0; }
+
+std::set<State> FiniteAutomaton::closure(std::set<State> states) const {
+  std::deque<State> queue(states.begin(), states.end());
+  while (!queue.empty()) {
+    const State s = queue.front();
+    queue.pop_front();
+    for (const auto& [from, to] : lambdas_) {
+      if (from == s && states.insert(to).second) queue.push_back(to);
+    }
+  }
+  return states;
+}
+
+std::set<State> FiniteAutomaton::step(const std::set<State>& states,
+                                      rtw::core::Symbol symbol) const {
+  std::set<State> next;
+  const std::set<State> closed = closure(states);
+  for (const auto& t : transitions_)
+    if (t.symbol == symbol && closed.count(t.from)) next.insert(t.to);
+  return closure(std::move(next));
+}
+
+std::set<State> FiniteAutomaton::run(
+    const std::vector<rtw::core::Symbol>& word) const {
+  std::set<State> current = closure({initial_});
+  for (const auto& s : word) {
+    current = step(current, s);
+    if (current.empty()) break;
+  }
+  return current;
+}
+
+bool FiniteAutomaton::accepts(
+    const std::vector<rtw::core::Symbol>& word) const {
+  for (State s : run(word))
+    if (is_final(s)) return true;
+  return false;
+}
+
+}  // namespace rtw::automata

@@ -1,0 +1,175 @@
+#include "rtw/automata/omega.hpp"
+
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "rtw/core/error.hpp"
+
+namespace rtw::automata {
+
+using rtw::core::Symbol;
+
+std::vector<Symbol> OmegaWord::unroll(std::uint64_t n) const {
+  std::vector<Symbol> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(at(i));
+  return out;
+}
+
+OmegaWord omega_word(std::string_view prefix, std::string_view cycle) {
+  OmegaWord w;
+  w.prefix = rtw::core::symbols_of(prefix);
+  w.cycle = rtw::core::symbols_of(cycle);
+  if (w.cycle.empty())
+    throw rtw::core::ModelError("omega_word: empty cycle");
+  return w;
+}
+
+namespace {
+
+/// Product-graph node identifier: state * cycle_len + cycle_pos.
+std::uint64_t node_id(State s, std::size_t pos, std::size_t cycle_len) {
+  return static_cast<std::uint64_t>(s) * cycle_len + pos;
+}
+
+}  // namespace
+
+bool BuchiAutomaton::accepts(const OmegaWord& word) const {
+  if (word.cycle.empty())
+    throw rtw::core::ModelError("BuchiAutomaton::accepts: empty cycle");
+
+  // 1. Start set: states reachable after consuming the prefix.
+  std::set<State> start = base_.closure({base_.initial()});
+  for (const auto& s : word.prefix) {
+    start = base_.step(start, s);
+    if (start.empty()) return false;
+  }
+
+  // 2. Product graph over (state, cycle position).  successors[v] computed
+  // lazily via the base automaton's step on single states.
+  const std::size_t clen = word.cycle.size();
+  const std::uint64_t nodes =
+      static_cast<std::uint64_t>(base_.states()) * clen;
+
+  auto successors = [&](std::uint64_t v) {
+    const State s = static_cast<State>(v / clen);
+    const std::size_t pos = v % clen;
+    std::vector<std::uint64_t> out;
+    for (State t : base_.step({s}, word.cycle[pos]))
+      out.push_back(node_id(t, (pos + 1) % clen, clen));
+    return out;
+  };
+
+  // 3. Reachability from the start nodes.
+  std::vector<char> reachable(nodes, 0);
+  std::deque<std::uint64_t> queue;
+  for (State s : start) {
+    const auto v = node_id(s, 0, clen);
+    if (!reachable[v]) {
+      reachable[v] = 1;
+      queue.push_back(v);
+    }
+  }
+  while (!queue.empty()) {
+    const auto v = queue.front();
+    queue.pop_front();
+    for (auto w : successors(v))
+      if (!reachable[w]) {
+        reachable[w] = 1;
+        queue.push_back(w);
+      }
+  }
+
+  // 4. A final-state node on a product-graph cycle, reachable from start,
+  // witnesses inf(r) ∩ F ≠ ∅.
+  for (std::uint64_t v = 0; v < nodes; ++v) {
+    if (!reachable[v]) continue;
+    const State s = static_cast<State>(v / clen);
+    if (!base_.is_final(s)) continue;
+    // Is v reachable from itself?
+    std::vector<char> seen(nodes, 0);
+    std::deque<std::uint64_t> q{v};
+    bool loops = false;
+    while (!q.empty() && !loops) {
+      const auto u = q.front();
+      q.pop_front();
+      for (auto w : successors(u)) {
+        if (w == v) {
+          loops = true;
+          break;
+        }
+        if (!seen[w]) {
+          seen[w] = 1;
+          q.push_back(w);
+        }
+      }
+    }
+    if (loops) return true;
+  }
+  return false;
+}
+
+MullerAutomaton::MullerAutomaton(FiniteAutomaton base,
+                                 std::vector<std::set<State>> family)
+    : base_(std::move(base)), family_(std::move(family)) {
+  // Determinism check: at most one successor per (state, symbol), no lambdas.
+  std::map<std::pair<State, Symbol>, State> seen;
+  for (const auto& t : base_.transitions()) {
+    auto [it, inserted] = seen.emplace(std::make_pair(t.from, t.symbol), t.to);
+    if (!inserted && it->second != t.to)
+      throw rtw::core::ModelError(
+          "MullerAutomaton: nondeterministic transition relation");
+  }
+}
+
+std::set<State> MullerAutomaton::inf(const OmegaWord& word) const {
+  auto next = [&](State s, Symbol a) -> std::optional<State> {
+    for (const auto& t : base_.transitions())
+      if (t.from == s && t.symbol == a) return t.to;
+    return std::nullopt;
+  };
+
+  State current = base_.initial();
+  for (const auto& a : word.prefix) {
+    const auto n = next(current, a);
+    if (!n) return {};  // run dies
+    current = *n;
+  }
+
+  // Iterate cycle laps until (state at lap start) repeats; the trajectory
+  // between two occurrences of the same lap-start state is the loop whose
+  // states form inf(r).
+  const std::size_t clen = word.cycle.size();
+  std::map<State, std::size_t> lap_start_seen;  // state -> lap index
+  std::vector<State> lap_starts;
+  std::vector<std::vector<State>> lap_states;
+  for (std::size_t lap = 0;; ++lap) {
+    if (auto it = lap_start_seen.find(current); it != lap_start_seen.end()) {
+      std::set<State> result;
+      for (std::size_t l = it->second; l < lap; ++l)
+        result.insert(lap_states[l].begin(), lap_states[l].end());
+      return result;
+    }
+    lap_start_seen.emplace(current, lap);
+    lap_starts.push_back(current);
+    std::vector<State> visited;
+    for (std::size_t i = 0; i < clen; ++i) {
+      const auto n = next(current, word.cycle[i]);
+      if (!n) return {};
+      current = *n;
+      visited.push_back(current);
+    }
+    lap_states.push_back(std::move(visited));
+  }
+}
+
+bool MullerAutomaton::accepts(const OmegaWord& word) const {
+  const std::set<State> infset = inf(word);
+  if (infset.empty()) return false;
+  for (const auto& accepted : family_)
+    if (accepted == infset) return true;
+  return false;
+}
+
+}  // namespace rtw::automata

@@ -1,0 +1,199 @@
+#include "rtw/automata/operations.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "rtw/core/error.hpp"
+
+namespace rtw::automata {
+
+namespace {
+
+using rtw::core::Symbol;
+
+/// BFS over single states with symbol-labeled edges (lambda moves folded
+/// in via FiniteAutomaton::step).  Returns parent links for path
+/// reconstruction: state -> (previous state, consumed symbol).
+std::map<State, std::pair<State, Symbol>> reach(
+    const FiniteAutomaton& fa, const std::set<State>& starts,
+    const std::vector<Symbol>& alphabet) {
+  std::map<State, std::pair<State, Symbol>> parent;
+  std::deque<State> queue;
+  std::set<State> seen = starts;
+  for (State s : starts) queue.push_back(s);
+  while (!queue.empty()) {
+    const State s = queue.front();
+    queue.pop_front();
+    for (const Symbol& sym : alphabet) {
+      for (State t : fa.step({s}, sym)) {
+        if (!seen.insert(t).second) continue;
+        parent.emplace(t, std::make_pair(s, sym));
+        queue.push_back(t);
+      }
+    }
+  }
+  return parent;
+}
+
+std::vector<Symbol> transition_alphabet(const FiniteAutomaton& fa) {
+  std::set<Symbol> symbols;
+  for (const auto& t : fa.transitions()) symbols.insert(t.symbol);
+  return {symbols.begin(), symbols.end()};
+}
+
+}  // namespace
+
+BuchiAutomaton buchi_union(const BuchiAutomaton& a, const BuchiAutomaton& b) {
+  const FiniteAutomaton& fa = a.base();
+  const FiniteAutomaton& fb = b.base();
+  // States: [0, |A|) = A's, [|A|, |A|+|B|) = B's, last = fresh initial.
+  const State offset = fa.states();
+  const State fresh = fa.states() + fb.states();
+  FiniteAutomaton sum(fresh + 1, fresh);
+  for (const auto& t : fa.transitions())
+    sum.add_transition(t.from, t.to, t.symbol);
+  for (const auto& t : fb.transitions())
+    sum.add_transition(offset + t.from, offset + t.to, t.symbol);
+  sum.add_lambda(fresh, fa.initial());
+  sum.add_lambda(fresh, offset + fb.initial());
+  for (State s : fa.finals()) sum.add_final(s);
+  for (State s : fb.finals()) sum.add_final(offset + s);
+  return BuchiAutomaton(std::move(sum));
+}
+
+BuchiAutomaton buchi_intersection(const BuchiAutomaton& a,
+                                  const BuchiAutomaton& b) {
+  const FiniteAutomaton& fa = a.base();
+  const FiniteAutomaton& fb = b.base();
+  const State na = fa.states();
+  const State nb = fb.states();
+  // Product state (sa, sb, phase): phase 0 waits for an A-final, phase 1
+  // waits for a B-final; the flip 1 -> 0 marks one full round and is the
+  // product's acceptance.
+  auto encode = [na, nb](State sa, State sb, State phase) {
+    return (phase * nb + sb) * na + sa;
+  };
+  FiniteAutomaton product(na * nb * 2,
+                          encode(fa.initial(), fb.initial(), 0));
+  for (const auto& ta : fa.transitions()) {
+    for (const auto& tb : fb.transitions()) {
+      if (!(ta.symbol == tb.symbol)) continue;
+      for (State phase = 0; phase < 2; ++phase) {
+        // Phase advances when the awaited factor's *source* state is
+        // final (the standard construction's bookkeeping).
+        State next_phase = phase;
+        if (phase == 0 && fa.is_final(ta.from)) next_phase = 1;
+        else if (phase == 1 && fb.is_final(tb.from)) next_phase = 0;
+        product.add_transition(encode(ta.from, tb.from, phase),
+                               encode(ta.to, tb.to, next_phase),
+                               ta.symbol);
+      }
+    }
+  }
+  // Accepting: any product state in phase 1 whose B-component is final --
+  // entered each time a full A-then-B round completes.
+  for (State sb : fb.finals())
+    for (State sa = 0; sa < na; ++sa)
+      product.add_final(encode(sa, sb, 1));
+  return BuchiAutomaton(std::move(product));
+}
+
+std::optional<OmegaWord> buchi_witness(const BuchiAutomaton& a) {
+  const FiniteAutomaton& fa = a.base();
+  const auto alphabet = transition_alphabet(fa);
+  const std::set<State> starts = fa.closure({fa.initial()});
+  const auto forward = reach(fa, starts, alphabet);
+
+  auto path_from = [&](const std::map<State, std::pair<State, Symbol>>& tree,
+                       const std::set<State>& roots, State target) {
+    std::vector<Symbol> symbols;
+    State cursor = target;
+    while (!roots.count(cursor)) {
+      const auto& [prev, sym] = tree.at(cursor);
+      symbols.push_back(sym);
+      cursor = prev;
+    }
+    std::reverse(symbols.begin(), symbols.end());
+    return symbols;
+  };
+
+  for (State f = 0; f < fa.states(); ++f) {
+    if (!fa.is_final(f)) continue;
+    const bool reachable = starts.count(f) || forward.count(f);
+    if (!reachable) continue;
+    // A nonempty cycle f -> f: search from f's one-step successors so the
+    // cycle consumes at least one symbol.
+    for (const Symbol& first : alphabet) {
+      const auto after = fa.step({f}, first);
+      if (after.empty()) continue;
+      const auto back = reach(fa, after, alphabet);
+      std::optional<State> hit;
+      if (after.count(f))
+        hit = f;  // self-loop on `first`
+      else if (back.count(f))
+        hit = f;
+      if (!hit) continue;
+      OmegaWord word;
+      word.prefix = path_from(forward, starts, f);
+      word.cycle.push_back(first);
+      if (!after.count(f)) {
+        // `first` landed in `after`; the back-search path returns to f.
+        const auto rest = path_from(back, after, f);
+        word.cycle.insert(word.cycle.end(), rest.begin(), rest.end());
+      }
+      return word;
+    }
+  }
+  return std::nullopt;
+}
+
+bool buchi_empty(const BuchiAutomaton& a) {
+  return !buchi_witness(a).has_value();
+}
+
+MullerAutomaton buchi_to_muller(const BuchiAutomaton& a) {
+  const FiniteAutomaton& fa = a.base();
+  // Enumerate all subsets intersecting F.  Exponential in |S| by nature of
+  // Muller families; intended for the small automata of this library.
+  if (fa.states() > 16)
+    throw rtw::core::ModelError("buchi_to_muller: too many states");
+  std::vector<std::set<State>> family;
+  const std::uint32_t subsets = 1u << fa.states();
+  for (std::uint32_t mask = 1; mask < subsets; ++mask) {
+    std::set<State> subset;
+    bool hits_final = false;
+    for (State s = 0; s < fa.states(); ++s) {
+      if (!(mask & (1u << s))) continue;
+      subset.insert(s);
+      hits_final = hits_final || fa.is_final(s);
+    }
+    if (hits_final) family.push_back(std::move(subset));
+  }
+  FiniteAutomaton copy(fa.states(), fa.initial());
+  for (const auto& t : fa.transitions())
+    copy.add_transition(t.from, t.to, t.symbol);
+  // MullerAutomaton's constructor enforces determinism.
+  return MullerAutomaton(std::move(copy), std::move(family));
+}
+
+rtw::core::TimedLanguage tba_language(TimedBuchiAutomaton tba,
+                                      std::string name) {
+  auto shared = std::make_shared<TimedBuchiAutomaton>(std::move(tba));
+  auto member = [shared](const rtw::core::TimedWord& w) {
+    if (!w.is_lasso_rep()) return false;
+    return shared->accepts_lasso(w);
+  };
+  auto sampler = [shared](std::uint64_t) {
+    const auto witness = shared->witness_wellbehaved();
+    if (!witness)
+      throw rtw::core::ModelError("tba_language: sampling an empty language");
+    return *witness;
+  };
+  return rtw::core::TimedLanguage(std::move(name), std::move(member),
+                                  std::move(sampler));
+}
+
+}  // namespace rtw::automata

@@ -1,0 +1,317 @@
+#include "rtw/automata/timed_buchi.hpp"
+
+#include <deque>
+#include <map>
+
+#include "rtw/core/error.hpp"
+
+namespace rtw::automata {
+
+using rtw::core::ModelError;
+using rtw::core::Symbol;
+using rtw::core::Tick;
+using rtw::core::TimedSymbol;
+using rtw::core::TimedWord;
+
+namespace {
+
+/// Product-graph node for the lasso acceptance search: a TBA configuration
+/// paired with its position in the cycle.
+struct PNode {
+  TbaConfig config;
+  std::size_t pos;
+  friend auto operator<=>(const PNode& a, const PNode& b) {
+    if (auto c = a.pos <=> b.pos; c != 0) return c;
+    return a.config <=> b.config;
+  }
+  friend bool operator==(const PNode&, const PNode&) = default;
+};
+
+}  // namespace
+
+TimedBuchiAutomaton::TimedBuchiAutomaton(State states, State initial,
+                                         ClockId clocks)
+    : states_(states), initial_(initial), clocks_(clocks) {
+  if (initial >= states)
+    throw ModelError("TimedBuchiAutomaton: initial state out of range");
+}
+
+void TimedBuchiAutomaton::add_transition(TimedTransition t) {
+  if (t.from >= states_ || t.to >= states_)
+    throw ModelError("TimedBuchiAutomaton: transition state out of range");
+  for (ClockId c : t.resets)
+    if (c >= clocks_)
+      throw ModelError("TimedBuchiAutomaton: reset clock out of range");
+  if (t.guard.clocks_used() > clocks_)
+    throw ModelError("TimedBuchiAutomaton: guard clock out of range");
+  transitions_.push_back(std::move(t));
+}
+
+void TimedBuchiAutomaton::add_final(State s) {
+  if (s >= states_)
+    throw ModelError("TimedBuchiAutomaton: final state out of range");
+  finals_.insert(s);
+}
+
+ClockValue TimedBuchiAutomaton::max_constant() const {
+  ClockValue cmax = 0;
+  for (const auto& t : transitions_)
+    cmax = std::max(cmax, t.guard.max_constant());
+  return cmax;
+}
+
+std::vector<TbaConfig> TimedBuchiAutomaton::step(const TbaConfig& config,
+                                                 Symbol symbol,
+                                                 ClockValue elapsed,
+                                                 ClockValue cap) const {
+  std::vector<TbaConfig> out;
+  const ClockValuation advanced = advance(config.valuation, elapsed, cap);
+  for (const auto& t : transitions_) {
+    if (t.from != config.state || !(t.symbol == symbol)) continue;
+    // Equation (1): the guard is evaluated on (nu_{i-1} + elapsed); clocks
+    // in l_i are then reset.
+    if (!t.guard.satisfied(advanced)) continue;
+    out.push_back({t.to, reset(advanced, t.resets)});
+  }
+  return out;
+}
+
+std::set<TbaConfig> TimedBuchiAutomaton::run_prefix(const TimedWord& word,
+                                                    std::uint64_t n) const {
+  const ClockValue cap = max_constant() + 1;
+  std::set<TbaConfig> current{TbaConfig{initial_, ClockValuation(clocks_, 0)}};
+  Tick prev = 0;
+  const auto len = word.length();
+  const std::uint64_t end = len ? std::min<std::uint64_t>(*len, n) : n;
+  for (std::uint64_t i = 0; i < end; ++i) {
+    const TimedSymbol ts = word.at(i);
+    const ClockValue elapsed = ts.time - prev;
+    prev = ts.time;
+    std::set<TbaConfig> next;
+    for (const auto& cfg : current)
+      for (auto& succ : step(cfg, ts.sym, elapsed, cap))
+        next.insert(std::move(succ));
+    current = std::move(next);
+    if (current.empty()) break;
+  }
+  return current;
+}
+
+bool TimedBuchiAutomaton::accepts_lasso(const TimedWord& word) const {
+  if (!word.is_lasso_rep())
+    throw ModelError(
+        "TimedBuchiAutomaton::accepts_lasso: word must use the lasso "
+        "representation");
+  const auto& prefix = word.lasso_prefix();
+  const auto& cycle = word.lasso_cycle();
+  const Tick period = word.lasso_period();
+  const ClockValue cap = max_constant() + 1;
+
+  // Per-position elapsed times inside a (non-first) lap; constant across
+  // laps because the lasso shifts all cycle times by `period` per lap.
+  const std::size_t clen = cycle.size();
+  std::vector<ClockValue> delta(clen);
+  for (std::size_t p = 1; p < clen; ++p)
+    delta[p] = cycle[p].time - cycle[p - 1].time;
+  delta[0] = cycle[0].time + period - cycle[clen - 1].time;
+
+  // Transient phase: consume the prefix, then cycle[0] with the junction
+  // elapsed time.  The resulting configurations sit at cycle position 1
+  // (they have just consumed position 0).
+  std::set<TbaConfig> current = run_prefix(word, prefix.size() + 1);
+  if (current.empty()) return false;
+
+  // Product graph over (config, position): consuming cycle[p] uses
+  // delta[p] for p >= 1 and the wrap delta[0] when moving to a new lap.
+  auto successors = [&](const PNode& v) {
+    std::vector<PNode> out;
+    for (auto& succ : step(v.config, cycle[v.pos].sym, delta[v.pos], cap))
+      out.push_back(PNode{std::move(succ), (v.pos + 1) % clen});
+    return out;
+  };
+
+  // Reachability from the start nodes.
+  std::map<PNode, bool> reachable;
+  std::deque<PNode> queue;
+  for (const auto& cfg : current) {
+    PNode v{cfg, 1 % clen};
+    if (reachable.emplace(v, true).second) queue.push_back(v);
+  }
+  std::vector<PNode> all;
+  while (!queue.empty()) {
+    PNode v = queue.front();
+    queue.pop_front();
+    all.push_back(v);
+    for (auto& w : successors(v))
+      if (reachable.emplace(w, true).second) queue.push_back(w);
+  }
+
+  // Buchi condition: a reachable final-state node lying on a product-graph
+  // cycle witnesses inf(r) ∩ F ≠ ∅.
+  for (const auto& v : all) {
+    if (!is_final(v.config.state)) continue;
+    std::map<PNode, bool> seen;
+    std::deque<PNode> q{v};
+    while (!q.empty()) {
+      PNode u = q.front();
+      q.pop_front();
+      for (auto& w : successors(u)) {
+        if (w == v) return true;
+        if (seen.emplace(w, true).second) q.push_back(w);
+      }
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// One step of the emptiness search: a consumed symbol with its delay.
+struct WitnessStep {
+  Symbol symbol;
+  ClockValue delay = 0;
+};
+
+/// Search node of the positive-delay cycle hunt: a configuration plus the
+/// "positive delay seen on this path" flag.
+struct FNode {
+  TbaConfig config;
+  bool positive;
+  friend auto operator<=>(const FNode& a, const FNode& b) {
+    if (auto c = a.positive <=> b.positive; c != 0) return c;
+    return a.config <=> b.config;
+  }
+  friend bool operator==(const FNode&, const FNode&) = default;
+};
+
+}  // namespace
+
+std::optional<TimedWord> TimedBuchiAutomaton::witness_wellbehaved() const {
+  const ClockValue cap = max_constant() + 1;
+
+  // Edge enumeration on the capped configuration graph: every delay in
+  // [0, cap] is a distinct choice (delays beyond cap are indistinguishable
+  // to every guard).
+  auto successors = [&](const TbaConfig& cfg) {
+    std::vector<std::pair<TbaConfig, WitnessStep>> out;
+    for (ClockValue d = 0; d <= cap; ++d) {
+      const ClockValuation advanced = advance(cfg.valuation, d, cap);
+      for (const auto& t : transitions_) {
+        if (t.from != cfg.state) continue;
+        if (!t.guard.satisfied(advanced)) continue;
+        out.push_back({TbaConfig{t.to, reset(advanced, t.resets)},
+                       WitnessStep{t.symbol, d}});
+      }
+    }
+    return out;
+  };
+
+  // BFS with parent links from a start set; returns parents for path
+  // reconstruction.
+  using Parent = std::pair<TbaConfig, WitnessStep>;
+  auto bfs = [&](const std::vector<TbaConfig>& starts) {
+    std::map<TbaConfig, Parent> parent;
+    std::set<TbaConfig> seen(starts.begin(), starts.end());
+    std::deque<TbaConfig> queue(starts.begin(), starts.end());
+    while (!queue.empty()) {
+      const TbaConfig u = queue.front();
+      queue.pop_front();
+      for (const auto& [v, step] : successors(u)) {
+        if (!seen.insert(v).second) continue;
+        parent.emplace(v, Parent{u, step});
+        queue.push_back(v);
+      }
+    }
+    return std::pair(seen, parent);
+  };
+
+  auto path_to = [&](const std::map<TbaConfig, Parent>& parent,
+                     TbaConfig target) {
+    // Walks parent links back to the (parentless) BFS root.
+    std::vector<WitnessStep> steps;
+    TbaConfig cursor = target;
+    for (auto it = parent.find(cursor); it != parent.end();
+         it = parent.find(cursor)) {
+      steps.push_back(it->second.second);
+      cursor = it->second.first;
+    }
+    std::reverse(steps.begin(), steps.end());
+    return steps;
+  };
+
+  const TbaConfig init{initial_, ClockValuation(clocks_, 0)};
+  const auto [reachable, fwd_parent] = bfs({init});
+
+  for (const TbaConfig& f : reachable) {
+    if (!is_final(f.state)) continue;
+    // A cycle f -> f with positive total delay: a second BFS over
+    // (config, positive-delay-seen) nodes.
+    // Re-visiting f without a positive delay is a pointless lap (any
+    // positive-delay cycle through it contains a shorter one that avoids
+    // it), so {f, false} is never enqueued and stays parentless -- the
+    // unambiguous reconstruction root.
+    const FNode root{f, false};
+    std::map<FNode, std::pair<FNode, WitnessStep>> parent;
+    std::deque<FNode> queue;
+    std::set<FNode> seen;
+    auto visit = [&](const FNode& from, const TbaConfig& v,
+                     const WitnessStep& step) {
+      FNode n{v, from.positive || step.delay > 0};
+      if (n == root) return false;
+      if (!seen.insert(n).second) return false;
+      parent.emplace(n, std::pair(from, step));
+      queue.push_back(n);
+      return n == FNode{f, true};
+    };
+    std::optional<FNode> goal;
+    for (const auto& [v, step] : successors(f))
+      if (visit(root, v, step)) goal = FNode{f, true};
+    while (!queue.empty() && !goal) {
+      const FNode u = queue.front();
+      queue.pop_front();
+      for (const auto& [v, step] : successors(u.config)) {
+        if (visit(u, v, step)) {
+          goal = FNode{f, true};
+          break;
+        }
+      }
+    }
+    if (!goal) continue;
+
+    // Reconstruct: cycle steps (from f around back to f)...
+    std::vector<WitnessStep> cycle_steps;
+    FNode cursor = *goal;
+    for (;;) {
+      const auto it = parent.find(cursor);
+      cycle_steps.push_back(it->second.second);
+      if (it->second.first == root) break;
+      cursor = it->second.first;
+    }
+    std::reverse(cycle_steps.begin(), cycle_steps.end());
+    // ...and prefix steps (initial to f).
+    const auto prefix_steps = path_to(fwd_parent, f);
+
+    // Assemble the lasso timed word.
+    std::vector<rtw::core::TimedSymbol> prefix, cycle;
+    Tick now = 0;
+    for (const auto& step : prefix_steps) {
+      now += step.delay;
+      prefix.push_back({step.symbol, now});
+    }
+    Tick period = 0;
+    for (const auto& step : cycle_steps) period += step.delay;
+    Tick cursor_time = now;
+    for (const auto& step : cycle_steps) {
+      cursor_time += step.delay;
+      cycle.push_back({step.symbol, cursor_time});
+    }
+    return TimedWord::lasso(std::move(prefix), std::move(cycle), period);
+  }
+  return std::nullopt;
+}
+
+bool TimedBuchiAutomaton::empty_wellbehaved() const {
+  return !witness_wellbehaved().has_value();
+}
+
+}  // namespace rtw::automata

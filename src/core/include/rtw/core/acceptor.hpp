@@ -1,0 +1,104 @@
+#pragma once
+/// \file acceptor.hpp
+/// Real-time algorithms (Definition 3.3) and acceptance (Definition 3.4).
+///
+/// A real-time algorithm is a finite control driven tick by tick: at each
+/// virtual time unit it receives the input symbols that became available at
+/// that tick and may write at most one output symbol.  It accepts a timed
+/// omega-language L when, on input w, the designated symbol f appears
+/// infinitely often on the output tape iff w ∈ L.
+///
+/// "Infinitely often" is decided via the *lock* protocol: every acceptor
+/// construction in the paper eventually enters a designated state s_f (keep
+/// writing f forever) or s_r (never write f again) and "keeps cycling in the
+/// same state".  An algorithm reports that commitment through locked(); the
+/// executor then returns an exact verdict.  Algorithms that never lock are
+/// judged heuristically at the horizon (f written in the trailing window)
+/// and the verdict is flagged as uncertain.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rtw/core/tape.hpp"
+#include "rtw/core/timed_word.hpp"
+
+namespace rtw::core {
+
+/// Per-tick view handed to the algorithm.
+struct StepContext {
+  Tick now;                              ///< current virtual time
+  std::span<const TimedSymbol> arrivals; ///< symbols that became available
+  OutputTape& out;                       ///< write-only output stream
+};
+
+/// Base class for real-time algorithms.  Implementations hold the "finite
+/// control" plus whatever working storage they need ("A may have access to
+/// an infinite amount of working storage space ... but only a finite amount
+/// ... for any computation").
+class RealTimeAlgorithm {
+public:
+  virtual ~RealTimeAlgorithm() = default;
+
+  /// One virtual time unit of computation.
+  virtual void on_tick(const StepContext& ctx) = 0;
+
+  /// The lock protocol: nullopt while still undecided; true once the
+  /// algorithm has committed to s_f (f forever), false once committed to
+  /// s_r (no further f).  Default: never locks.
+  virtual std::optional<bool> locked() const { return std::nullopt; }
+
+  /// Restores the initial state so the same object can accept another word.
+  virtual void reset() {}
+
+  /// Diagnostic name.
+  virtual std::string name() const { return "real-time-algorithm"; }
+};
+
+/// Result of executing an acceptor on a word.
+struct RunResult {
+  bool accepted = false;   ///< verdict on Definition 3.4
+  bool exact = false;      ///< true when the verdict came from a lock
+  Tick ticks = 0;          ///< virtual ticks executed
+  std::uint64_t f_count = 0;          ///< |o(A,w)|_f observed
+  std::optional<Tick> first_f;        ///< time of first f, if any
+  std::uint64_t symbols_consumed = 0; ///< input symbols delivered
+};
+
+/// Executor options.
+struct RunOptions {
+  Tick horizon = 100000;    ///< virtual-time budget
+  bool fast_forward = true; ///< jump idle gaps to the next arrival while
+                            ///< the algorithm is unlocked and idle-stable
+  Tick settle_ticks = 64;   ///< extra ticks granted after a lock to let the
+                            ///< output window fill (diagnostics only)
+  Symbol accept_symbol = marks::accept();
+};
+
+/// Runs `algorithm` on `word` under Definition 3.3 semantics and evaluates
+/// Definition 3.4.  Resets the algorithm first.
+RunResult run_acceptor(RealTimeAlgorithm& algorithm, const TimedWord& word,
+                       const RunOptions& options = {});
+
+/// A trivial always-accepting algorithm (writes f every tick).  Useful as a
+/// baseline and in tests.
+class AcceptAll final : public RealTimeAlgorithm {
+public:
+  void on_tick(const StepContext& ctx) override {
+    ctx.out.write(ctx.now, ctx.out.accept_symbol());
+  }
+  std::optional<bool> locked() const override { return true; }
+  std::string name() const override { return "accept-all"; }
+};
+
+/// A trivial never-accepting algorithm.
+class RejectAll final : public RealTimeAlgorithm {
+public:
+  void on_tick(const StepContext&) override {}
+  std::optional<bool> locked() const override { return false; }
+  std::string name() const override { return "reject-all"; }
+};
+
+}  // namespace rtw::core

@@ -1,0 +1,57 @@
+#pragma once
+/// \file concat.hpp
+/// Concatenation of timed omega-words (Definition 3.5) and the Kleene
+/// closure it induces (Definition 3.6).
+///
+/// The paper observes that naive sequence concatenation does not produce a
+/// timed word (the time sequence would break), and instead defines
+/// concatenation as the *time-ordered merge* of the two words, with two
+/// tie-breaking constraints:
+///
+///   item 1: the result's time sequence is monotone and both operands are
+///           subsequences of the result, which contains nothing else;
+///   item 2: a maximal block of equal-time symbols coming from ONE operand
+///           stays contiguous in the result;
+///   item 3: when a symbol of the first operand and a symbol of the second
+///           operand carry the same timestamp, the first operand's symbol
+///           precedes.
+///
+/// A stable two-pointer merge that prefers the first operand on time ties
+/// satisfies all three items simultaneously, and is what `concat`
+/// implements.  For two finite operands the result is finite; whenever an
+/// operand is infinite the result is a lazy generator word whose
+/// monotonicity is proven by construction, and whose progress is proven iff
+/// it is proven for the infinite operand(s) -- this matters for the paper's
+/// db_B = db_0 db_1 ... db_r construction (section 5.1.3) and for the
+/// periodic-query word of Lemma 5.1.
+
+#include <cstdint>
+#include <vector>
+
+#include "rtw/core/timed_word.hpp"
+
+namespace rtw::core {
+
+/// (sigma, tau) = (sigma', tau')(sigma'', tau'') per Definition 3.5.
+TimedWord concat(const TimedWord& first, const TimedWord& second);
+
+/// Left fold of `concat` over a word list.  An empty list yields the empty
+/// word.  Merging is associative for the stable first-wins merge when the
+/// fold is left-to-right, matching the paper's db_0 db_1 ... db_r notation.
+TimedWord concat_all(const std::vector<TimedWord>& words);
+
+/// Validates that `merged` is the Definition 3.5 concatenation of `first`
+/// and `second`, by checking items 1-3 over the first `horizon` elements.
+/// Exact for finite operands with a covering horizon.  Used by the property
+/// test-suite; returns a certificate rather than a bool so generator-backed
+/// operands report HoldsToHorizon.
+Certificate is_concatenation(const TimedWord& merged, const TimedWord& first,
+                             const TimedWord& second, std::uint64_t horizon);
+
+/// L^k of Definition 3.6 realized as a *word combinator*: the k-fold
+/// concatenation of the given member words (one drawn from L per factor).
+/// Definition 3.6's L^0 is the empty language, so k == 0 is a contract
+/// violation here.
+TimedWord power_word(const TimedWord& member, std::uint64_t k);
+
+}  // namespace rtw::core

@@ -1,0 +1,19 @@
+#pragma once
+/// \file error.hpp
+/// Library-wide exception type for contract violations.  Data-path misses
+/// (a rejected word, a lost message, an empty query result) are reported by
+/// value; ModelError is reserved for programming errors against the formal
+/// model, e.g. a non-monotone time sequence or a second output-tape write
+/// within one tick.
+
+#include <stdexcept>
+#include <string>
+
+namespace rtw::core {
+
+class ModelError : public std::logic_error {
+public:
+  explicit ModelError(const std::string& what) : std::logic_error(what) {}
+};
+
+}  // namespace rtw::core

@@ -1,0 +1,76 @@
+#pragma once
+/// \file language.hpp
+/// Timed omega-languages and the operations of Theorem 3.3.
+///
+/// A timed omega-language is a *set* of timed omega-words (Definition 3.2).
+/// Sets of infinite objects are represented intensionally: a language is a
+/// named membership predicate, optionally paired with a *sampler* that can
+/// produce member words (used by the property-based tests and by the
+/// Kleene-closure generator).  Union, intersection and complement are the
+/// pointwise boolean combinations; concatenation and Kleene closure are
+/// realized on the sampler side via Definition 3.5 merging (deciding
+/// membership of a merge decomposition is NP-hard in general and is not
+/// required by any construction in the paper).
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rtw/core/concat.hpp"
+#include "rtw/core/timed_word.hpp"
+
+namespace rtw::core {
+
+/// An intensional timed omega-language.
+class TimedLanguage {
+public:
+  using Membership = std::function<bool(const TimedWord&)>;
+  /// Produces the i-th sample member (deterministic in i).
+  using Sampler = std::function<TimedWord(std::uint64_t)>;
+
+  TimedLanguage(std::string name, Membership member);
+  TimedLanguage(std::string name, Membership member, Sampler sampler);
+
+  const std::string& name() const noexcept { return name_; }
+  bool contains(const TimedWord& w) const { return member_(w); }
+  bool has_sampler() const noexcept { return static_cast<bool>(sampler_); }
+  /// i-th sample member; contract: has_sampler().
+  TimedWord sample(std::uint64_t i) const;
+
+  /// Theorem 3.3 operations.  Union/intersection require both operands'
+  /// predicates; complement flips the predicate.  Samplers are combined
+  /// where possible (union alternates samples; the others drop the sampler).
+  friend TimedLanguage operator|(const TimedLanguage& a,
+                                 const TimedLanguage& b);
+  friend TimedLanguage operator&(const TimedLanguage& a,
+                                 const TimedLanguage& b);
+  friend TimedLanguage operator~(const TimedLanguage& a);
+
+  /// Concatenation L1 L2 on the sampler side: sample(i) is the Definition
+  /// 3.5 merge of the operands' samples (pairing index i diagonally).
+  /// Contract: both operands have samplers.
+  friend TimedLanguage concat(const TimedLanguage& a, const TimedLanguage& b);
+
+  /// Kleene closure sampler (Definition 3.6): sample(i) draws k in
+  /// [1, max_power] and merges k member samples.  Membership is not
+  /// decidable intensionally, so the resulting language's predicate accepts
+  /// only words produced by its own sampler up to `max_power`; use for
+  /// generation, not recognition.
+  TimedLanguage kleene(std::uint64_t max_power = 4) const;
+
+private:
+  std::string name_;
+  Membership member_;
+  Sampler sampler_;
+};
+
+/// True iff every one of the first `count` samples of `language` is a
+/// member of `language` and is well-behaved up to `horizon`.  Convenience
+/// used by closure property tests (Theorem 3.3) and the experiment
+/// harnesses' self-checks.
+bool samples_self_consistent(const TimedLanguage& language,
+                             std::uint64_t count, std::uint64_t horizon);
+
+}  // namespace rtw::core

@@ -1,0 +1,88 @@
+#pragma once
+/// \file tape.hpp
+/// The input and output tapes of a real-time algorithm (Definition 3.3).
+///
+/// * InputTape — wraps a timed omega-word and enforces the availability
+///   semantics: "a symbol sigma_i with the associated time value tau_i is
+///   not available to the algorithm at any time t < tau_i".  The tape hands
+///   out exactly the symbols whose timestamps have been reached, in word
+///   order, each at most once.
+///
+/// * OutputTape — write-only ("A cannot read any symbol previously written")
+///   and rate-limited ("during any time unit, A may add at most one symbol
+///   to the output tape").  It records the positions of the designated
+///   acceptance symbol f so the executor can evaluate Definition 3.4.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "rtw/core/timed_word.hpp"
+
+namespace rtw::core {
+
+/// Read head over a timed omega-word, gated by virtual time.
+class InputTape {
+public:
+  explicit InputTape(TimedWord word);
+
+  /// All not-yet-consumed symbols with timestamp <= now, in word order.
+  /// Consumes them.
+  std::vector<TimedSymbol> take_available(Tick now);
+
+  /// Timestamp of the next unconsumed symbol, or nullopt once a finite word
+  /// is exhausted.  Lets executors fast-forward through idle time.
+  std::optional<Tick> next_arrival() const;
+
+  /// Number of symbols consumed so far.
+  std::uint64_t consumed() const noexcept { return next_; }
+
+  /// True once a finite word has been fully consumed (always false for
+  /// infinite words).
+  bool exhausted() const;
+
+  const TimedWord& word() const noexcept { return word_; }
+
+private:
+  TimedWord word_;
+  std::uint64_t next_ = 0;
+};
+
+/// Write-only output stream with the <=1 symbol/tick discipline.
+class OutputTape {
+public:
+  /// `accept_symbol` is the designated f of Definition 3.4.
+  explicit OutputTape(Symbol accept_symbol = marks::accept());
+
+  /// Appends one symbol at virtual time `now`.  Throws ModelError on a
+  /// second write within the same tick or on a write into the past.
+  void write(Tick now, Symbol s);
+
+  /// True when a write at `now` would be admissible.
+  bool can_write(Tick now) const noexcept;
+
+  std::uint64_t size() const noexcept { return content_.size(); }
+  /// |o(A,w)|_f so far.
+  std::uint64_t accept_count() const noexcept { return accept_count_; }
+  /// Tick of the first f written, if any.
+  std::optional<Tick> first_accept() const noexcept { return first_accept_; }
+  /// Tick of the most recent f written, if any.
+  std::optional<Tick> last_accept() const noexcept { return last_accept_; }
+
+  /// The written content (symbol + the tick it was written at).  Exposed
+  /// for inspection by the executor and tests only -- the *algorithm* side
+  /// of the API never sees this (write-only semantics).
+  const std::vector<TimedSymbol>& content() const noexcept { return content_; }
+
+  Symbol accept_symbol() const noexcept { return accept_; }
+
+private:
+  Symbol accept_;
+  std::vector<TimedSymbol> content_;
+  std::optional<Tick> last_write_;
+  std::uint64_t accept_count_ = 0;
+  std::optional<Tick> first_accept_;
+  std::optional<Tick> last_accept_;
+};
+
+}  // namespace rtw::core

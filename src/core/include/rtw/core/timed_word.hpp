@@ -1,0 +1,179 @@
+#pragma once
+/// \file timed_word.hpp
+/// Time sequences and timed omega-words (Definitions 3.1 and 3.2).
+///
+/// Definition 3.1 (paper): a *time sequence* tau in N^omega is a sequence of
+/// positive values satisfying *monotonicity* (tau_i <= tau_{i+1}); finite
+/// subsequences are also time sequences.  A *well-behaved* time sequence
+/// additionally satisfies *progress* (for every t in N there is a finite i
+/// with tau_i > t) and is therefore always infinite.
+///
+/// Definition 3.2: a timed omega-word over Sigma is a pair (sigma, tau) of
+/// equal length k in N ∪ {omega}; tau_i is the time at which sigma_i becomes
+/// available as input.
+///
+/// Infinite mathematical objects need a finite machine representation.  A
+/// TimedWord is one of
+///   * Finite      -- an explicit vector of (symbol, time) pairs;
+///   * Lasso       -- prefix + cycle + per-iteration time advance `period`:
+///                    an ultimately periodic word.  Every construction in
+///                    the paper (deadline words, periodic queries, the
+///                    acceptor output with its trailing f^omega, ...) is
+///                    ultimately periodic, so lassos make acceptance
+///                    *decidable* rather than merely testable;
+///   * Generator   -- an arbitrary index -> (symbol, time) function for
+///                    words produced by simulation (arrival laws, mobile
+///                    node trajectories).  Properties of generator words are
+///                    checked up to a caller-chosen horizon.
+///
+/// Property checks return a three-valued Certificate: for Finite and Lasso
+/// words monotonicity and progress are decided exactly; for Generator words
+/// the check is a bounded refutation search (Refuted is exact, otherwise
+/// HoldsToHorizon), unless the generator was constructed with proof flags
+/// asserted by the producing combinator (e.g. Definition 3.5 concatenation
+/// of two proven-well-behaved words is well-behaved).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rtw/core/symbol.hpp"
+
+namespace rtw::core {
+
+/// Discrete virtual time.  The paper argues for N-valued time ("the time
+/// perceived by a computer is discrete as well").
+using Tick = std::uint64_t;
+
+/// One element of a timed omega-word: sigma_i with its timestamp tau_i.
+struct TimedSymbol {
+  Symbol sym;
+  Tick time = 0;
+
+  friend bool operator==(const TimedSymbol&, const TimedSymbol&) = default;
+};
+
+/// Outcome of a property check on a possibly-infinite object.
+enum class Certificate {
+  Proven,          ///< holds for the entire (infinite) word
+  HoldsToHorizon,  ///< no violation found up to the inspection horizon
+  Refuted,         ///< a concrete violation was found
+};
+
+/// True when the certificate is not a refutation.
+constexpr bool holds(Certificate c) noexcept {
+  return c != Certificate::Refuted;
+}
+
+std::string to_string(Certificate c);
+
+/// Proof flags a combinator may assert when constructing a Generator word.
+struct GeneratorTraits {
+  bool monotone_proven = false;  ///< times are nondecreasing, by construction
+  bool progress_proven = false;  ///< times diverge, by construction
+};
+
+/// A timed omega-word (Definition 3.2).  Cheap to copy (shared immutable
+/// representation).
+class TimedWord {
+public:
+  using Generator = std::function<TimedSymbol(std::uint64_t)>;
+
+  /// The empty finite word.
+  TimedWord();
+
+  /// A finite timed word.  Throws ModelError if times are not nondecreasing.
+  static TimedWord finite(std::vector<TimedSymbol> symbols);
+
+  /// Convenience: finite word from parallel symbol/time vectors.
+  static TimedWord finite(const std::vector<Symbol>& sigma,
+                          const std::vector<Tick>& tau);
+
+  /// Convenience: all symbols of `text` at time `at`.
+  static TimedWord text_at(std::string_view text, Tick at);
+
+  /// An ultimately periodic infinite word: `prefix` followed by `cycle`
+  /// repeated forever, each full repetition shifting times by `period`.
+  /// Element prefix.size() + j*cycle.size() + r has symbol cycle[r].sym and
+  /// time cycle[r].time + j*period.
+  ///
+  /// Monotonicity requires: prefix nondecreasing; junction
+  /// (prefix.back <= cycle.front); cycle nondecreasing; wraparound
+  /// (cycle.front.time + period >= cycle.back.time).  Throws ModelError
+  /// otherwise.  Progress holds iff period > 0 (decided exactly).
+  static TimedWord lasso(std::vector<TimedSymbol> prefix,
+                         std::vector<TimedSymbol> cycle, Tick period);
+
+  /// A generator-backed infinite word.  The function must be pure
+  /// (index-deterministic).  `traits` lets trusted combinators assert
+  /// proofs; the default asserts nothing.
+  static TimedWord generator(Generator fn, GeneratorTraits traits = {},
+                             std::string label = "generator");
+
+  /// Number of symbols, or nullopt for infinite words.
+  std::optional<std::uint64_t> length() const noexcept;
+  bool infinite() const noexcept { return !length().has_value(); }
+  bool empty() const noexcept { return length() == std::uint64_t{0}; }
+
+  /// i-th element (0-based).  Throws ModelError past the end of a finite
+  /// word.  O(1) for Finite/Lasso; generator cost for Generator words
+  /// (results of expensive generators are memoized internally).
+  TimedSymbol at(std::uint64_t i) const;
+
+  /// First index whose timestamp is strictly greater than `t`, searching up
+  /// to `horizon` indices; nullopt if none found in range.  This is the
+  /// paper's progress quantifier made executable.
+  std::optional<std::uint64_t> first_after(Tick t, std::uint64_t horizon) const;
+
+  /// Monotonicity check (Definition 3.1).  Exact for Finite/Lasso.
+  Certificate monotone(std::uint64_t horizon = kDefaultHorizon) const;
+
+  /// Well-behavedness check = monotone && progress && infinite
+  /// (Definition 3.1/3.2).  Finite words are never well-behaved.
+  Certificate well_behaved(std::uint64_t horizon = kDefaultHorizon) const;
+
+  /// Materializes the first `n` elements (or all of a shorter finite word).
+  std::vector<TimedSymbol> prefix(std::uint64_t n) const;
+
+  /// Projection: the symbol sequence of prefix(n).
+  std::vector<Symbol> symbols(std::uint64_t n) const;
+  /// Projection: the time sequence of prefix(n).
+  std::vector<Tick> times(std::uint64_t n) const;
+
+  /// Structural kind queries (used by decision procedures that exploit the
+  /// lasso representation).
+  bool is_finite_rep() const noexcept;
+  bool is_lasso_rep() const noexcept;
+  /// Lasso accessors; contract: is_lasso_rep().
+  const std::vector<TimedSymbol>& lasso_prefix() const;
+  const std::vector<TimedSymbol>& lasso_cycle() const;
+  Tick lasso_period() const;
+
+  /// Human-readable rendering of the first `n` elements.
+  std::string to_string(std::uint64_t n = 16) const;
+
+  /// Default horizon for bounded checks on generator words.
+  static constexpr std::uint64_t kDefaultHorizon = 4096;
+
+private:
+  struct Rep;
+  explicit TimedWord(std::shared_ptr<const Rep> rep);
+  std::shared_ptr<const Rep> rep_;
+};
+
+/// Subsequence test of section 2 ("sigma' ⊑ sigma"): order-preserving
+/// embedding.  Greedy matching over the first `horizon` elements of `word`;
+/// exact when both words are finite and horizon covers them.
+bool is_subsequence(const std::vector<TimedSymbol>& sub,
+                    const TimedWord& word, std::uint64_t horizon);
+
+/// The classical-word embedding discussed in section 3.2: a conventional
+/// word with the all-zero time sequence attached.  Never well-behaved --
+/// the paper's "crisp delimitation between real-time and classical
+/// algorithms".
+TimedWord classical(std::string_view text);
+
+}  // namespace rtw::core

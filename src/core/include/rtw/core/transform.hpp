@@ -1,0 +1,38 @@
+#pragma once
+/// \file transform.hpp
+/// Structural transformations on timed omega-words.  These are the
+/// workhorse combinators the application modules use to massage words:
+/// time translation (issuing the same query word at a different time),
+/// symbol projection (extracting one node's symbols from a merged network
+/// word), and bounded truncation (cutting an infinite word at a horizon).
+
+#include <functional>
+
+#include "rtw/core/timed_word.hpp"
+
+namespace rtw::core {
+
+/// Shifts every timestamp by +delta.  Exact for all representations:
+/// finite and lasso words stay finite/lasso; generator words wrap the
+/// generator (traits preserved -- the shift preserves monotonicity and
+/// progress).
+TimedWord shift(const TimedWord& word, Tick delta);
+
+/// Keeps only the symbols satisfying `keep`, preserving timestamps.
+/// Finite words only (filtering an infinite word may not be a total
+/// function -- the result's n-th element may not exist); throws ModelError
+/// on infinite input.
+TimedWord filter(const TimedWord& word,
+                 const std::function<bool(const TimedSymbol&)>& keep);
+
+/// The finite word of all elements with timestamp <= cutoff (scanning at
+/// most `max_symbols` elements of an infinite word).
+TimedWord take_until(const TimedWord& word, Tick cutoff,
+                     std::uint64_t max_symbols = 1 << 20);
+
+/// Replaces each symbol via `map`, preserving timestamps.  Works on every
+/// representation (lazy for generators; traits preserved).
+TimedWord map_symbols(const TimedWord& word,
+                      const std::function<Symbol(Symbol)>& map);
+
+}  // namespace rtw::core

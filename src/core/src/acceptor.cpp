@@ -1,0 +1,57 @@
+#include "rtw/core/acceptor.hpp"
+
+#include <algorithm>
+
+namespace rtw::core {
+
+RunResult run_acceptor(RealTimeAlgorithm& algorithm, const TimedWord& word,
+                       const RunOptions& options) {
+  algorithm.reset();
+  InputTape in(word);
+  OutputTape out(options.accept_symbol);
+  RunResult result;
+
+  Tick now = 0;
+  while (now <= options.horizon) {
+    const std::vector<TimedSymbol> arrivals = in.take_available(now);
+    result.symbols_consumed += arrivals.size();
+    StepContext ctx{now, std::span<const TimedSymbol>(arrivals), out};
+    algorithm.on_tick(ctx);
+    result.ticks = now;
+
+    if (const auto lock = algorithm.locked()) {
+      result.accepted = *lock;
+      result.exact = true;
+      break;
+    }
+
+    // Advance virtual time.  When the algorithm is unlocked and nothing is
+    // pending before the next arrival, jump straight to it -- Definition
+    // 3.3's semantics put all timing constraints on the input, so idle time
+    // is unobservable to the algorithm.
+    Tick next = now + 1;
+    if (options.fast_forward) {
+      if (const auto arrival = in.next_arrival(); arrival && *arrival > next)
+        next = *arrival;
+      else if (!arrival && in.exhausted())
+        next = now + 1;  // finite word drained; keep single-stepping so the
+                         // algorithm can finish trailing work
+    }
+    now = next;
+  }
+
+  result.f_count = out.accept_count();
+  result.first_f = out.first_accept();
+
+  if (!result.exact) {
+    // Heuristic at the horizon: treat "f written within the trailing
+    // quarter of the run" as evidence of infinitely many f's.
+    const Tick window_start =
+        options.horizon - std::min<Tick>(options.horizon / 4, options.horizon);
+    result.accepted =
+        out.last_accept().has_value() && *out.last_accept() >= window_start;
+  }
+  return result;
+}
+
+}  // namespace rtw::core

@@ -1,0 +1,173 @@
+#include "rtw/core/concat.hpp"
+
+#include <limits>
+#include <memory>
+#include <mutex>
+
+#include "rtw/core/error.hpp"
+
+namespace rtw::core {
+
+namespace {
+
+/// Shared lazy state of a two-way merge.  The merge is advanced on demand
+/// and its outputs cached; TimedWord generator functions capture this state
+/// by shared_ptr.  A mutex keeps the state safe if the resulting word is
+/// shared across threads (the parallel runtime does this).
+struct MergeState {
+  TimedWord first;
+  TimedWord second;
+  std::uint64_t i = 0;  // next index in first
+  std::uint64_t j = 0;  // next index in second
+  std::vector<TimedSymbol> out;
+  std::mutex mutex;
+
+  MergeState(TimedWord a, TimedWord b)
+      : first(std::move(a)), second(std::move(b)) {}
+
+  bool first_exhausted() const {
+    const auto len = first.length();
+    return len && i >= *len;
+  }
+  bool second_exhausted() const {
+    const auto len = second.length();
+    return len && j >= *len;
+  }
+
+  TimedSymbol element(std::uint64_t k) {
+    std::lock_guard lock(mutex);
+    while (out.size() <= k) {
+      if (first_exhausted() && second_exhausted())
+        throw ModelError("concat: index past end of merged finite word");
+      if (first_exhausted()) {
+        out.push_back(second.at(j++));
+      } else if (second_exhausted()) {
+        out.push_back(first.at(i++));
+      } else {
+        const TimedSymbol a = first.at(i);
+        const TimedSymbol b = second.at(j);
+        // Definition 3.5 item 3: on equal timestamps the first operand's
+        // symbol precedes, hence <= (not <).
+        if (a.time <= b.time) {
+          out.push_back(a);
+          ++i;
+        } else {
+          out.push_back(b);
+          ++j;
+        }
+      }
+    }
+    return out[k];
+  }
+};
+
+TimedWord merge_finite(const TimedWord& a, const TimedWord& b) {
+  const std::uint64_t na = *a.length();
+  const std::uint64_t nb = *b.length();
+  std::vector<TimedSymbol> out;
+  out.reserve(na + nb);
+  std::uint64_t i = 0, j = 0;
+  while (i < na && j < nb) {
+    const TimedSymbol x = a.at(i);
+    const TimedSymbol y = b.at(j);
+    if (x.time <= y.time) {
+      out.push_back(x);
+      ++i;
+    } else {
+      out.push_back(y);
+      ++j;
+    }
+  }
+  for (; i < na; ++i) out.push_back(a.at(i));
+  for (; j < nb; ++j) out.push_back(b.at(j));
+  return TimedWord::finite(std::move(out));
+}
+
+}  // namespace
+
+TimedWord concat(const TimedWord& first, const TimedWord& second) {
+  // Merging assumes each operand is individually monotone; generator
+  // operands are trusted (they carry their own certificates).
+  if (first.length() && second.length()) return merge_finite(first, second);
+
+  auto state = std::make_shared<MergeState>(first, second);
+  GeneratorTraits traits;
+  traits.monotone_proven = holds(first.monotone()) && holds(second.monotone());
+  // Progress of the merge follows from progress of the infinite operand(s):
+  // every element of the merge at index k >= i+j is drawn from one of the
+  // operands at an index that also tends to infinity.
+  const bool first_ok =
+      first.length().has_value() ||
+      first.well_behaved() == Certificate::Proven;
+  const bool second_ok =
+      second.length().has_value() ||
+      second.well_behaved() == Certificate::Proven;
+  traits.progress_proven = first_ok && second_ok &&
+                           (first.infinite() || second.infinite());
+  return TimedWord::generator(
+      [state](std::uint64_t k) { return state->element(k); }, traits,
+      "concat");
+}
+
+TimedWord concat_all(const std::vector<TimedWord>& words) {
+  TimedWord acc;  // empty
+  for (const auto& w : words) acc = concat(acc, w);
+  return acc;
+}
+
+Certificate is_concatenation(const TimedWord& merged, const TimedWord& first,
+                             const TimedWord& second, std::uint64_t horizon) {
+  const bool all_finite = merged.length() && first.length() && second.length();
+  if (all_finite &&
+      *merged.length() != *first.length() + *second.length())
+    return Certificate::Refuted;
+
+  // Walk the merged word, matching each element against the next unmatched
+  // element of one operand.  This simultaneously checks item 1 (both are
+  // subsequences, nothing extra), item 3 (ties resolved first-first), and
+  // monotonicity; item 2 (block contiguity) follows because we insist on the
+  // canonical stable-merge order.
+  std::uint64_t i = 0, j = 0;
+  Tick prev = 0;
+  const auto mlen = merged.length();
+  const std::uint64_t end =
+      mlen ? std::min<std::uint64_t>(*mlen, horizon) : horizon;
+  const auto flen = first.length();
+  const auto slen = second.length();
+  for (std::uint64_t k = 0; k < end; ++k) {
+    const TimedSymbol m = merged.at(k);
+    if (k > 0 && m.time < prev) return Certificate::Refuted;
+    prev = m.time;
+    const bool have_a = !flen || i < *flen;
+    const bool have_b = !slen || j < *slen;
+    if (!have_a && !have_b) return Certificate::Refuted;
+    TimedSymbol expected;
+    if (have_a && have_b) {
+      const TimedSymbol a = first.at(i);
+      const TimedSymbol b = second.at(j);
+      expected = (a.time <= b.time) ? a : b;
+      if (a.time <= b.time)
+        ++i;
+      else
+        ++j;
+    } else if (have_a) {
+      expected = first.at(i++);
+    } else {
+      expected = second.at(j++);
+    }
+    if (!(expected == m)) return Certificate::Refuted;
+  }
+  if (all_finite && end == *mlen) return Certificate::Proven;
+  return Certificate::HoldsToHorizon;
+}
+
+TimedWord power_word(const TimedWord& member, std::uint64_t k) {
+  if (k == 0)
+    throw ModelError(
+        "power_word: L^0 is the empty language (Definition 3.6); no word");
+  TimedWord acc = member;
+  for (std::uint64_t n = 1; n < k; ++n) acc = concat(acc, member);
+  return acc;
+}
+
+}  // namespace rtw::core

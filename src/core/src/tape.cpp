@@ -1,0 +1,51 @@
+#include "rtw/core/tape.hpp"
+
+#include "rtw/core/error.hpp"
+
+namespace rtw::core {
+
+InputTape::InputTape(TimedWord word) : word_(std::move(word)) {}
+
+std::vector<TimedSymbol> InputTape::take_available(Tick now) {
+  std::vector<TimedSymbol> out;
+  const auto len = word_.length();
+  while (!len || next_ < *len) {
+    const TimedSymbol ts = word_.at(next_);
+    if (ts.time > now) break;
+    out.push_back(ts);
+    ++next_;
+  }
+  return out;
+}
+
+std::optional<Tick> InputTape::next_arrival() const {
+  const auto len = word_.length();
+  if (len && next_ >= *len) return std::nullopt;
+  return word_.at(next_).time;
+}
+
+bool InputTape::exhausted() const {
+  const auto len = word_.length();
+  return len && next_ >= *len;
+}
+
+OutputTape::OutputTape(Symbol accept_symbol) : accept_(accept_symbol) {}
+
+bool OutputTape::can_write(Tick now) const noexcept {
+  return !last_write_ || *last_write_ < now;
+}
+
+void OutputTape::write(Tick now, Symbol s) {
+  if (last_write_ && *last_write_ >= now)
+    throw ModelError(
+        "OutputTape: at most one symbol per time unit (Definition 3.3)");
+  last_write_ = now;
+  content_.push_back({s, now});
+  if (s == accept_) {
+    ++accept_count_;
+    if (!first_accept_) first_accept_ = now;
+    last_accept_ = now;
+  }
+}
+
+}  // namespace rtw::core

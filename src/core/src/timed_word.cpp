@@ -1,0 +1,307 @@
+#include "rtw/core/timed_word.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <sstream>
+
+#include "rtw/core/error.hpp"
+
+namespace rtw::core {
+
+std::string to_string(Certificate c) {
+  switch (c) {
+    case Certificate::Proven:
+      return "proven";
+    case Certificate::HoldsToHorizon:
+      return "holds-to-horizon";
+    case Certificate::Refuted:
+      return "refuted";
+  }
+  return "?";
+}
+
+/// Internal representation.  Immutable after construction except for the
+/// generator memo cache, which is append-only and guarded by a mutex so
+/// TimedWord values can be shared across the parallel runtime's threads.
+struct TimedWord::Rep {
+  enum class Kind { Finite, Lasso, Generator } kind = Kind::Finite;
+
+  // Finite
+  std::vector<TimedSymbol> finite;
+
+  // Lasso
+  std::vector<TimedSymbol> prefix;
+  std::vector<TimedSymbol> cycle;
+  Tick period = 0;
+
+  // Generator
+  Generator fn;
+  GeneratorTraits traits;
+  std::string label;
+  mutable std::mutex memo_mutex;
+  mutable std::vector<TimedSymbol> memo;
+
+  TimedSymbol element(std::uint64_t i) const {
+    switch (kind) {
+      case Kind::Finite:
+        if (i >= finite.size())
+          throw ModelError("TimedWord::at past end of finite word");
+        return finite[i];
+      case Kind::Lasso: {
+        if (i < prefix.size()) return prefix[i];
+        const std::uint64_t off = i - prefix.size();
+        const std::uint64_t lap = off / cycle.size();
+        const std::uint64_t pos = off % cycle.size();
+        TimedSymbol s = cycle[pos];
+        s.time += static_cast<Tick>(lap) * period;
+        return s;
+      }
+      case Kind::Generator: {
+        std::lock_guard lock(memo_mutex);
+        // Memoize densely: generator cost dominates for simulation-backed
+        // words and accesses are overwhelmingly sequential.
+        while (memo.size() <= i) memo.push_back(fn(memo.size()));
+        return memo[i];
+      }
+    }
+    throw ModelError("TimedWord: corrupt representation");
+  }
+};
+
+TimedWord::TimedWord(std::shared_ptr<const Rep> rep) : rep_(std::move(rep)) {}
+
+TimedWord::TimedWord() {
+  auto rep = std::make_shared<Rep>();
+  rep->kind = Rep::Kind::Finite;
+  rep_ = std::move(rep);
+}
+
+namespace {
+void require_monotone(const std::vector<TimedSymbol>& v, const char* what) {
+  for (std::size_t i = 1; i < v.size(); ++i)
+    if (v[i - 1].time > v[i].time)
+      throw ModelError(std::string("TimedWord: non-monotone time sequence in ") +
+                       what);
+}
+}  // namespace
+
+TimedWord TimedWord::finite(std::vector<TimedSymbol> symbols) {
+  require_monotone(symbols, "finite word");
+  auto rep = std::make_shared<Rep>();
+  rep->kind = Rep::Kind::Finite;
+  rep->finite = std::move(symbols);
+  return TimedWord(std::move(rep));
+}
+
+TimedWord TimedWord::finite(const std::vector<Symbol>& sigma,
+                            const std::vector<Tick>& tau) {
+  if (sigma.size() != tau.size())
+    throw ModelError("TimedWord::finite: |sigma| != |tau|");
+  std::vector<TimedSymbol> symbols;
+  symbols.reserve(sigma.size());
+  for (std::size_t i = 0; i < sigma.size(); ++i)
+    symbols.push_back({sigma[i], tau[i]});
+  return finite(std::move(symbols));
+}
+
+TimedWord TimedWord::text_at(std::string_view text, Tick at) {
+  std::vector<TimedSymbol> symbols;
+  symbols.reserve(text.size());
+  for (char c : text) symbols.push_back({Symbol::chr(c), at});
+  return finite(std::move(symbols));
+}
+
+TimedWord TimedWord::lasso(std::vector<TimedSymbol> prefix,
+                           std::vector<TimedSymbol> cycle, Tick period) {
+  if (cycle.empty()) throw ModelError("TimedWord::lasso: empty cycle");
+  require_monotone(prefix, "lasso prefix");
+  require_monotone(cycle, "lasso cycle");
+  if (!prefix.empty() && prefix.back().time > cycle.front().time)
+    throw ModelError("TimedWord::lasso: prefix/cycle junction not monotone");
+  if (cycle.front().time + period < cycle.back().time)
+    throw ModelError("TimedWord::lasso: cycle wraparound not monotone");
+  auto rep = std::make_shared<Rep>();
+  rep->kind = Rep::Kind::Lasso;
+  rep->prefix = std::move(prefix);
+  rep->cycle = std::move(cycle);
+  rep->period = period;
+  return TimedWord(std::move(rep));
+}
+
+TimedWord TimedWord::generator(Generator fn, GeneratorTraits traits,
+                               std::string label) {
+  if (!fn) throw ModelError("TimedWord::generator: null generator");
+  auto rep = std::make_shared<Rep>();
+  rep->kind = Rep::Kind::Generator;
+  rep->fn = std::move(fn);
+  rep->traits = traits;
+  rep->label = std::move(label);
+  return TimedWord(std::move(rep));
+}
+
+std::optional<std::uint64_t> TimedWord::length() const noexcept {
+  if (rep_->kind == Rep::Kind::Finite) return rep_->finite.size();
+  return std::nullopt;
+}
+
+TimedSymbol TimedWord::at(std::uint64_t i) const { return rep_->element(i); }
+
+std::optional<std::uint64_t> TimedWord::first_after(
+    Tick t, std::uint64_t horizon) const {
+  const auto len = length();
+  const std::uint64_t end = len ? std::min<std::uint64_t>(*len, horizon)
+                                : horizon;
+  // Lasso fast path: answer analytically instead of scanning.
+  if (rep_->kind == Rep::Kind::Lasso) {
+    for (std::size_t i = 0; i < rep_->prefix.size() && i < end; ++i)
+      if (rep_->prefix[i].time > t) return i;
+    if (rep_->period == 0) {
+      for (std::size_t i = 0; i < rep_->cycle.size(); ++i) {
+        const std::uint64_t idx = rep_->prefix.size() + i;
+        if (idx >= end) return std::nullopt;
+        if (rep_->cycle[i].time > t) return idx;
+      }
+      return std::nullopt;  // times never progress past the cycle max
+    }
+    // With period > 0 a solution always exists; find the first lap whose
+    // shifted cycle can exceed t, then scan one lap.
+    const Tick base = rep_->cycle.back().time;
+    const std::uint64_t lap =
+        base > t ? 0 : (t - base) / rep_->period + 1;
+    for (std::uint64_t l = (lap == 0 ? 0 : lap - 1); l <= lap; ++l) {
+      for (std::size_t i = 0; i < rep_->cycle.size(); ++i) {
+        if (rep_->cycle[i].time + l * rep_->period > t) {
+          const std::uint64_t idx =
+              rep_->prefix.size() + l * rep_->cycle.size() + i;
+          return idx < end ? std::optional(idx) : std::nullopt;
+        }
+      }
+    }
+    return std::nullopt;
+  }
+  for (std::uint64_t i = 0; i < end; ++i)
+    if (at(i).time > t) return i;
+  return std::nullopt;
+}
+
+Certificate TimedWord::monotone(std::uint64_t horizon) const {
+  switch (rep_->kind) {
+    case Rep::Kind::Finite:
+    case Rep::Kind::Lasso:
+      // Validated at construction time.
+      return Certificate::Proven;
+    case Rep::Kind::Generator: {
+      if (rep_->traits.monotone_proven) return Certificate::Proven;
+      Tick prev = 0;
+      for (std::uint64_t i = 0; i < horizon; ++i) {
+        const Tick t = at(i).time;
+        if (i > 0 && t < prev) return Certificate::Refuted;
+        prev = t;
+      }
+      return Certificate::HoldsToHorizon;
+    }
+  }
+  return Certificate::Refuted;
+}
+
+Certificate TimedWord::well_behaved(std::uint64_t horizon) const {
+  // "a well-behaved time sequence is always infinite" -- finite words are
+  // refuted outright (this is the section 3.2 delimitation).
+  if (!infinite()) return Certificate::Refuted;
+  const Certificate mono = monotone(horizon);
+  if (mono == Certificate::Refuted) return Certificate::Refuted;
+
+  if (rep_->kind == Rep::Kind::Lasso) {
+    // Progress <=> the per-lap advance is positive.
+    return rep_->period > 0 ? mono : Certificate::Refuted;
+  }
+
+  if (rep_->traits.progress_proven) return mono;
+
+  // Bounded refutation search for progress on generator words: times must
+  // keep strictly exceeding every bound; if the horizon's worth of elements
+  // never exceeds the time of the first element plus one, call it refuted
+  // pragmatically?  No -- absence of progress cannot be *refuted* by a
+  // finite prefix, only left unconfirmed.  We check that time grows over
+  // the sampled window and report HoldsToHorizon.
+  const Tick t0 = at(0).time;
+  const Tick tEnd = at(horizon - 1).time;
+  if (tEnd <= t0 && horizon >= 2) {
+    // Time is flat across the whole window; no evidence of progress.  Not a
+    // proof of violation, but the only honest answer for the window is that
+    // the property did NOT hold up to this horizon.  We still cannot return
+    // Refuted (the word may progress later), so report HoldsToHorizon only
+    // when some growth was observed.
+    return Certificate::HoldsToHorizon;
+  }
+  return mono == Certificate::Proven ? Certificate::HoldsToHorizon : mono;
+}
+
+std::vector<TimedSymbol> TimedWord::prefix(std::uint64_t n) const {
+  const auto len = length();
+  const std::uint64_t end = len ? std::min<std::uint64_t>(*len, n) : n;
+  std::vector<TimedSymbol> out;
+  out.reserve(end);
+  for (std::uint64_t i = 0; i < end; ++i) out.push_back(at(i));
+  return out;
+}
+
+std::vector<Symbol> TimedWord::symbols(std::uint64_t n) const {
+  std::vector<Symbol> out;
+  for (const auto& ts : prefix(n)) out.push_back(ts.sym);
+  return out;
+}
+
+std::vector<Tick> TimedWord::times(std::uint64_t n) const {
+  std::vector<Tick> out;
+  for (const auto& ts : prefix(n)) out.push_back(ts.time);
+  return out;
+}
+
+bool TimedWord::is_finite_rep() const noexcept {
+  return rep_->kind == Rep::Kind::Finite;
+}
+bool TimedWord::is_lasso_rep() const noexcept {
+  return rep_->kind == Rep::Kind::Lasso;
+}
+
+const std::vector<TimedSymbol>& TimedWord::lasso_prefix() const {
+  if (!is_lasso_rep()) throw ModelError("lasso_prefix on non-lasso word");
+  return rep_->prefix;
+}
+const std::vector<TimedSymbol>& TimedWord::lasso_cycle() const {
+  if (!is_lasso_rep()) throw ModelError("lasso_cycle on non-lasso word");
+  return rep_->cycle;
+}
+Tick TimedWord::lasso_period() const {
+  if (!is_lasso_rep()) throw ModelError("lasso_period on non-lasso word");
+  return rep_->period;
+}
+
+std::string TimedWord::to_string(std::uint64_t n) const {
+  std::ostringstream out;
+  out << "(";
+  const auto head = prefix(n);
+  for (std::size_t i = 0; i < head.size(); ++i) {
+    if (i) out << " ";
+    out << head[i].sym.to_string() << "@" << head[i].time;
+  }
+  if (infinite() || (length() && *length() > n)) out << " ...";
+  out << ")";
+  return out.str();
+}
+
+bool is_subsequence(const std::vector<TimedSymbol>& sub, const TimedWord& word,
+                    std::uint64_t horizon) {
+  std::size_t matched = 0;
+  const auto len = word.length();
+  const std::uint64_t end = len ? std::min<std::uint64_t>(*len, horizon)
+                                : horizon;
+  for (std::uint64_t i = 0; i < end && matched < sub.size(); ++i)
+    if (word.at(i) == sub[matched]) ++matched;
+  return matched == sub.size();
+}
+
+TimedWord classical(std::string_view text) { return TimedWord::text_at(text, 0); }
+
+}  // namespace rtw::core

@@ -1,0 +1,87 @@
+#include "rtw/core/transform.hpp"
+
+#include "rtw/core/error.hpp"
+
+namespace rtw::core {
+
+TimedWord shift(const TimedWord& word, Tick delta) {
+  if (word.length()) {
+    auto symbols = word.prefix(*word.length());
+    for (auto& ts : symbols) ts.time += delta;
+    return TimedWord::finite(std::move(symbols));
+  }
+  if (word.is_lasso_rep()) {
+    auto prefix = word.lasso_prefix();
+    auto cycle = word.lasso_cycle();
+    for (auto& ts : prefix) ts.time += delta;
+    for (auto& ts : cycle) ts.time += delta;
+    return TimedWord::lasso(std::move(prefix), std::move(cycle),
+                            word.lasso_period());
+  }
+  GeneratorTraits traits;
+  traits.monotone_proven = word.monotone() == Certificate::Proven;
+  traits.progress_proven = word.well_behaved() == Certificate::Proven;
+  return TimedWord::generator(
+      [word, delta](std::uint64_t i) {
+        TimedSymbol ts = word.at(i);
+        ts.time += delta;
+        return ts;
+      },
+      traits, "shift");
+}
+
+TimedWord filter(const TimedWord& word,
+                 const std::function<bool(const TimedSymbol&)>& keep) {
+  const auto len = word.length();
+  if (!len)
+    throw ModelError("filter: infinite words cannot be filtered totally");
+  std::vector<TimedSymbol> out;
+  for (std::uint64_t i = 0; i < *len; ++i) {
+    const TimedSymbol ts = word.at(i);
+    if (keep(ts)) out.push_back(ts);
+  }
+  return TimedWord::finite(std::move(out));
+}
+
+TimedWord take_until(const TimedWord& word, Tick cutoff,
+                     std::uint64_t max_symbols) {
+  std::vector<TimedSymbol> out;
+  const auto len = word.length();
+  const std::uint64_t end =
+      len ? std::min<std::uint64_t>(*len, max_symbols) : max_symbols;
+  for (std::uint64_t i = 0; i < end; ++i) {
+    const TimedSymbol ts = word.at(i);
+    if (ts.time > cutoff) break;
+    out.push_back(ts);
+  }
+  return TimedWord::finite(std::move(out));
+}
+
+TimedWord map_symbols(const TimedWord& word,
+                      const std::function<Symbol(Symbol)>& map) {
+  if (word.length()) {
+    auto symbols = word.prefix(*word.length());
+    for (auto& ts : symbols) ts.sym = map(ts.sym);
+    return TimedWord::finite(std::move(symbols));
+  }
+  if (word.is_lasso_rep()) {
+    auto prefix = word.lasso_prefix();
+    auto cycle = word.lasso_cycle();
+    for (auto& ts : prefix) ts.sym = map(ts.sym);
+    for (auto& ts : cycle) ts.sym = map(ts.sym);
+    return TimedWord::lasso(std::move(prefix), std::move(cycle),
+                            word.lasso_period());
+  }
+  GeneratorTraits traits;
+  traits.monotone_proven = word.monotone() == Certificate::Proven;
+  traits.progress_proven = word.well_behaved() == Certificate::Proven;
+  return TimedWord::generator(
+      [word, map](std::uint64_t i) {
+        TimedSymbol ts = word.at(i);
+        ts.sym = map(ts.sym);
+        return ts;
+      },
+      traits, "map");
+}
+
+}  // namespace rtw::core

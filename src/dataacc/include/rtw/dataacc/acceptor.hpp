@@ -1,0 +1,65 @@
+#pragma once
+/// \file acceptor.hpp
+/// The section 4.2 acceptor for data-accumulating languages.
+///
+/// Structure per the paper: P_w is the on-line algorithm (it signals P_m
+/// each time it finishes processing one datum; after the p-th signal it
+/// holds the partial solution for iota_1..iota_p).  P_m watches the input:
+/// the only moment it interferes is when P_w has caught up with all data
+/// that arrived and no further datum has arrived yet -- the d-algorithm's
+/// termination moment.  At that point P_m compares the computed partial
+/// solution with the proposed solution from the word and locks the acceptor
+/// into s_f or s_r.
+///
+/// On a word whose arrival law outruns the processor, the termination
+/// moment never comes, no lock happens, and no f is ever written -- the
+/// word is (correctly) rejected.
+
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "rtw/core/acceptor.hpp"
+#include "rtw/core/language.hpp"
+#include "rtw/dataacc/stream_problem.hpp"
+#include "rtw/dataacc/word.hpp"
+
+namespace rtw::dataacc {
+
+class DataAccAcceptor final : public rtw::core::RealTimeAlgorithm {
+public:
+  /// `cost` virtual ticks of work per datum; `processors` work units retire
+  /// per tick.
+  DataAccAcceptor(std::unique_ptr<StreamProblem> problem, ProcessingRate rate);
+
+  void on_tick(const rtw::core::StepContext& ctx) override;
+  std::optional<bool> locked() const override;
+  void reset() override;
+  std::string name() const override;
+
+  rtw::core::Tick termination_time() const noexcept { return termination_; }
+  std::uint64_t processed() const noexcept { return processed_; }
+
+private:
+  enum class Phase { Header, Streaming, AcceptLock, RejectLock };
+
+  std::unique_ptr<StreamProblem> problem_;
+  ProcessingRate rate_;
+  Phase phase_ = Phase::Header;
+  std::vector<rtw::core::Symbol> proposed_;
+  std::deque<rtw::core::Symbol> queue_;  ///< arrived, unprocessed data
+  rtw::core::Tick current_job_done_ = 0; ///< work units paid on queue front
+  std::uint64_t processed_ = 0;
+  rtw::core::Tick termination_ = 0;
+  rtw::core::Tick last_tick_ = 0;  ///< last visited tick (work accounting)
+  bool pending_arrival_marker_ = false;
+};
+
+/// L(Pi) for the data-accumulating problem: exact membership via the
+/// acceptor when it locks; words whose computation never terminates are
+/// rejected at the horizon (result.exact == false, accepted == false).
+rtw::core::TimedLanguage dataacc_language(
+    std::shared_ptr<const StreamProblem> prototype, ProcessingRate rate,
+    rtw::core::Tick horizon = 20000);
+
+}  // namespace rtw::dataacc

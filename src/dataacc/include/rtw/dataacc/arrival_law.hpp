@@ -1,0 +1,72 @@
+#pragma once
+/// \file arrival_law.hpp
+/// Data arrival laws for the data-accumulating paradigm (section 4.2).
+///
+/// A d-algorithm works on a virtually endless input stream whose arrival
+/// rate is given by a *data arrival law* f(n, t): the amount of data
+/// available at time t, where n is the amount available beforehand.  The
+/// paper's canonical family (equation 4) is
+///
+///     f(n, t) = n + k * n^gamma * t^beta ,   k, gamma, beta > 0.
+///
+/// The law is evaluated over discrete time; the available count is floored.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "rtw/core/timed_word.hpp"
+
+namespace rtw::dataacc {
+
+using rtw::core::Tick;
+
+/// The polynomial arrival law of equation (4).
+class ArrivalLaw {
+public:
+  /// n >= 1; k > 0; gamma, beta >= 0.
+  ArrivalLaw(std::uint64_t n, double k, double gamma, double beta);
+
+  std::uint64_t initial() const noexcept { return n_; }
+  double k() const noexcept { return k_; }
+  double gamma() const noexcept { return gamma_; }
+  double beta() const noexcept { return beta_; }
+
+  /// floor(f(n, t)): total data available at time t (>= n).
+  std::uint64_t count_at(Tick t) const;
+
+  /// Arrival time of the j-th datum (1-based).  Data 1..n arrive at time 0;
+  /// for j > n this is the least t with count_at(t) >= j, searched up to
+  /// `horizon` (nullopt if the law never delivers that many by then --
+  /// possible only for beta == 0).
+  std::optional<Tick> arrival_time(std::uint64_t j, Tick horizon) const;
+
+  /// Human-readable form "n + k*n^g*t^b".
+  std::string to_string() const;
+
+private:
+  std::uint64_t n_;
+  double k_;
+  double gamma_;
+  double beta_;
+};
+
+/// Parameters of a data-accumulating execution: `cost` ticks of work per
+/// datum on one processor, `processors` working in parallel (the paper's
+/// rt-PROC angle: a p-processor implementation retires p work units per
+/// tick).
+struct ProcessingRate {
+  Tick cost = 1;
+  std::uint32_t processors = 1;
+};
+
+/// Predicted termination time of a d-algorithm: the least t such that all
+/// data arrived by t can be processed within t, i.e.
+/// ceil(cost * f(n,t) / processors) <= t.  This is the fixed point
+/// t = C * f(n, t) of [15]/[27].  Returns nullopt (divergence: the
+/// computation never catches up) if no such t exists below `horizon`.
+std::optional<Tick> predicted_termination(const ArrivalLaw& law,
+                                          const ProcessingRate& rate,
+                                          Tick horizon);
+
+}  // namespace rtw::dataacc

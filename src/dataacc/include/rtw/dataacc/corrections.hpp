@@ -1,0 +1,102 @@
+#pragma once
+/// \file corrections.hpp
+/// The c-algorithm variant of section 4.2 at the word level: "data that
+/// arrive during the computation consist in *corrections* to the initial
+/// input rather than new input" ([16], [26, 27]).  The paper notes these
+/// are "easily modeled using the same technique" as d-algorithms; this
+/// module is that modeling.
+///
+/// Word layout: o $ v_1 ... v_n at time 0 (the initial input), then per
+/// correction j (arriving per the law, beyond the initial n) the group
+///   <c> at t_j - 1,  <fix> index value  at t_j
+/// where index is the 0-based position being revised and value the new
+/// content (both nat symbols).
+///
+/// The acceptor maintains the revisable input vector, re-applies each
+/// correction at `correction_cost` work per fix, and terminates exactly
+/// like the d-algorithm acceptor -- when everything arrived is absorbed at
+/// the end of a tick.  Acceptance compares the aggregate (sum) of the
+/// corrected input with the proposed output.
+
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "rtw/core/acceptor.hpp"
+#include "rtw/dataacc/arrival_law.hpp"
+
+namespace rtw::dataacc {
+
+/// One revision: values[index] becomes value.
+struct Correction {
+  std::uint64_t index = 0;
+  std::uint64_t value = 0;
+};
+
+/// A correcting-computation instance.
+struct CorrectionInstance {
+  ArrivalLaw law{1, 1.0, 0.0, 0.5};
+  /// Initial value of position i (0-based, i < law.initial()).
+  std::function<std::uint64_t(std::uint64_t)> initial;
+  /// j-th correction (1-based, j = arrival_index - n).
+  std::function<Correction(std::uint64_t)> correction;
+  std::vector<rtw::core::Symbol> proposed_output;
+};
+
+/// The designated marker opening a correction group.
+rtw::core::Symbol fix_mark();
+
+/// Builds the c-algorithm timed omega-word.
+rtw::core::TimedWord build_correction_word(const CorrectionInstance& instance,
+                                           rtw::core::Tick horizon = 1 << 20);
+
+/// The ground-truth corrected sum after the first `count` corrections.
+std::uint64_t corrected_sum(const CorrectionInstance& instance,
+                            std::uint64_t count);
+
+/// The section 4.2 acceptor for correcting computations: P_w absorbs the
+/// initial input (cost `base_cost` per datum) and each correction (cost
+/// `correction_cost`); P_m locks at the termination moment, comparing the
+/// running corrected sum with the proposed output.
+class CorrectionAcceptor final : public rtw::core::RealTimeAlgorithm {
+public:
+  CorrectionAcceptor(rtw::core::Tick base_cost,
+                     rtw::core::Tick correction_cost);
+
+  void on_tick(const rtw::core::StepContext& ctx) override;
+  std::optional<bool> locked() const override;
+  void reset() override;
+  std::string name() const override { return "c-algorithm-acceptor"; }
+
+  rtw::core::Tick termination_time() const noexcept { return termination_; }
+  std::uint64_t corrections_applied() const noexcept { return applied_; }
+
+private:
+  enum class Phase { Header, Streaming, AcceptLock, RejectLock };
+
+  rtw::core::Tick base_cost_;
+  rtw::core::Tick correction_cost_;
+  Phase phase_ = Phase::Header;
+  std::vector<rtw::core::Symbol> proposed_;
+  std::vector<std::uint64_t> values_;
+  std::uint64_t sum_ = 0;
+
+  // Work accounting (same elapsed-aware scheme as DataAccAcceptor).
+  struct PendingItem {
+    bool is_correction = false;
+    std::uint64_t a = 0;  ///< datum value, or correction index
+    std::uint64_t b = 0;  ///< correction value
+  };
+  std::deque<PendingItem> queue_;
+  rtw::core::Tick current_job_done_ = 0;
+  std::uint64_t processed_ = 0;
+  std::uint64_t applied_ = 0;
+  rtw::core::Tick termination_ = 0;
+  rtw::core::Tick last_tick_ = 0;
+
+  // Parser state for the in-flight <fix> group.
+  int fix_field_ = -1;  ///< -1: none, 0: expecting index, 1: expecting value
+  std::uint64_t fix_index_ = 0;
+};
+
+}  // namespace rtw::dataacc

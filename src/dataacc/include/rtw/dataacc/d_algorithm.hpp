@@ -1,0 +1,59 @@
+#pragma once
+/// \file d_algorithm.hpp
+/// Executors for the data-accumulating paradigm (section 4.2).
+///
+/// A d-algorithm "works on an input considered as a virtually endless
+/// stream.  The computation terminates when all the currently arrived data
+/// have been processed before another datum arrives."  The executor runs
+/// that semantics on the virtual clock: data arrive per an ArrivalLaw,
+/// the processor(s) retire `processors` work units per tick at `cost`
+/// ticks-per-datum, and termination is checked exactly.
+///
+/// c-algorithms ([16], [26, 27]) are the correcting variant: the stream
+/// carries *corrections* to the initial input rather than new data; each
+/// correction invalidates already-done work (a reprocessing charge).
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "rtw/dataacc/arrival_law.hpp"
+#include "rtw/dataacc/stream_problem.hpp"
+
+namespace rtw::dataacc {
+
+/// Outcome of a d-algorithm execution.
+struct DAlgorithmResult {
+  bool terminated = false;
+  Tick termination_time = 0;   ///< valid when terminated
+  std::uint64_t processed = 0; ///< data fully processed
+  std::uint64_t arrived = 0;   ///< data arrived by the end of the run
+  std::vector<Symbol> solution;  ///< problem snapshot at the end
+};
+
+/// Runs a d-algorithm: `problem` consumes one datum per `rate.cost` ticks
+/// of accumulated work, `rate.processors` work units retire per tick.
+/// `datum(j)` supplies the j-th stream datum (1-based).  The run stops at
+/// `horizon` if termination has not occurred (result.terminated == false).
+DAlgorithmResult run_d_algorithm(
+    const ArrivalLaw& law, const ProcessingRate& rate, StreamProblem& problem,
+    const std::function<Symbol(std::uint64_t)>& datum, Tick horizon);
+
+/// Outcome of a c-algorithm (correcting) execution.
+struct CAlgorithmResult {
+  bool terminated = false;
+  Tick termination_time = 0;
+  std::uint64_t corrections_applied = 0;
+  std::uint64_t reprocessed_units = 0;  ///< extra work charged by corrections
+};
+
+/// Runs a c-algorithm over `initial_size` data: the base computation costs
+/// `rate.cost` per datum; each correction arriving per `law` (counting only
+/// arrivals beyond the initial n) charges `correction_cost` work units.
+/// Terminates when base work and all arrived corrections are absorbed
+/// before the next correction arrives.
+CAlgorithmResult run_c_algorithm(const ArrivalLaw& law,
+                                 const ProcessingRate& rate,
+                                 Tick correction_cost, Tick horizon);
+
+}  // namespace rtw::dataacc

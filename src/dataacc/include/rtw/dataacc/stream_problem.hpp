@@ -1,0 +1,85 @@
+#pragma once
+/// \file stream_problem.hpp
+/// On-line problems for d-algorithms.
+///
+/// The paper notes (citing [15]) that every d-algorithm is an *on-line*
+/// algorithm: after processing the p-th datum it holds a partial solution
+/// for the first p inputs.  A StreamProblem is that on-line core: an
+/// incremental state with a snapshot, which both the executor (P_w) and the
+/// section 4.2 acceptor's monitor (P_m) consult.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rtw/core/symbol.hpp"
+
+namespace rtw::dataacc {
+
+using rtw::core::Symbol;
+
+/// An incremental computation over a stream of symbols.
+class StreamProblem {
+public:
+  virtual ~StreamProblem() = default;
+  virtual std::string name() const = 0;
+  /// Incorporates one datum.
+  virtual void update(Symbol datum) = 0;
+  /// The partial solution after the data consumed so far.
+  virtual std::vector<Symbol> snapshot() const = 0;
+  /// Fresh state.
+  virtual void reset() = 0;
+  /// A new instance of the same problem (factory for acceptors).
+  virtual std::unique_ptr<StreamProblem> clone_fresh() const = 0;
+};
+
+/// Running sum of nat symbols (non-nat data contribute zero).
+class RunningSum final : public StreamProblem {
+public:
+  std::string name() const override { return "running-sum"; }
+  void update(Symbol datum) override;
+  std::vector<Symbol> snapshot() const override;
+  void reset() override { sum_ = 0; }
+  std::unique_ptr<StreamProblem> clone_fresh() const override {
+    return std::make_unique<RunningSum>();
+  }
+
+private:
+  std::uint64_t sum_ = 0;
+};
+
+/// Running maximum of nat symbols.
+class RunningMax final : public StreamProblem {
+public:
+  std::string name() const override { return "running-max"; }
+  void update(Symbol datum) override;
+  std::vector<Symbol> snapshot() const override;
+  void reset() override { seen_ = false; max_ = 0; }
+  std::unique_ptr<StreamProblem> clone_fresh() const override {
+    return std::make_unique<RunningMax>();
+  }
+
+private:
+  bool seen_ = false;
+  std::uint64_t max_ = 0;
+};
+
+/// Count of data consumed.
+class RunningCount final : public StreamProblem {
+public:
+  std::string name() const override { return "running-count"; }
+  void update(Symbol) override { ++count_; }
+  std::vector<Symbol> snapshot() const override {
+    return {Symbol::nat(count_)};
+  }
+  void reset() override { count_ = 0; }
+  std::unique_ptr<StreamProblem> clone_fresh() const override {
+    return std::make_unique<RunningCount>();
+  }
+
+private:
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace rtw::dataacc

@@ -1,0 +1,42 @@
+#pragma once
+/// \file word.hpp
+/// The section 4.2 construction: wrapping a data-accumulating instance into
+/// a timed omega-word.
+///
+/// Layout (the paper's construction, with a $ delimiter closing the
+/// proposed output, per the preliminaries' delimiter license):
+///
+///   o $                    at time 0          (proposed solution)
+///   iota_1 ... iota_n      at time 0          (initial data)
+///   then, for each subsequent datum iota_j arriving at time t_j (per the
+///   arrival law):  a marker `c` at time t_j - 1 and iota_j at time t_j.
+///
+/// Data arriving at the same tick are grouped (all their `c` markers first)
+/// so the time sequence stays monotone.  The word is generator-backed and
+/// proven monotone / progressing whenever the law has beta > 0.
+
+#include <cstdint>
+#include <functional>
+
+#include "rtw/core/timed_word.hpp"
+#include "rtw/dataacc/arrival_law.hpp"
+
+namespace rtw::dataacc {
+
+/// A data-accumulating instance: the law, the stream contents, and the
+/// proposed solution to be verified by the acceptor.
+struct DataAccInstance {
+  ArrivalLaw law{1, 1.0, 0.0, 0.5};
+  /// j-th stream datum, 1-based (must be pure/index-deterministic).
+  std::function<rtw::core::Symbol(std::uint64_t)> datum;
+  std::vector<rtw::core::Symbol> proposed_output;
+};
+
+/// Builds the section 4.2 timed omega-word for `instance`.  `horizon`
+/// bounds the arrival-time search per datum (beta == 0 laws stop producing
+/// data; the builder then repeats a harmless trailing `c` marker to keep
+/// the word infinite and well-behaved).
+rtw::core::TimedWord build_dataacc_word(const DataAccInstance& instance,
+                                        rtw::core::Tick horizon = 1 << 20);
+
+}  // namespace rtw::dataacc

@@ -1,0 +1,162 @@
+#include "rtw/dataacc/acceptor.hpp"
+
+#include "rtw/core/error.hpp"
+#include "rtw/dataacc/d_algorithm.hpp"
+
+namespace rtw::dataacc {
+
+using rtw::core::StepContext;
+using rtw::core::Symbol;
+using rtw::core::Tick;
+using rtw::core::TimedWord;
+
+DataAccAcceptor::DataAccAcceptor(std::unique_ptr<StreamProblem> problem,
+                                 ProcessingRate rate)
+    : problem_(std::move(problem)), rate_(rate) {
+  if (!problem_)
+    throw rtw::core::ModelError("DataAccAcceptor: null problem");
+  if (rate_.cost == 0 || rate_.processors == 0)
+    throw rtw::core::ModelError("DataAccAcceptor: degenerate rate");
+}
+
+std::string DataAccAcceptor::name() const {
+  return "dataacc-acceptor(" + problem_->name() + ")";
+}
+
+void DataAccAcceptor::reset() {
+  problem_->reset();
+  phase_ = Phase::Header;
+  proposed_.clear();
+  queue_.clear();
+  current_job_done_ = 0;
+  processed_ = 0;
+  termination_ = 0;
+  last_tick_ = 0;
+  pending_arrival_marker_ = false;
+}
+
+void DataAccAcceptor::on_tick(const StepContext& ctx) {
+  const Symbol dollar = rtw::core::marks::dollar();
+  const Symbol marker = rtw::core::marks::arrival();
+
+  if (phase_ == Phase::AcceptLock || phase_ == Phase::RejectLock) {
+    if (phase_ == Phase::AcceptLock && ctx.out.can_write(ctx.now))
+      ctx.out.write(ctx.now, ctx.out.accept_symbol());
+    return;
+  }
+
+  if (phase_ == Phase::Header) {
+    // The header (proposed output, $, initial data) arrives at time 0.
+    for (const auto& ts : ctx.arrivals) {
+      if (phase_ == Phase::Header) {
+        if (ts.sym == dollar)
+          phase_ = Phase::Streaming;
+        else
+          proposed_.push_back(ts.sym);
+      } else if (!(ts.sym == marker)) {
+        queue_.push_back(ts.sym);  // initial data, enqueued at end of tick 0
+      }
+    }
+    last_tick_ = ctx.now;
+    return;
+  }
+
+  // ---- P_w: the executor may fast-forward over quiet gaps, so work is
+  // credited for every elapsed tick.  Semantics mirror run_d_algorithm:
+  // arrivals land at the start of their tick, work applies afterwards, and
+  // the termination moment is an end-of-tick empty queue.
+  const Tick gap_base = last_tick_;
+  const Tick elapsed = ctx.now - last_tick_;
+  last_tick_ = ctx.now;
+
+  auto apply_work = [this](Tick budget) -> Tick {
+    // Returns the units actually spent (for drain-time accounting).
+    Tick spent = 0;
+    while (budget > 0 && !queue_.empty()) {
+      const Tick needed = rate_.cost - current_job_done_;
+      const Tick step = std::min<Tick>(budget, needed);
+      current_job_done_ += step;
+      budget -= step;
+      spent += step;
+      if (current_job_done_ == rate_.cost) {
+        // Completion signal from P_w: the partial solution now covers
+        // this datum.
+        problem_->update(queue_.front());
+        queue_.pop_front();
+        current_job_done_ = 0;
+        ++processed_;
+      }
+    }
+    return spent;
+  };
+
+  auto lock_verdict = [this, &ctx](Tick at) {
+    termination_ = at;
+    phase_ = problem_->snapshot() == proposed_ ? Phase::AcceptLock
+                                               : Phase::RejectLock;
+    if (phase_ == Phase::AcceptLock && ctx.out.can_write(ctx.now))
+      ctx.out.write(ctx.now, ctx.out.accept_symbol());
+  };
+
+  // Gap ticks gap_base+1 .. now-1 carry no arrivals (the executor visits
+  // every arrival tick), so the queue can only drain there.
+  if (elapsed > 1) {
+    const Tick spent = apply_work((elapsed - 1) * rate_.processors);
+    if (queue_.empty() && processed_ > 0) {
+      const Tick drain_tick =
+          gap_base + (spent + rate_.processors - 1) / rate_.processors;
+      lock_verdict(std::min(drain_tick, ctx.now - 1));
+      return;
+    }
+  }
+
+  // ---- this tick: arrivals land first, then the tick's work.
+  for (const auto& ts : ctx.arrivals) {
+    if (ts.sym == marker) {
+      pending_arrival_marker_ = true;  // heads-up: a datum lands next tick
+      continue;
+    }
+    queue_.push_back(ts.sym);
+  }
+  apply_work(rate_.processors);
+
+  if (queue_.empty() && processed_ > 0) lock_verdict(ctx.now);
+}
+
+std::optional<bool> DataAccAcceptor::locked() const {
+  switch (phase_) {
+    case Phase::AcceptLock:
+      return true;
+    case Phase::RejectLock:
+      return false;
+    default:
+      return std::nullopt;
+  }
+}
+
+rtw::core::TimedLanguage dataacc_language(
+    std::shared_ptr<const StreamProblem> prototype, ProcessingRate rate,
+    rtw::core::Tick horizon) {
+  auto member = [prototype, rate, horizon](const TimedWord& w) {
+    DataAccAcceptor acceptor(prototype->clone_fresh(), rate);
+    rtw::core::RunOptions options;
+    options.horizon = horizon;
+    const auto result = rtw::core::run_acceptor(acceptor, w, options);
+    return result.exact && result.accepted;
+  };
+  auto sampler = [prototype, rate, horizon](std::uint64_t i) {
+    // Successful instances: slow enough laws with the true solution.
+    DataAccInstance instance;
+    instance.law = ArrivalLaw(2 + i % 4, 1.0, 0.5, 0.5);
+    instance.datum = [](std::uint64_t j) { return Symbol::nat(j % 10); };
+    auto probe = prototype->clone_fresh();
+    const auto run = run_d_algorithm(instance.law, rate, *probe,
+                                     instance.datum, horizon);
+    instance.proposed_output = run.solution;
+    return build_dataacc_word(instance);
+  };
+  return rtw::core::TimedLanguage("L(dataacc:" + prototype->name() + ")",
+                                  std::move(member), std::move(sampler));
+}
+
+}  // namespace rtw::dataacc

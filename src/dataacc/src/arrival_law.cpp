@@ -1,0 +1,67 @@
+#include "rtw/dataacc/arrival_law.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "rtw/core/error.hpp"
+
+namespace rtw::dataacc {
+
+ArrivalLaw::ArrivalLaw(std::uint64_t n, double k, double gamma, double beta)
+    : n_(n), k_(k), gamma_(gamma), beta_(beta) {
+  if (n == 0) throw rtw::core::ModelError("ArrivalLaw: n must be >= 1");
+  if (k <= 0) throw rtw::core::ModelError("ArrivalLaw: k must be > 0");
+  if (gamma < 0 || beta < 0)
+    throw rtw::core::ModelError("ArrivalLaw: gamma/beta must be >= 0");
+}
+
+std::uint64_t ArrivalLaw::count_at(Tick t) const {
+  const double extra = k_ * std::pow(static_cast<double>(n_), gamma_) *
+                       std::pow(static_cast<double>(t), beta_);
+  // Guard against overflow on steep laws: saturate.
+  if (extra >= 9e15) return n_ + std::uint64_t{9000000000000000ULL};
+  return n_ + static_cast<std::uint64_t>(extra);
+}
+
+std::optional<Tick> ArrivalLaw::arrival_time(std::uint64_t j,
+                                             Tick horizon) const {
+  if (j == 0) throw rtw::core::ModelError("arrival_time: 1-based index");
+  if (j <= n_) return Tick{0};
+  if (count_at(horizon) < j) return std::nullopt;
+  // Binary search the monotone count function.
+  Tick lo = 0, hi = horizon;  // count_at(lo) < j <= count_at(hi)
+  while (lo + 1 < hi) {
+    const Tick mid = lo + (hi - lo) / 2;
+    if (count_at(mid) >= j)
+      hi = mid;
+    else
+      lo = mid;
+  }
+  return hi;
+}
+
+std::string ArrivalLaw::to_string() const {
+  std::ostringstream out;
+  out << n_ << " + " << k_ << "*n^" << gamma_ << "*t^" << beta_;
+  return out.str();
+}
+
+std::optional<Tick> predicted_termination(const ArrivalLaw& law,
+                                          const ProcessingRate& rate,
+                                          Tick horizon) {
+  if (rate.cost == 0 || rate.processors == 0)
+    throw rtw::core::ModelError("predicted_termination: degenerate rate");
+  for (Tick t = 1; t <= horizon; ++t) {
+    const std::uint64_t data = law.count_at(t);
+    const std::uint64_t work = data * rate.cost;
+    const std::uint64_t time_needed =
+        (work + rate.processors - 1) / rate.processors;
+    if (time_needed <= t) return t;
+    // Prune: if even the initial workload cannot fit inside the remaining
+    // horizon, fail fast on steep laws.
+    if (time_needed > horizon && t > horizon / 2) break;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rtw::dataacc

@@ -1,0 +1,227 @@
+#include "rtw/dataacc/corrections.hpp"
+
+#include <memory>
+#include <mutex>
+
+#include "rtw/core/error.hpp"
+
+namespace rtw::dataacc {
+
+using rtw::core::Symbol;
+using rtw::core::Tick;
+using rtw::core::TimedSymbol;
+using rtw::core::TimedWord;
+
+Symbol fix_mark() { return Symbol::marker("fix"); }
+
+TimedWord build_correction_word(const CorrectionInstance& instance,
+                                Tick horizon) {
+  if (!instance.initial || !instance.correction)
+    throw rtw::core::ModelError("build_correction_word: null generators");
+  struct State {
+    CorrectionInstance instance;
+    Tick horizon;
+    std::vector<TimedSymbol> cache;
+    std::uint64_t next_correction = 1;
+    bool exhausted = false;
+    Tick trail_time = 1;
+    std::mutex mutex;
+
+    void header() {
+      for (const auto& s : instance.proposed_output) cache.push_back({s, 0});
+      cache.push_back({rtw::core::marks::dollar(), 0});
+      const std::uint64_t n = instance.law.initial();
+      for (std::uint64_t i = 0; i < n; ++i)
+        cache.push_back({Symbol::nat(instance.initial(i)), 0});
+    }
+
+    void extend() {
+      if (cache.empty()) {
+        header();
+        return;
+      }
+      if (exhausted) {
+        cache.push_back({rtw::core::marks::arrival(), trail_time});
+        ++trail_time;
+        return;
+      }
+      const std::uint64_t n = instance.law.initial();
+      const auto t =
+          instance.law.arrival_time(n + next_correction, horizon);
+      if (!t) {
+        exhausted = true;
+        trail_time = cache.back().time + 1;
+        extend();
+        return;
+      }
+      const Correction fix = instance.correction(next_correction);
+      const Tick marker_time = *t == 0 ? 0 : *t - 1;
+      cache.push_back({rtw::core::marks::arrival(), marker_time});
+      cache.push_back({fix_mark(), *t});
+      cache.push_back({Symbol::nat(fix.index), *t});
+      cache.push_back({Symbol::nat(fix.value), *t});
+      ++next_correction;
+    }
+  };
+  auto state = std::make_shared<State>();
+  state->instance = instance;
+  state->horizon = horizon;
+  rtw::core::GeneratorTraits traits;
+  traits.monotone_proven = true;
+  traits.progress_proven = true;
+  return TimedWord::generator(
+      [state](std::uint64_t i) {
+        std::lock_guard lock(state->mutex);
+        while (state->cache.size() <= i) state->extend();
+        return state->cache[i];
+      },
+      traits, "c-algorithm-word");
+}
+
+std::uint64_t corrected_sum(const CorrectionInstance& instance,
+                            std::uint64_t count) {
+  std::vector<std::uint64_t> values;
+  const std::uint64_t n = instance.law.initial();
+  for (std::uint64_t i = 0; i < n; ++i) values.push_back(instance.initial(i));
+  for (std::uint64_t j = 1; j <= count; ++j) {
+    const Correction fix = instance.correction(j);
+    if (fix.index < values.size()) values[fix.index] = fix.value;
+  }
+  std::uint64_t sum = 0;
+  for (auto v : values) sum += v;
+  return sum;
+}
+
+CorrectionAcceptor::CorrectionAcceptor(Tick base_cost, Tick correction_cost)
+    : base_cost_(base_cost), correction_cost_(correction_cost) {
+  if (base_cost == 0 || correction_cost == 0)
+    throw rtw::core::ModelError("CorrectionAcceptor: zero costs");
+}
+
+void CorrectionAcceptor::reset() {
+  phase_ = Phase::Header;
+  proposed_.clear();
+  values_.clear();
+  sum_ = 0;
+  queue_.clear();
+  current_job_done_ = 0;
+  processed_ = 0;
+  applied_ = 0;
+  termination_ = 0;
+  last_tick_ = 0;
+  fix_field_ = -1;
+  fix_index_ = 0;
+}
+
+void CorrectionAcceptor::on_tick(const rtw::core::StepContext& ctx) {
+  const Symbol dollar = rtw::core::marks::dollar();
+  const Symbol arrival = rtw::core::marks::arrival();
+
+  if (phase_ == Phase::AcceptLock || phase_ == Phase::RejectLock) {
+    if (phase_ == Phase::AcceptLock && ctx.out.can_write(ctx.now))
+      ctx.out.write(ctx.now, ctx.out.accept_symbol());
+    return;
+  }
+
+  if (phase_ == Phase::Header) {
+    for (const auto& ts : ctx.arrivals) {
+      if (phase_ == Phase::Header) {
+        if (ts.sym == dollar)
+          phase_ = Phase::Streaming;
+        else
+          proposed_.push_back(ts.sym);
+      } else if (ts.sym.is_nat()) {
+        queue_.push_back({false, ts.sym.as_nat(), 0});
+      }
+    }
+    last_tick_ = ctx.now;
+    return;
+  }
+
+  const Tick gap_base = last_tick_;
+  const Tick elapsed = ctx.now - last_tick_;
+  last_tick_ = ctx.now;
+
+  auto item_cost = [this](const PendingItem& item) {
+    return item.is_correction ? correction_cost_ : base_cost_;
+  };
+  auto apply_work = [&](Tick budget) -> Tick {
+    Tick spent = 0;
+    while (budget > 0 && !queue_.empty()) {
+      const Tick needed = item_cost(queue_.front()) - current_job_done_;
+      const Tick step = std::min<Tick>(budget, needed);
+      current_job_done_ += step;
+      budget -= step;
+      spent += step;
+      if (current_job_done_ == item_cost(queue_.front())) {
+        const PendingItem item = queue_.front();
+        queue_.pop_front();
+        current_job_done_ = 0;
+        if (item.is_correction) {
+          if (item.a < values_.size()) {
+            sum_ -= values_[item.a];
+            values_[item.a] = item.b;
+            sum_ += item.b;
+          }
+          ++applied_;
+        } else {
+          values_.push_back(item.a);
+          sum_ += item.a;
+        }
+        ++processed_;
+      }
+    }
+    return spent;
+  };
+  auto lock_verdict = [&](Tick at) {
+    termination_ = at;
+    const bool matches =
+        proposed_.size() == 1 && proposed_[0] == Symbol::nat(sum_);
+    phase_ = matches ? Phase::AcceptLock : Phase::RejectLock;
+    if (phase_ == Phase::AcceptLock && ctx.out.can_write(ctx.now))
+      ctx.out.write(ctx.now, ctx.out.accept_symbol());
+  };
+
+  if (elapsed > 1) {
+    const Tick spent = apply_work((elapsed - 1));
+    if (queue_.empty() && processed_ > 0) {
+      lock_verdict(std::min<Tick>(gap_base + spent, ctx.now - 1));
+      return;
+    }
+  }
+
+  // Intake: <fix> index value groups; bare `c` markers announce arrivals.
+  for (const auto& ts : ctx.arrivals) {
+    if (ts.sym == fix_mark()) {
+      fix_field_ = 0;
+      continue;
+    }
+    if (fix_field_ == 0 && ts.sym.is_nat()) {
+      fix_index_ = ts.sym.as_nat();
+      fix_field_ = 1;
+      continue;
+    }
+    if (fix_field_ == 1 && ts.sym.is_nat()) {
+      queue_.push_back({true, fix_index_, ts.sym.as_nat()});
+      fix_field_ = -1;
+      continue;
+    }
+    if (ts.sym == arrival) continue;
+  }
+  apply_work(1);
+
+  if (queue_.empty() && processed_ > 0) lock_verdict(ctx.now);
+}
+
+std::optional<bool> CorrectionAcceptor::locked() const {
+  switch (phase_) {
+    case Phase::AcceptLock:
+      return true;
+    case Phase::RejectLock:
+      return false;
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace rtw::dataacc

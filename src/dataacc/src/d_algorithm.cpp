@@ -1,0 +1,101 @@
+#include "rtw/dataacc/d_algorithm.hpp"
+
+#include "rtw/core/error.hpp"
+
+namespace rtw::dataacc {
+
+DAlgorithmResult run_d_algorithm(
+    const ArrivalLaw& law, const ProcessingRate& rate, StreamProblem& problem,
+    const std::function<Symbol(std::uint64_t)>& datum, Tick horizon) {
+  if (rate.cost == 0 || rate.processors == 0)
+    throw rtw::core::ModelError("run_d_algorithm: degenerate rate");
+  if (!datum) throw rtw::core::ModelError("run_d_algorithm: null datum fn");
+
+  problem.reset();
+  DAlgorithmResult result;
+
+  std::uint64_t arrived = law.count_at(0);
+  std::uint64_t consumed = 0;       // data fully processed
+  std::uint64_t work_backlog = arrived * rate.cost;
+
+  for (Tick now = 1; now <= horizon; ++now) {
+    // Arrivals at `now` land first: a datum arriving during tick t is
+    // workable within tick t.  This matches the fixed-point analysis
+    // t = C f(n, t) of [15]/[27]: termination at the first tick whose
+    // accumulated capacity covers all arrived work.
+    const std::uint64_t total_now = law.count_at(now);
+    if (total_now > arrived) {
+      work_backlog += (total_now - arrived) * rate.cost;
+      arrived = total_now;
+    }
+
+    // Work performed during tick `now` (processors units).
+    std::uint64_t units = rate.processors;
+    while (units > 0 && work_backlog > 0) {
+      const std::uint64_t step = std::min<std::uint64_t>(units, work_backlog);
+      work_backlog -= step;
+      units -= step;
+      // Retire data whose full cost is now paid: with FIFO processing the
+      // next datum is done once the backlog fits within the *other*
+      // unconsumed data's cost.
+      while (consumed < arrived &&
+             work_backlog <= (arrived - consumed - 1) * rate.cost) {
+        ++consumed;
+        problem.update(datum(consumed));
+      }
+    }
+
+    if (work_backlog == 0) {
+      // All data arrived by `now` are processed before any further datum
+      // arrives: the d-algorithm terminates.
+      result.terminated = true;
+      result.termination_time = now;
+      break;
+    }
+  }
+
+  result.processed = consumed;
+  result.arrived = arrived;
+  result.solution = problem.snapshot();
+  return result;
+}
+
+CAlgorithmResult run_c_algorithm(const ArrivalLaw& law,
+                                 const ProcessingRate& rate,
+                                 Tick correction_cost, Tick horizon) {
+  if (rate.cost == 0 || rate.processors == 0)
+    throw rtw::core::ModelError("run_c_algorithm: degenerate rate");
+
+  CAlgorithmResult result;
+  const std::uint64_t base = law.initial();
+  std::uint64_t corrections_seen = 0;
+  std::uint64_t work_backlog = base * rate.cost;
+
+  for (Tick now = 1; now <= horizon; ++now) {
+    // Corrections arriving at `now` land first (same ordering as the
+    // d-algorithm executor), then the tick's work applies.
+    const std::uint64_t total_now = law.count_at(now);
+    const std::uint64_t new_corrections =
+        total_now > base + corrections_seen ? total_now - base - corrections_seen
+                                            : 0;
+    if (new_corrections > 0) {
+      corrections_seen += new_corrections;
+      work_backlog += new_corrections * correction_cost;
+      result.reprocessed_units += new_corrections * correction_cost;
+    }
+
+    const std::uint64_t retired =
+        std::min<std::uint64_t>(rate.processors, work_backlog);
+    work_backlog -= retired;
+
+    if (work_backlog == 0) {
+      result.terminated = true;
+      result.termination_time = now;
+      break;
+    }
+  }
+  result.corrections_applied = corrections_seen;
+  return result;
+}
+
+}  // namespace rtw::dataacc

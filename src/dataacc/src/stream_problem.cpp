@@ -1,0 +1,25 @@
+#include "rtw/dataacc/stream_problem.hpp"
+
+#include <algorithm>
+
+namespace rtw::dataacc {
+
+void RunningSum::update(Symbol datum) {
+  if (datum.is_nat()) sum_ += datum.as_nat();
+}
+
+std::vector<Symbol> RunningSum::snapshot() const {
+  return {Symbol::nat(sum_)};
+}
+
+void RunningMax::update(Symbol datum) {
+  if (!datum.is_nat()) return;
+  max_ = seen_ ? std::max(max_, datum.as_nat()) : datum.as_nat();
+  seen_ = true;
+}
+
+std::vector<Symbol> RunningMax::snapshot() const {
+  return {Symbol::nat(seen_ ? max_ : 0)};
+}
+
+}  // namespace rtw::dataacc

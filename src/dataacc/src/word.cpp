@@ -1,0 +1,91 @@
+#include "rtw/dataacc/word.hpp"
+
+#include <memory>
+
+#include "rtw/core/error.hpp"
+
+namespace rtw::dataacc {
+
+using rtw::core::Symbol;
+using rtw::core::TimedSymbol;
+using rtw::core::TimedWord;
+
+namespace {
+
+/// Lazy element producer for the section 4.2 word.  Elements are appended
+/// to a cache on demand; grouping of same-tick arrivals is handled when a
+/// group is first materialized.
+struct WordState {
+  DataAccInstance instance;
+  rtw::core::Tick horizon;
+  std::vector<TimedSymbol> cache;
+  std::uint64_t next_datum = 1;  // 1-based index of the next stream datum
+  bool exhausted_stream = false;
+  rtw::core::Tick trail_time = 1;
+
+  void materialize_header() {
+    for (const auto& s : instance.proposed_output) cache.push_back({s, 0});
+    cache.push_back({rtw::core::marks::dollar(), 0});
+    const std::uint64_t n = instance.law.initial();
+    for (std::uint64_t j = 1; j <= n; ++j) {
+      cache.push_back({instance.datum(j), 0});
+    }
+    next_datum = n + 1;
+  }
+
+  void extend() {
+    if (cache.empty()) {
+      materialize_header();
+      return;
+    }
+    if (exhausted_stream) {
+      // beta == 0 tail: keep the word infinite and well-behaved with
+      // spaced-out `c` markers that carry no data.
+      cache.push_back({rtw::core::marks::arrival(), trail_time});
+      ++trail_time;
+      return;
+    }
+    // Materialize the whole same-tick arrival group of the next datum.
+    const auto t = instance.law.arrival_time(next_datum, horizon);
+    if (!t) {
+      exhausted_stream = true;
+      trail_time = cache.back().time + 1;
+      extend();
+      return;
+    }
+    std::uint64_t group_end = next_datum;
+    while (instance.law.arrival_time(group_end + 1, horizon) == *t)
+      ++group_end;
+    const rtw::core::Tick marker_time = *t == 0 ? 0 : *t - 1;
+    for (std::uint64_t j = next_datum; j <= group_end; ++j)
+      cache.push_back({rtw::core::marks::arrival(), marker_time});
+    for (std::uint64_t j = next_datum; j <= group_end; ++j)
+      cache.push_back({instance.datum(j), *t});
+    next_datum = group_end + 1;
+    trail_time = *t + 1;
+  }
+
+  TimedSymbol element(std::uint64_t i) {
+    while (cache.size() <= i) extend();
+    return cache[i];
+  }
+};
+
+}  // namespace
+
+TimedWord build_dataacc_word(const DataAccInstance& instance,
+                             rtw::core::Tick horizon) {
+  if (!instance.datum)
+    throw rtw::core::ModelError("build_dataacc_word: null datum fn");
+  auto state = std::make_shared<WordState>();
+  state->instance = instance;
+  state->horizon = horizon;
+  rtw::core::GeneratorTraits traits;
+  traits.monotone_proven = true;  // by the grouped construction above
+  traits.progress_proven = true;  // arrivals or the trailing markers diverge
+  return TimedWord::generator(
+      [state](std::uint64_t i) { return state->element(i); }, traits,
+      "dataacc-word");
+}
+
+}  // namespace rtw::dataacc

@@ -1,0 +1,67 @@
+#pragma once
+/// \file acceptor.hpp
+/// The section 4.1 acceptor for L(Pi): two cooperating "processes",
+///   * P_w -- an algorithm that solves Pi, finishing after the problem's
+///     simulated work cost and leaving the solution in designated storage;
+///   * P_m -- a monitor watching the input stream.  At the moment P_w
+///     terminates: if the current stream symbol is `w` the deadline has not
+///     passed, so P_m compares the computed solution with the proposed one
+///     and locks the acceptor into s_f or s_r; if the current symbol is `d`
+///     the deadline passed, so P_m first checks the current usefulness
+///     against the minimum acceptable value, then compares solutions.
+///
+/// In state s_f the acceptor writes `f` on the output tape every tick; in
+/// s_r it never writes `f` again -- exactly the Definition 3.4 protocol.
+
+#include <memory>
+#include <optional>
+
+#include "rtw/core/acceptor.hpp"
+#include "rtw/core/language.hpp"
+#include "rtw/deadline/problem.hpp"
+#include "rtw/deadline/word.hpp"
+
+namespace rtw::deadline {
+
+class DeadlineAcceptor final : public rtw::core::RealTimeAlgorithm {
+public:
+  /// The acceptor keeps a non-owning reference to the problem; the problem
+  /// must outlive the acceptor.
+  explicit DeadlineAcceptor(const Problem& problem);
+
+  void on_tick(const rtw::core::StepContext& ctx) override;
+  std::optional<bool> locked() const override;
+  void reset() override;
+  std::string name() const override;
+
+  /// Introspection for tests and experiments (valid once locked).
+  rtw::core::Tick completion_time() const noexcept { return completion_; }
+  std::uint64_t usefulness_at_completion() const noexcept {
+    return usefulness_seen_;
+  }
+
+private:
+  enum class Phase { Reading, Working, AcceptLock, RejectLock };
+
+  const Problem* problem_;
+  Phase phase_ = Phase::Reading;
+  ParsedHeader header_;
+  std::vector<rtw::core::Symbol> solution_;
+  rtw::core::Tick completion_ = 0;
+  // Monitor state: latest stream observation with timestamp <= completion.
+  bool deadline_passed_ = false;
+  std::uint64_t usefulness_seen_ = 0;
+  bool saw_header_ = false;
+};
+
+/// L(Pi) as a timed omega-language: membership runs a fresh DeadlineAcceptor
+/// over the word (exact verdicts -- the acceptor always locks).  The sampler
+/// produces *successful* instances: inputs of growing size with the true
+/// solution as the proposed output and a generous firm deadline.
+rtw::core::TimedLanguage deadline_language(std::shared_ptr<const Problem> pi);
+
+/// Convenience: build the word for `instance` and run the acceptor on it.
+/// Returns the exact accept/reject verdict.
+bool accepts_instance(const Problem& pi, const DeadlineInstance& instance);
+
+}  // namespace rtw::deadline

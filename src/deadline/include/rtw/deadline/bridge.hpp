@@ -1,0 +1,47 @@
+#pragma once
+/// \file bridge.hpp
+/// The bridge between the scheduling substrate and the section 4.1 word
+/// model: every executed job becomes a timed omega-word whose acceptor
+/// verdict must coincide with the scheduler's miss accounting.  This is
+/// the library's concrete instance of the paper's thesis -- the
+/// practically-defined notion ("the job met its deadline") and the
+/// word-level notion ("the word is in L(Pi)") are the same predicate.
+///
+/// Also provides exact response-time analysis (RTA) for fixed-priority
+/// (rate-monotonic) scheduling, cross-checked against the simulator in
+/// the test-suite: the recurrence R = C_i + sum_{j higher} ceil(R/T_j) C_j.
+
+#include <optional>
+
+#include "rtw/deadline/acceptor.hpp"
+#include "rtw/deadline/scheduling.hpp"
+
+namespace rtw::deadline {
+
+/// Wraps one executed job into a section 4.1 instance: the problem is the
+/// job's execution (FixedCost with its measured response time), the
+/// deadline is the job's relative deadline, and the proposed output is
+/// the trivial completion witness.  Times are relative to the release.
+DeadlineInstance job_instance(const Job& job);
+
+/// The section 4.1 word of an executed job.  Unfinished jobs get a word
+/// whose computation never completes within any deadline (cost beyond the
+/// deadline), so the acceptor rejects.
+rtw::core::TimedWord job_word(const Job& job);
+
+/// The acceptor verdict for a job's word.  Theorem-level property, tested
+/// exhaustively: verdict == !job.missed() for every job of every
+/// simulated schedule.
+bool job_accepted(const Job& job);
+
+/// Exact response-time analysis for task `index` under rate-monotonic
+/// priorities (shorter period = higher; ties by id).  Returns nullopt if
+/// the recurrence exceeds the deadline (unschedulable).  Tasks must be
+/// periodic and released at 0 (synchronous case).
+std::optional<Tick> response_time_rm(const std::vector<Task>& tasks,
+                                     std::size_t index);
+
+/// Whole-set RM schedulability by RTA.
+bool rm_schedulable(const std::vector<Task>& tasks);
+
+}  // namespace rtw::deadline

@@ -1,0 +1,80 @@
+#pragma once
+/// \file problem.hpp
+/// The abstract problem Pi whose instances section 4.1 wraps into timed
+/// omega-words, plus a small library of concrete problems.
+///
+/// The paper's acceptor contains "an algorithm that solves Pi" (P_w) as a
+/// black box.  A Problem supplies that black box: given an input it
+/// computes the solution *and* the number of virtual ticks the computation
+/// takes.  The work cost is a simulated cost model (the substitution rule:
+/// no real hardware timing), which keeps deadline semantics deterministic
+/// and machine-independent.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rtw/core/symbol.hpp"
+#include "rtw/core/timed_word.hpp"
+
+namespace rtw::deadline {
+
+using rtw::core::Symbol;
+using rtw::core::Tick;
+
+/// A computational problem Pi with a deterministic solver and cost model.
+class Problem {
+public:
+  virtual ~Problem() = default;
+
+  virtual std::string name() const = 0;
+
+  /// The (unique, for these model problems) solution for `input`.
+  virtual std::vector<Symbol> solve(
+      const std::vector<Symbol>& input) const = 0;
+
+  /// Virtual ticks P_w needs to produce the solution.
+  virtual Tick work_cost(const std::vector<Symbol>& input) const = 0;
+};
+
+/// Sorts the input symbols ascending; cost ~ n * ceil(log2 n).
+class SortProblem final : public Problem {
+public:
+  std::string name() const override { return "sort"; }
+  std::vector<Symbol> solve(const std::vector<Symbol>& input) const override;
+  Tick work_cost(const std::vector<Symbol>& input) const override;
+};
+
+/// Reverses the input; cost ~ n.
+class ReverseProblem final : public Problem {
+public:
+  std::string name() const override { return "reverse"; }
+  std::vector<Symbol> solve(const std::vector<Symbol>& input) const override;
+  Tick work_cost(const std::vector<Symbol>& input) const override;
+};
+
+/// Outputs the input's nat-symbol prefix sums; cost ~ n.
+class PrefixSumProblem final : public Problem {
+public:
+  std::string name() const override { return "prefix-sum"; }
+  std::vector<Symbol> solve(const std::vector<Symbol>& input) const override;
+  Tick work_cost(const std::vector<Symbol>& input) const override;
+};
+
+/// A tunable problem: identity output with an explicit cost, for sweeping
+/// deadline tightness precisely in experiments.
+class FixedCostProblem final : public Problem {
+public:
+  explicit FixedCostProblem(Tick cost) : cost_(cost) {}
+  std::string name() const override { return "fixed-cost"; }
+  std::vector<Symbol> solve(const std::vector<Symbol>& input) const override {
+    return input;
+  }
+  Tick work_cost(const std::vector<Symbol>&) const override { return cost_; }
+
+private:
+  Tick cost_;
+};
+
+}  // namespace rtw::deadline

@@ -1,0 +1,75 @@
+#pragma once
+/// \file usefulness.hpp
+/// Deadlines and usefulness functions (section 4.1).
+///
+/// The paper classifies deadlines as *firm* (a computation exceeding the
+/// deadline is useless) and *soft* (usefulness decreases as time elapses),
+/// citing [24].  A soft deadline carries a usefulness function
+/// u : [t_d, inf) -> N ∩ [max, 0]; the paper's running example is
+/// u(t) = max * 1/(t - 20) for a 20-second deadline.  Instances may also
+/// carry no deadline at all -- case (i) of the construction.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "rtw/core/timed_word.hpp"
+
+namespace rtw::deadline {
+
+using rtw::core::Tick;
+
+enum class DeadlineKind {
+  None,  ///< case (i): no deadline imposed
+  Firm,  ///< case (ii): usefulness drops to 0 at t_d
+  Soft,  ///< case (iii): usefulness decays per u(t) after t_d
+};
+
+std::string to_string(DeadlineKind k);
+
+/// A usefulness profile: full value `max` before the deadline; after it,
+/// firm profiles give 0 and soft profiles evaluate the decay function.
+class Usefulness {
+public:
+  /// The decay function receives (t, t_d, max) with t >= t_d and must
+  /// return a value in [0, max].
+  using Decay = std::function<std::uint64_t(Tick, Tick, std::uint64_t)>;
+
+  /// No-deadline profile: usefulness is `max` forever (case (i)).
+  static Usefulness none(std::uint64_t max);
+
+  /// Firm profile: max before t_d, 0 from t_d on.
+  static Usefulness firm(Tick t_d, std::uint64_t max);
+
+  /// Soft profile with a custom decay.
+  static Usefulness soft(Tick t_d, std::uint64_t max, Decay decay);
+
+  /// The paper's example decay: u(t) = max * 1/(t - t_d), floored, with
+  /// u(t_d) = max (the instant of the deadline still has full usefulness).
+  static Usefulness hyperbolic(Tick t_d, std::uint64_t max);
+
+  /// Linear decay reaching zero `span` ticks after the deadline.
+  static Usefulness linear(Tick t_d, std::uint64_t max, Tick span);
+
+  DeadlineKind kind() const noexcept { return kind_; }
+  Tick deadline() const noexcept { return t_d_; }
+  std::uint64_t max() const noexcept { return max_; }
+
+  /// u(t): max before the deadline, the profile's value after.
+  std::uint64_t at(Tick t) const;
+
+  /// First time at which usefulness is strictly below `floor`, searching up
+  /// to `horizon` (useful for sizing acceptance windows).  Returns horizon
+  /// if the floor is never crossed.
+  Tick first_below(std::uint64_t floor, Tick horizon) const;
+
+private:
+  Usefulness(DeadlineKind kind, Tick t_d, std::uint64_t max, Decay decay);
+
+  DeadlineKind kind_;
+  Tick t_d_;
+  std::uint64_t max_;
+  Decay decay_;
+};
+
+}  // namespace rtw::deadline

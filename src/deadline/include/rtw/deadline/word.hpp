@@ -1,0 +1,62 @@
+#pragma once
+/// \file word.hpp
+/// The section 4.1 construction: wrapping a problem instance with a
+/// deadline profile into a timed omega-word.
+///
+/// Layout (the paper's three cases; we add the $ delimiters the paper's
+/// preliminaries permit between the output, the input, and the stream):
+///
+///   (i)   o $ iota $            all at time 0,
+///         w at times 1, 2, 3, ...                       (forever)
+///
+///   (ii)  min o $ iota $        all at time 0 (min ∈ N ∩ [max, 0)),
+///         w at times 1 .. t_d - 1,
+///         pairs (d, 0) at times t_d, t_d + 1, ...        (forever)
+///
+///   (iii) like (ii) but the pair is (d, floor(u(t)))
+///
+/// Every constructed word is a proven well-behaved timed omega-word (the
+/// trailing structure is ultimately periodic, so the word uses the lasso
+/// representation and acceptance on it is exact).
+
+#include <cstdint>
+#include <vector>
+
+#include "rtw/core/timed_word.hpp"
+#include "rtw/deadline/usefulness.hpp"
+
+namespace rtw::deadline {
+
+/// One instance of the problem Pi, packaged with its deadline profile and
+/// a *proposed* output (the word encodes a claimed solution; the acceptor
+/// checks it -- Definition 5.1-style recognition).
+struct DeadlineInstance {
+  std::vector<rtw::core::Symbol> input;            ///< iota
+  std::vector<rtw::core::Symbol> proposed_output;  ///< o
+  Usefulness usefulness = Usefulness::none(1);     ///< kind, t_d, max, u
+  std::uint64_t min_acceptable = 0;                ///< sigma_1 of cases ii/iii
+};
+
+/// Builds the section 4.1 timed omega-word for `instance`.
+///
+/// For soft profiles the decay must reach zero within `decay_span` ticks of
+/// the deadline (the paper's hyperbolic and linear examples do); the word
+/// is then exactly ultimately periodic.  Throws ModelError otherwise.
+rtw::core::TimedWord build_deadline_word(const DeadlineInstance& instance,
+                                         rtw::core::Tick decay_span = 4096);
+
+/// The inverse: parses the time-0 block of a section 4.1 word back into
+/// (min_acceptable?, proposed_output, input).  Used by the acceptor.
+struct ParsedHeader {
+  bool has_min = false;
+  std::uint64_t min_acceptable = 0;
+  std::vector<rtw::core::Symbol> proposed_output;
+  std::vector<rtw::core::Symbol> input;
+};
+
+/// Parses symbols arriving at time 0 (the header).  Throws ModelError on a
+/// malformed header (missing delimiters).
+ParsedHeader parse_deadline_header(
+    const std::vector<rtw::core::TimedSymbol>& at_zero);
+
+}  // namespace rtw::deadline

@@ -1,0 +1,128 @@
+#include "rtw/deadline/acceptor.hpp"
+
+#include "rtw/core/error.hpp"
+
+namespace rtw::deadline {
+
+using rtw::core::StepContext;
+using rtw::core::Symbol;
+using rtw::core::Tick;
+using rtw::core::TimedWord;
+
+DeadlineAcceptor::DeadlineAcceptor(const Problem& problem)
+    : problem_(&problem) {}
+
+std::string DeadlineAcceptor::name() const {
+  return "deadline-acceptor(" + problem_->name() + ")";
+}
+
+void DeadlineAcceptor::reset() {
+  phase_ = Phase::Reading;
+  header_ = {};
+  solution_.clear();
+  completion_ = 0;
+  deadline_passed_ = false;
+  usefulness_seen_ = 0;
+  saw_header_ = false;
+}
+
+void DeadlineAcceptor::on_tick(const StepContext& ctx) {
+  // --- P_m: monitor the stream.  Track the latest w/d/usefulness symbols
+  // whose timestamps do not exceed P_w's completion time (observations past
+  // completion are irrelevant to the verdict).
+  for (const auto& ts : ctx.arrivals) {
+    if (phase_ == Phase::Working && ts.time > completion_) continue;
+    if (ts.sym == rtw::core::marks::deadline()) {
+      deadline_passed_ = true;
+    } else if (ts.sym.is_nat() && saw_header_ && ts.time > 0) {
+      usefulness_seen_ = ts.sym.as_nat();  // the pair partner of a `d`
+    }
+  }
+
+  switch (phase_) {
+    case Phase::Reading: {
+      if (ctx.now != 0 || ctx.arrivals.empty()) {
+        // A section 4.1 word always carries its header at time 0.
+        if (ctx.now > 0) phase_ = Phase::RejectLock;
+        return;
+      }
+      std::vector<rtw::core::TimedSymbol> at_zero(ctx.arrivals.begin(),
+                                                  ctx.arrivals.end());
+      try {
+        header_ = parse_deadline_header(at_zero);
+      } catch (const rtw::core::ModelError&) {
+        phase_ = Phase::RejectLock;
+        return;
+      }
+      saw_header_ = true;
+      // P_w starts: solution ready after the simulated work cost.
+      solution_ = problem_->solve(header_.input);
+      completion_ = std::max<Tick>(1, problem_->work_cost(header_.input));
+      // Within the deadline the usefulness is implicitly the maximum; we
+      // model "acceptable unless shown otherwise at completion".
+      usefulness_seen_ = header_.min_acceptable;
+      phase_ = Phase::Working;
+      return;
+    }
+
+    case Phase::Working: {
+      if (ctx.now < completion_) return;
+      // --- P_w terminates now.  P_m renders the verdict.
+      bool acceptable = true;
+      if (deadline_passed_)
+        acceptable = usefulness_seen_ >= header_.min_acceptable;
+      const bool matches = solution_ == header_.proposed_output;
+      phase_ = (acceptable && matches) ? Phase::AcceptLock : Phase::RejectLock;
+      break;  // fall through to the lock handling below
+    }
+
+    case Phase::AcceptLock:
+    case Phase::RejectLock:
+      break;
+  }
+
+  if (phase_ == Phase::AcceptLock && ctx.out.can_write(ctx.now))
+    ctx.out.write(ctx.now, ctx.out.accept_symbol());
+}
+
+std::optional<bool> DeadlineAcceptor::locked() const {
+  switch (phase_) {
+    case Phase::AcceptLock:
+      return true;
+    case Phase::RejectLock:
+      return false;
+    default:
+      return std::nullopt;
+  }
+}
+
+bool accepts_instance(const Problem& pi, const DeadlineInstance& instance) {
+  DeadlineAcceptor acceptor(pi);
+  const TimedWord word = build_deadline_word(instance);
+  const auto result = rtw::core::run_acceptor(acceptor, word);
+  return result.exact && result.accepted;
+}
+
+rtw::core::TimedLanguage deadline_language(std::shared_ptr<const Problem> pi) {
+  auto member = [pi](const TimedWord& w) {
+    DeadlineAcceptor acceptor(*pi);
+    const auto result = rtw::core::run_acceptor(acceptor, w);
+    return result.exact && result.accepted;
+  };
+  auto sampler = [pi](std::uint64_t i) {
+    DeadlineInstance instance;
+    // Inputs of growing size; nat payloads descending so sorting does work.
+    const std::uint64_t n = 2 + i % 6;
+    for (std::uint64_t k = 0; k < n; ++k)
+      instance.input.push_back(Symbol::nat((7 * (i + 1) + n - k) % 17));
+    instance.proposed_output = pi->solve(instance.input);
+    const Tick cost = pi->work_cost(instance.input);
+    instance.usefulness = Usefulness::firm(cost + 4 + i % 3, 10);
+    instance.min_acceptable = 1;
+    return build_deadline_word(instance);
+  };
+  return rtw::core::TimedLanguage("L(" + pi->name() + ")", std::move(member),
+                                  std::move(sampler));
+}
+
+}  // namespace rtw::deadline

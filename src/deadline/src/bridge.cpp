@@ -1,0 +1,98 @@
+#include "rtw/deadline/bridge.hpp"
+
+#include <algorithm>
+
+#include "rtw/core/error.hpp"
+
+namespace rtw::deadline {
+
+using rtw::core::Symbol;
+
+DeadlineInstance job_instance(const Job& job) {
+  DeadlineInstance inst;
+  // The job's "input" identifies it; the "output" is the completion
+  // witness the acceptor's P_w reproduces.
+  inst.input = {Symbol::nat(job.task_id), Symbol::nat(job.job_index)};
+  inst.proposed_output = {Symbol::marker("done")};
+  // The scheduler's deadline is inclusive (finish == deadline meets it);
+  // in the word model the first *late* instant carries the `d` symbol, so
+  // the firm deadline sits one tick past the job's relative deadline.
+  inst.usefulness =
+      Usefulness::firm((job.absolute_deadline - job.release) + 1, 1);
+  inst.min_acceptable = 1;
+  return inst;
+}
+
+namespace {
+
+/// P_w for a job: completes exactly at the job's measured response time
+/// (finish - release); an unfinished job never completes before any
+/// deadline.
+class JobExecution final : public Problem {
+public:
+  explicit JobExecution(const Job& job) : job_(job) {}
+  std::string name() const override { return "job-execution"; }
+  std::vector<Symbol> solve(const std::vector<Symbol>&) const override {
+    return {Symbol::marker("done")};
+  }
+  Tick work_cost(const std::vector<Symbol>&) const override {
+    if (job_.finish) return std::max<Tick>(1, *job_.finish - job_.release);
+    // Unfinished: model as completing far beyond the deadline window.
+    return (job_.absolute_deadline - job_.release) + 1000;
+  }
+
+private:
+  Job job_;
+};
+
+}  // namespace
+
+rtw::core::TimedWord job_word(const Job& job) {
+  return build_deadline_word(job_instance(job));
+}
+
+bool job_accepted(const Job& job) {
+  JobExecution pi(job);
+  return accepts_instance(pi, job_instance(job));
+}
+
+std::optional<Tick> response_time_rm(const std::vector<Task>& tasks,
+                                     std::size_t index) {
+  if (index >= tasks.size())
+    throw rtw::core::ModelError("response_time_rm: index out of range");
+  const Task& task = tasks[index];
+  if (task.period == 0 || task.release != 0)
+    throw rtw::core::ModelError(
+        "response_time_rm: synchronous periodic tasks only");
+
+  // Higher priority: shorter period, ties by smaller id (matching the
+  // simulator's deterministic tie-break).
+  std::vector<const Task*> higher;
+  for (const auto& other : tasks) {
+    if (&other == &task) continue;
+    if (other.period < task.period ||
+        (other.period == task.period && other.id < task.id))
+      higher.push_back(&other);
+  }
+
+  Tick r = task.wcet;
+  for (int iterations = 0; iterations < 10000; ++iterations) {
+    Tick interference = 0;
+    for (const Task* h : higher)
+      interference += ((r + h->period - 1) / h->period) * h->wcet;
+    const Tick next = task.wcet + interference;
+    if (next == r) return r <= task.relative_deadline ? std::optional(r)
+                                                      : std::nullopt;
+    if (next > task.relative_deadline) return std::nullopt;
+    r = next;
+  }
+  return std::nullopt;  // did not converge within the bound
+}
+
+bool rm_schedulable(const std::vector<Task>& tasks) {
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    if (!response_time_rm(tasks, i)) return false;
+  return true;
+}
+
+}  // namespace rtw::deadline

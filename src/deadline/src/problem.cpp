@@ -1,0 +1,46 @@
+#include "rtw/deadline/problem.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace rtw::deadline {
+
+std::vector<Symbol> SortProblem::solve(
+    const std::vector<Symbol>& input) const {
+  std::vector<Symbol> out = input;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Tick SortProblem::work_cost(const std::vector<Symbol>& input) const {
+  const auto n = static_cast<Tick>(input.size());
+  if (n < 2) return 1;
+  return n * std::bit_width(n);
+}
+
+std::vector<Symbol> ReverseProblem::solve(
+    const std::vector<Symbol>& input) const {
+  return {input.rbegin(), input.rend()};
+}
+
+Tick ReverseProblem::work_cost(const std::vector<Symbol>& input) const {
+  return std::max<Tick>(1, input.size());
+}
+
+std::vector<Symbol> PrefixSumProblem::solve(
+    const std::vector<Symbol>& input) const {
+  std::vector<Symbol> out;
+  out.reserve(input.size());
+  std::uint64_t acc = 0;
+  for (const auto& s : input) {
+    acc += s.is_nat() ? s.as_nat() : 0;
+    out.push_back(Symbol::nat(acc));
+  }
+  return out;
+}
+
+Tick PrefixSumProblem::work_cost(const std::vector<Symbol>& input) const {
+  return std::max<Tick>(1, input.size());
+}
+
+}  // namespace rtw::deadline

@@ -1,0 +1,173 @@
+#include "rtw/deadline/scheduling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "rtw/core/error.hpp"
+
+namespace rtw::deadline {
+
+std::string to_string(Policy p) {
+  switch (p) {
+    case Policy::Edf:
+      return "EDF";
+    case Policy::RateMonotonic:
+      return "RM";
+    case Policy::Fifo:
+      return "FIFO";
+    case Policy::Llf:
+      return "LLF";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Index of the job the policy runs at `now`, or nullopt when idle.
+std::optional<std::size_t> pick(const std::vector<Job>& jobs,
+                                const std::map<std::uint32_t, Tick>& periods,
+                                Policy policy, Tick now) {
+  std::optional<std::size_t> best;
+  auto better = [&](std::size_t a, std::size_t b) {
+    const Job& ja = jobs[a];
+    const Job& jb = jobs[b];
+    switch (policy) {
+      case Policy::Edf:
+        if (ja.absolute_deadline != jb.absolute_deadline)
+          return ja.absolute_deadline < jb.absolute_deadline;
+        break;
+      case Policy::RateMonotonic: {
+        // Shorter period = higher priority; aperiodic jobs (period 0) rank
+        // by deadline behind all periodic tasks.
+        const Tick pa = periods.at(ja.task_id);
+        const Tick pb = periods.at(jb.task_id);
+        const bool a_per = pa > 0, b_per = pb > 0;
+        if (a_per != b_per) return a_per;
+        if (a_per && pa != pb) return pa < pb;
+        if (!a_per && ja.absolute_deadline != jb.absolute_deadline)
+          return ja.absolute_deadline < jb.absolute_deadline;
+        break;
+      }
+      case Policy::Fifo:
+        if (ja.release != jb.release) return ja.release < jb.release;
+        break;
+      case Policy::Llf:
+        if (ja.laxity(now) != jb.laxity(now))
+          return ja.laxity(now) < jb.laxity(now);
+        break;
+    }
+    // Deterministic tie-break: task id then job index.
+    if (ja.task_id != jb.task_id) return ja.task_id < jb.task_id;
+    return ja.job_index < jb.job_index;
+  };
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const Job& j = jobs[i];
+    if (j.finish || j.release > now || j.remaining == 0) continue;
+    if (!best || better(i, *best)) best = i;
+  }
+  return best;
+}
+
+}  // namespace
+
+ScheduleResult simulate_schedule(const std::vector<Task>& tasks, Policy policy,
+                                 Tick horizon) {
+  ScheduleResult result;
+  result.policy = policy;
+  result.horizon = horizon;
+
+  std::map<std::uint32_t, Tick> periods;
+  for (const auto& t : tasks) {
+    if (t.wcet == 0)
+      throw rtw::core::ModelError("simulate_schedule: zero wcet");
+    if (periods.count(t.id))
+      throw rtw::core::ModelError("simulate_schedule: duplicate task id");
+    periods[t.id] = t.period;
+  }
+
+  // Release all jobs up front (deterministic workload).  Only jobs whose
+  // absolute deadline fits inside the horizon are released: jobs truncated
+  // by the end of the simulation would otherwise count as spurious misses.
+  for (const auto& t : tasks) {
+    if (t.period == 0) {
+      if (t.release + t.relative_deadline <= horizon)
+        result.jobs.push_back(Job{t.id, 0, t.release,
+                                  t.release + t.relative_deadline, t.wcet,
+                                  t.wcet, std::nullopt});
+      continue;
+    }
+    std::uint32_t index = 0;
+    for (Tick r = t.release; r + t.relative_deadline <= horizon;
+         r += t.period, ++index)
+      result.jobs.push_back(Job{t.id, index, r, r + t.relative_deadline,
+                                t.wcet, t.wcet, std::nullopt});
+  }
+
+  std::optional<std::size_t> running;
+  for (Tick now = 0; now < horizon; ++now) {
+    const auto next = pick(result.jobs, periods, policy, now);
+    if (next && running && *next != *running &&
+        !result.jobs[*running].finish &&
+        result.jobs[*running].remaining > 0)
+      ++result.preemptions;
+    running = next;
+    if (!running) continue;
+    Job& job = result.jobs[*running];
+    --job.remaining;
+    if (job.remaining == 0) job.finish = now + 1;
+  }
+
+  for (const auto& j : result.jobs) {
+    if (j.finish) {
+      ++result.completed;
+      result.response_time.add(static_cast<double>(*j.finish - j.release));
+    }
+    if (j.missed()) ++result.missed;
+  }
+  return result;
+}
+
+double utilization(const std::vector<Task>& tasks) {
+  double u = 0.0;
+  for (const auto& t : tasks)
+    if (t.period > 0)
+      u += static_cast<double>(t.wcet) / static_cast<double>(t.period);
+  return u;
+}
+
+std::vector<Task> random_task_set(std::uint32_t count, double target,
+                                  rtw::sim::Xoshiro256ss& rng) {
+  if (count == 0)
+    throw rtw::core::ModelError("random_task_set: zero tasks");
+  // UUniFast: split `target` into `count` utilizations uniformly over the
+  // simplex.
+  std::vector<double> shares;
+  double remaining = target;
+  for (std::uint32_t i = 1; i < count; ++i) {
+    const double next =
+        remaining *
+        std::pow(rng.uniform_real(), 1.0 / static_cast<double>(count - i));
+    shares.push_back(remaining - next);
+    remaining = next;
+  }
+  shares.push_back(remaining);
+
+  std::vector<Task> tasks;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Task t;
+    t.id = i;
+    t.release = 0;
+    t.period = 20 + 10 * rng.uniform(std::uint64_t{9});  // 20..110
+    // wcet = utilization * period, at least 1, at most the period.
+    const double u = std::clamp(shares[i], 0.001, 1.0);
+    t.wcet = std::clamp<Tick>(
+        static_cast<Tick>(std::llround(u * static_cast<double>(t.period))), 1,
+        t.period);
+    t.relative_deadline = t.period;  // implicit deadlines
+    tasks.push_back(t);
+  }
+  return tasks;
+}
+
+}  // namespace rtw::deadline

@@ -1,0 +1,66 @@
+#include "rtw/deadline/usefulness.hpp"
+
+#include "rtw/core/error.hpp"
+
+namespace rtw::deadline {
+
+std::string to_string(DeadlineKind k) {
+  switch (k) {
+    case DeadlineKind::None:
+      return "none";
+    case DeadlineKind::Firm:
+      return "firm";
+    case DeadlineKind::Soft:
+      return "soft";
+  }
+  return "?";
+}
+
+Usefulness::Usefulness(DeadlineKind kind, Tick t_d, std::uint64_t max,
+                       Decay decay)
+    : kind_(kind), t_d_(t_d), max_(max), decay_(std::move(decay)) {}
+
+Usefulness Usefulness::none(std::uint64_t max) {
+  return Usefulness(DeadlineKind::None, 0, max,
+                    [](Tick, Tick, std::uint64_t m) { return m; });
+}
+
+Usefulness Usefulness::firm(Tick t_d, std::uint64_t max) {
+  return Usefulness(DeadlineKind::Firm, t_d, max,
+                    [](Tick, Tick, std::uint64_t) { return std::uint64_t{0}; });
+}
+
+Usefulness Usefulness::soft(Tick t_d, std::uint64_t max, Decay decay) {
+  if (!decay) throw rtw::core::ModelError("Usefulness::soft: null decay");
+  return Usefulness(DeadlineKind::Soft, t_d, max, std::move(decay));
+}
+
+Usefulness Usefulness::hyperbolic(Tick t_d, std::uint64_t max) {
+  return soft(t_d, max, [](Tick t, Tick td, std::uint64_t m) {
+    // The paper's u(t) = max / (t - t_d); at t == t_d keep full usefulness.
+    if (t <= td) return m;
+    return m / (t - td);
+  });
+}
+
+Usefulness Usefulness::linear(Tick t_d, std::uint64_t max, Tick span) {
+  if (span == 0) throw rtw::core::ModelError("Usefulness::linear: zero span");
+  return soft(t_d, max, [span](Tick t, Tick td, std::uint64_t m) {
+    const Tick late = t - td;
+    if (late >= span) return std::uint64_t{0};
+    return m - m * late / span;
+  });
+}
+
+std::uint64_t Usefulness::at(Tick t) const {
+  if (kind_ == DeadlineKind::None || t < t_d_) return max_;
+  return decay_(t, t_d_, max_);
+}
+
+Tick Usefulness::first_below(std::uint64_t floor, Tick horizon) const {
+  for (Tick t = t_d_; t < horizon; ++t)
+    if (at(t) < floor) return t;
+  return horizon;
+}
+
+}  // namespace rtw::deadline

@@ -1,0 +1,99 @@
+#include "rtw/deadline/word.hpp"
+
+#include "rtw/core/error.hpp"
+
+namespace rtw::deadline {
+
+using rtw::core::ModelError;
+using rtw::core::Symbol;
+using rtw::core::TimedSymbol;
+using rtw::core::TimedWord;
+
+TimedWord build_deadline_word(const DeadlineInstance& instance,
+                              rtw::core::Tick decay_span) {
+  const auto& u = instance.usefulness;
+  std::vector<TimedSymbol> prefix;
+
+  // Header at time 0: [<min> min] o $ iota $.  The <min> marker makes the
+  // parse unambiguous even when o itself starts with a natural (the
+  // delimiter license of the paper's section 4 preliminaries).
+  if (u.kind() != DeadlineKind::None) {
+    if (instance.min_acceptable > u.max())
+      throw ModelError("build_deadline_word: min acceptable above max");
+    prefix.push_back({Symbol::marker("min"), 0});
+    prefix.push_back({Symbol::nat(instance.min_acceptable), 0});
+  }
+  for (const auto& s : instance.proposed_output) prefix.push_back({s, 0});
+  prefix.push_back({rtw::core::marks::dollar(), 0});
+  for (const auto& s : instance.input) prefix.push_back({s, 0});
+  prefix.push_back({rtw::core::marks::dollar(), 0});
+
+  const Symbol w = rtw::core::marks::waiting();
+  const Symbol d = rtw::core::marks::deadline();
+
+  if (u.kind() == DeadlineKind::None) {
+    // w at 1, 2, 3, ... forever.
+    return TimedWord::lasso(std::move(prefix), {{w, 1}}, 1);
+  }
+
+  const Tick t_d = u.deadline();
+  if (t_d == 0)
+    throw ModelError("build_deadline_word: deadline at time 0");
+  for (Tick t = 1; t < t_d; ++t) prefix.push_back({w, t});
+
+  if (u.kind() == DeadlineKind::Firm) {
+    // Pairs (d, 0) each tick from t_d on.
+    return TimedWord::lasso(std::move(prefix),
+                            {{d, t_d}, {Symbol::nat(0), t_d}}, 1);
+  }
+
+  // Soft: transient (d, u(t)) pairs until the decay hits zero, then the
+  // periodic (d, 0) tail.
+  Tick zero_at = u.first_below(1, t_d + decay_span);
+  if (u.at(zero_at) != 0)
+    throw ModelError(
+        "build_deadline_word: soft decay does not reach zero within span");
+  for (Tick t = t_d; t < zero_at; ++t) {
+    prefix.push_back({d, t});
+    prefix.push_back({Symbol::nat(u.at(t)), t});
+  }
+  return TimedWord::lasso(std::move(prefix),
+                          {{d, zero_at}, {Symbol::nat(0), zero_at}}, 1);
+}
+
+ParsedHeader parse_deadline_header(const std::vector<TimedSymbol>& at_zero) {
+  ParsedHeader header;
+  const Symbol dollar = rtw::core::marks::dollar();
+  std::size_t i = 0;
+  if (i + 1 < at_zero.size() && at_zero[i].sym == Symbol::marker("min") &&
+      at_zero[i + 1].sym.is_nat()) {
+    header.has_min = true;
+    header.min_acceptable = at_zero[i + 1].sym.as_nat();
+    i += 2;
+  }
+  bool closed_output = false;
+  for (; i < at_zero.size(); ++i) {
+    if (at_zero[i].sym == dollar) {
+      closed_output = true;
+      ++i;
+      break;
+    }
+    header.proposed_output.push_back(at_zero[i].sym);
+  }
+  if (!closed_output)
+    throw ModelError("parse_deadline_header: missing output delimiter");
+  bool closed_input = false;
+  for (; i < at_zero.size(); ++i) {
+    if (at_zero[i].sym == dollar) {
+      closed_input = true;
+      ++i;
+      break;
+    }
+    header.input.push_back(at_zero[i].sym);
+  }
+  if (!closed_input)
+    throw ModelError("parse_deadline_header: missing input delimiter");
+  return header;
+}
+
+}  // namespace rtw::deadline

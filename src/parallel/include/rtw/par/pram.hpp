@@ -1,0 +1,73 @@
+#pragma once
+/// \file pram.hpp
+/// The PRAM as the degenerate case of the section 6 model: "Since the
+/// communication between different processors is accomplished by
+/// read/write operations from/to the shared memory, there is no
+/// communication.  That is, both l_k and r_k are null words."
+///
+/// The machine is synchronous: each step has a read phase (all processors
+/// read the shared cells they name) followed by a write phase.  The
+/// variant is configurable: EREW forbids concurrent reads of one cell and
+/// concurrent writes; CREW allows concurrent reads; a write conflict under
+/// either raises ModelError (detecting illegal programs is the point of
+/// the model).
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "rtw/core/timed_word.hpp"
+
+namespace rtw::par {
+
+using rtw::core::Tick;
+using Word = std::int64_t;
+
+enum class PramVariant { Erew, Crew };
+
+/// One processor's step program: given its id, the step index and the
+/// values it requested, produce the next requests/writes.
+struct PramStep {
+  std::vector<std::size_t> reads;  ///< cells to read this step
+  /// (cell, value) writes, computed from the read results.
+  std::function<std::vector<std::pair<std::size_t, Word>>(
+      std::span<const Word>)>
+      compute;
+};
+
+/// A PRAM program: per processor, per step.
+using PramProgram =
+    std::function<std::optional<PramStep>(std::uint32_t proc, Tick step)>;
+
+/// A synchronous PRAM with `cells` shared memory cells (zero initialized).
+class Pram {
+public:
+  Pram(std::uint32_t processors, std::size_t cells, PramVariant variant);
+
+  /// Runs until every processor's program returns nullopt or `max_steps`
+  /// elapse.  Returns the number of steps executed.
+  Tick run(const PramProgram& program, Tick max_steps);
+
+  const std::vector<Word>& memory() const noexcept { return memory_; }
+  std::vector<Word>& memory() noexcept { return memory_; }
+  std::uint32_t processors() const noexcept { return processors_; }
+
+private:
+  std::uint32_t processors_;
+  PramVariant variant_;
+  std::vector<Word> memory_;
+};
+
+/// Reference PRAM algorithm: parallel prefix sums over memory[0..n) using
+/// the classic doubling scheme -- O(log n) steps on n processors.  Returns
+/// the number of steps taken.
+Tick pram_prefix_sums(Pram& pram, std::size_t n);
+
+/// Parallel maximum of memory[0..n) by binary tree reduction; the result
+/// lands in memory[0].  O(log n) steps; EREW-safe (disjoint reads and
+/// writes each step).  Returns the number of steps taken.
+Tick pram_max_reduce(Pram& pram, std::size_t n);
+
+}  // namespace rtw::par

@@ -1,0 +1,127 @@
+#pragma once
+/// \file process.hpp
+/// The explicit parallel/distributed model of section 6.
+///
+/// "One can assume that the implementation is composed of a set of n
+/// processes, that execute independently, and communicate with each other
+/// by messages."  Process k's behavior is modeled by the timed omega-word
+/// c_k l_k r_k, where c_k is its (real-time) computation, l_k the messages
+/// it sends, and r_k the messages it receives.
+///
+/// The runtime is round-based and deterministic: at every tick each
+/// process handles its inbox (messages sent at the previous tick), does a
+/// unit of computation (possibly emitting a computation symbol), and may
+/// send messages; the full behavior of the system is the tuple
+/// (c_1 l_1 r_1, ..., c_p l_p r_p), available after the run as words.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rtw/core/concat.hpp"
+#include "rtw/core/timed_word.hpp"
+
+namespace rtw::par {
+
+using rtw::core::Symbol;
+using rtw::core::Tick;
+using ProcId = std::uint32_t;
+
+/// An inter-process message.
+struct ProcMessage {
+  ProcId from = 0;
+  ProcId to = 0;
+  Symbol payload;
+  Tick sent_at = 0;
+  Tick received_at = 0;  ///< sent_at + 1 (unit message latency)
+};
+
+class ProcessSystem;
+
+/// Per-tick view handed to a process.
+class ProcContext {
+public:
+  ProcContext(ProcessSystem& system, ProcId self, Tick now,
+              std::span<const ProcMessage> inbox)
+      : system_(&system), self_(self), now_(now), inbox_(inbox) {}
+
+  ProcId self() const noexcept { return self_; }
+  Tick now() const noexcept { return now_; }
+  /// Messages delivered this tick (sent at now - 1).
+  std::span<const ProcMessage> inbox() const noexcept { return inbox_; }
+
+  /// Sends `payload` to process `to` (arrives next tick).
+  void send(ProcId to, Symbol payload);
+  /// Emits one symbol of this process's computation word c_k.  At most one
+  /// per tick (the Definition 3.3 output discipline).
+  void emit(Symbol s);
+
+private:
+  ProcessSystem* system_;
+  ProcId self_;
+  Tick now_;
+  std::span<const ProcMessage> inbox_;
+};
+
+/// A process: the "finite control" of one of the n cooperating real-time
+/// algorithms.
+class Process {
+public:
+  virtual ~Process() = default;
+  virtual void on_tick(ProcContext& ctx) = 0;
+  virtual std::string name() const { return "process"; }
+};
+
+using ProcessFactory = std::function<std::unique_ptr<Process>(ProcId)>;
+
+/// Trace of one process: the raw material of c_k, l_k and r_k.
+struct ProcessTrace {
+  std::vector<rtw::core::TimedSymbol> computation;  ///< c_k
+  std::vector<ProcMessage> sent;                    ///< l_k
+  std::vector<ProcMessage> received;                ///< r_k
+};
+
+/// The whole system's behavior.
+struct SystemTrace {
+  std::vector<ProcessTrace> processes;
+  Tick horizon = 0;
+
+  /// c_k as a finite timed word.
+  rtw::core::TimedWord computation_word(ProcId k) const;
+  /// l_k: each sent message encoded "$ e(to) @ e(payload) $" at its send
+  /// time.
+  rtw::core::TimedWord send_word(ProcId k) const;
+  /// r_k: each received message encoded "$ e(from) @ e(payload) $" at its
+  /// receive time.
+  rtw::core::TimedWord receive_word(ProcId k) const;
+  /// The section 6 behavior word c_k l_k r_k (Definition 3.5 merges).
+  rtw::core::TimedWord behavior_word(ProcId k) const;
+};
+
+/// Round-based deterministic multi-process runtime.
+class ProcessSystem {
+public:
+  ProcessSystem(ProcId processes, const ProcessFactory& factory);
+
+  /// Runs ticks 0..horizon-1 and returns the trace.
+  SystemTrace run(Tick horizon);
+
+  ProcId size() const noexcept {
+    return static_cast<ProcId>(processes_.size());
+  }
+
+private:
+  friend class ProcContext;
+  void post(ProcId from, ProcId to, Symbol payload, Tick now);
+  void record_emit(ProcId self, Symbol s, Tick now);
+
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<ProcMessage> airborne_;
+  SystemTrace trace_;
+  std::vector<Tick> last_emit_;  ///< per-process one-emit-per-tick guard
+};
+
+}  // namespace rtw::par

@@ -1,0 +1,50 @@
+#pragma once
+/// \file rtproc.hpp
+/// The rt-PROC(p) hierarchy experiment (sections 3.2 and 7).
+///
+/// The paper asks: "given any number k of processors, is there a
+/// well-behaved timed omega-language that can be accepted by a k-processor
+/// real-time algorithm but cannot be accepted by a (k-1)-processor one?"
+///
+/// This module builds the synthetic witness family L_m: the stream
+/// delivers m work tokens every tick, and a token must be retired (one
+/// process-tick of work each) before its slack expires.  A p-process
+/// acceptor retires p tokens per tick, so the backlog stays bounded iff
+/// p >= m -- making the hierarchy question concretely measurable on the
+/// section 6 process model.
+
+#include <vector>
+
+#include "rtw/par/process.hpp"
+
+namespace rtw::par {
+
+/// Parameters of one rt-PROC trial.
+struct RtProcTrial {
+  ProcId processes = 1;       ///< p: acceptor parallelism
+  std::uint32_t tokens = 1;   ///< m: tokens arriving per tick (L_m)
+  Tick slack = 8;             ///< max queueing delay before a token is late
+  Tick horizon = 256;         ///< simulated ticks
+};
+
+/// Outcome of one trial.
+struct RtProcOutcome {
+  bool accepted = false;        ///< no token ever exceeded its slack
+  std::uint64_t retired = 0;    ///< tokens processed in time
+  std::uint64_t late = 0;       ///< tokens that exceeded the slack
+  std::uint64_t peak_backlog = 0;
+};
+
+/// Runs L_m against a p-process acceptor on the ProcessSystem runtime:
+/// process 0 is the dispatcher (it receives the stream and deals tokens
+/// round-robin); every process retires one token per tick.
+RtProcOutcome run_rtproc_trial(const RtProcTrial& trial);
+
+/// The full success matrix for p in [1, max_p] x m in [1, max_m]:
+/// entry (p-1, m-1) is the trial's acceptance.  The hierarchy is strict
+/// when every row p accepts exactly the columns m <= p.
+std::vector<std::vector<bool>> rtproc_matrix(ProcId max_p,
+                                             std::uint32_t max_m, Tick slack,
+                                             Tick horizon);
+
+}  // namespace rtw::par

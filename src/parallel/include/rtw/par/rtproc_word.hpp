@@ -1,0 +1,62 @@
+#pragma once
+/// \file rtproc_word.hpp
+/// The rt-PROC witness family L_m as genuine timed omega-words consumed
+/// through the Definition 3.3 machinery.
+///
+/// rtproc.hpp runs the experiment on the section 6 process runtime with
+/// internally generated tokens; this module closes the loop with the
+/// language formalism: L_m's words deliver m token symbols per tick on
+/// the input tape, and the acceptor is a RealTimeAlgorithm whose internal
+/// parallelism is p worker queues.  Acceptance (Definition 3.4) holds iff
+/// every token is retired within the slack -- which a p-worker control
+/// can guarantee exactly when p >= m.
+
+#include <deque>
+#include <optional>
+
+#include "rtw/core/acceptor.hpp"
+#include "rtw/core/language.hpp"
+
+namespace rtw::par {
+
+/// The L_m word: m token symbols per tick, forever (tokens are nats
+/// carrying their arrival tick, so monitors need no extra bookkeeping).
+rtw::core::TimedWord build_token_word(std::uint32_t tokens_per_tick);
+
+/// A p-parallel acceptor for token words: arrivals are dealt round-robin
+/// onto p queues, each retiring one token per tick.  While every retired
+/// token is within `slack`, the acceptor writes f each tick (the
+/// Definition 3.4 "periodic success" reading); the first late token locks
+/// s_r.  It never locks s_f -- the obligation is genuinely infinite -- so
+/// positive verdicts come from the executor's trailing-f heuristic.
+class TokenStreamAcceptor final : public rtw::core::RealTimeAlgorithm {
+public:
+  TokenStreamAcceptor(std::uint32_t workers, rtw::core::Tick slack);
+
+  void on_tick(const rtw::core::StepContext& ctx) override;
+  std::optional<bool> locked() const override;
+  void reset() override;
+  std::string name() const override { return "token-stream-acceptor"; }
+
+  std::uint64_t retired() const noexcept { return retired_; }
+  std::uint64_t peak_backlog() const noexcept { return peak_; }
+
+private:
+  std::uint32_t workers_;
+  rtw::core::Tick slack_;
+  std::vector<std::deque<rtw::core::Tick>> queues_;
+  std::uint32_t next_queue_ = 0;
+  std::uint64_t retired_ = 0;
+  std::uint64_t backlog_ = 0;
+  std::uint64_t peak_ = 0;
+  bool failed_ = false;
+};
+
+/// L_m as a TimedLanguage relative to a p-worker acceptor: contains the
+/// token words an acceptor with `workers` queues serves without lateness
+/// over `horizon` ticks.
+rtw::core::TimedLanguage rtproc_language(std::uint32_t workers,
+                                         rtw::core::Tick slack,
+                                         rtw::core::Tick horizon = 512);
+
+}  // namespace rtw::par

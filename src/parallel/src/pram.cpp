@@ -1,0 +1,104 @@
+#include "rtw/par/pram.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "rtw/core/error.hpp"
+
+namespace rtw::par {
+
+using rtw::core::ModelError;
+
+Pram::Pram(std::uint32_t processors, std::size_t cells, PramVariant variant)
+    : processors_(processors), variant_(variant), memory_(cells, 0) {
+  if (processors == 0) throw ModelError("Pram: need processors");
+  if (cells == 0) throw ModelError("Pram: need memory");
+}
+
+Tick Pram::run(const PramProgram& program, Tick max_steps) {
+  if (!program) throw ModelError("Pram: null program");
+  for (Tick step = 0; step < max_steps; ++step) {
+    // Collect this step's plans.
+    std::vector<std::optional<PramStep>> plans(processors_);
+    bool any = false;
+    for (std::uint32_t p = 0; p < processors_; ++p) {
+      plans[p] = program(p, step);
+      any = any || plans[p].has_value();
+    }
+    if (!any) return step;
+
+    // Read phase (with EREW conflict detection).
+    std::set<std::size_t> read_cells;
+    std::vector<std::vector<Word>> read_values(processors_);
+    for (std::uint32_t p = 0; p < processors_; ++p) {
+      if (!plans[p]) continue;
+      for (std::size_t cell : plans[p]->reads) {
+        if (cell >= memory_.size())
+          throw ModelError("Pram: read out of bounds");
+        if (variant_ == PramVariant::Erew && !read_cells.insert(cell).second)
+          throw ModelError("Pram: concurrent read under EREW");
+        read_values[p].push_back(memory_[cell]);
+      }
+    }
+
+    // Write phase: conflicts are illegal under both variants.
+    std::map<std::size_t, Word> writes;
+    for (std::uint32_t p = 0; p < processors_; ++p) {
+      if (!plans[p] || !plans[p]->compute) continue;
+      for (const auto& [cell, value] :
+           plans[p]->compute(std::span<const Word>(read_values[p]))) {
+        if (cell >= memory_.size())
+          throw ModelError("Pram: write out of bounds");
+        if (!writes.emplace(cell, value).second)
+          throw ModelError("Pram: concurrent write");
+      }
+    }
+    for (const auto& [cell, value] : writes) memory_[cell] = value;
+  }
+  return max_steps;
+}
+
+Tick pram_prefix_sums(Pram& pram, std::size_t n) {
+  // Hillis-Steele doubling: step s adds memory[i - 2^s] into memory[i].
+  // CREW-safe: each step, processor i reads cells i and i - 2^s and writes
+  // cell i (exclusive).
+  const PramProgram program = [n](std::uint32_t proc,
+                                  Tick step) -> std::optional<PramStep> {
+    const std::size_t offset = std::size_t{1} << step;
+    if (offset >= n) return std::nullopt;
+    if (proc >= n || proc < offset) return std::nullopt;
+    PramStep s;
+    s.reads = {proc, proc - offset};
+    s.compute = [proc](std::span<const Word> values) {
+      return std::vector<std::pair<std::size_t, Word>>{
+          {proc, values[0] + values[1]}};
+    };
+    return s;
+  };
+  return pram.run(program, 64);
+}
+
+Tick pram_max_reduce(Pram& pram, std::size_t n) {
+  // Tree reduction: step s compares cells 2^{s+1} apart; processor i
+  // handles cell i * 2^{s+1}, reading it and its sibling at +2^s.
+  // Reads and writes are disjoint across processors: EREW-safe.
+  const PramProgram program = [n](std::uint32_t proc,
+                                  Tick step) -> std::optional<PramStep> {
+    const std::size_t stride = std::size_t{1} << (step + 1);
+    const std::size_t half = stride / 2;
+    if (half >= n) return std::nullopt;
+    const std::size_t base = static_cast<std::size_t>(proc) * stride;
+    if (base >= n || base + half >= n) return std::nullopt;
+    PramStep s;
+    s.reads = {base, base + half};
+    s.compute = [base](std::span<const Word> values) {
+      return std::vector<std::pair<std::size_t, Word>>{
+          {base, std::max(values[0], values[1])}};
+    };
+    return s;
+  };
+  return pram.run(program, 64);
+}
+
+}  // namespace rtw::par

@@ -1,0 +1,109 @@
+#include "rtw/par/process.hpp"
+
+#include <algorithm>
+
+#include "rtw/core/error.hpp"
+
+namespace rtw::par {
+
+using rtw::core::ModelError;
+using rtw::core::TimedSymbol;
+using rtw::core::TimedWord;
+
+void ProcContext::send(ProcId to, Symbol payload) {
+  system_->post(self_, to, payload, now_);
+}
+
+void ProcContext::emit(Symbol s) { system_->record_emit(self_, s, now_); }
+
+ProcessSystem::ProcessSystem(ProcId processes, const ProcessFactory& factory) {
+  if (processes == 0) throw ModelError("ProcessSystem: need processes");
+  if (!factory) throw ModelError("ProcessSystem: null factory");
+  for (ProcId i = 0; i < processes; ++i) {
+    auto process = factory(i);
+    if (!process) throw ModelError("ProcessSystem: factory returned null");
+    processes_.push_back(std::move(process));
+  }
+  trace_.processes.resize(processes);
+  last_emit_.assign(processes, ~Tick{0});
+}
+
+void ProcessSystem::post(ProcId from, ProcId to, Symbol payload, Tick now) {
+  if (to >= processes_.size())
+    throw ModelError("ProcessSystem: message to unknown process");
+  airborne_.push_back({from, to, payload, now, now + 1});
+}
+
+void ProcessSystem::record_emit(ProcId self, Symbol s, Tick now) {
+  if (last_emit_[self] == now)
+    throw ModelError(
+        "ProcessSystem: at most one computation symbol per tick");
+  last_emit_[self] = now;
+  trace_.processes[self].computation.push_back({s, now});
+}
+
+SystemTrace ProcessSystem::run(Tick horizon) {
+  std::vector<ProcMessage> in_flight;
+  for (Tick now = 0; now < horizon; ++now) {
+    // Deliver messages sent last tick, grouped per addressee in send order.
+    std::vector<std::vector<ProcMessage>> inboxes(processes_.size());
+    for (const auto& m : in_flight) {
+      inboxes[m.to].push_back(m);
+      trace_.processes[m.to].received.push_back(m);
+    }
+    in_flight.clear();
+
+    for (ProcId k = 0; k < processes_.size(); ++k) {
+      ProcContext ctx(*this, k, now,
+                      std::span<const ProcMessage>(inboxes[k]));
+      processes_[k]->on_tick(ctx);
+    }
+    for (const auto& m : airborne_) trace_.processes[m.from].sent.push_back(m);
+    in_flight = std::move(airborne_);
+    airborne_.clear();
+  }
+  trace_.horizon = horizon;
+  SystemTrace out = std::move(trace_);
+  trace_ = {};
+  trace_.processes.resize(processes_.size());
+  std::fill(last_emit_.begin(), last_emit_.end(), ~Tick{0});
+  return out;
+}
+
+namespace {
+
+void append_message(std::vector<TimedSymbol>& out, std::uint64_t peer,
+                    Symbol payload, Tick at) {
+  out.push_back({rtw::core::marks::dollar(), at});
+  out.push_back({Symbol::nat(peer), at});
+  out.push_back({rtw::core::marks::at(), at});
+  out.push_back({payload, at});
+  out.push_back({rtw::core::marks::dollar(), at});
+}
+
+}  // namespace
+
+TimedWord SystemTrace::computation_word(ProcId k) const {
+  return TimedWord::finite(processes.at(k).computation);
+}
+
+TimedWord SystemTrace::send_word(ProcId k) const {
+  std::vector<TimedSymbol> out;
+  for (const auto& m : processes.at(k).sent)
+    append_message(out, m.to, m.payload, m.sent_at);
+  return TimedWord::finite(std::move(out));
+}
+
+TimedWord SystemTrace::receive_word(ProcId k) const {
+  std::vector<TimedSymbol> out;
+  for (const auto& m : processes.at(k).received)
+    append_message(out, m.from, m.payload, m.received_at);
+  return TimedWord::finite(std::move(out));
+}
+
+TimedWord SystemTrace::behavior_word(ProcId k) const {
+  return rtw::core::concat(
+      rtw::core::concat(computation_word(k), send_word(k)), receive_word(k));
+}
+
+}  // namespace rtw::par

@@ -1,0 +1,133 @@
+#include "rtw/par/rtproc.hpp"
+
+#include <deque>
+#include <memory>
+
+#include "rtw/core/error.hpp"
+
+namespace rtw::par {
+
+namespace {
+
+/// Shared tally across the trial's processes (the runtime is
+/// single-threaded and deterministic, so plain counters suffice).
+struct Tally {
+  std::uint64_t retired = 0;
+  std::uint64_t late = 0;
+  std::uint64_t backlog = 0;
+  std::uint64_t peak_backlog = 0;
+};
+
+/// A worker retires one queued token per tick; tokens carry their arrival
+/// tick as a nat payload.
+class Worker : public Process {
+public:
+  Worker(std::shared_ptr<Tally> tally, Tick slack)
+      : tally_(std::move(tally)), slack_(slack) {}
+
+  std::string name() const override { return "worker"; }
+
+  void enqueue(Tick arrival) {
+    queue_.push_back(arrival);
+    ++tally_->backlog;
+    tally_->peak_backlog = std::max(tally_->peak_backlog, tally_->backlog);
+  }
+
+  void on_tick(ProcContext& ctx) override {
+    for (const auto& m : ctx.inbox()) enqueue(m.payload.as_nat());
+    work(ctx);
+  }
+
+protected:
+  void work(ProcContext& ctx) {
+    if (queue_.empty()) return;
+    const Tick arrival = queue_.front();
+    queue_.pop_front();
+    --tally_->backlog;
+    const bool in_time = ctx.now() - arrival <= slack_;
+    if (in_time) {
+      ++tally_->retired;
+      ctx.emit(rtw::core::marks::accept());
+    } else {
+      ++tally_->late;
+    }
+  }
+
+  std::shared_ptr<Tally> tally_;
+  Tick slack_;
+  std::deque<Tick> queue_;
+};
+
+/// Process 0: receives the m tokens arriving each tick and deals them
+/// round-robin across all p processes (keeping its own share local).
+class Dispatcher final : public Worker {
+public:
+  Dispatcher(std::shared_ptr<Tally> tally, Tick slack, std::uint32_t tokens,
+             ProcId processes)
+      : Worker(std::move(tally), slack),
+        tokens_(tokens),
+        processes_(processes) {}
+
+  std::string name() const override { return "dispatcher"; }
+
+  void on_tick(ProcContext& ctx) override {
+    for (const auto& m : ctx.inbox()) enqueue(m.payload.as_nat());
+    // The L_m stream: m fresh tokens this tick.
+    for (std::uint32_t i = 0; i < tokens_; ++i) {
+      const ProcId target = next_++ % processes_;
+      if (target == 0)
+        enqueue(ctx.now());
+      else
+        ctx.send(target, rtw::core::Symbol::nat(ctx.now()));
+    }
+    work(ctx);
+  }
+
+private:
+  std::uint32_t tokens_;
+  ProcId processes_;
+  ProcId next_ = 0;
+};
+
+}  // namespace
+
+RtProcOutcome run_rtproc_trial(const RtProcTrial& trial) {
+  if (trial.processes == 0 || trial.tokens == 0)
+    throw rtw::core::ModelError("run_rtproc_trial: degenerate trial");
+  auto tally = std::make_shared<Tally>();
+  ProcessSystem system(
+      trial.processes, [&](ProcId id) -> std::unique_ptr<Process> {
+        if (id == 0)
+          return std::make_unique<Dispatcher>(tally, trial.slack,
+                                              trial.tokens, trial.processes);
+        return std::make_unique<Worker>(tally, trial.slack);
+      });
+  system.run(trial.horizon);
+
+  RtProcOutcome outcome;
+  outcome.retired = tally->retired;
+  outcome.late = tally->late;
+  outcome.peak_backlog = tally->peak_backlog;
+  outcome.accepted = tally->late == 0;
+  return outcome;
+}
+
+std::vector<std::vector<bool>> rtproc_matrix(ProcId max_p, std::uint32_t max_m,
+                                             Tick slack, Tick horizon) {
+  std::vector<std::vector<bool>> matrix;
+  for (ProcId p = 1; p <= max_p; ++p) {
+    std::vector<bool> row;
+    for (std::uint32_t m = 1; m <= max_m; ++m) {
+      RtProcTrial trial;
+      trial.processes = p;
+      trial.tokens = m;
+      trial.slack = slack;
+      trial.horizon = horizon;
+      row.push_back(run_rtproc_trial(trial).accepted);
+    }
+    matrix.push_back(std::move(row));
+  }
+  return matrix;
+}
+
+}  // namespace rtw::par

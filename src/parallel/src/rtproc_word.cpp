@@ -1,0 +1,97 @@
+#include "rtw/par/rtproc_word.hpp"
+
+#include <deque>
+
+#include "rtw/core/error.hpp"
+
+namespace rtw::par {
+
+using rtw::core::Symbol;
+using rtw::core::Tick;
+using rtw::core::TimedSymbol;
+using rtw::core::TimedWord;
+
+TimedWord build_token_word(std::uint32_t tokens_per_tick) {
+  if (tokens_per_tick == 0)
+    throw rtw::core::ModelError("build_token_word: zero rate");
+  // Lasso: one tick's worth of tokens, advancing one tick per lap.  Each
+  // token's nat payload is its offset within the tick (the arrival tick is
+  // the timestamp itself).
+  std::vector<TimedSymbol> cycle;
+  for (std::uint32_t i = 0; i < tokens_per_tick; ++i)
+    cycle.push_back({Symbol::nat(i), 1});
+  return TimedWord::lasso({}, std::move(cycle), 1);
+}
+
+TokenStreamAcceptor::TokenStreamAcceptor(std::uint32_t workers, Tick slack)
+    : workers_(workers), slack_(slack) {
+  if (workers == 0)
+    throw rtw::core::ModelError("TokenStreamAcceptor: zero workers");
+  queues_.resize(workers);
+}
+
+void TokenStreamAcceptor::reset() {
+  for (auto& q : queues_) q.clear();
+  next_queue_ = 0;
+  retired_ = 0;
+  backlog_ = 0;
+  peak_ = 0;
+  failed_ = false;
+}
+
+void TokenStreamAcceptor::on_tick(const rtw::core::StepContext& ctx) {
+  if (failed_) return;
+
+  // Deal this tick's tokens round-robin across the worker queues.
+  for (const auto& ts : ctx.arrivals) {
+    if (!ts.sym.is_nat()) continue;
+    queues_[next_queue_++ % workers_].push_back(ts.time);
+    ++backlog_;
+  }
+  peak_ = std::max(peak_, backlog_);
+
+  // Each worker retires one token this tick; a token older than the slack
+  // is a hard failure (s_r).
+  bool all_in_time = true;
+  for (auto& q : queues_) {
+    if (q.empty()) continue;
+    const Tick arrival = q.front();
+    q.pop_front();
+    --backlog_;
+    ++retired_;
+    if (ctx.now - arrival > slack_) all_in_time = false;
+  }
+  if (!all_in_time) {
+    failed_ = true;
+    return;
+  }
+  // Per-tick success: one f (the periodic-computation reading of
+  // Definition 3.4 -- f per successfully served obligation).
+  if (ctx.out.can_write(ctx.now))
+    ctx.out.write(ctx.now, ctx.out.accept_symbol());
+}
+
+std::optional<bool> TokenStreamAcceptor::locked() const {
+  if (failed_) return false;
+  return std::nullopt;  // the obligation never ends: no s_f lock
+}
+
+rtw::core::TimedLanguage rtproc_language(std::uint32_t workers, Tick slack,
+                                         Tick horizon) {
+  auto member = [workers, slack, horizon](const TimedWord& w) {
+    TokenStreamAcceptor acceptor(workers, slack);
+    rtw::core::RunOptions options;
+    options.horizon = horizon;
+    const auto result = rtw::core::run_acceptor(acceptor, w, options);
+    return result.accepted;
+  };
+  auto sampler = [workers](std::uint64_t i) {
+    // Members: rates the acceptor can sustain (1..workers).
+    return build_token_word(1 + static_cast<std::uint32_t>(i) % workers);
+  };
+  return rtw::core::TimedLanguage(
+      "L(rt-PROC:" + std::to_string(workers) + ")", std::move(member),
+      std::move(sampler));
+}
+
+}  // namespace rtw::par

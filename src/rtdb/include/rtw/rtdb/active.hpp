@@ -1,0 +1,87 @@
+#pragma once
+/// \file active.hpp
+/// Active databases (section 5.1.2): events, ECA rules ("on event if
+/// condition then action"), and an execution model with the paper's three
+/// firing modes -- immediate, deferred, and concurrent.
+///
+///   * Immediate: the rule fires as soon as its event and condition hold.
+///   * Deferred: rule invocation waits until the final state (in the
+///     absence of any rule) is reached -- i.e. after the triggering batch
+///     of events has been fully absorbed.
+///   * Concurrent: the action runs as a separately scheduled process; the
+///     engine models this by queuing the action for the end of the
+///     processing round (after all deferred actions), preserving
+///     determinism on one machine.
+///
+/// Actions may emit further events, triggering cascades; a configurable
+/// cascade depth bounds runaway rule systems.
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rtw/core/timed_word.hpp"
+#include "rtw/rtdb/relation.hpp"
+
+namespace rtw::rtdb {
+
+using rtw::core::Tick;
+
+/// An (internal or external) event with named attributes.
+struct Event {
+  std::string name;
+  Tick time = 0;
+  std::map<std::string, Value> attributes;
+};
+
+enum class FiringMode { Immediate, Deferred, Concurrent };
+
+std::string to_string(FiringMode m);
+
+/// Emission hook handed to actions so they can raise cascading events.
+using EmitFn = std::function<void(Event)>;
+
+/// An ECA rule.
+struct Rule {
+  std::string name;
+  std::string event;  ///< triggering event name
+  FiringMode mode = FiringMode::Immediate;
+  /// `if` part: may consult parameters passed with the event or the
+  /// content of the database.
+  std::function<bool(const Database&, const Event&)> condition;
+  /// `then` part: an arbitrary routine, usually an updating transaction.
+  std::function<void(Database&, const Event&, const EmitFn&)> action;
+};
+
+/// Statistics of one processing round.
+struct FiringReport {
+  std::vector<std::string> fired;  ///< rule names in execution order
+  std::size_t cascades = 0;        ///< events emitted by actions
+  bool cascade_limit_hit = false;
+};
+
+/// Forward-chaining rule engine.
+class RuleEngine {
+public:
+  explicit RuleEngine(std::size_t cascade_limit = 64);
+
+  void add_rule(Rule rule);
+  std::size_t rules() const noexcept { return rules_.size(); }
+
+  /// Processes one external event against `db`: immediate rules fire
+  /// during event absorption (including cascades), deferred rules fire
+  /// once the immediate wave has settled, concurrent rules run last.
+  FiringReport process(Database& db, Event event);
+
+  /// Processes a batch of events as one round (deferred rules wait for the
+  /// whole batch).
+  FiringReport process_batch(Database& db, std::vector<Event> events);
+
+private:
+  std::size_t cascade_limit_;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace rtw::rtdb

@@ -1,0 +1,61 @@
+#pragma once
+/// \file algebra.hpp
+/// Relational algebra over Relation instances: the query language of
+/// section 5.1.1 ("a variant of relational algebra can be defined as a
+/// query language for real-time databases").
+///
+/// Operators: selection, projection, rename, cartesian product, natural
+/// join, union, difference, intersection.  All are pure (value semantics);
+/// sorts are checked and ModelError is thrown on schema violations.
+
+#include <functional>
+#include <map>
+
+#include "rtw/rtdb/relation.hpp"
+
+namespace rtw::rtdb {
+
+/// Row predicate: receives the relation (for attribute lookup) and a tuple.
+using RowPredicate = std::function<bool(const Relation&, const Tuple&)>;
+
+/// sigma_pred(r): tuples satisfying the predicate.
+Relation select(const Relation& r, const RowPredicate& pred);
+
+/// Convenience selections.
+Relation select_eq(const Relation& r, const Attribute& a, const Value& v);
+Relation select_lt(const Relation& r, const Attribute& a, const Value& v);
+
+/// pi_attrs(r): projection onto `attrs` (duplicates collapse, set
+/// semantics).  Order of `attrs` defines the output sort.
+Relation project(const Relation& r, const std::vector<Attribute>& attrs);
+
+/// rho(r): renames attributes per `mapping` (absent attributes unchanged).
+Relation rename(const Relation& r,
+                const std::map<Attribute, Attribute>& mapping);
+
+/// r x s: cartesian product; attribute collisions are a ModelError (rename
+/// first).
+Relation product(const Relation& r, const Relation& s);
+
+/// r |x| s: natural join on all shared attributes (product if none).
+Relation natural_join(const Relation& r, const Relation& s);
+
+/// Set operations: sorts must match exactly.
+Relation set_union(const Relation& r, const Relation& s);
+Relation set_difference(const Relation& r, const Relation& s);
+Relation set_intersection(const Relation& r, const Relation& s);
+
+// ---- aggregates (the extended algebra real-time queries lean on) --------
+
+/// Groups by `key` and counts group sizes; output sort {key, "count"}.
+Relation group_count(const Relation& r, const Attribute& key);
+
+/// Groups by `key` and sums the integer attribute `value`; non-integers
+/// are a ModelError.  Output sort {key, "sum"}.
+Relation group_sum(const Relation& r, const Attribute& key,
+                   const Attribute& value);
+
+/// Maximum of integer attribute `value` over all tuples; nullopt on empty.
+std::optional<std::int64_t> max_of(const Relation& r, const Attribute& value);
+
+}  // namespace rtw::rtdb

@@ -1,0 +1,120 @@
+#pragma once
+/// \file encode.hpp
+/// Section 5.1.3: real-time database instances and queries as timed
+/// omega-words.
+///
+/// Words built here:
+///   * db_0  -- enc(V) $ enc(D) $ at time 0: the invariant and derived
+///     object sets, specified up front;
+///   * db_k  -- the sample stream of image object o_k: enc(o_k(t_i)) at
+///     times i * t_k;
+///   * db_B  -- db_0 db_1 ... db_r (equation 6), realized with the
+///     Definition 3.5 concatenation (merge) from the core library;
+///   * aq_[q,s,t]     -- an aperiodic query q issued at time t with
+///     candidate tuple s, with no/firm/soft deadline (the section 4.1
+///     construction shifted to issue time t);
+///   * pq_[q,s,t,t_p] -- a periodic query: the infinite concatenation
+///     aq_[q,s_1,t] aq_[q,s_2,t+t_p] ... whose well-behavedness is
+///     Lemma 5.1 (checkable via lemma51_index below).
+///
+/// Encoding conventions (the paper's enc / enc_q, made concrete):
+/// object groups open with the marker `#`, names and values are character
+/// symbols separated by the marker `@`; query blocks open with the marker
+/// `?`, close their two fields with `$`, and use the markers `wq` / `dq`
+/// for the waiting/deadline-passed stream so they cannot collide with the
+/// section 4.1 symbols (disjointness of alphabets, section 4).
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rtw/core/concat.hpp"
+#include "rtw/core/timed_word.hpp"
+#include "rtw/deadline/usefulness.hpp"
+#include "rtw/rtdb/relation.hpp"
+
+namespace rtw::rtdb {
+
+using rtw::core::Tick;
+
+/// Designated markers of the section 5.1.3 encoding.
+namespace qmarks {
+rtw::core::Symbol object();       ///< `#`: object group opener
+rtw::core::Symbol field();        ///< `@`: name/value and value/value sep
+rtw::core::Symbol query();        ///< `?`: query block opener
+rtw::core::Symbol waiting();      ///< `wq`
+rtw::core::Symbol deadline();     ///< `dq`
+}  // namespace qmarks
+
+/// Specification of the database B whose word is to be built.  (The word
+/// carries values only; the acceptor reconstructs a relational rendering
+/// -- see render_relational.)
+struct RtdbWordSpec {
+  struct Image {
+    std::string name;
+    Tick period = 1;                    ///< t_k
+    std::function<Value(Tick)> sampler; ///< o_k(t): the external world
+  };
+  std::vector<std::pair<std::string, Value>> invariants;  ///< V
+  std::vector<std::pair<std::string, Value>> derived;     ///< D (at time 0)
+  std::vector<Image> images;
+};
+
+/// enc of one (name, value) group: `#` name `@` value, all at `at`.
+std::vector<rtw::core::TimedSymbol> encode_object(const std::string& name,
+                                                  const Value& value,
+                                                  Tick at);
+
+/// db_0: the invariant and derived sets at time 0.
+rtw::core::TimedWord build_db0(const RtdbWordSpec& spec);
+
+/// db_k for one image object: its unbounded sample stream.
+rtw::core::TimedWord build_dbk(const RtdbWordSpec::Image& image);
+
+/// db_B = db_0 db_1 ... db_r (equation 6) via Definition 3.5 merging.
+rtw::core::TimedWord build_dbB(const RtdbWordSpec& spec);
+
+/// Ground truth the acceptor's reconstruction must match: a Database with
+/// one relation Objects(Name, Kind, Value, ValidTime) reflecting B at time
+/// `t` (latest image samples at or before t).
+Database render_relational(const RtdbWordSpec& spec, Tick t);
+
+/// An aperiodic query instance (Definition 5.1's q, s, t).
+struct AperiodicQuerySpec {
+  std::string query;              ///< name resolved via a QueryCatalog
+  Tuple candidate;                ///< tuple s whose membership is claimed
+  Tick issue_time = 0;            ///< t
+  rtw::deadline::Usefulness usefulness =
+      rtw::deadline::Usefulness::none(1);
+  std::uint64_t min_acceptable = 0;
+};
+
+/// aq_[q,s,t]: the query word alone (concatenate with db_B for the
+/// recognition problem).
+rtw::core::TimedWord build_aq(const AperiodicQuerySpec& spec,
+                              Tick decay_span = 4096);
+
+/// A periodic query: issued at t, reissued every t_p; candidate(i) is the
+/// tuple tested at the i-th invocation (0-based).
+struct PeriodicQuerySpec {
+  std::string query;
+  std::function<Tuple(std::uint64_t)> candidate;
+  Tick issue_time = 0;   ///< t
+  Tick period = 1;       ///< t_p
+  rtw::deadline::Usefulness usefulness =
+      rtw::deadline::Usefulness::none(1);  ///< per-invocation (relative)
+  std::uint64_t min_acceptable = 0;
+};
+
+/// pq_[q,s,t,t_p]: the infinite concatenation of per-invocation aq words.
+/// Well-behaved by Lemma 5.1; the returned generator wears proven traits.
+rtw::core::TimedWord build_pq(const PeriodicQuerySpec& spec);
+
+/// Lemma 5.1 made executable: the first index k' with tau_{k'} >= k.
+/// The lemma asserts k' is finite and bounded; returns nullopt only if not
+/// found within `scan_limit` indices (which would refute the lemma).
+std::optional<std::uint64_t> lemma51_index(const rtw::core::TimedWord& word,
+                                           Tick k, std::uint64_t scan_limit);
+
+}  // namespace rtw::rtdb

@@ -1,0 +1,23 @@
+#pragma once
+/// \file ngc.hpp
+/// The paper's running example: the National Gallery of Canada database of
+/// Figure 1 (schema NGC = {Exhibitions, Schedules}) and the Figure 2 query
+/// "which artist is exhibited in which city in November".
+
+#include "rtw/rtdb/query.hpp"
+#include "rtw/rtdb/relation.hpp"
+
+namespace rtw::rtdb::ngc {
+
+/// Builds the exact database instance of Figure 1: the Exhibitions
+/// relation (6 tuples) and the Schedules relation (3 tuples).
+Database figure1_instance();
+
+/// The Figure 2 query: sigma(month(Date) = November)(Schedules) |x|
+/// Exhibitions, projected on {Artist, City}.
+Query november_artists_query();
+
+/// The expected result of Figure 2 (3 tuples over {Artist, City}).
+Relation figure2_expected();
+
+}  // namespace rtw::rtdb::ngc

@@ -1,0 +1,50 @@
+#pragma once
+/// \file query.hpp
+/// Queries (section 5.1.1): a query is a partial mapping from inst(**R**)
+/// to inst(S) for a fixed database schema **R** and relation schema S.
+///
+/// Queries are named so they can be referenced from the timed-word
+/// encodings of section 5.1.3 (a query's *name* travels in the word; the
+/// acceptor resolves it in a QueryCatalog -- the "suitable encoding
+/// enc_q over queries" of the paper).
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "rtw/rtdb/relation.hpp"
+
+namespace rtw::rtdb {
+
+/// A named query over database instances.
+class Query {
+public:
+  using Fn = std::function<Relation(const Database&)>;
+
+  Query() = default;
+  Query(std::string name, Fn fn);
+
+  const std::string& name() const noexcept { return name_; }
+  /// Evaluates the query on `db`.
+  Relation operator()(const Database& db) const;
+  bool valid() const noexcept { return static_cast<bool>(fn_); }
+
+private:
+  std::string name_;
+  Fn fn_;
+};
+
+/// A registry resolving query names to queries (the enc_q codomain).
+class QueryCatalog {
+public:
+  void add(Query query);
+  bool has(const std::string& name) const;
+  const Query& get(const std::string& name) const;
+  std::size_t size() const noexcept { return queries_.size(); }
+
+private:
+  std::map<std::string, Query> queries_;
+};
+
+}  // namespace rtw::rtdb

@@ -1,0 +1,132 @@
+#pragma once
+/// \file recognition.hpp
+/// The recognition problem, classical and real-time.
+///
+/// Classical (section 5.1.1, equation 5): for a query q, the language
+/// { enc(I) $ enc(u) | u in q(I) } -- here exposed as the predicate
+/// `recognition_holds` plus a word encoding for completeness.
+///
+/// Real-time (Definition 5.1): L_aq = { db_B aq_[q,s,t] | s in q(B) } and
+/// L_pq = { db_B pq_[q,s,t,t_p] | s in q(B) }.  The acceptor below
+/// consumes the merged word, reconstructs B's relational rendering from
+/// the stream alone, evaluates the (catalog-resolved) query at each issue
+/// time under a work-cost model, enforces the deadline via the stream's
+/// wq/dq/usefulness symbols, and writes f per successfully served
+/// invocation -- exactly the Definition 3.4 protocol described in the
+/// paper (first f = success for aperiodic; one f per served occurrence for
+/// periodic, with a failure blocking all further f's).
+
+#include <memory>
+#include <optional>
+
+#include "rtw/core/acceptor.hpp"
+#include "rtw/core/language.hpp"
+#include "rtw/rtdb/encode.hpp"
+#include "rtw/rtdb/query.hpp"
+
+namespace rtw::rtdb {
+
+// ------------------------------------------------------------- classical
+
+/// u in q(I)?
+bool recognition_holds(const Query& q, const Database& db, const Tuple& u);
+
+/// enc(I)$enc(u): the classical recognition word (a timed word with the
+/// all-zero time sequence -- a "classical word" in the section 3.2 sense).
+rtw::core::TimedWord classical_recognition_word(const Database& db,
+                                                const Tuple& u);
+
+// -------------------------------------------------------------- real-time
+
+/// Work-cost model for query evaluation inside the acceptor: virtual ticks
+/// P_w needs, as a function of the reconstructed database size.
+using QueryCostModel = std::function<Tick(std::size_t db_size)>;
+
+/// Default: evaluation costs max(1, db_size) ticks (linear scan).
+QueryCostModel linear_cost();
+
+/// The Definition 5.1 acceptor.  One instance serves both L_aq and L_pq:
+/// every completed query block is served in arrival order; an aperiodic
+/// word simply contains one block.
+///
+/// Verdict protocol: a served invocation whose candidate tuple IS in the
+/// query result (and whose deadline/usefulness constraint held at
+/// evaluation completion) emits one f.  A failed invocation locks the
+/// acceptor in s_r.  For aperiodic words the acceptor locks s_f after its
+/// single success; for periodic words it keeps serving (acceptance is then
+/// judged by the executor's trailing-f heuristic, the honest reading of
+/// "f appears infinitely often").
+class RecognitionAcceptor final : public rtw::core::RealTimeAlgorithm {
+public:
+  /// `patience`: after a successful invocation with no further query
+  /// activity, the acceptor keeps writing f and locks into s_f once this
+  /// many quiet ticks pass -- long enough that any periodic reissue (whose
+  /// period must be below the patience) arrives first.
+  RecognitionAcceptor(QueryCatalog catalog, QueryCostModel cost,
+                      Tick patience = 256);
+
+  void on_tick(const rtw::core::StepContext& ctx) override;
+  std::optional<bool> locked() const override;
+  void reset() override;
+  std::string name() const override { return "rtdb-recognition"; }
+
+  std::uint64_t served() const noexcept { return served_; }
+  std::uint64_t failed() const noexcept { return failed_; }
+
+private:
+  struct PendingQuery {
+    std::optional<std::uint64_t> min_acceptable;
+    std::vector<rtw::core::Symbol> body;  ///< symbols between ? and 2nd $
+    std::size_t dollars_seen = 0;
+    std::size_t split = 0;  ///< candidate/name boundary (first $ position)
+    std::uint64_t invocation_index = 0;
+    Tick issue_time = 0;
+    bool complete = false;
+  };
+  struct RunningQuery {
+    std::string name;
+    Tuple candidate;
+    std::uint64_t invocation_index = 0;
+    Tick issue_time = 0;
+    Tick completes_at = 0;
+    std::uint64_t min_acceptable = 0;
+    /// B as reconstructed when evaluation started: queries are answered
+    /// against the instance at issue time, not at completion time.
+    Relation snapshot{"Objects", {"Name", "Kind", "Value", "ValidTime"}};
+  };
+
+  void ingest(const rtw::core::TimedSymbol& ts);
+  void start_running(Tick now);
+  Tuple parse_candidate(const std::vector<rtw::core::Symbol>& body,
+                        std::size_t end) const;
+
+  QueryCatalog catalog_;
+  QueryCostModel cost_;
+  Tick patience_;
+  std::optional<Tick> accepting_since_;  ///< provisional s_f entry time
+
+  // Reconstruction of B from the stream.
+  Relation objects_{"Objects", {"Name", "Kind", "Value", "ValidTime"}};
+  std::size_t db0_dollars_ = 0;  ///< 0: in V, 1: in D, 2: db_0 done
+  std::vector<rtw::core::Symbol> group_;  ///< current object group
+  bool in_group_ = false;
+  Tick group_time_ = 0;
+
+  std::optional<PendingQuery> pending_;
+  std::vector<PendingQuery> ready_;
+  std::optional<RunningQuery> running_;
+
+  std::uint64_t served_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t invocations_seen_ = 0;
+  std::optional<bool> lock_;
+};
+
+/// L_aq (Definition 5.1) as a timed language: membership runs the acceptor
+/// on the word.  Exactness: aperiodic words lock (exact); periodic words
+/// use the trailing-f heuristic.
+rtw::core::TimedLanguage recognition_language(QueryCatalog catalog,
+                                              QueryCostModel cost,
+                                              Tick horizon = 4096);
+
+}  // namespace rtw::rtdb

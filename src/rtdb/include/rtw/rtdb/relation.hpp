@@ -1,0 +1,108 @@
+#pragma once
+/// \file relation.hpp
+/// Relations, tuples, instances and database schemas (section 5.1.1,
+/// following the notation of Abiteboul-Hull-Vianu [2]).
+///
+///   * an attribute is a name from **att**;
+///   * sort(R) is a relation's ordered attribute list; arity(R) = |sort(R)|;
+///   * a tuple over R is R(a_1, ..., a_n) with a_i in **dom**;
+///   * a relation instance is a finite *set* of tuples;
+///   * a database schema **R** is a finite set of relation names; an
+///     instance **I** maps each name to a relation instance.
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rtw/rtdb/value.hpp"
+
+namespace rtw::rtdb {
+
+using Attribute = std::string;
+using Tuple = std::vector<Value>;
+
+/// A named relation instance with its sort.  Set semantics: duplicate
+/// inserts are ignored; iteration order is insertion order (deterministic).
+class Relation {
+public:
+  Relation() = default;
+  Relation(std::string name, std::vector<Attribute> sort);
+
+  const std::string& name() const noexcept { return name_; }
+  const std::vector<Attribute>& sort() const noexcept { return sort_; }
+  std::size_t arity() const noexcept { return sort_.size(); }
+  std::size_t size() const noexcept { return tuples_.size(); }
+  bool empty() const noexcept { return tuples_.empty(); }
+
+  /// Index of an attribute within the sort; nullopt if absent.
+  std::optional<std::size_t> attribute_index(const Attribute& a) const;
+
+  /// Inserts a tuple (arity-checked).  Returns false if already present.
+  bool insert(Tuple tuple);
+
+  /// Removes all tuples matching `pred`; returns the number removed.
+  template <typename Pred>
+  std::size_t erase_if(Pred pred) {
+    std::size_t removed = 0;
+    std::vector<Tuple> kept;
+    kept.reserve(tuples_.size());
+    for (auto& t : tuples_) {
+      if (pred(t))
+        ++removed;
+      else
+        kept.push_back(std::move(t));
+    }
+    tuples_ = std::move(kept);
+    return removed;
+  }
+
+  bool contains(const Tuple& tuple) const;
+
+  const std::vector<Tuple>& tuples() const noexcept { return tuples_; }
+
+  /// Value of attribute `a` in `tuple`; throws ModelError if `a` is not in
+  /// the sort.
+  const Value& field(const Tuple& tuple, const Attribute& a) const;
+
+  /// Multi-line rendering in the style of the paper's Figure 1.
+  std::string to_string() const;
+
+  friend bool operator==(const Relation& a, const Relation& b) {
+    return a.name_ == b.name_ && a.sort_ == b.sort_ && a.tuples_ == b.tuples_;
+  }
+
+private:
+  std::string name_;
+  std::vector<Attribute> sort_;
+  std::vector<Tuple> tuples_;
+};
+
+/// A database instance **I**: relation name -> relation instance.
+class Database {
+public:
+  /// Adds (or replaces) a relation.
+  void put(Relation relation);
+  bool has(const std::string& name) const;
+  /// Throws ModelError if absent.
+  const Relation& get(const std::string& name) const;
+  Relation& get(const std::string& name);
+
+  /// The schema **R**: the relation names, sorted.
+  std::vector<std::string> schema() const;
+  std::size_t relations() const noexcept { return byname_.size(); }
+  /// Total tuple count across relations.
+  std::size_t size() const;
+
+  std::string to_string() const;
+
+  friend bool operator==(const Database& a, const Database& b) {
+    return a.byname_ == b.byname_;
+  }
+
+private:
+  std::map<std::string, Relation> byname_;
+};
+
+}  // namespace rtw::rtdb

@@ -1,0 +1,136 @@
+#pragma once
+/// \file rtdb.hpp
+/// The real-time database model (section 5.1.2, after Vrbsky [34] /
+/// the historical relational data model [18]).
+///
+/// Objects fall in three categories:
+///   * image objects -- values read directly from the external environment,
+///     sampled periodically; archival snapshots are kept;
+///   * derived objects -- computed from image (and other) objects, with
+///     timestamp = the *oldest* valid time among their inputs;
+///   * invariant objects -- constant with time.
+///
+/// With ages a(x) = now - t_x and dispersions d(x,y) = |t_x - t_y|, a set
+/// is *absolutely consistent* when every age is within T_a, and *relatively
+/// consistent* when every pairwise dispersion is within T_r.  A real-time
+/// database instance is B = (I_1, ..., I_n, D, V): the archive of image
+/// snapshots, the derived set, and the invariant set.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rtw/core/timed_word.hpp"
+#include "rtw/rtdb/active.hpp"
+#include "rtw/rtdb/relation.hpp"
+
+namespace rtw::rtdb {
+
+/// A value with its valid time.
+struct TimedValue {
+  Value value;
+  Tick valid_time = 0;
+
+  friend bool operator==(const TimedValue&, const TimedValue&) = default;
+};
+
+/// Age of an object at `now` (0 if the timestamp is in the future).
+inline Tick age(const TimedValue& x, Tick now) {
+  return now >= x.valid_time ? now - x.valid_time : 0;
+}
+
+/// Dispersion of two objects: |t_x - t_y|.
+inline Tick dispersion(const TimedValue& x, const TimedValue& y) {
+  return x.valid_time >= y.valid_time ? x.valid_time - y.valid_time
+                                      : y.valid_time - x.valid_time;
+}
+
+/// An image object: externally sampled every `period` ticks.
+struct ImageObjectSpec {
+  std::string name;
+  Tick period = 1;  ///< t_k of section 5.1.3
+  /// Reads the external world at a given time (the "sampling process").
+  std::function<Value(Tick)> sampler;
+};
+
+/// A derived object: recomputed from named source objects on every update;
+/// timestamp = oldest input valid time.
+struct DerivedObjectSpec {
+  std::string name;
+  std::vector<std::string> inputs;  ///< image or derived object names
+  std::function<Value(const std::vector<TimedValue>&)> derive;
+};
+
+/// The real-time database B = (I_1 ... I_n, D, V).
+class RealTimeDatabase {
+public:
+  /// `archive_depth` = n: how many image-snapshot generations to retain.
+  explicit RealTimeDatabase(std::size_t archive_depth = 4);
+
+  void add_image(ImageObjectSpec spec);
+  void add_derived(DerivedObjectSpec spec);
+  void add_invariant(std::string name, Value value);
+
+  /// Runs the sampling processes due at time `now` (each image object with
+  /// now % period == 0 is read), then recomputes derived objects
+  /// (immediate firing, as implied by [34] -- valid and transaction times
+  /// coincide).  If a RuleEngine is attached, a "Sample" event per sampled
+  /// object is processed against `rules_db`.
+  void tick(Tick now);
+
+  /// Attaches a rule engine + database that receive a "Sample" event (with
+  /// attributes object/value) for every sampling.
+  void attach_rules(RuleEngine* engine, Database* rules_db);
+
+  // ---- queries over the object sets -------------------------------------
+
+  std::optional<TimedValue> image_value(const std::string& name) const;
+  std::optional<TimedValue> derived_value(const std::string& name) const;
+  std::optional<TimedValue> invariant_value(const std::string& name,
+                                            Tick now) const;
+  /// Any object by name (image, then derived, then invariant).
+  std::optional<TimedValue> value_of(const std::string& name, Tick now) const;
+
+  /// The archive I_1..I_n of an image object (oldest first, most recent
+  /// last = I_n).
+  std::vector<TimedValue> archive(const std::string& name) const;
+
+  /// Absolute consistency of the *current* image set: all ages <= T_a, and
+  /// (per the paper) the ages of objects used to derive the derived
+  /// objects are within the threshold too.
+  bool absolutely_consistent(Tick now, Tick t_a) const;
+
+  /// Relative consistency: pairwise dispersion of current image values
+  /// <= T_r.
+  bool relatively_consistent(Tick t_r) const;
+
+  std::vector<std::string> image_names() const;
+  std::vector<std::string> derived_names() const;
+  std::vector<std::string> invariant_names() const;
+  std::size_t archive_depth() const noexcept { return archive_depth_; }
+  Tick image_period(const std::string& name) const;
+
+private:
+  struct ImageState {
+    ImageObjectSpec spec;
+    std::vector<TimedValue> history;  ///< bounded by archive_depth_
+  };
+  struct DerivedState {
+    DerivedObjectSpec spec;
+    std::optional<TimedValue> current;
+  };
+
+  void recompute_derived(Tick now);
+
+  std::size_t archive_depth_;
+  std::vector<ImageState> images_;
+  std::vector<DerivedState> derived_;
+  std::map<std::string, Value> invariants_;
+  RuleEngine* rule_engine_ = nullptr;
+  Database* rules_db_ = nullptr;
+};
+
+}  // namespace rtw::rtdb

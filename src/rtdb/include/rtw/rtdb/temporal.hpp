@@ -1,0 +1,110 @@
+#pragma once
+/// \file temporal.hpp
+/// Temporal databases (section 5.1.2): discrete linear time (chronons),
+/// lifespans as finite unions of closed intervals forming a boolean
+/// algebra, and the snapshot view I_t of a database through time.
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rtw/core/timed_word.hpp"
+#include "rtw/rtdb/relation.hpp"
+
+namespace rtw::rtdb {
+
+using rtw::core::Tick;
+
+/// The open upper end used to express "until forever".
+inline constexpr Tick kForever = std::numeric_limits<Tick>::max();
+
+/// A closed interval [lo, hi] of chronons; a degenerate interval lo == hi
+/// represents a single instant (the paper's representation of one time
+/// value).
+struct Interval {
+  Tick lo = 0;
+  Tick hi = 0;
+
+  bool contains(Tick t) const noexcept { return lo <= t && t <= hi; }
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// A lifespan: a finite union of closed intervals, kept normalized
+/// (sorted, disjoint, non-adjacent).  Closed under union, intersection and
+/// complement (within [0, kForever]) -- the boolean algebra of the paper.
+class Lifespan {
+public:
+  Lifespan() = default;  ///< the empty lifespan
+
+  static Lifespan empty() { return Lifespan(); }
+  static Lifespan point(Tick t);
+  static Lifespan interval(Tick lo, Tick hi);
+  static Lifespan from(Tick lo);  ///< [lo, forever]
+  static Lifespan always();       ///< [0, forever]
+
+  bool contains(Tick t) const;
+  bool is_empty() const noexcept { return intervals_.empty(); }
+
+  /// Total number of chronons covered (saturates at kForever).
+  Tick duration() const;
+
+  Lifespan unite(const Lifespan& other) const;
+  Lifespan intersect(const Lifespan& other) const;
+  Lifespan complement() const;
+
+  const std::vector<Interval>& intervals() const noexcept {
+    return intervals_;
+  }
+
+  std::string to_string() const;
+
+  friend bool operator==(const Lifespan&, const Lifespan&) = default;
+
+private:
+  explicit Lifespan(std::vector<Interval> intervals);
+  static std::vector<Interval> normalize(std::vector<Interval> intervals);
+  std::vector<Interval> intervals_;
+};
+
+/// The temporal database as a sequence of snapshots indexed by time:
+/// stores full instances at their transaction times, serves I_t as the
+/// most recent snapshot at or before t.
+class SnapshotStore {
+public:
+  /// Records `db` as the state from time `t` on (monotone transaction
+  /// times required).
+  void record(Tick t, Database db);
+
+  /// I_t: the instance at time t (nullopt before the first snapshot).
+  std::optional<Database> instance_at(Tick t) const;
+
+  /// Lifespan during which relation `rel` contained `tuple`, across the
+  /// recorded history (valid-time reconstruction from snapshots; the final
+  /// snapshot extends to forever).
+  Lifespan tuple_lifespan(const std::string& rel, const Tuple& tuple) const;
+
+  std::size_t snapshots() const noexcept { return history_.size(); }
+  /// Transaction times of all snapshots.
+  std::vector<Tick> times() const;
+
+private:
+  std::map<Tick, Database> history_;
+};
+
+/// Temporal query: evaluates `q` against the instance as of time `t`
+/// (the "access to the past" active-database capability of section
+/// 5.1.2).  nullopt before the first snapshot.
+std::optional<Relation> as_of(const SnapshotStore& store, Tick t,
+                              const std::function<Relation(const Database&)>& q);
+
+/// Evaluates `q` at every snapshot time, pairing results with their
+/// transaction times -- the query's own history.
+std::vector<std::pair<Tick, Relation>> query_history(
+    const SnapshotStore& store,
+    const std::function<Relation(const Database&)>& q);
+
+}  // namespace rtw::rtdb

@@ -1,0 +1,45 @@
+#pragma once
+/// \file value.hpp
+/// The underlying domain **dom** of the relational model (section 5.1.1).
+///
+/// The paper fixes a countably infinite set of constants; for the Figure 1
+/// database those constants are strings ("Terre Sauvage", "Thompson") and
+/// month-resolution dates ("October 1999").  Value is the closed union the
+/// library supports: integers, doubles, strings, and dates -- totally
+/// ordered (type-major) so tuples can key ordered containers, and ordered
+/// *semantically* within dates so the MonthChange rule of section 5.1.2
+/// ("del(Date < CurrentDate)") is expressible.
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace rtw::rtdb {
+
+/// A month-resolution date, e.g. {1999, 11} prints as "November 1999".
+struct Date {
+  int year = 1970;
+  int month = 1;  ///< 1..12
+
+  friend constexpr auto operator<=>(const Date& a, const Date& b) {
+    if (auto c = a.year <=> b.year; c != 0) return c;
+    return a.month <=> b.month;
+  }
+  friend constexpr bool operator==(const Date&, const Date&) = default;
+};
+
+/// Renders/parses the paper's "November 1999" format.
+std::string to_string(const Date& d);
+/// Parses "November 1999"; throws ModelError on malformed input.
+Date parse_date(const std::string& text);
+
+using Value = std::variant<std::int64_t, double, std::string, Date>;
+
+std::string to_string(const Value& v);
+
+/// Total order: type-major (int < double < string < date), then by value.
+/// std::variant's built-in operator<=> provides exactly this.
+inline auto compare(const Value& a, const Value& b) { return a <=> b; }
+
+}  // namespace rtw::rtdb

@@ -1,0 +1,120 @@
+#include "rtw/rtdb/active.hpp"
+
+#include "rtw/core/error.hpp"
+
+namespace rtw::rtdb {
+
+using rtw::core::ModelError;
+
+std::string to_string(FiringMode m) {
+  switch (m) {
+    case FiringMode::Immediate:
+      return "immediate";
+    case FiringMode::Deferred:
+      return "deferred";
+    case FiringMode::Concurrent:
+      return "concurrent";
+  }
+  return "?";
+}
+
+RuleEngine::RuleEngine(std::size_t cascade_limit)
+    : cascade_limit_(cascade_limit) {}
+
+void RuleEngine::add_rule(Rule rule) {
+  if (!rule.condition || !rule.action)
+    throw ModelError("RuleEngine: rule '" + rule.name +
+                     "' needs condition and action");
+  rules_.push_back(std::move(rule));
+}
+
+FiringReport RuleEngine::process(Database& db, Event event) {
+  std::vector<Event> batch;
+  batch.push_back(std::move(event));
+  return process_batch(db, std::move(batch));
+}
+
+FiringReport RuleEngine::process_batch(Database& db,
+                                       std::vector<Event> events) {
+  FiringReport report;
+  std::deque<Event> immediate_queue(events.begin(), events.end());
+  // (rule index, triggering event) pairs postponed to later phases.
+  std::vector<std::pair<std::size_t, Event>> deferred;
+  std::vector<std::pair<std::size_t, Event>> concurrent;
+
+  const EmitFn emit = [&](Event e) {
+    ++report.cascades;
+    if (report.cascades > cascade_limit_) {
+      report.cascade_limit_hit = true;
+      return;  // drop: runaway cascade
+    }
+    immediate_queue.push_back(std::move(e));
+  };
+
+  // Phase 1: absorb events; immediate rules fire inline (and may cascade),
+  // other modes are collected.
+  std::size_t absorbed = 0;
+  while (!immediate_queue.empty()) {
+    if (++absorbed > cascade_limit_ + events.size() + 1) {
+      report.cascade_limit_hit = true;
+      break;
+    }
+    const Event current = std::move(immediate_queue.front());
+    immediate_queue.pop_front();
+    for (std::size_t i = 0; i < rules_.size(); ++i) {
+      const Rule& rule = rules_[i];
+      if (rule.event != current.name) continue;
+      switch (rule.mode) {
+        case FiringMode::Immediate:
+          if (rule.condition(db, current)) {
+            report.fired.push_back(rule.name);
+            rule.action(db, current, emit);
+          }
+          break;
+        case FiringMode::Deferred:
+          deferred.emplace_back(i, current);
+          break;
+        case FiringMode::Concurrent:
+          concurrent.emplace_back(i, current);
+          break;
+      }
+    }
+  }
+
+  // Phase 2: deferred rules fire on the settled state; their conditions are
+  // re-evaluated now (the defining property of deferred firing).
+  for (const auto& [i, ev] : deferred) {
+    const Rule& rule = rules_[i];
+    if (rule.condition(db, ev)) {
+      report.fired.push_back(rule.name);
+      rule.action(db, ev, emit);
+    }
+  }
+
+  // Phase 3: concurrent actions, deterministically serialized last.
+  for (const auto& [i, ev] : concurrent) {
+    const Rule& rule = rules_[i];
+    if (rule.condition(db, ev)) {
+      report.fired.push_back(rule.name);
+      rule.action(db, ev, emit);
+    }
+  }
+
+  // Events emitted by phase 2/3 actions trigger a follow-up immediate wave.
+  while (!immediate_queue.empty() && !report.cascade_limit_hit) {
+    const Event current = std::move(immediate_queue.front());
+    immediate_queue.pop_front();
+    for (const auto& rule : rules_) {
+      if (rule.event != current.name ||
+          rule.mode != FiringMode::Immediate)
+        continue;
+      if (rule.condition(db, current)) {
+        report.fired.push_back(rule.name);
+        rule.action(db, current, emit);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace rtw::rtdb

@@ -1,0 +1,179 @@
+#include "rtw/rtdb/algebra.hpp"
+
+#include <algorithm>
+
+#include "rtw/core/error.hpp"
+
+namespace rtw::rtdb {
+
+using rtw::core::ModelError;
+
+Relation select(const Relation& r, const RowPredicate& pred) {
+  Relation out(r.name(), r.sort());
+  for (const auto& t : r.tuples())
+    if (pred(r, t)) out.insert(t);
+  return out;
+}
+
+Relation select_eq(const Relation& r, const Attribute& a, const Value& v) {
+  return select(r, [&a, &v](const Relation& rel, const Tuple& t) {
+    return rel.field(t, a) == v;
+  });
+}
+
+Relation select_lt(const Relation& r, const Attribute& a, const Value& v) {
+  return select(r, [&a, &v](const Relation& rel, const Tuple& t) {
+    return rel.field(t, a) < v;
+  });
+}
+
+Relation project(const Relation& r, const std::vector<Attribute>& attrs) {
+  std::vector<std::size_t> indices;
+  for (const auto& a : attrs) {
+    const auto idx = r.attribute_index(a);
+    if (!idx) throw ModelError("project: no attribute '" + a + "'");
+    indices.push_back(*idx);
+  }
+  Relation out(r.name(), attrs);
+  for (const auto& t : r.tuples()) {
+    Tuple projected;
+    projected.reserve(indices.size());
+    for (auto i : indices) projected.push_back(t[i]);
+    out.insert(std::move(projected));
+  }
+  return out;
+}
+
+Relation rename(const Relation& r,
+                const std::map<Attribute, Attribute>& mapping) {
+  std::vector<Attribute> sort = r.sort();
+  for (auto& a : sort)
+    if (const auto it = mapping.find(a); it != mapping.end()) a = it->second;
+  Relation out(r.name(), std::move(sort));
+  for (const auto& t : r.tuples()) out.insert(t);
+  return out;
+}
+
+Relation product(const Relation& r, const Relation& s) {
+  std::vector<Attribute> sort = r.sort();
+  for (const auto& a : s.sort()) {
+    if (r.attribute_index(a))
+      throw ModelError("product: attribute collision '" + a + "'");
+    sort.push_back(a);
+  }
+  Relation out(r.name() + "x" + s.name(), std::move(sort));
+  for (const auto& tr : r.tuples()) {
+    for (const auto& ts : s.tuples()) {
+      Tuple joined = tr;
+      joined.insert(joined.end(), ts.begin(), ts.end());
+      out.insert(std::move(joined));
+    }
+  }
+  return out;
+}
+
+Relation natural_join(const Relation& r, const Relation& s) {
+  // Shared attributes and their index pairs.
+  std::vector<std::pair<std::size_t, std::size_t>> shared;
+  std::vector<std::size_t> s_extra;
+  for (std::size_t j = 0; j < s.sort().size(); ++j) {
+    if (const auto i = r.attribute_index(s.sort()[j]))
+      shared.emplace_back(*i, j);
+    else
+      s_extra.push_back(j);
+  }
+  std::vector<Attribute> sort = r.sort();
+  for (auto j : s_extra) sort.push_back(s.sort()[j]);
+  Relation out(r.name() + "|x|" + s.name(), std::move(sort));
+  for (const auto& tr : r.tuples()) {
+    for (const auto& ts : s.tuples()) {
+      const bool match = std::all_of(
+          shared.begin(), shared.end(),
+          [&](const auto& p) { return tr[p.first] == ts[p.second]; });
+      if (!match) continue;
+      Tuple joined = tr;
+      for (auto j : s_extra) joined.push_back(ts[j]);
+      out.insert(std::move(joined));
+    }
+  }
+  return out;
+}
+
+namespace {
+void require_same_sort(const Relation& r, const Relation& s,
+                       const char* what) {
+  if (r.sort() != s.sort())
+    throw ModelError(std::string(what) + ": sort mismatch");
+}
+}  // namespace
+
+Relation set_union(const Relation& r, const Relation& s) {
+  require_same_sort(r, s, "set_union");
+  Relation out(r.name(), r.sort());
+  for (const auto& t : r.tuples()) out.insert(t);
+  for (const auto& t : s.tuples()) out.insert(t);
+  return out;
+}
+
+Relation set_difference(const Relation& r, const Relation& s) {
+  require_same_sort(r, s, "set_difference");
+  Relation out(r.name(), r.sort());
+  for (const auto& t : r.tuples())
+    if (!s.contains(t)) out.insert(t);
+  return out;
+}
+
+Relation set_intersection(const Relation& r, const Relation& s) {
+  require_same_sort(r, s, "set_intersection");
+  Relation out(r.name(), r.sort());
+  for (const auto& t : r.tuples())
+    if (s.contains(t)) out.insert(t);
+  return out;
+}
+
+Relation group_count(const Relation& r, const Attribute& key) {
+  const auto idx = r.attribute_index(key);
+  if (!idx) throw ModelError("group_count: no attribute '" + key + "'");
+  std::map<Value, std::int64_t> counts;
+  // Iterate in first-seen order for deterministic output rows.
+  std::vector<Value> order;
+  for (const auto& t : r.tuples()) {
+    if (!counts.count(t[*idx])) order.push_back(t[*idx]);
+    ++counts[t[*idx]];
+  }
+  Relation out(r.name() + "/count", {key, "count"});
+  for (const auto& k : order) out.insert({k, Value{counts[k]}});
+  return out;
+}
+
+Relation group_sum(const Relation& r, const Attribute& key,
+                   const Attribute& value) {
+  const auto kidx = r.attribute_index(key);
+  const auto vidx = r.attribute_index(value);
+  if (!kidx || !vidx) throw ModelError("group_sum: missing attribute");
+  std::map<Value, std::int64_t> sums;
+  std::vector<Value> order;
+  for (const auto& t : r.tuples()) {
+    const auto* v = std::get_if<std::int64_t>(&t[*vidx]);
+    if (!v) throw ModelError("group_sum: non-integer value");
+    if (!sums.count(t[*kidx])) order.push_back(t[*kidx]);
+    sums[t[*kidx]] += *v;
+  }
+  Relation out(r.name() + "/sum", {key, "sum"});
+  for (const auto& k : order) out.insert({k, Value{sums[k]}});
+  return out;
+}
+
+std::optional<std::int64_t> max_of(const Relation& r, const Attribute& value) {
+  const auto idx = r.attribute_index(value);
+  if (!idx) throw ModelError("max_of: no attribute '" + value + "'");
+  std::optional<std::int64_t> best;
+  for (const auto& t : r.tuples()) {
+    const auto* v = std::get_if<std::int64_t>(&t[*idx]);
+    if (!v) throw ModelError("max_of: non-integer value");
+    if (!best || *v > *best) best = *v;
+  }
+  return best;
+}
+
+}  // namespace rtw::rtdb

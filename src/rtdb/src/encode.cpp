@@ -1,0 +1,237 @@
+#include "rtw/rtdb/encode.hpp"
+
+#include <memory>
+#include <mutex>
+
+#include "rtw/core/error.hpp"
+
+namespace rtw::rtdb {
+
+using rtw::core::Symbol;
+using rtw::core::TimedSymbol;
+using rtw::core::TimedWord;
+using rtw::deadline::DeadlineKind;
+
+namespace qmarks {
+Symbol object() { return Symbol::marker("#"); }
+Symbol field() { return Symbol::marker("@"); }
+Symbol query() { return Symbol::marker("?"); }
+Symbol waiting() { return Symbol::marker("wq"); }
+Symbol deadline() { return Symbol::marker("dq"); }
+}  // namespace qmarks
+
+std::vector<TimedSymbol> encode_object(const std::string& name,
+                                       const Value& value, Tick at) {
+  std::vector<TimedSymbol> out;
+  out.push_back({qmarks::object(), at});
+  for (char c : name) out.push_back({Symbol::chr(c), at});
+  out.push_back({qmarks::field(), at});
+  for (char c : to_string(value)) out.push_back({Symbol::chr(c), at});
+  return out;
+}
+
+TimedWord build_db0(const RtdbWordSpec& spec) {
+  std::vector<TimedSymbol> symbols;
+  for (const auto& [name, value] : spec.invariants) {
+    auto group = encode_object(name, value, 0);
+    symbols.insert(symbols.end(), group.begin(), group.end());
+  }
+  symbols.push_back({rtw::core::marks::dollar(), 0});
+  for (const auto& [name, value] : spec.derived) {
+    auto group = encode_object(name, value, 0);
+    symbols.insert(symbols.end(), group.begin(), group.end());
+  }
+  symbols.push_back({rtw::core::marks::dollar(), 0});
+  return TimedWord::finite(std::move(symbols));
+}
+
+TimedWord build_dbk(const RtdbWordSpec::Image& image) {
+  if (!image.sampler)
+    throw rtw::core::ModelError("build_dbk: image needs a sampler");
+  if (image.period == 0)
+    throw rtw::core::ModelError("build_dbk: zero sampling period");
+  // Lazy stream of sample groups: group i carries enc(o_k(i * t_k)) at
+  // time i * t_k.
+  struct State {
+    RtdbWordSpec::Image image;
+    std::vector<TimedSymbol> cache;
+    std::uint64_t next_sample = 0;
+    std::mutex mutex;
+  };
+  auto state = std::make_shared<State>();
+  state->image = image;
+  rtw::core::GeneratorTraits traits;
+  traits.monotone_proven = true;
+  traits.progress_proven = true;  // period >= 1
+  return TimedWord::generator(
+      [state](std::uint64_t i) {
+        std::lock_guard lock(state->mutex);
+        while (state->cache.size() <= i) {
+          const Tick t = state->next_sample * state->image.period;
+          auto group =
+              encode_object(state->image.name, state->image.sampler(t), t);
+          state->cache.insert(state->cache.end(), group.begin(), group.end());
+          ++state->next_sample;
+        }
+        return state->cache[i];
+      },
+      traits, "db_k(" + image.name + ")");
+}
+
+TimedWord build_dbB(const RtdbWordSpec& spec) {
+  std::vector<TimedWord> parts;
+  parts.push_back(build_db0(spec));
+  for (const auto& image : spec.images) parts.push_back(build_dbk(image));
+  return rtw::core::concat_all(parts);
+}
+
+Database render_relational(const RtdbWordSpec& spec, Tick t) {
+  Relation objects("Objects", {"Name", "Kind", "Value", "ValidTime"});
+  for (const auto& [name, value] : spec.invariants)
+    objects.insert({Value{name}, Value{std::string("invariant")}, value,
+                    Value{static_cast<std::int64_t>(t)}});
+  for (const auto& [name, value] : spec.derived)
+    objects.insert({Value{name}, Value{std::string("derived")}, value,
+                    Value{std::int64_t{0}}});
+  for (const auto& image : spec.images) {
+    const Tick last = (t / image.period) * image.period;
+    objects.insert({Value{image.name}, Value{std::string("image")},
+                    image.sampler(last),
+                    Value{static_cast<std::int64_t>(last)}});
+  }
+  Database db;
+  db.put(std::move(objects));
+  return db;
+}
+
+namespace {
+
+/// Appends the query header block at `at`: ? [min] s-values $ qname $.
+void append_query_header(std::vector<TimedSymbol>& out,
+                         const AperiodicQuerySpec& spec, Tick at) {
+  out.push_back({qmarks::query(), at});
+  if (spec.usefulness.kind() != DeadlineKind::None)
+    out.push_back({Symbol::nat(spec.min_acceptable), at});
+  for (std::size_t i = 0; i < spec.candidate.size(); ++i) {
+    if (i) out.push_back({qmarks::field(), at});
+    for (char c : to_string(spec.candidate[i]))
+      out.push_back({Symbol::chr(c), at});
+  }
+  out.push_back({rtw::core::marks::dollar(), at});
+  for (char c : spec.query) out.push_back({Symbol::chr(c), at});
+  out.push_back({rtw::core::marks::dollar(), at});
+}
+
+}  // namespace
+
+TimedWord build_aq(const AperiodicQuerySpec& spec, Tick decay_span) {
+  const auto& u = spec.usefulness;
+  std::vector<TimedSymbol> prefix;
+  append_query_header(prefix, spec, spec.issue_time);
+  const Tick t = spec.issue_time;
+  const Symbol wq = qmarks::waiting();
+  const Symbol dq = qmarks::deadline();
+
+  if (u.kind() == DeadlineKind::None)
+    return TimedWord::lasso(std::move(prefix), {{wq, t + 1}}, 1);
+
+  if (u.deadline() == 0)
+    throw rtw::core::ModelError("build_aq: deadline at relative time 0");
+  if (spec.min_acceptable > u.max())
+    throw rtw::core::ModelError("build_aq: min acceptable above max");
+  for (Tick rel = 1; rel < u.deadline(); ++rel)
+    prefix.push_back({wq, t + rel});
+
+  if (u.kind() == DeadlineKind::Firm)
+    return TimedWord::lasso(
+        std::move(prefix),
+        {{dq, t + u.deadline()}, {Symbol::nat(0), t + u.deadline()}}, 1);
+
+  // Soft: (dq, floor(u(t_d + rel))) pairs until the decay reaches zero.
+  const Tick zero_rel = u.first_below(1, u.deadline() + decay_span);
+  if (u.at(zero_rel) != 0)
+    throw rtw::core::ModelError("build_aq: decay does not reach zero");
+  for (Tick rel = u.deadline(); rel < zero_rel; ++rel) {
+    prefix.push_back({dq, t + rel});
+    prefix.push_back({Symbol::nat(u.at(rel)), t + rel});
+  }
+  return TimedWord::lasso(std::move(prefix),
+                          {{dq, t + zero_rel}, {Symbol::nat(0), t + zero_rel}},
+                          1);
+}
+
+TimedWord build_pq(const PeriodicQuerySpec& spec) {
+  if (!spec.candidate)
+    throw rtw::core::ModelError("build_pq: null candidate fn");
+  if (spec.period == 0)
+    throw rtw::core::ModelError("build_pq: zero period");
+
+  // The pq word is the infinite merge of per-invocation aq words.  Every
+  // invocation contributes symbols at every subsequent tick (wq forever or
+  // (dq, u) pairs), so the word is produced tick by tick: at tick T emit,
+  // in invocation order (Definition 3.5 item 3: earlier operand first),
+  // each active invocation's symbols for T.
+  struct State {
+    PeriodicQuerySpec spec;
+    std::vector<TimedSymbol> cache;
+    Tick next_tick = 0;
+    std::mutex mutex;
+
+    void emit_tick(Tick tick) {
+      const auto& sp = spec;
+      if (tick < sp.issue_time) return;
+      const Symbol wq = qmarks::waiting();
+      const Symbol dq = qmarks::deadline();
+      const std::uint64_t invocations =
+          (tick - sp.issue_time) / sp.period + 1;
+      for (std::uint64_t i = 0; i < invocations; ++i) {
+        const Tick issued = sp.issue_time + i * sp.period;
+        const Tick rel = tick - issued;
+        if (rel == 0) {
+          AperiodicQuerySpec one;
+          one.query = sp.query;
+          one.candidate = sp.candidate(i);
+          one.issue_time = issued;
+          one.usefulness = sp.usefulness;
+          one.min_acceptable = sp.min_acceptable;
+          append_query_header(cache, one, issued);
+          continue;
+        }
+        if (sp.usefulness.kind() == DeadlineKind::None ||
+            rel < sp.usefulness.deadline()) {
+          cache.push_back({wq, tick});
+        } else {
+          cache.push_back({dq, tick});
+          cache.push_back({Symbol::nat(sp.usefulness.at(rel)), tick});
+        }
+      }
+    }
+  };
+  auto state = std::make_shared<State>();
+  state->spec = spec;
+  rtw::core::GeneratorTraits traits;
+  traits.monotone_proven = true;
+  traits.progress_proven = true;  // Lemma 5.1
+  return TimedWord::generator(
+      [state](std::uint64_t i) {
+        std::lock_guard lock(state->mutex);
+        while (state->cache.size() <= i) {
+          state->emit_tick(state->next_tick);
+          ++state->next_tick;
+        }
+        return state->cache[i];
+      },
+      traits, "pq(" + spec.query + ")");
+}
+
+std::optional<std::uint64_t> lemma51_index(const TimedWord& word, Tick k,
+                                           std::uint64_t scan_limit) {
+  const auto len = word.length();
+  const std::uint64_t end =
+      len ? std::min<std::uint64_t>(*len, scan_limit) : scan_limit;
+  for (std::uint64_t i = 0; i < end; ++i)
+    if (word.at(i).time >= k) return i;
+  return std::nullopt;
+}
+
+}  // namespace rtw::rtdb

@@ -1,0 +1,63 @@
+#include "rtw/rtdb/ngc.hpp"
+
+#include "rtw/rtdb/algebra.hpp"
+
+namespace rtw::rtdb::ngc {
+
+Database figure1_instance() {
+  Relation exhibitions("Exhibitions", {"Title", "Description", "Artist"});
+  const std::string terre = "Terre Sauvage";
+  const std::string landscape = "Canadian Landscape Paintings";
+  exhibitions.insert({Value{terre}, Value{landscape}, Value{"Thompson"}});
+  exhibitions.insert({Value{terre}, Value{landscape}, Value{"Harris"}});
+  exhibitions.insert({Value{terre}, Value{landscape}, Value{"MacDonald"}});
+  exhibitions.insert({Value{std::string("Painter of the Soil")},
+                      Value{std::string("Works on Paper")},
+                      Value{std::string("Schaefer")}});
+  const std::string sorrowful = "Sorrowful Images";
+  const std::string diptychs = "Early Nederlandish Devotional Diptychs";
+  exhibitions.insert({Value{sorrowful}, Value{diptychs}, Value{"Aelbrecht"}});
+  exhibitions.insert({Value{sorrowful}, Value{diptychs}, Value{"Dieric"}});
+
+  Relation schedules("Schedules", {"City", "Title", "Date"});
+  schedules.insert({Value{std::string("Mexico City")},
+                    Value{std::string("Terre Sauvage")},
+                    Value{Date{1999, 10}}});
+  schedules.insert({Value{std::string("St. Catharines")},
+                    Value{std::string("Painter of the Soil")},
+                    Value{Date{1999, 11}}});
+  schedules.insert({Value{std::string("Hamilton")},
+                    Value{std::string("Sorrowful Images")},
+                    Value{Date{1999, 11}}});
+
+  Database db;
+  db.put(std::move(exhibitions));
+  db.put(std::move(schedules));
+  return db;
+}
+
+Query november_artists_query() {
+  return Query("november-artists", [](const Database& db) {
+    const Relation november =
+        select(db.get("Schedules"), [](const Relation& rel, const Tuple& t) {
+          const Value& v = rel.field(t, "Date");
+          const Date* d = std::get_if<Date>(&v);
+          return d != nullptr && d->month == 11;
+        });
+    const Relation joined = natural_join(november, db.get("Exhibitions"));
+    return project(joined, {"Artist", "City"});
+  });
+}
+
+Relation figure2_expected() {
+  Relation expected("S", {"Artist", "City"});
+  expected.insert(
+      {Value{std::string("Schaefer")}, Value{std::string("St. Catharines")}});
+  expected.insert(
+      {Value{std::string("Aelbrecht")}, Value{std::string("Hamilton")}});
+  expected.insert(
+      {Value{std::string("Dieric")}, Value{std::string("Hamilton")}});
+  return expected;
+}
+
+}  // namespace rtw::rtdb::ngc

@@ -1,0 +1,38 @@
+#include "rtw/rtdb/query.hpp"
+
+#include "rtw/core/error.hpp"
+
+namespace rtw::rtdb {
+
+using rtw::core::ModelError;
+
+Query::Query(std::string name, Fn fn)
+    : name_(std::move(name)), fn_(std::move(fn)) {
+  if (!fn_) throw ModelError("Query: null function");
+  if (name_.empty()) throw ModelError("Query: empty name");
+}
+
+Relation Query::operator()(const Database& db) const {
+  if (!fn_) throw ModelError("Query: invoking an empty query");
+  return fn_(db);
+}
+
+void QueryCatalog::add(Query query) {
+  if (!query.valid()) throw ModelError("QueryCatalog: invalid query");
+  const std::string name = query.name();
+  if (!queries_.emplace(name, std::move(query)).second)
+    throw ModelError("QueryCatalog: duplicate query '" + name + "'");
+}
+
+bool QueryCatalog::has(const std::string& name) const {
+  return queries_.count(name) > 0;
+}
+
+const Query& QueryCatalog::get(const std::string& name) const {
+  const auto it = queries_.find(name);
+  if (it == queries_.end())
+    throw ModelError("QueryCatalog: no query '" + name + "'");
+  return it->second;
+}
+
+}  // namespace rtw::rtdb

@@ -1,0 +1,330 @@
+#include "rtw/rtdb/recognition.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "rtw/core/error.hpp"
+
+namespace rtw::rtdb {
+
+using rtw::core::StepContext;
+using rtw::core::Symbol;
+using rtw::core::TimedSymbol;
+using rtw::core::TimedWord;
+
+// ------------------------------------------------------------- classical
+
+bool recognition_holds(const Query& q, const Database& db, const Tuple& u) {
+  return q(db).contains(u);
+}
+
+TimedWord classical_recognition_word(const Database& db, const Tuple& u) {
+  std::vector<TimedSymbol> symbols;
+  auto append_text = [&](const std::string& text) {
+    for (char c : text) symbols.push_back({Symbol::chr(c), 0});
+  };
+  for (const auto& name : db.schema()) {
+    const Relation& rel = db.get(name);
+    for (const auto& t : rel.tuples()) {
+      symbols.push_back({qmarks::object(), 0});
+      append_text(name);
+      for (const auto& v : t) {
+        symbols.push_back({qmarks::field(), 0});
+        append_text(to_string(v));
+      }
+    }
+  }
+  symbols.push_back({rtw::core::marks::dollar(), 0});
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    if (i) symbols.push_back({qmarks::field(), 0});
+    append_text(to_string(u[i]));
+  }
+  return TimedWord::finite(std::move(symbols));
+}
+
+// -------------------------------------------------------------- real-time
+
+QueryCostModel linear_cost() {
+  return [](std::size_t db_size) {
+    return std::max<Tick>(1, static_cast<Tick>(db_size));
+  };
+}
+
+namespace {
+
+/// Parses an encoded value back: integer if all digits, then date, then
+/// plain string.
+Value parse_value(const std::string& text) {
+  if (!text.empty() &&
+      std::all_of(text.begin(), text.end(),
+                  [](unsigned char c) { return std::isdigit(c); })) {
+    try {
+      return Value{static_cast<std::int64_t>(std::stoll(text))};
+    } catch (const std::exception&) {
+      // fall through to string
+    }
+  }
+  try {
+    return Value{parse_date(text)};
+  } catch (const rtw::core::ModelError&) {
+    return Value{text};
+  }
+}
+
+}  // namespace
+
+RecognitionAcceptor::RecognitionAcceptor(QueryCatalog catalog,
+                                         QueryCostModel cost, Tick patience)
+    : catalog_(std::move(catalog)),
+      cost_(cost ? std::move(cost) : linear_cost()),
+      patience_(patience) {}
+
+void RecognitionAcceptor::reset() {
+  objects_ = Relation("Objects", {"Name", "Kind", "Value", "ValidTime"});
+  db0_dollars_ = 0;
+  group_.clear();
+  in_group_ = false;
+  group_time_ = 0;
+  pending_.reset();
+  ready_.clear();
+  running_.reset();
+  served_ = 0;
+  failed_ = 0;
+  lock_.reset();
+  accepting_since_.reset();
+  invocations_seen_ = 0;
+}
+
+Tuple RecognitionAcceptor::parse_candidate(const std::vector<Symbol>& body,
+                                           std::size_t end) const {
+  // body[0..end) is the candidate's field-separated value list.
+  Tuple tuple;
+  std::string field;
+  for (std::size_t i = 0; i < end; ++i) {
+    if (body[i] == qmarks::field()) {
+      tuple.push_back(parse_value(field));
+      field.clear();
+    } else if (body[i].is_char()) {
+      field += body[i].as_char();
+    }
+  }
+  tuple.push_back(parse_value(field));
+  return tuple;
+}
+
+void RecognitionAcceptor::ingest(const TimedSymbol& ts) {
+  const Symbol sym = ts.sym;
+  const Symbol obj = qmarks::object();
+  const Symbol fld = qmarks::field();
+  const Symbol qry = qmarks::query();
+  const Symbol dollar = rtw::core::marks::dollar();
+
+  // ---- query header capture has priority once opened.
+  if (pending_ && !pending_->complete) {
+    if (sym == dollar) {
+      if (++pending_->dollars_seen == 1) {
+        pending_->split = pending_->body.size();
+      } else {
+        pending_->complete = true;
+        ready_.push_back(std::move(*pending_));
+        pending_.reset();
+      }
+      return;
+    }
+    if (sym.is_nat() && pending_->body.empty() &&
+        pending_->dollars_seen == 0 && !pending_->min_acceptable) {
+      pending_->min_acceptable = sym.as_nat();
+      return;
+    }
+    pending_->body.push_back(sym);
+    return;
+  }
+
+  // ---- group closure on any structural marker.
+  const bool structural = sym == obj || sym == qry || sym == dollar ||
+                          sym == qmarks::waiting() ||
+                          sym == qmarks::deadline() || sym.is_nat();
+  if (in_group_ && (structural || ts.time != group_time_)) {
+    // Parse "#name@value" into an Objects upsert.
+    std::string name, value;
+    bool after_field = false;
+    for (const auto& s : group_) {
+      if (s == fld) {
+        after_field = true;
+      } else if (s.is_char()) {
+        (after_field ? value : name) += s.as_char();
+      }
+    }
+    if (!name.empty()) {
+      const std::string kind = db0_dollars_ == 0   ? "invariant"
+                               : db0_dollars_ == 1 ? "derived"
+                                                   : "image";
+      objects_.erase_if([&](const Tuple& t) {
+        return t[0] == Value{name};
+      });
+      objects_.insert({Value{name}, Value{kind}, parse_value(value),
+                       Value{static_cast<std::int64_t>(group_time_)}});
+    }
+    in_group_ = false;
+    group_.clear();
+  }
+
+  if (sym == obj) {
+    in_group_ = true;
+    group_time_ = ts.time;
+    group_.clear();
+    return;
+  }
+  if (in_group_) {
+    group_.push_back(sym);
+    return;
+  }
+  if (sym == dollar && db0_dollars_ < 2) {
+    ++db0_dollars_;
+    return;
+  }
+  if (sym == qry) {
+    pending_ = PendingQuery{};
+    pending_->issue_time = ts.time;
+    pending_->invocation_index = invocations_seen_++;
+    return;
+  }
+  // wq / dq / usefulness symbols are consumed positionally by the verdict
+  // logic in on_tick; nothing to do here.
+}
+
+void RecognitionAcceptor::start_running(Tick now) {
+  if (running_ || ready_.empty()) return;
+  PendingQuery next = std::move(ready_.front());
+  ready_.erase(ready_.begin());
+
+  RunningQuery run;
+  run.issue_time = next.issue_time;
+  run.min_acceptable = next.min_acceptable.value_or(0);
+  run.invocation_index = next.invocation_index;
+  // Split body into candidate ($-free by construction: the first dollar
+  // was consumed by the capture) and query name: the capture stored
+  // candidate-symbols then (after dollar 1) the name chars.  We re-split
+  // here on the recorded split point.
+  run.candidate = parse_candidate(next.body, next.split);
+  std::string qname;
+  for (std::size_t i = next.split; i < next.body.size(); ++i)
+    if (next.body[i].is_char()) qname += next.body[i].as_char();
+  run.name = qname;
+  run.completes_at = now + cost_(objects_.size());
+  run.snapshot = objects_;
+  running_ = std::move(run);
+}
+
+void RecognitionAcceptor::on_tick(const StepContext& ctx) {
+  if (lock_) {
+    if (*lock_ && ctx.out.can_write(ctx.now))
+      ctx.out.write(ctx.now, ctx.out.accept_symbol());
+    return;
+  }
+
+  for (const auto& ts : ctx.arrivals) ingest(ts);
+
+  // Launch the next query evaluation if idle.
+  start_running(ctx.now);
+
+  // Provisional s_f: keep writing f after a success; a fresh query block
+  // revokes it, a quiet patience window makes it a hard lock.
+  if (accepting_since_) {
+    if (running_ || pending_ || !ready_.empty()) {
+      accepting_since_.reset();
+    } else {
+      if (ctx.now - *accepting_since_ >= patience_) lock_ = true;
+      if (ctx.out.can_write(ctx.now))
+        ctx.out.write(ctx.now, ctx.out.accept_symbol());
+      return;
+    }
+  }
+
+  if (!running_ || ctx.now < running_->completes_at) return;
+
+  // ---- P_w completes now; P_m reads this tick's stream contributions to
+  // find the running invocation's own wq / (dq, usefulness) symbol.  The
+  // Definition 3.5 merge emits contributions in invocation order, so the
+  // invocation's index selects its contribution.
+  struct Contribution {
+    bool is_deadline = false;
+    std::uint64_t usefulness = 0;
+  };
+  std::vector<Contribution> contributions;
+  bool expect_usefulness = false;
+  std::size_t skip_header = 0;  // depth counter for '?'-blocks in this tick
+  for (const auto& ts : ctx.arrivals) {
+    if (ts.time != ctx.now) continue;  // only this tick's symbols
+    if (ts.sym == qmarks::query()) {
+      skip_header = 1;  // a newly issued invocation's header: counts as a
+      contributions.push_back({});  // "present, not late" contribution
+      continue;
+    }
+    if (skip_header) {
+      if (ts.sym == rtw::core::marks::dollar() && ++skip_header == 3)
+        skip_header = 0;
+      continue;
+    }
+    if (ts.sym == qmarks::waiting()) {
+      contributions.push_back({});
+      continue;
+    }
+    if (ts.sym == qmarks::deadline()) {
+      contributions.push_back({true, 0});
+      expect_usefulness = true;
+      continue;
+    }
+    if (expect_usefulness && ts.sym.is_nat()) {
+      contributions.back().usefulness = ts.sym.as_nat();
+      expect_usefulness = false;
+      continue;
+    }
+  }
+
+  bool acceptable = true;
+  if (running_->invocation_index < contributions.size()) {
+    const auto& mine = contributions[running_->invocation_index];
+    if (mine.is_deadline) acceptable = mine.usefulness >= running_->min_acceptable;
+  }
+  // (No contribution at all can only happen on malformed words; treat as
+  // within deadline.)
+
+  bool matched = false;
+  if (catalog_.has(running_->name)) {
+    Database db;
+    db.put(running_->snapshot);
+    const Relation result = catalog_.get(running_->name)(db);
+    matched = result.contains(running_->candidate);
+  }
+
+  const bool success = acceptable && matched;
+  running_.reset();
+  if (!success) {
+    ++failed_;
+    lock_ = false;  // a failure prevents all further f's
+    return;
+  }
+  ++served_;
+  if (ctx.out.can_write(ctx.now))
+    ctx.out.write(ctx.now, ctx.out.accept_symbol());
+  if (ready_.empty() && !pending_) accepting_since_ = ctx.now;
+}
+
+std::optional<bool> RecognitionAcceptor::locked() const { return lock_; }
+
+rtw::core::TimedLanguage recognition_language(QueryCatalog catalog,
+                                              QueryCostModel cost,
+                                              Tick horizon) {
+  auto shared_catalog = std::make_shared<QueryCatalog>(std::move(catalog));
+  auto member = [shared_catalog, cost, horizon](const TimedWord& w) {
+    RecognitionAcceptor acceptor(*shared_catalog, cost);
+    rtw::core::RunOptions options;
+    options.horizon = horizon;
+    const auto result = rtw::core::run_acceptor(acceptor, w, options);
+    return result.accepted;
+  };
+  return rtw::core::TimedLanguage("L_q", std::move(member));
+}
+
+}  // namespace rtw::rtdb

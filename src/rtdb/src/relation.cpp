@@ -1,0 +1,120 @@
+#include "rtw/rtdb/relation.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "rtw/core/error.hpp"
+
+namespace rtw::rtdb {
+
+using rtw::core::ModelError;
+
+Relation::Relation(std::string name, std::vector<Attribute> sort)
+    : name_(std::move(name)), sort_(std::move(sort)) {
+  for (std::size_t i = 0; i < sort_.size(); ++i)
+    for (std::size_t j = i + 1; j < sort_.size(); ++j)
+      if (sort_[i] == sort_[j])
+        throw ModelError("Relation: duplicate attribute '" + sort_[i] + "'");
+}
+
+std::optional<std::size_t> Relation::attribute_index(const Attribute& a) const {
+  for (std::size_t i = 0; i < sort_.size(); ++i)
+    if (sort_[i] == a) return i;
+  return std::nullopt;
+}
+
+bool Relation::insert(Tuple tuple) {
+  if (tuple.size() != sort_.size())
+    throw ModelError("Relation::insert: arity mismatch in " + name_);
+  if (contains(tuple)) return false;
+  tuples_.push_back(std::move(tuple));
+  return true;
+}
+
+bool Relation::contains(const Tuple& tuple) const {
+  return std::find(tuples_.begin(), tuples_.end(), tuple) != tuples_.end();
+}
+
+const Value& Relation::field(const Tuple& tuple, const Attribute& a) const {
+  const auto idx = attribute_index(a);
+  if (!idx)
+    throw ModelError("Relation::field: no attribute '" + a + "' in " + name_);
+  if (tuple.size() != sort_.size())
+    throw ModelError("Relation::field: foreign tuple arity");
+  return tuple[*idx];
+}
+
+std::string Relation::to_string() const {
+  // Column widths.
+  std::vector<std::size_t> widths(sort_.size());
+  for (std::size_t c = 0; c < sort_.size(); ++c) widths[c] = sort_[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  for (const auto& t : tuples_) {
+    std::vector<std::string> row;
+    for (std::size_t c = 0; c < t.size(); ++c) {
+      row.push_back(rtdb::to_string(t[c]));
+      widths[c] = std::max(widths[c], row.back().size());
+    }
+    rendered.push_back(std::move(row));
+  }
+  std::ostringstream out;
+  out << name_ << "\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    out << "  ";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out << cell << std::string(widths[c] - cell.size() + 2, ' ');
+    }
+    out << "\n";
+  };
+  std::vector<std::string> header(sort_.begin(), sort_.end());
+  emit(header);
+  std::size_t rule = 2;
+  for (auto w : widths) rule += w + 2;
+  out << "  " << std::string(rule, '-') << "\n";
+  for (const auto& row : rendered) emit(row);
+  return out.str();
+}
+
+void Database::put(Relation relation) {
+  byname_[relation.name()] = std::move(relation);
+}
+
+bool Database::has(const std::string& name) const {
+  return byname_.count(name) > 0;
+}
+
+const Relation& Database::get(const std::string& name) const {
+  const auto it = byname_.find(name);
+  if (it == byname_.end())
+    throw ModelError("Database: no relation '" + name + "'");
+  return it->second;
+}
+
+Relation& Database::get(const std::string& name) {
+  const auto it = byname_.find(name);
+  if (it == byname_.end())
+    throw ModelError("Database: no relation '" + name + "'");
+  return it->second;
+}
+
+std::vector<std::string> Database::schema() const {
+  std::vector<std::string> names;
+  names.reserve(byname_.size());
+  for (const auto& [name, rel] : byname_) names.push_back(name);
+  return names;
+}
+
+std::size_t Database::size() const {
+  std::size_t n = 0;
+  for (const auto& [name, rel] : byname_) n += rel.size();
+  return n;
+}
+
+std::string Database::to_string() const {
+  std::ostringstream out;
+  for (const auto& [name, rel] : byname_) out << rel.to_string() << "\n";
+  return out.str();
+}
+
+}  // namespace rtw::rtdb

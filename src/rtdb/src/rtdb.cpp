@@ -1,0 +1,182 @@
+#include "rtw/rtdb/rtdb.hpp"
+
+#include <algorithm>
+
+#include "rtw/core/error.hpp"
+
+namespace rtw::rtdb {
+
+using rtw::core::ModelError;
+
+RealTimeDatabase::RealTimeDatabase(std::size_t archive_depth)
+    : archive_depth_(archive_depth) {
+  if (archive_depth == 0)
+    throw ModelError("RealTimeDatabase: archive depth must be >= 1");
+}
+
+void RealTimeDatabase::add_image(ImageObjectSpec spec) {
+  if (!spec.sampler)
+    throw ModelError("RealTimeDatabase: image object needs a sampler");
+  if (spec.period == 0)
+    throw ModelError("RealTimeDatabase: image period must be >= 1");
+  if (value_of(spec.name, 0))
+    throw ModelError("RealTimeDatabase: duplicate object '" + spec.name + "'");
+  images_.push_back(ImageState{std::move(spec), {}});
+}
+
+void RealTimeDatabase::add_derived(DerivedObjectSpec spec) {
+  if (!spec.derive)
+    throw ModelError("RealTimeDatabase: derived object needs a function");
+  if (value_of(spec.name, 0))
+    throw ModelError("RealTimeDatabase: duplicate object '" + spec.name + "'");
+  derived_.push_back(DerivedState{std::move(spec), std::nullopt});
+}
+
+void RealTimeDatabase::add_invariant(std::string name, Value value) {
+  if (value_of(name, 0))
+    throw ModelError("RealTimeDatabase: duplicate object '" + name + "'");
+  invariants_.emplace(std::move(name), std::move(value));
+}
+
+void RealTimeDatabase::attach_rules(RuleEngine* engine, Database* rules_db) {
+  rule_engine_ = engine;
+  rules_db_ = rules_db;
+}
+
+void RealTimeDatabase::tick(Tick now) {
+  bool sampled = false;
+  std::vector<Event> events;
+  for (auto& img : images_) {
+    if (now % img.spec.period != 0) continue;
+    TimedValue tv{img.spec.sampler(now), now};
+    img.history.push_back(tv);
+    if (img.history.size() > archive_depth_)
+      img.history.erase(img.history.begin());
+    sampled = true;
+    if (rule_engine_ && rules_db_) {
+      Event e;
+      e.name = "Sample";
+      e.time = now;
+      e.attributes["object"] = Value{img.spec.name};
+      e.attributes["value"] = tv.value;
+      events.push_back(std::move(e));
+    }
+  }
+  if (sampled) recompute_derived(now);
+  if (rule_engine_ && rules_db_ && !events.empty())
+    rule_engine_->process_batch(*rules_db_, std::move(events));
+}
+
+void RealTimeDatabase::recompute_derived(Tick now) {
+  // Derived objects may depend on other derived objects declared earlier;
+  // evaluate in declaration order.
+  for (auto& d : derived_) {
+    std::vector<TimedValue> inputs;
+    bool ready = true;
+    for (const auto& in : d.spec.inputs) {
+      const auto v = value_of(in, now);
+      if (!v) {
+        ready = false;
+        break;
+      }
+      inputs.push_back(*v);
+    }
+    if (!ready) continue;
+    // Timestamp of a derived object = oldest valid time among its inputs.
+    Tick oldest = now;
+    for (const auto& in : inputs) oldest = std::min(oldest, in.valid_time);
+    d.current = TimedValue{d.spec.derive(inputs), oldest};
+  }
+}
+
+std::optional<TimedValue> RealTimeDatabase::image_value(
+    const std::string& name) const {
+  for (const auto& img : images_)
+    if (img.spec.name == name && !img.history.empty())
+      return img.history.back();
+  return std::nullopt;
+}
+
+std::optional<TimedValue> RealTimeDatabase::derived_value(
+    const std::string& name) const {
+  for (const auto& d : derived_)
+    if (d.spec.name == name) return d.current;
+  return std::nullopt;
+}
+
+std::optional<TimedValue> RealTimeDatabase::invariant_value(
+    const std::string& name, Tick now) const {
+  const auto it = invariants_.find(name);
+  if (it == invariants_.end()) return std::nullopt;
+  // An invariant object's timestamp, viewed temporally, is always `now`.
+  return TimedValue{it->second, now};
+}
+
+std::optional<TimedValue> RealTimeDatabase::value_of(const std::string& name,
+                                                     Tick now) const {
+  for (const auto& img : images_)
+    if (img.spec.name == name)
+      return img.history.empty() ? std::nullopt
+                                 : std::optional(img.history.back());
+  if (const auto d = derived_value(name)) return d;
+  return invariant_value(name, now);
+}
+
+std::vector<TimedValue> RealTimeDatabase::archive(
+    const std::string& name) const {
+  for (const auto& img : images_)
+    if (img.spec.name == name) return img.history;
+  throw ModelError("RealTimeDatabase: no image object '" + name + "'");
+}
+
+bool RealTimeDatabase::absolutely_consistent(Tick now, Tick t_a) const {
+  for (const auto& img : images_) {
+    if (img.history.empty()) return false;
+    if (age(img.history.back(), now) > t_a) return false;
+  }
+  // Ages of data used to derive the derived objects must also be bounded:
+  // a derived object's timestamp is its oldest input's valid time.
+  for (const auto& d : derived_) {
+    if (!d.current) return false;
+    if (age(*d.current, now) > t_a) return false;
+  }
+  return true;
+}
+
+bool RealTimeDatabase::relatively_consistent(Tick t_r) const {
+  std::vector<TimedValue> current;
+  for (const auto& img : images_) {
+    if (img.history.empty()) return false;
+    current.push_back(img.history.back());
+  }
+  for (std::size_t i = 0; i < current.size(); ++i)
+    for (std::size_t j = i + 1; j < current.size(); ++j)
+      if (dispersion(current[i], current[j]) > t_r) return false;
+  return true;
+}
+
+std::vector<std::string> RealTimeDatabase::image_names() const {
+  std::vector<std::string> out;
+  for (const auto& img : images_) out.push_back(img.spec.name);
+  return out;
+}
+
+std::vector<std::string> RealTimeDatabase::derived_names() const {
+  std::vector<std::string> out;
+  for (const auto& d : derived_) out.push_back(d.spec.name);
+  return out;
+}
+
+std::vector<std::string> RealTimeDatabase::invariant_names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : invariants_) out.push_back(name);
+  return out;
+}
+
+Tick RealTimeDatabase::image_period(const std::string& name) const {
+  for (const auto& img : images_)
+    if (img.spec.name == name) return img.spec.period;
+  throw ModelError("RealTimeDatabase: no image object '" + name + "'");
+}
+
+}  // namespace rtw::rtdb

@@ -1,0 +1,154 @@
+#include "rtw/rtdb/temporal.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "rtw/core/error.hpp"
+
+namespace rtw::rtdb {
+
+using rtw::core::ModelError;
+
+Lifespan::Lifespan(std::vector<Interval> intervals)
+    : intervals_(normalize(std::move(intervals))) {}
+
+std::vector<Interval> Lifespan::normalize(std::vector<Interval> intervals) {
+  for (const auto& iv : intervals)
+    if (iv.hi < iv.lo) throw ModelError("Lifespan: interval hi < lo");
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.lo != b.lo ? a.lo < b.lo : a.hi < b.hi;
+            });
+  std::vector<Interval> merged;
+  for (const auto& iv : intervals) {
+    // Merge overlapping or adjacent intervals ([1,3] and [4,7] fuse: the
+    // chronons are discrete, so 3 and 4 are adjacent).
+    if (!merged.empty() &&
+        (merged.back().hi == kForever ||
+         iv.lo <= merged.back().hi + 1)) {
+      merged.back().hi = std::max(merged.back().hi, iv.hi);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  return merged;
+}
+
+Lifespan Lifespan::point(Tick t) { return Lifespan({{t, t}}); }
+Lifespan Lifespan::interval(Tick lo, Tick hi) { return Lifespan({{lo, hi}}); }
+Lifespan Lifespan::from(Tick lo) { return Lifespan({{lo, kForever}}); }
+Lifespan Lifespan::always() { return Lifespan({{0, kForever}}); }
+
+bool Lifespan::contains(Tick t) const {
+  for (const auto& iv : intervals_)
+    if (iv.contains(t)) return true;
+  return false;
+}
+
+Tick Lifespan::duration() const {
+  Tick total = 0;
+  for (const auto& iv : intervals_) {
+    if (iv.hi == kForever) return kForever;
+    total += iv.hi - iv.lo + 1;
+  }
+  return total;
+}
+
+Lifespan Lifespan::unite(const Lifespan& other) const {
+  std::vector<Interval> all = intervals_;
+  all.insert(all.end(), other.intervals_.begin(), other.intervals_.end());
+  return Lifespan(std::move(all));
+}
+
+Lifespan Lifespan::intersect(const Lifespan& other) const {
+  std::vector<Interval> out;
+  for (const auto& a : intervals_) {
+    for (const auto& b : other.intervals_) {
+      const Tick lo = std::max(a.lo, b.lo);
+      const Tick hi = std::min(a.hi, b.hi);
+      if (lo <= hi) out.push_back({lo, hi});
+    }
+  }
+  return Lifespan(std::move(out));
+}
+
+Lifespan Lifespan::complement() const {
+  std::vector<Interval> out;
+  Tick cursor = 0;
+  for (const auto& iv : intervals_) {
+    if (iv.lo > cursor) out.push_back({cursor, iv.lo - 1});
+    if (iv.hi == kForever) return Lifespan(std::move(out));
+    cursor = iv.hi + 1;
+  }
+  out.push_back({cursor, kForever});
+  return Lifespan(std::move(out));
+}
+
+std::string Lifespan::to_string() const {
+  if (intervals_.empty()) return "{}";
+  std::ostringstream out;
+  for (std::size_t i = 0; i < intervals_.size(); ++i) {
+    if (i) out << " u ";
+    out << "[" << intervals_[i].lo << ",";
+    if (intervals_[i].hi == kForever)
+      out << "inf";
+    else
+      out << intervals_[i].hi;
+    out << "]";
+  }
+  return out.str();
+}
+
+void SnapshotStore::record(Tick t, Database db) {
+  if (!history_.empty() && history_.rbegin()->first >= t)
+    throw ModelError("SnapshotStore: transaction times must increase");
+  history_.emplace(t, std::move(db));
+}
+
+std::optional<Database> SnapshotStore::instance_at(Tick t) const {
+  auto it = history_.upper_bound(t);
+  if (it == history_.begin()) return std::nullopt;
+  --it;
+  return it->second;
+}
+
+Lifespan SnapshotStore::tuple_lifespan(const std::string& rel,
+                                       const Tuple& tuple) const {
+  Lifespan life;
+  for (auto it = history_.begin(); it != history_.end(); ++it) {
+    const bool present =
+        it->second.has(rel) && it->second.get(rel).contains(tuple);
+    if (!present) continue;
+    auto next = std::next(it);
+    const Tick hi = next == history_.end() ? kForever : next->first - 1;
+    life = life.unite(Lifespan::interval(it->first, hi));
+  }
+  return life;
+}
+
+std::vector<Tick> SnapshotStore::times() const {
+  std::vector<Tick> out;
+  out.reserve(history_.size());
+  for (const auto& [t, db] : history_) out.push_back(t);
+  return out;
+}
+
+std::optional<Relation> as_of(
+    const SnapshotStore& store, Tick t,
+    const std::function<Relation(const Database&)>& q) {
+  if (!q) throw ModelError("as_of: null query");
+  const auto db = store.instance_at(t);
+  if (!db) return std::nullopt;
+  return q(*db);
+}
+
+std::vector<std::pair<Tick, Relation>> query_history(
+    const SnapshotStore& store,
+    const std::function<Relation(const Database&)>& q) {
+  if (!q) throw ModelError("query_history: null query");
+  std::vector<std::pair<Tick, Relation>> out;
+  for (Tick t : store.times()) out.emplace_back(t, q(*store.instance_at(t)));
+  return out;
+}
+
+}  // namespace rtw::rtdb

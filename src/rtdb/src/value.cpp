@@ -1,0 +1,65 @@
+#include "rtw/rtdb/value.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "rtw/core/error.hpp"
+
+namespace rtw::rtdb {
+
+namespace {
+constexpr std::array<const char*, 12> kMonths = {
+    "January", "February", "March",     "April",   "May",      "June",
+    "July",    "August",   "September", "October", "November", "December"};
+}
+
+std::string to_string(const Date& d) {
+  if (d.month < 1 || d.month > 12)
+    throw rtw::core::ModelError("Date: month out of range");
+  std::ostringstream out;
+  out << kMonths[static_cast<std::size_t>(d.month - 1)] << " " << d.year;
+  return out.str();
+}
+
+Date parse_date(const std::string& text) {
+  const auto space = text.find(' ');
+  if (space == std::string::npos)
+    throw rtw::core::ModelError("parse_date: expected '<Month> <year>'");
+  const std::string month = text.substr(0, space);
+  Date d;
+  d.month = 0;
+  for (std::size_t i = 0; i < kMonths.size(); ++i) {
+    if (month == kMonths[i]) {
+      d.month = static_cast<int>(i + 1);
+      break;
+    }
+  }
+  if (d.month == 0)
+    throw rtw::core::ModelError("parse_date: unknown month '" + month + "'");
+  try {
+    d.year = std::stoi(text.substr(space + 1));
+  } catch (const std::exception&) {
+    throw rtw::core::ModelError("parse_date: bad year in '" + text + "'");
+  }
+  return d;
+}
+
+std::string to_string(const Value& v) {
+  return std::visit(
+      [](const auto& x) -> std::string {
+        using T = std::decay_t<decltype(x)>;
+        if constexpr (std::is_same_v<T, std::int64_t>)
+          return std::to_string(x);
+        else if constexpr (std::is_same_v<T, double>) {
+          std::ostringstream out;
+          out << x;
+          return out.str();
+        } else if constexpr (std::is_same_v<T, std::string>)
+          return x;
+        else
+          return to_string(x);
+      },
+      v);
+}
+
+}  // namespace rtw::rtdb

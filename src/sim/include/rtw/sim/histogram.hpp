@@ -1,0 +1,48 @@
+#pragma once
+/// \file histogram.hpp
+/// Fixed-bin histogram with ASCII rendering, used by the routing
+/// path-optimality experiment (the per-hop-difference histogram of
+/// Broch et al. [12] that the paper maps onto words of R_{n,u}).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rtw::sim {
+
+/// Histogram over integer-valued observations in [lo, hi]; observations
+/// outside the range are clamped into the first/last bin and counted in
+/// underflow()/overflow() as well.
+class Histogram {
+public:
+  Histogram(std::int64_t lo, std::int64_t hi);
+
+  void add(std::int64_t value) noexcept;
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::int64_t bin_value(std::size_t bin) const {
+    return lo_ + static_cast<std::int64_t>(bin);
+  }
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+
+  /// Fraction of observations in a bin (0 when empty).
+  double fraction(std::size_t bin) const;
+
+  /// Multi-line ASCII rendering: one row per bin, a bar of '#' scaled to
+  /// `width` columns, plus count and percentage.
+  std::string render(std::size_t width = 40) const;
+
+private:
+  std::int64_t lo_;
+  std::int64_t hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+}  // namespace rtw::sim

@@ -1,0 +1,45 @@
+#pragma once
+/// \file stats.hpp
+/// Streaming and batch statistics used by the experiment harnesses.
+
+#include <cstddef>
+#include <vector>
+
+namespace rtw::sim {
+
+/// Online mean/variance accumulator (Welford's algorithm).  Numerically
+/// stable for long experiment runs; O(1) space.
+class OnlineStats {
+public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 when fewer than two samples).
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+  /// Merges another accumulator into this one (parallel-reduction friendly;
+  /// Chan et al. pairwise update).
+  void merge(const OnlineStats& other) noexcept;
+
+private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Batch percentile of a sample set.  `q` in [0,1]; linear interpolation
+/// between closest ranks.  The input vector is copied (callers keep order).
+double percentile(std::vector<double> samples, double q);
+
+/// Median convenience wrapper.
+double median(std::vector<double> samples);
+
+}  // namespace rtw::sim

@@ -1,0 +1,44 @@
+#pragma once
+/// \file table.hpp
+/// Fixed-width table printer.  Every experiment harness in bench/ prints
+/// its results through this class so the "rows/series the paper reports"
+/// come out in a uniform, diffable format.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rtw::sim {
+
+/// A simple right-padded text table.  Columns are sized to the widest cell.
+/// Numeric cells can be added with a fixed precision.
+class Table {
+public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent cell() calls append to it.
+  Table& row();
+  Table& cell(std::string text);
+  Table& cell(const char* text);
+  Table& cell(double value, int precision = 3);
+  Table& cell(std::int64_t value);
+  Table& cell(std::uint64_t value);
+  Table& cell(int value);
+
+  /// Renders the table with a header rule.  `indent` spaces precede each
+  /// line.
+  std::string render(std::size_t indent = 0) const;
+
+  /// Renders to a stream (convenience for benches).
+  void print(std::ostream& out, std::size_t indent = 0) const;
+
+  std::size_t rows() const noexcept { return body_.size(); }
+  std::size_t columns() const noexcept { return header_.size(); }
+
+private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> body_;
+};
+
+}  // namespace rtw::sim

@@ -1,0 +1,41 @@
+#include "rtw/sim/event_queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace rtw::sim {
+
+void EventQueue::schedule_at(Tick at, Action action) {
+  heap_.push(Entry{std::max(at, now_), seq_++, std::move(action)});
+}
+
+void EventQueue::schedule_in(Tick delay, Action action) {
+  schedule_at(now_ + delay, std::move(action));
+}
+
+bool EventQueue::step(Tick horizon) {
+  if (heap_.empty()) return false;
+  if (heap_.top().at > horizon) return false;
+  // priority_queue::top() is const&; move out via const_cast is UB-adjacent,
+  // so copy the small Entry header and move the action by re-wrapping.
+  Entry entry = heap_.top();
+  heap_.pop();
+  now_ = entry.at;
+  entry.action(now_);
+  return true;
+}
+
+std::size_t EventQueue::run_until(Tick horizon) {
+  std::size_t executed = 0;
+  while (step(horizon)) ++executed;
+  if (heap_.empty() || heap_.top().at > horizon) now_ = std::max(now_, horizon);
+  return executed;
+}
+
+void EventQueue::reset() {
+  heap_ = {};
+  now_ = 0;
+  seq_ = 0;
+}
+
+}  // namespace rtw::sim

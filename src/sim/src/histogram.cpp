@@ -1,0 +1,41 @@
+#include "rtw/sim/histogram.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace rtw::sim {
+
+Histogram::Histogram(std::int64_t lo, std::int64_t hi) : lo_(lo), hi_(hi) {
+  if (hi < lo) throw std::invalid_argument("Histogram: hi < lo");
+  counts_.assign(static_cast<std::size_t>(hi - lo + 1), 0);
+}
+
+void Histogram::add(std::int64_t value) noexcept {
+  if (value < lo_) ++underflow_;
+  if (value > hi_) ++overflow_;
+  const std::int64_t clamped = std::clamp(value, lo_, hi_);
+  ++counts_[static_cast<std::size_t>(clamped - lo_)];
+  ++total_;
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(bin)) / static_cast<double>(total_);
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar =
+        static_cast<std::size_t>(counts_[b] * width / peak);
+    out << (bin_value(b) >= 0 ? "+" : "") << bin_value(b) << "\t|"
+        << std::string(bar, '#') << std::string(width - bar, ' ') << "| "
+        << counts_[b] << " (" << 100.0 * fraction(b) << "%)\n";
+  }
+  return out.str();
+}
+
+}  // namespace rtw::sim

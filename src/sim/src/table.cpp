@@ -1,0 +1,67 @@
+#include "rtw/sim/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace rtw::sim {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+Table& Table::row() {
+  body_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(std::string text) {
+  if (body_.empty()) body_.emplace_back();
+  body_.back().push_back(std::move(text));
+  return *this;
+}
+
+Table& Table::cell(const char* text) { return cell(std::string(text)); }
+
+Table& Table::cell(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return cell(os.str());
+}
+
+Table& Table::cell(std::int64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(std::uint64_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(int value) { return cell(std::to_string(value)); }
+
+std::string Table::render(std::size_t indent) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : body_)
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  const std::string pad(indent, ' ');
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out << pad;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& text = c < row.size() ? row[c] : std::string();
+      out << text << std::string(widths[c] - text.size(), ' ');
+      if (c + 1 < widths.size()) out << "  ";
+    }
+    out << '\n';
+  };
+  emit_row(header_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  out << pad << std::string(rule, '-') << '\n';
+  for (const auto& row : body_) emit_row(row);
+  return out.str();
+}
+
+void Table::print(std::ostream& out, std::size_t indent) const {
+  out << render(indent);
+}
+
+}  // namespace rtw::sim

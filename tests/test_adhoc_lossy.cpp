@@ -1,0 +1,103 @@
+// Tests for the lossy routing problem R'_{n,u} (end of section 5.2.4):
+// dropped condition 3, and the threshold reading of "lost".
+
+#include <gtest/gtest.h>
+
+#include "rtw/adhoc/protocols.hpp"
+#include "rtw/adhoc/words.hpp"
+
+namespace {
+
+using namespace rtw::adhoc;
+
+std::unique_ptr<Mobility> at(double x, double y) {
+  return std::make_unique<Stationary>(Vec2{x, y});
+}
+
+Network line4() {
+  std::vector<std::unique_ptr<Mobility>> nodes;
+  for (int i = 0; i < 4; ++i) nodes.push_back(at(10.0 * i, 0));
+  return Network(std::move(nodes), 12.0);
+}
+
+RouteTrace delivered_trace() {
+  RouteTrace trace;
+  trace.source = 0;
+  trace.destination = 3;
+  trace.body = 9;
+  trace.originated_at = 4;
+  trace.hops = {{4, 5, 0, 1, 9}, {5, 6, 1, 2, 9}, {6, 7, 2, 3, 9}};
+  trace.delivered = true;
+  return trace;
+}
+
+TEST(LossyRouteTest, DeliveredTraceIsInBothLanguages) {
+  const auto net = line4();
+  const auto trace = delivered_trace();
+  EXPECT_EQ(validate_route(trace, net), std::nullopt);
+  EXPECT_EQ(validate_route_lossy(trace, net), std::nullopt);
+}
+
+TEST(LossyRouteTest, UndeliveredIsOnlyInRPrime) {
+  const auto net = line4();
+  auto trace = delivered_trace();
+  trace.delivered = false;
+  trace.hops.pop_back();  // chain stops mid-way
+  EXPECT_TRUE(validate_route(trace, net).has_value());
+  EXPECT_EQ(validate_route_lossy(trace, net), std::nullopt);
+}
+
+TEST(LossyRouteTest, EmptyChainLostMessageIsInRPrime) {
+  const auto net = line4();
+  RouteTrace trace;
+  trace.source = 0;
+  trace.destination = 3;
+  trace.delivered = false;
+  EXPECT_TRUE(validate_route(trace, net).has_value());
+  EXPECT_EQ(validate_route_lossy(trace, net), std::nullopt);
+}
+
+TEST(LossyRouteTest, StructureStillCheckedWhenDelivered) {
+  const auto net = line4();
+  auto trace = delivered_trace();
+  trace.hops[1].src = 3;  // chain break
+  EXPECT_TRUE(validate_route_lossy(trace, net).has_value());
+}
+
+TEST(LossyRouteTest, ThresholdReadingOfLost) {
+  const auto trace = delivered_trace();  // delivered at 7, originated at 4
+  EXPECT_FALSE(is_lost(trace, 3));  // latency 3 <= 3
+  EXPECT_FALSE(is_lost(trace, 10));
+  EXPECT_TRUE(is_lost(trace, 2));   // latency 3 > 2
+  RouteTrace undelivered;
+  undelivered.delivered = false;
+  EXPECT_TRUE(is_lost(undelivered, 1000));
+}
+
+TEST(LossyRouteTest, ThresholdLostDeliveriesStayInRPrime) {
+  const auto net = line4();
+  const auto trace = delivered_trace();
+  // With threshold 2 the delivery is "lost" in the practical reading, but
+  // the word is still a member of R'.
+  EXPECT_EQ(validate_route_lossy(trace, net, rtw::core::Tick{2}),
+            std::nullopt);
+}
+
+TEST(LossyRouteTest, PartitionedSimulationLandsInRPrime) {
+  // A real undelivered simulation trace: member of R', not of R.
+  std::vector<std::unique_ptr<Mobility>> nodes;
+  nodes.push_back(at(0, 0));
+  nodes.push_back(at(10, 0));
+  nodes.push_back(at(500, 0));
+  Network net(std::move(nodes), 12.0);
+  Simulator sim(net, dsr_factory());
+  sim.schedule({1, 0, 2, 10});
+  const auto result = sim.run(200);
+  const auto trace = extract_route(result, net, 1);
+  EXPECT_FALSE(trace.delivered);
+  EXPECT_TRUE(validate_route(trace, net).has_value());
+  EXPECT_EQ(validate_route_lossy(trace, net), std::nullopt);
+  EXPECT_TRUE(is_lost(trace, 100));
+}
+
+}  // namespace

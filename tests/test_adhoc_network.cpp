@@ -1,0 +1,344 @@
+// Tests for section 5.2's substrate: mobility models, the range predicate,
+// the connectivity oracles, and the discrete-event simulator semantics.
+
+#include <gtest/gtest.h>
+
+#include "rtw/adhoc/mobility.hpp"
+#include "rtw/adhoc/network.hpp"
+#include "rtw/adhoc/protocols.hpp"
+#include "rtw/adhoc/simulator.hpp"
+#include "rtw/core/error.hpp"
+
+namespace {
+
+using namespace rtw::adhoc;
+
+std::unique_ptr<Mobility> at(double x, double y) {
+  return std::make_unique<Stationary>(Vec2{x, y});
+}
+
+/// A 4-node line: 0 -- 1 -- 2 -- 3 with unit spacing 10, range 12.
+Network line4() {
+  std::vector<std::unique_ptr<Mobility>> nodes;
+  for (int i = 0; i < 4; ++i) nodes.push_back(at(10.0 * i, 0));
+  return Network(std::move(nodes), 12.0);
+}
+
+// --------------------------------------------------------------- mobility
+
+TEST(MobilityTest, StationaryStaysPut) {
+  Stationary m({3, 4});
+  EXPECT_EQ(m.position(0), (Vec2{3, 4}));
+  EXPECT_EQ(m.position(1000), (Vec2{3, 4}));
+}
+
+TEST(MobilityTest, ConstantVelocityMovesLinearly) {
+  ConstantVelocity m({0, 0}, {1, 2}, {100, 100});
+  EXPECT_EQ(m.position(0), (Vec2{0, 0}));
+  EXPECT_EQ(m.position(10), (Vec2{10, 20}));
+}
+
+TEST(MobilityTest, ConstantVelocityReflects) {
+  ConstantVelocity m({90, 0}, {5, 0}, {100, 100});
+  // At t=4: 110 -> reflected to 90; at t=2: 100 (the border).
+  EXPECT_DOUBLE_EQ(m.position(2).x, 100.0);
+  EXPECT_DOUBLE_EQ(m.position(4).x, 90.0);
+  // Never leaves the region.
+  for (Tick t = 0; t < 200; ++t) {
+    EXPECT_GE(m.position(t).x, 0.0);
+    EXPECT_LE(m.position(t).x, 100.0);
+  }
+}
+
+TEST(MobilityTest, RandomWaypointStaysInRegion) {
+  RandomWaypoint m({50, 80}, 0.5, 2.0, 5, 42, 0);
+  for (Tick t = 0; t < 500; ++t) {
+    const Vec2 p = m.position(t);
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 50.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 80.0);
+  }
+}
+
+TEST(MobilityTest, RandomWaypointIsDeterministic) {
+  RandomWaypoint a({100, 100}, 1, 2, 10, 7, 3);
+  RandomWaypoint b({100, 100}, 1, 2, 10, 7, 3);
+  for (Tick t = 0; t < 100; ++t) EXPECT_EQ(a.position(t), b.position(t));
+}
+
+TEST(MobilityTest, DifferentNodesGetDifferentPaths) {
+  RandomWaypoint a({100, 100}, 1, 2, 10, 7, 0);
+  RandomWaypoint b({100, 100}, 1, 2, 10, 7, 1);
+  bool differs = false;
+  for (Tick t = 0; t < 50 && !differs; ++t)
+    differs = !(a.position(t) == b.position(t));
+  EXPECT_TRUE(differs);
+}
+
+TEST(MobilityTest, RandomWaypointMovesBetweenPauses) {
+  RandomWaypoint m({100, 100}, 1, 1, 3, 11, 0);
+  bool moved = false;
+  for (Tick t = 1; t < 100 && !moved; ++t)
+    moved = !(m.position(t) == m.position(t - 1));
+  EXPECT_TRUE(moved);
+}
+
+TEST(MobilityTest, SpeedValidation) {
+  EXPECT_THROW(RandomWaypoint({10, 10}, 0, 1, 0, 1, 0), rtw::core::ModelError);
+  EXPECT_THROW(RandomWaypoint({10, 10}, 2, 1, 0, 1, 0), rtw::core::ModelError);
+}
+
+// ---------------------------------------------------------------- network
+
+TEST(NetworkTest, RangePredicateIsUnitDisk) {
+  const auto net = line4();
+  EXPECT_TRUE(net.range(0, 1, 0));
+  EXPECT_TRUE(net.range(1, 0, 0));   // symmetric
+  EXPECT_FALSE(net.range(0, 2, 0));  // distance 20 > 12
+  EXPECT_FALSE(net.range(1, 1, 0));  // irreflexive
+}
+
+TEST(NetworkTest, NeighborsAtTime) {
+  const auto net = line4();
+  EXPECT_EQ(net.neighbors(0, 0), std::vector<NodeId>{1});
+  EXPECT_EQ(net.neighbors(1, 0), (std::vector<NodeId>{0, 2}));
+}
+
+TEST(NetworkTest, StaticShortestHops) {
+  const auto net = line4();
+  EXPECT_EQ(net.static_shortest_hops(0, 3, 0), 3u);
+  EXPECT_EQ(net.static_shortest_hops(0, 0, 0), 0u);
+  EXPECT_EQ(net.static_shortest_hops(1, 3, 0), 2u);
+}
+
+TEST(NetworkTest, DisconnectedReturnsNull) {
+  std::vector<std::unique_ptr<Mobility>> nodes;
+  nodes.push_back(at(0, 0));
+  nodes.push_back(at(1000, 0));
+  Network net(std::move(nodes), 12.0);
+  EXPECT_EQ(net.static_shortest_hops(0, 1, 0), std::nullopt);
+  EXPECT_EQ(net.earliest_delivery(0, 1, 0, 100), std::nullopt);
+}
+
+TEST(NetworkTest, EarliestDeliveryOnStaticLine) {
+  const auto net = line4();
+  // One hop per tick: 0 -> 3 takes three ticks.
+  EXPECT_EQ(net.earliest_delivery(0, 3, 0, 100), Tick{3});
+  EXPECT_EQ(net.earliest_delivery(0, 3, 5, 100), Tick{8});
+}
+
+TEST(NetworkTest, EarliestDeliveryExploitsMobility) {
+  // Node 1 ferries between node 0 and node 2, who are never in range of
+  // each other.
+  std::vector<std::unique_ptr<Mobility>> nodes;
+  nodes.push_back(at(0, 0));
+  nodes.push_back(std::make_unique<ConstantVelocity>(Vec2{0, 0}, Vec2{5, 0},
+                                                     Region{100, 100}));
+  nodes.push_back(at(100, 0));
+  Network net(std::move(nodes), 12.0);
+  const auto t = net.earliest_delivery(0, 2, 0, 200);
+  ASSERT_TRUE(t.has_value());
+  // The ferry reaches range of node 2 (x >= 88) at t = 18; handoff at 18,
+  // delivery at 19 (0 -> 1 could happen any time the ferry is near 0).
+  EXPECT_GE(*t, 18u);
+  EXPECT_LE(*t, 20u);
+}
+
+TEST(NetworkTest, RandomConfigIsDeterministic) {
+  NetworkConfig config;
+  config.nodes = 8;
+  config.seed = 5;
+  Network a(config), b(config);
+  for (NodeId i = 0; i < 8; ++i)
+    for (Tick t : {0u, 10u, 50u})
+      EXPECT_EQ(a.position(i, t), b.position(i, t));
+}
+
+TEST(NetworkTest, Validation) {
+  NetworkConfig config;
+  config.nodes = 0;
+  EXPECT_THROW(Network{config}, rtw::core::ModelError);
+  const auto net = line4();
+  EXPECT_THROW(net.position(9, 0), rtw::core::ModelError);
+}
+
+// -------------------------------------------------------------- simulator
+
+TEST(SimulatorTest, OneHopTakesOneTimeUnit) {
+  const auto net = line4();
+  Simulator sim(net, flooding_factory());
+  sim.schedule({1, 0, 1, 5});
+  const auto result = sim.run(20);
+  const auto delivery = result.delivery_of(1);
+  ASSERT_TRUE(delivery.has_value());
+  EXPECT_EQ(delivery->delivered_at, 6u);  // sent at 5, received at 6
+  EXPECT_EQ(delivery->hops, 1u);
+}
+
+TEST(SimulatorTest, BroadcastReachesOnlyNeighbors) {
+  const auto net = line4();
+  Simulator sim(net, flooding_factory(1));  // TTL 1: one hop, no rebroadcast
+  sim.schedule({1, 0, 3, 0});
+  const auto result = sim.run(5);
+  // Node 0's broadcast at t=0 reaches only node 1.
+  ASSERT_EQ(result.receives.size(), 1u);
+  EXPECT_EQ(result.receives[0].by, 1u);
+  EXPECT_FALSE(result.delivery_of(1).has_value());
+}
+
+TEST(SimulatorTest, UnicastToOutOfRangeIsLost) {
+  // A protocol that unicasts data to a non-neighbor: the packet vanishes.
+  class Blind final : public RoutingProtocol {
+  public:
+    std::string name() const override { return "blind"; }
+    void on_tick(NodeContext&) override {}
+    void on_receive(NodeContext&, const Packet&) override {}
+    void originate(NodeContext& ctx, NodeId dst,
+                   std::uint64_t data_id) override {
+      Packet p;
+      p.kind = Packet::Kind::Data;
+      p.origin = ctx.self();
+      p.final_dst = dst;
+      p.data_id = data_id;
+      ctx.send(std::move(p), dst);  // direct unicast regardless of range
+    }
+  };
+  const auto net = line4();
+  Simulator sim(net, [](NodeId) { return std::make_unique<Blind>(); });
+  sim.schedule({1, 0, 3, 0});  // 0 -> 3 is far out of range
+  sim.schedule({2, 0, 1, 0});  // 0 -> 1 is in range
+  const auto result = sim.run(5);
+  EXPECT_FALSE(result.delivery_of(1).has_value());
+  EXPECT_TRUE(result.delivery_of(2).has_value());
+}
+
+TEST(SimulatorTest, TransmissionsAreLogged) {
+  const auto net = line4();
+  Simulator sim(net, flooding_factory());
+  sim.schedule({1, 0, 3, 0});
+  const auto result = sim.run(20);
+  EXPECT_GT(result.sends.size(), 0u);
+  EXPECT_GT(result.receives.size(), 0u);
+  EXPECT_EQ(result.originated, 1u);
+  EXPECT_GT(result.data_transmissions, 0u);
+}
+
+TEST(SimulatorTest, Validation) {
+  const auto net = line4();
+  EXPECT_THROW(Simulator(net, nullptr), rtw::core::ModelError);
+  Simulator sim(net, flooding_factory());
+  EXPECT_THROW(sim.schedule({1, 9, 0, 0}), rtw::core::ModelError);
+}
+
+// -------------------------------------------------------------- protocols
+
+struct ProtocolCase {
+  const char* label;
+  ProtocolFactory factory;
+};
+
+class ProtocolDelivery : public ::testing::TestWithParam<int> {};
+
+ProtocolFactory factory_for(int which) {
+  switch (which) {
+    case 0:
+      return flooding_factory();
+    case 1:
+      return dsdv_factory(10);
+    case 2:
+      return dsr_factory();
+    default:
+      return aodv_factory();
+  }
+}
+
+TEST_P(ProtocolDelivery, DeliversOnStaticLine) {
+  const auto net = line4();
+  Simulator sim(net, factory_for(GetParam()));
+  // Give proactive protocols warm-up time before the message.
+  sim.schedule({1, 0, 3, 40});
+  const auto result = sim.run(120);
+  const auto delivery = result.delivery_of(1);
+  ASSERT_TRUE(delivery.has_value()) << "protocol " << GetParam();
+  EXPECT_EQ(delivery->hops, 3u);  // the line forces the 3-hop path
+}
+
+TEST_P(ProtocolDelivery, NoDeliveryAcrossPartition) {
+  std::vector<std::unique_ptr<Mobility>> nodes;
+  nodes.push_back(at(0, 0));
+  nodes.push_back(at(10, 0));
+  nodes.push_back(at(500, 0));  // unreachable island
+  Network net(std::move(nodes), 12.0);
+  Simulator sim(net, factory_for(GetParam()));
+  sim.schedule({1, 0, 2, 20});
+  const auto result = sim.run(150);
+  EXPECT_FALSE(result.delivery_of(1).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, ProtocolDelivery,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(ProtocolTest, DsdvRoutesWithoutPerMessageControl) {
+  // After convergence, DSDV sends data with no extra control packets
+  // tied to the message (overhead is periodic, not per-message).
+  const auto net = line4();
+  Simulator sim(net, dsdv_factory(10));
+  sim.schedule({1, 0, 3, 50});
+  const auto result = sim.run(100);
+  ASSERT_TRUE(result.delivery_of(1).has_value());
+  // Exactly 3 data transmissions: one per hop on the line.
+  EXPECT_EQ(result.data_transmissions, 3u);
+}
+
+TEST(ProtocolTest, DsrCachesRoutesAcrossMessages) {
+  const auto net = line4();
+  Simulator sim(net, dsr_factory());
+  sim.schedule({1, 0, 3, 10});
+  sim.schedule({2, 0, 3, 60});
+  const auto result = sim.run(120);
+  ASSERT_TRUE(result.delivery_of(1).has_value());
+  ASSERT_TRUE(result.delivery_of(2).has_value());
+  // Second message reuses the cached route: no control packets are sent
+  // after tick 59.
+  std::uint64_t late_control = 0;
+  for (const auto& send : result.sends)
+    if (send.packet.kind != Packet::Kind::Data && send.time >= 60)
+      ++late_control;
+  EXPECT_EQ(late_control, 0u);
+}
+
+TEST(ProtocolTest, AodvDiscoversThenForwards) {
+  const auto net = line4();
+  Simulator sim(net, aodv_factory());
+  sim.schedule({1, 0, 3, 10});
+  const auto result = sim.run(120);
+  const auto delivery = result.delivery_of(1);
+  ASSERT_TRUE(delivery.has_value());
+  // Discovery costs at least one RREQ flood + RREP chain.
+  EXPECT_GE(result.control_transmissions, 4u);
+  EXPECT_EQ(delivery->hops, 3u);
+}
+
+TEST(ProtocolTest, FloodingHasMaximalOverhead) {
+  // A diamond 0 -> {1, 2} -> 3 gives flooding redundant rebroadcasts while
+  // a routed protocol uses one 2-hop path.
+  std::vector<std::unique_ptr<Mobility>> nodes;
+  nodes.push_back(at(0, 0));
+  nodes.push_back(at(10, 5));
+  nodes.push_back(at(10, -5));
+  nodes.push_back(at(20, 0));
+  Network net(std::move(nodes), 12.0);
+  Simulator flood_sim(net, flooding_factory());
+  flood_sim.schedule({1, 0, 3, 40});
+  const auto flood = flood_sim.run(120);
+  Simulator dsdv_sim(net, dsdv_factory(10));
+  dsdv_sim.schedule({1, 0, 3, 40});
+  const auto dsdv = dsdv_sim.run(120);
+  // Flooding transmits data from every non-destination node; DSDV's data
+  // path is minimal (2 hops).
+  EXPECT_GT(flood.data_transmissions, dsdv.data_transmissions);
+  EXPECT_EQ(dsdv.data_transmissions, 2u);
+}
+
+}  // namespace

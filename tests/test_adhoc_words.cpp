@@ -1,0 +1,405 @@
+// Tests for the section 5.2.2-5.2.5 word encodings, the R_{n,u} validity
+// conditions, the [12] metrics, and the distributed decomposition.
+
+#include <gtest/gtest.h>
+
+#include "rtw/adhoc/metrics.hpp"
+#include "rtw/adhoc/protocols.hpp"
+#include "rtw/adhoc/route_acceptor.hpp"
+#include "rtw/adhoc/words.hpp"
+#include "rtw/core/error.hpp"
+
+namespace {
+
+using namespace rtw::adhoc;
+using rtw::core::Certificate;
+using rtw::core::Symbol;
+
+std::unique_ptr<Mobility> at(double x, double y) {
+  return std::make_unique<Stationary>(Vec2{x, y});
+}
+
+Network line4() {
+  std::vector<std::unique_ptr<Mobility>> nodes;
+  for (int i = 0; i < 4; ++i) nodes.push_back(at(10.0 * i, 0));
+  return Network(std::move(nodes), 12.0);
+}
+
+// ------------------------------------------------------------- node words
+
+TEST(NodeWordTest, CarriesInvariantsThenPositions) {
+  const auto net = line4();
+  const auto h1 = node_word(net, 1);
+  EXPECT_TRUE(h1.infinite());
+  EXPECT_EQ(h1.well_behaved(), Certificate::Proven);
+  // First group at time 0: $ id @ q_i @ x @ y $.
+  EXPECT_EQ(h1.at(0).sym, rtw::core::marks::dollar());
+  EXPECT_EQ(h1.at(1).sym, Symbol::nat(1));
+  EXPECT_EQ(h1.at(3).sym, Symbol::nat(12));  // radio range as q_i
+  // Position fixes carry increasing times.
+  rtw::core::Tick prev = 0;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_GE(h1.at(i).time, prev);
+    prev = h1.at(i).time;
+  }
+  EXPECT_THROW(node_word(net, 9), rtw::core::ModelError);
+}
+
+TEST(NodeWordTest, NetworkWordMergesAllNodes) {
+  const auto net = line4();
+  const auto an = network_word(net);
+  EXPECT_TRUE(an.infinite());
+  EXPECT_EQ(an.well_behaved(), Certificate::Proven);
+  // All four node ids appear in the time-0 block.
+  std::set<std::uint64_t> ids;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const auto ts = an.at(i);
+    if (ts.time > 0) break;
+    if (ts.sym.is_nat() && ts.sym.as_nat() < 4) ids.insert(ts.sym.as_nat());
+  }
+  EXPECT_EQ(ids.size(), 4u);
+}
+
+TEST(MessageWordTest, EncodesTimeSrcDstBody) {
+  const HopMessage hop{5, 6, 2, 3, 77};
+  const auto m = message_word(hop);
+  ASSERT_TRUE(m.length().has_value());
+  EXPECT_EQ(m.at(0).sym, rtw::core::marks::dollar());
+  EXPECT_EQ(m.at(0).time, 5u);
+  EXPECT_EQ(m.at(1).sym, Symbol::nat(5));  // e(t)
+  EXPECT_EQ(m.at(3).sym, Symbol::nat(2));  // e(s)
+  EXPECT_EQ(m.at(5).sym, Symbol::nat(3));  // e(d)
+  EXPECT_EQ(m.at(7).sym, Symbol::nat(77)); // e(b)
+  const auto r = receive_word(hop);
+  EXPECT_EQ(r.at(0).time, 6u);  // receive event carries t'
+}
+
+// ----------------------------------------------------------- route traces
+
+RouteTrace line_trace() {
+  RouteTrace trace;
+  trace.source = 0;
+  trace.destination = 3;
+  trace.body = 9;
+  trace.originated_at = 4;
+  trace.hops = {{4, 5, 0, 1, 9}, {5, 6, 1, 2, 9}, {6, 7, 2, 3, 9}};
+  trace.delivered = true;
+  return trace;
+}
+
+TEST(RouteValidationTest, ValidChainPasses) {
+  const auto net = line4();
+  EXPECT_EQ(validate_route(line_trace(), net), std::nullopt);
+}
+
+TEST(RouteValidationTest, Condition1Violations) {
+  const auto net = line4();
+  auto t = line_trace();
+  t.hops[1].body = 8;  // body mismatch
+  EXPECT_TRUE(validate_route(t, net).has_value());
+  t = line_trace();
+  t.source = 2;
+  EXPECT_TRUE(validate_route(t, net).has_value());
+  t = line_trace();
+  t.destination = 1;
+  EXPECT_TRUE(validate_route(t, net).has_value());
+  t = line_trace();
+  t.originated_at = 5;  // first hop precedes generation
+  EXPECT_TRUE(validate_route(t, net).has_value());
+}
+
+TEST(RouteValidationTest, Condition2Violations) {
+  const auto net = line4();
+  auto t = line_trace();
+  t.hops[1].src = 3;  // chain break d_1 != s_2
+  EXPECT_TRUE(validate_route(t, net).has_value());
+  t = line_trace();
+  t.hops[1].sent_at = 9;  // t'_1 != t_2
+  t.hops[1].received_at = 10;
+  EXPECT_TRUE(validate_route(t, net).has_value());
+  t = line_trace();
+  t.hops[1] = {5, 6, 1, 3, 9};  // 1 -> 3 out of range
+  t.hops[2] = {6, 7, 3, 3, 9};
+  EXPECT_TRUE(validate_route(t, net).has_value());
+}
+
+TEST(RouteValidationTest, Condition3Violation) {
+  const auto net = line4();
+  auto t = line_trace();
+  t.delivered = false;
+  const auto why = validate_route(t, net);
+  ASSERT_TRUE(why.has_value());
+  EXPECT_NE(why->find("condition 3"), std::string::npos);
+}
+
+TEST(RouteValidationTest, GranularityEnforced) {
+  const auto net = line4();
+  auto t = line_trace();
+  t.hops[0].received_at = 7;  // 3-tick hop breaks section 5.2.1
+  t.hops[1].sent_at = 7;
+  EXPECT_TRUE(validate_route(t, net).has_value());
+}
+
+// ------------------------------------------- extraction from simulations
+
+class ExtractionFromProtocol : public ::testing::TestWithParam<int> {};
+
+ProtocolFactory factory_for(int which) {
+  switch (which) {
+    case 0:
+      return flooding_factory();
+    case 1:
+      return dsdv_factory(10);
+    case 2:
+      return dsr_factory();
+    default:
+      return aodv_factory();
+  }
+}
+
+TEST_P(ExtractionFromProtocol, SimulatedRouteIsValidWord) {
+  // Every protocol's actual routing of a message, extracted from the
+  // trace, must be a member of R_{n,u} -- the paper's claim that "the
+  // actual routing ... is modeled by a word in the corresponding routing
+  // problem".
+  const auto net = line4();
+  Simulator sim(net, factory_for(GetParam()));
+  sim.schedule({1, 0, 3, 40});
+  const auto result = sim.run(140);
+  const auto trace = extract_route(result, net, 1);
+  ASSERT_TRUE(trace.delivered) << "protocol " << GetParam();
+  EXPECT_EQ(trace.source, 0u);
+  EXPECT_EQ(trace.destination, 3u);
+  const auto why = validate_route(trace, net);
+  EXPECT_EQ(why, std::nullopt) << *why;
+  EXPECT_EQ(trace.hops.size(), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, ExtractionFromProtocol,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(ExtractionTest, UndeliveredTraceFailsCondition3) {
+  std::vector<std::unique_ptr<Mobility>> nodes;
+  nodes.push_back(at(0, 0));
+  nodes.push_back(at(500, 0));
+  Network net(std::move(nodes), 12.0);
+  Simulator sim(net, aodv_factory());
+  sim.schedule({1, 0, 1, 5});
+  const auto result = sim.run(100);
+  const auto trace = extract_route(result, net, 1);
+  EXPECT_FALSE(trace.delivered);
+  EXPECT_TRUE(validate_route(trace, net).has_value());
+}
+
+TEST(ExtractionTest, RouteInstanceWordIsWellBehaved) {
+  const auto net = line4();
+  Simulator sim(net, dsdv_factory(10));
+  sim.schedule({1, 0, 3, 40});
+  const auto result = sim.run(100);
+  const auto trace = extract_route(result, net, 1);
+  const auto word = route_instance_word(trace, net);
+  EXPECT_TRUE(word.infinite());
+  EXPECT_EQ(word.well_behaved(), Certificate::Proven);
+  rtw::core::Tick prev = 0;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    EXPECT_GE(word.at(i).time, prev) << "i=" << i;
+    prev = word.at(i).time;
+  }
+}
+
+// ----------------------------------------------------------------- metrics
+
+TEST(MetricsTest, PerfectDeliveryOnStaticLine) {
+  const auto net = line4();
+  Simulator sim(net, dsdv_factory(10));
+  std::vector<DataSpec> messages = {{1, 0, 3, 50}, {2, 3, 0, 60}, {3, 1, 2, 70}};
+  for (const auto& m : messages) sim.schedule(m);
+  const auto result = sim.run(150);
+  const auto metrics = compute_metrics(result, net, messages);
+  EXPECT_EQ(metrics.originated, 3u);
+  EXPECT_EQ(metrics.delivered, 3u);
+  EXPECT_DOUBLE_EQ(metrics.delivery_ratio(), 1.0);
+  // DSDV on a static line takes shortest paths: hop difference 0.
+  EXPECT_DOUBLE_EQ(metrics.hop_difference.mean(), 0.0);
+  EXPECT_EQ(metrics.path_optimality.count(0), 3u);
+}
+
+TEST(MetricsTest, FloodingOverheadExceedsDsdv) {
+  // Diamond topology: flooding wastes the redundant branch.
+  std::vector<std::unique_ptr<Mobility>> nodes;
+  nodes.push_back(at(0, 0));
+  nodes.push_back(at(10, 5));
+  nodes.push_back(at(10, -5));
+  nodes.push_back(at(20, 0));
+  Network net(std::move(nodes), 12.0);
+  std::vector<DataSpec> messages = {{1, 0, 3, 50}};
+  Simulator f(net, flooding_factory());
+  f.schedule(messages[0]);
+  const auto flood = compute_metrics(f.run(150), net, messages);
+  Simulator d(net, dsdv_factory(10));
+  d.schedule(messages[0]);
+  const auto dsdv = compute_metrics(d.run(150), net, messages);
+  EXPECT_GT(flood.data_transmissions, dsdv.data_transmissions);
+  EXPECT_DOUBLE_EQ(flood.delivery_ratio(), 1.0);
+  EXPECT_DOUBLE_EQ(dsdv.delivery_ratio(), 1.0);
+}
+
+TEST(MetricsTest, EmptyRunIsZero) {
+  const auto net = line4();
+  Simulator sim(net, flooding_factory());
+  const auto metrics = compute_metrics(sim.run(10), net, {});
+  EXPECT_DOUBLE_EQ(metrics.delivery_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.overhead_per_message(), 0.0);
+}
+
+// ------------------------------------------------------ distributed views
+
+TEST(DistributedTest, DecompositionCoversEveryMessageExactlyOnce) {
+  const auto trace = line_trace();
+  const auto views = decompose(trace, 4);
+  ASSERT_EQ(views.size(), 4u);
+  std::size_t total_sent = 0, total_received = 0;
+  for (const auto& [local, remote] : views) {
+    total_sent += local.sent.size();
+    total_received += remote.received.size();
+    for (const auto& hop : local.sent) EXPECT_EQ(hop.src, local.node);
+    for (const auto& hop : remote.received) EXPECT_EQ(hop.dst, remote.node);
+  }
+  EXPECT_EQ(total_sent, trace.hops.size());
+  EXPECT_EQ(total_received, trace.hops.size());
+}
+
+TEST(DistributedTest, MBetweenSelectsPairs) {
+  const auto trace = line_trace();
+  EXPECT_EQ(m_between(trace, 0, 1).size(), 1u);
+  EXPECT_EQ(m_between(trace, 1, 2).size(), 1u);
+  EXPECT_EQ(m_between(trace, 0, 2).size(), 0u);
+  EXPECT_EQ(m_between(trace, 3, 0).size(), 0u);
+}
+
+TEST(DistributedTest, ViewWordsAreWellBehaved) {
+  const auto net = line4();
+  const auto views = decompose(line_trace(), 4);
+  for (const auto& [local, remote] : views) {
+    const auto h = view_word(net, local, remote);
+    EXPECT_TRUE(h.infinite());
+    EXPECT_EQ(h.well_behaved(), Certificate::Proven);
+  }
+}
+
+TEST(DistributedTest, LocalViewKnowsNothingRemote) {
+  // "Besides this information, no knowledge about the external world
+  // exists": node 3's local view contains no hop it did not send.
+  const auto views = decompose(line_trace(), 4);
+  EXPECT_TRUE(views[3].first.sent.empty());       // node 3 never sends
+  EXPECT_EQ(views[3].second.received.size(), 1u); // receives the last hop
+  EXPECT_EQ(views[0].second.received.size(), 0u); // node 0 receives nothing
+}
+
+}  // namespace
+
+// ------------------------------- the section 5.2.5 word-level acceptor
+
+namespace word_acceptor {
+
+using namespace rtw::adhoc;
+using rtw::core::RunOptions;
+
+std::unique_ptr<Mobility> fixed(double x, double y) {
+  return std::make_unique<Stationary>(Vec2{x, y});
+}
+
+Network wa_line4() {
+  std::vector<std::unique_ptr<Mobility>> nodes;
+  for (int i = 0; i < 4; ++i) nodes.push_back(fixed(10.0 * i, 0));
+  return Network(std::move(nodes), 12.0);
+}
+
+TEST(RouteWordAcceptorTest, AcceptsASimulatedRouteWord) {
+  const auto net = wa_line4();
+  Simulator sim(net, dsdv_factory(10));
+  sim.schedule({777, 0, 3, 40});
+  const auto result = sim.run(100);
+  const auto trace = extract_route(result, net, 777);
+  ASSERT_TRUE(trace.delivered);
+  const auto word = route_instance_word(trace, net);
+
+  RouteWordAcceptor acceptor(net, {0, 3, 777, 40});
+  RunOptions options;
+  options.horizon = 400;
+  const auto r = rtw::core::run_acceptor(acceptor, word, options);
+  EXPECT_TRUE(r.accepted);
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(acceptor.hops_seen(), trace.hops.size());
+}
+
+TEST(RouteWordAcceptorTest, RejectsChainBreakInTheWord) {
+  const auto net = wa_line4();
+  RouteTrace trace;
+  trace.source = 0;
+  trace.destination = 3;
+  trace.body = 777;
+  trace.originated_at = 4;
+  // d_1 != s_2: the chain teleports from node 1 to node 2's send.
+  trace.hops = {{4, 5, 0, 1, 777}, {5, 6, 2, 3, 777}};
+  trace.delivered = true;
+  const auto word = route_instance_word(trace, net);
+  RouteWordAcceptor acceptor(net, {0, 3, 777, 4});
+  RunOptions options;
+  options.horizon = 300;
+  const auto r = rtw::core::run_acceptor(acceptor, word, options);
+  EXPECT_FALSE(r.accepted);
+  EXPECT_TRUE(r.exact);
+}
+
+TEST(RouteWordAcceptorTest, RejectsOutOfRangeHop) {
+  const auto net = wa_line4();
+  RouteTrace trace;
+  trace.source = 0;
+  trace.destination = 3;
+  trace.body = 777;
+  trace.originated_at = 4;
+  trace.hops = {{4, 5, 0, 3, 777}};  // 0 -> 3 is out of range
+  trace.delivered = true;
+  const auto word = route_instance_word(trace, net);
+  RouteWordAcceptor acceptor(net, {0, 3, 777, 4});
+  RunOptions options;
+  options.horizon = 300;
+  const auto r = rtw::core::run_acceptor(acceptor, word, options);
+  EXPECT_FALSE(r.accepted);
+  EXPECT_TRUE(r.exact);
+}
+
+TEST(RouteWordAcceptorTest, UndeliveredWordRejectsAtHorizon) {
+  // The network word alone (no message of body 777 at all): condition 3
+  // can never be witnessed, the acceptor never locks.
+  const auto net = wa_line4();
+  const auto word = network_word(net);
+  RouteWordAcceptor acceptor(net, {0, 3, 777, 4});
+  RunOptions options;
+  options.horizon = 200;
+  const auto r = rtw::core::run_acceptor(acceptor, word, options);
+  EXPECT_FALSE(r.accepted);
+  EXPECT_FALSE(r.exact);
+  EXPECT_EQ(acceptor.hops_seen(), 0u);
+}
+
+TEST(RouteWordAcceptorTest, WrongSourceRejected) {
+  const auto net = wa_line4();
+  RouteTrace trace;
+  trace.source = 1;  // chain starts at node 1, but u's source is 0
+  trace.destination = 3;
+  trace.body = 777;
+  trace.originated_at = 4;
+  trace.hops = {{4, 5, 1, 2, 777}, {5, 6, 2, 3, 777}};
+  trace.delivered = true;
+  const auto word = route_instance_word(trace, net);
+  RouteWordAcceptor acceptor(net, {0, 3, 777, 4});
+  RunOptions options;
+  options.horizon = 300;
+  const auto r = rtw::core::run_acceptor(acceptor, word, options);
+  EXPECT_FALSE(r.accepted);
+  EXPECT_TRUE(r.exact);
+}
+
+}  // namespace word_acceptor

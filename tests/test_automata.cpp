@@ -1,0 +1,275 @@
+// Tests for finite automata, Buchi/Muller omega-automata (section 2.1) and
+// the Theorem 3.1 witness language machinery.
+
+#include <gtest/gtest.h>
+
+#include "rtw/automata/finite_automaton.hpp"
+#include "rtw/automata/omega.hpp"
+#include "rtw/automata/witness.hpp"
+#include "rtw/core/error.hpp"
+
+namespace {
+
+using namespace rtw::automata;
+using rtw::core::Symbol;
+using rtw::core::symbols_of;
+
+Symbol A() { return Symbol::chr('a'); }
+Symbol B() { return Symbol::chr('b'); }
+
+// ------------------------------------------------------ FiniteAutomaton
+
+FiniteAutomaton even_as() {
+  // Accepts words over {a,b} with an even number of a's.
+  FiniteAutomaton fa(2, 0);
+  fa.add_transition(0, 1, A());
+  fa.add_transition(1, 0, A());
+  fa.add_transition(0, 0, B());
+  fa.add_transition(1, 1, B());
+  fa.add_final(0);
+  return fa;
+}
+
+TEST(FiniteAutomatonTest, AcceptsByFinalState) {
+  auto fa = even_as();
+  EXPECT_TRUE(fa.accepts(symbols_of("")));
+  EXPECT_TRUE(fa.accepts(symbols_of("aa")));
+  EXPECT_TRUE(fa.accepts(symbols_of("baba")));
+  EXPECT_FALSE(fa.accepts(symbols_of("a")));
+  EXPECT_FALSE(fa.accepts(symbols_of("bab")));
+}
+
+TEST(FiniteAutomatonTest, DeadInputRejects) {
+  FiniteAutomaton fa(1, 0);
+  fa.add_final(0);
+  EXPECT_TRUE(fa.accepts({}));
+  EXPECT_FALSE(fa.accepts(symbols_of("a")));  // no transition on a
+}
+
+TEST(FiniteAutomatonTest, NondeterminismExplored) {
+  // Accepts words ending in 'a' via a nondeterministic guess.
+  FiniteAutomaton fa(2, 0);
+  fa.add_transition(0, 0, A());
+  fa.add_transition(0, 0, B());
+  fa.add_transition(0, 1, A());
+  fa.add_final(1);
+  EXPECT_TRUE(fa.accepts(symbols_of("bba")));
+  EXPECT_FALSE(fa.accepts(symbols_of("ab")));
+}
+
+TEST(FiniteAutomatonTest, LambdaClosure) {
+  FiniteAutomaton fa(3, 0);
+  fa.add_lambda(0, 1);
+  fa.add_lambda(1, 2);
+  fa.add_transition(2, 2, A());
+  fa.add_final(2);
+  EXPECT_TRUE(fa.accepts(symbols_of("")));
+  EXPECT_TRUE(fa.accepts(symbols_of("a")));
+  const auto closed = fa.closure({0});
+  EXPECT_EQ(closed.size(), 3u);
+}
+
+TEST(FiniteAutomatonTest, RangeChecks) {
+  FiniteAutomaton fa(2, 0);
+  EXPECT_THROW(fa.add_transition(0, 5, A()), rtw::core::ModelError);
+  EXPECT_THROW(fa.add_lambda(5, 0), rtw::core::ModelError);
+  EXPECT_THROW(fa.add_final(9), rtw::core::ModelError);
+  EXPECT_THROW(FiniteAutomaton(2, 7), rtw::core::ModelError);
+}
+
+// ---------------------------------------------------------- OmegaWord
+
+TEST(OmegaWordTest, LassoIndexing) {
+  auto w = omega_word("xy", "ab");
+  EXPECT_EQ(w.at(0), Symbol::chr('x'));
+  EXPECT_EQ(w.at(2), A());
+  EXPECT_EQ(w.at(3), B());
+  EXPECT_EQ(w.at(4), A());
+  EXPECT_EQ(rtw::core::to_string(w.unroll(6)), "xyabab");
+}
+
+TEST(OmegaWordTest, EmptyCycleThrows) {
+  EXPECT_THROW(omega_word("x", ""), rtw::core::ModelError);
+}
+
+// -------------------------------------------------------------- Buchi
+
+BuchiAutomaton infinitely_many_as() {
+  // Accepts omega-words over {a,b} with infinitely many a's.
+  FiniteAutomaton fa(2, 0);
+  fa.add_transition(0, 0, B());
+  fa.add_transition(0, 1, A());
+  fa.add_transition(1, 0, B());
+  fa.add_transition(1, 1, A());
+  fa.add_final(1);
+  return BuchiAutomaton(std::move(fa));
+}
+
+TEST(BuchiTest, InfinitelyManyAs) {
+  auto buchi = infinitely_many_as();
+  EXPECT_TRUE(buchi.accepts(omega_word("", "a")));
+  EXPECT_TRUE(buchi.accepts(omega_word("bbb", "ab")));
+  EXPECT_FALSE(buchi.accepts(omega_word("aaaa", "b")));
+  EXPECT_FALSE(buchi.accepts(omega_word("", "b")));
+}
+
+TEST(BuchiTest, DeadRunRejects) {
+  FiniteAutomaton fa(1, 0);
+  fa.add_transition(0, 0, A());
+  fa.add_final(0);
+  BuchiAutomaton buchi(std::move(fa));
+  EXPECT_TRUE(buchi.accepts(omega_word("", "a")));
+  EXPECT_FALSE(buchi.accepts(omega_word("", "ab")));  // dies on b
+  EXPECT_FALSE(buchi.accepts(omega_word("b", "a")));  // dies in prefix
+}
+
+TEST(BuchiTest, FinalOnlyInPrefixRejects) {
+  // Final state reachable only during the prefix -> not in inf(r).
+  FiniteAutomaton fa(2, 0);
+  fa.add_transition(0, 1, A());
+  fa.add_transition(1, 1, B());
+  fa.add_final(0);
+  BuchiAutomaton buchi(std::move(fa));
+  EXPECT_FALSE(buchi.accepts(omega_word("a", "b")));
+}
+
+// -------------------------------------------------------------- Muller
+
+TEST(MullerTest, AcceptsExactInfSet) {
+  // Deterministic automaton over {a,b}: state tracks last symbol.
+  FiniteAutomaton fa(2, 0);
+  fa.add_transition(0, 0, A());
+  fa.add_transition(0, 1, B());
+  fa.add_transition(1, 0, A());
+  fa.add_transition(1, 1, B());
+  // Accept exactly runs that visit both states infinitely often.
+  MullerAutomaton muller(std::move(fa), {{0, 1}});
+  EXPECT_TRUE(muller.accepts(omega_word("", "ab")));
+  EXPECT_FALSE(muller.accepts(omega_word("", "a")));   // inf = {0}
+  EXPECT_FALSE(muller.accepts(omega_word("ab", "b"))); // inf = {1}
+}
+
+TEST(MullerTest, InfComputation) {
+  FiniteAutomaton fa(3, 0);
+  fa.add_transition(0, 1, A());
+  fa.add_transition(1, 2, A());
+  fa.add_transition(2, 1, A());
+  MullerAutomaton muller(std::move(fa), {{1, 2}});
+  EXPECT_EQ(muller.inf(omega_word("", "a")), (std::set<State>{1, 2}));
+  EXPECT_TRUE(muller.accepts(omega_word("", "a")));
+}
+
+TEST(MullerTest, DeadRunHasEmptyInf) {
+  FiniteAutomaton fa(2, 0);
+  fa.add_transition(0, 1, A());
+  MullerAutomaton muller(std::move(fa), {{1}});
+  EXPECT_TRUE(muller.inf(omega_word("", "a")).empty());
+  EXPECT_FALSE(muller.accepts(omega_word("", "a")));
+}
+
+TEST(MullerTest, NondeterminismRejectedAtConstruction) {
+  FiniteAutomaton fa(2, 0);
+  fa.add_transition(0, 0, A());
+  fa.add_transition(0, 1, A());
+  EXPECT_THROW(MullerAutomaton(std::move(fa), {}), rtw::core::ModelError);
+}
+
+// ---------------------------------------------------- Theorem 3.1 witness
+
+TEST(WitnessTest, BlockLanguageMembership) {
+  EXPECT_TRUE(in_block_language("abcd"));
+  EXPECT_TRUE(in_block_language("aabbbccdddd") ==
+              false);  // 3 b's vs 4 d's
+  EXPECT_TRUE(in_block_language("aabbbccddd"));
+  EXPECT_FALSE(in_block_language(""));
+  EXPECT_FALSE(in_block_language("bcd"));    // u = 0
+  EXPECT_FALSE(in_block_language("acd"));    // x = 0
+  EXPECT_FALSE(in_block_language("abd"));    // v = 0
+  EXPECT_FALSE(in_block_language("abc"));    // d-run missing
+  EXPECT_FALSE(in_block_language("abcda"));  // trailing junk
+}
+
+TEST(WitnessTest, BlockWordBuilder) {
+  EXPECT_EQ(block_word(2, 3, 1), "aabbbcddd");
+  EXPECT_TRUE(in_block_language(block_word(5, 7, 2)));
+}
+
+TEST(WitnessTest, LOmegaMembership) {
+  EXPECT_TRUE(in_l_omega(l_omega_member(1, 1, 1)));
+  EXPECT_TRUE(in_l_omega(l_omega_member(2, 5, 3)));
+  // Mismatched d-run in the repeated block.
+  EXPECT_FALSE(in_l_omega(omega_word("", "abbcd$")));
+  // No separators at all in the cycle.
+  EXPECT_FALSE(in_l_omega(omega_word("abcd$", "a")));
+}
+
+TEST(WitnessTest, RefuterFindsCounterexampleForSmallBuchi) {
+  // Any small Buchi automaton must misclassify some probe: here, one that
+  // accepts everything (a single accepting sink with self-loops).
+  FiniteAutomaton fa(1, 0);
+  for (char c : {'a', 'b', 'c', 'd', '$'})
+    fa.add_transition(0, 0, Symbol::chr(c));
+  fa.add_final(0);
+  BuchiAutomaton accept_everything(std::move(fa));
+  const auto ce = refute_buchi_candidate(accept_everything, 8);
+  ASSERT_TRUE(ce.has_value());
+  EXPECT_TRUE(ce->automaton_accepts);
+  EXPECT_FALSE(ce->in_language);
+  EXPECT_FALSE(ce->describe().empty());
+}
+
+TEST(WitnessTest, RefuterFindsCounterexampleForRejectAll) {
+  FiniteAutomaton fa(1, 0);
+  for (char c : {'a', 'b', 'c', 'd', '$'})
+    fa.add_transition(0, 0, Symbol::chr(c));
+  // no final states
+  BuchiAutomaton reject_everything(std::move(fa));
+  const auto ce = refute_buchi_candidate(reject_everything, 8);
+  ASSERT_TRUE(ce.has_value());
+  EXPECT_FALSE(ce->automaton_accepts);
+  EXPECT_TRUE(ce->in_language);
+}
+
+TEST(WitnessTest, Theorem31ExtractionBuildsPrime) {
+  FiniteAutomaton fa(1, 0);
+  for (char c : {'a', 'b', 'c', 'd', '$'})
+    fa.add_transition(0, 0, Symbol::chr(c));
+  fa.add_final(0);
+  BuchiAutomaton candidate(std::move(fa));
+  const auto sample = l_omega_member(1, 2, 1);
+  const auto prime = theorem31_extract(candidate, sample, 3);
+  // A' accepts the block language members the sample exercised...
+  EXPECT_TRUE(prime.accepts(symbols_of(block_word(1, 2, 1))));
+  // ...but (being finite-state over a unary-counting language) also accepts
+  // corrupted blocks -- the concrete contradiction of Theorem 3.1.
+  EXPECT_TRUE(prime.accepts(symbols_of("abbcd")));
+  EXPECT_FALSE(in_block_language("abbcd"));
+}
+
+// Property sweep: the refuter succeeds on a family of random-ish automata
+// over the witness alphabet.
+class RefuterProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RefuterProperty, EveryCandidateFails) {
+  const unsigned states = GetParam();
+  // A "counting ladder" automaton: counts b's modulo `states` and insists
+  // d-runs match modulo the state count -- the best a finite automaton can
+  // do, still refutable with x > states.
+  FiniteAutomaton fa(states, 0);
+  for (unsigned s = 0; s < states; ++s) {
+    fa.add_transition(s, s, Symbol::chr('a'));
+    fa.add_transition(s, s, Symbol::chr('c'));
+    fa.add_transition(s, (s + 1) % states, Symbol::chr('b'));
+    fa.add_transition(s, (s + states - 1) % states, Symbol::chr('d'));
+    fa.add_transition(s, s, Symbol::chr('$'));
+  }
+  fa.add_final(0);
+  BuchiAutomaton candidate(std::move(fa));
+  const auto ce = refute_buchi_candidate(candidate, states + 4);
+  EXPECT_TRUE(ce.has_value()) << "states=" << states;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ladders, RefuterProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+}  // namespace

@@ -1,0 +1,248 @@
+// Tests for the input/output tapes (Definition 3.3) and the acceptance
+// executor (Definition 3.4).
+
+#include <gtest/gtest.h>
+
+#include "rtw/core/acceptor.hpp"
+#include "rtw/core/error.hpp"
+
+namespace {
+
+using namespace rtw::core;
+
+// ------------------------------------------------------------ InputTape
+
+TEST(InputTapeTest, GatesSymbolsByTimestamp) {
+  // "a symbol ... is not available to the algorithm at any time t < tau_i"
+  InputTape tape(TimedWord::finite(symbols_of("abc"), {0, 2, 2}));
+  EXPECT_EQ(tape.take_available(0).size(), 1u);
+  EXPECT_TRUE(tape.take_available(1).empty());
+  const auto at2 = tape.take_available(2);
+  ASSERT_EQ(at2.size(), 2u);
+  EXPECT_EQ(at2[0].sym, Symbol::chr('b'));
+  EXPECT_EQ(at2[1].sym, Symbol::chr('c'));
+  EXPECT_TRUE(tape.exhausted());
+}
+
+TEST(InputTapeTest, DeliversEachSymbolOnce) {
+  InputTape tape(TimedWord::finite(symbols_of("xy"), {1, 1}));
+  EXPECT_EQ(tape.take_available(5).size(), 2u);
+  EXPECT_TRUE(tape.take_available(5).empty());
+  EXPECT_EQ(tape.consumed(), 2u);
+}
+
+TEST(InputTapeTest, NextArrivalReportsUpcomingTime) {
+  InputTape tape(TimedWord::finite(symbols_of("ab"), {3, 8}));
+  EXPECT_EQ(tape.next_arrival(), Tick{3});
+  tape.take_available(3);
+  EXPECT_EQ(tape.next_arrival(), Tick{8});
+  tape.take_available(8);
+  EXPECT_EQ(tape.next_arrival(), std::nullopt);
+}
+
+TEST(InputTapeTest, InfiniteWordNeverExhausts) {
+  InputTape tape(TimedWord::lasso({}, {{Symbol::chr('a'), 1}}, 1));
+  tape.take_available(100);
+  EXPECT_FALSE(tape.exhausted());
+  EXPECT_EQ(tape.consumed(), 100u);
+  EXPECT_EQ(tape.next_arrival(), Tick{101});
+}
+
+// ----------------------------------------------------------- OutputTape
+
+TEST(OutputTapeTest, AtMostOneSymbolPerTick) {
+  OutputTape out;
+  out.write(3, Symbol::chr('x'));
+  EXPECT_THROW(out.write(3, Symbol::chr('y')), ModelError);
+  EXPECT_THROW(out.write(2, Symbol::chr('y')), ModelError);
+  out.write(4, Symbol::chr('y'));
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(OutputTapeTest, CanWritePredicate) {
+  OutputTape out;
+  EXPECT_TRUE(out.can_write(0));
+  out.write(0, Symbol::chr('a'));
+  EXPECT_FALSE(out.can_write(0));
+  EXPECT_TRUE(out.can_write(1));
+}
+
+TEST(OutputTapeTest, TracksAcceptSymbol) {
+  OutputTape out;  // default accept symbol <f>
+  out.write(1, Symbol::chr('x'));
+  EXPECT_EQ(out.accept_count(), 0u);
+  out.write(5, marks::accept());
+  out.write(9, marks::accept());
+  EXPECT_EQ(out.accept_count(), 2u);
+  EXPECT_EQ(out.first_accept(), Tick{5});
+  EXPECT_EQ(out.last_accept(), Tick{9});
+}
+
+TEST(OutputTapeTest, CustomAcceptSymbol) {
+  OutputTape out(Symbol::marker("done"));
+  out.write(0, marks::accept());
+  EXPECT_EQ(out.accept_count(), 0u);
+  out.write(1, Symbol::marker("done"));
+  EXPECT_EQ(out.accept_count(), 1u);
+}
+
+// --------------------------------------------------------- run_acceptor
+
+/// Accepts iff the total count of 'a' symbols seen within the first
+/// `window` ticks is at least `threshold`; locks at tick `window`.
+class CountingAcceptor final : public RealTimeAlgorithm {
+public:
+  CountingAcceptor(Tick window, std::uint64_t threshold)
+      : window_(window), threshold_(threshold) {}
+
+  void on_tick(const StepContext& ctx) override {
+    // Count only arrivals whose timestamps fall inside the window: the
+    // executor may fast-forward past the window boundary, so the decision
+    // must be timestamp-based, not visit-based.
+    for (const auto& ts : ctx.arrivals)
+      if (ts.sym == Symbol::chr('a') && ts.time <= window_) ++count_;
+    if (ctx.now >= window_ && !decided_) {
+      decided_ = true;
+      verdict_ = count_ >= threshold_;
+    }
+    if (decided_ && verdict_ && ctx.out.can_write(ctx.now))
+      ctx.out.write(ctx.now, ctx.out.accept_symbol());
+  }
+
+  std::optional<bool> locked() const override {
+    if (!decided_) return std::nullopt;
+    return verdict_;
+  }
+
+  void reset() override {
+    count_ = 0;
+    decided_ = false;
+    verdict_ = false;
+  }
+
+private:
+  Tick window_;
+  std::uint64_t threshold_;
+  std::uint64_t count_ = 0;
+  bool decided_ = false;
+  bool verdict_ = false;
+};
+
+TEST(RunAcceptorTest, AcceptAllAcceptsExactly) {
+  AcceptAll algo;
+  const auto r = run_acceptor(algo, TimedWord::text_at("abc", 0));
+  EXPECT_TRUE(r.accepted);
+  EXPECT_TRUE(r.exact);
+  EXPECT_GE(r.f_count, 1u);
+}
+
+TEST(RunAcceptorTest, RejectAllRejectsExactly) {
+  RejectAll algo;
+  const auto r = run_acceptor(algo, TimedWord::text_at("abc", 0));
+  EXPECT_FALSE(r.accepted);
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(r.f_count, 0u);
+}
+
+TEST(RunAcceptorTest, CountingAcceptorSeesGatedInput) {
+  CountingAcceptor algo(10, 3);
+  // Three a's arrive by tick 10 -> accept.
+  auto yes = TimedWord::finite(symbols_of("aaa"), {1, 5, 9});
+  auto r = run_acceptor(algo, yes);
+  EXPECT_TRUE(r.accepted);
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(r.symbols_consumed, 3u);
+  // Third a arrives after the window -> reject.
+  auto no = TimedWord::finite(symbols_of("aaa"), {1, 5, 11});
+  r = run_acceptor(algo, no);
+  EXPECT_FALSE(r.accepted);
+  EXPECT_TRUE(r.exact);
+}
+
+TEST(RunAcceptorTest, ResetBetweenRuns) {
+  CountingAcceptor algo(4, 2);
+  auto w = TimedWord::finite(symbols_of("aa"), {0, 1});
+  EXPECT_TRUE(run_acceptor(algo, w).accepted);
+  // Same algorithm object, fresh run: must not carry the old count.
+  auto single = TimedWord::finite(symbols_of("a"), {0});
+  EXPECT_FALSE(run_acceptor(algo, single).accepted);
+}
+
+TEST(RunAcceptorTest, FastForwardSkipsIdleGaps) {
+  CountingAcceptor algo(1000000, 1);
+  auto w = TimedWord::finite(symbols_of("a"), {999999});
+  RunOptions opt;
+  opt.horizon = 2000000;
+  const auto r = run_acceptor(algo, w, opt);
+  EXPECT_TRUE(r.accepted);
+  EXPECT_TRUE(r.exact);
+}
+
+TEST(RunAcceptorTest, UnlockedAlgorithmGetsHorizonVerdict) {
+  /// Writes f every tick but never locks.
+  class Waffler final : public RealTimeAlgorithm {
+  public:
+    void on_tick(const StepContext& ctx) override {
+      if (ctx.out.can_write(ctx.now))
+        ctx.out.write(ctx.now, ctx.out.accept_symbol());
+    }
+  } algo;
+  RunOptions opt;
+  opt.horizon = 200;
+  auto w = TimedWord::lasso({}, {{Symbol::chr('a'), 1}}, 1);
+  const auto r = run_acceptor(algo, w, opt);
+  EXPECT_TRUE(r.accepted);
+  EXPECT_FALSE(r.exact);  // heuristic verdict
+}
+
+TEST(RunAcceptorTest, SilentUnlockedAlgorithmRejectsAtHorizon) {
+  class Silent final : public RealTimeAlgorithm {
+  public:
+    void on_tick(const StepContext&) override {}
+  } algo;
+  RunOptions opt;
+  opt.horizon = 100;
+  const auto r =
+      run_acceptor(algo, TimedWord::lasso({}, {{Symbol::chr('a'), 1}}, 1), opt);
+  EXPECT_FALSE(r.accepted);
+  EXPECT_FALSE(r.exact);
+}
+
+// Property: acceptance of CountingAcceptor matches the arithmetic truth for
+// a sweep of (window, arrivals) shapes.
+struct GateCase {
+  Tick window;
+  Tick arrival_step;
+  std::uint64_t count;
+  std::uint64_t threshold;
+};
+
+class GateProperty : public ::testing::TestWithParam<GateCase> {};
+
+TEST_P(GateProperty, VerdictMatchesArithmetic) {
+  const auto& p = GetParam();
+  std::vector<TimedSymbol> symbols;
+  for (std::uint64_t i = 0; i < p.count; ++i)
+    symbols.push_back({Symbol::chr('a'), p.arrival_step * (i + 1)});
+  CountingAcceptor algo(p.window, p.threshold);
+  RunOptions opt;
+  opt.horizon = p.window + p.arrival_step * (p.count + 2) + 10;
+  const auto r = run_acceptor(algo, TimedWord::finite(symbols), opt);
+  std::uint64_t available = 0;
+  for (std::uint64_t i = 0; i < p.count; ++i)
+    if (p.arrival_step * (i + 1) <= p.window) ++available;
+  EXPECT_EQ(r.accepted, available >= p.threshold)
+      << "window=" << p.window << " step=" << p.arrival_step
+      << " count=" << p.count << " threshold=" << p.threshold;
+  EXPECT_TRUE(r.exact);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GateProperty,
+    ::testing::Values(GateCase{10, 1, 5, 5}, GateCase{10, 3, 5, 4},
+                      GateCase{10, 3, 5, 3}, GateCase{100, 7, 20, 14},
+                      GateCase{100, 7, 20, 15}, GateCase{1, 1, 1, 1},
+                      GateCase{1, 2, 1, 1}, GateCase{50, 5, 10, 10},
+                      GateCase{49, 5, 10, 10}, GateCase{1000, 100, 3, 11}));
+
+}  // namespace

@@ -1,0 +1,301 @@
+// Tests for Definition 3.5 concatenation, Definition 3.6 Kleene closure,
+// and the Theorem 3.3 closure properties of timed omega-languages.
+
+#include <gtest/gtest.h>
+
+#include "rtw/core/concat.hpp"
+#include "rtw/core/error.hpp"
+#include "rtw/core/language.hpp"
+#include "rtw/core/timed_word.hpp"
+
+namespace {
+
+using namespace rtw::core;
+
+TimedWord fin(std::string_view text, std::vector<Tick> times) {
+  return TimedWord::finite(symbols_of(text), times);
+}
+
+// ------------------------------------------------------------ concat
+
+TEST(ConcatTest, MergesByArrivalTime) {
+  // Definition 3.5: symbols ordered by nondecreasing arrival time.
+  auto a = fin("ac", {1, 5});
+  auto b = fin("bd", {2, 6});
+  auto m = concat(a, b);
+  ASSERT_EQ(m.length(), std::uint64_t{4});
+  EXPECT_EQ(m.symbols(4), symbols_of("abcd"));
+  EXPECT_EQ(m.times(4), (std::vector<Tick>{1, 2, 5, 6}));
+}
+
+TEST(ConcatTest, Item3FirstOperandWinsTies) {
+  // "if sigma_1 and sigma_2 ... arrive at the same moment, sigma_1 precedes"
+  auto a = fin("x", {4});
+  auto b = fin("y", {4});
+  EXPECT_EQ(concat(a, b).symbols(2), symbols_of("xy"));
+  EXPECT_EQ(concat(b, a).symbols(2), symbols_of("yx"));
+}
+
+TEST(ConcatTest, Item2EqualTimeBlocksStayContiguous) {
+  // A maximal equal-time block of one operand remains a contiguous subword.
+  auto a = fin("pq", {3, 3});
+  auto b = fin("rs", {3, 3});
+  auto m = concat(a, b);
+  EXPECT_EQ(m.symbols(4), symbols_of("pqrs"));
+}
+
+TEST(ConcatTest, Item1BothOperandsAreSubsequences) {
+  auto a = fin("ace", {0, 2, 7});
+  auto b = fin("bdf", {1, 2, 9});
+  auto m = concat(a, b);
+  EXPECT_TRUE(is_subsequence(a.prefix(3), m, 10));
+  EXPECT_TRUE(is_subsequence(b.prefix(3), m, 10));
+  EXPECT_EQ(*m.length(), 6u);  // nothing extra
+}
+
+TEST(ConcatTest, EmptyIsIdentity) {
+  auto a = fin("ab", {1, 2});
+  EXPECT_EQ(concat(TimedWord(), a).symbols(2), a.symbols(2));
+  EXPECT_EQ(concat(a, TimedWord()).symbols(2), a.symbols(2));
+}
+
+TEST(ConcatTest, ResultIsMonotone) {
+  auto a = fin("aaa", {0, 5, 9});
+  auto b = fin("bbbb", {2, 3, 7, 20});
+  auto m = concat(a, b);
+  EXPECT_EQ(m.monotone(), Certificate::Proven);
+}
+
+TEST(ConcatTest, InfiniteOperandYieldsGeneratorWord) {
+  auto a = fin("xy", {1, 3});
+  auto inf = TimedWord::lasso({}, {{Symbol::chr('z'), 2}}, 2);
+  auto m = concat(a, inf);
+  EXPECT_TRUE(m.infinite());
+  // merge: x@1 z@2 y@3 z@4 z@6 ...
+  EXPECT_EQ(m.at(0).sym, Symbol::chr('x'));
+  EXPECT_EQ(m.at(1).sym, Symbol::chr('z'));
+  EXPECT_EQ(m.at(2).sym, Symbol::chr('y'));
+  EXPECT_EQ(m.at(3).time, 4u);
+  EXPECT_EQ(m.monotone(), Certificate::Proven);
+}
+
+TEST(ConcatTest, WellBehavednessPropagates) {
+  // Concatenating a finite word with a proven well-behaved infinite word
+  // yields a proven well-behaved word (key to db_B, section 5.1.3).
+  auto finw = fin("ab", {0, 0});
+  auto wb = TimedWord::lasso({}, {{Symbol::chr('u'), 1}}, 1);
+  ASSERT_EQ(wb.well_behaved(), Certificate::Proven);
+  auto m = concat(finw, wb);
+  EXPECT_EQ(m.well_behaved(), Certificate::Proven);
+}
+
+TEST(ConcatTest, TwoInfiniteWordsMerge) {
+  auto a = TimedWord::lasso({}, {{Symbol::chr('a'), 2}}, 2);   // 2,4,6,...
+  auto b = TimedWord::lasso({}, {{Symbol::chr('b'), 3}}, 3);   // 3,6,9,...
+  auto m = concat(a, b);
+  EXPECT_TRUE(m.infinite());
+  // 2a 3b 4a 6a 6b 8a 9b ... -- at time 6 the first word's symbol precedes.
+  EXPECT_EQ(m.at(0).sym, Symbol::chr('a'));
+  EXPECT_EQ(m.at(1).sym, Symbol::chr('b'));
+  EXPECT_EQ(m.at(2).sym, Symbol::chr('a'));
+  EXPECT_EQ(m.at(3).sym, Symbol::chr('a'));
+  EXPECT_EQ(m.at(3).time, 6u);
+  EXPECT_EQ(m.at(4).sym, Symbol::chr('b'));
+  EXPECT_EQ(m.at(4).time, 6u);
+  EXPECT_EQ(m.well_behaved(), Certificate::Proven);
+}
+
+TEST(ConcatTest, ConcatAllFoldsLeft) {
+  auto w1 = fin("a", {1});
+  auto w2 = fin("b", {1});
+  auto w3 = fin("c", {0});
+  auto m = concat_all({w1, w2, w3});
+  // c arrives first; a precedes b at time 1 (left fold keeps w1 before w2).
+  EXPECT_EQ(m.symbols(3), symbols_of("cab"));
+}
+
+TEST(ConcatTest, ConcatAllEmptyListIsEmptyWord) {
+  EXPECT_TRUE(concat_all({}).empty());
+}
+
+// ----------------------------------------------------- is_concatenation
+
+TEST(IsConcatenationTest, AcceptsCanonicalMerge) {
+  auto a = fin("ace", {0, 2, 7});
+  auto b = fin("bdf", {1, 2, 9});
+  auto m = concat(a, b);
+  EXPECT_EQ(is_concatenation(m, a, b, 100), Certificate::Proven);
+}
+
+TEST(IsConcatenationTest, RejectsWrongOrder) {
+  auto a = fin("x", {4});
+  auto b = fin("y", {4});
+  auto wrong = fin("yx", {4, 4});  // violates item 3
+  EXPECT_EQ(is_concatenation(wrong, a, b, 100), Certificate::Refuted);
+}
+
+TEST(IsConcatenationTest, RejectsMissingSymbols) {
+  auto a = fin("ab", {1, 2});
+  auto b = fin("c", {3});
+  auto missing = fin("ab", {1, 2});
+  EXPECT_EQ(is_concatenation(missing, a, b, 100), Certificate::Refuted);
+}
+
+TEST(IsConcatenationTest, InfiniteOperandsHorizonVerdict) {
+  auto a = TimedWord::lasso({}, {{Symbol::chr('a'), 2}}, 2);
+  auto b = TimedWord::lasso({}, {{Symbol::chr('b'), 3}}, 3);
+  auto m = concat(a, b);
+  EXPECT_EQ(is_concatenation(m, a, b, 256), Certificate::HoldsToHorizon);
+}
+
+// ------------------------------------------------------------- power
+
+TEST(PowerWordTest, PowerOfOneIsSelf) {
+  auto w = fin("ab", {1, 2});
+  auto p = power_word(w, 1);
+  EXPECT_EQ(p.symbols(2), w.symbols(2));
+}
+
+TEST(PowerWordTest, PowerMergesCopies) {
+  auto w = fin("a", {5});
+  auto p = power_word(w, 3);
+  EXPECT_EQ(*p.length(), 3u);
+  EXPECT_EQ(p.times(3), (std::vector<Tick>{5, 5, 5}));
+}
+
+TEST(PowerWordTest, ZeroPowerThrows) {
+  EXPECT_THROW(power_word(fin("a", {0}), 0), ModelError);
+}
+
+// ------------------------------------------------------ TimedLanguage
+
+TimedLanguage all_at_zero() {
+  return TimedLanguage(
+      "zeros",
+      [](const TimedWord& w) {
+        const auto n = w.length();
+        if (!n) return false;
+        for (std::uint64_t i = 0; i < *n; ++i)
+          if (w.at(i).time != 0) return false;
+        return true;
+      },
+      [](std::uint64_t i) {
+        return TimedWord::text_at(std::string(i + 1, 'a'), 0);
+      });
+}
+
+TimedLanguage singletons() {
+  return TimedLanguage(
+      "singleton",
+      [](const TimedWord& w) { return w.length() == std::uint64_t{1}; },
+      [](std::uint64_t i) {
+        return TimedWord::finite({{Symbol::chr('s'), i}});
+      });
+}
+
+TEST(LanguageTest, MembershipAndName) {
+  auto l = all_at_zero();
+  EXPECT_EQ(l.name(), "zeros");
+  EXPECT_TRUE(l.contains(TimedWord::text_at("abc", 0)));
+  EXPECT_FALSE(l.contains(TimedWord::text_at("abc", 1)));
+}
+
+TEST(LanguageTest, UnionIsPointwiseOr) {
+  auto u = all_at_zero() | singletons();
+  EXPECT_TRUE(u.contains(TimedWord::text_at("aa", 0)));
+  EXPECT_TRUE(u.contains(TimedWord::finite({{Symbol::chr('x'), 9}})));
+  EXPECT_FALSE(u.contains(TimedWord::finite(
+      {{Symbol::chr('x'), 9}, {Symbol::chr('y'), 9}})));
+}
+
+TEST(LanguageTest, IntersectionIsPointwiseAnd) {
+  auto i = all_at_zero() & singletons();
+  EXPECT_TRUE(i.contains(TimedWord::text_at("a", 0)));
+  EXPECT_FALSE(i.contains(TimedWord::text_at("aa", 0)));
+  EXPECT_FALSE(i.contains(TimedWord::finite({{Symbol::chr('a'), 3}})));
+}
+
+TEST(LanguageTest, ComplementFlips) {
+  auto c = ~all_at_zero();
+  EXPECT_FALSE(c.contains(TimedWord::text_at("a", 0)));
+  EXPECT_TRUE(c.contains(TimedWord::text_at("a", 1)));
+}
+
+TEST(LanguageTest, UnionSamplerAlternates) {
+  auto u = all_at_zero() | singletons();
+  ASSERT_TRUE(u.has_sampler());
+  for (std::uint64_t i = 0; i < 8; ++i)
+    EXPECT_TRUE(u.contains(u.sample(i))) << "sample " << i;
+}
+
+TEST(LanguageTest, SamplesSelfConsistent) {
+  // all_at_zero samples are finite -> never well-behaved; so the check must
+  // fail on well-behavedness, demonstrating its strictness.
+  EXPECT_FALSE(samples_self_consistent(all_at_zero(), 4, 64));
+  // A language of well-behaved lassos passes.
+  TimedLanguage wb(
+      "ticks",
+      [](const TimedWord& w) { return w.infinite(); },
+      [](std::uint64_t i) {
+        return TimedWord::lasso({}, {{Symbol::nat(i), 1}}, 1);
+      });
+  EXPECT_TRUE(samples_self_consistent(wb, 8, 64));
+}
+
+TEST(LanguageTest, ConcatSamplerMerges) {
+  auto c = concat(all_at_zero(), singletons());
+  ASSERT_TRUE(c.has_sampler());
+  auto w = c.sample(2);  // "aaa"@0 merged with s@2
+  EXPECT_EQ(*w.length(), 4u);
+  EXPECT_EQ(w.at(3).sym, Symbol::chr('s'));
+}
+
+TEST(LanguageTest, KleeneSamplerGrows) {
+  auto k = singletons().kleene(3);
+  ASSERT_TRUE(k.has_sampler());
+  // sample(i) merges 1 + i%3 members.
+  EXPECT_EQ(*k.sample(0).length(), 1u);
+  EXPECT_EQ(*k.sample(1).length(), 2u);
+  EXPECT_EQ(*k.sample(2).length(), 3u);
+  EXPECT_EQ(*k.sample(3).length(), 1u);
+}
+
+TEST(LanguageTest, KleeneRequiresSampler) {
+  TimedLanguage nosampler("x", [](const TimedWord&) { return true; });
+  EXPECT_THROW(nosampler.kleene(), ModelError);
+  EXPECT_THROW(concat(nosampler, nosampler), ModelError);
+}
+
+// Theorem 3.3 property sweep: union/intersection/complement of languages of
+// well-behaved words yield languages of well-behaved words (membership is
+// only ever asserted on well-behaved inputs).
+class ClosureProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClosureProperty, OperationsPreserveWellBehavedMembers) {
+  const std::uint64_t seed = GetParam();
+  TimedLanguage la(
+      "mod2", [](const TimedWord& w) { return w.at(0).sym == Symbol::nat(0); },
+      [](std::uint64_t) {
+        return TimedWord::lasso({}, {{Symbol::nat(0), 1}}, 1);
+      });
+  TimedLanguage lb(
+      "mod3", [](const TimedWord& w) { return w.at(0).sym == Symbol::nat(1); },
+      [](std::uint64_t) {
+        return TimedWord::lasso({}, {{Symbol::nat(1), 1}}, 1);
+      });
+  auto u = la | lb;
+  for (std::uint64_t i = seed; i < seed + 4; ++i) {
+    auto w = u.sample(i);
+    EXPECT_TRUE(u.contains(w));
+    EXPECT_EQ(w.well_behaved(), Certificate::Proven);
+    // Complement never contains what the base contains.
+    EXPECT_NE((~u).contains(w), u.contains(w));
+    // Intersection with the base is idempotent on members.
+    EXPECT_EQ((u & u).contains(w), u.contains(w));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClosureProperty,
+                         ::testing::Values<std::uint64_t>(0, 3, 10, 17, 64));
+
+}  // namespace

@@ -1,0 +1,209 @@
+// Edge-case coverage batch: paths the module suites leave thin --
+// recognition-acceptor corner cases, language combinators over the
+// application languages, simulator bookkeeping, and distributed views
+// including auxiliary traffic.
+
+#include <gtest/gtest.h>
+
+#include "rtw/adhoc/protocols.hpp"
+#include "rtw/adhoc/words.hpp"
+#include "rtw/core/concat.hpp"
+#include "rtw/dataacc/acceptor.hpp"
+#include "rtw/deadline/acceptor.hpp"
+#include "rtw/rtdb/algebra.hpp"
+#include "rtw/rtdb/recognition.hpp"
+
+namespace {
+
+using rtw::core::Symbol;
+using rtw::core::Tick;
+using rtw::core::TimedWord;
+
+// ----------------------------------------------- recognition corner cases
+
+using namespace rtw::rtdb;
+
+RtdbWordSpec tiny_spec() {
+  RtdbWordSpec spec;
+  spec.images.push_back({"x", 4, [](Tick t) {
+                           return Value{static_cast<std::int64_t>(t)};
+                         }});
+  return spec;
+}
+
+QueryCatalog tiny_catalog() {
+  QueryCatalog catalog;
+  catalog.add(Query("names", [](const Database& db) {
+    return project(db.get("Objects"), {"Name"});
+  }));
+  return catalog;
+}
+
+TEST(RecognitionEdgeTest, UnknownQueryNameFails) {
+  AperiodicQuerySpec q;
+  q.query = "no-such-query";
+  q.candidate = {Value{std::string("x")}};
+  q.issue_time = 8;
+  const auto w = rtw::core::concat(build_dbB(tiny_spec()), build_aq(q));
+  RecognitionAcceptor acceptor(tiny_catalog(), linear_cost());
+  rtw::core::RunOptions options;
+  options.horizon = 400;
+  const auto r = rtw::core::run_acceptor(acceptor, w, options);
+  EXPECT_FALSE(r.accepted);
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(acceptor.failed(), 1u);
+}
+
+TEST(RecognitionEdgeTest, WordWithoutQueryNeverDecides) {
+  const auto w = build_dbB(tiny_spec());
+  RecognitionAcceptor acceptor(tiny_catalog(), linear_cost());
+  rtw::core::RunOptions options;
+  options.horizon = 300;
+  const auto r = rtw::core::run_acceptor(acceptor, w, options);
+  EXPECT_FALSE(r.accepted);
+  EXPECT_FALSE(r.exact);
+  EXPECT_EQ(acceptor.served() + acceptor.failed(), 0u);
+}
+
+TEST(RecognitionEdgeTest, PatienceBoundaryLocksAfterQuietWindow) {
+  AperiodicQuerySpec q;
+  q.query = "names";
+  q.candidate = {Value{std::string("x")}};
+  q.issue_time = 8;
+  const auto w = rtw::core::concat(build_dbB(tiny_spec()), build_aq(q));
+  RecognitionAcceptor acceptor(tiny_catalog(), linear_cost(), /*patience=*/16);
+  rtw::core::RunOptions options;
+  options.horizon = 400;
+  const auto r = rtw::core::run_acceptor(acceptor, w, options);
+  EXPECT_TRUE(r.accepted);
+  EXPECT_TRUE(r.exact);
+  // The lock arrives after the quiet patience window, not at first f.
+  ASSERT_TRUE(r.first_f.has_value());
+  EXPECT_GE(r.ticks, *r.first_f + 16);
+}
+
+TEST(RecognitionEdgeTest, CostModelZeroIsClampedToOne) {
+  const auto cost = linear_cost();
+  EXPECT_EQ(cost(0), 1u);
+  EXPECT_EQ(cost(7), 7u);
+}
+
+// ----------------------------------- language combinators over app words
+
+TEST(AppLanguageTest, UnionOfDeadlineAndDataaccLanguages) {
+  using rtw::deadline::deadline_language;
+  using rtw::dataacc::dataacc_language;
+  const auto dl = deadline_language(
+      std::make_shared<rtw::deadline::SortProblem>());
+  const auto da = dataacc_language(
+      std::make_shared<rtw::dataacc::RunningSum>(), {1, 1});
+  const auto u = dl | da;
+  // Union samples alternate between the factors; every one is a member.
+  for (std::uint64_t i = 0; i < 6; ++i)
+    EXPECT_TRUE(u.contains(u.sample(i))) << "sample " << i;
+  // A word from neither language is excluded.
+  EXPECT_FALSE(u.contains(TimedWord::text_at("junk", 0)));
+}
+
+TEST(AppLanguageTest, ComplementExcludesMembers) {
+  using rtw::deadline::deadline_language;
+  const auto dl = deadline_language(
+      std::make_shared<rtw::deadline::ReverseProblem>());
+  const auto w = dl.sample(2);
+  EXPECT_TRUE(dl.contains(w));
+  EXPECT_FALSE((~dl).contains(w));
+}
+
+// --------------------------------------------------- simulator bookkeeping
+
+using namespace rtw::adhoc;
+
+TEST(SimBookkeepingTest, SendAndReceiveCountsAreConsistent) {
+  NetworkConfig config;
+  config.nodes = 10;
+  config.seed = 4;
+  config.region = {100, 100};
+  config.radio_range = 40;
+  Network net(config);
+  Simulator sim(net, flooding_factory());
+  sim.schedule({1, 0, 5, 5});
+  sim.schedule({2, 3, 7, 15});
+  const auto result = sim.run(120);
+  EXPECT_EQ(result.originated, 2u);
+  EXPECT_EQ(result.sends.size(),
+            result.data_transmissions + result.control_transmissions);
+  // Every receive corresponds to some send at time - 1.
+  for (const auto& recv : result.receives) {
+    bool matched = false;
+    for (const auto& send : result.sends) {
+      if (send.time + 1 == recv.time &&
+          send.packet.from == recv.packet.from &&
+          send.packet.data_id == recv.packet.data_id) {
+        matched = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(matched) << "orphan receive at t=" << recv.time;
+  }
+}
+
+TEST(SimBookkeepingTest, HopCountersIncrementPerRelay) {
+  std::vector<std::unique_ptr<Mobility>> nodes;
+  for (int i = 0; i < 4; ++i)
+    nodes.push_back(std::make_unique<Stationary>(Vec2{10.0 * i, 0}));
+  Network net(std::move(nodes), 12.0);
+  Simulator sim(net, flooding_factory());
+  sim.schedule({1, 0, 3, 0});
+  const auto result = sim.run(20);
+  const auto delivery = result.delivery_of(1);
+  ASSERT_TRUE(delivery.has_value());
+  EXPECT_EQ(delivery->hops, 3u);
+  // Each node's *first* data reception arrives over the forward chain:
+  // hop count == node index on the line.  (Later receptions are the
+  // flood's backwash with larger counts.)
+  std::set<NodeId> seen;
+  for (const auto& recv : result.receives) {
+    if (recv.packet.kind != Packet::Kind::Data) continue;
+    if (recv.by == 0) continue;  // the origin only hears backwash
+    if (!seen.insert(recv.by).second) continue;
+    EXPECT_EQ(recv.packet.hops_traveled, recv.by) << "node " << recv.by;
+  }
+}
+
+// ----------------------------------- distributed views with aux traffic
+
+TEST(DistributedAuxTest, DiscoveryTrafficLandsInLocalViews) {
+  std::vector<std::unique_ptr<Mobility>> nodes;
+  for (int i = 0; i < 4; ++i)
+    nodes.push_back(std::make_unique<Stationary>(Vec2{10.0 * i, 0}));
+  Network net(std::move(nodes), 12.0);
+  Simulator sim(net, dsr_factory());
+  sim.schedule({1, 0, 3, 10});
+  const auto result = sim.run(100);
+  const auto trace = extract_route(result, net, 1);
+  ASSERT_TRUE(trace.delivered);
+  ASSERT_GT(trace.auxiliary.size(), 0u);  // the RREQ flood + RREP chain
+  const auto views = decompose(trace, net.size());
+  std::size_t aux_sent = 0;
+  for (const auto& [local, remote] : views) aux_sent += local.sent.size();
+  EXPECT_EQ(aux_sent, trace.hops.size() + trace.auxiliary.size());
+}
+
+// ----------------------------------------------- dataacc language edges
+
+TEST(DataaccEdgeTest, EmptyProposedOutputRejects) {
+  using namespace rtw::dataacc;
+  DataAccInstance inst;
+  inst.law = ArrivalLaw(3, 1.0, 0.0, 0.5);
+  inst.datum = [](std::uint64_t j) { return Symbol::nat(j); };
+  // proposed_output left empty: RunningSum's snapshot is never empty.
+  DataAccAcceptor acceptor(std::make_unique<RunningSum>(), {1, 1});
+  rtw::core::RunOptions options;
+  options.horizon = 2000;
+  const auto r =
+      rtw::core::run_acceptor(acceptor, build_dataacc_word(inst), options);
+  EXPECT_TRUE(r.exact);
+  EXPECT_FALSE(r.accepted);
+}
+
+}  // namespace

@@ -1,0 +1,426 @@
+// Tests for section 4.2: arrival laws, d-algorithm/c-algorithm executors,
+// the termination fixed point, the word builder and the acceptor.
+
+#include <gtest/gtest.h>
+
+#include "rtw/core/error.hpp"
+#include "rtw/dataacc/acceptor.hpp"
+#include "rtw/dataacc/arrival_law.hpp"
+#include "rtw/dataacc/corrections.hpp"
+#include "rtw/dataacc/d_algorithm.hpp"
+#include "rtw/dataacc/stream_problem.hpp"
+#include "rtw/dataacc/word.hpp"
+
+namespace {
+
+using namespace rtw::dataacc;
+using rtw::core::Certificate;
+using rtw::core::Symbol;
+
+Symbol datum_mod7(std::uint64_t j) { return Symbol::nat(j % 7); }
+
+// ------------------------------------------------------------ ArrivalLaw
+
+TEST(ArrivalLawTest, CountMatchesFormula) {
+  // f(n,t) = n + k n^gamma t^beta with n=4, k=2, gamma=1, beta=1:
+  // f = 4 + 8t.
+  ArrivalLaw law(4, 2.0, 1.0, 1.0);
+  EXPECT_EQ(law.count_at(0), 4u);
+  EXPECT_EQ(law.count_at(1), 12u);
+  EXPECT_EQ(law.count_at(10), 84u);
+}
+
+TEST(ArrivalLawTest, SublinearGrowth) {
+  // beta = 0.5: f = 1 + sqrt(t).
+  ArrivalLaw law(1, 1.0, 0.0, 0.5);
+  EXPECT_EQ(law.count_at(0), 1u);
+  EXPECT_EQ(law.count_at(4), 3u);
+  EXPECT_EQ(law.count_at(100), 11u);
+}
+
+TEST(ArrivalLawTest, ArrivalTimesAreMonotone) {
+  ArrivalLaw law(2, 1.0, 0.5, 0.7);
+  rtw::core::Tick prev = 0;
+  for (std::uint64_t j = 1; j <= 40; ++j) {
+    const auto t = law.arrival_time(j, 1 << 20);
+    ASSERT_TRUE(t.has_value()) << "j=" << j;
+    EXPECT_GE(*t, prev);
+    prev = *t;
+    // The arrival time is the *first* tick with count >= j.
+    EXPECT_GE(law.count_at(*t), j);
+    if (*t > 0) {
+      EXPECT_LT(law.count_at(*t - 1), j);
+    }
+  }
+}
+
+TEST(ArrivalLawTest, InitialDataArriveAtZero) {
+  ArrivalLaw law(5, 1.0, 0.0, 1.0);
+  for (std::uint64_t j = 1; j <= 5; ++j)
+    EXPECT_EQ(law.arrival_time(j, 100), rtw::core::Tick{0});
+  EXPECT_GT(*law.arrival_time(6, 100), 0u);
+}
+
+TEST(ArrivalLawTest, BetaZeroStopsProducing) {
+  ArrivalLaw law(3, 2.0, 0.0, 0.0);  // f = 3 + 2 forever
+  EXPECT_EQ(law.count_at(1000), 5u);
+  EXPECT_EQ(law.arrival_time(6, 1 << 20), std::nullopt);
+}
+
+TEST(ArrivalLawTest, Validation) {
+  EXPECT_THROW(ArrivalLaw(0, 1, 0, 1), rtw::core::ModelError);
+  EXPECT_THROW(ArrivalLaw(1, 0, 0, 1), rtw::core::ModelError);
+  EXPECT_THROW(ArrivalLaw(1, 1, -1, 1), rtw::core::ModelError);
+  ArrivalLaw ok(1, 1, 0, 1);
+  EXPECT_THROW(ok.arrival_time(0, 10), rtw::core::ModelError);
+}
+
+// ---------------------------------------------------- predicted_termination
+
+TEST(TerminationTest, SlowLawTerminates) {
+  // f = 8 + sqrt(t), cost 1: needs t >= 8 + sqrt(t) -> t* = 12 gives
+  // 8+3=11 <= 12; check the solver finds the least such t.
+  ArrivalLaw law(8, 1.0, 0.0, 0.5);
+  const auto t = predicted_termination(law, {1, 1}, 10000);
+  ASSERT_TRUE(t.has_value());
+  // Verify minimality.
+  const auto needed = [&](rtw::core::Tick tt) {
+    return law.count_at(tt);  // cost 1, 1 processor
+  };
+  EXPECT_LE(needed(*t), *t);
+  EXPECT_GT(needed(*t - 1), *t - 1);
+}
+
+TEST(TerminationTest, LinearLawCriticalRate) {
+  // f = n + k t with cost c: terminates iff kc < 1 (asymptotically).
+  ArrivalLaw sub(5, 0.4, 0.0, 1.0);   // 0.4 data/tick, cost 2 -> 0.8 < 1
+  EXPECT_TRUE(predicted_termination(sub, {2, 1}, 100000).has_value());
+  ArrivalLaw super(5, 0.6, 0.0, 1.0);  // 0.6 * 2 = 1.2 > 1: diverges
+  EXPECT_FALSE(predicted_termination(super, {2, 1}, 100000).has_value());
+}
+
+TEST(TerminationTest, ParallelismShiftsTheFrontier) {
+  // The same super-critical law becomes feasible with 2 processors --
+  // the paper's "parallel approach can make the difference between
+  // success and failure".
+  ArrivalLaw law(5, 0.6, 0.0, 1.0);
+  EXPECT_FALSE(predicted_termination(law, {2, 1}, 100000).has_value());
+  EXPECT_TRUE(predicted_termination(law, {2, 2}, 100000).has_value());
+}
+
+// ------------------------------------------------------------ d-algorithm
+
+TEST(DAlgorithmTest, ExecutionMatchesPrediction) {
+  ArrivalLaw law(8, 1.0, 0.0, 0.5);
+  RunningCount counter;
+  const auto run =
+      run_d_algorithm(law, {1, 1}, counter, datum_mod7, 10000);
+  ASSERT_TRUE(run.terminated);
+  const auto predicted = predicted_termination(law, {1, 1}, 10000);
+  ASSERT_TRUE(predicted.has_value());
+  // The executor's event-level semantics and the fixed point agree within
+  // one tick (the fixed point ignores the end-of-tick arrival check).
+  EXPECT_NEAR(static_cast<double>(run.termination_time),
+              static_cast<double>(*predicted), 1.0);
+  EXPECT_EQ(run.processed, run.arrived);
+}
+
+TEST(DAlgorithmTest, DivergentLawNeverTerminates) {
+  ArrivalLaw law(5, 2.0, 0.0, 1.0);  // 2 data/tick, cost 1 -> never catches up
+  RunningSum sum;
+  const auto run = run_d_algorithm(law, {1, 1}, sum, datum_mod7, 2000);
+  EXPECT_FALSE(run.terminated);
+  EXPECT_LT(run.processed, run.arrived);
+}
+
+TEST(DAlgorithmTest, SolutionReflectsProcessedData) {
+  ArrivalLaw law(3, 1.0, 0.0, 0.0);  // 3 initial + 1 extra at t=... beta=0
+  RunningSum sum;
+  const auto run = run_d_algorithm(
+      law, {1, 1}, sum, [](std::uint64_t j) { return Symbol::nat(j); }, 100);
+  ASSERT_TRUE(run.terminated);
+  // beta=0, k=1: one extra datum at time 0 (t^0 = 1): total 4 data: 1+2+3+4.
+  EXPECT_EQ(run.processed, 4u);
+  EXPECT_EQ(run.solution, (std::vector<Symbol>{Symbol::nat(10)}));
+}
+
+TEST(DAlgorithmTest, MoreProcessorsTerminateFaster) {
+  ArrivalLaw law(20, 0.5, 0.0, 0.9);
+  RunningCount c1, c2;
+  const auto one = run_d_algorithm(law, {2, 1}, c1, datum_mod7, 100000);
+  const auto four = run_d_algorithm(law, {2, 4}, c2, datum_mod7, 100000);
+  ASSERT_TRUE(one.terminated);
+  ASSERT_TRUE(four.terminated);
+  EXPECT_LT(four.termination_time, one.termination_time);
+}
+
+TEST(DAlgorithmTest, Validation) {
+  RunningSum sum;
+  ArrivalLaw law(1, 1, 0, 1);
+  EXPECT_THROW(run_d_algorithm(law, {0, 1}, sum, datum_mod7, 10),
+               rtw::core::ModelError);
+  EXPECT_THROW(run_d_algorithm(law, {1, 0}, sum, datum_mod7, 10),
+               rtw::core::ModelError);
+  EXPECT_THROW(run_d_algorithm(law, {1, 1}, sum, nullptr, 10),
+               rtw::core::ModelError);
+}
+
+// ------------------------------------------------------------ c-algorithm
+
+TEST(CAlgorithmTest, TerminatesWhenCorrectionsSlow) {
+  ArrivalLaw law(10, 1.0, 0.0, 0.5);  // sqrt corrections
+  const auto run = run_c_algorithm(law, {2, 1}, 3, 10000);
+  EXPECT_TRUE(run.terminated);
+  EXPECT_GT(run.corrections_applied, 0u);
+  EXPECT_EQ(run.reprocessed_units, run.corrections_applied * 3);
+}
+
+TEST(CAlgorithmTest, FastCorrectionsDiverge) {
+  ArrivalLaw law(10, 1.0, 0.0, 1.0);  // 1 correction/tick
+  const auto run = run_c_algorithm(law, {1, 1}, 2, 2000);
+  EXPECT_FALSE(run.terminated);
+}
+
+// ------------------------------------------------------------------ word
+
+TEST(DataAccWordTest, LayoutAndWellBehavedness) {
+  DataAccInstance inst;
+  inst.law = ArrivalLaw(3, 1.0, 0.0, 1.0);  // one new datum per tick
+  inst.datum = [](std::uint64_t j) { return Symbol::nat(j); };
+  inst.proposed_output = {Symbol::nat(42)};
+  const auto w = build_dataacc_word(inst);
+  EXPECT_TRUE(w.infinite());
+  EXPECT_EQ(w.well_behaved(), Certificate::Proven);
+  // Header: o $ then initial data at time 0.
+  EXPECT_EQ(w.at(0).sym, Symbol::nat(42));
+  EXPECT_EQ(w.at(1).sym, rtw::core::marks::dollar());
+  EXPECT_EQ(w.at(2).sym, Symbol::nat(1));
+  EXPECT_EQ(w.at(4).sym, Symbol::nat(3));
+  EXPECT_EQ(w.at(4).time, 0u);
+  // Then pairs: c at t_j - 1, datum at t_j.
+  EXPECT_EQ(w.at(5).sym, rtw::core::marks::arrival());
+  EXPECT_EQ(w.at(5).time, 0u);  // first extra datum arrives at t=1
+  EXPECT_EQ(w.at(6).sym, Symbol::nat(4));
+  EXPECT_EQ(w.at(6).time, 1u);
+}
+
+TEST(DataAccWordTest, MonotoneUnderBurstyArrivals) {
+  DataAccInstance inst;
+  inst.law = ArrivalLaw(1, 3.0, 0.0, 1.0);  // three new data per tick
+  inst.datum = [](std::uint64_t j) { return Symbol::nat(j); };
+  const auto w = build_dataacc_word(inst);
+  rtw::core::Tick prev = 0;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    EXPECT_GE(w.at(i).time, prev) << "i=" << i;
+    prev = w.at(i).time;
+  }
+}
+
+TEST(DataAccWordTest, BetaZeroTailStaysWellBehaved) {
+  DataAccInstance inst;
+  inst.law = ArrivalLaw(2, 1.0, 0.0, 0.0);
+  inst.datum = [](std::uint64_t j) { return Symbol::nat(j); };
+  const auto w = build_dataacc_word(inst, 1000);
+  // After the (finite) stream, trailing c markers keep time progressing.
+  rtw::core::Tick prev = 0;
+  bool progressed = false;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    prev = w.at(i).time;
+    if (prev > 20) progressed = true;
+  }
+  EXPECT_TRUE(progressed);
+}
+
+TEST(DataAccWordTest, NullDatumThrows) {
+  DataAccInstance inst;
+  inst.law = ArrivalLaw(1, 1, 0, 1);
+  EXPECT_THROW(build_dataacc_word(inst), rtw::core::ModelError);
+}
+
+// -------------------------------------------------------------- acceptor
+
+DataAccInstance accepted_instance() {
+  DataAccInstance inst;
+  inst.law = ArrivalLaw(4, 1.0, 0.0, 0.5);
+  inst.datum = [](std::uint64_t j) { return Symbol::nat(j % 5); };
+  RunningSum probe;
+  const auto run = run_d_algorithm(inst.law, {1, 1}, probe, inst.datum, 5000);
+  inst.proposed_output = run.solution;
+  return inst;
+}
+
+TEST(DataAccAcceptorTest, AcceptsTrueSolution) {
+  auto inst = accepted_instance();
+  DataAccAcceptor acceptor(std::make_unique<RunningSum>(), {1, 1});
+  const auto r =
+      rtw::core::run_acceptor(acceptor, build_dataacc_word(inst));
+  EXPECT_TRUE(r.exact);
+  EXPECT_TRUE(r.accepted);
+}
+
+TEST(DataAccAcceptorTest, RejectsWrongSolution) {
+  auto inst = accepted_instance();
+  inst.proposed_output = {Symbol::nat(999999)};
+  DataAccAcceptor acceptor(std::make_unique<RunningSum>(), {1, 1});
+  const auto r =
+      rtw::core::run_acceptor(acceptor, build_dataacc_word(inst));
+  EXPECT_TRUE(r.exact);
+  EXPECT_FALSE(r.accepted);
+}
+
+TEST(DataAccAcceptorTest, DivergentStreamNeverLocks) {
+  DataAccInstance inst;
+  inst.law = ArrivalLaw(5, 2.0, 0.0, 1.0);  // outruns a cost-1 processor
+  inst.datum = [](std::uint64_t j) { return Symbol::nat(j % 5); };
+  inst.proposed_output = {Symbol::nat(0)};
+  DataAccAcceptor acceptor(std::make_unique<RunningSum>(), {1, 1});
+  rtw::core::RunOptions options;
+  options.horizon = 3000;
+  const auto r =
+      rtw::core::run_acceptor(acceptor, build_dataacc_word(inst), options);
+  EXPECT_FALSE(r.exact);
+  EXPECT_FALSE(r.accepted);
+  EXPECT_EQ(r.f_count, 0u);
+}
+
+TEST(DataAccAcceptorTest, TerminationTimeMatchesExecutor) {
+  auto inst = accepted_instance();
+  RunningSum probe;
+  const auto run = run_d_algorithm(inst.law, {1, 1}, probe, inst.datum, 5000);
+  DataAccAcceptor acceptor(std::make_unique<RunningSum>(), {1, 1});
+  rtw::core::run_acceptor(acceptor, build_dataacc_word(inst));
+  EXPECT_EQ(acceptor.termination_time(), run.termination_time);
+  EXPECT_EQ(acceptor.processed(), run.processed);
+}
+
+TEST(DataAccLanguageTest, SamplesAreMembers) {
+  auto lang = dataacc_language(std::make_shared<RunningSum>(), {1, 1});
+  for (std::uint64_t i = 0; i < 6; ++i)
+    EXPECT_TRUE(lang.contains(lang.sample(i))) << "sample " << i;
+}
+
+// Property sweep: acceptance tracks d-algorithm termination across laws.
+struct LawCase {
+  double k;
+  double beta;
+  bool should_terminate;
+};
+
+class LawProperty : public ::testing::TestWithParam<LawCase> {};
+
+TEST_P(LawProperty, AcceptanceIffTermination) {
+  const auto& p = GetParam();
+  DataAccInstance inst;
+  inst.law = ArrivalLaw(6, p.k, 0.0, p.beta);
+  inst.datum = [](std::uint64_t j) { return Symbol::nat(j % 3); };
+  RunningSum probe;
+  const auto run = run_d_algorithm(inst.law, {1, 1}, probe, inst.datum, 4000);
+  EXPECT_EQ(run.terminated, p.should_terminate)
+      << "k=" << p.k << " beta=" << p.beta;
+  inst.proposed_output =
+      run.terminated ? run.solution : std::vector<Symbol>{Symbol::nat(0)};
+  DataAccAcceptor acceptor(std::make_unique<RunningSum>(), {1, 1});
+  rtw::core::RunOptions options;
+  options.horizon = 4000;
+  const auto r =
+      rtw::core::run_acceptor(acceptor, build_dataacc_word(inst), options);
+  EXPECT_EQ(r.accepted && r.exact, p.should_terminate);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Laws, LawProperty,
+    ::testing::Values(LawCase{0.5, 0.5, true}, LawCase{0.9, 0.5, true},
+                      LawCase{0.5, 1.0, true}, LawCase{2.0, 1.0, false},
+                      LawCase{1.5, 1.0, false}, LawCase{0.3, 0.9, true}));
+
+}  // namespace
+
+// ------------------------------------------- c-algorithm words (section 4.2)
+
+namespace corrections {
+
+using namespace rtw::dataacc;
+using rtw::core::Symbol;
+
+CorrectionInstance slow_corrections() {
+  CorrectionInstance inst;
+  inst.law = ArrivalLaw(4, 1.0, 0.0, 0.5);  // sqrt-rate corrections
+  inst.initial = [](std::uint64_t i) { return 10 + i; };  // 10, 11, 12, 13
+  inst.correction = [](std::uint64_t j) {
+    return Correction{j % 4, 100 * j};
+  };
+  return inst;
+}
+
+TEST(CorrectionWordTest, LayoutAndWellBehavedness) {
+  auto inst = slow_corrections();
+  inst.proposed_output = {Symbol::nat(0)};
+  const auto w = build_correction_word(inst);
+  EXPECT_EQ(w.well_behaved(), rtw::core::Certificate::Proven);
+  // Header: o $ then 4 initial values at time 0.
+  EXPECT_EQ(w.at(0).sym, Symbol::nat(0));
+  EXPECT_EQ(w.at(1).sym, rtw::core::marks::dollar());
+  EXPECT_EQ(w.at(2).sym, Symbol::nat(10));
+  EXPECT_EQ(w.at(5).sym, Symbol::nat(13));
+  // First correction group: c, then <fix> index value.
+  EXPECT_EQ(w.at(6).sym, rtw::core::marks::arrival());
+  EXPECT_EQ(w.at(7).sym, fix_mark());
+  EXPECT_EQ(w.at(8).sym, Symbol::nat(1));    // index of correction 1
+  EXPECT_EQ(w.at(9).sym, Symbol::nat(100));  // new value
+}
+
+TEST(CorrectionWordTest, CorrectedSumGroundTruth) {
+  const auto inst = slow_corrections();
+  EXPECT_EQ(corrected_sum(inst, 0), 10 + 11 + 12 + 13u);
+  // Correction 1: values[1] = 100 -> 10 + 100 + 12 + 13.
+  EXPECT_EQ(corrected_sum(inst, 1), 135u);
+  // Correction 2: values[2] = 200 -> 10 + 100 + 200 + 13.
+  EXPECT_EQ(corrected_sum(inst, 2), 323u);
+}
+
+TEST(CorrectionAcceptorTest, AcceptsTrueCorrectedSum) {
+  auto inst = slow_corrections();
+  // Learn the deterministic termination point with a throwaway run.
+  inst.proposed_output = {Symbol::marker("wrong")};
+  CorrectionAcceptor probe(1, 2);
+  rtw::core::RunOptions options;
+  options.horizon = 4000;
+  const auto r0 =
+      rtw::core::run_acceptor(probe, build_correction_word(inst), options);
+  ASSERT_TRUE(r0.exact);
+  ASSERT_FALSE(r0.accepted);
+  const auto applied = probe.corrections_applied();
+
+  inst.proposed_output = {Symbol::nat(corrected_sum(inst, applied))};
+  CorrectionAcceptor acceptor(1, 2);
+  const auto r =
+      rtw::core::run_acceptor(acceptor, build_correction_word(inst), options);
+  EXPECT_TRUE(r.exact);
+  EXPECT_TRUE(r.accepted);
+  EXPECT_EQ(acceptor.corrections_applied(), applied);
+  EXPECT_EQ(acceptor.termination_time(), probe.termination_time());
+}
+
+TEST(CorrectionAcceptorTest, FastCorrectionsNeverLock) {
+  CorrectionInstance inst;
+  inst.law = ArrivalLaw(4, 2.0, 0.0, 1.0);  // 2 corrections/tick
+  inst.initial = [](std::uint64_t i) { return i; };
+  inst.correction = [](std::uint64_t j) { return Correction{j % 4, j}; };
+  inst.proposed_output = {Symbol::nat(0)};
+  CorrectionAcceptor acceptor(1, 2);  // cost 2/correction vs 2 arrivals/tick
+  rtw::core::RunOptions options;
+  options.horizon = 1500;
+  const auto r =
+      rtw::core::run_acceptor(acceptor, build_correction_word(inst), options);
+  EXPECT_FALSE(r.exact);
+  EXPECT_FALSE(r.accepted);
+}
+
+TEST(CorrectionAcceptorTest, Validation) {
+  EXPECT_THROW(CorrectionAcceptor(0, 1), rtw::core::ModelError);
+  EXPECT_THROW(CorrectionAcceptor(1, 0), rtw::core::ModelError);
+  CorrectionInstance inst;
+  EXPECT_THROW(build_correction_word(inst), rtw::core::ModelError);
+}
+
+}  // namespace corrections

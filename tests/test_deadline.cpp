@@ -1,0 +1,366 @@
+// Tests for section 4.1: usefulness profiles, the deadline word builder
+// (cases i/ii/iii), the (P_w, P_m) acceptor, and the scheduling substrate.
+
+#include <gtest/gtest.h>
+
+#include "rtw/core/error.hpp"
+#include "rtw/deadline/acceptor.hpp"
+#include "rtw/deadline/problem.hpp"
+#include "rtw/deadline/scheduling.hpp"
+#include "rtw/deadline/usefulness.hpp"
+#include "rtw/deadline/word.hpp"
+
+namespace {
+
+using namespace rtw::deadline;
+using rtw::core::Certificate;
+using rtw::core::Symbol;
+using rtw::core::TimedWord;
+
+// ----------------------------------------------------------- Usefulness
+
+TEST(UsefulnessTest, NoneIsConstant) {
+  const auto u = Usefulness::none(7);
+  EXPECT_EQ(u.kind(), DeadlineKind::None);
+  EXPECT_EQ(u.at(0), 7u);
+  EXPECT_EQ(u.at(1000000), 7u);
+}
+
+TEST(UsefulnessTest, FirmDropsToZeroAtDeadline) {
+  const auto u = Usefulness::firm(20, 10);
+  EXPECT_EQ(u.at(0), 10u);
+  EXPECT_EQ(u.at(19), 10u);
+  EXPECT_EQ(u.at(20), 0u);
+  EXPECT_EQ(u.at(21), 0u);
+}
+
+TEST(UsefulnessTest, HyperbolicMatchesPaperExample) {
+  // u(t) = max * 1/(t - 20) after a deadline of 20.
+  const auto u = Usefulness::hyperbolic(20, 100);
+  EXPECT_EQ(u.at(20), 100u);
+  EXPECT_EQ(u.at(21), 100u);  // 100/1
+  EXPECT_EQ(u.at(25), 20u);   // 100/5
+  EXPECT_EQ(u.at(70), 2u);    // 100/50
+  EXPECT_EQ(u.at(121), 0u);   // 100/101 floored
+}
+
+TEST(UsefulnessTest, LinearReachesZeroAtSpan) {
+  const auto u = Usefulness::linear(10, 8, 4);
+  EXPECT_EQ(u.at(10), 8u);
+  EXPECT_EQ(u.at(11), 6u);
+  EXPECT_EQ(u.at(12), 4u);
+  EXPECT_EQ(u.at(13), 2u);
+  EXPECT_EQ(u.at(14), 0u);
+  EXPECT_THROW(Usefulness::linear(10, 8, 0), rtw::core::ModelError);
+}
+
+TEST(UsefulnessTest, FirstBelowFindsCrossing) {
+  const auto u = Usefulness::linear(10, 8, 4);
+  EXPECT_EQ(u.first_below(5, 1000), 12u);  // first t with u(t) < 5 is 12 (4)
+  EXPECT_EQ(u.first_below(1, 1000), 14u);
+  const auto none = Usefulness::none(3);
+  EXPECT_EQ(none.first_below(1, 100), 100u);  // never crossed
+}
+
+// ----------------------------------------------------------- word builder
+
+DeadlineInstance simple_instance(Usefulness u, std::uint64_t min_ok = 1) {
+  DeadlineInstance inst;
+  inst.input = {Symbol::nat(3), Symbol::nat(1), Symbol::nat(2)};
+  SortProblem sorter;
+  inst.proposed_output = sorter.solve(inst.input);
+  inst.usefulness = u;
+  inst.min_acceptable = min_ok;
+  return inst;
+}
+
+TEST(DeadlineWordTest, CaseNoneLayout) {
+  auto inst = simple_instance(Usefulness::none(1));
+  const auto w = build_deadline_word(inst);
+  EXPECT_EQ(w.well_behaved(), Certificate::Proven);
+  // Header at time 0: o $ iota $ -- then w's from time 1.
+  const auto head = w.prefix(12);
+  std::size_t zero_count = 0;
+  for (const auto& ts : head)
+    if (ts.time == 0) ++zero_count;
+  EXPECT_EQ(zero_count, 3 + 1 + 3 + 1u);  // o, $, iota, $
+  EXPECT_EQ(w.at(8).sym, rtw::core::marks::waiting());
+  EXPECT_EQ(w.at(8).time, 1u);
+  EXPECT_EQ(w.at(9).time, 2u);
+}
+
+TEST(DeadlineWordTest, CaseFirmLayout) {
+  auto inst = simple_instance(Usefulness::firm(5, 10), 2);
+  const auto w = build_deadline_word(inst);
+  EXPECT_EQ(w.well_behaved(), Certificate::Proven);
+  // Leading minimum-usefulness nat, tagged by the <min> marker.
+  EXPECT_EQ(w.at(0).sym, Symbol::marker("min"));
+  EXPECT_EQ(w.at(1).sym, Symbol::nat(2));
+  // w symbols at 1..4, then (d, 0) pairs from t_d = 5.
+  const auto head = w.prefix(20);
+  std::size_t w_count = 0;
+  for (const auto& ts : head)
+    if (ts.sym == rtw::core::marks::waiting()) ++w_count;
+  EXPECT_EQ(w_count, 4u);
+  // Find the first deadline pair.
+  bool found = false;
+  for (std::size_t i = 0; i + 1 < head.size(); ++i) {
+    if (head[i].sym == rtw::core::marks::deadline()) {
+      EXPECT_EQ(head[i].time, 5u);
+      EXPECT_EQ(head[i + 1].sym, Symbol::nat(0));
+      EXPECT_EQ(head[i + 1].time, 5u);
+      found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DeadlineWordTest, CaseSoftCarriesDecayValues) {
+  auto inst = simple_instance(Usefulness::linear(4, 6, 3), 1);
+  const auto w = build_deadline_word(inst);
+  EXPECT_EQ(w.well_behaved(), Certificate::Proven);
+  // Pairs: (d,6)@4 (d,4)@5 (d,2)@6 then (d,0) forever.
+  std::vector<std::uint64_t> decay;
+  for (const auto& ts : w.prefix(40)) {
+    if (ts.sym.is_nat() && ts.time >= 4) decay.push_back(ts.sym.as_nat());
+    if (decay.size() == 5) break;
+  }
+  EXPECT_EQ(decay, (std::vector<std::uint64_t>{6, 4, 2, 0, 0}));
+}
+
+TEST(DeadlineWordTest, DeadlineAtZeroThrows) {
+  auto inst = simple_instance(Usefulness::firm(0, 10));
+  EXPECT_THROW(build_deadline_word(inst), rtw::core::ModelError);
+}
+
+TEST(DeadlineWordTest, MinAboveMaxThrows) {
+  auto inst = simple_instance(Usefulness::firm(5, 3), 9);
+  EXPECT_THROW(build_deadline_word(inst), rtw::core::ModelError);
+}
+
+TEST(DeadlineHeaderTest, ParsesRoundTrip) {
+  auto inst = simple_instance(Usefulness::firm(5, 10), 2);
+  const auto w = build_deadline_word(inst);
+  // All symbols at time 0 form the header.
+  std::vector<rtw::core::TimedSymbol> at_zero;
+  for (const auto& ts : w.prefix(32))
+    if (ts.time == 0) at_zero.push_back(ts);
+  const auto header = parse_deadline_header(at_zero);
+  EXPECT_TRUE(header.has_min);
+  EXPECT_EQ(header.min_acceptable, 2u);
+  EXPECT_EQ(header.proposed_output, inst.proposed_output);
+  EXPECT_EQ(header.input, inst.input);
+}
+
+TEST(DeadlineHeaderTest, MissingDelimitersThrow) {
+  EXPECT_THROW(parse_deadline_header({{Symbol::chr('a'), 0}}),
+               rtw::core::ModelError);
+  EXPECT_THROW(
+      parse_deadline_header({{rtw::core::marks::dollar(), 0},
+                             {Symbol::chr('a'), 0}}),
+      rtw::core::ModelError);
+}
+
+// -------------------------------------------------------------- acceptor
+
+TEST(DeadlineAcceptorTest, AcceptsCorrectSolutionWithinDeadline) {
+  SortProblem sorter;
+  auto inst = simple_instance(Usefulness::firm(100, 10), 1);
+  EXPECT_TRUE(accepts_instance(sorter, inst));
+}
+
+TEST(DeadlineAcceptorTest, RejectsWrongSolution) {
+  SortProblem sorter;
+  auto inst = simple_instance(Usefulness::firm(100, 10), 1);
+  inst.proposed_output = {Symbol::nat(9), Symbol::nat(9), Symbol::nat(9)};
+  EXPECT_FALSE(accepts_instance(sorter, inst));
+}
+
+TEST(DeadlineAcceptorTest, RejectsMissedFirmDeadline) {
+  // Work cost of sorting 3 elements is 3 * ceil(log2 3) = 6; a firm
+  // deadline at 2 with a positive usefulness floor must reject.
+  SortProblem sorter;
+  auto inst = simple_instance(Usefulness::firm(2, 10), 1);
+  EXPECT_FALSE(accepts_instance(sorter, inst));
+}
+
+TEST(DeadlineAcceptorTest, FirmMissWithZeroFloorIsAcceptable) {
+  // The paper's monitor only rejects when usefulness < minimum acceptable;
+  // with a floor of 0 a late-but-correct computation still passes.
+  SortProblem sorter;
+  auto inst = simple_instance(Usefulness::firm(2, 10), 0);
+  EXPECT_TRUE(accepts_instance(sorter, inst));
+}
+
+TEST(DeadlineAcceptorTest, SoftDeadlineDegradesGracefully) {
+  FixedCostProblem pi(30);  // completes at t=30
+  DeadlineInstance inst;
+  inst.input = {Symbol::nat(5)};
+  inst.proposed_output = inst.input;
+  // Hyperbolic decay from t_d=20 with max 100: u(30) = 100/10 = 10.
+  inst.usefulness = Usefulness::hyperbolic(20, 100);
+  inst.min_acceptable = 10;
+  EXPECT_TRUE(accepts_instance(pi, inst));
+  inst.min_acceptable = 11;  // floor just above u(30)
+  EXPECT_FALSE(accepts_instance(pi, inst));
+}
+
+TEST(DeadlineAcceptorTest, NoDeadlineAlwaysAcceptsCorrectSolutions) {
+  FixedCostProblem pi(500);
+  DeadlineInstance inst;
+  inst.input = {Symbol::chr('q')};
+  inst.proposed_output = inst.input;
+  inst.usefulness = Usefulness::none(1);
+  EXPECT_TRUE(accepts_instance(pi, inst));
+}
+
+TEST(DeadlineAcceptorTest, CompletionTimeIsWorkCost) {
+  FixedCostProblem pi(17);
+  DeadlineAcceptor acceptor(pi);
+  DeadlineInstance inst;
+  inst.input = {Symbol::nat(1)};
+  inst.proposed_output = inst.input;
+  inst.usefulness = Usefulness::firm(40, 5);
+  inst.min_acceptable = 1;
+  const auto r = rtw::core::run_acceptor(acceptor, build_deadline_word(inst));
+  EXPECT_TRUE(r.accepted);
+  EXPECT_EQ(acceptor.completion_time(), 17u);
+  EXPECT_EQ(r.first_f, 17u);
+}
+
+TEST(DeadlineLanguageTest, SamplesAreMembers) {
+  auto lang = deadline_language(std::make_shared<SortProblem>());
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const auto w = lang.sample(i);
+    EXPECT_TRUE(lang.contains(w)) << "sample " << i;
+    EXPECT_TRUE(holds(w.well_behaved()));
+  }
+}
+
+// Tightness sweep: acceptance flips exactly at deadline == cost.
+class TightnessProperty : public ::testing::TestWithParam<rtw::core::Tick> {};
+
+TEST_P(TightnessProperty, FirmVerdictMatchesArithmetic) {
+  const rtw::core::Tick deadline = GetParam();
+  FixedCostProblem pi(25);
+  DeadlineInstance inst;
+  inst.input = {Symbol::nat(4)};
+  inst.proposed_output = inst.input;
+  inst.usefulness = Usefulness::firm(deadline, 10);
+  inst.min_acceptable = 1;
+  // The monitor sees `d` at completion time T iff T >= t_d.
+  EXPECT_EQ(accepts_instance(pi, inst), 25 < deadline) << "t_d=" << deadline;
+}
+
+INSTANTIATE_TEST_SUITE_P(Deadlines, TightnessProperty,
+                         ::testing::Values<rtw::core::Tick>(1, 10, 24, 25, 26,
+                                                            40, 100));
+
+// ------------------------------------------------------------ scheduling
+
+std::vector<Task> two_periodic() {
+  // Classic feasible pair: U = 1/4 + 2/5 = 0.65.
+  return {{0, 0, 1, 4, 4}, {1, 0, 2, 5, 5}};
+}
+
+TEST(SchedulingTest, EdfMeetsFeasibleSet) {
+  const auto r = simulate_schedule(two_periodic(), Policy::Edf, 200);
+  EXPECT_EQ(r.missed, 0u);
+  EXPECT_GT(r.completed, 0u);
+}
+
+TEST(SchedulingTest, LlfMeetsFeasibleSet) {
+  const auto r = simulate_schedule(two_periodic(), Policy::Llf, 200);
+  EXPECT_EQ(r.missed, 0u);
+}
+
+TEST(SchedulingTest, RmMeetsLowUtilizationSet) {
+  const auto r = simulate_schedule(two_periodic(), Policy::RateMonotonic, 200);
+  EXPECT_EQ(r.missed, 0u);
+}
+
+TEST(SchedulingTest, OverloadMissesUnderEveryPolicy) {
+  // U = 1.25: some job must miss under any policy.
+  std::vector<Task> tasks = {{0, 0, 3, 4, 4}, {1, 0, 2, 4, 4}};
+  for (auto p : {Policy::Edf, Policy::RateMonotonic, Policy::Fifo,
+                 Policy::Llf}) {
+    const auto r = simulate_schedule(tasks, p, 100);
+    EXPECT_GT(r.missed, 0u) << to_string(p);
+  }
+}
+
+TEST(SchedulingTest, EdfBeatsFifoUnderContention) {
+  // A long early job starves a short tight job under FIFO.
+  std::vector<Task> tasks = {
+      {0, 0, 8, 50, 0},   // aperiodic: long, loose deadline
+      {1, 1, 2, 4, 0},    // aperiodic: short, tight deadline
+  };
+  const auto fifo = simulate_schedule(tasks, Policy::Fifo, 100);
+  const auto edf = simulate_schedule(tasks, Policy::Edf, 100);
+  EXPECT_GT(fifo.missed, edf.missed);
+  EXPECT_EQ(edf.missed, 0u);
+}
+
+TEST(SchedulingTest, JobsReleasedPerPeriod) {
+  const auto r = simulate_schedule({{0, 0, 1, 10, 10}}, Policy::Edf, 100);
+  EXPECT_EQ(r.jobs.size(), 10u);
+  EXPECT_EQ(r.jobs[3].release, 30u);
+  EXPECT_EQ(r.jobs[3].absolute_deadline, 40u);
+}
+
+TEST(SchedulingTest, ResponseTimeTracked) {
+  const auto r = simulate_schedule({{0, 0, 3, 10, 10}}, Policy::Edf, 50);
+  EXPECT_DOUBLE_EQ(r.response_time.mean(), 3.0);  // uncontended
+}
+
+TEST(SchedulingTest, PreemptionCounted) {
+  // Task 1 (tight deadline) preempts the long task 0 under EDF.
+  std::vector<Task> tasks = {{0, 0, 10, 40, 0}, {1, 2, 1, 3, 0}};
+  const auto r = simulate_schedule(tasks, Policy::Edf, 60);
+  EXPECT_GE(r.preemptions, 1u);
+  EXPECT_EQ(r.missed, 0u);
+}
+
+TEST(SchedulingTest, ValidationErrors) {
+  EXPECT_THROW(simulate_schedule({{0, 0, 0, 4, 4}}, Policy::Edf, 10),
+               rtw::core::ModelError);
+  EXPECT_THROW(
+      simulate_schedule({{0, 0, 1, 4, 4}, {0, 0, 1, 5, 5}}, Policy::Edf, 10),
+      rtw::core::ModelError);
+}
+
+TEST(SchedulingTest, UtilizationComputed) {
+  EXPECT_NEAR(utilization(two_periodic()), 0.65, 1e-12);
+  EXPECT_DOUBLE_EQ(utilization({{0, 0, 3, 9, 0}}), 0.0);  // aperiodic
+}
+
+TEST(SchedulingTest, RandomTaskSetHitsTarget) {
+  rtw::sim::Xoshiro256ss rng(99);
+  for (double target : {0.3, 0.6, 0.9}) {
+    const auto tasks = random_task_set(5, target, rng);
+    EXPECT_EQ(tasks.size(), 5u);
+    // Integer rounding skews utilization slightly; stay within 25%.
+    EXPECT_NEAR(utilization(tasks), target, 0.25) << "target " << target;
+  }
+}
+
+// Property: EDF is optimal -- any task set FIFO schedules without misses is
+// also schedulable by EDF.
+class EdfDominance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EdfDominance, EdfNeverWorseThanFifoOrRm) {
+  rtw::sim::Xoshiro256ss rng(GetParam());
+  const auto tasks = random_task_set(4, 0.7, rng);
+  const auto edf = simulate_schedule(tasks, Policy::Edf, 600);
+  const auto fifo = simulate_schedule(tasks, Policy::Fifo, 600);
+  const auto rm = simulate_schedule(tasks, Policy::RateMonotonic, 600);
+  EXPECT_LE(edf.missed, fifo.missed);
+  EXPECT_LE(edf.missed, rm.missed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EdfDominance,
+                         ::testing::Values<std::uint64_t>(1, 2, 3, 4, 5, 6, 7,
+                                                          8));
+
+}  // namespace

@@ -1,0 +1,138 @@
+// Tests for the scheduler <-> section 4.1 bridge: every executed job's
+// word-level verdict must agree with the scheduler's miss accounting, and
+// the RTA recurrence must agree with the simulator.
+
+#include <gtest/gtest.h>
+
+#include "rtw/core/error.hpp"
+#include "rtw/deadline/bridge.hpp"
+
+namespace {
+
+using namespace rtw::deadline;
+using rtw::core::Tick;
+
+Job finished_job(Tick release, Tick deadline_rel, Tick finish) {
+  Job j;
+  j.task_id = 1;
+  j.job_index = 0;
+  j.release = release;
+  j.absolute_deadline = release + deadline_rel;
+  j.wcet = 1;
+  j.remaining = 0;
+  j.finish = finish;
+  return j;
+}
+
+TEST(JobBridgeTest, OnTimeJobAccepted) {
+  const auto j = finished_job(10, 8, 15);
+  EXPECT_FALSE(j.missed());
+  EXPECT_TRUE(job_accepted(j));
+}
+
+TEST(JobBridgeTest, ExactlyAtDeadlineAccepted) {
+  // Inclusive deadline: finish == absolute_deadline is a meet.
+  const auto j = finished_job(10, 8, 18);
+  EXPECT_FALSE(j.missed());
+  EXPECT_TRUE(job_accepted(j));
+}
+
+TEST(JobBridgeTest, OneTickLateRejected) {
+  const auto j = finished_job(10, 8, 19);
+  EXPECT_TRUE(j.missed());
+  EXPECT_FALSE(job_accepted(j));
+}
+
+TEST(JobBridgeTest, UnfinishedJobRejected) {
+  Job j = finished_job(0, 5, 3);
+  j.finish.reset();
+  EXPECT_TRUE(j.missed());
+  EXPECT_FALSE(job_accepted(j));
+}
+
+TEST(JobBridgeTest, WordIsWellBehaved) {
+  const auto w = job_word(finished_job(4, 6, 8));
+  EXPECT_EQ(w.well_behaved(), rtw::core::Certificate::Proven);
+}
+
+// The headline property: across whole schedules under every policy, the
+// word-level verdict equals the scheduler's.
+class VerdictAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VerdictAgreement, AcceptorMatchesSchedulerOnEveryJob) {
+  rtw::sim::Xoshiro256ss rng(GetParam());
+  const auto tasks = random_task_set(4, 0.95, rng);
+  for (auto policy : {Policy::Edf, Policy::RateMonotonic, Policy::Fifo,
+                      Policy::Llf}) {
+    const auto schedule = simulate_schedule(tasks, policy, 400);
+    for (const auto& job : schedule.jobs) {
+      EXPECT_EQ(job_accepted(job), !job.missed())
+          << to_string(policy) << " task " << job.task_id << " job "
+          << job.job_index;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VerdictAgreement,
+                         ::testing::Values<std::uint64_t>(3, 14, 15, 92, 65));
+
+// ------------------------------------------------------------------- RTA
+
+TEST(RtaTest, UncontendedTaskRespondsInWcet) {
+  const std::vector<Task> tasks = {{0, 0, 3, 10, 10}};
+  EXPECT_EQ(response_time_rm(tasks, 0), Tick{3});
+}
+
+TEST(RtaTest, InterferenceFromHigherPriority) {
+  // Task 1 (period 4, wcet 1) preempts task 0 (period 10, wcet 3):
+  // R = 3 + ceil(R/4)*1 -> fixed point R = 4 (the release at t = 4 does
+  // not interfere with a job that finishes at 4).
+  const std::vector<Task> tasks = {{0, 0, 3, 10, 10}, {1, 0, 1, 4, 4}};
+  EXPECT_EQ(response_time_rm(tasks, 0), Tick{4});
+  EXPECT_EQ(response_time_rm(tasks, 1), Tick{1});
+  EXPECT_TRUE(rm_schedulable(tasks));
+}
+
+TEST(RtaTest, UnschedulableDetected) {
+  // U = 3/4 + 3/5 > 1: the low-priority task cannot fit.
+  const std::vector<Task> tasks = {{0, 0, 3, 5, 5}, {1, 0, 3, 4, 4}};
+  EXPECT_EQ(response_time_rm(tasks, 0), std::nullopt);
+  EXPECT_FALSE(rm_schedulable(tasks));
+}
+
+TEST(RtaTest, Validation) {
+  const std::vector<Task> tasks = {{0, 0, 1, 4, 4}};
+  EXPECT_THROW(response_time_rm(tasks, 5), rtw::core::ModelError);
+  const std::vector<Task> aperiodic = {{0, 0, 1, 4, 0}};
+  EXPECT_THROW(response_time_rm(aperiodic, 0), rtw::core::ModelError);
+}
+
+// RTA vs simulation: the analytic response time bounds (and under
+// synchronous release, equals) the simulator's worst observed response.
+class RtaVsSim : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RtaVsSim, AnalysisMatchesSimulation) {
+  rtw::sim::Xoshiro256ss rng(GetParam());
+  const auto tasks = random_task_set(3, 0.7, rng);
+  if (!rm_schedulable(tasks)) GTEST_SKIP() << "set not RM-schedulable";
+  const auto schedule = simulate_schedule(tasks, Policy::RateMonotonic, 2000);
+  EXPECT_EQ(schedule.missed, 0u);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const auto rta = response_time_rm(tasks, i);
+    ASSERT_TRUE(rta.has_value());
+    Tick worst = 0;
+    for (const auto& job : schedule.jobs) {
+      if (job.task_id != tasks[i].id || !job.finish) continue;
+      worst = std::max(worst, *job.finish - job.release);
+    }
+    // The synchronous release at t=0 is the critical instant: the
+    // simulator's worst response is exactly the RTA fixed point.
+    EXPECT_EQ(worst, *rta) << "task " << tasks[i].id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RtaVsSim,
+                         ::testing::Values<std::uint64_t>(2, 5, 11, 21, 33,
+                                                          55));
+
+}  // namespace

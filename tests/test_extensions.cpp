@@ -1,0 +1,386 @@
+// Tests for the extension layer: Buchi emptiness/witness extraction,
+// relational aggregates, temporal as-of queries, the gossip protocol, and
+// the PRAM max-reduction.
+
+#include <gtest/gtest.h>
+
+#include "rtw/adhoc/metrics.hpp"
+#include "rtw/adhoc/protocols.hpp"
+#include "rtw/automata/dot.hpp"
+#include "rtw/automata/operations.hpp"
+#include "rtw/core/error.hpp"
+#include "rtw/par/pram.hpp"
+#include "rtw/rtdb/algebra.hpp"
+#include "rtw/rtdb/temporal.hpp"
+
+namespace {
+
+using rtw::core::Symbol;
+
+// ------------------------------------------------ Buchi emptiness/witness
+
+using namespace rtw::automata;
+
+TEST(BuchiWitnessTest, FindsSelfLoopWitness) {
+  FiniteAutomaton fa(2, 0);
+  fa.add_transition(0, 1, Symbol::chr('a'));
+  fa.add_transition(1, 1, Symbol::chr('b'));
+  fa.add_final(1);
+  BuchiAutomaton buchi(std::move(fa));
+  EXPECT_FALSE(buchi_empty(buchi));
+  const auto witness = buchi_witness(buchi);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(buchi.accepts(*witness));
+}
+
+TEST(BuchiWitnessTest, FindsMultiStepCycle) {
+  // Cycle 1 -> 2 -> 1 through the final state 1.
+  FiniteAutomaton fa(3, 0);
+  fa.add_transition(0, 1, Symbol::chr('x'));
+  fa.add_transition(1, 2, Symbol::chr('y'));
+  fa.add_transition(2, 1, Symbol::chr('z'));
+  fa.add_final(1);
+  BuchiAutomaton buchi(std::move(fa));
+  const auto witness = buchi_witness(buchi);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(buchi.accepts(*witness));
+  EXPECT_GE(witness->cycle.size(), 2u);
+}
+
+TEST(BuchiWitnessTest, EmptyWhenFinalUnreachable) {
+  FiniteAutomaton fa(2, 0);
+  fa.add_transition(0, 0, Symbol::chr('a'));
+  fa.add_final(1);  // unreachable
+  EXPECT_TRUE(buchi_empty(BuchiAutomaton(std::move(fa))));
+}
+
+TEST(BuchiWitnessTest, EmptyWhenFinalNotOnCycle) {
+  // Final state reachable but a dead end: inf(r) cannot contain it.
+  FiniteAutomaton fa(2, 0);
+  fa.add_transition(0, 1, Symbol::chr('a'));
+  fa.add_final(1);
+  EXPECT_TRUE(buchi_empty(BuchiAutomaton(std::move(fa))));
+}
+
+TEST(BuchiWitnessTest, IntersectionEmptinessDetectsDisjointness) {
+  // "infinitely many a's" ∩ "only b's" = empty.
+  FiniteAutomaton fa(2, 0);
+  fa.add_transition(0, 0, Symbol::chr('b'));
+  fa.add_transition(0, 1, Symbol::chr('a'));
+  fa.add_transition(1, 0, Symbol::chr('b'));
+  fa.add_transition(1, 1, Symbol::chr('a'));
+  fa.add_final(1);
+  BuchiAutomaton inf_a(std::move(fa));
+  FiniteAutomaton fb(1, 0);
+  fb.add_transition(0, 0, Symbol::chr('b'));
+  fb.add_final(0);
+  BuchiAutomaton only_b(std::move(fb));
+  EXPECT_FALSE(buchi_empty(inf_a));
+  EXPECT_FALSE(buchi_empty(only_b));
+  EXPECT_TRUE(buchi_empty(buchi_intersection(inf_a, only_b)));
+  const auto joint = buchi_witness(buchi_union(inf_a, only_b));
+  ASSERT_TRUE(joint.has_value());
+}
+
+// --------------------------------------------------------------- aggregates
+
+using namespace rtw::rtdb;
+
+Relation sales() {
+  Relation r("Sales", {"City", "Amount"});
+  r.insert({Value{std::string("Kingston")}, Value{std::int64_t{10}}});
+  r.insert({Value{std::string("Toronto")}, Value{std::int64_t{25}}});
+  r.insert({Value{std::string("Kingston")}, Value{std::int64_t{5}}});
+  r.insert({Value{std::string("Ottawa")}, Value{std::int64_t{40}}});
+  return r;
+}
+
+TEST(AggregateTest, GroupCount) {
+  const auto counts = group_count(sales(), "City");
+  EXPECT_EQ(counts.sort(), (std::vector<Attribute>{"City", "count"}));
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts.tuples()[0],
+            (Tuple{Value{std::string("Kingston")}, Value{std::int64_t{2}}}));
+  EXPECT_THROW(group_count(sales(), "Nope"), rtw::core::ModelError);
+}
+
+TEST(AggregateTest, GroupSum) {
+  const auto sums = group_sum(sales(), "City", "Amount");
+  ASSERT_EQ(sums.size(), 3u);
+  EXPECT_EQ(sums.tuples()[0],
+            (Tuple{Value{std::string("Kingston")}, Value{std::int64_t{15}}}));
+  EXPECT_EQ(sums.tuples()[2],
+            (Tuple{Value{std::string("Ottawa")}, Value{std::int64_t{40}}}));
+}
+
+TEST(AggregateTest, GroupSumRejectsNonIntegers) {
+  Relation r("R", {"K", "V"});
+  r.insert({Value{std::int64_t{1}}, Value{std::string("oops")}});
+  EXPECT_THROW(group_sum(r, "K", "V"), rtw::core::ModelError);
+}
+
+TEST(AggregateTest, MaxOf) {
+  EXPECT_EQ(max_of(sales(), "Amount"), 40);
+  Relation empty("E", {"V"});
+  EXPECT_EQ(max_of(empty, "V"), std::nullopt);
+}
+
+// ---------------------------------------------------------------- as_of
+
+TEST(AsOfTest, EvaluatesAgainstHistoricalState) {
+  SnapshotStore store;
+  Database v1;
+  v1.put(sales());
+  store.record(10, v1);
+  Database v2 = v1;
+  v2.get("Sales").erase_if([](const Tuple&) { return true; });
+  store.record(20, v2);
+
+  auto count_rows = [](const Database& db) {
+    return group_count(db.get("Sales"), "City");
+  };
+  EXPECT_EQ(as_of(store, 5, count_rows), std::nullopt);
+  EXPECT_EQ(as_of(store, 15, count_rows)->size(), 3u);
+  EXPECT_EQ(as_of(store, 25, count_rows)->size(), 0u);
+
+  const auto history = query_history(store, count_rows);
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[0].first, 10u);
+  EXPECT_EQ(history[0].second.size(), 3u);
+  EXPECT_EQ(history[1].second.size(), 0u);
+}
+
+// ---------------------------------------------------------------- gossip
+
+using namespace rtw::adhoc;
+
+Network diamond() {
+  std::vector<std::unique_ptr<Mobility>> nodes;
+  nodes.push_back(std::make_unique<Stationary>(Vec2{0, 0}));
+  nodes.push_back(std::make_unique<Stationary>(Vec2{10, 5}));
+  nodes.push_back(std::make_unique<Stationary>(Vec2{10, -5}));
+  nodes.push_back(std::make_unique<Stationary>(Vec2{20, 0}));
+  return Network(std::move(nodes), 12.0);
+}
+
+TEST(GossipTest, ProbabilityOneBehavesLikeFlooding) {
+  const auto net = diamond();
+  Simulator g(net, gossip_factory(1.0, 7));
+  g.schedule({1, 0, 3, 0});
+  Simulator f(net, flooding_factory());
+  f.schedule({1, 0, 3, 0});
+  const auto rg = g.run(30);
+  const auto rf = f.run(30);
+  EXPECT_EQ(rg.data_transmissions, rf.data_transmissions);
+  EXPECT_TRUE(rg.delivery_of(1).has_value());
+}
+
+TEST(GossipTest, ProbabilityZeroNeverRelays) {
+  const auto net = diamond();
+  Simulator sim(net, gossip_factory(0.0, 7));
+  sim.schedule({1, 0, 3, 0});
+  const auto r = sim.run(30);
+  EXPECT_EQ(r.data_transmissions, 1u);  // origin only
+  EXPECT_FALSE(r.delivery_of(1).has_value());
+}
+
+TEST(GossipTest, IntermediateProbabilityTradesOff) {
+  // Over many messages, p=0.5 delivers less than flooding but transmits
+  // less too.
+  NetworkConfig config;
+  config.nodes = 16;
+  config.region = {120, 120};
+  config.radio_range = 40;
+  config.pause_time = 50;
+  config.seed = 31;
+  Network net(config);
+  auto run_with = [&](const ProtocolFactory& factory) {
+    Simulator sim(net, factory);
+    std::vector<DataSpec> messages;
+    for (std::uint64_t m = 0; m < 20; ++m) {
+      DataSpec s{m + 1, static_cast<NodeId>(m % 16),
+                 static_cast<NodeId>((m * 7 + 3) % 16), 10 + m * 10};
+      if (s.dst == s.src) s.dst = (s.dst + 1) % 16;
+      sim.schedule(s);
+      messages.push_back(s);
+    }
+    return compute_metrics(sim.run(300), net, messages);
+  };
+  const auto flood = run_with(flooding_factory());
+  const auto gossip = run_with(gossip_factory(0.5, 7));
+  EXPECT_LT(gossip.data_transmissions, flood.data_transmissions);
+  EXPECT_LE(gossip.delivery_ratio(), flood.delivery_ratio());
+  EXPECT_GT(gossip.delivery_ratio(), 0.2);  // still propagates
+}
+
+TEST(GossipTest, DeterministicAcrossRuns) {
+  const auto net = diamond();
+  auto run_once = [&] {
+    Simulator sim(net, gossip_factory(0.5, 99));
+    sim.schedule({1, 0, 3, 0});
+    return sim.run(30).data_transmissions;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+// ------------------------------------------------------------- PRAM max
+
+using namespace rtw::par;
+
+TEST(PramMaxTest, ReducesToMaximum) {
+  Pram pram(8, 8, PramVariant::Erew);
+  pram.memory() = {3, 9, 1, 7, 4, 8, 2, 6};
+  const auto steps = pram_max_reduce(pram, 8);
+  EXPECT_EQ(steps, 3u);  // log2(8)
+  EXPECT_EQ(pram.memory()[0], 9);
+}
+
+TEST(PramMaxTest, ErewSafeByConstruction) {
+  // Running under EREW must not throw: reads/writes are disjoint.
+  Pram pram(16, 16, PramVariant::Erew);
+  for (std::size_t i = 0; i < 16; ++i)
+    pram.memory()[i] = static_cast<Word>((i * 37) % 23);
+  EXPECT_NO_THROW(pram_max_reduce(pram, 16));
+  EXPECT_EQ(pram.memory()[0], 21);  // max of (i*37)%23 over i<16
+}
+
+TEST(PramMaxTest, NonPowerOfTwoSize) {
+  Pram pram(8, 8, PramVariant::Erew);
+  pram.memory() = {1, 2, 3, 4, 5, 0, 0, 0};
+  pram_max_reduce(pram, 5);
+  EXPECT_EQ(pram.memory()[0], 5);
+}
+
+}  // namespace
+
+// -------------------------------------------------- dot / language bridge
+
+namespace bridge {
+
+using namespace rtw::automata;
+using rtw::core::Symbol;
+
+TEST(DotTest, FiniteAutomatonRendering) {
+  FiniteAutomaton fa(2, 0);
+  fa.add_transition(0, 1, Symbol::chr('a'));
+  fa.add_lambda(1, 0);
+  fa.add_final(1);
+  const auto dot = to_dot(fa, "demo");
+  EXPECT_NE(dot.find("digraph \"demo\""), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+  EXPECT_NE(dot.find("0 -> 1"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(DotTest, TbaRenderingShowsGuardsAndResets) {
+  TimedBuchiAutomaton tba(2, 0, 1);
+  tba.add_transition({0, 1, Symbol::chr('a'), {0}, ClockConstraint::le(0, 4)});
+  tba.add_final(1);
+  const auto dot = to_dot(tba);
+  EXPECT_NE(dot.find("x0<=4"), std::string::npos);
+  EXPECT_NE(dot.find("reset{x0}"), std::string::npos);
+}
+
+TEST(TbaLanguageTest, MembershipAndSampling) {
+  TimedBuchiAutomaton tba(2, 0, 1);
+  tba.add_transition({0, 1, Symbol::chr('a'), {0}, ClockConstraint::top()});
+  tba.add_transition({1, 0, Symbol::chr('b'), {}, ClockConstraint::le(0, 2)});
+  tba.add_final(0);
+  const auto lang = tba_language(std::move(tba), "within-two");
+  EXPECT_EQ(lang.name(), "within-two");
+  const auto good = rtw::core::TimedWord::lasso(
+      {}, {{Symbol::chr('a'), 0}, {Symbol::chr('b'), 1}}, 3);
+  const auto bad = rtw::core::TimedWord::lasso(
+      {}, {{Symbol::chr('a'), 0}, {Symbol::chr('b'), 5}}, 8);
+  EXPECT_TRUE(lang.contains(good));
+  EXPECT_FALSE(lang.contains(bad));
+  // The sampler's word is a member -- ties into samples_self_consistent.
+  EXPECT_TRUE(rtw::core::samples_self_consistent(lang, 3, 128));
+}
+
+TEST(TbaLanguageTest, EmptyLanguageSamplerThrows) {
+  TimedBuchiAutomaton tba(1, 0, 1);
+  tba.add_transition({0, 0, Symbol::chr('a'), {}, ClockConstraint::le(0, 0)});
+  tba.add_final(0);
+  const auto lang = tba_language(std::move(tba));
+  EXPECT_THROW(lang.sample(0), rtw::core::ModelError);
+}
+
+}  // namespace bridge
+
+// --------------------------------------------- Muller conversion / radio
+
+namespace more {
+
+using namespace rtw::automata;
+using namespace rtw::adhoc;
+using rtw::core::Symbol;
+
+TEST(BuchiToMullerTest, EquivalentOnSamples) {
+  // Deterministic "infinitely many a's" over {a, b}.
+  FiniteAutomaton fa(2, 0);
+  fa.add_transition(0, 1, Symbol::chr('a'));
+  fa.add_transition(0, 0, Symbol::chr('b'));
+  fa.add_transition(1, 1, Symbol::chr('a'));
+  fa.add_transition(1, 0, Symbol::chr('b'));
+  fa.add_final(1);
+  BuchiAutomaton buchi(std::move(fa));
+  const auto muller = buchi_to_muller(buchi);
+  for (const char* cycle : {"a", "b", "ab", "ba", "aab", "abb"}) {
+    const auto w = omega_word("ba", cycle);
+    EXPECT_EQ(buchi.accepts(w), muller.accepts(w)) << cycle;
+  }
+}
+
+TEST(BuchiToMullerTest, RejectsNondeterministic) {
+  FiniteAutomaton fa(2, 0);
+  fa.add_transition(0, 0, Symbol::chr('a'));
+  fa.add_transition(0, 1, Symbol::chr('a'));
+  fa.add_final(1);
+  EXPECT_THROW(buchi_to_muller(BuchiAutomaton(std::move(fa))),
+               rtw::core::ModelError);
+}
+
+std::unique_ptr<Mobility> fixed(double x, double y) {
+  return std::make_unique<Stationary>(Vec2{x, y});
+}
+
+TEST(RadioModelTest, CollisionsDestroySimultaneousArrivals) {
+  // Diamond: node 3 hears nodes 1 and 2 rebroadcast in the same tick.
+  std::vector<std::unique_ptr<Mobility>> nodes;
+  nodes.push_back(fixed(0, 0));
+  nodes.push_back(fixed(10, 5));
+  nodes.push_back(fixed(10, -5));
+  nodes.push_back(fixed(20, 0));
+  Network net(std::move(nodes), 12.0);
+
+  Simulator clean(net, flooding_factory());
+  clean.schedule({1, 0, 3, 0});
+  const auto ok = clean.run(20);
+  EXPECT_TRUE(ok.delivery_of(1).has_value());
+  EXPECT_EQ(ok.collided, 0u);
+
+  Simulator noisy(net, flooding_factory(), RadioModel{true});
+  noisy.schedule({1, 0, 3, 0});
+  const auto lost = noisy.run(20);
+  // Nodes 1 and 2 both receive the origin broadcast (single arrival each),
+  // rebroadcast at the same tick, and collide at node 3.
+  EXPECT_FALSE(lost.delivery_of(1).has_value());
+  EXPECT_GT(lost.collided, 0u);
+}
+
+TEST(RadioModelTest, UnicastChainsSurviveInterference) {
+  // A line has no simultaneous arrivals: DSDV delivers despite the ALOHA
+  // radio (its staggered periodic updates avoid systematic collisions).
+  std::vector<std::unique_ptr<Mobility>> nodes;
+  for (int i = 0; i < 4; ++i) nodes.push_back(fixed(10.0 * i, 0));
+  Network net(std::move(nodes), 12.0);
+  Simulator sim(net, dsdv_factory(10), RadioModel{true});
+  // t = 53 avoids node 0's own beacon phase (ticks = 0 mod 10): sending
+  // data in the same tick as a beacon would collide at node 1.
+  sim.schedule({1, 0, 3, 53});
+  const auto result = sim.run(120);
+  EXPECT_TRUE(result.delivery_of(1).has_value());
+}
+
+}  // namespace more

@@ -1,0 +1,164 @@
+// Cross-module property suite: invariants that tie the layers together.
+//   P1. Every application word builder produces Definition 3.5-conformant
+//       merges (checked via is_concatenation over a horizon).
+//   P2. Deadline header round-trips over randomized instances.
+//   P3. Acceptors are deterministic (same word, same verdict, twice).
+//   P4. RTA-schedulable task sets never miss under EDF (RM-feasibility is
+//       a sufficient condition for the optimal policy).
+//   P5. Well-behavedness is preserved by shift and by Definition 3.5
+//       concatenation across random lasso words.
+
+#include <gtest/gtest.h>
+
+#include "rtw/core/concat.hpp"
+#include "rtw/core/transform.hpp"
+#include "rtw/deadline/acceptor.hpp"
+#include "rtw/deadline/bridge.hpp"
+#include "rtw/rtdb/encode.hpp"
+#include "rtw/sim/rng.hpp"
+
+namespace {
+
+using namespace rtw::core;
+
+TimedWord random_lasso(rtw::sim::Xoshiro256ss& rng) {
+  std::vector<TimedSymbol> prefix, cycle;
+  Tick t = 0;
+  const auto plen = rng.uniform(std::uint64_t{4});
+  for (std::uint64_t i = 0; i < plen; ++i) {
+    t += rng.uniform(std::uint64_t{3});
+    prefix.push_back({Symbol::nat(rng.uniform(std::uint64_t{5})), t});
+  }
+  const auto clen = 1 + rng.uniform(std::uint64_t{3});
+  Tick ct = t + rng.uniform(std::uint64_t{3});
+  const Tick cycle_start = ct;
+  for (std::uint64_t i = 0; i < clen; ++i) {
+    cycle.push_back({Symbol::nat(rng.uniform(std::uint64_t{5})), ct});
+    ct += rng.uniform(std::uint64_t{3});
+  }
+  const Tick span = cycle.back().time - cycle_start;
+  const Tick period = span + 1 + rng.uniform(std::uint64_t{4});
+  return TimedWord::lasso(std::move(prefix), std::move(cycle), period);
+}
+
+class MergeLaws : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MergeLaws, ConcatOfRandomLassosIsConformantAndWellBehaved) {
+  rtw::sim::Xoshiro256ss rng(GetParam());
+  for (int round = 0; round < 10; ++round) {
+    const auto a = random_lasso(rng);
+    const auto b = random_lasso(rng);
+    ASSERT_EQ(a.well_behaved(), Certificate::Proven);
+    ASSERT_EQ(b.well_behaved(), Certificate::Proven);
+    const auto m = concat(a, b);
+    EXPECT_EQ(m.well_behaved(), Certificate::Proven);
+    EXPECT_NE(is_concatenation(m, a, b, 512), Certificate::Refuted);
+    // Item 1: both operands embed as subsequences.
+    EXPECT_TRUE(is_subsequence(a.prefix(16), m, 2048));
+    EXPECT_TRUE(is_subsequence(b.prefix(16), m, 2048));
+  }
+}
+
+TEST_P(MergeLaws, ShiftPreservesWellBehavedness) {
+  rtw::sim::Xoshiro256ss rng(GetParam() + 1000);
+  for (int round = 0; round < 10; ++round) {
+    const auto w = random_lasso(rng);
+    const auto s = shift(w, 1 + rng.uniform(std::uint64_t{50}));
+    EXPECT_EQ(s.well_behaved(), Certificate::Proven);
+    // Shifting preserves inter-symbol gaps.
+    for (std::uint64_t i = 1; i < 32; ++i)
+      EXPECT_EQ(s.at(i).time - s.at(i - 1).time,
+                w.at(i).time - w.at(i - 1).time);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergeLaws,
+                         ::testing::Values<std::uint64_t>(1, 7, 42, 1234));
+
+// ------------------------------------------------------- P1 on app words
+
+TEST(AppWordLaws, DbBIsConformantMerge) {
+  using namespace rtw::rtdb;
+  RtdbWordSpec spec;
+  spec.invariants = {{"u", Value{std::int64_t{1}}}};
+  spec.images.push_back({"s", 3, [](rtw::core::Tick t) {
+                           return Value{static_cast<std::int64_t>(t)};
+                         }});
+  spec.images.push_back({"r", 5, [](rtw::core::Tick t) {
+                           return Value{static_cast<std::int64_t>(2 * t)};
+                         }});
+  const auto db0 = build_db0(spec);
+  const auto dbs = build_dbk(spec.images[0]);
+  const auto first = rtw::core::concat(db0, dbs);
+  // Left-fold structure: db_B == (db0 . db_s) . db_r.
+  const auto dbr = build_dbk(spec.images[1]);
+  const auto dbB = build_dbB(spec);
+  EXPECT_NE(is_concatenation(dbB, first, dbr, 600), Certificate::Refuted);
+}
+
+TEST(AppWordLaws, DeadlineHeaderRoundTripsOverRandomInstances) {
+  using namespace rtw::deadline;
+  rtw::sim::Xoshiro256ss rng(77);
+  for (int round = 0; round < 25; ++round) {
+    DeadlineInstance inst;
+    const auto in_len = 1 + rng.uniform(std::uint64_t{6});
+    for (std::uint64_t i = 0; i < in_len; ++i)
+      inst.input.push_back(Symbol::nat(rng.uniform(std::uint64_t{9})));
+    const auto out_len = 1 + rng.uniform(std::uint64_t{4});
+    for (std::uint64_t i = 0; i < out_len; ++i)
+      inst.proposed_output.push_back(Symbol::nat(rng.uniform(std::uint64_t{9})));
+    const bool firm = rng.bernoulli(0.5);
+    inst.usefulness = firm ? Usefulness::firm(5 + rng.uniform(std::uint64_t{20}), 10)
+                           : Usefulness::none(10);
+    inst.min_acceptable = firm ? rng.uniform(std::uint64_t{10}) : 0;
+    const auto word = build_deadline_word(inst);
+    std::vector<TimedSymbol> at_zero;
+    for (const auto& ts : word.prefix(64))
+      if (ts.time == 0) at_zero.push_back(ts);
+    const auto header = parse_deadline_header(at_zero);
+    EXPECT_EQ(header.input, inst.input) << "round " << round;
+    EXPECT_EQ(header.proposed_output, inst.proposed_output);
+    EXPECT_EQ(header.has_min, firm);
+    if (firm) {
+      EXPECT_EQ(header.min_acceptable, inst.min_acceptable);
+    }
+  }
+}
+
+// ------------------------------------------------------ P3: determinism
+
+TEST(DeterminismLaws, AcceptorVerdictsAreStable) {
+  using namespace rtw::deadline;
+  SortProblem sorter;
+  DeadlineInstance inst;
+  inst.input = {Symbol::nat(4), Symbol::nat(2), Symbol::nat(8)};
+  inst.proposed_output = sorter.solve(inst.input);
+  inst.usefulness = Usefulness::firm(20, 10);
+  inst.min_acceptable = 1;
+  const auto word = build_deadline_word(inst);
+  DeadlineAcceptor acceptor(sorter);
+  const auto r1 = run_acceptor(acceptor, word);
+  const auto r2 = run_acceptor(acceptor, word);  // reset() must suffice
+  EXPECT_EQ(r1.accepted, r2.accepted);
+  EXPECT_EQ(r1.f_count, r2.f_count);
+  EXPECT_EQ(r1.first_f, r2.first_f);
+}
+
+// -------------------------------------------- P4: RTA implies EDF success
+
+class RtaEdf : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RtaEdf, RmFeasibleSetsNeverMissUnderEdf) {
+  using namespace rtw::deadline;
+  rtw::sim::Xoshiro256ss rng(GetParam());
+  const auto tasks = random_task_set(4, 0.8, rng);
+  if (!rm_schedulable(tasks)) GTEST_SKIP() << "not RM-feasible";
+  const auto edf = simulate_schedule(tasks, Policy::Edf, 1500);
+  EXPECT_EQ(edf.missed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RtaEdf,
+                         ::testing::Values<std::uint64_t>(10, 20, 30, 40, 50,
+                                                          60, 70, 80));
+
+}  // namespace

@@ -1,0 +1,382 @@
+// Tests for active databases (ECA rules, firing modes), temporal databases
+// (lifespans, snapshots) and the real-time object model (section 5.1.2).
+
+#include <gtest/gtest.h>
+
+#include "rtw/core/error.hpp"
+#include "rtw/rtdb/active.hpp"
+#include "rtw/rtdb/algebra.hpp"
+#include "rtw/rtdb/rtdb.hpp"
+#include "rtw/rtdb/temporal.hpp"
+
+namespace {
+
+using namespace rtw::rtdb;
+using rtw::core::ModelError;
+
+// ----------------------------------------------------------------- active
+
+Database schedules_db() {
+  Relation sch("Schedules", {"City", "Date"});
+  sch.insert({Value{std::string("Mexico City")}, Value{Date{1999, 10}}});
+  sch.insert({Value{std::string("Hamilton")}, Value{Date{1999, 11}}});
+  Database db;
+  db.put(std::move(sch));
+  return db;
+}
+
+/// The paper's example rule: on MonthChange if true then
+/// del(Date < CurrentDate).
+Rule month_change_rule(FiringMode mode = FiringMode::Immediate) {
+  Rule r;
+  r.name = "purge-past";
+  r.event = "MonthChange";
+  r.mode = mode;
+  r.condition = [](const Database&, const Event&) { return true; };
+  r.action = [](Database& db, const Event& e, const EmitFn&) {
+    const Date current = std::get<Date>(e.attributes.at("CurrentDate"));
+    auto& sch = db.get("Schedules");
+    sch.erase_if([&sch, &current](const Tuple& t) {
+      return std::get<Date>(sch.field(t, "Date")) < current;
+    });
+  };
+  return r;
+}
+
+Event month_change(Date current) {
+  Event e;
+  e.name = "MonthChange";
+  e.attributes["CurrentDate"] = Value{current};
+  return e;
+}
+
+TEST(ActiveTest, PaperRuleDeletesPastExhibitions) {
+  Database db = schedules_db();
+  RuleEngine engine;
+  engine.add_rule(month_change_rule());
+  const auto report = engine.process(db, month_change(Date{1999, 11}));
+  EXPECT_EQ(report.fired, std::vector<std::string>{"purge-past"});
+  EXPECT_EQ(db.get("Schedules").size(), 1u);  // October deleted
+}
+
+TEST(ActiveTest, ConditionGatesFiring) {
+  Database db = schedules_db();
+  RuleEngine engine;
+  Rule r = month_change_rule();
+  r.condition = [](const Database&, const Event&) { return false; };
+  engine.add_rule(std::move(r));
+  const auto report = engine.process(db, month_change(Date{1999, 11}));
+  EXPECT_TRUE(report.fired.empty());
+  EXPECT_EQ(db.get("Schedules").size(), 2u);
+}
+
+TEST(ActiveTest, UnrelatedEventsIgnored) {
+  Database db = schedules_db();
+  RuleEngine engine;
+  engine.add_rule(month_change_rule());
+  Event other;
+  other.name = "SomethingElse";
+  EXPECT_TRUE(engine.process(db, std::move(other)).fired.empty());
+}
+
+TEST(ActiveTest, CascadingEvents) {
+  Database db = schedules_db();
+  RuleEngine engine;
+  Rule first;
+  first.name = "first";
+  first.event = "A";
+  first.condition = [](const Database&, const Event&) { return true; };
+  first.action = [](Database&, const Event&, const EmitFn& emit) {
+    Event b;
+    b.name = "B";
+    emit(std::move(b));
+  };
+  Rule second;
+  second.name = "second";
+  second.event = "B";
+  second.condition = [](const Database&, const Event&) { return true; };
+  second.action = [](Database&, const Event&, const EmitFn&) {};
+  engine.add_rule(std::move(first));
+  engine.add_rule(std::move(second));
+  Event a;
+  a.name = "A";
+  const auto report = engine.process(db, std::move(a));
+  EXPECT_EQ(report.fired, (std::vector<std::string>{"first", "second"}));
+  EXPECT_EQ(report.cascades, 1u);
+}
+
+TEST(ActiveTest, CascadeLimitStopsRunaway) {
+  Database db;
+  RuleEngine engine(8);
+  Rule loop;
+  loop.name = "loop";
+  loop.event = "A";
+  loop.condition = [](const Database&, const Event&) { return true; };
+  loop.action = [](Database&, const Event&, const EmitFn& emit) {
+    Event a;
+    a.name = "A";
+    emit(std::move(a));
+  };
+  engine.add_rule(std::move(loop));
+  Event a;
+  a.name = "A";
+  const auto report = engine.process(db, std::move(a));
+  EXPECT_TRUE(report.cascade_limit_hit);
+  EXPECT_LE(report.fired.size(), 10u);
+}
+
+TEST(ActiveTest, DeferredSeesSettledState) {
+  // An immediate rule mutates the DB; a deferred rule's condition observes
+  // the post-mutation state even though both trigger on the same event.
+  Database db = schedules_db();
+  RuleEngine engine;
+  engine.add_rule(month_change_rule(FiringMode::Immediate));
+  Rule check;
+  check.name = "late-check";
+  check.event = "MonthChange";
+  check.mode = FiringMode::Deferred;
+  check.condition = [](const Database& d, const Event&) {
+    return d.get("Schedules").size() == 1;  // only after the purge
+  };
+  bool deferred_saw_purged = false;
+  check.action = [&deferred_saw_purged](Database&, const Event&,
+                                        const EmitFn&) {
+    deferred_saw_purged = true;
+  };
+  engine.add_rule(std::move(check));
+  engine.process(db, month_change(Date{1999, 11}));
+  EXPECT_TRUE(deferred_saw_purged);
+}
+
+TEST(ActiveTest, FiringOrderImmediateDeferredConcurrent) {
+  Database db;
+  RuleEngine engine;
+  std::vector<std::string> order;
+  auto mk = [&order](const char* name, FiringMode mode) {
+    Rule r;
+    r.name = name;
+    r.event = "E";
+    r.mode = mode;
+    r.condition = [](const Database&, const Event&) { return true; };
+    r.action = [&order, name](Database&, const Event&, const EmitFn&) {
+      order.push_back(name);
+    };
+    return r;
+  };
+  engine.add_rule(mk("conc", FiringMode::Concurrent));
+  engine.add_rule(mk("defer", FiringMode::Deferred));
+  engine.add_rule(mk("immed", FiringMode::Immediate));
+  Event e;
+  e.name = "E";
+  engine.process(db, std::move(e));
+  EXPECT_EQ(order, (std::vector<std::string>{"immed", "defer", "conc"}));
+}
+
+TEST(ActiveTest, RuleValidation) {
+  RuleEngine engine;
+  Rule bad;
+  bad.name = "bad";
+  bad.event = "E";
+  EXPECT_THROW(engine.add_rule(std::move(bad)), ModelError);
+}
+
+// --------------------------------------------------------------- temporal
+
+TEST(LifespanTest, PointAndInterval) {
+  const auto p = Lifespan::point(5);
+  EXPECT_TRUE(p.contains(5));
+  EXPECT_FALSE(p.contains(4));
+  EXPECT_EQ(p.duration(), 1u);
+  const auto iv = Lifespan::interval(2, 6);
+  EXPECT_EQ(iv.duration(), 5u);
+  EXPECT_THROW(Lifespan::interval(6, 2), ModelError);
+}
+
+TEST(LifespanTest, UnionMergesOverlapsAndAdjacency) {
+  const auto a = Lifespan::interval(1, 3);
+  const auto b = Lifespan::interval(4, 7);  // adjacent (discrete chronons)
+  const auto u = a.unite(b);
+  EXPECT_EQ(u.intervals().size(), 1u);
+  EXPECT_EQ(u.duration(), 7u);
+  const auto c = Lifespan::interval(10, 12);
+  EXPECT_EQ(a.unite(c).intervals().size(), 2u);
+}
+
+TEST(LifespanTest, Intersection) {
+  const auto a = Lifespan::interval(1, 10);
+  const auto b = Lifespan::interval(5, 20).unite(Lifespan::interval(25, 30));
+  const auto i = a.intersect(b);
+  EXPECT_EQ(i, Lifespan::interval(5, 10));
+  EXPECT_TRUE(a.intersect(Lifespan::empty()).is_empty());
+}
+
+TEST(LifespanTest, ComplementIsInvolution) {
+  const auto a = Lifespan::interval(3, 7).unite(Lifespan::interval(20, 25));
+  EXPECT_EQ(a.complement().complement(), a);
+  EXPECT_TRUE(a.complement().contains(0));
+  EXPECT_TRUE(a.complement().contains(8));
+  EXPECT_FALSE(a.complement().contains(5));
+  EXPECT_EQ(Lifespan::always().complement(), Lifespan::empty());
+}
+
+TEST(LifespanTest, BooleanAlgebraLaws) {
+  // De Morgan on sampled instants (property-style spot check).
+  const auto a = Lifespan::interval(0, 9).unite(Lifespan::interval(30, 40));
+  const auto b = Lifespan::interval(5, 35);
+  const auto lhs = a.intersect(b).complement();
+  const auto rhs = a.complement().unite(b.complement());
+  for (Tick t : {0u, 4u, 5u, 9u, 10u, 29u, 30u, 35u, 36u, 40u, 41u, 100u})
+    EXPECT_EQ(lhs.contains(t), rhs.contains(t)) << "t=" << t;
+}
+
+TEST(LifespanTest, FromForever) {
+  const auto f = Lifespan::from(100);
+  EXPECT_TRUE(f.contains(kForever));
+  EXPECT_EQ(f.duration(), kForever);
+  EXPECT_EQ(f.to_string(), "[100,inf]");
+}
+
+TEST(SnapshotStoreTest, InstanceAtServesLatest) {
+  SnapshotStore store;
+  EXPECT_EQ(store.instance_at(0), std::nullopt);
+  store.record(10, schedules_db());
+  Database later = schedules_db();
+  later.get("Schedules").erase_if([](const Tuple&) { return true; });
+  store.record(20, later);
+  EXPECT_EQ(store.instance_at(5), std::nullopt);
+  EXPECT_EQ(store.instance_at(10)->get("Schedules").size(), 2u);
+  EXPECT_EQ(store.instance_at(15)->get("Schedules").size(), 2u);
+  EXPECT_EQ(store.instance_at(25)->get("Schedules").size(), 0u);
+  EXPECT_THROW(store.record(20, schedules_db()), ModelError);
+}
+
+TEST(SnapshotStoreTest, TupleLifespanReconstruction) {
+  SnapshotStore store;
+  store.record(10, schedules_db());
+  Database purged = schedules_db();
+  auto& sch = purged.get("Schedules");
+  sch.erase_if([&sch](const Tuple& t) {
+    return std::get<Date>(sch.field(t, "Date")) < Date{1999, 11};
+  });
+  store.record(20, purged);
+  const Tuple october{Value{std::string("Mexico City")}, Value{Date{1999, 10}}};
+  const Tuple november{Value{std::string("Hamilton")}, Value{Date{1999, 11}}};
+  EXPECT_EQ(store.tuple_lifespan("Schedules", october),
+            Lifespan::interval(10, 19));
+  EXPECT_EQ(store.tuple_lifespan("Schedules", november), Lifespan::from(10));
+  EXPECT_TRUE(store.tuple_lifespan("Schedules", Tuple{}).is_empty());
+}
+
+// ---------------------------------------------------------------- rt model
+
+RealTimeDatabase sensor_db() {
+  RealTimeDatabase db(3);
+  db.add_image({"temp", 5, [](Tick t) {
+                  return Value{static_cast<std::int64_t>(20 + t % 7)};
+                }});
+  db.add_image({"pressure", 10, [](Tick t) {
+                  return Value{static_cast<std::int64_t>(100 + t)};
+                }});
+  db.add_derived({"comfort",
+                  {"temp", "pressure"},
+                  [](const std::vector<TimedValue>& in) {
+                    return Value{std::get<std::int64_t>(in[0].value) +
+                                 std::get<std::int64_t>(in[1].value)};
+                  }});
+  db.add_invariant("units", Value{std::string("celsius")});
+  return db;
+}
+
+TEST(RtModelTest, SamplingFollowsPeriods) {
+  auto db = sensor_db();
+  for (Tick t = 0; t <= 20; ++t) db.tick(t);
+  // temp sampled at 0,5,10,15,20 -> archive keeps last 3.
+  const auto arch = db.archive("temp");
+  ASSERT_EQ(arch.size(), 3u);
+  EXPECT_EQ(arch[0].valid_time, 10u);
+  EXPECT_EQ(arch[2].valid_time, 20u);
+  EXPECT_EQ(db.image_value("pressure")->valid_time, 20u);
+}
+
+TEST(RtModelTest, DerivedTimestampIsOldestInput) {
+  auto db = sensor_db();
+  for (Tick t = 0; t <= 15; ++t) db.tick(t);
+  // temp last at 15, pressure last at 10 -> derived timestamp 10.
+  const auto comfort = db.derived_value("comfort");
+  ASSERT_TRUE(comfort.has_value());
+  EXPECT_EQ(comfort->valid_time, 10u);
+  EXPECT_EQ(std::get<std::int64_t>(comfort->value),
+            (20 + 15 % 7) + (100 + 10));
+}
+
+TEST(RtModelTest, InvariantTimestampIsNow) {
+  auto db = sensor_db();
+  const auto u = db.invariant_value("units", 123);
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->valid_time, 123u);
+  EXPECT_EQ(u->value, Value{std::string("celsius")});
+}
+
+TEST(RtModelTest, AgeAndDispersion) {
+  const TimedValue a{Value{std::int64_t{1}}, 10};
+  const TimedValue b{Value{std::int64_t{2}}, 25};
+  EXPECT_EQ(age(a, 30), 20u);
+  EXPECT_EQ(age(a, 5), 0u);
+  EXPECT_EQ(dispersion(a, b), 15u);
+  EXPECT_EQ(dispersion(b, a), 15u);
+}
+
+TEST(RtModelTest, AbsoluteConsistencyThreshold) {
+  auto db = sensor_db();
+  for (Tick t = 0; t <= 20; ++t) db.tick(t);
+  // Ages at now=24: temp 4, pressure 4, derived (oldest input 20) 4.
+  EXPECT_TRUE(db.absolutely_consistent(24, 5));
+  EXPECT_FALSE(db.absolutely_consistent(24, 3));
+}
+
+TEST(RtModelTest, RelativeConsistencyThreshold) {
+  auto db = sensor_db();
+  for (Tick t = 0; t <= 15; ++t) db.tick(t);
+  // temp at 15, pressure at 10: dispersion 5.
+  EXPECT_TRUE(db.relatively_consistent(5));
+  EXPECT_FALSE(db.relatively_consistent(4));
+}
+
+TEST(RtModelTest, UnsampledDatabaseIsInconsistent) {
+  auto db = sensor_db();
+  EXPECT_FALSE(db.absolutely_consistent(0, 100));
+  EXPECT_FALSE(db.relatively_consistent(100));
+}
+
+TEST(RtModelTest, SampleEventsReachTheRuleEngine) {
+  auto db = sensor_db();
+  RuleEngine engine;
+  Database log;
+  Relation samples("Samples", {"Object"});
+  log.put(samples);
+  Rule r;
+  r.name = "log-sample";
+  r.event = "Sample";
+  r.condition = [](const Database&, const Event&) { return true; };
+  r.action = [](Database& d, const Event& e, const EmitFn&) {
+    d.get("Samples").insert({e.attributes.at("object")});
+  };
+  engine.add_rule(std::move(r));
+  db.attach_rules(&engine, &log);
+  db.tick(0);
+  EXPECT_EQ(log.get("Samples").size(), 2u);  // temp + pressure (set semantics)
+}
+
+TEST(RtModelTest, Validation) {
+  RealTimeDatabase db(2);
+  EXPECT_THROW(RealTimeDatabase(0), ModelError);
+  EXPECT_THROW(db.add_image({"x", 0, [](Tick) { return Value{std::int64_t{0}}; }}),
+               ModelError);
+  EXPECT_THROW(db.add_image({"x", 1, nullptr}), ModelError);
+  db.add_invariant("x", Value{std::int64_t{1}});
+  EXPECT_THROW(db.add_invariant("x", Value{std::int64_t{2}}), ModelError);
+  EXPECT_THROW(db.archive("nope"), ModelError);
+  EXPECT_THROW(db.image_period("nope"), ModelError);
+}
+
+}  // namespace

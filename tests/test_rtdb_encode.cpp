@@ -1,0 +1,383 @@
+// Tests for section 5.1.3: the db_0 / db_k / db_B words, aperiodic and
+// periodic query words, Lemma 5.1, and the Definition 5.1 recognition
+// acceptor.
+
+#include <gtest/gtest.h>
+
+#include "rtw/core/error.hpp"
+#include "rtw/rtdb/algebra.hpp"
+#include "rtw/rtdb/encode.hpp"
+#include "rtw/rtdb/recognition.hpp"
+
+namespace {
+
+using namespace rtw::rtdb;
+using rtw::core::Certificate;
+using rtw::core::Symbol;
+using rtw::core::Tick;
+using rtw::core::TimedWord;
+using rtw::deadline::Usefulness;
+
+RtdbWordSpec sensor_spec() {
+  RtdbWordSpec spec;
+  spec.invariants = {{"units", Value{std::string("celsius")}}};
+  spec.derived = {{"comfort", Value{std::int64_t{0}}}};
+  spec.images.push_back({"temp", 5, [](Tick t) {
+                           return Value{static_cast<std::int64_t>(20 + t % 7)};
+                         }});
+  spec.images.push_back({"rain", 7, [](Tick t) {
+                           return Value{static_cast<std::int64_t>(t / 7)};
+                         }});
+  return spec;
+}
+
+/// Queries over the reconstructed Objects relation: image objects whose
+/// integer value exceeds a threshold.  "hot" (> 21) varies with the temp
+/// sampler's phase; "warm" (>= 20) always holds for temp.
+QueryCatalog sensor_catalog() {
+  auto image_over = [](std::int64_t threshold) {
+    return [threshold](const Database& db) {
+      const auto& objects = db.get("Objects");
+      const auto matching =
+          select(objects, [threshold](const Relation& rel, const Tuple& t) {
+            if (rel.field(t, "Kind") != Value{std::string("image")})
+              return false;
+            const auto* v = std::get_if<std::int64_t>(&rel.field(t, "Value"));
+            return v && *v > threshold;
+          });
+      return project(matching, {"Name"});
+    };
+  };
+  QueryCatalog catalog;
+  catalog.add(Query("hot", image_over(21)));
+  catalog.add(Query("warm", image_over(19)));
+  return catalog;
+}
+
+// ---------------------------------------------------------------- db words
+
+TEST(DbWordTest, Db0LayoutIsVDollarDDollar) {
+  const auto w = build_db0(sensor_spec());
+  ASSERT_TRUE(w.length().has_value());
+  // Starts with an object group for "units".
+  EXPECT_EQ(w.at(0).sym, qmarks::object());
+  EXPECT_EQ(w.at(1).sym, Symbol::chr('u'));
+  // Exactly two dollars, all at time 0.
+  std::size_t dollars = 0;
+  for (std::uint64_t i = 0; i < *w.length(); ++i) {
+    EXPECT_EQ(w.at(i).time, 0u);
+    if (w.at(i).sym == rtw::core::marks::dollar()) ++dollars;
+  }
+  EXPECT_EQ(dollars, 2u);
+}
+
+TEST(DbWordTest, DbkCarriesSamplesAtMultiplesOfPeriod) {
+  const auto spec = sensor_spec();
+  const auto w = build_dbk(spec.images[0]);  // temp, period 5
+  EXPECT_TRUE(w.infinite());
+  EXPECT_EQ(w.well_behaved(), Certificate::Proven);
+  // Group i at time 5*i; check the first three group openers.
+  std::vector<Tick> group_times;
+  for (std::uint64_t i = 0; i < 64 && group_times.size() < 3; ++i)
+    if (w.at(i).sym == qmarks::object()) group_times.push_back(w.at(i).time);
+  EXPECT_EQ(group_times, (std::vector<Tick>{0, 5, 10}));
+}
+
+TEST(DbWordTest, DbBMergesInTimeOrder) {
+  const auto w = build_dbB(sensor_spec());
+  EXPECT_TRUE(w.infinite());
+  EXPECT_EQ(w.well_behaved(), Certificate::Proven);
+  Tick prev = 0;
+  for (std::uint64_t i = 0; i < 400; ++i) {
+    EXPECT_GE(w.at(i).time, prev) << "i=" << i;
+    prev = w.at(i).time;
+  }
+}
+
+TEST(DbWordTest, RenderRelationalMatchesSamplers) {
+  const auto db = render_relational(sensor_spec(), 12);
+  const auto& objects = db.get("Objects");
+  EXPECT_EQ(objects.size(), 4u);  // units, comfort, temp, rain
+  // temp's latest sample at or before 12 is t=10: 20 + 10%7 = 23.
+  const auto temp = select_eq(objects, "Name", Value{std::string("temp")});
+  ASSERT_EQ(temp.size(), 1u);
+  EXPECT_EQ(temp.tuples()[0][2], Value{std::int64_t{23}});
+  EXPECT_EQ(temp.tuples()[0][3], Value{std::int64_t{10}});
+}
+
+// -------------------------------------------------------------- query words
+
+TEST(QueryWordTest, AqNoDeadlineLayout) {
+  AperiodicQuerySpec spec;
+  spec.query = "hot";
+  spec.candidate = {Value{std::string("temp")}};
+  spec.issue_time = 9;
+  const auto w = build_aq(spec);
+  EXPECT_EQ(w.well_behaved(), Certificate::Proven);
+  EXPECT_EQ(w.at(0).sym, qmarks::query());
+  EXPECT_EQ(w.at(0).time, 9u);
+  // After the header: wq forever from time 10.
+  std::uint64_t i = 0;
+  while (!(w.at(i).sym == qmarks::waiting())) ++i;
+  EXPECT_EQ(w.at(i).time, 10u);
+  EXPECT_EQ(w.at(i + 1).time, 11u);
+}
+
+TEST(QueryWordTest, AqFirmCarriesMinAndDeadlinePairs) {
+  AperiodicQuerySpec spec;
+  spec.query = "hot";
+  spec.candidate = {Value{std::string("temp")}};
+  spec.issue_time = 4;
+  spec.usefulness = Usefulness::firm(6, 9);
+  spec.min_acceptable = 3;
+  const auto w = build_aq(spec);
+  EXPECT_EQ(w.at(1).sym, Symbol::nat(3));  // min after the ? opener
+  // dq appears first at absolute time 4 + 6 = 10.
+  std::uint64_t i = 0;
+  while (!(w.at(i).sym == qmarks::deadline())) ++i;
+  EXPECT_EQ(w.at(i).time, 10u);
+  EXPECT_EQ(w.at(i + 1).sym, Symbol::nat(0));
+}
+
+TEST(QueryWordTest, AqValidation) {
+  AperiodicQuerySpec spec;
+  spec.query = "q";
+  spec.usefulness = Usefulness::firm(0, 5);
+  EXPECT_THROW(build_aq(spec), rtw::core::ModelError);
+  spec.usefulness = Usefulness::firm(3, 5);
+  spec.min_acceptable = 9;
+  EXPECT_THROW(build_aq(spec), rtw::core::ModelError);
+}
+
+TEST(QueryWordTest, PqRepeatsHeaders) {
+  PeriodicQuerySpec spec;
+  spec.query = "hot";
+  spec.candidate = [](std::uint64_t i) {
+    return Tuple{Value{static_cast<std::int64_t>(i)}};
+  };
+  spec.issue_time = 2;
+  spec.period = 10;
+  const auto w = build_pq(spec);
+  EXPECT_EQ(w.well_behaved(), Certificate::Proven);
+  // Count query openers among the first 600 symbols: invocations at
+  // 2, 12, 22, ...
+  std::vector<Tick> openers;
+  for (std::uint64_t i = 0; i < 600 && openers.size() < 3; ++i)
+    if (w.at(i).sym == qmarks::query()) openers.push_back(w.at(i).time);
+  EXPECT_EQ(openers, (std::vector<Tick>{2, 12, 22}));
+}
+
+TEST(QueryWordTest, PqSymbolDensityGrows) {
+  // Lemma 5.1's setting: each invocation keeps contributing symbols, so
+  // the per-tick symbol count grows linearly -- yet the word stays
+  // well-behaved.
+  PeriodicQuerySpec spec;
+  spec.query = "q";
+  spec.candidate = [](std::uint64_t) { return Tuple{Value{std::int64_t{1}}}; };
+  spec.issue_time = 0;
+  spec.period = 5;
+  const auto w = build_pq(spec);
+  // Count symbols at tick 6 vs tick 21 (2 vs 5 active invocations).
+  auto count_at = [&](Tick t) {
+    std::size_t n = 0;
+    for (std::uint64_t i = 0; i < 3000; ++i) {
+      if (w.at(i).time > t) break;
+      if (w.at(i).time == t) ++n;
+    }
+    return n;
+  };
+  EXPECT_GT(count_at(21), count_at(6));
+}
+
+TEST(Lemma51Test, IndexIsFiniteAndMonotone) {
+  PeriodicQuerySpec spec;
+  spec.query = "q";
+  spec.candidate = [](std::uint64_t) { return Tuple{Value{std::int64_t{7}}}; };
+  spec.issue_time = 1;
+  spec.period = 3;
+  spec.usefulness = Usefulness::firm(2, 4);
+  spec.min_acceptable = 1;
+  const auto w = build_pq(spec);
+  std::uint64_t prev = 0;
+  for (Tick k : {1u, 5u, 10u, 20u, 40u}) {
+    const auto idx = lemma51_index(w, k, 1u << 18);
+    ASSERT_TRUE(idx.has_value()) << "k=" << k;  // Lemma 5.1: always finite
+    EXPECT_GE(*idx, prev);
+    prev = *idx;
+    EXPECT_GE(w.at(*idx).time, k);
+    if (*idx > 0) {
+      EXPECT_LT(w.at(*idx - 1).time, k);
+    }
+  }
+}
+
+// ------------------------------------------------------------- recognition
+
+TEST(ClassicalRecognitionTest, HoldsIffTupleInResult) {
+  RtdbWordSpec spec = sensor_spec();
+  const auto db = render_relational(spec, 10);
+  QueryCatalog catalog = sensor_catalog();
+  const Query& q = catalog.get("hot");
+  // temp at t=10 is 23 > 20 -> in result; rain is 1 -> not.
+  EXPECT_TRUE(recognition_holds(q, db, {Value{std::string("temp")}}));
+  EXPECT_FALSE(recognition_holds(q, db, {Value{std::string("rain")}}));
+  const auto w = classical_recognition_word(db, {Value{std::string("temp")}});
+  EXPECT_TRUE(w.length().has_value());
+  EXPECT_EQ(w.well_behaved(), Certificate::Refuted);  // classical word
+}
+
+TimedWord recognition_word(const RtdbWordSpec& db_spec,
+                           const AperiodicQuerySpec& q_spec) {
+  return rtw::core::concat(build_dbB(db_spec), build_aq(q_spec));
+}
+
+TEST(RecognitionAcceptorTest, AcceptsTrueAperiodicMembership) {
+  AperiodicQuerySpec q;
+  q.query = "hot";
+  q.candidate = {Value{std::string("temp")}};
+  q.issue_time = 12;  // temp@10 = 23 > 20
+  const auto w = recognition_word(sensor_spec(), q);
+  RecognitionAcceptor acceptor(sensor_catalog(), linear_cost());
+  rtw::core::RunOptions options;
+  options.horizon = 600;
+  const auto r = rtw::core::run_acceptor(acceptor, w, options);
+  EXPECT_TRUE(r.accepted);
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(acceptor.served(), 1u);
+}
+
+TEST(RecognitionAcceptorTest, RejectsFalseMembership) {
+  AperiodicQuerySpec q;
+  q.query = "hot";
+  q.candidate = {Value{std::string("rain")}};  // rain values stay small
+  q.issue_time = 12;
+  const auto w = recognition_word(sensor_spec(), q);
+  RecognitionAcceptor acceptor(sensor_catalog(), linear_cost());
+  rtw::core::RunOptions options;
+  options.horizon = 600;
+  const auto r = rtw::core::run_acceptor(acceptor, w, options);
+  EXPECT_FALSE(r.accepted);
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(acceptor.failed(), 1u);
+}
+
+TEST(RecognitionAcceptorTest, FirmDeadlineRejectsSlowEvaluation) {
+  AperiodicQuerySpec q;
+  q.query = "hot";
+  q.candidate = {Value{std::string("temp")}};
+  q.issue_time = 12;
+  q.usefulness = Usefulness::firm(2, 5);  // evaluation costs 4 (db size)
+  q.min_acceptable = 1;
+  const auto w = recognition_word(sensor_spec(), q);
+  RecognitionAcceptor acceptor(sensor_catalog(), linear_cost());
+  rtw::core::RunOptions options;
+  options.horizon = 600;
+  const auto r = rtw::core::run_acceptor(acceptor, w, options);
+  EXPECT_FALSE(r.accepted);
+}
+
+TEST(RecognitionAcceptorTest, LooseDeadlineAccepts) {
+  AperiodicQuerySpec q;
+  q.query = "hot";
+  q.candidate = {Value{std::string("temp")}};
+  q.issue_time = 12;
+  q.usefulness = Usefulness::firm(50, 5);
+  q.min_acceptable = 1;
+  const auto w = recognition_word(sensor_spec(), q);
+  RecognitionAcceptor acceptor(sensor_catalog(), linear_cost());
+  rtw::core::RunOptions options;
+  options.horizon = 600;
+  const auto r = rtw::core::run_acceptor(acceptor, w, options);
+  EXPECT_TRUE(r.accepted);
+}
+
+TEST(RecognitionAcceptorTest, PeriodicServesRepeatedly) {
+  PeriodicQuerySpec pq;
+  pq.query = "warm";  // holds for temp at every sample phase
+  pq.candidate = [](std::uint64_t) {
+    return Tuple{Value{std::string("temp")}};
+  };
+  pq.issue_time = 12;
+  pq.period = 25;
+  const auto w = rtw::core::concat(build_dbB(sensor_spec()), build_pq(pq));
+  RecognitionAcceptor acceptor(sensor_catalog(), linear_cost());
+  rtw::core::RunOptions options;
+  options.horizon = 400;
+  const auto r = rtw::core::run_acceptor(acceptor, w, options);
+  EXPECT_TRUE(r.accepted);     // trailing-f heuristic
+  EXPECT_FALSE(r.exact);       // never locks: infinitely many invocations
+  EXPECT_GE(acceptor.served(), 5u);
+  EXPECT_EQ(acceptor.failed(), 0u);
+}
+
+TEST(RecognitionLanguageTest, MembershipWrapsAcceptor) {
+  auto lang = recognition_language(sensor_catalog(), linear_cost(), 600);
+  AperiodicQuerySpec q;
+  q.query = "hot";
+  q.candidate = {Value{std::string("temp")}};
+  q.issue_time = 12;
+  EXPECT_TRUE(lang.contains(recognition_word(sensor_spec(), q)));
+  q.candidate = {Value{std::string("rain")}};
+  EXPECT_FALSE(lang.contains(recognition_word(sensor_spec(), q)));
+}
+
+// Property sweep: Definition 5.1 membership tracks ground truth across
+// issue times (the reconstructed DB must reflect the latest samples).
+class IssueTimeProperty : public ::testing::TestWithParam<Tick> {};
+
+TEST_P(IssueTimeProperty, MembershipMatchesGroundTruth) {
+  const Tick t = GetParam();
+  const auto spec = sensor_spec();
+  QueryCatalog catalog = sensor_catalog();
+  AperiodicQuerySpec q;
+  q.query = "hot";
+  q.candidate = {Value{std::string("temp")}};
+  q.issue_time = t;
+  const auto w = recognition_word(spec, q);
+  RecognitionAcceptor acceptor(catalog, linear_cost());
+  rtw::core::RunOptions options;
+  options.horizon = 600;
+  const auto r = rtw::core::run_acceptor(acceptor, w, options);
+  const bool truth = recognition_holds(catalog.get("hot"),
+                                       render_relational(spec, t),
+                                       {Value{std::string("temp")}});
+  EXPECT_EQ(r.accepted, truth) << "issue_time=" << t;
+}
+
+INSTANTIATE_TEST_SUITE_P(IssueTimes, IssueTimeProperty,
+                         ::testing::Values<Tick>(3, 6, 9, 12, 16, 21, 27, 33));
+
+}  // namespace
+
+// --------------------------------------- Lemma 5.1's explicit index bound
+
+namespace lemma_bound {
+
+using namespace rtw::rtdb;
+using rtw::core::Tick;
+
+TEST(Lemma51BoundTest, IndexRespectsThePapersFormula) {
+  // Lemma 5.1's counting argument: symbols with tau_j < k comprise at most
+  // (i+1) query-header encodings plus 2k symbols per active invocation,
+  // where i is the number of invocations issued by time k.  With header
+  // length L <= 32 for these candidates the bound is
+  // k' <= (i+1) * 32 + 2k(i+1).
+  PeriodicQuerySpec spec;
+  spec.query = "q";
+  spec.candidate = [](std::uint64_t) { return Tuple{Value{std::int64_t{7}}}; };
+  spec.issue_time = 1;
+  spec.period = 3;
+  spec.usefulness = rtw::deadline::Usefulness::firm(2, 4);
+  spec.min_acceptable = 1;
+  const auto w = build_pq(spec);
+  for (Tick k : {4u, 16u, 64u, 128u}) {
+    const auto idx = lemma51_index(w, k, 1u << 22);
+    ASSERT_TRUE(idx.has_value());
+    const std::uint64_t invocations = (k - spec.issue_time) / spec.period + 1;
+    const std::uint64_t bound =
+        (invocations + 1) * 32 + 2 * k * (invocations + 1);
+    EXPECT_LE(*idx, bound) << "k=" << k;
+  }
+}
+
+}  // namespace lemma_bound

@@ -1,0 +1,235 @@
+// Tests for the relational substrate (section 5.1.1): values, relations,
+// the algebra, queries, and the Figure 1 / Figure 2 example.
+
+#include <gtest/gtest.h>
+
+#include "rtw/core/error.hpp"
+#include "rtw/rtdb/algebra.hpp"
+#include "rtw/rtdb/ngc.hpp"
+#include "rtw/rtdb/query.hpp"
+#include "rtw/rtdb/relation.hpp"
+#include "rtw/rtdb/value.hpp"
+
+namespace {
+
+using namespace rtw::rtdb;
+using rtw::core::ModelError;
+
+// ----------------------------------------------------------------- Value
+
+TEST(ValueTest, DateFormatting) {
+  EXPECT_EQ(to_string(Date{1999, 10}), "October 1999");
+  EXPECT_EQ(to_string(Date{1999, 11}), "November 1999");
+  EXPECT_EQ(to_string(Date{2026, 7}), "July 2026");
+}
+
+TEST(ValueTest, DateParsingRoundTrip) {
+  for (int m = 1; m <= 12; ++m) {
+    const Date d{2001, m};
+    EXPECT_EQ(parse_date(to_string(d)), d);
+  }
+  EXPECT_THROW(parse_date("Smarch 1999"), ModelError);
+  EXPECT_THROW(parse_date("November"), ModelError);
+  EXPECT_THROW(parse_date("November x"), ModelError);
+}
+
+TEST(ValueTest, DateOrdering) {
+  EXPECT_LT(Date(1999, 10), Date(1999, 11));
+  EXPECT_LT(Date(1999, 12), Date(2000, 1));
+}
+
+TEST(ValueTest, VariantRendering) {
+  EXPECT_EQ(to_string(Value{std::int64_t{42}}), "42");
+  EXPECT_EQ(to_string(Value{std::string("abc")}), "abc");
+  EXPECT_EQ(to_string(Value{Date{1999, 11}}), "November 1999");
+}
+
+// -------------------------------------------------------------- Relation
+
+Relation people() {
+  Relation r("People", {"Name", "Age"});
+  r.insert({Value{std::string("ada")}, Value{std::int64_t{36}}});
+  r.insert({Value{std::string("bob")}, Value{std::int64_t{25}}});
+  r.insert({Value{std::string("cyd")}, Value{std::int64_t{36}}});
+  return r;
+}
+
+TEST(RelationTest, SetSemantics) {
+  Relation r = people();
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_FALSE(r.insert({Value{std::string("ada")}, Value{std::int64_t{36}}}));
+  EXPECT_EQ(r.size(), 3u);
+}
+
+TEST(RelationTest, ArityChecked) {
+  Relation r = people();
+  EXPECT_THROW(r.insert({Value{std::string("x")}}), ModelError);
+}
+
+TEST(RelationTest, DuplicateAttributeRejected) {
+  EXPECT_THROW(Relation("R", {"A", "A"}), ModelError);
+}
+
+TEST(RelationTest, FieldAccess) {
+  Relation r = people();
+  const auto& t = r.tuples()[1];
+  EXPECT_EQ(r.field(t, "Name"), Value{std::string("bob")});
+  EXPECT_THROW(r.field(t, "Nope"), ModelError);
+}
+
+TEST(RelationTest, EraseIf) {
+  Relation r = people();
+  const auto removed = r.erase_if([&r](const Tuple& t) {
+    return r.field(t, "Age") == Value{std::int64_t{36}};
+  });
+  EXPECT_EQ(removed, 2u);
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(DatabaseTest, PutGetSchema) {
+  Database db;
+  db.put(people());
+  EXPECT_TRUE(db.has("People"));
+  EXPECT_FALSE(db.has("Nope"));
+  EXPECT_THROW(db.get("Nope"), ModelError);
+  EXPECT_EQ(db.schema(), std::vector<std::string>{"People"});
+  EXPECT_EQ(db.size(), 3u);
+}
+
+// --------------------------------------------------------------- algebra
+
+TEST(AlgebraTest, SelectByPredicate) {
+  const auto adults = select(people(), [](const Relation& r, const Tuple& t) {
+    return r.field(t, "Age") == Value{std::int64_t{36}};
+  });
+  EXPECT_EQ(adults.size(), 2u);
+}
+
+TEST(AlgebraTest, SelectEqAndLt) {
+  EXPECT_EQ(select_eq(people(), "Name", Value{std::string("bob")}).size(), 1u);
+  EXPECT_EQ(select_lt(people(), "Age", Value{std::int64_t{30}}).size(), 1u);
+}
+
+TEST(AlgebraTest, ProjectCollapsesDuplicates) {
+  const auto ages = project(people(), {"Age"});
+  EXPECT_EQ(ages.size(), 2u);  // {36, 25}
+  EXPECT_EQ(ages.sort(), std::vector<Attribute>{"Age"});
+  EXPECT_THROW(project(people(), {"Nope"}), ModelError);
+}
+
+TEST(AlgebraTest, RenameChangesSort) {
+  const auto renamed = rename(people(), {{"Name", "Id"}});
+  EXPECT_EQ(renamed.sort(), (std::vector<Attribute>{"Id", "Age"}));
+  EXPECT_EQ(renamed.size(), 3u);
+}
+
+TEST(AlgebraTest, ProductAndCollision) {
+  Relation jobs("Jobs", {"Title"});
+  jobs.insert({Value{std::string("dev")}});
+  jobs.insert({Value{std::string("ops")}});
+  const auto prod = product(people(), jobs);
+  EXPECT_EQ(prod.size(), 6u);
+  EXPECT_EQ(prod.arity(), 3u);
+  EXPECT_THROW(product(people(), people()), ModelError);
+}
+
+TEST(AlgebraTest, NaturalJoinOnSharedAttribute) {
+  Relation salaries("Salaries", {"Name", "Salary"});
+  salaries.insert({Value{std::string("ada")}, Value{std::int64_t{100}}});
+  salaries.insert({Value{std::string("bob")}, Value{std::int64_t{80}}});
+  salaries.insert({Value{std::string("zed")}, Value{std::int64_t{10}}});
+  const auto joined = natural_join(people(), salaries);
+  EXPECT_EQ(joined.size(), 2u);  // ada, bob
+  EXPECT_EQ(joined.sort(), (std::vector<Attribute>{"Name", "Age", "Salary"}));
+}
+
+TEST(AlgebraTest, NaturalJoinWithoutSharedIsProduct) {
+  Relation colors("Colors", {"Color"});
+  colors.insert({Value{std::string("red")}});
+  const auto joined = natural_join(people(), colors);
+  EXPECT_EQ(joined.size(), 3u);
+}
+
+TEST(AlgebraTest, SetOperations) {
+  Relation a("R", {"X"});
+  a.insert({Value{std::int64_t{1}}});
+  a.insert({Value{std::int64_t{2}}});
+  Relation b("R", {"X"});
+  b.insert({Value{std::int64_t{2}}});
+  b.insert({Value{std::int64_t{3}}});
+  EXPECT_EQ(set_union(a, b).size(), 3u);
+  EXPECT_EQ(set_difference(a, b).size(), 1u);
+  EXPECT_EQ(set_intersection(a, b).size(), 1u);
+  Relation c("R", {"Y"});
+  EXPECT_THROW(set_union(a, c), ModelError);
+}
+
+// ----------------------------------------------------------------- query
+
+TEST(QueryTest, NamedEvaluation) {
+  Database db;
+  db.put(people());
+  Query q("ages", [](const Database& d) { return project(d.get("People"), {"Age"}); });
+  EXPECT_EQ(q.name(), "ages");
+  EXPECT_EQ(q(db).size(), 2u);
+  EXPECT_THROW(Query("", [](const Database& d) { return d.get("People"); }),
+               ModelError);
+}
+
+TEST(QueryCatalogTest, ResolvesByName) {
+  QueryCatalog catalog;
+  catalog.add(Query("q1", [](const Database& d) { return d.get("People"); }));
+  EXPECT_TRUE(catalog.has("q1"));
+  EXPECT_FALSE(catalog.has("q2"));
+  EXPECT_THROW(catalog.get("q2"), ModelError);
+  EXPECT_THROW(
+      catalog.add(Query("q1", [](const Database& d) { return d.get("X"); })),
+      ModelError);
+}
+
+// -------------------------------------------------- Figure 1 / Figure 2
+
+TEST(NgcTest, Figure1HasExactShape) {
+  const auto db = ngc::figure1_instance();
+  EXPECT_EQ(db.schema(), (std::vector<std::string>{"Exhibitions", "Schedules"}));
+  const auto& ex = db.get("Exhibitions");
+  EXPECT_EQ(ex.size(), 6u);
+  EXPECT_EQ(ex.arity(), 3u);
+  EXPECT_EQ(ex.sort(),
+            (std::vector<Attribute>{"Title", "Description", "Artist"}));
+  const auto& sch = db.get("Schedules");
+  EXPECT_EQ(sch.size(), 3u);
+  EXPECT_EQ(sch.sort(), (std::vector<Attribute>{"City", "Title", "Date"}));
+}
+
+TEST(NgcTest, Figure2QueryReproducesThePaper) {
+  const auto db = ngc::figure1_instance();
+  const auto result = ngc::november_artists_query()(db);
+  const auto expected = ngc::figure2_expected();
+  EXPECT_EQ(result.sort(), expected.sort());
+  ASSERT_EQ(result.size(), expected.size());
+  for (const auto& t : expected.tuples())
+    EXPECT_TRUE(result.contains(t)) << to_string(t[0]) << " missing";
+  // Row order matches Figure 2 as printed.
+  EXPECT_EQ(result.tuples()[0][0], Value{std::string("Schaefer")});
+  EXPECT_EQ(result.tuples()[1][0], Value{std::string("Aelbrecht")});
+  EXPECT_EQ(result.tuples()[2][0], Value{std::string("Dieric")});
+}
+
+TEST(NgcTest, OctoberExhibitionExcluded) {
+  const auto db = ngc::figure1_instance();
+  const auto result = ngc::november_artists_query()(db);
+  for (const auto& t : result.tuples()) {
+    EXPECT_NE(t[1], Value{std::string("Mexico City")});
+    EXPECT_NE(t[0], Value{std::string("Thompson")});
+  }
+}
+
+TEST(NgcTest, RenderingMentionsAllArtists) {
+  const auto text = ngc::figure1_instance().to_string();
+  for (const char* artist : {"Thompson", "Harris", "MacDonald", "Schaefer",
+                             "Aelbrecht", "Dieric"})
+    EXPECT_NE(text.find(artist), std::string::npos) << artist;
+}
+
+}  // namespace

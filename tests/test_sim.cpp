@@ -1,0 +1,259 @@
+// Tests for the sim substrate: RNG determinism and distribution sanity,
+// streaming statistics, histogram, table printing, and the discrete-event
+// kernel's ordering guarantees.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "rtw/sim/event_queue.hpp"
+#include "rtw/sim/histogram.hpp"
+#include "rtw/sim/rng.hpp"
+#include "rtw/sim/stats.hpp"
+#include "rtw/sim/table.hpp"
+
+namespace {
+
+using namespace rtw::sim;
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro, IsDeterministic) {
+  Xoshiro256ss a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, UniformBoundRespected) {
+  Xoshiro256ss rng(3);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.uniform(17), 17u);
+}
+
+TEST(Xoshiro, UniformZeroBound) {
+  Xoshiro256ss rng(3);
+  EXPECT_EQ(rng.uniform(std::uint64_t{0}), 0u);
+}
+
+TEST(Xoshiro, UniformInclusiveRange) {
+  Xoshiro256ss rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform(std::int64_t{-2}, std::int64_t{2});
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro, UniformRealInUnitInterval) {
+  Xoshiro256ss rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform_real();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Xoshiro, UniformMeanIsCentered) {
+  Xoshiro256ss rng(13);
+  OnlineStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.uniform_real());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(1.0 / 12.0), 0.01);
+}
+
+TEST(Xoshiro, BernoulliEdgeCases) {
+  Xoshiro256ss rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Xoshiro, ExponentialMean) {
+  Xoshiro256ss rng(17);
+  OnlineStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.exponential(2.0));
+  EXPECT_NEAR(stats.mean(), 0.5, 0.02);
+}
+
+TEST(Xoshiro, SubstreamsDiffer) {
+  Xoshiro256ss base(21);
+  auto s0 = base.substream(0);
+  auto s1 = base.substream(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (s0() == s1()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, KnownValues) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  OnlineStats whole, left, right;
+  Xoshiro256ss rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform_real(-5, 5);
+    whole.add(x);
+    (i % 2 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+}
+
+TEST(Percentile, MedianOfOddSet) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 0.25), 2.5);
+}
+
+TEST(Percentile, EmptyReturnsZero) { EXPECT_DOUBLE_EQ(median({}), 0.0); }
+
+TEST(HistogramTest, CountsAndClamping) {
+  Histogram h(-2, 2);
+  for (std::int64_t v : {-5, -2, 0, 0, 1, 2, 9}) h.add(v);
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.count(0), 2u);  // bin for -2 (one genuine + one clamped)
+  EXPECT_EQ(h.count(2), 2u);  // bin for 0
+  EXPECT_EQ(h.count(4), 2u);  // bin for +2
+}
+
+TEST(HistogramTest, FractionSumsToOne) {
+  Histogram h(0, 3);
+  for (int i = 0; i < 10; ++i) h.add(i % 4);
+  double sum = 0;
+  for (std::size_t b = 0; b < h.bins(); ++b) sum += h.fraction(b);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, RenderContainsBars) {
+  Histogram h(0, 1);
+  h.add(0);
+  h.add(0);
+  h.add(1);
+  const auto text = h.render(10);
+  EXPECT_NE(text.find('#'), std::string::npos);
+  EXPECT_NE(text.find("(") , std::string::npos);
+}
+
+TEST(HistogramTest, InvalidRangeThrows) {
+  EXPECT_THROW(Histogram(3, 1), std::invalid_argument);
+}
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"name", "value"});
+  t.row().cell("x").cell(std::int64_t{1});
+  t.row().cell("long-name").cell(3.14159, 2);
+  const auto text = t.render();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("3.14"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 2u);
+}
+
+TEST(TableTest, PrintsToStream) {
+  Table t({"a"});
+  t.row().cell("b");
+  std::ostringstream os;
+  t.print(os, 2);
+  EXPECT_NE(os.str().find("  a"), std::string::npos);
+}
+
+TEST(EventQueueTest, RunsInTimestampOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(5, [&](Tick) { order.push_back(2); });
+  q.schedule_at(3, [&](Tick) { order.push_back(1); });
+  q.schedule_at(9, [&](Tick) { order.push_back(3); });
+  EXPECT_EQ(q.run_until(100), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakInSchedulingOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    q.schedule_at(7, [&, i](Tick) { order.push_back(i); });
+  q.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, HorizonStopsExecution) {
+  EventQueue q;
+  int ran = 0;
+  q.schedule_at(10, [&](Tick) { ++ran; });
+  q.schedule_at(20, [&](Tick) { ++ran; });
+  EXPECT_EQ(q.run_until(15), 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(q.now(), 15u);
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents) {
+  EventQueue q;
+  std::vector<Tick> fired;
+  std::function<void(Tick)> chain = [&](Tick now) {
+    fired.push_back(now);
+    if (fired.size() < 4) q.schedule_in(2, chain);
+  };
+  q.schedule_at(1, chain);
+  q.run_until(100);
+  EXPECT_EQ(fired, (std::vector<Tick>{1, 3, 5, 7}));
+}
+
+TEST(EventQueueTest, PastSchedulingClampsToNow) {
+  EventQueue q;
+  Tick seen = 999;
+  q.schedule_at(10, [&](Tick) {
+    q.schedule_at(2, [&](Tick inner) { seen = inner; });
+  });
+  q.run_until(100);
+  EXPECT_EQ(seen, 10u);
+}
+
+TEST(EventQueueTest, ResetClearsEverything) {
+  EventQueue q;
+  q.schedule_at(4, [](Tick) {});
+  q.reset();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.now(), 0u);
+  EXPECT_EQ(q.run_until(10), 0u);
+}
+
+}  // namespace
