@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dataacc_laws.dir/bench_dataacc_laws.cpp.o"
+  "CMakeFiles/bench_dataacc_laws.dir/bench_dataacc_laws.cpp.o.d"
+  "bench_dataacc_laws"
+  "bench_dataacc_laws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dataacc_laws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

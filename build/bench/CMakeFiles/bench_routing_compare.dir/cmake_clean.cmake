@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_routing_compare.dir/bench_routing_compare.cpp.o"
+  "CMakeFiles/bench_routing_compare.dir/bench_routing_compare.cpp.o.d"
+  "bench_routing_compare"
+  "bench_routing_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_routing_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

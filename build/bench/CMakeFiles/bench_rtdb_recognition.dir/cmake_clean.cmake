@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rtdb_recognition.dir/bench_rtdb_recognition.cpp.o"
+  "CMakeFiles/bench_rtdb_recognition.dir/bench_rtdb_recognition.cpp.o.d"
+  "bench_rtdb_recognition"
+  "bench_rtdb_recognition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rtdb_recognition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm31_nonregular.dir/bench_thm31_nonregular.cpp.o"
+  "CMakeFiles/bench_thm31_nonregular.dir/bench_thm31_nonregular.cpp.o.d"
+  "bench_thm31_nonregular"
+  "bench_thm31_nonregular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm31_nonregular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adhoc_routing.dir/adhoc_routing.cpp.o"
+  "CMakeFiles/adhoc_routing.dir/adhoc_routing.cpp.o.d"
+  "adhoc_routing"
+  "adhoc_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adhoc_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadline_transactions.dir/deadline_transactions.cpp.o"
+  "CMakeFiles/deadline_transactions.dir/deadline_transactions.cpp.o.d"
+  "deadline_transactions"
+  "deadline_transactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadline_transactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

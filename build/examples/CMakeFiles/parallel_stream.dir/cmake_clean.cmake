@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_stream.dir/parallel_stream.cpp.o"
+  "CMakeFiles/parallel_stream.dir/parallel_stream.cpp.o.d"
+  "parallel_stream"
+  "parallel_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtdb_monitor.dir/rtdb_monitor.cpp.o"
+  "CMakeFiles/rtdb_monitor.dir/rtdb_monitor.cpp.o.d"
+  "rtdb_monitor"
+  "rtdb_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtdb_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/words_tool.dir/words_tool.cpp.o"
+  "CMakeFiles/words_tool.dir/words_tool.cpp.o.d"
+  "words_tool"
+  "words_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/words_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

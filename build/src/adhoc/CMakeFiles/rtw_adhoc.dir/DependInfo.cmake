@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adhoc/src/aodv.cpp" "src/adhoc/CMakeFiles/rtw_adhoc.dir/src/aodv.cpp.o" "gcc" "src/adhoc/CMakeFiles/rtw_adhoc.dir/src/aodv.cpp.o.d"
+  "/root/repo/src/adhoc/src/dsdv.cpp" "src/adhoc/CMakeFiles/rtw_adhoc.dir/src/dsdv.cpp.o" "gcc" "src/adhoc/CMakeFiles/rtw_adhoc.dir/src/dsdv.cpp.o.d"
+  "/root/repo/src/adhoc/src/dsr.cpp" "src/adhoc/CMakeFiles/rtw_adhoc.dir/src/dsr.cpp.o" "gcc" "src/adhoc/CMakeFiles/rtw_adhoc.dir/src/dsr.cpp.o.d"
+  "/root/repo/src/adhoc/src/flooding.cpp" "src/adhoc/CMakeFiles/rtw_adhoc.dir/src/flooding.cpp.o" "gcc" "src/adhoc/CMakeFiles/rtw_adhoc.dir/src/flooding.cpp.o.d"
+  "/root/repo/src/adhoc/src/metrics.cpp" "src/adhoc/CMakeFiles/rtw_adhoc.dir/src/metrics.cpp.o" "gcc" "src/adhoc/CMakeFiles/rtw_adhoc.dir/src/metrics.cpp.o.d"
+  "/root/repo/src/adhoc/src/mobility.cpp" "src/adhoc/CMakeFiles/rtw_adhoc.dir/src/mobility.cpp.o" "gcc" "src/adhoc/CMakeFiles/rtw_adhoc.dir/src/mobility.cpp.o.d"
+  "/root/repo/src/adhoc/src/network.cpp" "src/adhoc/CMakeFiles/rtw_adhoc.dir/src/network.cpp.o" "gcc" "src/adhoc/CMakeFiles/rtw_adhoc.dir/src/network.cpp.o.d"
+  "/root/repo/src/adhoc/src/route_acceptor.cpp" "src/adhoc/CMakeFiles/rtw_adhoc.dir/src/route_acceptor.cpp.o" "gcc" "src/adhoc/CMakeFiles/rtw_adhoc.dir/src/route_acceptor.cpp.o.d"
+  "/root/repo/src/adhoc/src/simulator.cpp" "src/adhoc/CMakeFiles/rtw_adhoc.dir/src/simulator.cpp.o" "gcc" "src/adhoc/CMakeFiles/rtw_adhoc.dir/src/simulator.cpp.o.d"
+  "/root/repo/src/adhoc/src/words.cpp" "src/adhoc/CMakeFiles/rtw_adhoc.dir/src/words.cpp.o" "gcc" "src/adhoc/CMakeFiles/rtw_adhoc.dir/src/words.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rtw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rtw_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

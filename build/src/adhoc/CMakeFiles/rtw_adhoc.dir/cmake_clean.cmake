@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtw_adhoc.dir/src/aodv.cpp.o"
+  "CMakeFiles/rtw_adhoc.dir/src/aodv.cpp.o.d"
+  "CMakeFiles/rtw_adhoc.dir/src/dsdv.cpp.o"
+  "CMakeFiles/rtw_adhoc.dir/src/dsdv.cpp.o.d"
+  "CMakeFiles/rtw_adhoc.dir/src/dsr.cpp.o"
+  "CMakeFiles/rtw_adhoc.dir/src/dsr.cpp.o.d"
+  "CMakeFiles/rtw_adhoc.dir/src/flooding.cpp.o"
+  "CMakeFiles/rtw_adhoc.dir/src/flooding.cpp.o.d"
+  "CMakeFiles/rtw_adhoc.dir/src/metrics.cpp.o"
+  "CMakeFiles/rtw_adhoc.dir/src/metrics.cpp.o.d"
+  "CMakeFiles/rtw_adhoc.dir/src/mobility.cpp.o"
+  "CMakeFiles/rtw_adhoc.dir/src/mobility.cpp.o.d"
+  "CMakeFiles/rtw_adhoc.dir/src/network.cpp.o"
+  "CMakeFiles/rtw_adhoc.dir/src/network.cpp.o.d"
+  "CMakeFiles/rtw_adhoc.dir/src/route_acceptor.cpp.o"
+  "CMakeFiles/rtw_adhoc.dir/src/route_acceptor.cpp.o.d"
+  "CMakeFiles/rtw_adhoc.dir/src/simulator.cpp.o"
+  "CMakeFiles/rtw_adhoc.dir/src/simulator.cpp.o.d"
+  "CMakeFiles/rtw_adhoc.dir/src/words.cpp.o"
+  "CMakeFiles/rtw_adhoc.dir/src/words.cpp.o.d"
+  "librtw_adhoc.a"
+  "librtw_adhoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtw_adhoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

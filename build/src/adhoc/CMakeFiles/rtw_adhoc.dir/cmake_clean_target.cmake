@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librtw_adhoc.a"
+)

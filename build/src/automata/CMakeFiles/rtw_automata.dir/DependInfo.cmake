@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automata/src/clocks.cpp" "src/automata/CMakeFiles/rtw_automata.dir/src/clocks.cpp.o" "gcc" "src/automata/CMakeFiles/rtw_automata.dir/src/clocks.cpp.o.d"
+  "/root/repo/src/automata/src/dot.cpp" "src/automata/CMakeFiles/rtw_automata.dir/src/dot.cpp.o" "gcc" "src/automata/CMakeFiles/rtw_automata.dir/src/dot.cpp.o.d"
+  "/root/repo/src/automata/src/finite_automaton.cpp" "src/automata/CMakeFiles/rtw_automata.dir/src/finite_automaton.cpp.o" "gcc" "src/automata/CMakeFiles/rtw_automata.dir/src/finite_automaton.cpp.o.d"
+  "/root/repo/src/automata/src/omega.cpp" "src/automata/CMakeFiles/rtw_automata.dir/src/omega.cpp.o" "gcc" "src/automata/CMakeFiles/rtw_automata.dir/src/omega.cpp.o.d"
+  "/root/repo/src/automata/src/operations.cpp" "src/automata/CMakeFiles/rtw_automata.dir/src/operations.cpp.o" "gcc" "src/automata/CMakeFiles/rtw_automata.dir/src/operations.cpp.o.d"
+  "/root/repo/src/automata/src/timed_buchi.cpp" "src/automata/CMakeFiles/rtw_automata.dir/src/timed_buchi.cpp.o" "gcc" "src/automata/CMakeFiles/rtw_automata.dir/src/timed_buchi.cpp.o.d"
+  "/root/repo/src/automata/src/witness.cpp" "src/automata/CMakeFiles/rtw_automata.dir/src/witness.cpp.o" "gcc" "src/automata/CMakeFiles/rtw_automata.dir/src/witness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rtw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rtw_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

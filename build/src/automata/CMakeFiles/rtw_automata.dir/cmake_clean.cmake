@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtw_automata.dir/src/clocks.cpp.o"
+  "CMakeFiles/rtw_automata.dir/src/clocks.cpp.o.d"
+  "CMakeFiles/rtw_automata.dir/src/dot.cpp.o"
+  "CMakeFiles/rtw_automata.dir/src/dot.cpp.o.d"
+  "CMakeFiles/rtw_automata.dir/src/finite_automaton.cpp.o"
+  "CMakeFiles/rtw_automata.dir/src/finite_automaton.cpp.o.d"
+  "CMakeFiles/rtw_automata.dir/src/omega.cpp.o"
+  "CMakeFiles/rtw_automata.dir/src/omega.cpp.o.d"
+  "CMakeFiles/rtw_automata.dir/src/operations.cpp.o"
+  "CMakeFiles/rtw_automata.dir/src/operations.cpp.o.d"
+  "CMakeFiles/rtw_automata.dir/src/timed_buchi.cpp.o"
+  "CMakeFiles/rtw_automata.dir/src/timed_buchi.cpp.o.d"
+  "CMakeFiles/rtw_automata.dir/src/witness.cpp.o"
+  "CMakeFiles/rtw_automata.dir/src/witness.cpp.o.d"
+  "librtw_automata.a"
+  "librtw_automata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtw_automata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/src/acceptor.cpp" "src/core/CMakeFiles/rtw_core.dir/src/acceptor.cpp.o" "gcc" "src/core/CMakeFiles/rtw_core.dir/src/acceptor.cpp.o.d"
+  "/root/repo/src/core/src/concat.cpp" "src/core/CMakeFiles/rtw_core.dir/src/concat.cpp.o" "gcc" "src/core/CMakeFiles/rtw_core.dir/src/concat.cpp.o.d"
+  "/root/repo/src/core/src/language.cpp" "src/core/CMakeFiles/rtw_core.dir/src/language.cpp.o" "gcc" "src/core/CMakeFiles/rtw_core.dir/src/language.cpp.o.d"
+  "/root/repo/src/core/src/serialize.cpp" "src/core/CMakeFiles/rtw_core.dir/src/serialize.cpp.o" "gcc" "src/core/CMakeFiles/rtw_core.dir/src/serialize.cpp.o.d"
+  "/root/repo/src/core/src/symbol.cpp" "src/core/CMakeFiles/rtw_core.dir/src/symbol.cpp.o" "gcc" "src/core/CMakeFiles/rtw_core.dir/src/symbol.cpp.o.d"
+  "/root/repo/src/core/src/tape.cpp" "src/core/CMakeFiles/rtw_core.dir/src/tape.cpp.o" "gcc" "src/core/CMakeFiles/rtw_core.dir/src/tape.cpp.o.d"
+  "/root/repo/src/core/src/timed_word.cpp" "src/core/CMakeFiles/rtw_core.dir/src/timed_word.cpp.o" "gcc" "src/core/CMakeFiles/rtw_core.dir/src/timed_word.cpp.o.d"
+  "/root/repo/src/core/src/transform.cpp" "src/core/CMakeFiles/rtw_core.dir/src/transform.cpp.o" "gcc" "src/core/CMakeFiles/rtw_core.dir/src/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rtw_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtw_core.dir/src/acceptor.cpp.o"
+  "CMakeFiles/rtw_core.dir/src/acceptor.cpp.o.d"
+  "CMakeFiles/rtw_core.dir/src/concat.cpp.o"
+  "CMakeFiles/rtw_core.dir/src/concat.cpp.o.d"
+  "CMakeFiles/rtw_core.dir/src/language.cpp.o"
+  "CMakeFiles/rtw_core.dir/src/language.cpp.o.d"
+  "CMakeFiles/rtw_core.dir/src/serialize.cpp.o"
+  "CMakeFiles/rtw_core.dir/src/serialize.cpp.o.d"
+  "CMakeFiles/rtw_core.dir/src/symbol.cpp.o"
+  "CMakeFiles/rtw_core.dir/src/symbol.cpp.o.d"
+  "CMakeFiles/rtw_core.dir/src/tape.cpp.o"
+  "CMakeFiles/rtw_core.dir/src/tape.cpp.o.d"
+  "CMakeFiles/rtw_core.dir/src/timed_word.cpp.o"
+  "CMakeFiles/rtw_core.dir/src/timed_word.cpp.o.d"
+  "CMakeFiles/rtw_core.dir/src/transform.cpp.o"
+  "CMakeFiles/rtw_core.dir/src/transform.cpp.o.d"
+  "librtw_core.a"
+  "librtw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

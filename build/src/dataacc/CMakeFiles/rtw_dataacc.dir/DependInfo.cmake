@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataacc/src/acceptor.cpp" "src/dataacc/CMakeFiles/rtw_dataacc.dir/src/acceptor.cpp.o" "gcc" "src/dataacc/CMakeFiles/rtw_dataacc.dir/src/acceptor.cpp.o.d"
+  "/root/repo/src/dataacc/src/arrival_law.cpp" "src/dataacc/CMakeFiles/rtw_dataacc.dir/src/arrival_law.cpp.o" "gcc" "src/dataacc/CMakeFiles/rtw_dataacc.dir/src/arrival_law.cpp.o.d"
+  "/root/repo/src/dataacc/src/corrections.cpp" "src/dataacc/CMakeFiles/rtw_dataacc.dir/src/corrections.cpp.o" "gcc" "src/dataacc/CMakeFiles/rtw_dataacc.dir/src/corrections.cpp.o.d"
+  "/root/repo/src/dataacc/src/d_algorithm.cpp" "src/dataacc/CMakeFiles/rtw_dataacc.dir/src/d_algorithm.cpp.o" "gcc" "src/dataacc/CMakeFiles/rtw_dataacc.dir/src/d_algorithm.cpp.o.d"
+  "/root/repo/src/dataacc/src/stream_problem.cpp" "src/dataacc/CMakeFiles/rtw_dataacc.dir/src/stream_problem.cpp.o" "gcc" "src/dataacc/CMakeFiles/rtw_dataacc.dir/src/stream_problem.cpp.o.d"
+  "/root/repo/src/dataacc/src/word.cpp" "src/dataacc/CMakeFiles/rtw_dataacc.dir/src/word.cpp.o" "gcc" "src/dataacc/CMakeFiles/rtw_dataacc.dir/src/word.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rtw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rtw_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtw_dataacc.dir/src/acceptor.cpp.o"
+  "CMakeFiles/rtw_dataacc.dir/src/acceptor.cpp.o.d"
+  "CMakeFiles/rtw_dataacc.dir/src/arrival_law.cpp.o"
+  "CMakeFiles/rtw_dataacc.dir/src/arrival_law.cpp.o.d"
+  "CMakeFiles/rtw_dataacc.dir/src/corrections.cpp.o"
+  "CMakeFiles/rtw_dataacc.dir/src/corrections.cpp.o.d"
+  "CMakeFiles/rtw_dataacc.dir/src/d_algorithm.cpp.o"
+  "CMakeFiles/rtw_dataacc.dir/src/d_algorithm.cpp.o.d"
+  "CMakeFiles/rtw_dataacc.dir/src/stream_problem.cpp.o"
+  "CMakeFiles/rtw_dataacc.dir/src/stream_problem.cpp.o.d"
+  "CMakeFiles/rtw_dataacc.dir/src/word.cpp.o"
+  "CMakeFiles/rtw_dataacc.dir/src/word.cpp.o.d"
+  "librtw_dataacc.a"
+  "librtw_dataacc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtw_dataacc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/deadline/src/acceptor.cpp" "src/deadline/CMakeFiles/rtw_deadline.dir/src/acceptor.cpp.o" "gcc" "src/deadline/CMakeFiles/rtw_deadline.dir/src/acceptor.cpp.o.d"
+  "/root/repo/src/deadline/src/bridge.cpp" "src/deadline/CMakeFiles/rtw_deadline.dir/src/bridge.cpp.o" "gcc" "src/deadline/CMakeFiles/rtw_deadline.dir/src/bridge.cpp.o.d"
+  "/root/repo/src/deadline/src/problem.cpp" "src/deadline/CMakeFiles/rtw_deadline.dir/src/problem.cpp.o" "gcc" "src/deadline/CMakeFiles/rtw_deadline.dir/src/problem.cpp.o.d"
+  "/root/repo/src/deadline/src/scheduling.cpp" "src/deadline/CMakeFiles/rtw_deadline.dir/src/scheduling.cpp.o" "gcc" "src/deadline/CMakeFiles/rtw_deadline.dir/src/scheduling.cpp.o.d"
+  "/root/repo/src/deadline/src/usefulness.cpp" "src/deadline/CMakeFiles/rtw_deadline.dir/src/usefulness.cpp.o" "gcc" "src/deadline/CMakeFiles/rtw_deadline.dir/src/usefulness.cpp.o.d"
+  "/root/repo/src/deadline/src/word.cpp" "src/deadline/CMakeFiles/rtw_deadline.dir/src/word.cpp.o" "gcc" "src/deadline/CMakeFiles/rtw_deadline.dir/src/word.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rtw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rtw_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtw_deadline.dir/src/acceptor.cpp.o"
+  "CMakeFiles/rtw_deadline.dir/src/acceptor.cpp.o.d"
+  "CMakeFiles/rtw_deadline.dir/src/bridge.cpp.o"
+  "CMakeFiles/rtw_deadline.dir/src/bridge.cpp.o.d"
+  "CMakeFiles/rtw_deadline.dir/src/problem.cpp.o"
+  "CMakeFiles/rtw_deadline.dir/src/problem.cpp.o.d"
+  "CMakeFiles/rtw_deadline.dir/src/scheduling.cpp.o"
+  "CMakeFiles/rtw_deadline.dir/src/scheduling.cpp.o.d"
+  "CMakeFiles/rtw_deadline.dir/src/usefulness.cpp.o"
+  "CMakeFiles/rtw_deadline.dir/src/usefulness.cpp.o.d"
+  "CMakeFiles/rtw_deadline.dir/src/word.cpp.o"
+  "CMakeFiles/rtw_deadline.dir/src/word.cpp.o.d"
+  "librtw_deadline.a"
+  "librtw_deadline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtw_deadline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/src/pram.cpp" "src/parallel/CMakeFiles/rtw_parallel.dir/src/pram.cpp.o" "gcc" "src/parallel/CMakeFiles/rtw_parallel.dir/src/pram.cpp.o.d"
+  "/root/repo/src/parallel/src/process.cpp" "src/parallel/CMakeFiles/rtw_parallel.dir/src/process.cpp.o" "gcc" "src/parallel/CMakeFiles/rtw_parallel.dir/src/process.cpp.o.d"
+  "/root/repo/src/parallel/src/rtproc.cpp" "src/parallel/CMakeFiles/rtw_parallel.dir/src/rtproc.cpp.o" "gcc" "src/parallel/CMakeFiles/rtw_parallel.dir/src/rtproc.cpp.o.d"
+  "/root/repo/src/parallel/src/rtproc_word.cpp" "src/parallel/CMakeFiles/rtw_parallel.dir/src/rtproc_word.cpp.o" "gcc" "src/parallel/CMakeFiles/rtw_parallel.dir/src/rtproc_word.cpp.o.d"
+  "/root/repo/src/parallel/src/thread_pool.cpp" "src/parallel/CMakeFiles/rtw_parallel.dir/src/thread_pool.cpp.o" "gcc" "src/parallel/CMakeFiles/rtw_parallel.dir/src/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rtw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rtw_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtw_parallel.dir/src/pram.cpp.o"
+  "CMakeFiles/rtw_parallel.dir/src/pram.cpp.o.d"
+  "CMakeFiles/rtw_parallel.dir/src/process.cpp.o"
+  "CMakeFiles/rtw_parallel.dir/src/process.cpp.o.d"
+  "CMakeFiles/rtw_parallel.dir/src/rtproc.cpp.o"
+  "CMakeFiles/rtw_parallel.dir/src/rtproc.cpp.o.d"
+  "CMakeFiles/rtw_parallel.dir/src/rtproc_word.cpp.o"
+  "CMakeFiles/rtw_parallel.dir/src/rtproc_word.cpp.o.d"
+  "CMakeFiles/rtw_parallel.dir/src/thread_pool.cpp.o"
+  "CMakeFiles/rtw_parallel.dir/src/thread_pool.cpp.o.d"
+  "librtw_parallel.a"
+  "librtw_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtw_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

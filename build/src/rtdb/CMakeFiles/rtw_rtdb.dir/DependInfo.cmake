@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtdb/src/active.cpp" "src/rtdb/CMakeFiles/rtw_rtdb.dir/src/active.cpp.o" "gcc" "src/rtdb/CMakeFiles/rtw_rtdb.dir/src/active.cpp.o.d"
+  "/root/repo/src/rtdb/src/algebra.cpp" "src/rtdb/CMakeFiles/rtw_rtdb.dir/src/algebra.cpp.o" "gcc" "src/rtdb/CMakeFiles/rtw_rtdb.dir/src/algebra.cpp.o.d"
+  "/root/repo/src/rtdb/src/encode.cpp" "src/rtdb/CMakeFiles/rtw_rtdb.dir/src/encode.cpp.o" "gcc" "src/rtdb/CMakeFiles/rtw_rtdb.dir/src/encode.cpp.o.d"
+  "/root/repo/src/rtdb/src/ngc.cpp" "src/rtdb/CMakeFiles/rtw_rtdb.dir/src/ngc.cpp.o" "gcc" "src/rtdb/CMakeFiles/rtw_rtdb.dir/src/ngc.cpp.o.d"
+  "/root/repo/src/rtdb/src/query.cpp" "src/rtdb/CMakeFiles/rtw_rtdb.dir/src/query.cpp.o" "gcc" "src/rtdb/CMakeFiles/rtw_rtdb.dir/src/query.cpp.o.d"
+  "/root/repo/src/rtdb/src/recognition.cpp" "src/rtdb/CMakeFiles/rtw_rtdb.dir/src/recognition.cpp.o" "gcc" "src/rtdb/CMakeFiles/rtw_rtdb.dir/src/recognition.cpp.o.d"
+  "/root/repo/src/rtdb/src/relation.cpp" "src/rtdb/CMakeFiles/rtw_rtdb.dir/src/relation.cpp.o" "gcc" "src/rtdb/CMakeFiles/rtw_rtdb.dir/src/relation.cpp.o.d"
+  "/root/repo/src/rtdb/src/rtdb.cpp" "src/rtdb/CMakeFiles/rtw_rtdb.dir/src/rtdb.cpp.o" "gcc" "src/rtdb/CMakeFiles/rtw_rtdb.dir/src/rtdb.cpp.o.d"
+  "/root/repo/src/rtdb/src/temporal.cpp" "src/rtdb/CMakeFiles/rtw_rtdb.dir/src/temporal.cpp.o" "gcc" "src/rtdb/CMakeFiles/rtw_rtdb.dir/src/temporal.cpp.o.d"
+  "/root/repo/src/rtdb/src/value.cpp" "src/rtdb/CMakeFiles/rtw_rtdb.dir/src/value.cpp.o" "gcc" "src/rtdb/CMakeFiles/rtw_rtdb.dir/src/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rtw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rtw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/deadline/CMakeFiles/rtw_deadline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

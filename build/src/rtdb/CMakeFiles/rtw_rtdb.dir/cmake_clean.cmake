@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtw_rtdb.dir/src/active.cpp.o"
+  "CMakeFiles/rtw_rtdb.dir/src/active.cpp.o.d"
+  "CMakeFiles/rtw_rtdb.dir/src/algebra.cpp.o"
+  "CMakeFiles/rtw_rtdb.dir/src/algebra.cpp.o.d"
+  "CMakeFiles/rtw_rtdb.dir/src/encode.cpp.o"
+  "CMakeFiles/rtw_rtdb.dir/src/encode.cpp.o.d"
+  "CMakeFiles/rtw_rtdb.dir/src/ngc.cpp.o"
+  "CMakeFiles/rtw_rtdb.dir/src/ngc.cpp.o.d"
+  "CMakeFiles/rtw_rtdb.dir/src/query.cpp.o"
+  "CMakeFiles/rtw_rtdb.dir/src/query.cpp.o.d"
+  "CMakeFiles/rtw_rtdb.dir/src/recognition.cpp.o"
+  "CMakeFiles/rtw_rtdb.dir/src/recognition.cpp.o.d"
+  "CMakeFiles/rtw_rtdb.dir/src/relation.cpp.o"
+  "CMakeFiles/rtw_rtdb.dir/src/relation.cpp.o.d"
+  "CMakeFiles/rtw_rtdb.dir/src/rtdb.cpp.o"
+  "CMakeFiles/rtw_rtdb.dir/src/rtdb.cpp.o.d"
+  "CMakeFiles/rtw_rtdb.dir/src/temporal.cpp.o"
+  "CMakeFiles/rtw_rtdb.dir/src/temporal.cpp.o.d"
+  "CMakeFiles/rtw_rtdb.dir/src/value.cpp.o"
+  "CMakeFiles/rtw_rtdb.dir/src/value.cpp.o.d"
+  "librtw_rtdb.a"
+  "librtw_rtdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtw_rtdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librtw_rtdb.a"
+)

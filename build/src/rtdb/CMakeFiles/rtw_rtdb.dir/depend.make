@@ -1,0 +1,2 @@
+# Empty dependencies file for rtw_rtdb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/src/event_queue.cpp" "src/sim/CMakeFiles/rtw_sim.dir/src/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/rtw_sim.dir/src/event_queue.cpp.o.d"
+  "/root/repo/src/sim/src/histogram.cpp" "src/sim/CMakeFiles/rtw_sim.dir/src/histogram.cpp.o" "gcc" "src/sim/CMakeFiles/rtw_sim.dir/src/histogram.cpp.o.d"
+  "/root/repo/src/sim/src/rng.cpp" "src/sim/CMakeFiles/rtw_sim.dir/src/rng.cpp.o" "gcc" "src/sim/CMakeFiles/rtw_sim.dir/src/rng.cpp.o.d"
+  "/root/repo/src/sim/src/stats.cpp" "src/sim/CMakeFiles/rtw_sim.dir/src/stats.cpp.o" "gcc" "src/sim/CMakeFiles/rtw_sim.dir/src/stats.cpp.o.d"
+  "/root/repo/src/sim/src/table.cpp" "src/sim/CMakeFiles/rtw_sim.dir/src/table.cpp.o" "gcc" "src/sim/CMakeFiles/rtw_sim.dir/src/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtw_sim.dir/src/event_queue.cpp.o"
+  "CMakeFiles/rtw_sim.dir/src/event_queue.cpp.o.d"
+  "CMakeFiles/rtw_sim.dir/src/histogram.cpp.o"
+  "CMakeFiles/rtw_sim.dir/src/histogram.cpp.o.d"
+  "CMakeFiles/rtw_sim.dir/src/rng.cpp.o"
+  "CMakeFiles/rtw_sim.dir/src/rng.cpp.o.d"
+  "CMakeFiles/rtw_sim.dir/src/stats.cpp.o"
+  "CMakeFiles/rtw_sim.dir/src/stats.cpp.o.d"
+  "CMakeFiles/rtw_sim.dir/src/table.cpp.o"
+  "CMakeFiles/rtw_sim.dir/src/table.cpp.o.d"
+  "librtw_sim.a"
+  "librtw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adhoc_lossy.dir/test_adhoc_lossy.cpp.o"
+  "CMakeFiles/test_adhoc_lossy.dir/test_adhoc_lossy.cpp.o.d"
+  "test_adhoc_lossy"
+  "test_adhoc_lossy.pdb"
+  "test_adhoc_lossy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adhoc_lossy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

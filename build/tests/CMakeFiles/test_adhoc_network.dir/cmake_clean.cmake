@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adhoc_network.dir/test_adhoc_network.cpp.o"
+  "CMakeFiles/test_adhoc_network.dir/test_adhoc_network.cpp.o.d"
+  "test_adhoc_network"
+  "test_adhoc_network.pdb"
+  "test_adhoc_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adhoc_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

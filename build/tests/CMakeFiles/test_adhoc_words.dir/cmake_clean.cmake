@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adhoc_words.dir/test_adhoc_words.cpp.o"
+  "CMakeFiles/test_adhoc_words.dir/test_adhoc_words.cpp.o.d"
+  "test_adhoc_words"
+  "test_adhoc_words.pdb"
+  "test_adhoc_words[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adhoc_words.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

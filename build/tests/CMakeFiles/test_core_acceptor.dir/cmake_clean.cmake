@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_acceptor.dir/test_core_acceptor.cpp.o"
+  "CMakeFiles/test_core_acceptor.dir/test_core_acceptor.cpp.o.d"
+  "test_core_acceptor"
+  "test_core_acceptor.pdb"
+  "test_core_acceptor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_acceptor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

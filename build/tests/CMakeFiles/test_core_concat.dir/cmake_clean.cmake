@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_concat.dir/test_core_concat.cpp.o"
+  "CMakeFiles/test_core_concat.dir/test_core_concat.cpp.o.d"
+  "test_core_concat"
+  "test_core_concat.pdb"
+  "test_core_concat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_concat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_transform.dir/test_core_transform.cpp.o"
+  "CMakeFiles/test_core_transform.dir/test_core_transform.cpp.o.d"
+  "test_core_transform"
+  "test_core_transform.pdb"
+  "test_core_transform[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

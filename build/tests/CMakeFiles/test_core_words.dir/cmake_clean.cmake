@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_words.dir/test_core_words.cpp.o"
+  "CMakeFiles/test_core_words.dir/test_core_words.cpp.o.d"
+  "test_core_words"
+  "test_core_words.pdb"
+  "test_core_words[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_words.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataacc.dir/test_dataacc.cpp.o"
+  "CMakeFiles/test_dataacc.dir/test_dataacc.cpp.o.d"
+  "test_dataacc"
+  "test_dataacc.pdb"
+  "test_dataacc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataacc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deadline_bridge.dir/test_deadline_bridge.cpp.o"
+  "CMakeFiles/test_deadline_bridge.dir/test_deadline_bridge.cpp.o.d"
+  "test_deadline_bridge"
+  "test_deadline_bridge.pdb"
+  "test_deadline_bridge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deadline_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

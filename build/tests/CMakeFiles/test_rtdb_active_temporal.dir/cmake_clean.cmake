@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtdb_active_temporal.dir/test_rtdb_active_temporal.cpp.o"
+  "CMakeFiles/test_rtdb_active_temporal.dir/test_rtdb_active_temporal.cpp.o.d"
+  "test_rtdb_active_temporal"
+  "test_rtdb_active_temporal.pdb"
+  "test_rtdb_active_temporal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtdb_active_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtdb_encode.dir/test_rtdb_encode.cpp.o"
+  "CMakeFiles/test_rtdb_encode.dir/test_rtdb_encode.cpp.o.d"
+  "test_rtdb_encode"
+  "test_rtdb_encode.pdb"
+  "test_rtdb_encode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtdb_encode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

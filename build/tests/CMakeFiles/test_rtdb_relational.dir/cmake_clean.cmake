@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtdb_relational.dir/test_rtdb_relational.cpp.o"
+  "CMakeFiles/test_rtdb_relational.dir/test_rtdb_relational.cpp.o.d"
+  "test_rtdb_relational"
+  "test_rtdb_relational.pdb"
+  "test_rtdb_relational[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtdb_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timed_buchi.dir/test_timed_buchi.cpp.o"
+  "CMakeFiles/test_timed_buchi.dir/test_timed_buchi.cpp.o.d"
+  "test_timed_buchi"
+  "test_timed_buchi.pdb"
+  "test_timed_buchi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timed_buchi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

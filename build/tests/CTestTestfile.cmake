@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_core_words[1]_include.cmake")
+include("/root/repo/build/tests/test_core_concat[1]_include.cmake")
+include("/root/repo/build/tests/test_core_acceptor[1]_include.cmake")
+include("/root/repo/build/tests/test_automata[1]_include.cmake")
+include("/root/repo/build/tests/test_timed_buchi[1]_include.cmake")
+include("/root/repo/build/tests/test_deadline[1]_include.cmake")
+include("/root/repo/build/tests/test_dataacc[1]_include.cmake")
+include("/root/repo/build/tests/test_rtdb_relational[1]_include.cmake")
+include("/root/repo/build/tests/test_rtdb_active_temporal[1]_include.cmake")
+include("/root/repo/build/tests/test_rtdb_encode[1]_include.cmake")
+include("/root/repo/build/tests/test_adhoc_network[1]_include.cmake")
+include("/root/repo/build/tests/test_adhoc_words[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_deadline_bridge[1]_include.cmake")
+include("/root/repo/build/tests/test_core_transform[1]_include.cmake")
+include("/root/repo/build/tests/test_adhoc_lossy[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_coverage[1]_include.cmake")
