@@ -22,7 +22,9 @@
 #include "rtw/automata/timed_buchi.hpp"
 #include "rtw/core/acceptor.hpp"
 #include "rtw/deadline/acceptor.hpp"
+#include "rtw/engine/engine.hpp"
 #include "rtw/par/rtproc.hpp"
+#include "rtw/sim/jsonl.hpp"
 #include "rtw/sim/table.hpp"
 
 using rtw::core::Symbol;
@@ -46,7 +48,8 @@ int main() {
   std::cout << "==========================================================\n\n";
   {
     rtw::sim::Table t({"t_d", "verdict (ff on)", "verdict (ff off)",
-                       "ticks on", "ticks off"});
+                       "ticks visited on", "ticks visited off", "skipped"});
+    std::vector<std::string> json;
     for (Tick t_d : {100u, 1000u, 10000u}) {
       rtw::deadline::FixedCostProblem pi(50);
       rtw::deadline::DeadlineInstance inst;
@@ -59,18 +62,33 @@ int main() {
       rtw::core::RunOptions on, off;
       on.fast_forward = true;
       off.fast_forward = false;
-      const auto ron = rtw::core::run_acceptor(acceptor, word, on);
-      const auto roff = rtw::core::run_acceptor(acceptor, word, off);
+      // The engine's RunTrace exposes the ablated quantity directly:
+      // ticks the driver visited vs ticks the heap skipped over.
+      const auto ron = rtw::engine::run(acceptor, word, on);
+      const auto roff = rtw::engine::run(acceptor, word, off);
       t.row().cell(std::to_string(t_d));
-      t.cell(ron.accepted ? "ACCEPT" : "reject");
-      t.cell(roff.accepted ? "ACCEPT" : "reject");
-      t.cell(ron.ticks);
-      t.cell(roff.ticks);
+      t.cell(ron.result.accepted ? "ACCEPT" : "reject");
+      t.cell(roff.result.accepted ? "ACCEPT" : "reject");
+      t.cell(ron.trace.ticks_executed);
+      t.cell(roff.trace.ticks_executed);
+      t.cell(ron.trace.ticks_skipped);
+      json.push_back(rtw::sim::JsonLine()
+                         .field("bench", "ablation")
+                         .field("table", "a1_fast_forward")
+                         .field("t_d", t_d)
+                         .field("accepted_on", ron.result.accepted)
+                         .field("accepted_off", roff.result.accepted)
+                         .field("ticks_on", ron.trace.ticks_executed)
+                         .field("ticks_off", roff.trace.ticks_executed)
+                         .field("ticks_skipped", ron.trace.ticks_skipped)
+                         .str());
     }
     t.print(std::cout, 1);
     std::cout << "\n(verdicts identical; deadline words are dense so the "
                  "tick counts match too --\nfast-forward pays off on "
                  "sparse words, cf. the RunOptions documentation)\n\n";
+    for (const auto& line : json) std::cout << line << "\n";
+    std::cout << "\n";
   }
 
   std::cout << "==========================================================\n";
@@ -85,17 +103,27 @@ int main() {
     tba.add_transition(
         {1, 0, Symbol::chr('b'), {}, ClockConstraint::le(0, 2)});
     tba.add_final(0);
+    std::vector<std::string> json;
     for (Tick gap : {1u, 2u, 3u, 100u, 1000000u}) {
       auto w = rtw::core::TimedWord::lasso(
           {}, {{Symbol::chr('a'), 0}, {Symbol::chr('b'), gap}}, gap + 2);
+      const bool ok = tba.accepts_lasso(w);
       t.row().cell(std::to_string(gap));
-      t.cell(tba.accepts_lasso(w) ? "ACCEPT" : "reject");
+      t.cell(ok ? "ACCEPT" : "reject");
       t.cell(gap <= 2 ? "guard holds" : "capped at cmax+1: still exact");
+      json.push_back(rtw::sim::JsonLine()
+                         .field("bench", "ablation")
+                         .field("table", "a2_valuation_cap")
+                         .field("gap", gap)
+                         .field("accepted", ok)
+                         .str());
     }
     t.print(std::cout, 1);
     std::cout << "\n(unbounded elapsed times cannot blow up the product "
                  "graph: every value above\ncmax = 2 is identified, and "
                  "the verdicts stay exact)\n\n";
+    for (const auto& line : json) std::cout << line << "\n";
+    std::cout << "\n";
   }
 
   std::cout << "==========================================================\n";
@@ -103,6 +131,7 @@ int main() {
   std::cout << "==========================================================\n\n";
   {
     rtw::sim::Table t({"update period", "delivery ratio", "ctrl tx/msg"});
+    std::vector<std::string> json;
     for (Tick period : {5u, 10u, 20u, 40u, 80u}) {
       NetworkConfig config;
       config.nodes = 20;
@@ -129,11 +158,23 @@ int main() {
       t.cell(static_cast<double>(metrics.control_transmissions) /
                  static_cast<double>(messages.size()),
              1);
+      json.push_back(rtw::sim::JsonLine()
+                         .field("bench", "ablation")
+                         .field("table", "a3_dsdv_period")
+                         .field("period", period)
+                         .field("delivery_ratio", metrics.delivery_ratio())
+                         .field("ctrl_tx_per_msg",
+                                static_cast<double>(
+                                    metrics.control_transmissions) /
+                                    static_cast<double>(messages.size()))
+                         .str());
     }
     t.print(std::cout, 1);
     std::cout << "\n(expected: short periods buy delivery with control "
                  "traffic; long periods starve\nthe tables and delivery "
                  "collapses)\n\n";
+    for (const auto& line : json) std::cout << line << "\n";
+    std::cout << "\n";
   }
 
   std::cout << "==========================================================\n";
@@ -141,6 +182,7 @@ int main() {
   std::cout << "==========================================================\n\n";
   {
     rtw::sim::Table t({"lifetime", "delivery ratio", "ctrl tx/msg"});
+    std::vector<std::string> json;
     for (Tick life : {10u, 40u, 120u, 480u}) {
       NetworkConfig config;
       config.nodes = 20;
@@ -167,11 +209,23 @@ int main() {
       t.cell(static_cast<double>(metrics.control_transmissions) /
                  static_cast<double>(messages.size()),
              1);
+      json.push_back(rtw::sim::JsonLine()
+                         .field("bench", "ablation")
+                         .field("table", "a4_aodv_lifetime")
+                         .field("lifetime", life)
+                         .field("delivery_ratio", metrics.delivery_ratio())
+                         .field("ctrl_tx_per_msg",
+                                static_cast<double>(
+                                    metrics.control_transmissions) /
+                                    static_cast<double>(messages.size()))
+                         .str());
     }
     t.print(std::cout, 1);
     std::cout << "\n(expected: very short lifetimes re-flood constantly; "
                  "very long ones forward\nonto stale next-hops under "
                  "mobility)\n\n";
+    for (const auto& line : json) std::cout << line << "\n";
+    std::cout << "\n";
   }
 
   std::cout << "==========================================================\n";
@@ -179,18 +233,27 @@ int main() {
   std::cout << "==========================================================\n\n";
   {
     rtw::sim::Table t({"slack", "p=m=1", "p=m=2", "p=m=4"});
+    std::vector<std::string> json;
     for (Tick slack : {0u, 1u, 2u, 8u}) {
       t.row().cell(std::to_string(slack));
       for (std::uint32_t pm : {1u, 2u, 4u}) {
         const auto outcome =
             rtw::par::run_rtproc_trial({pm, pm, slack, 256});
         t.cell(outcome.accepted ? "ACCEPT" : "reject");
+        json.push_back(rtw::sim::JsonLine()
+                           .field("bench", "ablation")
+                           .field("table", "a5_rtproc_slack")
+                           .field("slack", slack)
+                           .field("pm", pm)
+                           .field("accepted", outcome.accepted)
+                           .str());
       }
     }
     t.print(std::cout, 1);
     std::cout << "\n(expected: p = m = 1 works even at slack 0 -- the "
                  "dispatcher keeps its token\nlocal; p = m > 1 needs slack "
-                 ">= 1 to absorb the send-to-worker latency)\n";
+                 ">= 1 to absorb the send-to-worker latency)\n\n";
+    for (const auto& line : json) std::cout << line << "\n";
   }
   std::cout << "\n==========================================================\n";
   std::cout << " A6: ALOHA interference (collision radio) on routing\n";
@@ -198,6 +261,7 @@ int main() {
   {
     rtw::sim::Table t({"protocol", "delivery (clean)", "delivery (ALOHA)",
                        "collided pkts"});
+    std::vector<std::string> json;
     struct Row {
       const char* name;
       ProtocolFactory factory;
@@ -236,11 +300,20 @@ int main() {
       t.cell(clean.delivery_ratio(), 3);
       t.cell(noisy.delivery_ratio(), 3);
       t.cell(c1);
+      json.push_back(rtw::sim::JsonLine()
+                         .field("bench", "ablation")
+                         .field("table", "a6_aloha")
+                         .field("protocol", row.name)
+                         .field("delivery_clean", clean.delivery_ratio())
+                         .field("delivery_aloha", noisy.delivery_ratio())
+                         .field("collided", c1)
+                         .str());
     }
     t.print(std::cout, 1);
     std::cout << "\n(expected: broadcast-heavy protocols suffer most under "
                  "interference --\nflooding storms collide at every dense "
-                 "node, unicast chains survive better)\n";
+                 "node, unicast chains survive better)\n\n";
+    for (const auto& line : json) std::cout << line << "\n";
   }
   (void)seconds_of;  // reserved for future timing rows
   return 0;

@@ -15,9 +15,12 @@
 //   rate.
 
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "rtw/dataacc/acceptor.hpp"
 #include "rtw/dataacc/d_algorithm.hpp"
+#include "rtw/sim/jsonl.hpp"
 #include "rtw/sim/table.hpp"
 
 using namespace rtw::dataacc;
@@ -32,6 +35,7 @@ int main() {
   std::cout << "==========================================================\n\n";
   rtw::sim::Table t1(
       {"beta", "predicted t*", "simulated t*", "processed", "verdict"});
+  std::vector<std::string> t1_json;
   for (double beta : {0.2, 0.4, 0.6, 0.8, 0.9, 1.0, 1.1, 1.5}) {
     ArrivalLaw law(16, 0.5, 0.0, beta);
     const auto predicted = predicted_termination(law, {1, 1}, horizon);
@@ -46,16 +50,28 @@ int main() {
     t1.cell(run.processed);
     const bool agree = predicted.has_value() == run.terminated;
     t1.cell(agree ? "agree" : "DISAGREE");
+    rtw::sim::JsonLine line;
+    line.field("bench", "dataacc_laws")
+        .field("table", "t1_termination_vs_beta")
+        .field("beta", beta)
+        .field("terminated", run.terminated);
+    if (predicted) line.field("predicted_t", *predicted);
+    if (run.terminated) line.field("simulated_t", run.termination_time);
+    line.field("processed", run.processed).field("agree", agree);
+    t1_json.push_back(line.str());
   }
   t1.print(std::cout, 1);
   std::cout << "\nexpected shape: t* grows with beta; beta = 1 with "
                "k*cost = 0.5 < 1 still terminates;\nbeta > 1 diverges.\n\n";
+  for (const auto& line : t1_json) std::cout << line << "\n";
+  std::cout << "\n";
 
   std::cout << "==========================================================\n";
   std::cout << " EXP-DA Table 2: success frontier in (k, processors)\n";
   std::cout << " (n=8, beta=1, cost=2: terminates iff k*cost/p < 1)\n";
   std::cout << "==========================================================\n\n";
   rtw::sim::Table t2({"k \\ p", "p=1", "p=2", "p=3", "p=4"});
+  std::vector<std::string> t2_json;
   for (double k : {0.3, 0.6, 0.9, 1.2, 1.8, 2.4}) {
     t2.row().cell(k, 1);
     for (std::uint32_t p = 1; p <= 4; ++p) {
@@ -67,12 +83,22 @@ int main() {
       t2.cell(run.terminated
                   ? "t*=" + std::to_string(run.termination_time)
                   : "diverges");
+      rtw::sim::JsonLine line;
+      line.field("bench", "dataacc_laws")
+          .field("table", "t2_success_frontier")
+          .field("k", k)
+          .field("processors", p)
+          .field("terminated", run.terminated);
+      if (run.terminated) line.field("t_star", run.termination_time);
+      t2_json.push_back(line.str());
     }
   }
   t2.print(std::cout, 1);
   std::cout << "\nexpected shape: the feasibility frontier moves right "
                "with p (k < p/cost = p/2);\neach processor added turns a "
                "failing rate into a succeeding one.\n\n";
+  for (const auto& line : t2_json) std::cout << line << "\n";
+  std::cout << "\n";
 
   std::cout << "==========================================================\n";
   std::cout << " EXP-DA Table 3: c-algorithms (corrections) vs rate\n";
@@ -80,6 +106,7 @@ int main() {
   std::cout << "==========================================================\n\n";
   rtw::sim::Table t3({"beta", "terminated", "t*", "corrections",
                       "reprocessed units"});
+  std::vector<std::string> t3_json;
   for (double beta : {0.3, 0.5, 0.7, 0.9, 1.0}) {
     ArrivalLaw law(32, 0.4, 0.0, beta);
     const auto run = run_c_algorithm(law, {1, 1}, 3, 50000);
@@ -88,10 +115,20 @@ int main() {
     t3.cell(run.terminated ? std::to_string(run.termination_time) : "-");
     t3.cell(run.corrections_applied);
     t3.cell(run.reprocessed_units);
+    rtw::sim::JsonLine line;
+    line.field("bench", "dataacc_laws")
+        .field("table", "t3_corrections")
+        .field("beta", beta)
+        .field("terminated", run.terminated);
+    if (run.terminated) line.field("t_star", run.termination_time);
+    line.field("corrections", run.corrections_applied)
+        .field("reprocessed", run.reprocessed_units);
+    t3_json.push_back(line.str());
   }
   t3.print(std::cout, 1);
   std::cout << "\nexpected shape: corrections multiply work by their cost; "
                "the same critical-rate\nstructure as Table 1 with the "
-               "effective rate k*correction_cost.\n";
+               "effective rate k*correction_cost.\n\n";
+  for (const auto& line : t3_json) std::cout << line << "\n";
   return 0;
 }

@@ -5,36 +5,32 @@
 //   usefulness profiles.  Expected shape: firm acceptance is a step
 //   function that collapses exactly at tightness 1.0; soft profiles
 //   degrade gradually, ordered by how fast their decay crosses the
-//   usefulness floor.
+//   usefulness floor.  The whole grid runs as one
+//   rtw::deadline::accepts_instances batch through the engine.
 //
 // Table 2: scheduler deadline-miss rates vs utilization for EDF / LLF /
 //   RM / FIFO on random periodic task sets.  Expected shape (classic
 //   scheduling theory): EDF and LLF meet everything up to U = 1; RM
 //   starts missing below 1 on unharmonic sets; FIFO is worst throughout.
+//   The per-seed replications fan out across rtw::engine::BatchRunner
+//   (seeded per index, so the numbers match the old serial loop exactly).
+//
+// After each table the same data is emitted as JSON Lines (one object per
+// scenario, tagged with "bench" and "table") for machine scraping.
 
+#include <array>
 #include <iostream>
+#include <vector>
 
 #include "rtw/deadline/acceptor.hpp"
 #include "rtw/deadline/scheduling.hpp"
+#include "rtw/engine/batch.hpp"
+#include "rtw/sim/jsonl.hpp"
 #include "rtw/sim/table.hpp"
 
 using namespace rtw::deadline;
 using rtw::core::Symbol;
 using rtw::core::Tick;
-
-namespace {
-
-bool accepts_with(const Usefulness& u, std::uint64_t floor, Tick cost) {
-  FixedCostProblem pi(cost);
-  DeadlineInstance inst;
-  inst.input = {Symbol::nat(1)};
-  inst.proposed_output = inst.input;
-  inst.usefulness = u;
-  inst.min_acceptable = floor;
-  return accepts_instance(pi, inst);
-}
-
-}  // namespace
 
 int main() {
   std::cout << "==========================================================\n";
@@ -43,51 +39,99 @@ int main() {
   std::cout << "==========================================================\n\n";
 
   const Tick cost = 40;
+  const std::vector<double> ratios = {0.25, 0.5,  0.75, 0.95, 1.0,
+                                      1.05, 1.25, 1.5,  2.0};
+  const std::array<const char*, 4> profiles = {"firm", "soft-hyperbolic",
+                                               "soft-linear(40)",
+                                               "no-deadline"};
+  // Row-major (ratio, profile) grid of instances, one engine batch run.
+  std::vector<DeadlineInstance> grid;
+  for (double ratio : ratios) {
+    const Tick t_d = static_cast<Tick>(ratio * static_cast<double>(cost));
+    const std::array<Usefulness, 4> us = {
+        Usefulness::firm(t_d, 100), Usefulness::hyperbolic(t_d, 100),
+        Usefulness::linear(t_d, 100, 40), Usefulness::none(100)};
+    for (const auto& u : us) {
+      DeadlineInstance inst;
+      inst.input = {Symbol::nat(1)};
+      inst.proposed_output = inst.input;
+      inst.usefulness = u;
+      inst.min_acceptable = 10;
+      grid.push_back(std::move(inst));
+    }
+  }
+  FixedCostProblem pi(cost);
+  const auto verdicts = accepts_instances(pi, grid);
+
   rtw::sim::Table t1({"t_d/cost", "firm", "soft-hyperbolic", "soft-linear(40)",
                       "no-deadline"});
-  for (double ratio : {0.25, 0.5, 0.75, 0.95, 1.0, 1.05, 1.25, 1.5, 2.0}) {
-    const Tick t_d = static_cast<Tick>(ratio * static_cast<double>(cost));
+  std::size_t flat = 0;
+  for (double ratio : ratios) {
     t1.row().cell(ratio, 2);
-    t1.cell(accepts_with(Usefulness::firm(t_d, 100), 10, cost) ? "ACCEPT"
-                                                               : "reject");
-    t1.cell(accepts_with(Usefulness::hyperbolic(t_d, 100), 10, cost)
-                ? "ACCEPT"
-                : "reject");
-    t1.cell(accepts_with(Usefulness::linear(t_d, 100, 40), 10, cost)
-                ? "ACCEPT"
-                : "reject");
-    t1.cell(accepts_with(Usefulness::none(100), 10, cost) ? "ACCEPT"
-                                                          : "reject");
+    for (std::size_t p = 0; p < profiles.size(); ++p)
+      t1.cell(verdicts[flat++] ? "ACCEPT" : "reject");
   }
   t1.print(std::cout, 1);
   std::cout << "\nexpected shape: firm flips at 1.0; hyperbolic keeps "
                "accepting until u(T) < 10\n(i.e. ~10 ticks past t_d); "
                "linear until 36 ticks past; no-deadline always accepts.\n\n";
+  flat = 0;
+  for (double ratio : ratios)
+    for (const char* profile : profiles)
+      std::cout << rtw::sim::JsonLine()
+                       .field("bench", "deadline_sweep")
+                       .field("table", "t1_tightness")
+                       .field("ratio", ratio)
+                       .field("profile", profile)
+                       .field("cost", cost)
+                       .field("accepted", static_cast<bool>(verdicts[flat++]))
+                       .str()
+                << "\n";
+  std::cout << "\n";
 
   std::cout << "==========================================================\n";
   std::cout << " EXP-DL Table 2: deadline miss rate vs utilization\n";
   std::cout << " (5 periodic tasks, UUniFast, horizon 2000, 8 seeds)\n";
   std::cout << "==========================================================\n\n";
 
+  const Policy policies[4] = {Policy::Edf, Policy::Llf, Policy::RateMonotonic,
+                              Policy::Fifo};
+  rtw::engine::BatchRunner runner;  // hardware concurrency
   rtw::sim::Table t2({"U", "EDF", "LLF", "RM", "FIFO"});
+  std::vector<std::string> t2_json;
   for (double u : {0.4, 0.6, 0.8, 0.9, 0.95, 1.05, 1.2}) {
+    // Eight replications, one per seed, fanned across the pool.  Each job
+    // seeds its own generator from the replication index (same constants
+    // as the historical serial loop), so the result is thread-invariant.
+    const auto rates = runner.map(
+        8, [&](std::size_t index, rtw::sim::Xoshiro256ss&) {
+          rtw::sim::Xoshiro256ss rng((index + 1) * 1000 + 7);
+          const auto tasks = random_task_set(5, u, rng);
+          std::array<double, 4> miss{};
+          for (int p = 0; p < 4; ++p)
+            miss[p] = simulate_schedule(tasks, policies[p], 2000).miss_rate();
+          return miss;
+        });
     double miss[4] = {0, 0, 0, 0};
-    const Policy policies[4] = {Policy::Edf, Policy::Llf,
-                                Policy::RateMonotonic, Policy::Fifo};
-    int runs = 0;
-    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
-      rtw::sim::Xoshiro256ss rng(seed * 1000 + 7);
-      const auto tasks = random_task_set(5, u, rng);
-      ++runs;
-      for (int p = 0; p < 4; ++p)
-        miss[p] += simulate_schedule(tasks, policies[p], 2000).miss_rate();
-    }
+    for (const auto& r : rates)
+      for (int p = 0; p < 4; ++p) miss[p] += r[p];
     t2.row().cell(u, 2);
-    for (int p = 0; p < 4; ++p) t2.cell(miss[p] / runs, 4);
+    for (int p = 0; p < 4; ++p) t2.cell(miss[p] / rates.size(), 4);
+    t2_json.push_back(rtw::sim::JsonLine()
+                          .field("bench", "deadline_sweep")
+                          .field("table", "t2_miss_rate")
+                          .field("utilization", u)
+                          .field("seeds", rates.size())
+                          .field("edf", miss[0] / rates.size())
+                          .field("llf", miss[1] / rates.size())
+                          .field("rm", miss[2] / rates.size())
+                          .field("fifo", miss[3] / rates.size())
+                          .str());
   }
   t2.print(std::cout, 1);
   std::cout << "\nexpected shape: EDF ~ LLF ~ 0 up to U = 1 (both optimal on "
                "the uniprocessor),\nRM misses on unharmonic sets below 1, "
-               "FIFO misses earliest and most.\n";
+               "FIFO misses earliest and most.\n\n";
+  for (const auto& line : t2_json) std::cout << line << "\n";
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "rtw/rtdb/ngc.hpp"
+#include "rtw/sim/jsonl.hpp"
 
 int main() {
   using namespace rtw::rtdb;
@@ -32,6 +33,14 @@ int main() {
   std::cout << "paper-vs-measured: "
             << (exact ? "EXACT MATCH (3 rows, same order)"
                       : "MISMATCH -- reproduction failure")
+            << "\n\n";
+  std::cout << rtw::sim::JsonLine()
+                   .field("bench", "fig1_fig2")
+                   .field("table", "figure2")
+                   .field("rows", result.tuples().size())
+                   .field("expected_rows", expected.tuples().size())
+                   .field("exact_match", exact)
+                   .str()
             << "\n";
   return exact ? EXIT_SUCCESS : EXIT_FAILURE;
 }

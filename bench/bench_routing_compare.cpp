@@ -17,10 +17,14 @@
 // on-demand overhead falls as the network gets more static.
 
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "rtw/adhoc/metrics.hpp"
 #include "rtw/adhoc/protocols.hpp"
 #include "rtw/adhoc/words.hpp"
+#include "rtw/engine/batch.hpp"
+#include "rtw/sim/jsonl.hpp"
 #include "rtw/sim/table.hpp"
 
 using namespace rtw::adhoc;
@@ -89,16 +93,43 @@ int main() {
   std::cout << " (3 seeds per cell; pause 500 = essentially static)\n";
   std::cout << "==========================================================\n\n";
 
+  // Every (protocol, pause, seed) replication is independent: run the
+  // whole grid once through the engine's BatchRunner and aggregate the
+  // three tables from the shared results (the old code re-ran each cell
+  // per table).
+  struct Cell {
+    std::size_t protocol;
+    Tick pause;
+    std::uint64_t seed;
+  };
+  std::vector<Cell> cells;
+  for (std::size_t p = 0; p < protocols.size(); ++p)
+    for (Tick pause : pauses)
+      for (auto seed : seeds) cells.push_back({p, pause, seed});
+  rtw::engine::BatchRunner runner;
+  const auto metrics_flat = runner.map(
+      cells.size(), [&](std::size_t i, rtw::sim::Xoshiro256ss&) {
+        const auto& c = cells[i];
+        return run_cell(protocols[c.protocol].factory, c.pause, c.seed);
+      });
+  auto cell_metrics = [&](std::size_t protocol, Tick pause) {
+    std::vector<RoutingMetrics> out;
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      if (cells[i].protocol == protocol && cells[i].pause == pause)
+        out.push_back(metrics_flat[i]);
+    return out;
+  };
+
   std::cout << "--- delivery ratio vs pause time --------------------------\n";
   rtw::sim::Table td({"protocol", "pause 0", "pause 30", "pause 120",
                       "pause 500"});
-  for (const auto& p : protocols) {
-    td.row().cell(p.name);
+  for (std::size_t p = 0; p < protocols.size(); ++p) {
+    td.row().cell(protocols[p].name);
     for (Tick pause : pauses) {
       double ratio = 0;
-      for (auto seed : seeds) ratio += run_cell(p.factory, pause, seed)
-                                            .delivery_ratio();
-      td.cell(ratio / static_cast<double>(seeds.size()), 3);
+      const auto ms = cell_metrics(p, pause);
+      for (const auto& m : ms) ratio += m.delivery_ratio();
+      td.cell(ratio / static_cast<double>(ms.size()), 3);
     }
   }
   td.print(std::cout, 1);
@@ -106,13 +137,13 @@ int main() {
   std::cout << "\n--- transmissions per originated message ----------------\n";
   rtw::sim::Table to({"protocol", "pause 0", "pause 30", "pause 120",
                       "pause 500"});
-  for (const auto& p : protocols) {
-    to.row().cell(p.name);
+  for (std::size_t p = 0; p < protocols.size(); ++p) {
+    to.row().cell(protocols[p].name);
     for (Tick pause : pauses) {
       double overhead = 0;
-      for (auto seed : seeds)
-        overhead += run_cell(p.factory, pause, seed).overhead_per_message();
-      to.cell(overhead / static_cast<double>(seeds.size()), 1);
+      const auto ms = cell_metrics(p, pause);
+      for (const auto& m : ms) overhead += m.overhead_per_message();
+      to.cell(overhead / static_cast<double>(ms.size()), 1);
     }
   }
   to.print(std::cout, 1);
@@ -120,16 +151,42 @@ int main() {
   std::cout << "\n--- mean extra hops above the optimal path --------------\n";
   rtw::sim::Table th({"protocol", "pause 0", "pause 30", "pause 120",
                       "pause 500"});
-  for (const auto& p : protocols) {
-    th.row().cell(p.name);
+  for (std::size_t p = 0; p < protocols.size(); ++p) {
+    th.row().cell(protocols[p].name);
     for (Tick pause : pauses) {
       rtw::sim::OnlineStats agg;
-      for (auto seed : seeds)
-        agg.merge(run_cell(p.factory, pause, seed).hop_difference);
+      for (const auto& m : cell_metrics(p, pause)) agg.merge(m.hop_difference);
       th.cell(agg.mean(), 2);
     }
   }
   th.print(std::cout, 1);
+
+  std::cout << "\n";
+  for (std::size_t p = 0; p < protocols.size(); ++p) {
+    for (Tick pause : pauses) {
+      const auto ms = cell_metrics(p, pause);
+      double ratio = 0, overhead = 0;
+      rtw::sim::OnlineStats agg;
+      for (const auto& m : ms) {
+        ratio += m.delivery_ratio();
+        overhead += m.overhead_per_message();
+        agg.merge(m.hop_difference);
+      }
+      std::cout << rtw::sim::JsonLine()
+                       .field("bench", "routing_compare")
+                       .field("table", "broch_sweep")
+                       .field("protocol", protocols[p].name)
+                       .field("pause", pause)
+                       .field("seeds", ms.size())
+                       .field("delivery_ratio",
+                              ratio / static_cast<double>(ms.size()))
+                       .field("tx_per_msg",
+                              overhead / static_cast<double>(ms.size()))
+                       .field("mean_extra_hops", agg.mean())
+                       .str()
+                << "\n";
+    }
+  }
 
   std::cout << "\n--- path-optimality histogram: AODV at pause 120 "
                "(hops above optimal) ---\n";

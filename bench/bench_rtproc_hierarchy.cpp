@@ -13,8 +13,11 @@
 // two sides.
 
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "rtw/par/rtproc.hpp"
+#include "rtw/sim/jsonl.hpp"
 #include "rtw/sim/table.hpp"
 
 using namespace rtw::par;
@@ -33,11 +36,19 @@ int main() {
   const auto matrix = rtproc_matrix(kMaxP, kMaxM, kSlack, kHorizon);
   rtw::sim::Table t({"p \\ m", "1", "2", "3", "4", "5", "6", "7", "8"});
   bool staircase = true;
+  std::vector<std::string> json;
   for (std::size_t p = 0; p < kMaxP; ++p) {
     t.row().cell("p=" + std::to_string(p + 1));
     for (std::size_t m = 0; m < kMaxM; ++m) {
       t.cell(matrix[p][m] ? "ACCEPT" : ".");
       staircase = staircase && (matrix[p][m] == (m <= p));
+      json.push_back(rtw::sim::JsonLine()
+                         .field("bench", "rtproc_hierarchy")
+                         .field("table", "acceptance_matrix")
+                         .field("p", p + 1)
+                         .field("m", m + 1)
+                         .field("accepted", static_cast<bool>(matrix[p][m]))
+                         .str());
     }
   }
   t.print(std::cout, 1);
@@ -45,10 +56,13 @@ int main() {
             << (staircase ? "YES -- the hierarchy does not collapse"
                           : "NO -- unexpected")
             << "\n\n";
+  for (const auto& line : json) std::cout << line << "\n";
+  std::cout << "\n";
 
   std::cout << "--- token-level evidence at the diagonal -----------------\n";
   rtw::sim::Table evidence(
       {"trial", "retired", "late", "peak backlog", "verdict"});
+  std::vector<std::string> evidence_json;
   for (ProcId p : {2u, 4u, 6u}) {
     for (std::uint32_t m : {p, p + 1}) {
       const auto outcome = run_rtproc_trial({p, m, kSlack, kHorizon});
@@ -58,11 +72,22 @@ int main() {
       evidence.cell(outcome.late);
       evidence.cell(outcome.peak_backlog);
       evidence.cell(outcome.accepted ? "ACCEPT" : "reject");
+      evidence_json.push_back(rtw::sim::JsonLine()
+                                  .field("bench", "rtproc_hierarchy")
+                                  .field("table", "diagonal_evidence")
+                                  .field("p", p)
+                                  .field("m", m)
+                                  .field("retired", outcome.retired)
+                                  .field("late", outcome.late)
+                                  .field("peak_backlog", outcome.peak_backlog)
+                                  .field("accepted", outcome.accepted)
+                                  .str());
     }
   }
   evidence.print(std::cout, 1);
   std::cout << "\nexpected shape: at m = p the backlog stays bounded and "
                "nothing is late;\nat m = p + 1 the backlog grows linearly "
-               "and tokens blow through the slack.\n";
+               "and tokens blow through the slack.\n\n";
+  for (const auto& line : evidence_json) std::cout << line << "\n";
   return staircase ? 0 : 1;
 }

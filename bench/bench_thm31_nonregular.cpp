@@ -10,8 +10,11 @@
 // proof.
 
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "rtw/automata/witness.hpp"
+#include "rtw/sim/jsonl.hpp"
 #include "rtw/sim/table.hpp"
 
 using namespace rtw::automata;
@@ -58,6 +61,7 @@ int main() {
   rtw::sim::Table table({"candidate", "states", "counterexample",
                          "automaton", "language"});
   bool all_refuted = true;
+  std::vector<std::string> json;
   for (unsigned states = 1; states <= 10; ++states) {
     const auto candidate = ladder(states);
     const auto ce = refute_buchi_candidate(candidate, states + 6);
@@ -70,8 +74,16 @@ int main() {
       table.cell("NONE FOUND").cell("-").cell("-");
       all_refuted = false;
     }
+    json.push_back(rtw::sim::JsonLine()
+                       .field("bench", "thm31_nonregular")
+                       .field("table", "ladder_refutation")
+                       .field("states", states)
+                       .field("refuted", ce.has_value())
+                       .str());
   }
   table.print(std::cout, 2);
+  std::cout << "\n";
+  for (const auto& line : json) std::cout << line << "\n";
 
   std::cout << "\nthe proof's A' construction on ladder-4:\n";
   const auto candidate = ladder(4);

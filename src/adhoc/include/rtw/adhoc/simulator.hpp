@@ -138,6 +138,7 @@ struct SimResult {
   std::uint64_t control_transmissions = 0;  ///< non-Data sends
   std::uint64_t data_transmissions = 0;     ///< Data sends (incl. relays)
   std::uint64_t collided = 0;               ///< packets lost to interference
+  std::uint64_t engine_events = 0;          ///< kernel events executed
 
   std::optional<Delivery> delivery_of(std::uint64_t data_id) const;
 };

@@ -1,8 +1,10 @@
 #include "rtw/adhoc/simulator.hpp"
 
 #include <algorithm>
+#include <functional>
 
 #include "rtw/core/error.hpp"
+#include "rtw/sim/event_queue.hpp"
 
 namespace rtw::adhoc {
 
@@ -70,9 +72,15 @@ void Simulator::transmit(NodeId from, Packet p, NodeId to, Tick now) {
 }
 
 SimResult Simulator::run(Tick horizon) {
+  // The per-tick network step is an event on the shared discrete-event
+  // kernel (the same sim::EventQueue that drives the acceptor engine), so
+  // the whole library shares a single notion of "tick".  Every tick must
+  // run (protocol timers and beacons fire unconditionally), so each step
+  // reschedules itself at now + 1 up to the horizon.
+  rtw::sim::EventQueue queue;
   std::vector<std::pair<Tick, Packet>> in_flight;
 
-  for (Tick now = 0; now < horizon; ++now) {
+  std::function<void(rtw::sim::Tick)> step = [&](rtw::sim::Tick now) {
     // 1. Deliver packets sent last tick: reception set is determined by
     //    the sender's range at *send* time (section 5.2.1).
     std::vector<std::vector<Packet>> inboxes(network_->size());
@@ -127,6 +135,13 @@ SimResult Simulator::run(Tick horizon) {
     // 3. Everything sent during this tick flies until the next.
     in_flight = std::move(airborne_);
     airborne_.clear();
+
+    if (now + 1 < horizon) queue.schedule_at(now + 1, step);
+  };
+
+  if (horizon > 0) {
+    queue.schedule_at(0, step);
+    result_.engine_events = queue.run_until(horizon - 1);
   }
   SimResult out = std::move(result_);
   result_ = {};

@@ -79,6 +79,11 @@ struct RunOptions {
 
 /// Runs `algorithm` on `word` under Definition 3.3 semantics and evaluates
 /// Definition 3.4.  Resets the algorithm first.
+///
+/// Compatibility shim: since the executor refactor this delegates to the
+/// instrumented rtw::engine runtime (see rtw/engine/engine.hpp, which also
+/// returns a per-run RunTrace).  The definition lives in the rtw_engine
+/// library -- link rtw_engine to use it.
 RunResult run_acceptor(RealTimeAlgorithm& algorithm, const TimedWord& word,
                        const RunOptions& options = {});
 

@@ -2,6 +2,7 @@
 
 #include "rtw/core/error.hpp"
 #include "rtw/dataacc/d_algorithm.hpp"
+#include "rtw/engine/engine.hpp"
 
 namespace rtw::dataacc {
 
@@ -137,13 +138,14 @@ std::optional<bool> DataAccAcceptor::locked() const {
 rtw::core::TimedLanguage dataacc_language(
     std::shared_ptr<const StreamProblem> prototype, ProcessingRate rate,
     rtw::core::Tick horizon) {
-  auto member = [prototype, rate, horizon](const TimedWord& w) {
-    DataAccAcceptor acceptor(prototype->clone_fresh(), rate);
-    rtw::core::RunOptions options;
-    options.horizon = horizon;
-    const auto result = rtw::core::run_acceptor(acceptor, w, options);
-    return result.exact && result.accepted;
-  };
+  rtw::core::RunOptions options;
+  options.horizon = horizon;
+  auto member = rtw::engine::membership(
+      [prototype, rate] {
+        return std::make_unique<DataAccAcceptor>(prototype->clone_fresh(),
+                                                 rate);
+      },
+      options, /*require_exact=*/true);
   auto sampler = [prototype, rate, horizon](std::uint64_t i) {
     // Successful instances: slow enough laws with the true solution.
     DataAccInstance instance;

@@ -15,11 +15,13 @@
 
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "rtw/core/acceptor.hpp"
 #include "rtw/core/language.hpp"
 #include "rtw/deadline/problem.hpp"
 #include "rtw/deadline/word.hpp"
+#include "rtw/engine/batch.hpp"
 
 namespace rtw::deadline {
 
@@ -63,5 +65,12 @@ rtw::core::TimedLanguage deadline_language(std::shared_ptr<const Problem> pi);
 /// Convenience: build the word for `instance` and run the acceptor on it.
 /// Returns the exact accept/reject verdict.
 bool accepts_instance(const Problem& pi, const DeadlineInstance& instance);
+
+/// Batch variant: fans the instances across the engine's BatchRunner and
+/// returns the verdicts in instance order (bit-identical to calling
+/// accepts_instance per instance, at any thread count).
+std::vector<bool> accepts_instances(
+    const Problem& pi, const std::vector<DeadlineInstance>& instances,
+    const rtw::engine::BatchOptions& batch = {});
 
 }  // namespace rtw::deadline

@@ -1,6 +1,8 @@
 #include "rtw/deadline/acceptor.hpp"
 
 #include "rtw/core/error.hpp"
+#include "rtw/engine/batch.hpp"
+#include "rtw/engine/engine.hpp"
 
 namespace rtw::deadline {
 
@@ -99,16 +101,26 @@ std::optional<bool> DeadlineAcceptor::locked() const {
 bool accepts_instance(const Problem& pi, const DeadlineInstance& instance) {
   DeadlineAcceptor acceptor(pi);
   const TimedWord word = build_deadline_word(instance);
-  const auto result = rtw::core::run_acceptor(acceptor, word);
-  return result.exact && result.accepted;
+  const auto run = rtw::engine::run(acceptor, word);
+  return run.result.exact && run.result.accepted;
+}
+
+std::vector<bool> accepts_instances(
+    const Problem& pi, const std::vector<DeadlineInstance>& instances,
+    const rtw::engine::BatchOptions& batch) {
+  std::vector<TimedWord> words;
+  words.reserve(instances.size());
+  for (const auto& instance : instances)
+    words.push_back(build_deadline_word(instance));
+  return rtw::engine::membership_sweep(
+      [&pi] { return std::make_unique<DeadlineAcceptor>(pi); }, words, {},
+      /*require_exact=*/true, batch);
 }
 
 rtw::core::TimedLanguage deadline_language(std::shared_ptr<const Problem> pi) {
-  auto member = [pi](const TimedWord& w) {
-    DeadlineAcceptor acceptor(*pi);
-    const auto result = rtw::core::run_acceptor(acceptor, w);
-    return result.exact && result.accepted;
-  };
+  auto member = rtw::engine::membership(
+      [pi] { return std::make_unique<DeadlineAcceptor>(*pi); }, {},
+      /*require_exact=*/true);
   auto sampler = [pi](std::uint64_t i) {
     DeadlineInstance instance;
     // Inputs of growing size; nat payloads descending so sorting does work.

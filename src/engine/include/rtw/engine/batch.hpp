@@ -1,0 +1,117 @@
+#pragma once
+/// \file batch.hpp
+/// BatchRunner: fans N independent acceptor runs (membership sweeps, Monte
+/// Carlo instance samplers, bench sweeps) across a sim::ThreadPool.
+///
+/// Guarantees:
+///   * deterministic per-run RNG -- each job's generator is derived from
+///     (seed, job index) only, so results are bit-identical regardless of
+///     thread count or scheduling order;
+///   * deterministic result order -- results land at their job's index;
+///   * a configurable concurrency cap (max_in_flight) independent of the
+///     pool size, for jobs with large working sets;
+///   * exceptions thrown by a job propagate to the caller of map().
+///
+/// Each engine run is already single-threaded and self-contained (private
+/// EventQueue + tapes), which is what makes this fan-out safe.
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <type_traits>
+#include <vector>
+
+#include "rtw/engine/engine.hpp"
+#include "rtw/sim/rng.hpp"
+#include "rtw/sim/thread_pool.hpp"
+
+namespace rtw::engine {
+
+/// Fan-out configuration.
+struct BatchOptions {
+  unsigned threads = 0;        ///< pool size; 0 = hardware concurrency
+  unsigned max_in_flight = 0;  ///< concurrency cap; 0 = uncapped (pool-wide)
+  std::uint64_t seed = 0x72747765ULL;  ///< base seed for per-run RNG streams
+};
+
+class BatchRunner {
+public:
+  explicit BatchRunner(BatchOptions options = {});
+
+  unsigned threads() const noexcept { return pool_.threads(); }
+  const BatchOptions& options() const noexcept { return options_; }
+
+  /// The deterministic per-run generator: a function of (seed, index) only.
+  static rtw::sim::Xoshiro256ss rng_for(std::uint64_t seed,
+                                        std::uint64_t index) noexcept;
+
+  /// Runs `job(index, rng)` for index in [0, count) across the pool and
+  /// returns the results in index order.  R must be default-constructible
+  /// and must not be bool (std::vector<bool> packs bits -- concurrent
+  /// element writes would race; return char or use membership_sweep).
+  template <typename Job,
+            typename R = std::invoke_result_t<Job, std::size_t,
+                                              rtw::sim::Xoshiro256ss&>>
+  std::vector<R> map(std::size_t count, Job job) {
+    static_assert(!std::is_same_v<R, bool>,
+                  "vector<bool> bit-packing races under concurrent writes");
+    std::vector<R> results(count);
+    std::vector<std::future<void>> futures;
+    futures.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      futures.push_back(pool_.submit([this, i, &results, &job] {
+        Gate gate(*this);
+        auto rng = rng_for(options_.seed, i);
+        results[i] = job(i, rng);
+        detail::record_batch_job();
+      }));
+    }
+    for (auto& f : futures) f.get();  // rethrows job exceptions
+    return results;
+  }
+
+  /// Runs every word through a fresh algorithm from `factory` (one engine
+  /// run per word); results in word order.
+  std::vector<EngineResult> run_words(
+      const AlgorithmFactory& factory,
+      const std::vector<rtw::core::TimedWord>& words,
+      const rtw::core::RunOptions& options = {});
+
+  /// Monte Carlo fan-out: runs `count` sampled words, where sample i is
+  /// produced by `sampler(i, rng)` with the deterministic per-run RNG.
+  std::vector<EngineResult> run_sampled(
+      const AlgorithmFactory& factory, std::size_t count,
+      const std::function<rtw::core::TimedWord(std::uint64_t,
+                                               rtw::sim::Xoshiro256ss&)>&
+          sampler,
+      const rtw::core::RunOptions& options = {});
+
+private:
+  /// RAII slot in the max_in_flight window.
+  struct Gate {
+    explicit Gate(BatchRunner& runner) : runner(runner) { runner.acquire(); }
+    ~Gate() { runner.release(); }
+    BatchRunner& runner;
+  };
+  void acquire();
+  void release();
+
+  BatchOptions options_;
+  rtw::sim::ThreadPool pool_;
+  std::mutex gate_mutex_;
+  std::condition_variable gate_cv_;
+  unsigned in_flight_ = 0;
+};
+
+/// Batch membership: the engine verdict for every word, fanned across a
+/// BatchRunner.  Semantics per word match engine::membership (including
+/// `require_exact`); the result order matches the word order and is
+/// bit-identical to a serial evaluation.
+std::vector<bool> membership_sweep(
+    const AlgorithmFactory& factory,
+    const std::vector<rtw::core::TimedWord>& words,
+    const rtw::core::RunOptions& options = {}, bool require_exact = false,
+    const BatchOptions& batch = {});
+
+}  // namespace rtw::engine

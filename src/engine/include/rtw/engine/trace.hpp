@@ -1,0 +1,67 @@
+#pragma once
+/// \file trace.hpp
+/// Observability for the execution engine: a per-run RunTrace plus
+/// process-wide atomic counters.
+///
+/// Every Engine::run produces a RunTrace alongside the Definition 3.4
+/// verdict; BatchRunner aggregates them.  Both export one-line JSON
+/// (rtw::sim::JsonLine) so bench harnesses can stream machine-readable
+/// trajectories to stdout.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "rtw/core/timed_word.hpp"
+
+namespace rtw::engine {
+
+using rtw::core::Tick;
+
+/// Per-run observability record filled in by Engine::run.
+struct RunTrace {
+  Tick final_tick = 0;  ///< last virtual time the driver visited
+  std::uint64_t ticks_executed = 0;  ///< driver steps actually run
+  std::uint64_t ticks_skipped = 0;   ///< idle ticks bypassed by fast-forward
+  std::uint64_t events_executed = 0; ///< EventQueue events fired
+  std::uint64_t queue_depth_hwm = 0; ///< event-heap high-water mark
+  std::optional<Tick> lock_time;     ///< virtual time of the s_f/s_r lock
+  std::uint64_t symbols_consumed = 0;
+  std::uint64_t f_count = 0;  ///< |o(A,w)|_f observed
+  std::uint64_t wall_ns = 0;  ///< wall-clock duration of the run
+
+  /// One-line JSON rendering for the BENCH_*.json trajectory.
+  std::string to_json() const;
+};
+
+/// A point-in-time copy of the process-wide engine counters.
+struct CountersSnapshot {
+  std::uint64_t runs = 0;         ///< Engine::run invocations completed
+  std::uint64_t locked_runs = 0;  ///< runs decided by a lock (exact verdict)
+  std::uint64_t ticks = 0;        ///< driver steps across all runs
+  std::uint64_t events = 0;       ///< EventQueue events across all runs
+  std::uint64_t symbols = 0;      ///< input symbols delivered
+  std::uint64_t batch_jobs = 0;   ///< BatchRunner jobs completed
+  std::uint64_t wall_ns = 0;      ///< summed wall-clock across runs
+
+  std::string to_json() const;
+};
+
+/// Process-wide atomic counters over every engine run in this process
+/// (all threads).  Cheap relaxed atomics; intended for bench export and
+/// coarse health checks, not for synchronization.
+class Counters {
+public:
+  static CountersSnapshot snapshot() noexcept;
+  /// Zeroes all counters (tests and bench section boundaries).
+  static void reset() noexcept;
+};
+
+namespace detail {
+/// Internal: folds a finished run into the process-wide counters.
+void record_run(const RunTrace& trace, bool locked) noexcept;
+/// Internal: counts one finished BatchRunner job.
+void record_batch_job() noexcept;
+}  // namespace detail
+
+}  // namespace rtw::engine

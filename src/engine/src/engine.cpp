@@ -1,0 +1,120 @@
+#include "rtw/engine/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <span>
+#include <vector>
+
+#include "rtw/core/tape.hpp"
+#include "rtw/sim/event_queue.hpp"
+
+namespace rtw::engine {
+
+using rtw::core::RealTimeAlgorithm;
+using rtw::core::RunOptions;
+using rtw::core::StepContext;
+using rtw::core::TimedSymbol;
+using rtw::core::TimedWord;
+
+EngineResult Engine::run(RealTimeAlgorithm& algorithm,
+                         const TimedWord& word) const {
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  algorithm.reset();
+  rtw::core::InputTape in(word);
+  rtw::core::OutputTape out(options_.accept_symbol);
+
+  EngineResult er;
+  rtw::core::RunResult& result = er.result;
+  RunTrace& trace = er.trace;
+
+  rtw::sim::EventQueue queue;
+  bool locked = false;
+
+  // One driver event per *visited* tick: deliver the arrivals that became
+  // available, run one virtual time unit of the algorithm, consult the
+  // lock protocol, then schedule the next wake-up.
+  std::function<void(rtw::sim::Tick)> drive = [&](rtw::sim::Tick now) {
+    const std::vector<TimedSymbol> arrivals = in.take_available(now);
+    result.symbols_consumed += arrivals.size();
+    StepContext ctx{now, std::span<const TimedSymbol>(arrivals), out};
+    algorithm.on_tick(ctx);
+    result.ticks = now;
+    trace.final_tick = now;
+    ++trace.ticks_executed;
+
+    if (const auto lock = algorithm.locked()) {
+      // Definition 3.4: the algorithm committed to s_f or s_r; the run is
+      // decided and nothing further is scheduled.
+      result.accepted = *lock;
+      result.exact = true;
+      locked = true;
+      trace.lock_time = now;
+      return;
+    }
+
+    // When the algorithm is unlocked and nothing is pending before the
+    // next arrival, the next driver event lands directly on that arrival:
+    // the idle gap is skipped inside the event heap instead of being
+    // walked tick by tick.
+    rtw::sim::Tick next = now + 1;
+    if (options_.fast_forward) {
+      if (const auto arrival = in.next_arrival(); arrival && *arrival > next) {
+        trace.ticks_skipped += *arrival - next;
+        next = *arrival;
+      }
+      // A drained finite word keeps single-stepping so the algorithm can
+      // finish trailing work.
+    }
+    if (next <= options_.horizon) queue.schedule_at(next, drive);
+  };
+
+  queue.schedule_at(0, drive);
+  while (!locked) {
+    trace.queue_depth_hwm =
+        std::max<std::uint64_t>(trace.queue_depth_hwm, queue.pending());
+    if (!queue.step(options_.horizon)) break;
+    ++trace.events_executed;
+  }
+
+  result.f_count = out.accept_count();
+  result.first_f = out.first_accept();
+  trace.f_count = result.f_count;
+  trace.symbols_consumed = result.symbols_consumed;
+
+  if (!result.exact) {
+    // Heuristic at the horizon: treat "f written within the trailing
+    // quarter of the run" as evidence of infinitely many f's.
+    const auto window_start =
+        options_.horizon -
+        std::min<rtw::core::Tick>(options_.horizon / 4, options_.horizon);
+    result.accepted =
+        out.last_accept().has_value() && *out.last_accept() >= window_start;
+  }
+
+  trace.wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count());
+  detail::record_run(trace, result.exact);
+  return er;
+}
+
+EngineResult run(RealTimeAlgorithm& algorithm, const TimedWord& word,
+                 const RunOptions& options) {
+  return Engine(options).run(algorithm, word);
+}
+
+std::function<bool(const TimedWord&)> membership(AlgorithmFactory factory,
+                                                 RunOptions options,
+                                                 bool require_exact) {
+  return [factory = std::move(factory), options,
+          require_exact](const TimedWord& w) {
+    auto algorithm = factory();
+    const auto run = Engine(options).run(*algorithm, w);
+    return require_exact ? run.result.exact && run.result.accepted
+                         : run.result.accepted;
+  };
+}
+
+}  // namespace rtw::engine

@@ -1,0 +1,17 @@
+/// Compatibility shim: core::run_acceptor is declared in
+/// rtw/core/acceptor.hpp but, since the executor refactor, defined here in
+/// the engine library -- one machine model, one implementation.  Callers of
+/// run_acceptor link rtw_engine (every rtw_* application library already
+/// does).
+
+#include "rtw/core/acceptor.hpp"
+#include "rtw/engine/engine.hpp"
+
+namespace rtw::core {
+
+RunResult run_acceptor(RealTimeAlgorithm& algorithm, const TimedWord& word,
+                       const RunOptions& options) {
+  return rtw::engine::Engine(options).run(algorithm, word).result;
+}
+
+}  // namespace rtw::core

@@ -1,0 +1,99 @@
+#include "rtw/engine/trace.hpp"
+
+#include <atomic>
+
+#include "rtw/sim/jsonl.hpp"
+
+namespace rtw::engine {
+
+std::string RunTrace::to_json() const {
+  rtw::sim::JsonLine line;
+  line.field("final_tick", final_tick)
+      .field("ticks_executed", ticks_executed)
+      .field("ticks_skipped", ticks_skipped)
+      .field("events_executed", events_executed)
+      .field("queue_depth_hwm", queue_depth_hwm);
+  if (lock_time)
+    line.field("lock_time", *lock_time);
+  else
+    line.field("locked", false);
+  line.field("symbols_consumed", symbols_consumed)
+      .field("f_count", f_count)
+      .field("wall_ns", wall_ns);
+  return line.str();
+}
+
+std::string CountersSnapshot::to_json() const {
+  return rtw::sim::JsonLine()
+      .field("runs", runs)
+      .field("locked_runs", locked_runs)
+      .field("ticks", ticks)
+      .field("events", events)
+      .field("symbols", symbols)
+      .field("batch_jobs", batch_jobs)
+      .field("wall_ns", wall_ns)
+      .str();
+}
+
+namespace {
+
+struct AtomicCounters {
+  std::atomic<std::uint64_t> runs{0};
+  std::atomic<std::uint64_t> locked_runs{0};
+  std::atomic<std::uint64_t> ticks{0};
+  std::atomic<std::uint64_t> events{0};
+  std::atomic<std::uint64_t> symbols{0};
+  std::atomic<std::uint64_t> batch_jobs{0};
+  std::atomic<std::uint64_t> wall_ns{0};
+};
+
+AtomicCounters& counters() {
+  static AtomicCounters instance;
+  return instance;
+}
+
+}  // namespace
+
+CountersSnapshot Counters::snapshot() noexcept {
+  auto& c = counters();
+  CountersSnapshot s;
+  s.runs = c.runs.load(std::memory_order_relaxed);
+  s.locked_runs = c.locked_runs.load(std::memory_order_relaxed);
+  s.ticks = c.ticks.load(std::memory_order_relaxed);
+  s.events = c.events.load(std::memory_order_relaxed);
+  s.symbols = c.symbols.load(std::memory_order_relaxed);
+  s.batch_jobs = c.batch_jobs.load(std::memory_order_relaxed);
+  s.wall_ns = c.wall_ns.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Counters::reset() noexcept {
+  auto& c = counters();
+  c.runs.store(0, std::memory_order_relaxed);
+  c.locked_runs.store(0, std::memory_order_relaxed);
+  c.ticks.store(0, std::memory_order_relaxed);
+  c.events.store(0, std::memory_order_relaxed);
+  c.symbols.store(0, std::memory_order_relaxed);
+  c.batch_jobs.store(0, std::memory_order_relaxed);
+  c.wall_ns.store(0, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void record_run(const RunTrace& trace, bool locked) noexcept {
+  auto& c = counters();
+  c.runs.fetch_add(1, std::memory_order_relaxed);
+  if (locked) c.locked_runs.fetch_add(1, std::memory_order_relaxed);
+  c.ticks.fetch_add(trace.ticks_executed, std::memory_order_relaxed);
+  c.events.fetch_add(trace.events_executed, std::memory_order_relaxed);
+  c.symbols.fetch_add(trace.symbols_consumed, std::memory_order_relaxed);
+  c.wall_ns.fetch_add(trace.wall_ns, std::memory_order_relaxed);
+}
+
+void record_batch_job() noexcept {
+  counters().batch_jobs.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+}  // namespace rtw::engine

@@ -1,67 +1,15 @@
 #pragma once
 /// \file thread_pool.hpp
-/// A small fixed-size thread pool for the benchmark harnesses (batch
-/// membership checks, parameter sweeps).  The formal runtimes
-/// (ProcessSystem, Pram) are deliberately single-threaded deterministic
-/// simulators; this pool provides *actual* parallelism where determinism
-/// of interleaving does not matter (independent tasks, joined results).
-///
-/// Per C++ Core Guidelines CP.4: think in tasks.  submit() returns a
-/// future; wait_idle() drains the queue.
+/// Compatibility alias: ThreadPool moved to the sim infrastructure layer
+/// (rtw/sim/thread_pool.hpp) when the execution engine was introduced --
+/// the engine's BatchRunner and the parallel runtimes share it, and sim is
+/// below both in the layer diagram.  Existing rtw::par::ThreadPool users
+/// keep compiling through this alias; include the sim header in new code.
 
-#include <condition_variable>
-#include <deque>
-#include <functional>
-#include <future>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include "rtw/sim/thread_pool.hpp"
 
 namespace rtw::par {
 
-class ThreadPool {
-public:
-  /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
-  explicit ThreadPool(unsigned threads = 0);
-  ~ThreadPool();
-
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
-
-  /// Enqueues a task; returns a future for its result.
-  template <typename F>
-  auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
-    using R = std::invoke_result_t<F>;
-    auto packaged =
-        std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
-    std::future<R> future = packaged->get_future();
-    {
-      std::lock_guard lock(mutex_);
-      if (stopping_)
-        throw std::runtime_error("ThreadPool: submit after shutdown");
-      queue_.emplace_back([packaged] { (*packaged)(); });
-    }
-    wake_.notify_one();
-    return future;
-  }
-
-  /// Blocks until the queue is empty and all workers are idle.
-  void wait_idle();
-
-  unsigned threads() const noexcept {
-    return static_cast<unsigned>(workers_.size());
-  }
-
-private:
-  void worker_loop();
-
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  unsigned busy_ = 0;
-  bool stopping_ = false;
-};
+using rtw::sim::ThreadPool;
 
 }  // namespace rtw::par

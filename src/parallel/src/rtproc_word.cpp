@@ -3,6 +3,7 @@
 #include <deque>
 
 #include "rtw/core/error.hpp"
+#include "rtw/engine/engine.hpp"
 
 namespace rtw::par {
 
@@ -78,13 +79,13 @@ std::optional<bool> TokenStreamAcceptor::locked() const {
 
 rtw::core::TimedLanguage rtproc_language(std::uint32_t workers, Tick slack,
                                          Tick horizon) {
-  auto member = [workers, slack, horizon](const TimedWord& w) {
-    TokenStreamAcceptor acceptor(workers, slack);
-    rtw::core::RunOptions options;
-    options.horizon = horizon;
-    const auto result = rtw::core::run_acceptor(acceptor, w, options);
-    return result.accepted;
-  };
+  rtw::core::RunOptions options;
+  options.horizon = horizon;
+  auto member = rtw::engine::membership(
+      [workers, slack] {
+        return std::make_unique<TokenStreamAcceptor>(workers, slack);
+      },
+      options);
   auto sampler = [workers](std::uint64_t i) {
     // Members: rates the acceptor can sustain (1..workers).
     return build_token_word(1 + static_cast<std::uint32_t>(i) % workers);

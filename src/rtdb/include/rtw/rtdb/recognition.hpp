@@ -18,9 +18,11 @@
 
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "rtw/core/acceptor.hpp"
 #include "rtw/core/language.hpp"
+#include "rtw/engine/batch.hpp"
 #include "rtw/rtdb/encode.hpp"
 #include "rtw/rtdb/query.hpp"
 
@@ -128,5 +130,14 @@ private:
 rtw::core::TimedLanguage recognition_language(QueryCatalog catalog,
                                               QueryCostModel cost,
                                               Tick horizon = 4096);
+
+/// Batch membership: runs every word through a fresh RecognitionAcceptor,
+/// fanned across the engine's BatchRunner.  Verdicts in word order,
+/// bit-identical to the serial recognition_language membership at any
+/// thread count.
+std::vector<bool> recognition_sweep(QueryCatalog catalog, QueryCostModel cost,
+                                    const std::vector<rtw::core::TimedWord>& words,
+                                    Tick horizon = 4096,
+                                    const rtw::engine::BatchOptions& batch = {});
 
 }  // namespace rtw::rtdb

@@ -4,6 +4,8 @@
 #include <cctype>
 
 #include "rtw/core/error.hpp"
+#include "rtw/engine/batch.hpp"
+#include "rtw/engine/engine.hpp"
 
 namespace rtw::rtdb {
 
@@ -313,18 +315,38 @@ void RecognitionAcceptor::on_tick(const StepContext& ctx) {
 
 std::optional<bool> RecognitionAcceptor::locked() const { return lock_; }
 
+namespace {
+
+rtw::engine::AlgorithmFactory recognition_factory(QueryCatalog catalog,
+                                                  QueryCostModel cost) {
+  auto shared_catalog = std::make_shared<QueryCatalog>(std::move(catalog));
+  return [shared_catalog, cost] {
+    return std::make_unique<RecognitionAcceptor>(*shared_catalog, cost);
+  };
+}
+
+}  // namespace
+
 rtw::core::TimedLanguage recognition_language(QueryCatalog catalog,
                                               QueryCostModel cost,
                                               Tick horizon) {
-  auto shared_catalog = std::make_shared<QueryCatalog>(std::move(catalog));
-  auto member = [shared_catalog, cost, horizon](const TimedWord& w) {
-    RecognitionAcceptor acceptor(*shared_catalog, cost);
-    rtw::core::RunOptions options;
-    options.horizon = horizon;
-    const auto result = rtw::core::run_acceptor(acceptor, w, options);
-    return result.accepted;
-  };
-  return rtw::core::TimedLanguage("L_q", std::move(member));
+  rtw::core::RunOptions options;
+  options.horizon = horizon;
+  return rtw::core::TimedLanguage(
+      "L_q", rtw::engine::membership(
+                 recognition_factory(std::move(catalog), std::move(cost)),
+                 options));
+}
+
+std::vector<bool> recognition_sweep(QueryCatalog catalog, QueryCostModel cost,
+                                    const std::vector<rtw::core::TimedWord>& words,
+                                    Tick horizon,
+                                    const rtw::engine::BatchOptions& batch) {
+  rtw::core::RunOptions options;
+  options.horizon = horizon;
+  return rtw::engine::membership_sweep(
+      recognition_factory(std::move(catalog), std::move(cost)), words, options,
+      /*require_exact=*/false, batch);
 }
 
 }  // namespace rtw::rtdb

@@ -36,10 +36,17 @@ public:
 
   /// Runs events in timestamp order until the queue empties or virtual
   /// time would exceed `horizon`.  Returns the number of events executed.
+  ///
+  /// The horizon is *inclusive*: an event scheduled exactly at `horizon`
+  /// fires; the first event strictly beyond it stays queued.  On return
+  /// the clock reads max(now(), horizon) even if the queue drained early,
+  /// so back-to-back run_until calls see monotone time.
   std::size_t run_until(Tick horizon);
 
   /// Executes exactly one event if available; returns false if empty or
-  /// the next event is beyond `horizon`.
+  /// the next event is beyond `horizon` (inclusive, like run_until: an
+  /// event at exactly `horizon` executes).  Unlike run_until, a false
+  /// return leaves the clock where the last executed event put it.
   bool step(Tick horizon);
 
   Tick now() const noexcept { return now_; }

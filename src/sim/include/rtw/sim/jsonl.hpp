@@ -1,0 +1,110 @@
+#pragma once
+/// \file jsonl.hpp
+/// Minimal one-line JSON writer (JSON Lines: one self-contained object per
+/// line).  Used by the engine's RunTrace export and by every bench_* binary
+/// so the BENCH_*.json perf trajectory can be scraped from stdout without a
+/// JSON dependency.
+
+#include <cmath>
+#include <concepts>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace rtw::sim {
+
+/// Builder for a single flat JSON object, rendered on one line.  Keys are
+/// emitted in insertion order; values are strings, booleans, integers or
+/// doubles.  Nested objects are out of scope (use another line).
+class JsonLine {
+public:
+  JsonLine& field(std::string_view key, std::string_view value) {
+    open(key);
+    body_ += '"';
+    escape(body_, value);
+    body_ += '"';
+    return *this;
+  }
+
+  JsonLine& field(std::string_view key, const char* value) {
+    return field(key, std::string_view(value));
+  }
+
+  JsonLine& field(std::string_view key, const std::string& value) {
+    return field(key, std::string_view(value));
+  }
+
+  JsonLine& field(std::string_view key, bool value) {
+    open(key);
+    body_ += value ? "true" : "false";
+    return *this;
+  }
+
+  template <typename T>
+    requires(std::integral<T> && !std::same_as<T, bool>)
+  JsonLine& field(std::string_view key, T value) {
+    open(key);
+    body_ += std::to_string(value);
+    return *this;
+  }
+
+  JsonLine& field(std::string_view key, double value) {
+    open(key);
+    if (std::isfinite(value)) {
+      std::ostringstream os;
+      os.precision(12);
+      os << value;
+      body_ += os.str();
+    } else {
+      body_ += "null";  // JSON has no NaN/Inf
+    }
+    return *this;
+  }
+
+  /// The finished object, e.g. {"bench":"x","n":3}.
+  std::string str() const { return "{" + body_ + "}"; }
+
+private:
+  void open(std::string_view key) {
+    if (!body_.empty()) body_ += ',';
+    body_ += '"';
+    escape(body_, key);
+    body_ += "\":";
+  }
+
+  static void escape(std::string& dst, std::string_view s) {
+    static constexpr char hex[] = "0123456789abcdef";
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          dst += "\\\"";
+          break;
+        case '\\':
+          dst += "\\\\";
+          break;
+        case '\n':
+          dst += "\\n";
+          break;
+        case '\t':
+          dst += "\\t";
+          break;
+        case '\r':
+          dst += "\\r";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            dst += "\\u00";
+            dst += hex[(c >> 4) & 0xf];
+            dst += hex[c & 0xf];
+          } else {
+            dst += c;
+          }
+      }
+    }
+  }
+
+  std::string body_;
+};
+
+}  // namespace rtw::sim

@@ -1,0 +1,45 @@
+#include "rtw/sim/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace rtw::sim {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0)
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (stopping_ && queue_.empty()) return;
+    auto task = std::move(queue_.front());
+    queue_.pop_front();
+    ++busy_;
+    lock.unlock();
+    task();
+    lock.lock();
+    --busy_;
+    if (queue_.empty() && busy_ == 0) idle_.notify_all();
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && busy_ == 0; });
+}
+
+}  // namespace rtw::sim

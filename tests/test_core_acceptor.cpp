@@ -208,6 +208,50 @@ TEST(RunAcceptorTest, SilentUnlockedAlgorithmRejectsAtHorizon) {
   EXPECT_FALSE(r.exact);
 }
 
+// Lock-protocol edge cases through the compat shim (run_acceptor is now a
+// thin wrapper over rtw::engine::Engine; these pin the boundary behaviour
+// of the historical loop).
+
+TEST(RunAcceptorLockEdgeTest, LockOnTickZeroStopsImmediately) {
+  AcceptAll algo;
+  const auto r = run_acceptor(algo, TimedWord::finite(symbols_of("abc"),
+                                                      {50, 60, 70}));
+  EXPECT_TRUE(r.accepted);
+  EXPECT_TRUE(r.exact);
+  // Locked on the very first tick: no arrival was ever needed or consumed.
+  EXPECT_EQ(r.ticks, 0u);
+  EXPECT_EQ(r.symbols_consumed, 0u);
+}
+
+TEST(RunAcceptorLockEdgeTest, LockAfterLastArrival) {
+  // Decision window closes at tick 30; the word drains at tick 9.  The
+  // executor must keep stepping past the drained word until the lock.
+  CountingAcceptor algo(30, 2);
+  const auto r =
+      run_acceptor(algo, TimedWord::finite(symbols_of("aa"), {3, 9}));
+  EXPECT_TRUE(r.accepted);
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(r.ticks, 30u);
+  EXPECT_EQ(r.symbols_consumed, 2u);
+}
+
+TEST(RunAcceptorLockEdgeTest, NeverLocksIsNeverExact) {
+  // Any unlocked run -- accepting or rejecting -- must carry exact ==
+  // false, whatever the horizon.
+  class Silent final : public RealTimeAlgorithm {
+  public:
+    void on_tick(const StepContext&) override {}
+  } algo;
+  for (Tick horizon : {Tick{1}, Tick{10}, Tick{1000}}) {
+    RunOptions opt;
+    opt.horizon = horizon;
+    const auto r = run_acceptor(
+        algo, TimedWord::lasso({}, {{Symbol::chr('a'), 1}}, 1), opt);
+    EXPECT_FALSE(r.exact) << "horizon=" << horizon;
+    EXPECT_FALSE(r.accepted) << "horizon=" << horizon;
+  }
+}
+
 // Property: acceptance of CountingAcceptor matches the arithmetic truth for
 // a sweep of (window, arrivals) shapes.
 struct GateCase {

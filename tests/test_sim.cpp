@@ -247,6 +247,44 @@ TEST(EventQueueTest, PastSchedulingClampsToNow) {
   EXPECT_EQ(seen, 10u);
 }
 
+TEST(EventQueueTest, PastSchedulingViaScheduleInClampsToo) {
+  EventQueue q;
+  Tick seen = 999;
+  q.schedule_at(10, [&](Tick) {
+    // schedule_in(0) from inside an event lands at now(), not before it.
+    q.schedule_in(0, [&](Tick inner) { seen = inner; });
+  });
+  q.run_until(100);
+  EXPECT_EQ(seen, 10u);
+}
+
+TEST(EventQueueTest, EventExactlyAtHorizonFires) {
+  // The horizon is inclusive: at == horizon executes, at == horizon + 1
+  // stays queued.  Both run_until and step agree.
+  EventQueue q;
+  int at_horizon = 0, beyond = 0;
+  q.schedule_at(15, [&](Tick) { ++at_horizon; });
+  q.schedule_at(16, [&](Tick) { ++beyond; });
+  EXPECT_EQ(q.run_until(15), 1u);
+  EXPECT_EQ(at_horizon, 1);
+  EXPECT_EQ(beyond, 0);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_FALSE(q.step(15));  // the tick-16 event is beyond the horizon
+  EXPECT_TRUE(q.step(16));   // ...and fires once the horizon reaches it
+  EXPECT_EQ(beyond, 1);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesClockToHorizonOnDrain) {
+  EventQueue q;
+  q.schedule_at(3, [](Tick) {});
+  q.run_until(50);
+  // The queue drained at tick 3, but the clock still reads the horizon so
+  // consecutive run_until windows observe monotone time.
+  EXPECT_EQ(q.now(), 50u);
+  q.run_until(20);  // lower horizon never moves the clock backwards
+  EXPECT_EQ(q.now(), 50u);
+}
+
 TEST(EventQueueTest, ResetClearsEverything) {
   EventQueue q;
   q.schedule_at(4, [](Tick) {});
