@@ -2,17 +2,33 @@
 // timed-word access and merging, tape gating, TBA stepping, relational
 // joins, lifespan algebra, the network range predicate, and the process
 // runtime.
+//
+// After the google-benchmark suite, main() runs the hand-rolled *kernel*
+// micro-benchmarks (event schedule/fire throughput v2 vs the v1 baseline,
+// cursor vs at() symbol throughput, BatchRunner thread scaling) and emits
+// one JSON Lines record per measurement -- to stdout, or to the file named
+// by --kernel_json=PATH.  CI scrapes these into BENCH_kernel.json.
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <queue>
+#include <thread>
 
 #include "rtw/adhoc/network.hpp"
 #include "rtw/automata/timed_buchi.hpp"
 #include "rtw/core/acceptor.hpp"
 #include "rtw/core/concat.hpp"
+#include "rtw/engine/batch.hpp"
 #include "rtw/par/process.hpp"
 #include "rtw/rtdb/algebra.hpp"
 #include "rtw/rtdb/ngc.hpp"
 #include "rtw/rtdb/temporal.hpp"
+#include "rtw/sim/event_queue.hpp"
+#include "rtw/sim/jsonl.hpp"
+#include "rtw/sim/rng.hpp"
 
 namespace {
 
@@ -131,6 +147,282 @@ void BM_ProcessSystemTick(benchmark::State& state) {
 }
 BENCHMARK(BM_ProcessSystemTick);
 
+// --------------------------------------------------------------------
+// Kernel micro-benchmarks (hand-rolled, JSON Lines output).
+
+/// The v1 event kernel, kept verbatim as the measurement baseline:
+/// std::function actions in a binary priority_queue with (at, seq) FIFO
+/// ordering, copy-on-pop (top() is const&), run_until through step().
+/// The actions below capture 24 bytes, which std::function heap-allocates
+/// (its inline buffer holds 16) -- exactly what the old engine drive loop
+/// paid per scheduled event.
+class LegacyEventQueue {
+public:
+  using Tick = rtw::sim::Tick;
+  using Action = std::function<void(Tick)>;
+
+  void schedule_at(Tick at, Action action) {
+    heap_.push(Entry{std::max(at, now_), seq_++, std::move(action)});
+  }
+  bool step(Tick horizon) {
+    if (heap_.empty()) return false;
+    if (heap_.top().at > horizon) return false;
+    Entry entry = heap_.top();
+    heap_.pop();
+    now_ = entry.at;
+    entry.action(now_);
+    return true;
+  }
+  std::size_t run_until(Tick horizon) {
+    std::size_t executed = 0;
+    while (step(horizon)) ++executed;
+    if (heap_.empty() || heap_.top().at > horizon)
+      now_ = std::max(now_, horizon);
+    return executed;
+  }
+  Tick now() const noexcept { return now_; }
+
+private:
+  struct Entry {
+    Tick at;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  Tick now_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Shared state of one self-rescheduling event chain; actions capture it
+/// by value plus one word of budget (24 bytes total) -- the shape of the
+/// engine's drive event.  SmallFn stores this inline; std::function
+/// (16-byte buffer) heap-allocates it, which is what v1 paid.
+template <typename Queue>
+struct ChainState {
+  Queue* queue;
+  std::uint64_t* fired;
+};
+
+template <typename Queue>
+void chain_fire(ChainState<Queue> st, std::uint64_t budget,
+                rtw::sim::Tick now) {
+  ++*st.fired;
+  if (budget > 0)
+    st.queue->schedule_at(now + 1 + (budget & 3),
+                          [st, budget](rtw::sim::Tick t) {
+                            chain_fire(st, budget - 1, t);
+                          });
+}
+
+/// Schedule/fire throughput of one event-queue implementation: a few
+/// self-rescheduling event chains (each fire schedules a successor until
+/// the budget is spent), repeated `reps` times.  The queue stays a handful
+/// of events deep -- the regime the engine drive loop runs in.  Returns
+/// events per second (one event = one schedule + one fire).
+template <typename Queue>
+double event_throughput(std::size_t events, std::size_t reps) {
+  using Tick = rtw::sim::Tick;
+  constexpr std::size_t kSeeds = 4;
+  double best = 0;
+  for (std::size_t r = 0; r < reps; ++r) {
+    Queue q;
+    std::uint64_t fired = 0;
+    const ChainState<Queue> st{&q, &fired};
+    rtw::sim::Xoshiro256ss rng(0x6b65726eULL + r);
+    const std::uint64_t chain = (events - kSeeds) / kSeeds;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < kSeeds; ++i) {
+      const Tick at = rng.uniform(std::uint64_t{64});
+      q.schedule_at(at, [st, chain](Tick t) { chain_fire(st, chain, t); });
+    }
+    q.run_until(std::numeric_limits<Tick>::max());
+    // Best-of-reps: per-rep timing discards scheduler noise, which on a
+    // shared box otherwise dominates a 20 ns/event measurement.
+    best = std::max(best, static_cast<double>(fired) / seconds_since(start));
+    benchmark::DoNotOptimize(fired);
+  }
+  return best;
+}
+
+/// Symbols per second read from one shared generator word by `threads`
+/// concurrent readers, each reading `per_thread` elements.  `use_cursor`
+/// selects Cursor streaming; otherwise the at() random-access fallback
+/// (which serializes on the generator memo mutex).
+double symbol_throughput(bool use_cursor, unsigned threads,
+                         std::uint64_t per_thread, std::size_t reps) {
+  double best = 0;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto word = TimedWord::generator(
+        [](std::uint64_t i) {
+          return TimedSymbol{Symbol::nat((i * 2654435761u) & 0xff), i};
+        },
+        {}, "bench-gen");
+    std::atomic<std::uint64_t> total{0};
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < threads; ++t)
+      pool.emplace_back([&] {
+        std::uint64_t acc = 0;
+        if (use_cursor) {
+          auto cur = word.cursor();
+          for (std::uint64_t i = 0; i < per_thread; ++i, cur.advance())
+            acc += cur.current().time;
+        } else {
+          for (std::uint64_t i = 0; i < per_thread; ++i)
+            acc += word.at(i).time;
+        }
+        total.fetch_add(acc);
+      });
+    for (auto& th : pool) th.join();
+    const double elapsed = seconds_since(start);
+    if (total.load() == 0) std::abort();  // keep the reads observable
+    best = std::max(best, static_cast<double>(threads) *
+                              static_cast<double>(per_thread) / elapsed);
+  }
+  return best;
+}
+
+/// One BatchRunner job: a self-contained event simulation, the shape of a
+/// real engine run (private queue, rng-driven schedule).
+std::uint64_t batch_job(std::size_t index, rtw::sim::Xoshiro256ss& rng) {
+  rtw::sim::EventQueue q;
+  std::uint64_t acc = index;
+  for (int i = 0; i < 256; ++i) {
+    const auto at = rng.uniform(std::uint64_t{512});
+    q.schedule_at(at, [&acc](rtw::sim::Tick now) { acc += now; });
+  }
+  q.run_until(1 << 20);
+  return acc;
+}
+
+void run_kernel_benches(std::ostream& out) {
+  using rtw::sim::JsonLine;
+
+  // --- event queue: v2 slab heap vs v1 function heap ---
+  constexpr std::size_t kEvents = 1 << 16;
+  constexpr std::size_t kReps = 16;
+  event_throughput<rtw::sim::EventQueue>(1 << 12, 4);   // warmup
+  event_throughput<LegacyEventQueue>(1 << 12, 4);       // warmup
+  const double v2 = event_throughput<rtw::sim::EventQueue>(kEvents, kReps);
+  const double v1 = event_throughput<LegacyEventQueue>(kEvents, kReps);
+  out << JsonLine()
+             .field("bench", "kernel_event_queue")
+             .field("impl", "v2_slab_heap")
+             .field("events", kEvents * kReps)
+             .field("events_per_sec", v2)
+             .field("ns_per_event", 1e9 / v2)
+             .str()
+      << "\n";
+  out << JsonLine()
+             .field("bench", "kernel_event_queue")
+             .field("impl", "v1_function_heap")
+             .field("events", kEvents * kReps)
+             .field("events_per_sec", v1)
+             .field("ns_per_event", 1e9 / v1)
+             .str()
+      << "\n";
+  out << JsonLine()
+             .field("bench", "kernel_event_queue_ratio")
+             .field("speedup_v2_over_v1", v2 / v1)
+             .str()
+      << "\n";
+
+  // --- generator word: cursor vs at(), 1 and 8 readers ---
+  constexpr std::uint64_t kSymbols = 1 << 16;
+  constexpr std::size_t kSymbolReps = 5;
+  for (unsigned threads : {1u, 8u}) {
+    const double via_at = symbol_throughput(false, threads, kSymbols,
+                                            kSymbolReps);
+    const double via_cursor = symbol_throughput(true, threads, kSymbols,
+                                                kSymbolReps);
+    for (auto [impl, rate] : {std::pair{"at", via_at},
+                              std::pair{"cursor", via_cursor}})
+      out << JsonLine()
+                 .field("bench", "kernel_generator_symbols")
+                 .field("impl", impl)
+                 .field("threads", threads)
+                 .field("symbols_per_thread", kSymbols)
+                 .field("symbols_per_sec", rate)
+                 .str()
+          << "\n";
+    out << JsonLine()
+               .field("bench", "kernel_generator_symbols_ratio")
+               .field("threads", threads)
+               .field("speedup_cursor_over_at", via_cursor / via_at)
+               .str()
+        << "\n";
+  }
+
+  // --- BatchRunner scaling ---
+  constexpr std::size_t kJobs = 1024;
+  std::vector<std::uint64_t> reference;
+  double ms1 = 0;
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    rtw::engine::BatchOptions options;
+    options.threads = threads;
+    rtw::engine::BatchRunner runner(options);
+    runner.map(64, batch_job);  // warmup
+    const auto start = std::chrono::steady_clock::now();
+    auto results = runner.map(kJobs, batch_job);
+    const double ms = seconds_since(start) * 1e3;
+    if (threads == 1) {
+      reference = results;
+      ms1 = ms;
+    }
+    out << JsonLine()
+               .field("bench", "kernel_batch_scaling")
+               .field("threads", threads)
+               .field("jobs", kJobs)
+               .field("ms", ms)
+               .field("speedup_vs_1", ms1 / ms)
+               .field("bit_identical_to_serial", results == reference)
+               .str()
+        << "\n";
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string kernel_json;
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--kernel_json=", 0) == 0)
+      kernel_json = arg.substr(14);
+    else
+      args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::ofstream file;
+  std::ostream* out = &std::cout;
+  if (!kernel_json.empty()) {
+    file.open(kernel_json);
+    if (!file) {
+      std::cerr << "bench_micro: cannot open " << kernel_json << "\n";
+      return 1;
+    }
+    out = &file;
+  }
+  run_kernel_benches(*out);
+  return 0;
+}

@@ -81,10 +81,9 @@ std::set<TbaConfig> TimedBuchiAutomaton::run_prefix(const TimedWord& word,
   const ClockValue cap = max_constant() + 1;
   std::set<TbaConfig> current{TbaConfig{initial_, ClockValuation(clocks_, 0)}};
   Tick prev = 0;
-  const auto len = word.length();
-  const std::uint64_t end = len ? std::min<std::uint64_t>(*len, n) : n;
-  for (std::uint64_t i = 0; i < end; ++i) {
-    const TimedSymbol ts = word.at(i);
+  auto cur = word.cursor();
+  for (; cur.index() < n && !cur.done(); cur.advance()) {
+    const TimedSymbol ts = cur.current();
     const ClockValue elapsed = ts.time - prev;
     prev = ts.time;
     std::set<TbaConfig> next;

@@ -21,7 +21,10 @@
 
 namespace rtw::core {
 
-/// Read head over a timed omega-word, gated by virtual time.
+/// Read head over a timed omega-word, gated by virtual time.  Reads the
+/// word through a TimedWord::Cursor, so stepping an acceptor never touches
+/// the shared generator memo (or its mutex) even when many engine runs
+/// share one word across threads.
 class InputTape {
 public:
   explicit InputTape(TimedWord word);
@@ -30,22 +33,26 @@ public:
   /// Consumes them.
   std::vector<TimedSymbol> take_available(Tick now);
 
+  /// Allocation-free variant for hot loops: clears `out` and appends the
+  /// available symbols, reusing its capacity across calls.
+  void take_available(Tick now, std::vector<TimedSymbol>& out);
+
   /// Timestamp of the next unconsumed symbol, or nullopt once a finite word
   /// is exhausted.  Lets executors fast-forward through idle time.
   std::optional<Tick> next_arrival() const;
 
   /// Number of symbols consumed so far.
-  std::uint64_t consumed() const noexcept { return next_; }
+  std::uint64_t consumed() const noexcept { return cursor_.index(); }
 
   /// True once a finite word has been fully consumed (always false for
   /// infinite words).
-  bool exhausted() const;
+  bool exhausted() const { return cursor_.done(); }
 
   const TimedWord& word() const noexcept { return word_; }
 
 private:
   TimedWord word_;
-  std::uint64_t next_ = 0;
+  TimedWord::Cursor cursor_;
 };
 
 /// Write-only output stream with the <=1 symbol/tick discipline.

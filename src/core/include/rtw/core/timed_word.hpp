@@ -79,6 +79,8 @@ struct GeneratorTraits {
 /// A timed omega-word (Definition 3.2).  Cheap to copy (shared immutable
 /// representation).
 class TimedWord {
+  struct Rep;  // internal representation (timed_word.cpp)
+
 public:
   using Generator = std::function<TimedSymbol(std::uint64_t)>;
 
@@ -120,8 +122,51 @@ public:
 
   /// i-th element (0-based).  Throws ModelError past the end of a finite
   /// word.  O(1) for Finite/Lasso; generator cost for Generator words
-  /// (results of expensive generators are memoized internally).
+  /// (results of expensive generators are memoized internally).  This is
+  /// the *random-access fallback*: sequential readers (tapes, executors,
+  /// scanners) should use cursor(), which never touches the shared
+  /// generator memo or its mutex.
   TimedSymbol at(std::uint64_t i) const;
+
+  /// Sequential reader over the word.  Yields exactly the same
+  /// (symbol, time) stream as at(0), at(1), ... but:
+  ///   * Finite/Lasso: a pure pointer/arithmetic walk, no locking;
+  ///   * Generator: elements are produced into a private per-cursor chunk
+  ///     buffer, so concurrent cursors over one shared word never contend
+  ///     on the Rep's memo mutex (the generator function must be pure,
+  ///     which the Generator contract already requires).
+  /// The cursor keeps the word's representation alive independently.
+  class Cursor {
+  public:
+    /// Current element.  Contract: !done().
+    TimedSymbol current() const;
+    /// Index of the current element.
+    std::uint64_t index() const noexcept { return index_; }
+    /// True once a finite word is exhausted (never for infinite words).
+    bool done() const noexcept;
+    /// Moves to the next element.  Contract: !done().
+    void advance();
+    /// Convenience: current element then advance; nullopt when done.
+    std::optional<TimedSymbol> next();
+
+  private:
+    friend class TimedWord;
+    explicit Cursor(std::shared_ptr<const Rep> rep);
+
+    std::shared_ptr<const Rep> rep_;
+    std::uint64_t index_ = 0;
+    // Lasso walk state: position within the cycle and the accumulated
+    // per-lap time shift (index_ < prefix size means "still in prefix").
+    std::uint64_t cycle_pos_ = 0;
+    Tick lap_shift_ = 0;
+    // Generator chunk: elements [chunk_base_, chunk_base_ + chunk_.size()).
+    std::vector<TimedSymbol> chunk_;
+    std::uint64_t chunk_base_ = 0;
+    void refill_chunk();
+  };
+
+  /// A cursor positioned at element 0.
+  Cursor cursor() const { return Cursor(rep_); }
 
   /// First index whose timestamp is strictly greater than `t`, searching up
   /// to `horizon` indices; nullopt if none found in range.  This is the
@@ -159,7 +204,6 @@ public:
   static constexpr std::uint64_t kDefaultHorizon = 4096;
 
 private:
-  struct Rep;
   explicit TimedWord(std::shared_ptr<const Rep> rep);
   std::shared_ptr<const Rep> rep_;
 };

@@ -15,45 +15,34 @@ namespace {
 /// by shared_ptr.  A mutex keeps the state safe if the resulting word is
 /// shared across threads (the parallel runtime does this).
 struct MergeState {
-  TimedWord first;
-  TimedWord second;
-  std::uint64_t i = 0;  // next index in first
-  std::uint64_t j = 0;  // next index in second
+  TimedWord::Cursor first;   // sequential readers: the merge only ever
+  TimedWord::Cursor second;  // walks each operand forward
   std::vector<TimedSymbol> out;
   std::mutex mutex;
 
-  MergeState(TimedWord a, TimedWord b)
-      : first(std::move(a)), second(std::move(b)) {}
-
-  bool first_exhausted() const {
-    const auto len = first.length();
-    return len && i >= *len;
-  }
-  bool second_exhausted() const {
-    const auto len = second.length();
-    return len && j >= *len;
-  }
+  MergeState(const TimedWord& a, const TimedWord& b)
+      : first(a.cursor()), second(b.cursor()) {}
 
   TimedSymbol element(std::uint64_t k) {
     std::lock_guard lock(mutex);
     while (out.size() <= k) {
-      if (first_exhausted() && second_exhausted())
+      if (first.done() && second.done())
         throw ModelError("concat: index past end of merged finite word");
-      if (first_exhausted()) {
-        out.push_back(second.at(j++));
-      } else if (second_exhausted()) {
-        out.push_back(first.at(i++));
+      if (first.done()) {
+        out.push_back(*second.next());
+      } else if (second.done()) {
+        out.push_back(*first.next());
       } else {
-        const TimedSymbol a = first.at(i);
-        const TimedSymbol b = second.at(j);
+        const TimedSymbol a = first.current();
+        const TimedSymbol b = second.current();
         // Definition 3.5 item 3: on equal timestamps the first operand's
         // symbol precedes, hence <= (not <).
         if (a.time <= b.time) {
           out.push_back(a);
-          ++i;
+          first.advance();
         } else {
           out.push_back(b);
-          ++j;
+          second.advance();
         }
       }
     }
@@ -62,24 +51,23 @@ struct MergeState {
 };
 
 TimedWord merge_finite(const TimedWord& a, const TimedWord& b) {
-  const std::uint64_t na = *a.length();
-  const std::uint64_t nb = *b.length();
   std::vector<TimedSymbol> out;
-  out.reserve(na + nb);
-  std::uint64_t i = 0, j = 0;
-  while (i < na && j < nb) {
-    const TimedSymbol x = a.at(i);
-    const TimedSymbol y = b.at(j);
+  out.reserve(*a.length() + *b.length());
+  auto ca = a.cursor();
+  auto cb = b.cursor();
+  while (!ca.done() && !cb.done()) {
+    const TimedSymbol x = ca.current();
+    const TimedSymbol y = cb.current();
     if (x.time <= y.time) {
       out.push_back(x);
-      ++i;
+      ca.advance();
     } else {
       out.push_back(y);
-      ++j;
+      cb.advance();
     }
   }
-  for (; i < na; ++i) out.push_back(a.at(i));
-  for (; j < nb; ++j) out.push_back(b.at(j));
+  while (auto x = ca.next()) out.push_back(*x);
+  while (auto y = cb.next()) out.push_back(*y);
   return TimedWord::finite(std::move(out));
 }
 
@@ -127,33 +115,26 @@ Certificate is_concatenation(const TimedWord& merged, const TimedWord& first,
   // subsequences, nothing extra), item 3 (ties resolved first-first), and
   // monotonicity; item 2 (block contiguity) follows because we insist on the
   // canonical stable-merge order.
-  std::uint64_t i = 0, j = 0;
   Tick prev = 0;
   const auto mlen = merged.length();
   const std::uint64_t end =
       mlen ? std::min<std::uint64_t>(*mlen, horizon) : horizon;
-  const auto flen = first.length();
-  const auto slen = second.length();
-  for (std::uint64_t k = 0; k < end; ++k) {
-    const TimedSymbol m = merged.at(k);
+  auto cm = merged.cursor();
+  auto ca = first.cursor();
+  auto cb = second.cursor();
+  for (std::uint64_t k = 0; k < end; ++k, cm.advance()) {
+    const TimedSymbol m = cm.current();
     if (k > 0 && m.time < prev) return Certificate::Refuted;
     prev = m.time;
-    const bool have_a = !flen || i < *flen;
-    const bool have_b = !slen || j < *slen;
-    if (!have_a && !have_b) return Certificate::Refuted;
+    if (ca.done() && cb.done()) return Certificate::Refuted;
     TimedSymbol expected;
-    if (have_a && have_b) {
-      const TimedSymbol a = first.at(i);
-      const TimedSymbol b = second.at(j);
+    if (!ca.done() && !cb.done()) {
+      const TimedSymbol a = ca.current();
+      const TimedSymbol b = cb.current();
       expected = (a.time <= b.time) ? a : b;
-      if (a.time <= b.time)
-        ++i;
-      else
-        ++j;
-    } else if (have_a) {
-      expected = first.at(i++);
+      (a.time <= b.time ? ca : cb).advance();
     } else {
-      expected = second.at(j++);
+      expected = *(ca.done() ? cb : ca).next();
     }
     if (!(expected == m)) return Certificate::Refuted;
   }

@@ -4,29 +4,28 @@
 
 namespace rtw::core {
 
-InputTape::InputTape(TimedWord word) : word_(std::move(word)) {}
+InputTape::InputTape(TimedWord word)
+    : word_(std::move(word)), cursor_(word_.cursor()) {}
 
 std::vector<TimedSymbol> InputTape::take_available(Tick now) {
   std::vector<TimedSymbol> out;
-  const auto len = word_.length();
-  while (!len || next_ < *len) {
-    const TimedSymbol ts = word_.at(next_);
-    if (ts.time > now) break;
-    out.push_back(ts);
-    ++next_;
-  }
+  take_available(now, out);
   return out;
 }
 
-std::optional<Tick> InputTape::next_arrival() const {
-  const auto len = word_.length();
-  if (len && next_ >= *len) return std::nullopt;
-  return word_.at(next_).time;
+void InputTape::take_available(Tick now, std::vector<TimedSymbol>& out) {
+  out.clear();
+  while (!cursor_.done()) {
+    const TimedSymbol ts = cursor_.current();
+    if (ts.time > now) break;
+    out.push_back(ts);
+    cursor_.advance();
+  }
 }
 
-bool InputTape::exhausted() const {
-  const auto len = word_.length();
-  return len && next_ >= *len;
+std::optional<Tick> InputTape::next_arrival() const {
+  if (cursor_.done()) return std::nullopt;
+  return cursor_.current().time;
 }
 
 OutputTape::OutputTape(Symbol accept_symbol) : accept_(accept_symbol) {}

@@ -146,6 +146,88 @@ std::optional<std::uint64_t> TimedWord::length() const noexcept {
 
 TimedSymbol TimedWord::at(std::uint64_t i) const { return rep_->element(i); }
 
+// ------------------------------------------------------------- Cursor
+
+namespace {
+/// Capacity of a generator cursor's private chunk buffer: the cursor
+/// appends one element per advance (never reading ahead of the caller)
+/// and recycles the buffer once it fills, so memory stays bounded while
+/// recent elements remain re-readable without re-invoking the generator.
+constexpr std::uint64_t kCursorChunk = 32;
+}  // namespace
+
+TimedWord::Cursor::Cursor(std::shared_ptr<const Rep> rep)
+    : rep_(std::move(rep)) {
+  if (rep_->kind == Rep::Kind::Generator) {
+    chunk_.reserve(kCursorChunk);
+    refill_chunk();
+  }
+}
+
+void TimedWord::Cursor::refill_chunk() {
+  // Ensure element index_ is materialized in the chunk.  The cursor only
+  // moves forward one element at a time, so at most one generator call is
+  // needed here -- and it happens outside any shared lock.
+  if (index_ - chunk_base_ < chunk_.size()) return;
+  if (chunk_.size() >= kCursorChunk) {
+    chunk_base_ = index_;
+    chunk_.clear();
+  }
+  chunk_.push_back(rep_->fn(index_));
+}
+
+bool TimedWord::Cursor::done() const noexcept {
+  return rep_->kind == Rep::Kind::Finite && index_ >= rep_->finite.size();
+}
+
+TimedSymbol TimedWord::Cursor::current() const {
+  switch (rep_->kind) {
+    case Rep::Kind::Finite:
+      if (index_ >= rep_->finite.size())
+        throw ModelError("TimedWord::Cursor past end of finite word");
+      return rep_->finite[index_];
+    case Rep::Kind::Lasso: {
+      if (index_ < rep_->prefix.size()) return rep_->prefix[index_];
+      TimedSymbol s = rep_->cycle[cycle_pos_];
+      s.time += lap_shift_;
+      return s;
+    }
+    case Rep::Kind::Generator:
+      return chunk_[index_ - chunk_base_];
+  }
+  throw ModelError("TimedWord: corrupt representation");
+}
+
+void TimedWord::Cursor::advance() {
+  switch (rep_->kind) {
+    case Rep::Kind::Finite:
+      if (index_ >= rep_->finite.size())
+        throw ModelError("TimedWord::Cursor::advance past end of finite word");
+      ++index_;
+      return;
+    case Rep::Kind::Lasso:
+      ++index_;
+      if (index_ <= rep_->prefix.size()) return;  // still in (or entering)
+                                                  // the prefix/cycle junction
+      if (++cycle_pos_ == rep_->cycle.size()) {
+        cycle_pos_ = 0;
+        lap_shift_ += rep_->period;
+      }
+      return;
+    case Rep::Kind::Generator:
+      ++index_;
+      refill_chunk();
+      return;
+  }
+}
+
+std::optional<TimedSymbol> TimedWord::Cursor::next() {
+  if (done()) return std::nullopt;
+  TimedSymbol s = current();
+  advance();
+  return s;
+}
+
 std::optional<std::uint64_t> TimedWord::first_after(
     Tick t, std::uint64_t horizon) const {
   const auto len = length();
@@ -179,8 +261,8 @@ std::optional<std::uint64_t> TimedWord::first_after(
     }
     return std::nullopt;
   }
-  for (std::uint64_t i = 0; i < end; ++i)
-    if (at(i).time > t) return i;
+  for (auto cur = cursor(); cur.index() < end && !cur.done(); cur.advance())
+    if (cur.current().time > t) return cur.index();
   return std::nullopt;
 }
 
@@ -193,8 +275,9 @@ Certificate TimedWord::monotone(std::uint64_t horizon) const {
     case Rep::Kind::Generator: {
       if (rep_->traits.monotone_proven) return Certificate::Proven;
       Tick prev = 0;
-      for (std::uint64_t i = 0; i < horizon; ++i) {
-        const Tick t = at(i).time;
+      auto cur = cursor();
+      for (std::uint64_t i = 0; i < horizon; ++i, cur.advance()) {
+        const Tick t = cur.current().time;
         if (i > 0 && t < prev) return Certificate::Refuted;
         prev = t;
       }
@@ -242,7 +325,8 @@ std::vector<TimedSymbol> TimedWord::prefix(std::uint64_t n) const {
   const std::uint64_t end = len ? std::min<std::uint64_t>(*len, n) : n;
   std::vector<TimedSymbol> out;
   out.reserve(end);
-  for (std::uint64_t i = 0; i < end; ++i) out.push_back(at(i));
+  for (auto cur = cursor(); cur.index() < end; cur.advance())
+    out.push_back(cur.current());
   return out;
 }
 
@@ -294,11 +378,10 @@ std::string TimedWord::to_string(std::uint64_t n) const {
 bool is_subsequence(const std::vector<TimedSymbol>& sub, const TimedWord& word,
                     std::uint64_t horizon) {
   std::size_t matched = 0;
-  const auto len = word.length();
-  const std::uint64_t end = len ? std::min<std::uint64_t>(*len, horizon)
-                                : horizon;
-  for (std::uint64_t i = 0; i < end && matched < sub.size(); ++i)
-    if (word.at(i) == sub[matched]) ++matched;
+  auto cur = word.cursor();
+  for (; cur.index() < horizon && !cur.done() && matched < sub.size();
+       cur.advance())
+    if (cur.current() == sub[matched]) ++matched;
   return matched == sub.size();
 }
 

@@ -15,9 +15,11 @@
 /// Each engine run is already single-threaded and self-contained (private
 /// EventQueue + tapes), which is what makes this fan-out safe.
 
+#include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <future>
+#include <exception>
 #include <mutex>
 #include <type_traits>
 #include <vector>
@@ -50,6 +52,14 @@ public:
   /// returns the results in index order.  R must be default-constructible
   /// and must not be bool (std::vector<bool> packs bits -- concurrent
   /// element writes would race; return char or use membership_sweep).
+  ///
+  /// Fan-out shape: instead of one pool task (and one future) per index,
+  /// one task per worker claims index-range chunks from a shared atomic
+  /// counter -- work-stealing at the chunk level, so a 100k-index sweep
+  /// posts a handful of tasks and never funnels through a locked deque of
+  /// 100k cells.  Each index still derives its RNG from (seed, index)
+  /// alone, so results are bit-identical to the serial path at any thread
+  /// count and any chunk schedule.
   template <typename Job,
             typename R = std::invoke_result_t<Job, std::size_t,
                                               rtw::sim::Xoshiro256ss&>>
@@ -57,17 +67,65 @@ public:
     static_assert(!std::is_same_v<R, bool>,
                   "vector<bool> bit-packing races under concurrent writes");
     std::vector<R> results(count);
-    std::vector<std::future<void>> futures;
-    futures.reserve(count);
-    for (std::size_t i = 0; i < count; ++i) {
-      futures.push_back(pool_.submit([this, i, &results, &job] {
-        Gate gate(*this);
-        auto rng = rng_for(options_.seed, i);
-        results[i] = job(i, rng);
-        detail::record_batch_job();
-      }));
+    if (count == 0) return results;
+
+    struct Shared {
+      std::atomic<std::size_t> next{0};
+      std::atomic<std::size_t> live{0};
+      std::mutex mutex;
+      std::condition_variable done;
+      std::exception_ptr error;
+      std::size_t error_index = 0;
+    } shared;
+
+    const std::size_t workers =
+        std::min<std::size_t>(count, pool_.threads());
+    // ~8 chunks per worker keeps the tail balanced without contending on
+    // the atomic for every index.
+    const std::size_t chunk =
+        std::max<std::size_t>(1, count / (workers * 8));
+    shared.live.store(workers, std::memory_order_relaxed);
+
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool_.post([this, count, chunk, &shared, &results, &job] {
+        std::size_t begin;
+        while ((begin = shared.next.fetch_add(chunk,
+                                              std::memory_order_relaxed)) <
+               count) {
+          const std::size_t end = std::min(count, begin + chunk);
+          for (std::size_t i = begin; i < end; ++i) {
+            Gate gate(*this);
+            try {
+              auto rng = rng_for(options_.seed, i);
+              results[i] = job(i, rng);
+            } catch (...) {
+              std::lock_guard lock(shared.mutex);
+              // Keep the lowest-index exception (what the old
+              // future-per-index loop rethrew).
+              if (!shared.error || i < shared.error_index) {
+                shared.error = std::current_exception();
+                shared.error_index = i;
+              }
+            }
+            detail::record_batch_job();
+          }
+        }
+        // Decrement under the mutex: the waiter cannot observe live == 0
+        // (and destroy `shared`) until this worker has released the lock
+        // and stopped touching it.
+        {
+          std::lock_guard lock(shared.mutex);
+          if (shared.live.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            shared.done.notify_all();
+        }
+      });
     }
-    for (auto& f : futures) f.get();  // rethrows job exceptions
+
+    std::unique_lock lock(shared.mutex);
+    shared.done.wait(lock, [&shared] {
+      return shared.live.load(std::memory_order_acquire) == 0;
+    });
+    if (shared.error) std::rethrow_exception(shared.error);
     return results;
   }
 

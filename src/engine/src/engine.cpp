@@ -16,60 +16,90 @@ using rtw::core::StepContext;
 using rtw::core::TimedSymbol;
 using rtw::core::TimedWord;
 
+namespace {
+
+/// Everything one driver event needs, reachable through a single pointer so
+/// the scheduled callable's capture is 8 bytes -- comfortably inside the
+/// EventQueue Action's inline buffer, making the per-tick reschedule
+/// allocation-free.  The arrivals buffer is reused across ticks.
+struct DriveState {
+  RealTimeAlgorithm& algorithm;
+  rtw::core::InputTape in;
+  rtw::core::OutputTape out;
+  rtw::core::RunResult& result;
+  RunTrace& trace;
+  rtw::sim::EventQueue queue;
+  const RunOptions& options;
+  std::vector<TimedSymbol> arrivals;
+  bool locked = false;
+};
+
+/// One driver event per *visited* tick: deliver the arrivals that became
+/// available, run one virtual time unit of the algorithm, consult the
+/// lock protocol, then schedule the next wake-up.
+void drive(DriveState& st, rtw::sim::Tick now) {
+  st.in.take_available(now, st.arrivals);
+  st.result.symbols_consumed += st.arrivals.size();
+  StepContext ctx{now, std::span<const TimedSymbol>(st.arrivals), st.out};
+  st.algorithm.on_tick(ctx);
+  st.result.ticks = now;
+  st.trace.final_tick = now;
+  ++st.trace.ticks_executed;
+
+  if (const auto lock = st.algorithm.locked()) {
+    // Definition 3.4: the algorithm committed to s_f or s_r; the run is
+    // decided and nothing further is scheduled.
+    st.result.accepted = *lock;
+    st.result.exact = true;
+    st.locked = true;
+    st.trace.lock_time = now;
+    return;
+  }
+
+  // When the algorithm is unlocked and nothing is pending before the
+  // next arrival, the next driver event lands directly on that arrival:
+  // the idle gap is skipped inside the event heap instead of being
+  // walked tick by tick.
+  rtw::sim::Tick next = now + 1;
+  if (st.options.fast_forward) {
+    if (const auto arrival = st.in.next_arrival(); arrival && *arrival > next) {
+      st.trace.ticks_skipped += *arrival - next;
+      next = *arrival;
+    }
+    // A drained finite word keeps single-stepping so the algorithm can
+    // finish trailing work.
+  }
+  if (next <= st.options.horizon)
+    st.queue.schedule_at(next,
+                         [s = &st](rtw::sim::Tick t) { drive(*s, t); });
+}
+
+}  // namespace
+
 EngineResult Engine::run(RealTimeAlgorithm& algorithm,
                          const TimedWord& word) const {
   const auto wall_start = std::chrono::steady_clock::now();
 
   algorithm.reset();
-  rtw::core::InputTape in(word);
-  rtw::core::OutputTape out(options_.accept_symbol);
 
   EngineResult er;
   rtw::core::RunResult& result = er.result;
   RunTrace& trace = er.trace;
 
-  rtw::sim::EventQueue queue;
-  bool locked = false;
+  DriveState st{algorithm,
+                rtw::core::InputTape(word),
+                rtw::core::OutputTape(options_.accept_symbol),
+                result,
+                trace,
+                {},
+                options_,
+                {},
+                false};
+  rtw::core::OutputTape& out = st.out;
+  rtw::sim::EventQueue& queue = st.queue;
+  bool& locked = st.locked;
 
-  // One driver event per *visited* tick: deliver the arrivals that became
-  // available, run one virtual time unit of the algorithm, consult the
-  // lock protocol, then schedule the next wake-up.
-  std::function<void(rtw::sim::Tick)> drive = [&](rtw::sim::Tick now) {
-    const std::vector<TimedSymbol> arrivals = in.take_available(now);
-    result.symbols_consumed += arrivals.size();
-    StepContext ctx{now, std::span<const TimedSymbol>(arrivals), out};
-    algorithm.on_tick(ctx);
-    result.ticks = now;
-    trace.final_tick = now;
-    ++trace.ticks_executed;
-
-    if (const auto lock = algorithm.locked()) {
-      // Definition 3.4: the algorithm committed to s_f or s_r; the run is
-      // decided and nothing further is scheduled.
-      result.accepted = *lock;
-      result.exact = true;
-      locked = true;
-      trace.lock_time = now;
-      return;
-    }
-
-    // When the algorithm is unlocked and nothing is pending before the
-    // next arrival, the next driver event lands directly on that arrival:
-    // the idle gap is skipped inside the event heap instead of being
-    // walked tick by tick.
-    rtw::sim::Tick next = now + 1;
-    if (options_.fast_forward) {
-      if (const auto arrival = in.next_arrival(); arrival && *arrival > next) {
-        trace.ticks_skipped += *arrival - next;
-        next = *arrival;
-      }
-      // A drained finite word keeps single-stepping so the algorithm can
-      // finish trailing work.
-    }
-    if (next <= options_.horizon) queue.schedule_at(next, drive);
-  };
-
-  queue.schedule_at(0, drive);
+  queue.schedule_at(0, [s = &st](rtw::sim::Tick t) { drive(*s, t); });
   while (!locked) {
     trace.queue_depth_hwm =
         std::max<std::uint64_t>(trace.queue_depth_hwm, queue.pending());

@@ -226,11 +226,9 @@ TimedWord build_pq(const PeriodicQuerySpec& spec) {
 
 std::optional<std::uint64_t> lemma51_index(const TimedWord& word, Tick k,
                                            std::uint64_t scan_limit) {
-  const auto len = word.length();
-  const std::uint64_t end =
-      len ? std::min<std::uint64_t>(*len, scan_limit) : scan_limit;
-  for (std::uint64_t i = 0; i < end; ++i)
-    if (word.at(i).time >= k) return i;
+  auto cur = word.cursor();
+  for (; cur.index() < scan_limit && !cur.done(); cur.advance())
+    if (cur.current().time >= k) return cur.index();
   return std::nullopt;
 }
 

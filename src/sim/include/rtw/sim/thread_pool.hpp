@@ -8,25 +8,38 @@
 /// (independent tasks, joined results).
 ///
 /// Per C++ Core Guidelines CP.4: think in tasks.  submit() returns a
-/// future; wait_idle() drains the queue.
+/// future; post() is the fire-and-forget fast path (no future, no
+/// packaged_task, no shared_ptr -- one SmallFn move); wait_idle() drains
+/// the queue.
+///
+/// Internally each worker owns its own mutex-guarded deque; producers
+/// distribute round-robin and idle workers steal from their siblings'
+/// queues, so a fan-out of thousands of small tasks never serializes on a
+/// single queue lock.
 ///
 /// (Historically lived in rtw::par; moved into the sim infrastructure
 /// layer when the execution engine was introduced so that rtw_engine ->
 /// rtw_parallel -> rtw_engine never becomes a cycle.  rtw/par/thread_pool.hpp
 /// remains as a compatibility alias.)
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
-#include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "rtw/sim/small_fn.hpp"
 
 namespace rtw::sim {
 
 class ThreadPool {
 public:
+  /// Move-only task cell; captures up to 48 bytes run allocation-free.
+  using Task = SmallFn<void(), 48>;
+
   /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
   explicit ThreadPool(unsigned threads = 0);
   ~ThreadPool();
@@ -34,20 +47,20 @@ public:
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task; returns a future for its result.
+  /// Fire-and-forget fast path: enqueues `task` with no future attached.
+  /// Use when the task reports its result through its own captures (the
+  /// BatchRunner writes through per-index result slots, for example).
+  void post(Task task);
+
+  /// Enqueues a task; returns a future for its result.  Built on post():
+  /// the packaged_task wrapper is only paid by callers that want a future.
   template <typename F>
   auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
     auto packaged =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
     std::future<R> future = packaged->get_future();
-    {
-      std::lock_guard lock(mutex_);
-      if (stopping_)
-        throw std::runtime_error("ThreadPool: submit after shutdown");
-      queue_.emplace_back([packaged] { (*packaged)(); });
-    }
-    wake_.notify_one();
+    post([packaged] { (*packaged)(); });
     return future;
   }
 
@@ -59,15 +72,26 @@ public:
   }
 
 private:
-  void worker_loop();
+  /// One worker's queue.  unique_ptr keeps addresses stable in the vector.
+  struct Worker {
+    std::mutex mutex;
+    std::deque<Task> tasks;
+  };
 
-  std::mutex mutex_;
+  void worker_loop(unsigned self);
+  /// Pops from own queue front, else steals from a sibling's back.
+  bool try_pop(unsigned self, Task& out);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex sleep_mutex_;          ///< guards the two wait predicates
   std::condition_variable wake_;
   std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  unsigned busy_ = 0;
-  bool stopping_ = false;
+  std::atomic<std::size_t> queued_{0};    ///< tasks sitting in queues
+  std::atomic<std::size_t> in_flight_{0}; ///< queued + currently running
+  std::atomic<unsigned> round_robin_{0};
+  std::atomic<bool> stopping_{false};
 };
 
 }  // namespace rtw::sim

@@ -1,39 +1,132 @@
 #include "rtw/sim/event_queue.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <limits>
+#include <new>
 #include <utility>
 
 namespace rtw::sim {
 
-void EventQueue::schedule_at(Tick at, Action action) {
-  heap_.push(Entry{std::max(at, now_), seq_++, std::move(action)});
+EventQueue::~EventQueue() {
+  // Live actions are exactly the ones the heap still references; dead
+  // cells hold only free-list links.
+  for (const Node& node : heap_) cell(node.slot)->~Action();
 }
 
-void EventQueue::schedule_in(Tick delay, Action action) {
-  schedule_at(now_ + delay, std::move(action));
+std::uint32_t EventQueue::alloc_slot() {
+  if (free_head_ != kNil) {
+    const std::uint32_t slot = free_head_;
+    std::memcpy(&free_head_, cell(slot), sizeof(free_head_));
+    return slot;
+  }
+  if (used_ == capacity_) {
+    chunks_.push_back(std::make_unique<Cell[]>(kChunkSize));
+    capacity_ += kChunkSize;
+  }
+  return used_++;
+}
+
+void EventQueue::release_slot(std::uint32_t slot) noexcept {
+  Action* a = cell(slot);
+  a->~Action();
+  std::memcpy(a, &free_head_, sizeof(free_head_));
+  free_head_ = slot;
+}
+
+void EventQueue::sift_up(std::size_t i) noexcept {
+  const Node node = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!earlier(node, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = node;
+}
+
+void EventQueue::sift_down(std::size_t i) noexcept {
+  const Node node = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < last; ++c)
+      if (earlier(heap_[c], heap_[best])) best = c;
+    if (!earlier(heap_[best], node)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = node;
+}
+
+void EventQueue::push_heap(Tick at, std::uint32_t slot) {
+  heap_.push_back(Node{at, seq_++, slot});
+  sift_up(heap_.size() - 1);
+}
+
+EventQueue::Node EventQueue::pop_min() {
+  const Node top = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return top;
+}
+
+void EventQueue::fire(const Node& node) {
+  // In-place invocation: cells are address-stable, so callbacks are free
+  // to schedule (growing the chunk table) while this action runs.  The
+  // cell is not on the free list yet, so it cannot be reused mid-call;
+  // the guard releases it even when the action throws.
+  struct Guard {
+    EventQueue* queue;
+    std::uint32_t slot;
+    ~Guard() { queue->release_slot(slot); }
+  } guard{this, node.slot};
+  (*cell(node.slot))(now_);
+}
+
+void EventQueue::schedule_batch(std::vector<Scheduled> batch) {
+  heap_.reserve(heap_.size() + batch.size());
+  for (auto& s : batch) schedule_at(s.at, std::move(s.action));
 }
 
 bool EventQueue::step(Tick horizon) {
   if (heap_.empty()) return false;
-  if (heap_.top().at > horizon) return false;
-  // priority_queue::top() is const&; move out via const_cast is UB-adjacent,
-  // so copy the small Entry header and move the action by re-wrapping.
-  Entry entry = heap_.top();
-  heap_.pop();
-  now_ = entry.at;
-  entry.action(now_);
+  if (heap_.front().at > horizon) return false;
+  const Node node = pop_min();
+  now_ = node.at;
+  fire(node);
   return true;
 }
 
 std::size_t EventQueue::run_until(Tick horizon) {
   std::size_t executed = 0;
-  while (step(horizon)) ++executed;
-  if (heap_.empty() || heap_.top().at > horizon) now_ = std::max(now_, horizon);
+  while (!heap_.empty() && heap_.front().at <= horizon) {
+    // Coalesce the stretch of events sharing this tick: advance the clock
+    // once, then drain same-tick events (including ones the callbacks
+    // schedule at the current tick) without re-deciding the horizon.
+    const Tick tick = heap_.front().at;
+    now_ = tick;
+    do {
+      fire(pop_min());
+      ++executed;
+    } while (!heap_.empty() && heap_.front().at == tick);
+  }
+  if (heap_.empty() || heap_.front().at > horizon)
+    now_ = std::max(now_, horizon);
   return executed;
 }
 
 void EventQueue::reset() {
-  heap_ = {};
+  for (const Node& node : heap_) cell(node.slot)->~Action();
+  heap_.clear();
+  chunks_.clear();
+  free_head_ = kNil;
+  used_ = 0;
+  capacity_ = 0;
   now_ = 0;
   seq_ = 0;
 }
