@@ -1,0 +1,177 @@
+// EXP-FAULT -- the lossy routing language R'_{n,u} under injected faults.
+//
+// Sweep: link drop rate x protocol {flooding, DSDV, DSR, AODV} on a fixed
+// random-waypoint network, all runs driven by one deterministic FaultPlan
+// seed.  For every cell the harness reports the Broch et al. [12] measures
+// (delivery ratio, transmissions per message) plus the fault tallies the
+// injector recorded, and cross-checks that every extracted route -- lost
+// or delivered -- is a member of R'_{n,u}.  One JSONL line per cell for
+// the trajectory file.
+//
+// Expected shape: delivery falls monotonically with the drop rate for
+// flooding (the erasure-coupling theorem); the on-demand protocols decay
+// faster since route discovery itself gets lossy; words never leave R'.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "rtw/adhoc/metrics.hpp"
+#include "rtw/adhoc/protocols.hpp"
+#include "rtw/adhoc/words.hpp"
+#include "rtw/engine/batch.hpp"
+#include "rtw/sim/fault.hpp"
+#include "rtw/sim/jsonl.hpp"
+#include "rtw/sim/table.hpp"
+
+using namespace rtw::adhoc;
+
+namespace {
+
+struct ProtocolSpec {
+  const char* name;
+  ProtocolFactory factory;
+};
+
+struct CellResult {
+  RoutingMetrics metrics;
+  rtw::sim::FaultCounters faults;
+  std::uint64_t r_prime_violations = 0;
+};
+
+CellResult run_cell(const ProtocolFactory& factory, double drop_rate,
+                    std::uint64_t seed) {
+  NetworkConfig config;
+  config.nodes = 16;
+  config.region = {120, 120};
+  config.radio_range = 40;
+  config.pause_time = 60;
+  config.seed = seed;
+  const Network net(config);
+
+  rtw::sim::FaultPlan plan;
+  plan.seed = seed * 1315423911ULL + 7;
+  plan.link.drop = drop_rate;
+
+  Simulator sim(net, factory, {}, plan);
+  rtw::sim::Xoshiro256ss rng(seed * 31 + 5);
+  std::vector<DataSpec> messages;
+  for (std::uint64_t m = 0; m < 24; ++m) {
+    DataSpec spec;
+    spec.data_id = m + 1;
+    spec.src = static_cast<NodeId>(rng.uniform(std::uint64_t{16}));
+    do {
+      spec.dst = static_cast<NodeId>(rng.uniform(std::uint64_t{16}));
+    } while (spec.dst == spec.src);
+    spec.at = 30 + m * 10;
+    sim.schedule(spec);
+    messages.push_back(spec);
+  }
+  const auto result = sim.run(400);
+
+  CellResult cell;
+  cell.metrics = compute_metrics(result, net, messages);
+  cell.faults = result.faults;
+  // Differential check along the way: the faulty trace must stay inside
+  // the lossy language no matter what was injected.
+  for (const auto& spec : messages) {
+    const auto trace = extract_route(result, net, spec.data_id);
+    if (validate_route_lossy(trace, net)) ++cell.r_prime_violations;
+  }
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<ProtocolSpec> protocols = {
+      {"flooding", flooding_factory()},
+      {"dsdv", dsdv_factory(15)},
+      {"dsr", dsr_factory()},
+      {"aodv", aodv_factory()},
+  };
+  const std::vector<double> drop_rates = {0.0, 0.05, 0.15, 0.3, 0.5};
+  const std::vector<std::uint64_t> seeds = {3, 19, 71};
+
+  std::cout << "==========================================================\n";
+  std::cout << " EXP-FAULT: 16 nodes, 120x120, range 40, 24 msgs, 400 ticks\n";
+  std::cout << " drop rate x protocol under one deterministic FaultPlan\n";
+  std::cout << "==========================================================\n\n";
+
+  struct Cell {
+    std::size_t protocol;
+    double drop;
+    std::uint64_t seed;
+  };
+  std::vector<Cell> cells;
+  for (std::size_t p = 0; p < protocols.size(); ++p)
+    for (double drop : drop_rates)
+      for (auto seed : seeds) cells.push_back({p, drop, seed});
+  rtw::engine::BatchRunner runner;
+  const auto flat =
+      runner.map(cells.size(), [&](std::size_t i, rtw::sim::Xoshiro256ss&) {
+        const auto& c = cells[i];
+        return run_cell(protocols[c.protocol].factory, c.drop, c.seed);
+      });
+
+  auto cell_results = [&](std::size_t protocol, double drop) {
+    std::vector<CellResult> out;
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      if (cells[i].protocol == protocol && cells[i].drop == drop)
+        out.push_back(flat[i]);
+    return out;
+  };
+
+  std::cout << "--- delivery ratio vs link drop rate ---------------------\n";
+  std::vector<std::string> headers = {"protocol"};
+  for (double drop : drop_rates)
+    headers.push_back("drop " + std::to_string(drop).substr(0, 4));
+  rtw::sim::Table td(headers);
+  for (std::size_t p = 0; p < protocols.size(); ++p) {
+    td.row().cell(protocols[p].name);
+    for (double drop : drop_rates) {
+      double ratio = 0;
+      const auto rs = cell_results(p, drop);
+      for (const auto& r : rs) ratio += r.metrics.delivery_ratio();
+      td.cell(ratio / static_cast<double>(rs.size()), 3);
+    }
+  }
+  td.print(std::cout, 1);
+
+  std::cout << "\n";
+  std::uint64_t violations = 0;
+  for (std::size_t p = 0; p < protocols.size(); ++p) {
+    for (double drop : drop_rates) {
+      const auto rs = cell_results(p, drop);
+      double ratio = 0, overhead = 0;
+      rtw::sim::FaultCounters faults;
+      for (const auto& r : rs) {
+        ratio += r.metrics.delivery_ratio();
+        overhead += r.metrics.overhead_per_message();
+        faults += r.faults;
+        violations += r.r_prime_violations;
+      }
+      std::cout << rtw::sim::JsonLine()
+                       .field("bench", "fault_sweep")
+                       .field("protocol", protocols[p].name)
+                       .field("drop_rate", drop)
+                       .field("seeds", rs.size())
+                       .field("delivery_ratio",
+                              ratio / static_cast<double>(rs.size()))
+                       .field("tx_per_msg",
+                              overhead / static_cast<double>(rs.size()))
+                       .field("faults_dropped", faults.dropped)
+                       .field("faults_injected", faults.injected())
+                       .str()
+                << "\n";
+    }
+  }
+
+  std::cout << "\nR' membership violations across the whole sweep: "
+            << violations << " (expected: 0)\n";
+  std::cout << "expected shape: delivery falls monotonically with the drop "
+               "rate; on-demand\nprotocols decay faster than flooding "
+               "(route discovery is lossy too); every\nextracted word stays "
+               "inside the lossy routing language R'_{n,u}.\n";
+  return violations == 0 ? 0 : 1;
+}

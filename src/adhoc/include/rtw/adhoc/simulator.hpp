@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "rtw/adhoc/network.hpp"
+#include "rtw/sim/fault.hpp"
 
 namespace rtw::adhoc {
 
@@ -44,7 +45,15 @@ struct Packet {
   std::vector<NodeId> route;   ///< DSR accumulated/source route
   /// DSDV table entries: (destination, metric, sequence).
   std::vector<std::tuple<NodeId, std::uint32_t, std::uint64_t>> table;
+
+  friend bool operator==(const Packet&, const Packet&) = default;
 };
+
+/// Stable identity of a packet for fault-decision keying: the same logical
+/// transmission (same kind / origin / body / sequence) draws the same
+/// verdict on a given link no matter when or how often it is re-sent --
+/// the erasure-coupling contract of rtw::sim::FaultInjector.
+std::uint64_t packet_fault_key(const Packet& p) noexcept;
 
 std::string to_string(Packet::Kind k);
 
@@ -52,6 +61,8 @@ std::string to_string(Packet::Kind k);
 struct SendEvent {
   Tick time = 0;
   Packet packet;
+
+  friend bool operator==(const SendEvent&, const SendEvent&) = default;
 };
 
 /// One logged reception (the paper's r_u: receive events).
@@ -59,6 +70,8 @@ struct ReceiveEvent {
   Tick time = 0;
   NodeId by = 0;
   Packet packet;
+
+  friend bool operator==(const ReceiveEvent&, const ReceiveEvent&) = default;
 };
 
 /// A logical application message to be routed (the paper's u).
@@ -74,6 +87,8 @@ struct Delivery {
   std::uint64_t data_id = 0;
   Tick delivered_at = 0;
   std::uint32_t hops = 0;
+
+  friend bool operator==(const Delivery&, const Delivery&) = default;
 };
 
 class Simulator;
@@ -139,14 +154,27 @@ struct SimResult {
   std::uint64_t data_transmissions = 0;     ///< Data sends (incl. relays)
   std::uint64_t collided = 0;               ///< packets lost to interference
   std::uint64_t engine_events = 0;          ///< kernel events executed
+  /// Per-run fault tally and injected-event records; both stay empty (and
+  /// the run is byte-identical to an unfaulted one) under a noop plan.
+  rtw::sim::FaultCounters faults;
+  std::vector<rtw::sim::FaultRecord> fault_records;
 
   std::optional<Delivery> delivery_of(std::uint64_t data_id) const;
+
+  friend bool operator==(const SimResult&, const SimResult&) = default;
 };
 
 class Simulator {
 public:
   Simulator(const Network& network, const ProtocolFactory& factory,
             RadioModel radio = {});
+
+  /// A simulator with deterministic fault injection: message drop /
+  /// duplicate / delay at delivery time, node crash windows, all driven by
+  /// (plan.seed, plan) -- replays bit-identically.  A noop plan behaves
+  /// exactly like the plain constructor.
+  Simulator(const Network& network, const ProtocolFactory& factory,
+            RadioModel radio, rtw::sim::FaultPlan faults);
 
   /// Schedules a logical message origination.
   void schedule(DataSpec spec);
@@ -167,6 +195,8 @@ private:
   std::vector<std::pair<Tick, Packet>> airborne_;  ///< sent this tick
   SimResult result_;
   std::map<std::uint64_t, bool> delivered_;
+  std::optional<rtw::sim::FaultPlan> fault_plan_;
+  rtw::sim::FaultInjector* injector_ = nullptr;  ///< live during run() only
 };
 
 }  // namespace rtw::adhoc

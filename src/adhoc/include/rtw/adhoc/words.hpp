@@ -73,7 +73,13 @@ struct RouteTrace {
 
 /// Extracts the RouteTrace of logical message `data_id` from a simulation
 /// result: the hop chain is reconstructed from the Data receive events
-/// (each relay is one u_i); all control transmissions are rt_j.
+/// (each relay is one u_i); all control transmissions are rt_j.  The chain
+/// is a *witness* of the section 5.2.4 conditions: hops link only when the
+/// sender held the message at the send time (it received the packet at
+/// exactly that tick, or it is the origin, which condition 1 lets hold),
+/// so `delivered` is true iff a complete condition-2 chain reaches d --
+/// retransmissions and fault-delayed copies never stitch hops of different
+/// attempts together.
 RouteTrace extract_route(const SimResult& result, const Network& network,
                          std::uint64_t data_id);
 

@@ -22,6 +22,22 @@ std::string to_string(Packet::Kind k) {
   return "?";
 }
 
+std::uint64_t packet_fault_key(const Packet& p) noexcept {
+  // SplitMix64 fold over the packet's logical identity (kind, origin,
+  // body, sequence).  Hop-dependent fields (from, to, ttl, hops_traveled)
+  // are deliberately excluded: the link endpoints enter the fault draw
+  // separately, and retransmissions of the same logical packet must reuse
+  // the same decision stream.
+  auto fold = [](std::uint64_t acc, std::uint64_t v) {
+    return rtw::sim::SplitMix64(acc ^ (v * 0x9e3779b97f4a7c15ULL))();
+  };
+  std::uint64_t key = fold(0x7061636b6574ULL, static_cast<std::uint64_t>(p.kind));
+  key = fold(key, p.origin);
+  key = fold(key, p.data_id);
+  key = fold(key, p.seq);
+  return key;
+}
+
 std::optional<Delivery> SimResult::delivery_of(std::uint64_t data_id) const {
   for (const auto& d : deliveries)
     if (d.data_id == data_id) return d;
@@ -53,6 +69,12 @@ Simulator::Simulator(const Network& network, const ProtocolFactory& factory,
   }
 }
 
+Simulator::Simulator(const Network& network, const ProtocolFactory& factory,
+                     RadioModel radio, rtw::sim::FaultPlan faults)
+    : Simulator(network, factory, radio) {
+  fault_plan_ = std::move(faults);
+}
+
 void Simulator::schedule(DataSpec spec) {
   if (spec.src >= network_->size() || spec.dst >= network_->size())
     throw rtw::core::ModelError("Simulator: data endpoints out of range");
@@ -63,6 +85,13 @@ void Simulator::transmit(NodeId from, Packet p, NodeId to, Tick now) {
   p.from = from;
   p.to = to;
   if (p.ttl == 0) return;  // expired: dropped silently
+  if (injector_ && injector_->node_down(from, now)) {
+    // A crashed node does not transmit: nothing is logged or put on the
+    // air (protocol state machines are frozen anyway; this guards sends
+    // triggered from surviving code paths at the crash boundary).
+    injector_->count_crash_send(from, now, packet_fault_key(p));
+    return;
+  }
   airborne_.emplace_back(now, p);
   result_.sends.push_back({now, p});
   if (p.kind == Packet::Kind::Data)
@@ -80,21 +109,69 @@ SimResult Simulator::run(Tick horizon) {
   rtw::sim::EventQueue queue;
   std::vector<std::pair<Tick, Packet>> in_flight;
 
+  // Fault layer: one injector per run, keyed entirely by (plan.seed,
+  // traffic identity), so the run replays bit-identically.  `faulty`
+  // stays false for absent/noop plans and every fault branch below is
+  // skipped -- the fault-free path is byte-identical to the plain one.
+  std::optional<rtw::sim::FaultInjector> injector;
+  if (fault_plan_) injector.emplace(*fault_plan_);
+  const bool faulty = injector && injector->active();
+  injector_ = faulty ? &*injector : nullptr;
+  // Deliveries deferred by delay faults, keyed by their new arrival tick.
+  std::map<Tick, std::vector<std::pair<NodeId, Packet>>> deferred;
+
   std::function<void(rtw::sim::Tick)> step = [&](rtw::sim::Tick now) {
     // 1. Deliver packets sent last tick: reception set is determined by
-    //    the sender's range at *send* time (section 5.2.1).
+    //    the sender's range at *send* time (section 5.2.1).  The fault
+    //    filter sits at this delivery stage: each (packet, receiver) pair
+    //    may be dropped, duplicated, or deferred to a later tick.
     std::vector<std::vector<Packet>> inboxes(network_->size());
+    auto deliver = [&](NodeId node, const Packet& p, Tick sent_at) {
+      if (!faulty) {
+        inboxes[node].push_back(p);
+        return;
+      }
+      if (injector->node_down(node, now)) {
+        injector->count_crash_receive(node, now, packet_fault_key(p));
+        return;
+      }
+      const auto verdict =
+          injector->link_verdict(p.from, node, packet_fault_key(p), now);
+      if (!verdict.deliver) return;
+      (void)sent_at;
+      for (std::uint32_t c = 0; c < verdict.copies; ++c) {
+        if (verdict.extra_delay > 0)
+          deferred[now + verdict.extra_delay].push_back({node, p});
+        else
+          inboxes[node].push_back(p);
+      }
+    };
     for (const auto& [sent_at, p] : in_flight) {
       if (p.to == kBroadcast) {
         for (NodeId node : network_->neighbors(p.from, sent_at))
-          inboxes[node].push_back(p);
+          deliver(node, p, sent_at);
       } else if (p.to < network_->size() &&
                  network_->range(p.from, p.to, sent_at)) {
-        inboxes[p.to].push_back(p);
+        deliver(p.to, p, sent_at);
       }
       // else: addressee out of range -- the packet is lost.
     }
     in_flight.clear();
+
+    // 1a. Deferred (delay-faulted) deliveries landing at this tick join
+    // the inboxes after the on-time arrivals -- a fixed, deterministic
+    // interleaving.  The receiver may have crashed in the meantime.
+    if (faulty) {
+      if (const auto it = deferred.find(now); it != deferred.end()) {
+        for (const auto& [node, p] : it->second) {
+          if (injector->node_down(node, now))
+            injector->count_crash_receive(node, now, packet_fault_key(p));
+          else
+            inboxes[node].push_back(p);
+        }
+        deferred.erase(it);
+      }
+    }
 
     // 1b. Interference: under the ALOHA radio, simultaneous arrivals at a
     // node destroy each other.
@@ -107,8 +184,11 @@ SimResult Simulator::run(Tick horizon) {
       }
     }
 
-    // 2. Per node: timers, then packet processing, then originations.
+    // 2. Per node: timers, then packet processing, then originations.  A
+    // crashed node is frozen: no timers, no packet processing (its inbox
+    // is empty anyway -- delivery already suppressed above).
     for (NodeId node = 0; node < network_->size(); ++node) {
+      if (faulty && injector->node_down(node, now)) continue;
       NodeContext ctx(*this, node, now);
       protocols_[node]->on_tick(ctx);
       for (auto& p : inboxes[node]) {
@@ -129,6 +209,13 @@ SimResult Simulator::run(Tick horizon) {
       if (spec.at != now) continue;
       NodeContext ctx(*this, spec.src, now);
       ++result_.originated;
+      if (faulty && injector->node_down(spec.src, now)) {
+        // The application asked a crashed node to send: the message
+        // counts as originated (the delivery-ratio denominator) but never
+        // enters the network.
+        injector->count_crash_send(spec.src, now, spec.data_id);
+        continue;
+      }
       protocols_[spec.src]->originate(ctx, spec.dst, spec.data_id);
     }
 
@@ -143,6 +230,11 @@ SimResult Simulator::run(Tick horizon) {
     queue.schedule_at(0, step);
     result_.engine_events = queue.run_until(horizon - 1);
   }
+  if (faulty) {
+    result_.faults = injector->counters();
+    result_.fault_records = injector->records();
+  }
+  injector_ = nullptr;
   SimResult out = std::move(result_);
   result_ = {};
   delivered_.clear();

@@ -118,11 +118,17 @@ RouteTrace extract_route(const SimResult& result, const Network& network,
   trace.body = data_id;
 
   // Hop chain: the Data receive events for this data_id, chained from the
-  // origin.  Each receive (time, by, packet.from) is one u_i.  Relays and
-  // flooding may fork the chain; follow the path that first reaches the
-  // final destination by walking receive events in time order, tracking
-  // which nodes hold the message and their hop history.
-  std::map<NodeId, std::vector<HopMessage>> history;
+  // origin.  Each receive (time, by, packet.from) is one u_i.  The chain
+  // must be an actual witness of the R_{n,u} conditions: a hop from S
+  // received at t' extends a chain only if S *held the message at the send
+  // time* t' - 1 -- S received it at exactly that tick (condition 2 forbids
+  // mid-chain holding), or S is the origin (condition 1 lets the source
+  // hold u while e.g. discovering a route).  Tracking chains per
+  // (node, arrival time) rather than per node keeps retransmitted traffic
+  // (retries under message loss, delay-faulted copies) from stitching hops
+  // of different attempts into a chain no physical copy ever traveled.
+  // `delivered` is set only when a complete witness reaches d.
+  std::map<std::pair<NodeId, Tick>, std::vector<HopMessage>> held;
   bool origin_known = false;
 
   for (const auto& recv : result.receives) {
@@ -133,22 +139,27 @@ RouteTrace extract_route(const SimResult& result, const Network& network,
       trace.destination = p.final_dst;
       trace.originated_at = p.originated_at;
       origin_known = true;
-      history[p.origin] = {};
     }
     const NodeId sender = p.from;
-    // The sender's history + this hop becomes the receiver's history, if
-    // the receiver has none yet (first arrival wins -- earliest path).
-    if (history.count(recv.by)) continue;
-    const auto it = history.find(sender);
-    if (it == history.end()) continue;  // sender path unknown (shouldn't be)
-    std::vector<HopMessage> chain = it->second;
-    chain.push_back({recv.time - 1, recv.time, sender, recv.by, data_id});
+    const Tick sent_at = recv.time - 1;
+    const std::vector<HopMessage>* parent = nullptr;
+    static const std::vector<HopMessage> kAtOrigin;
+    if (const auto it = held.find({sender, sent_at}); it != held.end())
+      parent = &it->second;
+    else if (sender == trace.source)
+      parent = &kAtOrigin;
+    if (!parent) continue;  // sender did not hold the message at send time
+    // First chain to arrive at (node, time) wins (receive-log order, i.e.
+    // the earliest witness).
+    if (held.count({recv.by, recv.time})) continue;
+    std::vector<HopMessage> chain = *parent;
+    chain.push_back({sent_at, recv.time, sender, recv.by, data_id});
     if (recv.by == p.final_dst) {
       trace.hops = std::move(chain);
       trace.delivered = true;
       break;
     }
-    history[recv.by] = std::move(chain);
+    held[{recv.by, recv.time}] = std::move(chain);
   }
 
   if (!origin_known) {

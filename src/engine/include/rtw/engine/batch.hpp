@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <type_traits>
 #include <vector>
 
@@ -130,11 +131,15 @@ public:
   }
 
   /// Runs every word through a fresh algorithm from `factory` (one engine
-  /// run per word); results in word order.
+  /// run per word); results in word order.  With `faults`, every run
+  /// executes under that fault plan (each engine run builds its own
+  /// injector, so per-run RunTrace fault counters are isolated across
+  /// batch entries and results stay thread-count invariant).
   std::vector<EngineResult> run_words(
       const AlgorithmFactory& factory,
       const std::vector<rtw::core::TimedWord>& words,
-      const rtw::core::RunOptions& options = {});
+      const rtw::core::RunOptions& options = {},
+      const std::optional<rtw::sim::FaultPlan>& faults = std::nullopt);
 
   /// Monte Carlo fan-out: runs `count` sampled words, where sample i is
   /// produced by `sampler(i, rng)` with the deterministic per-run RNG.
@@ -143,7 +148,8 @@ public:
       const std::function<rtw::core::TimedWord(std::uint64_t,
                                                rtw::sim::Xoshiro256ss&)>&
           sampler,
-      const rtw::core::RunOptions& options = {});
+      const rtw::core::RunOptions& options = {},
+      const std::optional<rtw::sim::FaultPlan>& faults = std::nullopt);
 
 private:
   /// RAII slot in the max_in_flight window.

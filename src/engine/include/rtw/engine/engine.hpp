@@ -23,9 +23,11 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 
 #include "rtw/core/acceptor.hpp"
 #include "rtw/engine/trace.hpp"
+#include "rtw/sim/fault.hpp"
 
 namespace rtw::engine {
 
@@ -42,7 +44,22 @@ class Engine {
 public:
   explicit Engine(rtw::core::RunOptions options = {}) : options_(options) {}
 
+  /// An engine with deterministic fault injection: the plan's clock-jitter
+  /// section is applied through the EventQueue fault filter, so driver
+  /// ticks fire late by bounded, seeded amounts -- an adversarial timing
+  /// schedule for robustness testing.  (Drop faults are not applied to
+  /// driver events: the drive chain is self-scheduling, and severing it
+  /// would silently truncate the run rather than perturb it.)  Each run
+  /// builds a private injector from the plan, so fault counters in one
+  /// RunTrace never bleed into another -- batch entries included.  A noop
+  /// plan installs nothing: traces are byte-identical to the plain engine.
+  Engine(rtw::core::RunOptions options, rtw::sim::FaultPlan faults)
+      : options_(options), faults_(std::move(faults)) {}
+
   const rtw::core::RunOptions& options() const noexcept { return options_; }
+  const std::optional<rtw::sim::FaultPlan>& fault_plan() const noexcept {
+    return faults_;
+  }
 
   /// Runs `algorithm` on `word` under Definition 3.3 semantics and
   /// evaluates Definition 3.4.  Resets the algorithm first.
@@ -51,6 +68,7 @@ public:
 
 private:
   rtw::core::RunOptions options_;
+  std::optional<rtw::sim::FaultPlan> faults_;
 };
 
 /// One-shot convenience wrapper.

@@ -11,8 +11,10 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "rtw/core/timed_word.hpp"
+#include "rtw/sim/fault.hpp"
 
 namespace rtw::engine {
 
@@ -29,8 +31,14 @@ struct RunTrace {
   std::uint64_t symbols_consumed = 0;
   std::uint64_t f_count = 0;  ///< |o(A,w)|_f observed
   std::uint64_t wall_ns = 0;  ///< wall-clock duration of the run
+  /// Per-run fault tally (clock jitter injected by a faulty Engine) plus
+  /// the injected-event records.  Both stay empty -- and to_json stays
+  /// byte-identical to the plain engine's -- when no fault fired.
+  rtw::sim::FaultCounters faults;
+  std::vector<rtw::sim::FaultRecord> fault_records;
 
-  /// One-line JSON rendering for the BENCH_*.json trajectory.
+  /// One-line JSON rendering for the BENCH_*.json trajectory.  Fault
+  /// fields are appended only when at least one fault fired.
   std::string to_json() const;
 };
 
@@ -43,9 +51,20 @@ struct CountersSnapshot {
   std::uint64_t symbols = 0;      ///< input symbols delivered
   std::uint64_t batch_jobs = 0;   ///< BatchRunner jobs completed
   std::uint64_t wall_ns = 0;      ///< summed wall-clock across runs
+  std::uint64_t faults = 0;       ///< injected faults across all runs
 
   std::string to_json() const;
+
+  friend bool operator==(const CountersSnapshot&,
+                         const CountersSnapshot&) = default;
 };
+
+/// Field-wise difference of two snapshots -- the canonical way to measure
+/// one section (a batch, a bench loop) against the process-wide
+/// accumulators without a racy global reset.  Callers pass the earlier
+/// snapshot on the right.
+CountersSnapshot operator-(const CountersSnapshot& later,
+                           const CountersSnapshot& earlier);
 
 /// Process-wide atomic counters over every engine run in this process
 /// (all threads).  Cheap relaxed atomics; intended for bench export and

@@ -34,8 +34,9 @@ void BatchRunner::release() {
 std::vector<EngineResult> BatchRunner::run_words(
     const AlgorithmFactory& factory,
     const std::vector<rtw::core::TimedWord>& words,
-    const rtw::core::RunOptions& options) {
-  const Engine engine(options);
+    const rtw::core::RunOptions& options,
+    const std::optional<rtw::sim::FaultPlan>& faults) {
+  const Engine engine = faults ? Engine(options, *faults) : Engine(options);
   return map(words.size(),
              [&](std::size_t i, rtw::sim::Xoshiro256ss&) -> EngineResult {
                auto algorithm = factory();
@@ -47,8 +48,9 @@ std::vector<EngineResult> BatchRunner::run_sampled(
     const AlgorithmFactory& factory, std::size_t count,
     const std::function<rtw::core::TimedWord(std::uint64_t,
                                              rtw::sim::Xoshiro256ss&)>& sampler,
-    const rtw::core::RunOptions& options) {
-  const Engine engine(options);
+    const rtw::core::RunOptions& options,
+    const std::optional<rtw::sim::FaultPlan>& faults) {
+  const Engine engine = faults ? Engine(options, *faults) : Engine(options);
   return map(count,
              [&](std::size_t i, rtw::sim::Xoshiro256ss& rng) -> EngineResult {
                const auto word = sampler(i, rng);

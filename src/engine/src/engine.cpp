@@ -99,6 +99,19 @@ EngineResult Engine::run(RealTimeAlgorithm& algorithm,
   rtw::sim::EventQueue& queue = st.queue;
   bool& locked = st.locked;
 
+  // Fault stage: a per-run injector (never shared, so per-run isolation is
+  // structural) feeding the kernel's fault filter with clock jitter.
+  std::optional<rtw::sim::FaultInjector> injector;
+  if (faults_ && !faults_->is_noop()) {
+    injector.emplace(*faults_);
+    queue.set_fault_filter(
+        [inj = &*injector](rtw::sim::Tick at, std::uint64_t seq) {
+          const rtw::sim::Tick to = inj->jitter(at, seq);
+          return to == at ? rtw::sim::FaultDecision::fire()
+                          : rtw::sim::FaultDecision::defer(to);
+        });
+  }
+
   queue.schedule_at(0, [s = &st](rtw::sim::Tick t) { drive(*s, t); });
   while (!locked) {
     trace.queue_depth_hwm =
@@ -111,6 +124,10 @@ EngineResult Engine::run(RealTimeAlgorithm& algorithm,
   result.first_f = out.first_accept();
   trace.f_count = result.f_count;
   trace.symbols_consumed = result.symbols_consumed;
+  if (injector) {
+    trace.faults = injector->counters();
+    trace.fault_records = injector->records();
+  }
 
   if (!result.exact) {
     // Heuristic at the horizon: treat "f written within the trailing

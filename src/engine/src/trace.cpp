@@ -20,6 +20,13 @@ std::string RunTrace::to_json() const {
   line.field("symbols_consumed", symbols_consumed)
       .field("f_count", f_count)
       .field("wall_ns", wall_ns);
+  if (faults.injected()) {
+    line.field("faults_injected", faults.injected())
+        .field("faults_jittered", faults.jittered)
+        .field("faults_jitter_ticks", faults.jitter_ticks)
+        .field("faults_dropped", faults.dropped)
+        .field("faults_delayed", faults.delayed);
+  }
   return line.str();
 }
 
@@ -32,7 +39,22 @@ std::string CountersSnapshot::to_json() const {
       .field("symbols", symbols)
       .field("batch_jobs", batch_jobs)
       .field("wall_ns", wall_ns)
+      .field("faults", faults)
       .str();
+}
+
+CountersSnapshot operator-(const CountersSnapshot& later,
+                           const CountersSnapshot& earlier) {
+  CountersSnapshot d;
+  d.runs = later.runs - earlier.runs;
+  d.locked_runs = later.locked_runs - earlier.locked_runs;
+  d.ticks = later.ticks - earlier.ticks;
+  d.events = later.events - earlier.events;
+  d.symbols = later.symbols - earlier.symbols;
+  d.batch_jobs = later.batch_jobs - earlier.batch_jobs;
+  d.wall_ns = later.wall_ns - earlier.wall_ns;
+  d.faults = later.faults - earlier.faults;
+  return d;
 }
 
 namespace {
@@ -45,6 +67,7 @@ struct AtomicCounters {
   std::atomic<std::uint64_t> symbols{0};
   std::atomic<std::uint64_t> batch_jobs{0};
   std::atomic<std::uint64_t> wall_ns{0};
+  std::atomic<std::uint64_t> faults{0};
 };
 
 AtomicCounters& counters() {
@@ -64,6 +87,7 @@ CountersSnapshot Counters::snapshot() noexcept {
   s.symbols = c.symbols.load(std::memory_order_relaxed);
   s.batch_jobs = c.batch_jobs.load(std::memory_order_relaxed);
   s.wall_ns = c.wall_ns.load(std::memory_order_relaxed);
+  s.faults = c.faults.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -76,6 +100,7 @@ void Counters::reset() noexcept {
   c.symbols.store(0, std::memory_order_relaxed);
   c.batch_jobs.store(0, std::memory_order_relaxed);
   c.wall_ns.store(0, std::memory_order_relaxed);
+  c.faults.store(0, std::memory_order_relaxed);
 }
 
 namespace detail {
@@ -88,6 +113,8 @@ void record_run(const RunTrace& trace, bool locked) noexcept {
   c.events.fetch_add(trace.events_executed, std::memory_order_relaxed);
   c.symbols.fetch_add(trace.symbols_consumed, std::memory_order_relaxed);
   c.wall_ns.fetch_add(trace.wall_ns, std::memory_order_relaxed);
+  if (const auto injected = trace.faults.injected())
+    c.faults.fetch_add(injected, std::memory_order_relaxed);
 }
 
 void record_batch_job() noexcept {

@@ -36,6 +36,21 @@ namespace rtw::sim {
 /// Discrete virtual time, in ticks.  Matches rtw::core::Tick.
 using Tick = std::uint64_t;
 
+/// Verdict of the fault-filter stage consulted between pop and fire.
+struct FaultDecision {
+  enum class Kind : std::uint8_t {
+    Fire,   ///< run the event normally
+    Drop,   ///< discard the event (its action is destroyed, never run)
+    Defer,  ///< re-queue the event at `defer_to` (clamped to > its tick)
+  };
+  Kind kind = Kind::Fire;
+  Tick defer_to = 0;  ///< target tick for Defer; ignored otherwise
+
+  static FaultDecision fire() noexcept { return {Kind::Fire, 0}; }
+  static FaultDecision drop() noexcept { return {Kind::Drop, 0}; }
+  static FaultDecision defer(Tick to) noexcept { return {Kind::Defer, to}; }
+};
+
 /// A scheduled callback.  Events at the same tick fire in scheduling order
 /// (a strictly increasing sequence number breaks ties), which keeps every
 /// simulation deterministic.
@@ -105,8 +120,27 @@ public:
   bool empty() const noexcept { return heap_.empty(); }
   std::size_t pending() const noexcept { return heap_.size(); }
 
-  /// Discards all pending events and resets the clock to zero.
+  /// Discards all pending events and resets the clock to zero.  An
+  /// installed fault filter stays installed.
   void reset();
+
+  /// The fault-filter stage (deterministic fault injection): consulted for
+  /// every popped event *before* it fires, with the event's scheduled tick
+  /// and sequence number.  Drop destroys the action unrun; Defer re-queues
+  /// it at max(defer_to, tick + 1) with a fresh sequence number.  Neither
+  /// counts toward step()/run_until() executed totals.  An empty filter
+  /// (the default) costs one predictable branch on the hot path.
+  using FaultFilter = SmallFn<FaultDecision(Tick, std::uint64_t), 48>;
+  void set_fault_filter(FaultFilter filter) { filter_ = std::move(filter); }
+  void clear_fault_filter() { filter_ = FaultFilter(); }
+  bool has_fault_filter() const noexcept { return static_cast<bool>(filter_); }
+
+  /// Events discarded / re-queued by the filter since construction or the
+  /// last reset (observability for traces).
+  std::uint64_t filtered_dropped() const noexcept { return filtered_dropped_; }
+  std::uint64_t filtered_deferred() const noexcept {
+    return filtered_deferred_;
+  }
 
   EventQueue() = default;
   ~EventQueue();
@@ -160,6 +194,9 @@ private:
   /// Fires the popped node's action in place, releasing the cell even if
   /// the action throws.
   void fire(const Node& node);
+  /// Applies the fault filter to a popped node.  Returns true when the
+  /// event survived (caller fires it); on Drop/Defer the node was consumed.
+  bool admit(const Node& node);
 
   std::vector<Node> heap_;                    ///< 4-ary implicit min-heap
   std::vector<std::unique_ptr<Cell[]>> chunks_;  ///< stable action storage
@@ -168,6 +205,9 @@ private:
   std::uint32_t capacity_ = 0;      ///< total cells across chunks
   Tick now_ = 0;
   std::uint32_t seq_ = 0;
+  FaultFilter filter_;  ///< fault-injection stage; empty = pass-through
+  std::uint64_t filtered_dropped_ = 0;
+  std::uint64_t filtered_deferred_ = 0;
 };
 
 }  // namespace rtw::sim

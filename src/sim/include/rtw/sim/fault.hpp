@@ -1,0 +1,210 @@
+#pragma once
+/// \file fault.hpp
+/// Deterministic fault injection for every simulator in the library.
+///
+/// The paper's lossy routing language R'_{n,u} (end of section 5.2.4)
+/// *describes* message loss; this layer lets the simulators *produce* it,
+/// so the robustness half of the model is exercised by real traffic.  A
+/// FaultPlan is a declarative schedule of adversity:
+///
+///   * link faults  -- per-message drop / duplicate / delay with
+///     per-link probability overrides (the ad hoc network applies these at
+///     delivery time; a delayed hop reorders naturally against other
+///     traffic);
+///   * node outages -- crash/recover windows during which a node neither
+///     transmits nor receives (its timers are frozen too);
+///   * clock jitter -- event-level perturbation applied inside the
+///     EventQueue fault-filter stage: a scheduled event fires late by a
+///     bounded random amount.
+///
+/// Determinism is the design center.  Every decision is a *pure function*
+/// of (plan.seed, decision identity): the injector carries no RNG state
+/// between calls, so a run replays bit-identically from (seed, plan)
+/// regardless of call order or thread count.  Link drop decisions are
+/// keyed on (link, packet identity) and *not* on the tick -- "erasure
+/// coupling" -- which yields a theorem the property harness leans on:
+/// raising the drop probability can only grow the set of dropped
+/// (link, packet) pairs, so flooding delivery is monotonically
+/// non-increasing in the drop rate.
+///
+/// FaultCounters and FaultRecord are JSONL-exportable (rtw/sim/jsonl.hpp)
+/// and are folded into SimResult and engine RunTrace per run -- never
+/// shared across runs, so batch entries cannot bleed into one another.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtw/sim/rng.hpp"
+
+namespace rtw::sim {
+
+using Tick = std::uint64_t;
+
+/// Message-fault probabilities for one link (or the all-links default).
+/// Draws are independent: a message may be both duplicated and delayed.
+struct LinkFaults {
+  double drop = 0.0;       ///< P(message never delivered on this link)
+  double duplicate = 0.0;  ///< P(two copies arrive instead of one)
+  double delay = 0.0;      ///< P(delivery deferred by 1..max_delay ticks)
+  Tick max_delay = 0;      ///< bound for the deferred-delivery draw
+
+  bool any() const noexcept {
+    return drop > 0.0 || duplicate > 0.0 || (delay > 0.0 && max_delay > 0);
+  }
+  friend bool operator==(const LinkFaults&, const LinkFaults&) = default;
+};
+
+/// One crash/recover window: the node is down for t in [down_from,
+/// down_until).  Windows may overlap; an empty window is a no-op.
+struct NodeOutage {
+  std::uint32_t node = 0;
+  Tick down_from = 0;
+  Tick down_until = 0;  ///< exclusive: the node is back at this tick
+
+  friend bool operator==(const NodeOutage&, const NodeOutage&) = default;
+};
+
+/// Event-clock perturbation (applied through the EventQueue fault filter).
+struct ClockJitter {
+  double probability = 0.0;  ///< P(an event is deferred)
+  Tick max_jitter = 0;       ///< deferral is uniform in [1, max_jitter]
+
+  bool any() const noexcept { return probability > 0.0 && max_jitter > 0; }
+  friend bool operator==(const ClockJitter&, const ClockJitter&) = default;
+};
+
+/// The full declarative fault schedule.  Value type; (seed, plan) is the
+/// complete replay key for any faulty run.
+struct FaultPlan {
+  std::uint64_t seed = 0x6661756c74ULL;  ///< decision-stream seed
+  LinkFaults link;                       ///< default for every link
+  /// Per-link overrides: ((from, to), faults).  First match wins; absent
+  /// links use the default.  kAnyNode in either endpoint wildcards it.
+  std::vector<std::pair<std::pair<std::uint32_t, std::uint32_t>, LinkFaults>>
+      link_overrides;
+  std::vector<NodeOutage> outages;
+  ClockJitter jitter;
+  /// Cap on retained FaultRecord entries per run (counters keep counting
+  /// past the cap; records stop accumulating).
+  std::size_t record_limit = 4096;
+
+  static constexpr std::uint32_t kAnyNode = 0xffffffffu;
+
+  /// True when no fault can ever fire: a noop plan must leave every
+  /// simulator's behavior (and output bytes) identical to running with no
+  /// plan at all.
+  bool is_noop() const noexcept;
+
+  /// The faults configured for one directed link.
+  const LinkFaults& link_for(std::uint32_t from,
+                             std::uint32_t to) const noexcept;
+
+  std::string to_json() const;
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+};
+
+/// Per-run tally of injected faults.  Lives in SimResult / RunTrace, one
+/// instance per run -- per-run isolation by construction.
+struct FaultCounters {
+  std::uint64_t dropped = 0;      ///< link drops
+  std::uint64_t duplicated = 0;   ///< extra copies delivered
+  std::uint64_t delayed = 0;      ///< deferred deliveries
+  std::uint64_t delay_ticks = 0;  ///< summed deferral
+  std::uint64_t jittered = 0;     ///< kernel events deferred
+  std::uint64_t jitter_ticks = 0; ///< summed event deferral
+  std::uint64_t crash_sends = 0;     ///< transmissions suppressed (node down)
+  std::uint64_t crash_receives = 0;  ///< receptions suppressed (node down)
+
+  /// Total fault decisions that fired.
+  std::uint64_t injected() const noexcept {
+    return dropped + duplicated + delayed + jittered + crash_sends +
+           crash_receives;
+  }
+  bool empty() const noexcept { return injected() == 0; }
+
+  FaultCounters& operator+=(const FaultCounters& o) noexcept;
+  std::string to_json() const;
+
+  friend bool operator==(const FaultCounters&, const FaultCounters&) = default;
+};
+
+/// One injected fault, for trace export.
+struct FaultRecord {
+  enum class Kind : std::uint8_t {
+    Drop,
+    Duplicate,
+    Delay,
+    Jitter,
+    CrashSend,
+    CrashReceive,
+  };
+
+  Kind kind = Kind::Drop;
+  Tick at = 0;             ///< virtual time of the decision
+  std::uint32_t from = 0;  ///< link source / crashed node
+  std::uint32_t to = 0;    ///< link destination (0 for node faults)
+  std::uint64_t key = 0;   ///< packet identity / event sequence
+  Tick shift = 0;          ///< deferral amount (Delay / Jitter)
+
+  std::string to_json() const;
+
+  friend bool operator==(const FaultRecord&, const FaultRecord&) = default;
+};
+
+std::string to_string(FaultRecord::Kind kind);
+
+/// Draws fault decisions for one run.  Stateless apart from the tallies:
+/// every verdict is a pure function of (plan.seed, identity), so two
+/// injectors over the same plan agree decision-for-decision no matter the
+/// interleaving.  Not thread-safe (one injector per run, like the
+/// EventQueue it decorates).
+class FaultInjector {
+public:
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+  /// False for noop plans: callers skip the fault stage entirely, keeping
+  /// the fault-free path byte-identical to the plain one.
+  bool active() const noexcept { return active_; }
+
+  /// True when `node` is inside a crash window at time t.
+  bool node_down(std::uint32_t node, Tick t) const noexcept;
+
+  /// Outcome of the link-fault stage for one (link, message) delivery.
+  struct LinkVerdict {
+    bool deliver = true;         ///< false: dropped
+    std::uint32_t copies = 1;    ///< 2 when duplicated
+    Tick extra_delay = 0;        ///< added to the nominal arrival tick
+  };
+
+  /// Decides the fate of message `key` on the directed link from -> to.
+  /// `at` is the nominal delivery tick (recorded, not part of the drop
+  /// key: see the erasure-coupling note in the file comment).  Counts and
+  /// records what it injects.
+  LinkVerdict link_verdict(std::uint32_t from, std::uint32_t to,
+                           std::uint64_t key, Tick at);
+
+  /// Clock-jitter stage for kernel events: returns the (possibly
+  /// deferred, saturating) fire tick for an event scheduled at `at`.
+  Tick jitter(Tick at, std::uint64_t key);
+
+  /// Tallies a transmission suppressed because the sender is down.
+  void count_crash_send(std::uint32_t node, Tick at, std::uint64_t key);
+  /// Tallies a reception suppressed because the receiver is down.
+  void count_crash_receive(std::uint32_t node, Tick at, std::uint64_t key);
+
+  const FaultCounters& counters() const noexcept { return counters_; }
+  const std::vector<FaultRecord>& records() const noexcept { return records_; }
+
+private:
+  void record(FaultRecord r);
+
+  FaultPlan plan_;
+  bool active_ = false;
+  FaultCounters counters_;
+  std::vector<FaultRecord> records_;
+};
+
+}  // namespace rtw::sim

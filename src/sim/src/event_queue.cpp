@@ -88,18 +88,45 @@ void EventQueue::fire(const Node& node) {
   (*cell(node.slot))(now_);
 }
 
+bool EventQueue::admit(const Node& node) {
+  if (!filter_) return true;
+  const FaultDecision decision = filter_(node.at, node.seq);
+  switch (decision.kind) {
+    case FaultDecision::Kind::Fire:
+      return true;
+    case FaultDecision::Kind::Drop:
+      release_slot(node.slot);
+      ++filtered_dropped_;
+      return false;
+    case FaultDecision::Kind::Defer: {
+      // An event already at the maximum tick cannot be pushed later;
+      // firing it keeps the filter from livelocking the queue.
+      if (node.at == ~Tick{0}) return true;
+      const Tick to = decision.defer_to > node.at ? decision.defer_to
+                                                  : node.at + 1;
+      heap_.push_back(Node{to, seq_++, node.slot});
+      sift_up(heap_.size() - 1);
+      ++filtered_deferred_;
+      return false;
+    }
+  }
+  return true;
+}
+
 void EventQueue::schedule_batch(std::vector<Scheduled> batch) {
   heap_.reserve(heap_.size() + batch.size());
   for (auto& s : batch) schedule_at(s.at, std::move(s.action));
 }
 
 bool EventQueue::step(Tick horizon) {
-  if (heap_.empty()) return false;
-  if (heap_.front().at > horizon) return false;
-  const Node node = pop_min();
-  now_ = node.at;
-  fire(node);
-  return true;
+  while (!heap_.empty() && heap_.front().at <= horizon) {
+    const Node node = pop_min();
+    if (!admit(node)) continue;  // dropped or deferred: not executed
+    now_ = node.at;
+    fire(node);
+    return true;
+  }
+  return false;
 }
 
 std::size_t EventQueue::run_until(Tick horizon) {
@@ -111,8 +138,11 @@ std::size_t EventQueue::run_until(Tick horizon) {
     const Tick tick = heap_.front().at;
     now_ = tick;
     do {
-      fire(pop_min());
-      ++executed;
+      const Node node = pop_min();
+      if (admit(node)) {
+        fire(node);
+        ++executed;
+      }
     } while (!heap_.empty() && heap_.front().at == tick);
   }
   if (heap_.empty() || heap_.front().at > horizon)
@@ -129,6 +159,8 @@ void EventQueue::reset() {
   capacity_ = 0;
   now_ = 0;
   seq_ = 0;
+  filtered_dropped_ = 0;
+  filtered_deferred_ = 0;
 }
 
 }  // namespace rtw::sim

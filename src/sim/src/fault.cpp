@@ -1,0 +1,204 @@
+#include "rtw/sim/fault.hpp"
+
+#include <utility>
+
+#include "rtw/sim/jsonl.hpp"
+
+namespace rtw::sim {
+
+namespace {
+
+/// Folds one field into a decision key.  SplitMix64's finalizer gives the
+/// avalanche; the golden-ratio multiply decorrelates adjacent values the
+/// same way BatchRunner::rng_for decorrelates adjacent indices.
+std::uint64_t mix(std::uint64_t acc, std::uint64_t value) noexcept {
+  SplitMix64 g(acc ^ (value * 0x9e3779b97f4a7c15ULL));
+  return g();
+}
+
+/// A uniform [0, 1) double from a hashed key (53 bits of entropy).
+double u01(std::uint64_t z) noexcept {
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+/// Salts keeping the per-decision draws independent of one another.
+enum : std::uint64_t {
+  kSaltDrop = 1,
+  kSaltDuplicate = 2,
+  kSaltDelayGate = 3,
+  kSaltDelayAmount = 4,
+  kSaltJitterGate = 5,
+  kSaltJitterAmount = 6,
+};
+
+}  // namespace
+
+bool FaultPlan::is_noop() const noexcept {
+  if (link.any() || jitter.any()) return false;
+  for (const auto& [key, faults] : link_overrides)
+    if (faults.any()) return false;
+  for (const auto& outage : outages)
+    if (outage.down_from < outage.down_until) return false;
+  return true;
+}
+
+const LinkFaults& FaultPlan::link_for(std::uint32_t from,
+                                      std::uint32_t to) const noexcept {
+  for (const auto& [key, faults] : link_overrides) {
+    const bool from_ok = key.first == kAnyNode || key.first == from;
+    const bool to_ok = key.second == kAnyNode || key.second == to;
+    if (from_ok && to_ok) return faults;
+  }
+  return link;
+}
+
+std::string FaultPlan::to_json() const {
+  JsonLine line;
+  line.field("seed", seed)
+      .field("drop", link.drop)
+      .field("duplicate", link.duplicate)
+      .field("delay", link.delay)
+      .field("max_delay", link.max_delay)
+      .field("link_overrides", static_cast<std::uint64_t>(link_overrides.size()))
+      .field("outages", static_cast<std::uint64_t>(outages.size()))
+      .field("jitter", jitter.probability)
+      .field("max_jitter", jitter.max_jitter)
+      .field("noop", is_noop());
+  return line.str();
+}
+
+FaultCounters& FaultCounters::operator+=(const FaultCounters& o) noexcept {
+  dropped += o.dropped;
+  duplicated += o.duplicated;
+  delayed += o.delayed;
+  delay_ticks += o.delay_ticks;
+  jittered += o.jittered;
+  jitter_ticks += o.jitter_ticks;
+  crash_sends += o.crash_sends;
+  crash_receives += o.crash_receives;
+  return *this;
+}
+
+std::string FaultCounters::to_json() const {
+  return JsonLine()
+      .field("dropped", dropped)
+      .field("duplicated", duplicated)
+      .field("delayed", delayed)
+      .field("delay_ticks", delay_ticks)
+      .field("jittered", jittered)
+      .field("jitter_ticks", jitter_ticks)
+      .field("crash_sends", crash_sends)
+      .field("crash_receives", crash_receives)
+      .field("injected", injected())
+      .str();
+}
+
+std::string to_string(FaultRecord::Kind kind) {
+  switch (kind) {
+    case FaultRecord::Kind::Drop:
+      return "drop";
+    case FaultRecord::Kind::Duplicate:
+      return "duplicate";
+    case FaultRecord::Kind::Delay:
+      return "delay";
+    case FaultRecord::Kind::Jitter:
+      return "jitter";
+    case FaultRecord::Kind::CrashSend:
+      return "crash_send";
+    case FaultRecord::Kind::CrashReceive:
+      return "crash_receive";
+  }
+  return "?";
+}
+
+std::string FaultRecord::to_json() const {
+  return JsonLine()
+      .field("fault", to_string(kind))
+      .field("at", at)
+      .field("from", from)
+      .field("to", to)
+      .field("key", key)
+      .field("shift", shift)
+      .str();
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  active_ = !plan_.is_noop();
+}
+
+bool FaultInjector::node_down(std::uint32_t node, Tick t) const noexcept {
+  for (const auto& outage : plan_.outages)
+    if (outage.node == node && outage.down_from <= t && t < outage.down_until)
+      return true;
+  return false;
+}
+
+FaultInjector::LinkVerdict FaultInjector::link_verdict(std::uint32_t from,
+                                                       std::uint32_t to,
+                                                       std::uint64_t key,
+                                                       Tick at) {
+  LinkVerdict verdict;
+  if (!active_) return verdict;
+  const LinkFaults& faults = plan_.link_for(from, to);
+  if (!faults.any()) return verdict;
+
+  // Identity of this (link, message) decision.  The tick is deliberately
+  // absent: a link is deterministically deaf (or generous, or slow) to a
+  // given message, so raising a probability only grows the affected set.
+  std::uint64_t base = mix(plan_.seed, from);
+  base = mix(base, to);
+  base = mix(base, key);
+
+  if (faults.drop > 0.0 && u01(mix(base, kSaltDrop)) < faults.drop) {
+    verdict.deliver = false;
+    ++counters_.dropped;
+    record({FaultRecord::Kind::Drop, at, from, to, key, 0});
+    return verdict;
+  }
+  if (faults.duplicate > 0.0 &&
+      u01(mix(base, kSaltDuplicate)) < faults.duplicate) {
+    verdict.copies = 2;
+    ++counters_.duplicated;
+    record({FaultRecord::Kind::Duplicate, at, from, to, key, 0});
+  }
+  if (faults.delay > 0.0 && faults.max_delay > 0 &&
+      u01(mix(base, kSaltDelayGate)) < faults.delay) {
+    verdict.extra_delay = 1 + mix(base, kSaltDelayAmount) % faults.max_delay;
+    ++counters_.delayed;
+    counters_.delay_ticks += verdict.extra_delay;
+    record({FaultRecord::Kind::Delay, at, from, to, key, verdict.extra_delay});
+  }
+  return verdict;
+}
+
+Tick FaultInjector::jitter(Tick at, std::uint64_t key) {
+  if (!active_ || !plan_.jitter.any()) return at;
+  std::uint64_t base = mix(plan_.seed, at);
+  base = mix(base, key);
+  if (u01(mix(base, kSaltJitterGate)) >= plan_.jitter.probability) return at;
+  const Tick shift = 1 + mix(base, kSaltJitterAmount) % plan_.jitter.max_jitter;
+  Tick to = at + shift;
+  if (to < at) to = ~Tick{0};  // saturate instead of wrapping into the past
+  ++counters_.jittered;
+  counters_.jitter_ticks += to - at;
+  record({FaultRecord::Kind::Jitter, at, 0, 0, key, to - at});
+  return to;
+}
+
+void FaultInjector::count_crash_send(std::uint32_t node, Tick at,
+                                     std::uint64_t key) {
+  ++counters_.crash_sends;
+  record({FaultRecord::Kind::CrashSend, at, node, 0, key, 0});
+}
+
+void FaultInjector::count_crash_receive(std::uint32_t node, Tick at,
+                                        std::uint64_t key) {
+  ++counters_.crash_receives;
+  record({FaultRecord::Kind::CrashReceive, at, node, 0, key, 0});
+}
+
+void FaultInjector::record(FaultRecord r) {
+  if (records_.size() < plan_.record_limit) records_.push_back(r);
+}
+
+}  // namespace rtw::sim

@@ -1,0 +1,276 @@
+#pragma once
+/// \file proptest.hpp
+/// Minimal property-based testing harness for the fault-injection suite.
+///
+/// A property is a callable `(rtw::sim::Xoshiro256ss& rng, std::size_t size)
+/// -> std::optional<std::string>` that draws a random scenario from `rng`
+/// (scaled by `size`), checks an invariant, and returns a violation message
+/// or nullopt.  The harness runs `Config::cases` cases with sizes ramping
+/// from small to `max_size`; every case's generator is seeded from
+/// (Config::seed, case index) alone, so any failure is reproducible from
+/// the printed (seed, index, size) triple.
+///
+/// Shrink-on-failure: because the scenario is a deterministic function of
+/// (case seed, size), re-running the same case at smaller sizes is a valid
+/// shrink.  The greedy loop walks the size down while the property still
+/// fails and reports the smallest failing size.
+///
+/// CI artifact: when the RTW_PROPTEST_ARTIFACT environment variable names
+/// a file, every failure appends one JSON line (property, seed, case
+/// index, original and shrunk size, message) so the failing seed survives
+/// the CI run as an uploadable artifact.
+///
+/// Alongside the engine live the generators the fault suite shares: random
+/// finite / lasso / generator TimedWords and random FaultPlans.
+
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rtw/core/timed_word.hpp"
+#include "rtw/sim/fault.hpp"
+#include "rtw/sim/jsonl.hpp"
+#include "rtw/sim/rng.hpp"
+
+namespace rtw::proptest {
+
+struct Config {
+  std::uint64_t seed = 0x70726f7074ULL;  ///< suite seed ("propt")
+  std::size_t cases = 500;               ///< generated cases per property
+  std::size_t max_size = 24;             ///< upper bound of the size ramp
+  std::size_t max_shrink_steps = 64;     ///< cap on the shrink loop
+};
+
+/// One property violation, after shrinking.
+struct Failure {
+  std::size_t index = 0;          ///< failing case index
+  std::uint64_t case_seed = 0;    ///< rng seed of the failing case
+  std::size_t size = 0;           ///< size at which it first failed
+  std::size_t shrunk_size = 0;    ///< smallest size that still fails
+  std::string message;            ///< the property's violation message
+  std::string shrunk_message;     ///< violation at the shrunk size
+};
+
+struct Result {
+  std::size_t cases_run = 0;
+  std::optional<Failure> failure;  ///< first failing case, shrunk
+
+  bool ok() const { return !failure.has_value(); }
+};
+
+/// The per-case generator: a pure function of (suite seed, case index),
+/// mirroring engine::BatchRunner::rng_for so property cases are as
+/// replayable as batch jobs.
+inline rtw::sim::Xoshiro256ss rng_for(std::uint64_t seed,
+                                      std::uint64_t index) noexcept {
+  rtw::sim::SplitMix64 mix(seed ^ (index * 0x9e3779b97f4a7c15ULL));
+  return rtw::sim::Xoshiro256ss(mix());
+}
+
+/// Renders a shrunk failure for gtest output and the CI artifact.
+inline std::string describe(std::string_view property, const Config& cfg,
+                            const Failure& f) {
+  rtw::sim::JsonLine line;
+  line.field("property", property)
+      .field("seed", cfg.seed)
+      .field("case_index", f.index)
+      .field("case_seed", f.case_seed)
+      .field("size", f.size)
+      .field("shrunk_size", f.shrunk_size)
+      .field("message", f.shrunk_message);
+  return line.str();
+}
+
+/// Appends the failure to $RTW_PROPTEST_ARTIFACT (JSONL) when set, so CI
+/// can upload failing seeds on property-test failure.
+inline void export_failure(std::string_view property, const Config& cfg,
+                           const Failure& f) {
+  const char* path = std::getenv("RTW_PROPTEST_ARTIFACT");
+  if (!path || !*path) return;
+  std::ofstream out(path, std::ios::app);
+  if (out) out << describe(property, cfg, f) << '\n';
+}
+
+/// Runs `property` over Config::cases generated cases.  Stops at the first
+/// failure, shrinks it greedily by size, exports the artifact line, and
+/// returns the result.  Deterministic for a fixed Config.
+template <typename Property>
+Result run_property(std::string_view name, const Config& cfg,
+                    Property&& property) {
+  Result result;
+  for (std::size_t i = 0; i < cfg.cases; ++i) {
+    // Size ramp: small scenarios first (cheap, shrink-friendly), the full
+    // max_size by the end of the run.
+    const std::size_t size =
+        1 + (cfg.cases > 1 ? i * (cfg.max_size - 1) / (cfg.cases - 1) : 0);
+    const std::uint64_t case_seed = cfg.seed ^ (i * 0x9e3779b97f4a7c15ULL);
+    auto rng = rng_for(cfg.seed, i);
+    ++result.cases_run;
+    auto violation = property(rng, size);
+    if (!violation) continue;
+
+    Failure f;
+    f.index = i;
+    f.case_seed = case_seed;
+    f.size = size;
+    f.shrunk_size = size;
+    f.message = *violation;
+    f.shrunk_message = *violation;
+    // Greedy shrink: keep halving toward 1 while the same case (same rng
+    // stream) still fails; a passing size ends the walk from above.
+    std::size_t lo = 1, hi = f.shrunk_size;
+    for (std::size_t step = 0; step < cfg.max_shrink_steps && lo < hi;
+         ++step) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      auto shrink_rng = rng_for(cfg.seed, i);
+      if (auto v = property(shrink_rng, mid)) {
+        hi = mid;
+        f.shrunk_size = mid;
+        f.shrunk_message = *v;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    export_failure(name, cfg, f);
+    result.failure = f;
+    return result;
+  }
+  return result;
+}
+
+// --------------------------------------------------------- word generators
+
+/// Random nondecreasing time sequence of `len` entries starting at
+/// `start`, gaps in [0, max_gap].
+inline std::vector<rtw::core::Tick> random_times(rtw::sim::Xoshiro256ss& rng,
+                                                 std::size_t len,
+                                                 rtw::core::Tick start,
+                                                 std::uint64_t max_gap) {
+  std::vector<rtw::core::Tick> times(len);
+  rtw::core::Tick t = start;
+  for (std::size_t i = 0; i < len; ++i) {
+    t += rng.uniform(max_gap + 1);
+    times[i] = t;
+  }
+  return times;
+}
+
+/// Random finite word over a small letter alphabet, length in [1, size].
+inline rtw::core::TimedWord random_finite_word(rtw::sim::Xoshiro256ss& rng,
+                                               std::size_t size) {
+  const std::size_t len = 1 + rng.uniform(size);
+  const auto times = random_times(rng, len, rng.uniform(4), 3);
+  std::vector<rtw::core::TimedSymbol> symbols(len);
+  for (std::size_t i = 0; i < len; ++i)
+    symbols[i] = {rtw::core::Symbol::chr(static_cast<char>(
+                      'a' + rng.uniform(std::uint64_t{4}))),
+                  times[i]};
+  return rtw::core::TimedWord::finite(std::move(symbols));
+}
+
+/// Random ultimately periodic word: prefix up to size/2, cycle in
+/// [1, size], period chosen to satisfy the lasso wraparound invariant.
+inline rtw::core::TimedWord random_lasso_word(rtw::sim::Xoshiro256ss& rng,
+                                              std::size_t size) {
+  const std::size_t prefix_len = rng.uniform(size / 2 + 1);
+  const std::size_t cycle_len = 1 + rng.uniform(size);
+  const auto prefix_times = random_times(rng, prefix_len, 0, 2);
+  const rtw::core::Tick junction =
+      prefix_times.empty() ? 0 : prefix_times.back();
+  const auto cycle_times = random_times(rng, cycle_len, junction, 2);
+
+  std::vector<rtw::core::TimedSymbol> prefix(prefix_len);
+  for (std::size_t i = 0; i < prefix_len; ++i)
+    prefix[i] = {rtw::core::Symbol::chr(static_cast<char>(
+                     'a' + rng.uniform(std::uint64_t{4}))),
+                 prefix_times[i]};
+  std::vector<rtw::core::TimedSymbol> cycle(cycle_len);
+  for (std::size_t i = 0; i < cycle_len; ++i)
+    cycle[i] = {rtw::core::Symbol::chr(static_cast<char>(
+                    'a' + rng.uniform(std::uint64_t{4}))),
+                cycle_times[i]};
+  // Wraparound (cycle.front + period >= cycle.back) plus progress
+  // (period > 0): any period >= span + 1 works.
+  const rtw::core::Tick span = cycle_times.back() - cycle_times.front();
+  const rtw::core::Tick period = span + 1 + rng.uniform(std::uint64_t{4});
+  return rtw::core::TimedWord::lasso(std::move(prefix), std::move(cycle),
+                                     period);
+}
+
+/// Random generator-backed infinite word: symbol and gap laws are pure
+/// functions of (word seed, index), as the Generator contract requires.
+inline rtw::core::TimedWord random_generator_word(rtw::sim::Xoshiro256ss& rng,
+                                                  std::size_t size) {
+  const std::uint64_t word_seed = rng();
+  const std::uint64_t stride = 1 + rng.uniform(std::uint64_t{3});
+  (void)size;
+  return rtw::core::TimedWord::generator(
+      [word_seed, stride](std::uint64_t i) {
+        rtw::sim::SplitMix64 mix(word_seed ^
+                                 (i * 0x9e3779b97f4a7c15ULL));
+        const std::uint64_t draw = mix();
+        return rtw::core::TimedSymbol{
+            rtw::core::Symbol::chr(static_cast<char>('a' + draw % 4)),
+            i * stride + draw % 2};
+      },
+      {.monotone_proven = false, .progress_proven = false}, "proptest-gen");
+}
+
+/// Random word of any representation (finite / lasso / generator).
+inline rtw::core::TimedWord random_timed_word(rtw::sim::Xoshiro256ss& rng,
+                                              std::size_t size) {
+  switch (rng.uniform(std::uint64_t{3})) {
+    case 0:
+      return random_finite_word(rng, size);
+    case 1:
+      return random_lasso_word(rng, size);
+    default:
+      return random_generator_word(rng, size);
+  }
+}
+
+// --------------------------------------------------------- plan generators
+
+/// Random fault plan over an `n`-node network.  `size` scales adversity:
+/// larger sizes mean higher probabilities, longer delays, more outages.
+/// Roughly one plan in eight is a noop, so the fault-free path stays in
+/// every property's sample.
+inline rtw::sim::FaultPlan random_fault_plan(rtw::sim::Xoshiro256ss& rng,
+                                             std::uint32_t n,
+                                             std::size_t size) {
+  rtw::sim::FaultPlan plan;
+  plan.seed = rng();
+  if (rng.uniform(std::uint64_t{8}) == 0) return plan;  // noop
+
+  const double intensity =
+      static_cast<double>(size) / 48.0;  // (0, 0.5] over the size ramp
+  plan.link.drop = rng.bernoulli(0.7) ? rng.uniform_real(0.0, intensity) : 0.0;
+  plan.link.duplicate =
+      rng.bernoulli(0.4) ? rng.uniform_real(0.0, intensity) : 0.0;
+  if (rng.bernoulli(0.4)) {
+    plan.link.delay = rng.uniform_real(0.0, intensity);
+    plan.link.max_delay = 1 + rng.uniform(std::uint64_t{3});
+  }
+  if (n > 0 && rng.bernoulli(0.3)) {
+    const auto from = static_cast<std::uint32_t>(rng.uniform(n));
+    const rtw::sim::Tick len = 1 + rng.uniform(std::uint64_t{20});
+    const rtw::sim::Tick start = rng.uniform(std::uint64_t{40});
+    plan.outages.push_back({from, start, start + len});
+  }
+  if (rng.bernoulli(0.3)) {
+    plan.jitter.probability = rng.uniform_real(0.0, intensity);
+    plan.jitter.max_jitter = 1 + rng.uniform(std::uint64_t{3});
+  }
+  if (n > 1 && rng.bernoulli(0.25)) {
+    const auto a = static_cast<std::uint32_t>(rng.uniform(n));
+    const auto b = static_cast<std::uint32_t>(rng.uniform(n));
+    rtw::sim::LinkFaults lf;
+    lf.drop = rng.uniform_real(0.0, 2.0 * intensity);
+    plan.link_overrides.push_back({{a, b}, lf});
+  }
+  return plan;
+}
+
+}  // namespace rtw::proptest

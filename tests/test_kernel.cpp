@@ -308,6 +308,121 @@ TEST(EventQueueClamp, ScheduleInZeroFromInsideEventLandsAtNow) {
   EXPECT_EQ(seen, 10u);
 }
 
+TEST(EventQueueClamp, ScheduleInExactlyToMaxFiresAtMax) {
+  constexpr Tick kMax = std::numeric_limits<Tick>::max();
+  EventQueue q;
+  Tick seen = 0;
+  q.schedule_in(kMax, [&](Tick t) { seen = t; });  // now = 0: no overflow
+  EXPECT_EQ(q.run_until(kMax), 1u);
+  EXPECT_EQ(seen, kMax);
+}
+
+TEST(EventQueueClamp, ScheduleInFromMaxTickSaturatesAtMax) {
+  constexpr Tick kMax = std::numeric_limits<Tick>::max();
+  EventQueue q;
+  q.schedule_at(kMax, [](Tick) {});
+  EXPECT_EQ(q.run_until(kMax), 1u);
+  ASSERT_EQ(q.now(), kMax);
+  // Any nonzero delay from the maximum tick would wrap; it must saturate
+  // and still fire at kMax rather than landing in the past or vanishing.
+  Tick seen = 0;
+  q.schedule_in(7, [&](Tick t) { seen = t; });
+  EXPECT_EQ(q.run_until(kMax), 1u);
+  EXPECT_EQ(seen, kMax);
+}
+
+// --------------------------------------------------------- fault filter
+
+/// An EventQueue with a pass-through fault filter installed: used to prove
+/// the filter stage does not perturb event order or clocking.
+class FilteredEventQueue : public EventQueue {
+ public:
+  FilteredEventQueue() {
+    set_fault_filter([](Tick, std::uint64_t) { return rtw::sim::FaultDecision::fire(); });
+  }
+};
+
+TEST(EventQueueFaultFilter, PassThroughFilterReplaysUnfilteredKernel) {
+  for (std::uint64_t seed : {1ULL, 7ULL, 42ULL, 1234ULL, 99999ULL}) {
+    const auto plain = replay_workload<EventQueue>(seed);
+    const auto filtered = replay_workload<FilteredEventQueue>(seed);
+    EXPECT_EQ(plain, filtered) << "seed " << seed;
+  }
+}
+
+TEST(EventQueueFaultFilter, DropDestroysActionWithoutRunningIt) {
+  EventQueue q;
+  q.set_fault_filter(
+      [](Tick at, std::uint64_t) {
+        return at == 5 ? rtw::sim::FaultDecision::drop()
+                       : rtw::sim::FaultDecision::fire();
+      });
+  auto token = std::make_shared<int>(0);
+  bool dropped_ran = false, other_ran = false;
+  q.schedule_at(5, [token, &dropped_ran](Tick) { dropped_ran = true; });
+  q.schedule_at(6, [&other_ran](Tick) { other_ran = true; });
+  EXPECT_EQ(token.use_count(), 2);
+  // The dropped event does not count as executed, but its action is
+  // destroyed (the capture is released) the moment the verdict lands.
+  EXPECT_EQ(q.run_until(100), 1u);
+  EXPECT_FALSE(dropped_ran);
+  EXPECT_TRUE(other_ran);
+  EXPECT_EQ(token.use_count(), 1);
+  EXPECT_EQ(q.filtered_dropped(), 1u);
+  EXPECT_EQ(q.filtered_deferred(), 0u);
+}
+
+TEST(EventQueueFaultFilter, DeferRequeuesStrictlyForward) {
+  EventQueue q;
+  int deferrals = 0;
+  q.set_fault_filter([&deferrals](Tick at, std::uint64_t) {
+    if (at == 10 && deferrals < 3) {
+      ++deferrals;
+      return rtw::sim::FaultDecision::defer(10);  // <= its tick: clamped
+    }
+    return rtw::sim::FaultDecision::fire();
+  });
+  std::vector<Tick> fired;
+  q.schedule_at(10, [&fired](Tick t) { fired.push_back(t); });
+  q.schedule_at(11, [&fired](Tick t) { fired.push_back(t); });
+  EXPECT_EQ(q.run_until(100), 2u);
+  // defer(10) from an event at 10 re-queues at 11 (strictly forward), so
+  // the deferred event fires once, after the one already there.
+  EXPECT_EQ(deferrals, 1);
+  EXPECT_EQ(fired, (std::vector<Tick>{11, 11}));
+  EXPECT_EQ(q.filtered_deferred(), 1u);
+}
+
+TEST(EventQueueFaultFilter, DeferAtMaxTickFiresInsteadOfLivelocking) {
+  constexpr Tick kMax = std::numeric_limits<Tick>::max();
+  EventQueue q;
+  // A filter that always defers would pin an event at the maximum tick
+  // forever; the kernel's guard fires it instead.
+  q.set_fault_filter(
+      [](Tick, std::uint64_t) { return rtw::sim::FaultDecision::defer(kMax); });
+  bool ran = false;
+  q.schedule_at(kMax, [&ran](Tick) { ran = true; });
+  EXPECT_EQ(q.run_until(kMax), 1u);
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueueFaultFilter, ClearedFilterStopsFiltering) {
+  EventQueue q;
+  q.set_fault_filter(
+      [](Tick, std::uint64_t) { return rtw::sim::FaultDecision::drop(); });
+  EXPECT_TRUE(q.has_fault_filter());
+  bool first_ran = false, second_ran = false;
+  q.schedule_at(1, [&first_ran](Tick) { first_ran = true; });
+  q.run_until(1);
+  q.clear_fault_filter();
+  EXPECT_FALSE(q.has_fault_filter());
+  q.schedule_at(2, [&second_ran](Tick) { second_ran = true; });
+  q.run_until(2);
+  EXPECT_FALSE(first_ran);
+  EXPECT_TRUE(second_ran);
+  EXPECT_EQ(q.filtered_dropped(), 1u);
+}
+
 // ----------------------------------------------------- schedule_batch
 
 TEST(EventQueueBatch, BatchPreservesFifoTieOrder) {
