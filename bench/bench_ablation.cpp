@@ -72,8 +72,7 @@ int main() {
       t.cell(ron.trace.ticks_executed);
       t.cell(roff.trace.ticks_executed);
       t.cell(ron.trace.ticks_skipped);
-      json.push_back(rtw::sim::JsonLine()
-                         .field("bench", "ablation")
+      json.push_back(rtw::sim::bench_record("ablation")
                          .field("table", "a1_fast_forward")
                          .field("t_d", t_d)
                          .field("accepted_on", ron.result.accepted)
@@ -111,8 +110,7 @@ int main() {
       t.row().cell(std::to_string(gap));
       t.cell(ok ? "ACCEPT" : "reject");
       t.cell(gap <= 2 ? "guard holds" : "capped at cmax+1: still exact");
-      json.push_back(rtw::sim::JsonLine()
-                         .field("bench", "ablation")
+      json.push_back(rtw::sim::bench_record("ablation")
                          .field("table", "a2_valuation_cap")
                          .field("gap", gap)
                          .field("accepted", ok)
@@ -158,8 +156,7 @@ int main() {
       t.cell(static_cast<double>(metrics.control_transmissions) /
                  static_cast<double>(messages.size()),
              1);
-      json.push_back(rtw::sim::JsonLine()
-                         .field("bench", "ablation")
+      json.push_back(rtw::sim::bench_record("ablation")
                          .field("table", "a3_dsdv_period")
                          .field("period", period)
                          .field("delivery_ratio", metrics.delivery_ratio())
@@ -209,8 +206,7 @@ int main() {
       t.cell(static_cast<double>(metrics.control_transmissions) /
                  static_cast<double>(messages.size()),
              1);
-      json.push_back(rtw::sim::JsonLine()
-                         .field("bench", "ablation")
+      json.push_back(rtw::sim::bench_record("ablation")
                          .field("table", "a4_aodv_lifetime")
                          .field("lifetime", life)
                          .field("delivery_ratio", metrics.delivery_ratio())
@@ -240,8 +236,7 @@ int main() {
         const auto outcome =
             rtw::par::run_rtproc_trial({pm, pm, slack, 256});
         t.cell(outcome.accepted ? "ACCEPT" : "reject");
-        json.push_back(rtw::sim::JsonLine()
-                           .field("bench", "ablation")
+        json.push_back(rtw::sim::bench_record("ablation")
                            .field("table", "a5_rtproc_slack")
                            .field("slack", slack)
                            .field("pm", pm)
@@ -300,8 +295,7 @@ int main() {
       t.cell(clean.delivery_ratio(), 3);
       t.cell(noisy.delivery_ratio(), 3);
       t.cell(c1);
-      json.push_back(rtw::sim::JsonLine()
-                         .field("bench", "ablation")
+      json.push_back(rtw::sim::bench_record("ablation")
                          .field("table", "a6_aloha")
                          .field("protocol", row.name)
                          .field("delivery_clean", clean.delivery_ratio())

@@ -50,8 +50,8 @@ int main() {
     t1.cell(run.processed);
     const bool agree = predicted.has_value() == run.terminated;
     t1.cell(agree ? "agree" : "DISAGREE");
-    rtw::sim::JsonLine line;
-    line.field("bench", "dataacc_laws")
+    rtw::sim::JsonLine line = rtw::sim::bench_record("dataacc_laws");
+    line
         .field("table", "t1_termination_vs_beta")
         .field("beta", beta)
         .field("terminated", run.terminated);
@@ -83,8 +83,8 @@ int main() {
       t2.cell(run.terminated
                   ? "t*=" + std::to_string(run.termination_time)
                   : "diverges");
-      rtw::sim::JsonLine line;
-      line.field("bench", "dataacc_laws")
+      rtw::sim::JsonLine line = rtw::sim::bench_record("dataacc_laws");
+      line
           .field("table", "t2_success_frontier")
           .field("k", k)
           .field("processors", p)
@@ -115,8 +115,8 @@ int main() {
     t3.cell(run.terminated ? std::to_string(run.termination_time) : "-");
     t3.cell(run.corrections_applied);
     t3.cell(run.reprocessed_units);
-    rtw::sim::JsonLine line;
-    line.field("bench", "dataacc_laws")
+    rtw::sim::JsonLine line = rtw::sim::bench_record("dataacc_laws");
+    line
         .field("table", "t3_corrections")
         .field("beta", beta)
         .field("terminated", run.terminated);

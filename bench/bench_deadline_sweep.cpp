@@ -78,8 +78,7 @@ int main() {
   flat = 0;
   for (double ratio : ratios)
     for (const char* profile : profiles)
-      std::cout << rtw::sim::JsonLine()
-                       .field("bench", "deadline_sweep")
+      std::cout << rtw::sim::bench_record("deadline_sweep")
                        .field("table", "t1_tightness")
                        .field("ratio", ratio)
                        .field("profile", profile)
@@ -117,8 +116,7 @@ int main() {
       for (int p = 0; p < 4; ++p) miss[p] += r[p];
     t2.row().cell(u, 2);
     for (int p = 0; p < 4; ++p) t2.cell(miss[p] / rates.size(), 4);
-    t2_json.push_back(rtw::sim::JsonLine()
-                          .field("bench", "deadline_sweep")
+    t2_json.push_back(rtw::sim::bench_record("deadline_sweep")
                           .field("table", "t2_miss_rate")
                           .field("utilization", u)
                           .field("seeds", rates.size())

@@ -151,8 +151,7 @@ int main() {
         faults += r.faults;
         violations += r.r_prime_violations;
       }
-      std::cout << rtw::sim::JsonLine()
-                       .field("bench", "fault_sweep")
+      std::cout << rtw::sim::bench_record("fault_sweep")
                        .field("protocol", protocols[p].name)
                        .field("drop_rate", drop)
                        .field("seeds", rs.size())
@@ -160,8 +159,8 @@ int main() {
                               ratio / static_cast<double>(rs.size()))
                        .field("tx_per_msg",
                               overhead / static_cast<double>(rs.size()))
-                       .field("faults_dropped", faults.dropped)
-                       .field("faults_injected", faults.injected())
+                       .field("faults.dropped", faults.dropped)
+                       .field("faults.injected", faults.injected())
                        .str()
                 << "\n";
     }

@@ -34,8 +34,7 @@ int main() {
             << (exact ? "EXACT MATCH (3 rows, same order)"
                       : "MISMATCH -- reproduction failure")
             << "\n\n";
-  std::cout << rtw::sim::JsonLine()
-                   .field("bench", "fig1_fig2")
+  std::cout << rtw::sim::bench_record("fig1_fig2")
                    .field("table", "figure2")
                    .field("rows", result.tuples().size())
                    .field("expected_rows", expected.tuples().size())

@@ -22,6 +22,7 @@
 #include "rtw/core/acceptor.hpp"
 #include "rtw/core/concat.hpp"
 #include "rtw/engine/batch.hpp"
+#include "rtw/obs/tracer.hpp"
 #include "rtw/par/process.hpp"
 #include "rtw/rtdb/algebra.hpp"
 #include "rtw/rtdb/ngc.hpp"
@@ -317,27 +318,49 @@ void run_kernel_benches(std::ostream& out) {
   event_throughput<LegacyEventQueue>(1 << 12, 4);       // warmup
   const double v2 = event_throughput<rtw::sim::EventQueue>(kEvents, kReps);
   const double v1 = event_throughput<LegacyEventQueue>(kEvents, kReps);
-  out << JsonLine()
-             .field("bench", "kernel_event_queue")
+  out << rtw::sim::bench_record("kernel_event_queue")
              .field("impl", "v2_slab_heap")
              .field("events", kEvents * kReps)
              .field("events_per_sec", v2)
              .field("ns_per_event", 1e9 / v2)
              .str()
       << "\n";
-  out << JsonLine()
-             .field("bench", "kernel_event_queue")
+  out << rtw::sim::bench_record("kernel_event_queue")
              .field("impl", "v1_function_heap")
              .field("events", kEvents * kReps)
              .field("events_per_sec", v1)
              .field("ns_per_event", 1e9 / v1)
              .str()
       << "\n";
-  out << JsonLine()
-             .field("bench", "kernel_event_queue_ratio")
+  out << rtw::sim::bench_record("kernel_event_queue_ratio")
              .field("speedup_v2_over_v1", v2 / v1)
              .str()
       << "\n";
+
+  // --- obs hook cost: null sink (one relaxed load + branch per op) vs an
+  // installed Tracer.  The null-sink figure is the acceptance gate: it
+  // must stay within noise of the uninstrumented kernel above.
+  {
+    rtw::obs::Tracer tracer;
+    rtw::obs::set_sink(&tracer);
+    event_throughput<rtw::sim::EventQueue>(1 << 12, 4);  // warmup
+    const double traced = event_throughput<rtw::sim::EventQueue>(kEvents,
+                                                                 kReps);
+    rtw::obs::set_sink(nullptr);
+    out << rtw::sim::bench_record("kernel_obs_overhead")
+               .field("impl", "null_sink")
+               .field("events_per_sec", v2)
+               .field("ns_per_event", 1e9 / v2)
+               .str()
+        << "\n";
+    out << rtw::sim::bench_record("kernel_obs_overhead")
+               .field("impl", "tracer_sink")
+               .field("events_per_sec", traced)
+               .field("ns_per_event", 1e9 / traced)
+               .field("traced_over_null", v2 / traced)
+               .str()
+        << "\n";
+  }
 
   // --- generator word: cursor vs at(), 1 and 8 readers ---
   constexpr std::uint64_t kSymbols = 1 << 16;
@@ -349,16 +372,14 @@ void run_kernel_benches(std::ostream& out) {
                                                 kSymbolReps);
     for (auto [impl, rate] : {std::pair{"at", via_at},
                               std::pair{"cursor", via_cursor}})
-      out << JsonLine()
-                 .field("bench", "kernel_generator_symbols")
+      out << rtw::sim::bench_record("kernel_generator_symbols")
                  .field("impl", impl)
                  .field("threads", threads)
                  .field("symbols_per_thread", kSymbols)
                  .field("symbols_per_sec", rate)
                  .str()
           << "\n";
-    out << JsonLine()
-               .field("bench", "kernel_generator_symbols_ratio")
+    out << rtw::sim::bench_record("kernel_generator_symbols_ratio")
                .field("threads", threads)
                .field("speedup_cursor_over_at", via_cursor / via_at)
                .str()
@@ -381,8 +402,7 @@ void run_kernel_benches(std::ostream& out) {
       reference = results;
       ms1 = ms;
     }
-    out << JsonLine()
-               .field("bench", "kernel_batch_scaling")
+    out << rtw::sim::bench_record("kernel_batch_scaling")
                .field("threads", threads)
                .field("jobs", kJobs)
                .field("ms", ms)

@@ -24,6 +24,7 @@
 #include "rtw/adhoc/protocols.hpp"
 #include "rtw/adhoc/words.hpp"
 #include "rtw/engine/batch.hpp"
+#include "rtw/obs/export.hpp"
 #include "rtw/sim/jsonl.hpp"
 #include "rtw/sim/table.hpp"
 
@@ -78,6 +79,9 @@ RoutingMetrics run_cell(const ProtocolFactory& factory, Tick pause,
 }  // namespace
 
 int main() {
+  // RTW_TRACE=<path> writes a Chrome trace of the whole sweep at exit.
+  rtw::obs::init_from_env();
+
   const std::vector<ProtocolSpec> protocols = {
       {"flooding", flooding_factory()},
       {"gossip.6", gossip_factory(0.6, 5)},
@@ -172,8 +176,7 @@ int main() {
         overhead += m.overhead_per_message();
         agg.merge(m.hop_difference);
       }
-      std::cout << rtw::sim::JsonLine()
-                       .field("bench", "routing_compare")
+      std::cout << rtw::sim::bench_record("routing_compare")
                        .field("table", "broch_sweep")
                        .field("protocol", protocols[p].name)
                        .field("pause", pause)

@@ -96,8 +96,7 @@ int main() {
   flat = 0;
   for (unsigned r : sizes)
     for (Tick t_d : deadlines)
-      std::cout << rtw::sim::JsonLine()
-                       .field("bench", "rtdb_recognition")
+      std::cout << rtw::sim::bench_record("rtdb_recognition")
                        .field("table", "t1_aq_staircase")
                        .field("r", r)
                        .field("cost", r + 1)
@@ -128,8 +127,8 @@ int main() {
     t2.row().cell(std::to_string(k));
     t2.cell(idx ? std::to_string(*idx) : "NOT FOUND");
     t2.cell(idx ? "yes" : "NO");
-    rtw::sim::JsonLine line;
-    line.field("bench", "rtdb_recognition")
+    rtw::sim::JsonLine line = rtw::sim::bench_record("rtdb_recognition");
+    line
         .field("table", "t2_lemma51")
         .field("k", k)
         .field("finite", idx.has_value());
@@ -167,8 +166,7 @@ int main() {
     t3.cell(acceptor.served());
     t3.cell(acceptor.failed());
     t3.cell(run.result.accepted ? "ACCEPT" : "reject");
-    t3_json.push_back(rtw::sim::JsonLine()
-                          .field("bench", "rtdb_recognition")
+    t3_json.push_back(rtw::sim::bench_record("rtdb_recognition")
                           .field("table", "t3_periodic_service")
                           .field("t_p", period)
                           .field("served", acceptor.served())

@@ -42,8 +42,7 @@ int main() {
     for (std::size_t m = 0; m < kMaxM; ++m) {
       t.cell(matrix[p][m] ? "ACCEPT" : ".");
       staircase = staircase && (matrix[p][m] == (m <= p));
-      json.push_back(rtw::sim::JsonLine()
-                         .field("bench", "rtproc_hierarchy")
+      json.push_back(rtw::sim::bench_record("rtproc_hierarchy")
                          .field("table", "acceptance_matrix")
                          .field("p", p + 1)
                          .field("m", m + 1)
@@ -72,8 +71,7 @@ int main() {
       evidence.cell(outcome.late);
       evidence.cell(outcome.peak_backlog);
       evidence.cell(outcome.accepted ? "ACCEPT" : "reject");
-      evidence_json.push_back(rtw::sim::JsonLine()
-                                  .field("bench", "rtproc_hierarchy")
+      evidence_json.push_back(rtw::sim::bench_record("rtproc_hierarchy")
                                   .field("table", "diagonal_evidence")
                                   .field("p", p)
                                   .field("m", m)

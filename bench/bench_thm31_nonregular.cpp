@@ -74,8 +74,7 @@ int main() {
       table.cell("NONE FOUND").cell("-").cell("-");
       all_refuted = false;
     }
-    json.push_back(rtw::sim::JsonLine()
-                       .field("bench", "thm31_nonregular")
+    json.push_back(rtw::sim::bench_record("thm31_nonregular")
                        .field("table", "ladder_refutation")
                        .field("states", states)
                        .field("refuted", ce.has_value())

@@ -10,10 +10,14 @@
 #include "rtw/adhoc/metrics.hpp"
 #include "rtw/adhoc/protocols.hpp"
 #include "rtw/adhoc/words.hpp"
+#include "rtw/obs/export.hpp"
 
 using namespace rtw::adhoc;
 
 int main() {
+  // RTW_TRACE=<path> captures this walkthrough as a Chrome trace.
+  rtw::obs::init_from_env();
+
   std::cout << "== ad hoc routing (section 5.2) ==\n\n";
 
   NetworkConfig config;

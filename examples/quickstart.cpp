@@ -10,6 +10,7 @@
 #include "rtw/core/acceptor.hpp"
 #include "rtw/core/concat.hpp"
 #include "rtw/core/language.hpp"
+#include "rtw/engine/engine.hpp"
 
 using namespace rtw::core;
 
@@ -63,12 +64,12 @@ int main() {
     bool verdict_ = false;
   } acceptor;
 
-  const auto yes = run_acceptor(acceptor, merged);
+  const auto yes = rtw::engine::run(acceptor, merged).result;
   std::cout << "acceptor on request.heartbeat : "
             << (yes.accepted ? "ACCEPT" : "REJECT")
             << " (exact=" << yes.exact << ", first f at tick "
             << (yes.first_f ? std::to_string(*yes.first_f) : "-") << ")\n";
-  const auto no = run_acceptor(acceptor, heartbeat);
+  const auto no = rtw::engine::run(acceptor, heartbeat).result;
   std::cout << "acceptor on heartbeat alone   : "
             << (no.accepted ? "ACCEPT" : "REJECT") << "\n\n";
 

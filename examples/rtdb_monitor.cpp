@@ -12,6 +12,7 @@
 #include "rtw/rtdb/recognition.hpp"
 #include "rtw/rtdb/rtdb.hpp"
 #include "rtw/rtdb/temporal.hpp"
+#include "rtw/engine/engine.hpp"
 
 using namespace rtw::rtdb;
 using rtw::core::Tick;
@@ -109,7 +110,7 @@ int main() {
   RecognitionAcceptor acceptor(catalog, linear_cost());
   rtw::core::RunOptions options;
   options.horizon = 600;
-  const auto result = rtw::core::run_acceptor(acceptor, word, options);
+  const auto result = rtw::engine::run(acceptor, word, options).result;
   std::cout << "recognition word db_B aq[busy, visitors, t=12]: "
             << (result.accepted ? "ACCEPT" : "REJECT")
             << " (visitors at t=10 is "

@@ -1,5 +1,8 @@
 #include "rtw/adhoc/metrics.hpp"
 
+#include "rtw/obs/metrics.hpp"
+#include "rtw/obs/sink.hpp"
+
 namespace rtw::adhoc {
 
 RoutingMetrics compute_metrics(const SimResult& result, const Network& network,
@@ -23,6 +26,19 @@ RoutingMetrics compute_metrics(const SimResult& result, const Network& network,
       metrics.hop_difference.add(static_cast<double>(diff));
       metrics.path_optimality.add(diff);
     }
+  }
+  if (rtw::obs::enabled()) {
+    // The §5.2.4 measures as registry metrics: ratios as gauges (last run
+    // wins), per-delivery hop slack folded into a shared histogram.
+    auto& reg = rtw::obs::MetricsRegistry::instance();
+    static auto& ratio = reg.gauge("adhoc.delivery_ratio");
+    static auto& overhead = reg.gauge("adhoc.overhead_per_message");
+    static auto& optimality = reg.histogram("adhoc.path_optimality", 0, 8);
+    ratio.set(metrics.delivery_ratio());
+    overhead.set(metrics.overhead_per_message());
+    for (std::size_t b = 0; b < metrics.path_optimality.bins(); ++b)
+      for (std::uint64_t c = metrics.path_optimality.count(b); c-- > 0;)
+        optimality.add(metrics.path_optimality.bin_value(b));
   }
   return metrics;
 }

@@ -4,9 +4,29 @@
 #include <functional>
 
 #include "rtw/core/error.hpp"
+#include "rtw/obs/metrics.hpp"
+#include "rtw/obs/sink.hpp"
 #include "rtw/sim/event_queue.hpp"
 
 namespace rtw::adhoc {
+
+namespace {
+
+/// End-of-run fold into the obs registry, keyed per protocol so
+/// side-by-side comparisons (bench_routing_compare) separate naturally:
+/// `adhoc.aodv.delivered`, `adhoc.dsr.control_tx`, ...  Cold path; the
+/// dynamic names are resolved through the registry mutex once per run.
+void fold_sim_into_registry(const std::string& protocol,
+                            const SimResult& result) {
+  auto& reg = rtw::obs::MetricsRegistry::instance();
+  const std::string prefix = "adhoc." + protocol + ".";
+  reg.counter(prefix + "originated").add(result.originated);
+  reg.counter(prefix + "delivered").add(result.deliveries.size());
+  reg.counter(prefix + "control_tx").add(result.control_transmissions);
+  reg.counter(prefix + "data_tx").add(result.data_transmissions);
+}
+
+}  // namespace
 
 std::string to_string(Packet::Kind k) {
   switch (k) {
@@ -101,6 +121,7 @@ void Simulator::transmit(NodeId from, Packet p, NodeId to, Tick now) {
 }
 
 SimResult Simulator::run(Tick horizon) {
+  RTW_SPAN("adhoc.run");
   // The per-tick network step is an event on the shared discrete-event
   // kernel (the same sim::EventQueue that drives the acceptor engine), so
   // the whole library shares a single notion of "tick".  Every tick must
@@ -238,6 +259,8 @@ SimResult Simulator::run(Tick horizon) {
   SimResult out = std::move(result_);
   result_ = {};
   delivered_.clear();
+  if (rtw::obs::enabled() && !protocols_.empty())
+    fold_sim_into_registry(protocols_[0]->name(), out);
   return out;
 }
 

@@ -80,10 +80,12 @@ struct RunOptions {
 /// Runs `algorithm` on `word` under Definition 3.3 semantics and evaluates
 /// Definition 3.4.  Resets the algorithm first.
 ///
-/// Compatibility shim: since the executor refactor this delegates to the
-/// instrumented rtw::engine runtime (see rtw/engine/engine.hpp, which also
-/// returns a per-run RunTrace).  The definition lives in the rtw_engine
-/// library -- link rtw_engine to use it.
+/// Retired compatibility shim: the executor lives in rtw::engine (see
+/// rtw/engine/engine.hpp; `rtw::engine::run(...).result` is the drop-in
+/// replacement and also yields the per-run RunTrace).  The declaration is
+/// kept only so external callers get a diagnostic instead of a silent
+/// signature mismatch; no definition is linked into any rtw_* library.
+[[deprecated("use rtw::engine::run(algorithm, word, options).result")]]
 RunResult run_acceptor(RealTimeAlgorithm& algorithm, const TimedWord& word,
                        const RunOptions& options = {});
 

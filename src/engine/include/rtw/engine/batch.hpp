@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "rtw/engine/engine.hpp"
+#include "rtw/obs/sink.hpp"
 #include "rtw/sim/rng.hpp"
 #include "rtw/sim/thread_pool.hpp"
 
@@ -67,6 +68,7 @@ public:
   std::vector<R> map(std::size_t count, Job job) {
     static_assert(!std::is_same_v<R, bool>,
                   "vector<bool> bit-packing races under concurrent writes");
+    RTW_SPAN("engine.batch.map");
     std::vector<R> results(count);
     if (count == 0) return results;
 

@@ -19,7 +19,8 @@
 ///     RunResult verdict, and feeds the process-wide engine::Counters.
 ///
 /// Verdict semantics are exactly those of the original core::run_acceptor,
-/// which survives as a thin compatibility shim over this engine.
+/// which has been retired (the declaration remains, [[deprecated]], with no
+/// linked definition; `rtw::engine::run(...).result` is the replacement).
 
 #include <functional>
 #include <memory>

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "rtw/core/tape.hpp"
+#include "rtw/obs/sink.hpp"
 #include "rtw/sim/event_queue.hpp"
 
 namespace rtw::engine {
@@ -78,6 +79,7 @@ void drive(DriveState& st, rtw::sim::Tick now) {
 
 EngineResult Engine::run(RealTimeAlgorithm& algorithm,
                          const TimedWord& word) const {
+  RTW_SPAN("engine.run");
   const auto wall_start = std::chrono::steady_clock::now();
 
   algorithm.reset();

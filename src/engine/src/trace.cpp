@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "rtw/obs/metrics.hpp"
+#include "rtw/obs/sink.hpp"
 #include "rtw/sim/jsonl.hpp"
 
 namespace rtw::engine {
@@ -21,25 +23,29 @@ std::string RunTrace::to_json() const {
       .field("f_count", f_count)
       .field("wall_ns", wall_ns);
   if (faults.injected()) {
-    line.field("faults_injected", faults.injected())
-        .field("faults_jittered", faults.jittered)
-        .field("faults_jitter_ticks", faults.jitter_ticks)
-        .field("faults_dropped", faults.dropped)
-        .field("faults_delayed", faults.delayed);
+    // Keys follow the obs::MetricsRegistry vocabulary (subsystem-first,
+    // dot-joined) so a RunTrace line and a registry export line agree.
+    line.field("faults.injected", faults.injected())
+        .field("faults.jittered", faults.jittered)
+        .field("faults.jitter_ticks", faults.jitter_ticks)
+        .field("faults.dropped", faults.dropped)
+        .field("faults.delayed", faults.delayed);
   }
   return line.str();
 }
 
 std::string CountersSnapshot::to_json() const {
+  // Same names the obs::MetricsRegistry registers, so the legacy counter
+  // export and the registry export can be diffed line against line.
   return rtw::sim::JsonLine()
-      .field("runs", runs)
-      .field("locked_runs", locked_runs)
-      .field("ticks", ticks)
-      .field("events", events)
-      .field("symbols", symbols)
-      .field("batch_jobs", batch_jobs)
-      .field("wall_ns", wall_ns)
-      .field("faults", faults)
+      .field("engine.runs", runs)
+      .field("engine.locked_runs", locked_runs)
+      .field("engine.ticks", ticks)
+      .field("engine.events", events)
+      .field("engine.symbols", symbols)
+      .field("engine.batch_jobs", batch_jobs)
+      .field("engine.wall_ns", wall_ns)
+      .field("faults.injected", faults)
       .str();
 }
 
@@ -103,6 +109,51 @@ void Counters::reset() noexcept {
   c.faults.store(0, std::memory_order_relaxed);
 }
 
+namespace {
+
+/// Folds a finished run into the rtw::obs MetricsRegistry -- the named,
+/// exporter-visible mirror of the legacy Counters.  Handles resolve once
+/// (function-local statics) so the per-run cost is a handful of relaxed
+/// adds; the caller gates on obs::enabled().
+void fold_run_into_registry(const RunTrace& trace, bool locked) noexcept {
+  auto& reg = rtw::obs::MetricsRegistry::instance();
+  static auto& runs = reg.counter("engine.runs");
+  static auto& locked_runs = reg.counter("engine.locked_runs");
+  static auto& ticks = reg.counter("engine.ticks");
+  static auto& ticks_skipped = reg.counter("engine.ticks_skipped");
+  static auto& events = reg.counter("engine.events");
+  static auto& symbols = reg.counter("engine.symbols");
+  static auto& wall_ns = reg.counter("engine.wall_ns");
+  runs.add(1);
+  if (locked) locked_runs.add(1);
+  ticks.add(trace.ticks_executed);
+  ticks_skipped.add(trace.ticks_skipped);
+  events.add(trace.events_executed);
+  symbols.add(trace.symbols_consumed);
+  wall_ns.add(trace.wall_ns);
+
+  if (!trace.faults.empty()) {
+    static auto& dropped = reg.counter("faults.dropped");
+    static auto& duplicated = reg.counter("faults.duplicated");
+    static auto& delayed = reg.counter("faults.delayed");
+    static auto& delay_ticks = reg.counter("faults.delay_ticks");
+    static auto& jittered = reg.counter("faults.jittered");
+    static auto& jitter_ticks = reg.counter("faults.jitter_ticks");
+    static auto& crash_sends = reg.counter("faults.crash_sends");
+    static auto& crash_receives = reg.counter("faults.crash_receives");
+    dropped.add(trace.faults.dropped);
+    duplicated.add(trace.faults.duplicated);
+    delayed.add(trace.faults.delayed);
+    delay_ticks.add(trace.faults.delay_ticks);
+    jittered.add(trace.faults.jittered);
+    jitter_ticks.add(trace.faults.jitter_ticks);
+    crash_sends.add(trace.faults.crash_sends);
+    crash_receives.add(trace.faults.crash_receives);
+  }
+}
+
+}  // namespace
+
 namespace detail {
 
 void record_run(const RunTrace& trace, bool locked) noexcept {
@@ -115,10 +166,16 @@ void record_run(const RunTrace& trace, bool locked) noexcept {
   c.wall_ns.fetch_add(trace.wall_ns, std::memory_order_relaxed);
   if (const auto injected = trace.faults.injected())
     c.faults.fetch_add(injected, std::memory_order_relaxed);
+  if (rtw::obs::enabled()) fold_run_into_registry(trace, locked);
 }
 
 void record_batch_job() noexcept {
   counters().batch_jobs.fetch_add(1, std::memory_order_relaxed);
+  if (rtw::obs::enabled()) {
+    static auto& jobs =
+        rtw::obs::MetricsRegistry::instance().counter("engine.batch_jobs");
+    jobs.add(1);
+  }
 }
 
 }  // namespace detail

@@ -1,0 +1,49 @@
+#pragma once
+/// \file export.hpp
+/// Exporters over a drained Tracer:
+///   * chrome_trace_json -- the Chrome trace_event format ("traceEvents"
+///     array of ph:"X" complete events, microsecond timestamps), loadable
+///     in about://tracing / Perfetto;
+///   * spans_jsonl -- the library's JSON Lines schema, one span per line,
+///     streamable next to the bench records;
+/// plus the environment hook the examples/benches use: RTW_TRACE=<path>
+/// installs a process-wide tracer at startup and writes the Chrome trace
+/// on flush (or at exit).
+
+#include <optional>
+#include <string>
+
+#include "rtw/obs/metrics.hpp"
+#include "rtw/obs/tracer.hpp"
+
+namespace rtw::obs {
+
+/// Renders every drained span as one Chrome trace_event complete ("X")
+/// event.  Timestamps are rebased to the earliest span so the trace starts
+/// at ts=0; queue-op totals and dropped-span counts ride along as counter
+/// ("C") events at ts=0.  Deterministic given deterministic span times.
+std::string chrome_trace_json(const Tracer& tracer);
+
+/// One JSON line per span: {"span":...,"start_ns":...,"dur_ns":...,
+/// "tid":...}, in drain order, with the same rebased timebase as the
+/// Chrome export.
+std::string spans_jsonl(const Tracer& tracer);
+
+/// Folds the tracer's kernel-op tallies into the registry as counters
+/// (queue.schedule / queue.fire / queue.drop / queue.defer, plus
+/// trace.dropped_spans).  Called by flush_env_trace; exposed for tests.
+void fold_queue_ops(const Tracer& tracer, MetricsRegistry& registry);
+
+/// If the RTW_TRACE environment variable names a file, installs a
+/// process-wide Tracer (idempotent: subsequent calls return the same one)
+/// and registers an atexit hook writing the Chrome trace there.  Returns
+/// the tracer, or nullptr when the variable is unset.
+Tracer* init_from_env();
+
+/// Writes the env tracer's Chrome trace to the RTW_TRACE path now (also
+/// runs at exit).  Returns the path written, or nullopt when tracing is
+/// off.  Safe to call repeatedly; later calls rewrite the file with the
+/// fuller trace.
+std::optional<std::string> flush_env_trace();
+
+}  // namespace rtw::obs

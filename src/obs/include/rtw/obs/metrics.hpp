@@ -1,0 +1,138 @@
+#pragma once
+/// \file metrics.hpp
+/// Process-wide registry of named metrics: monotone counters, last-value
+/// gauges, and fixed-bin histograms (rtw::sim::Histogram underneath).
+///
+/// Naming convention -- the canonical vocabulary every JSONL export in the
+/// library now follows: snake_case segments joined by dots, subsystem
+/// first (`engine.runs`, `faults.dropped`, `queue.fire`,
+/// `adhoc.aodv.delivered`, `rtdb.recognition.served`).
+///
+/// Handle discipline: `counter()` / `gauge()` / `histogram()` return
+/// references that stay valid for the registry's lifetime, so hot paths
+/// resolve a handle once (a function-local static at the instrumentation
+/// site) and afterwards pay one relaxed atomic add.  Registration itself
+/// takes the registry mutex and is meant for cold paths only.
+///
+/// The registry exists independently of the Sink switchboard; library
+/// instrumentation folds into it only while `obs::enabled()`, keeping the
+/// disabled path free of even the atomic adds.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rtw/sim/histogram.hpp"
+
+namespace rtw::obs {
+
+/// Monotone event count.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written value (ratios, sizes, temperatures of the moment).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Thread-safe wrapper over the sim histogram (which is single-threaded).
+class HistogramMetric {
+ public:
+  HistogramMetric(std::int64_t lo, std::int64_t hi) : histogram_(lo, hi) {}
+
+  void add(std::int64_t value) noexcept {
+    std::lock_guard lock(mutex_);
+    histogram_.add(value);
+  }
+  /// A copy, safe to read while writers continue.
+  rtw::sim::Histogram snapshot() const {
+    std::lock_guard lock(mutex_);
+    return histogram_;
+  }
+  void reset(std::int64_t lo, std::int64_t hi) {
+    std::lock_guard lock(mutex_);
+    histogram_ = rtw::sim::Histogram(lo, hi);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  rtw::sim::Histogram histogram_;
+};
+
+/// One exported metric, for iteration / JSONL rendering.
+struct MetricView {
+  enum class Kind : std::uint8_t { Counter, Gauge, Histogram };
+  std::string name;
+  Kind kind = Kind::Counter;
+  std::uint64_t count = 0;              ///< Counter value
+  double value = 0.0;                   ///< Gauge value
+  std::vector<std::uint64_t> bins;      ///< Histogram bin counts
+  std::int64_t lo = 0;                  ///< Histogram first bin value
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide instance (intentionally leaked: instrumentation
+  /// handles must outlive every static destructor).
+  static MetricsRegistry& instance();
+
+  /// Finds or creates.  A name registered as one kind must not be reused
+  /// as another (throws std::logic_error).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  HistogramMetric& histogram(std::string_view name, std::int64_t lo,
+                             std::int64_t hi);
+
+  /// Snapshot of every registered metric, name-sorted.
+  std::vector<MetricView> snapshot() const;
+
+  /// One JSON line per metric: {"metric":"engine.runs","kind":"counter",
+  /// "count":12}.  Histograms render bins as "bin_<v>" fields.
+  std::string to_jsonl() const;
+
+  /// Zeroes every registered metric (bench section boundaries, tests).
+  /// Handles stay valid.
+  void reset();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  struct Entry {
+    MetricView::Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramMetric> histogram;
+    std::int64_t lo = 0, hi = 0;  ///< histogram construction bounds
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+}  // namespace rtw::obs

@@ -1,0 +1,143 @@
+#pragma once
+/// \file sink.hpp
+/// The observability boundary: one process-wide `Sink*` that every
+/// instrumentation point in the library funnels through.
+///
+/// Design constraints (why this header looks the way it does):
+///   * the *disabled* path must cost one branch on a null pointer -- the
+///     event kernel schedules/fires tens of millions of events per second
+///     and the acceptance bar is <= 2% overhead with no sink installed;
+///   * the header must be dependency-free so layers *below* rtw_obs (the
+///     sim kernel's EventQueue) can emit without a link cycle: everything
+///     here is inline, the global slot is an inline atomic, and nothing
+///     references the tracer/metrics machinery that lives in the rtw_obs
+///     library proper;
+///   * span guards must be SmallFn-friendly: `SpanScope` is three words,
+///     trivially destructible when disarmed, and movable, so it can ride
+///     inside an EventQueue action's 48-byte inline capture buffer.
+///
+/// Usage at an instrumentation site:
+///
+///   RTW_SPAN("engine.run");                 // scoped span, ends at `}`
+///   if (auto* s = rtw::obs::sink())         // hand-rolled fast path
+///     s->on_queue_op(rtw::obs::QueueOp::Fire, tick);
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace rtw::obs {
+
+/// Event-kernel operations reported by the EventQueue hot path.
+enum class QueueOp : std::uint8_t {
+  Schedule,  ///< an action entered the heap
+  Fire,      ///< an action executed
+  Drop,      ///< the fault filter discarded an action unrun
+  Defer,     ///< the fault filter re-queued an action at a later tick
+};
+
+inline constexpr std::size_t kQueueOpCount = 4;
+
+/// Abstract receiver of observability events.  Implementations (the
+/// rtw_obs Tracer, test doubles) must be safe to call from any thread;
+/// the library calls these from engine worker threads concurrently.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+
+  /// A completed span: `name` must point at storage outliving the sink
+  /// (instrumentation sites pass string literals).  Times are
+  /// steady-clock nanoseconds from now_ns().
+  virtual void on_span(const char* name, std::uint64_t start_ns,
+                       std::uint64_t end_ns) noexcept = 0;
+
+  /// One event-kernel operation at virtual time `tick`.
+  virtual void on_queue_op(QueueOp op, std::uint64_t tick) noexcept = 0;
+};
+
+namespace detail {
+/// The process-wide sink slot.  Inline so the disabled check compiles to a
+/// load + branch everywhere, including translation units that never link
+/// rtw_obs.
+inline std::atomic<Sink*> g_sink{nullptr};
+}  // namespace detail
+
+/// The installed sink, or nullptr when observability is disabled.
+inline Sink* sink() noexcept {
+  return detail::g_sink.load(std::memory_order_acquire);
+}
+
+/// True when a sink is installed.  The master switch: every metric fold
+/// and span record in the library is gated on this.
+inline bool enabled() noexcept { return sink() != nullptr; }
+
+/// Installs `s` (nullptr disables) and returns the previous sink.  The
+/// caller owns both lifetimes; uninstall before destroying a sink.  Spans
+/// already in flight finish against the sink they captured at entry.
+inline Sink* set_sink(Sink* s) noexcept {
+  return detail::g_sink.exchange(s, std::memory_order_acq_rel);
+}
+
+/// Monotonic wall-clock in nanoseconds (the span timebase).
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// RAII span: captures the sink once at entry (one branch when disabled)
+/// and reports [start, end) to it on scope exit.  Movable so guards can
+/// live inside SmallFn captures; moving disarms the source.
+class SpanScope {
+ public:
+  explicit SpanScope(const char* name) noexcept : sink_(sink()) {
+    if (sink_) {
+      name_ = name;
+      start_ = now_ns();
+    }
+  }
+
+  SpanScope(SpanScope&& other) noexcept
+      : sink_(other.sink_), name_(other.name_), start_(other.start_) {
+    other.sink_ = nullptr;
+  }
+  SpanScope& operator=(SpanScope&& other) noexcept {
+    if (this != &other) {
+      finish();
+      sink_ = other.sink_;
+      name_ = other.name_;
+      start_ = other.start_;
+      other.sink_ = nullptr;
+    }
+    return *this;
+  }
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  ~SpanScope() { finish(); }
+
+ private:
+  void finish() noexcept {
+    if (sink_) {
+      sink_->on_span(name_, start_, now_ns());
+      sink_ = nullptr;
+    }
+  }
+
+  Sink* sink_;
+  const char* name_ = nullptr;
+  std::uint64_t start_ = 0;
+};
+
+}  // namespace rtw::obs
+
+#define RTW_OBS_CONCAT_IMPL(a, b) a##b
+#define RTW_OBS_CONCAT(a, b) RTW_OBS_CONCAT_IMPL(a, b)
+
+/// Opens a span covering the rest of the enclosing scope.  `name` must be
+/// a string literal (it is stored by pointer).  Free when no sink is
+/// installed: one atomic load and an untaken branch.
+#define RTW_SPAN(name) \
+  ::rtw::obs::SpanScope RTW_OBS_CONCAT(rtw_obs_span_, __LINE__) { name }

@@ -1,0 +1,81 @@
+#pragma once
+/// \file tracer.hpp
+/// The default Sink: records spans into per-thread ring buffers and tallies
+/// event-kernel operations in four relaxed atomics.
+///
+/// Hot-path contract: on_span appends to a thread-local ring with no lock
+/// and no allocation (the ring is preallocated at registration); when a
+/// ring fills it wraps, overwriting the oldest spans and counting the loss
+/// in dropped_spans() -- tracing boundedness beats completeness on a
+/// machine serving millions of runs.  Thread registration (first span from
+/// a new thread) takes the registry mutex once per thread, never again.
+///
+/// drain() snapshots every ring into one start-ordered vector for the
+/// exporters (rtw/obs/export.hpp).  Draining while other threads trace is
+/// safe but racy in the benign sense: spans recorded concurrently may or
+/// may not appear; finish tracing before exporting for a complete picture.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "rtw/obs/sink.hpp"
+
+namespace rtw::obs {
+
+/// One completed span as the tracer stores it.  `tid` is the tracer's
+/// dense thread index (registration order, starting at 1) -- stable across
+/// runs of a deterministic workload, unlike OS thread ids.
+struct SpanRecord {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint32_t tid = 0;
+};
+
+class Tracer final : public Sink {
+ public:
+  /// `ring_capacity`: spans retained per thread (newest win on overflow).
+  explicit Tracer(std::size_t ring_capacity = std::size_t{1} << 16);
+  ~Tracer() override;
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void on_span(const char* name, std::uint64_t start_ns,
+               std::uint64_t end_ns) noexcept override;
+  void on_queue_op(QueueOp op, std::uint64_t tick) noexcept override;
+
+  /// All retained spans, ordered by (start_ns, end_ns descending) so a
+  /// parent sorts before the children it encloses.
+  std::vector<SpanRecord> drain() const;
+
+  /// Total kernel operations of one kind seen.
+  std::uint64_t queue_ops(QueueOp op) const noexcept;
+  /// Spans lost to ring overflow across all threads.
+  std::uint64_t dropped_spans() const noexcept;
+  /// Threads that have recorded at least one span.
+  std::size_t threads_seen() const;
+
+ private:
+  struct Ring {
+    std::vector<SpanRecord> buf;   ///< capacity-sized, preallocated
+    std::size_t next = 0;          ///< write position (wraps)
+    std::uint64_t total = 0;       ///< spans ever recorded on this ring
+    std::uint32_t tid = 0;
+    std::thread::id thread;
+  };
+
+  Ring& local_ring();
+
+  const std::size_t capacity_;
+  const std::uint64_t generation_;  ///< defeats thread-local cache aliasing
+  mutable std::mutex mutex_;        ///< guards rings_ growth and drain
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::atomic<std::uint64_t> queue_ops_[kQueueOpCount] = {};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace rtw::obs

@@ -1,0 +1,159 @@
+#include "rtw/obs/export.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+#include "rtw/sim/jsonl.hpp"
+
+namespace rtw::obs {
+
+namespace {
+
+const char* queue_op_name(QueueOp op) {
+  switch (op) {
+    case QueueOp::Schedule:
+      return "queue.schedule";
+    case QueueOp::Fire:
+      return "queue.fire";
+    case QueueOp::Drop:
+      return "queue.drop";
+    case QueueOp::Defer:
+      return "queue.defer";
+  }
+  return "queue.unknown";
+}
+
+std::uint64_t earliest_start(const std::vector<SpanRecord>& spans) {
+  return spans.empty() ? 0 : spans.front().start_ns;  // drain(): start-sorted
+}
+
+/// Chrome's ts/dur unit is microseconds; keep sub-microsecond precision as
+/// a fraction.
+double to_us(std::uint64_t ns) { return static_cast<double>(ns) / 1000.0; }
+
+}  // namespace
+
+std::string chrome_trace_json(const Tracer& tracer) {
+  const auto spans = tracer.drain();
+  const std::uint64_t epoch = earliest_start(spans);
+
+  std::string events;
+  auto append = [&events](const std::string& line) {
+    if (!events.empty()) events += ',';
+    events += line;
+  };
+
+  for (const auto& span : spans) {
+    append(rtw::sim::JsonLine()
+               .field("name", span.name)
+               .field("cat", "rtw")
+               .field("ph", "X")
+               .field("ts", to_us(span.start_ns - epoch))
+               .field("dur", to_us(span.end_ns - span.start_ns))
+               .field("pid", 1)
+               .field("tid", span.tid)
+               .str());
+  }
+
+  // Kernel-op totals as counter events at the origin: visible as tracks in
+  // about://tracing without bloating the event array.
+  for (auto op : {QueueOp::Schedule, QueueOp::Fire, QueueOp::Drop,
+                  QueueOp::Defer}) {
+    if (const auto count = tracer.queue_ops(op)) {
+      // Counter values live in the event's "args" object (a nested object,
+      // so it is spliced in by hand -- JsonLine is deliberately flat).
+      std::string event = rtw::sim::JsonLine()
+                              .field("name", queue_op_name(op))
+                              .field("cat", "rtw")
+                              .field("ph", "C")
+                              .field("ts", 0.0)
+                              .field("pid", 1)
+                              .str();
+      event.pop_back();  // the closing '}'
+      event += ",\"args\":{\"count\":" + std::to_string(count) + "}}";
+      append(event);
+    }
+  }
+
+  std::string out = "{\"traceEvents\":[";
+  out += events;
+  out += "],\"displayTimeUnit\":\"ms\"";
+  if (const auto dropped = tracer.dropped_spans()) {
+    out += ",\"otherData\":";
+    out += rtw::sim::JsonLine().field("dropped_spans", dropped).str();
+  }
+  out += "}";
+  return out;
+}
+
+std::string spans_jsonl(const Tracer& tracer) {
+  const auto spans = tracer.drain();
+  const std::uint64_t epoch = earliest_start(spans);
+  std::string out;
+  for (const auto& span : spans) {
+    out += rtw::sim::JsonLine()
+               .field("span", span.name)
+               .field("start_ns", span.start_ns - epoch)
+               .field("dur_ns", span.end_ns - span.start_ns)
+               .field("tid", span.tid)
+               .str();
+    out += '\n';
+  }
+  return out;
+}
+
+void fold_queue_ops(const Tracer& tracer, MetricsRegistry& registry) {
+  for (auto op : {QueueOp::Schedule, QueueOp::Fire, QueueOp::Drop,
+                  QueueOp::Defer})
+    if (const auto count = tracer.queue_ops(op))
+      registry.counter(queue_op_name(op)).add(count);
+  if (const auto dropped = tracer.dropped_spans())
+    registry.counter("trace.dropped_spans").add(dropped);
+}
+
+namespace {
+
+struct EnvTrace {
+  std::once_flag once;
+  Tracer* tracer = nullptr;  ///< leaked: must outlive atexit + all spans
+  std::string path;
+};
+
+EnvTrace& env_trace() {
+  static EnvTrace state;
+  return state;
+}
+
+void write_env_trace() {
+  auto& state = env_trace();
+  if (!state.tracer) return;
+  std::ofstream file(state.path);
+  if (!file) return;
+  file << chrome_trace_json(*state.tracer);
+}
+
+}  // namespace
+
+Tracer* init_from_env() {
+  auto& state = env_trace();
+  std::call_once(state.once, [&state] {
+    const char* path = std::getenv("RTW_TRACE");
+    if (!path || !*path) return;
+    state.path = path;
+    state.tracer = new Tracer();  // intentionally leaked (see EnvTrace)
+    set_sink(state.tracer);
+    std::atexit(write_env_trace);
+  });
+  return state.tracer;
+}
+
+std::optional<std::string> flush_env_trace() {
+  auto& state = env_trace();
+  if (!state.tracer) return std::nullopt;
+  fold_queue_ops(*state.tracer, MetricsRegistry::instance());
+  write_env_trace();
+  return state.path;
+}
+
+}  // namespace rtw::obs

@@ -1,0 +1,148 @@
+#include "rtw/obs/metrics.hpp"
+
+#include <stdexcept>
+
+#include "rtw/sim/jsonl.hpp"
+
+namespace rtw::obs {
+
+MetricsRegistry& MetricsRegistry::instance() {
+  // Leaked on purpose: hot paths hold references resolved through
+  // function-local statics, and those must stay valid during program
+  // teardown (static destructors run in unspecified order).
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+namespace {
+
+[[noreturn]] void kind_clash(std::string_view name) {
+  throw std::logic_error("MetricsRegistry: metric '" + std::string(name) +
+                         "' already registered as a different kind");
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = MetricView::Kind::Counter;
+    entry.counter = std::make_unique<Counter>();
+    it = entries_.emplace(std::string(name), std::move(entry)).first;
+  } else if (it->second.kind != MetricView::Kind::Counter) {
+    kind_clash(name);
+  }
+  return *it->second.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = MetricView::Kind::Gauge;
+    entry.gauge = std::make_unique<Gauge>();
+    it = entries_.emplace(std::string(name), std::move(entry)).first;
+  } else if (it->second.kind != MetricView::Kind::Gauge) {
+    kind_clash(name);
+  }
+  return *it->second.gauge;
+}
+
+HistogramMetric& MetricsRegistry::histogram(std::string_view name,
+                                            std::int64_t lo, std::int64_t hi) {
+  std::lock_guard lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = MetricView::Kind::Histogram;
+    entry.histogram = std::make_unique<HistogramMetric>(lo, hi);
+    entry.lo = lo;
+    entry.hi = hi;
+    it = entries_.emplace(std::string(name), std::move(entry)).first;
+  } else if (it->second.kind != MetricView::Kind::Histogram) {
+    kind_clash(name);
+  }
+  return *it->second.histogram;
+}
+
+std::vector<MetricView> MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<MetricView> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    MetricView view;
+    view.name = name;
+    view.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricView::Kind::Counter:
+        view.count = entry.counter->value();
+        break;
+      case MetricView::Kind::Gauge:
+        view.value = entry.gauge->value();
+        break;
+      case MetricView::Kind::Histogram: {
+        const auto h = entry.histogram->snapshot();
+        view.lo = entry.lo;
+        view.bins.reserve(h.bins());
+        for (std::size_t b = 0; b < h.bins(); ++b)
+          view.bins.push_back(h.count(b));
+        break;
+      }
+    }
+    out.push_back(std::move(view));
+  }
+  return out;  // std::map iteration: already name-sorted
+}
+
+std::string MetricsRegistry::to_jsonl() const {
+  std::string out;
+  for (const auto& view : snapshot()) {
+    rtw::sim::JsonLine line;
+    line.field("metric", view.name);
+    switch (view.kind) {
+      case MetricView::Kind::Counter:
+        line.field("kind", "counter").field("count", view.count);
+        break;
+      case MetricView::Kind::Gauge:
+        line.field("kind", "gauge").field("value", view.value);
+        break;
+      case MetricView::Kind::Histogram: {
+        line.field("kind", "histogram");
+        std::uint64_t total = 0;
+        for (std::size_t b = 0; b < view.bins.size(); ++b) {
+          line.field("bin_" + std::to_string(view.lo +
+                                             static_cast<std::int64_t>(b)),
+                     view.bins[b]);
+          total += view.bins[b];
+        }
+        line.field("total", total);
+        break;
+      }
+    }
+    out += line.str();
+    out += '\n';
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case MetricView::Kind::Counter:
+        entry.counter->reset();
+        break;
+      case MetricView::Kind::Gauge:
+        entry.gauge->reset();
+        break;
+      case MetricView::Kind::Histogram:
+        entry.histogram->reset(entry.lo, entry.hi);
+        break;
+    }
+  }
+}
+
+}  // namespace rtw::obs

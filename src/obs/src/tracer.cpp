@@ -1,0 +1,118 @@
+#include "rtw/obs/tracer.hpp"
+
+#include <algorithm>
+
+namespace rtw::obs {
+
+namespace {
+
+/// Monotone tracer identity: a destroyed tracer's address can be reused by
+/// a new one, so the thread-local ring cache keys on (pointer, generation)
+/// instead of the pointer alone.
+std::atomic<std::uint64_t>& generation_counter() {
+  static std::atomic<std::uint64_t> gen{0};
+  return gen;
+}
+
+}  // namespace
+
+Tracer::Tracer(std::size_t ring_capacity)
+    : capacity_(std::max<std::size_t>(ring_capacity, 1)),
+      generation_(generation_counter().fetch_add(1, std::memory_order_relaxed) +
+                  1) {}
+
+Tracer::~Tracer() = default;
+
+Tracer::Ring& Tracer::local_ring() {
+  // Per-thread cache of the last (tracer, ring) pair: the common case --
+  // one tracer installed for the life of the process -- resolves with two
+  // loads and a compare, no lock.
+  thread_local struct {
+    const Tracer* owner = nullptr;
+    std::uint64_t generation = 0;
+    Ring* ring = nullptr;
+  } cache;
+  if (cache.owner == this && cache.generation == generation_)
+    return *cache.ring;
+
+  std::lock_guard lock(mutex_);
+  const auto self = std::this_thread::get_id();
+  Ring* ring = nullptr;
+  for (const auto& r : rings_)
+    if (r->thread == self) {
+      ring = r.get();
+      break;
+    }
+  if (!ring) {
+    auto fresh = std::make_unique<Ring>();
+    fresh->buf.resize(capacity_);
+    fresh->tid = static_cast<std::uint32_t>(rings_.size() + 1);
+    fresh->thread = self;
+    ring = fresh.get();
+    rings_.push_back(std::move(fresh));
+  }
+  cache.owner = this;
+  cache.generation = generation_;
+  cache.ring = ring;
+  return *ring;
+}
+
+void Tracer::on_span(const char* name, std::uint64_t start_ns,
+                     std::uint64_t end_ns) noexcept {
+  Ring& ring = local_ring();
+  SpanRecord& slot = ring.buf[ring.next];
+  const bool overwriting = ring.total >= capacity_;
+  slot.name = name;
+  slot.start_ns = start_ns;
+  slot.end_ns = end_ns;
+  slot.tid = ring.tid;
+  ring.next = (ring.next + 1) % capacity_;
+  ++ring.total;
+  if (overwriting) dropped_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Tracer::on_queue_op(QueueOp op, std::uint64_t /*tick*/) noexcept {
+  queue_ops_[static_cast<std::size_t>(op)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> Tracer::drain() const {
+  std::vector<SpanRecord> out;
+  {
+    std::lock_guard lock(mutex_);
+    for (const auto& ring : rings_) {
+      const std::uint64_t kept =
+          std::min<std::uint64_t>(ring->total, capacity_);
+      // Oldest surviving span first: when the ring wrapped, that is the
+      // slot the next write would claim.
+      std::size_t pos = ring->total > capacity_ ? ring->next : 0;
+      for (std::uint64_t i = 0; i < kept; ++i) {
+        out.push_back(ring->buf[pos]);
+        pos = (pos + 1) % capacity_;
+      }
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     if (a.start_ns != b.start_ns)
+                       return a.start_ns < b.start_ns;
+                     return a.end_ns > b.end_ns;  // parents before children
+                   });
+  return out;
+}
+
+std::uint64_t Tracer::queue_ops(QueueOp op) const noexcept {
+  return queue_ops_[static_cast<std::size_t>(op)].load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::dropped_spans() const noexcept {
+  return dropped_.load(std::memory_order_relaxed);
+}
+
+std::size_t Tracer::threads_seen() const {
+  std::lock_guard lock(mutex_);
+  return rings_.size();
+}
+
+}  // namespace rtw::obs

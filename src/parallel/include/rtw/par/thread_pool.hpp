@@ -1,15 +1,10 @@
 #pragma once
 /// \file thread_pool.hpp
-/// Compatibility alias: ThreadPool moved to the sim infrastructure layer
-/// (rtw/sim/thread_pool.hpp) when the execution engine was introduced --
-/// the engine's BatchRunner and the parallel runtimes share it, and sim is
-/// below both in the layer diagram.  Existing rtw::par::ThreadPool users
-/// keep compiling through this alias; include the sim header in new code.
+/// Tombstone.  ThreadPool moved to the sim infrastructure layer in the
+/// execution-engine refactor (PR 1) and the `rtw::par::ThreadPool`
+/// compatibility alias has now been removed.  This header stays for one
+/// release so stale includes fail with a direction instead of a bare
+/// file-not-found.
 
-#include "rtw/sim/thread_pool.hpp"
-
-namespace rtw::par {
-
-using rtw::sim::ThreadPool;
-
-}  // namespace rtw::par
+#error \
+    "rtw/par/thread_pool.hpp is retired: include \"rtw/sim/thread_pool.hpp\" and use rtw::sim::ThreadPool"

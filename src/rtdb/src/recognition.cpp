@@ -6,6 +6,8 @@
 #include "rtw/core/error.hpp"
 #include "rtw/engine/batch.hpp"
 #include "rtw/engine/engine.hpp"
+#include "rtw/obs/metrics.hpp"
+#include "rtw/obs/sink.hpp"
 
 namespace rtw::rtdb {
 
@@ -304,10 +306,21 @@ void RecognitionAcceptor::on_tick(const StepContext& ctx) {
   running_.reset();
   if (!success) {
     ++failed_;
+    if (rtw::obs::enabled()) {
+      static auto& failed =
+          rtw::obs::MetricsRegistry::instance().counter(
+              "rtdb.recognition.failed");
+      failed.add(1);
+    }
     lock_ = false;  // a failure prevents all further f's
     return;
   }
   ++served_;
+  if (rtw::obs::enabled()) {
+    static auto& served = rtw::obs::MetricsRegistry::instance().counter(
+        "rtdb.recognition.served");
+    served.add(1);
+  }
   if (ctx.out.can_write(ctx.now))
     ctx.out.write(ctx.now, ctx.out.accept_symbol());
   if (ready_.empty() && !pending_) accepting_since_ = ctx.now;
@@ -342,6 +355,7 @@ std::vector<bool> recognition_sweep(QueryCatalog catalog, QueryCostModel cost,
                                     const std::vector<rtw::core::TimedWord>& words,
                                     Tick horizon,
                                     const rtw::engine::BatchOptions& batch) {
+  RTW_SPAN("rtdb.recognition.sweep");
   rtw::core::RunOptions options;
   options.horizon = horizon;
   return rtw::engine::membership_sweep(

@@ -24,11 +24,13 @@
 ///     driver events (slab cells are recycled; the vectors amortize).
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <new>
 #include <type_traits>
 #include <vector>
 
+#include "rtw/obs/sink.hpp"
 #include "rtw/sim/small_fn.hpp"
 
 namespace rtw::sim {
@@ -75,7 +77,14 @@ public:
   void schedule_at(Tick at, F&& action) {
     const std::uint32_t slot = alloc_slot();
     ::new (static_cast<void*>(cell(slot))) Action(std::forward<F>(action));
-    push_heap(at < now_ ? now_ : at, slot);
+    const Tick clamped = at < now_ ? now_ : at;
+    // Observability tap: one relaxed load + untaken branch when no sink
+    // is installed (the <= 2% disabled-overhead budget of the kernel).
+    // The notify itself lives out of line so the virtual-call sequence
+    // does not bloat this inlined hot body.
+    if (rtw::obs::sink() != nullptr) [[unlikely]]
+      notify_schedule(clamped);
+    push_heap(clamped, slot);
   }
 
   /// Schedules `action` to run `delay` ticks from now.  A delay that would
@@ -181,10 +190,27 @@ private:
   }
 
   /// Claims a free cell (recycled or fresh); the caller placement-news the
-  /// Action into it.
-  std::uint32_t alloc_slot();
-  /// Inserts a heap node for an already-filled cell.
-  void push_heap(Tick at, std::uint32_t slot);
+  /// Action into it.  Inline fast path (pop the free list / bump the
+  /// high-water mark) because schedule_at pays this once per event; chunk
+  /// growth is the out-of-line slow path.
+  std::uint32_t alloc_slot() {
+    if (free_head_ != kNil) {
+      const std::uint32_t slot = free_head_;
+      std::memcpy(&free_head_, cell(slot), sizeof(free_head_));
+      return slot;
+    }
+    if (used_ == capacity_) [[unlikely]]
+      grow_chunks();
+    return used_++;
+  }
+  /// Appends a chunk to the slab (alloc_slot's slow path).
+  void grow_chunks();
+  /// Inserts a heap node for an already-filled cell.  Inline for the same
+  /// reason as alloc_slot; the percolation loop stays out of line.
+  void push_heap(Tick at, std::uint32_t slot) {
+    heap_.push_back(Node{at, seq_++, slot});
+    if (heap_.size() > 1) sift_up(heap_.size() - 1);
+  }
   /// Pops the minimum node; the action stays in its cell until fired.
   Node pop_min();
   void sift_up(std::size_t i) noexcept;
@@ -192,8 +218,13 @@ private:
   /// Destroys the cell's action and links the cell into the free list.
   void release_slot(std::uint32_t slot) noexcept;
   /// Fires the popped node's action in place, releasing the cell even if
-  /// the action throws.
-  void fire(const Node& node);
+  /// the action throws.  `sink` is the obs sink sampled once by the
+  /// caller's drain loop -- per-event atomic loads would tax the ~18ns
+  /// hot path measurably.
+  void fire(const Node& node, rtw::obs::Sink* sink);
+  /// Cold out-of-line half of the schedule_at obs tap: re-reads the sink
+  /// (already observed non-null) and reports the Schedule op.
+  void notify_schedule(Tick at);
   /// Applies the fault filter to a popped node.  Returns true when the
   /// event survived (caller fires it); on Drop/Defer the node was consumed.
   bool admit(const Node& node);

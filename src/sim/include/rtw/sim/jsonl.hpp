@@ -107,4 +107,18 @@ private:
   std::string body_;
 };
 
+/// The unified bench-record builder: every bench_* binary opens its JSONL
+/// records through this instead of hand-rolling the envelope.  The
+/// returned line is pre-populated with
+///   * "bench"   -- the bench name passed in,
+///   * "run_id"  -- one random 64-bit hex id per process, so all lines of
+///                  one invocation correlate,
+///   * "git_sha" -- the build's revision (cmake-injected; the RTW_GIT_SHA
+///                  environment variable overrides at run time),
+///   * "hw_threads" -- std::thread::hardware_concurrency() of the host
+///                  (named so a bench's own "threads" sweep field never
+///                  collides);
+/// callers chain their measurement fields after it.
+JsonLine bench_record(std::string_view bench);
+
 }  // namespace rtw::sim

@@ -19,8 +19,9 @@
 ///
 /// (Historically lived in rtw::par; moved into the sim infrastructure
 /// layer when the execution engine was introduced so that rtw_engine ->
-/// rtw_parallel -> rtw_engine never becomes a cycle.  rtw/par/thread_pool.hpp
-/// remains as a compatibility alias.)
+/// rtw_parallel -> rtw_engine never becomes a cycle.  The old
+/// rtw/par/thread_pool.hpp alias has been removed; only an #error
+/// tombstone remains there.)
 
 #include <atomic>
 #include <condition_variable>

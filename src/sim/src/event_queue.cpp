@@ -14,17 +14,9 @@ EventQueue::~EventQueue() {
   for (const Node& node : heap_) cell(node.slot)->~Action();
 }
 
-std::uint32_t EventQueue::alloc_slot() {
-  if (free_head_ != kNil) {
-    const std::uint32_t slot = free_head_;
-    std::memcpy(&free_head_, cell(slot), sizeof(free_head_));
-    return slot;
-  }
-  if (used_ == capacity_) {
-    chunks_.push_back(std::make_unique<Cell[]>(kChunkSize));
-    capacity_ += kChunkSize;
-  }
-  return used_++;
+void EventQueue::grow_chunks() {
+  chunks_.push_back(std::make_unique<Cell[]>(kChunkSize));
+  capacity_ += kChunkSize;
 }
 
 void EventQueue::release_slot(std::uint32_t slot) noexcept {
@@ -62,11 +54,6 @@ void EventQueue::sift_down(std::size_t i) noexcept {
   heap_[i] = node;
 }
 
-void EventQueue::push_heap(Tick at, std::uint32_t slot) {
-  heap_.push_back(Node{at, seq_++, slot});
-  sift_up(heap_.size() - 1);
-}
-
 EventQueue::Node EventQueue::pop_min() {
   const Node top = heap_.front();
   heap_.front() = heap_.back();
@@ -75,7 +62,7 @@ EventQueue::Node EventQueue::pop_min() {
   return top;
 }
 
-void EventQueue::fire(const Node& node) {
+void EventQueue::fire(const Node& node, rtw::obs::Sink* sink) {
   // In-place invocation: cells are address-stable, so callbacks are free
   // to schedule (growing the chunk table) while this action runs.  The
   // cell is not on the free list yet, so it cannot be reused mid-call;
@@ -85,7 +72,13 @@ void EventQueue::fire(const Node& node) {
     std::uint32_t slot;
     ~Guard() { queue->release_slot(slot); }
   } guard{this, node.slot};
+  if (sink) [[unlikely]]
+    sink->on_queue_op(rtw::obs::QueueOp::Fire, now_);
   (*cell(node.slot))(now_);
+}
+
+void EventQueue::notify_schedule(Tick at) {
+  if (auto* s = rtw::obs::sink()) s->on_queue_op(rtw::obs::QueueOp::Schedule, at);
 }
 
 bool EventQueue::admit(const Node& node) {
@@ -97,6 +90,8 @@ bool EventQueue::admit(const Node& node) {
     case FaultDecision::Kind::Drop:
       release_slot(node.slot);
       ++filtered_dropped_;
+      if (auto* s = rtw::obs::sink())
+        s->on_queue_op(rtw::obs::QueueOp::Drop, node.at);
       return false;
     case FaultDecision::Kind::Defer: {
       // An event already at the maximum tick cannot be pushed later;
@@ -107,6 +102,8 @@ bool EventQueue::admit(const Node& node) {
       heap_.push_back(Node{to, seq_++, node.slot});
       sift_up(heap_.size() - 1);
       ++filtered_deferred_;
+      if (auto* s = rtw::obs::sink())
+        s->on_queue_op(rtw::obs::QueueOp::Defer, node.at);
       return false;
     }
   }
@@ -119,17 +116,21 @@ void EventQueue::schedule_batch(std::vector<Scheduled> batch) {
 }
 
 bool EventQueue::step(Tick horizon) {
+  rtw::obs::Sink* const sink = rtw::obs::sink();
   while (!heap_.empty() && heap_.front().at <= horizon) {
     const Node node = pop_min();
     if (!admit(node)) continue;  // dropped or deferred: not executed
     now_ = node.at;
-    fire(node);
+    fire(node, sink);
     return true;
   }
   return false;
 }
 
 std::size_t EventQueue::run_until(Tick horizon) {
+  // The obs sink is sampled once per drain call, not per event: a sink
+  // installed mid-drain is seen by the next step()/run_until().
+  rtw::obs::Sink* const sink = rtw::obs::sink();
   std::size_t executed = 0;
   while (!heap_.empty() && heap_.front().at <= horizon) {
     // Coalesce the stretch of events sharing this tick: advance the clock
@@ -140,7 +141,7 @@ std::size_t EventQueue::run_until(Tick horizon) {
     do {
       const Node node = pop_min();
       if (admit(node)) {
-        fire(node);
+        fire(node, sink);
         ++executed;
       }
     } while (!heap_.empty() && heap_.front().at == tick);

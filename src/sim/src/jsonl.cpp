@@ -1,0 +1,51 @@
+#include "rtw/sim/jsonl.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "rtw/sim/rng.hpp"
+
+#ifndef RTW_GIT_SHA
+#define RTW_GIT_SHA "unknown"
+#endif
+
+namespace rtw::sim {
+
+namespace {
+
+/// One id per process: drawn once from the wall clock, then constant, so
+/// every record a bench invocation emits carries the same correlator.
+std::string process_run_id() {
+  static const std::string id = [] {
+    SplitMix64 mix(static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count()) ^
+                   static_cast<std::uint64_t>(
+                       std::chrono::system_clock::now().time_since_epoch()
+                           .count()));
+    static constexpr char hex[] = "0123456789abcdef";
+    std::uint64_t v = mix();
+    std::string out(16, '0');
+    for (std::size_t i = 16; i-- > 0; v >>= 4) out[i] = hex[v & 0xf];
+    return out;
+  }();
+  return id;
+}
+
+std::string build_sha() {
+  if (const char* env = std::getenv("RTW_GIT_SHA"); env && *env) return env;
+  return RTW_GIT_SHA;
+}
+
+}  // namespace
+
+JsonLine bench_record(std::string_view bench) {
+  JsonLine line;
+  line.field("bench", bench)
+      .field("run_id", process_run_id())
+      .field("git_sha", build_sha())
+      .field("hw_threads", std::thread::hardware_concurrency());
+  return line;
+}
+
+}  // namespace rtw::sim

@@ -8,6 +8,7 @@
 #include "rtw/adhoc/route_acceptor.hpp"
 #include "rtw/adhoc/words.hpp"
 #include "rtw/core/error.hpp"
+#include "rtw/engine/engine.hpp"
 
 namespace {
 
@@ -327,7 +328,7 @@ TEST(RouteWordAcceptorTest, AcceptsASimulatedRouteWord) {
   RouteWordAcceptor acceptor(net, {0, 3, 777, 40});
   RunOptions options;
   options.horizon = 400;
-  const auto r = rtw::core::run_acceptor(acceptor, word, options);
+  const auto r = rtw::engine::run(acceptor, word, options).result;
   EXPECT_TRUE(r.accepted);
   EXPECT_TRUE(r.exact);
   EXPECT_EQ(acceptor.hops_seen(), trace.hops.size());
@@ -347,7 +348,7 @@ TEST(RouteWordAcceptorTest, RejectsChainBreakInTheWord) {
   RouteWordAcceptor acceptor(net, {0, 3, 777, 4});
   RunOptions options;
   options.horizon = 300;
-  const auto r = rtw::core::run_acceptor(acceptor, word, options);
+  const auto r = rtw::engine::run(acceptor, word, options).result;
   EXPECT_FALSE(r.accepted);
   EXPECT_TRUE(r.exact);
 }
@@ -365,7 +366,7 @@ TEST(RouteWordAcceptorTest, RejectsOutOfRangeHop) {
   RouteWordAcceptor acceptor(net, {0, 3, 777, 4});
   RunOptions options;
   options.horizon = 300;
-  const auto r = rtw::core::run_acceptor(acceptor, word, options);
+  const auto r = rtw::engine::run(acceptor, word, options).result;
   EXPECT_FALSE(r.accepted);
   EXPECT_TRUE(r.exact);
 }
@@ -378,7 +379,7 @@ TEST(RouteWordAcceptorTest, UndeliveredWordRejectsAtHorizon) {
   RouteWordAcceptor acceptor(net, {0, 3, 777, 4});
   RunOptions options;
   options.horizon = 200;
-  const auto r = rtw::core::run_acceptor(acceptor, word, options);
+  const auto r = rtw::engine::run(acceptor, word, options).result;
   EXPECT_FALSE(r.accepted);
   EXPECT_FALSE(r.exact);
   EXPECT_EQ(acceptor.hops_seen(), 0u);
@@ -397,7 +398,7 @@ TEST(RouteWordAcceptorTest, WrongSourceRejected) {
   RouteWordAcceptor acceptor(net, {0, 3, 777, 4});
   RunOptions options;
   options.horizon = 300;
-  const auto r = rtw::core::run_acceptor(acceptor, word, options);
+  const auto r = rtw::engine::run(acceptor, word, options).result;
   EXPECT_FALSE(r.accepted);
   EXPECT_TRUE(r.exact);
 }

@@ -5,6 +5,7 @@
 
 #include "rtw/core/acceptor.hpp"
 #include "rtw/core/error.hpp"
+#include "rtw/engine/engine.hpp"
 
 namespace {
 
@@ -86,7 +87,7 @@ TEST(OutputTapeTest, CustomAcceptSymbol) {
   EXPECT_EQ(out.accept_count(), 1u);
 }
 
-// --------------------------------------------------------- run_acceptor
+// ------------------------------------------------------ acceptor runs
 
 /// Accepts iff the total count of 'a' symbols seen within the first
 /// `window` ticks is at least `threshold`; locks at tick `window`.
@@ -130,7 +131,7 @@ private:
 
 TEST(RunAcceptorTest, AcceptAllAcceptsExactly) {
   AcceptAll algo;
-  const auto r = run_acceptor(algo, TimedWord::text_at("abc", 0));
+  const auto r = rtw::engine::run(algo, TimedWord::text_at("abc", 0)).result;
   EXPECT_TRUE(r.accepted);
   EXPECT_TRUE(r.exact);
   EXPECT_GE(r.f_count, 1u);
@@ -138,7 +139,7 @@ TEST(RunAcceptorTest, AcceptAllAcceptsExactly) {
 
 TEST(RunAcceptorTest, RejectAllRejectsExactly) {
   RejectAll algo;
-  const auto r = run_acceptor(algo, TimedWord::text_at("abc", 0));
+  const auto r = rtw::engine::run(algo, TimedWord::text_at("abc", 0)).result;
   EXPECT_FALSE(r.accepted);
   EXPECT_TRUE(r.exact);
   EXPECT_EQ(r.f_count, 0u);
@@ -148,13 +149,13 @@ TEST(RunAcceptorTest, CountingAcceptorSeesGatedInput) {
   CountingAcceptor algo(10, 3);
   // Three a's arrive by tick 10 -> accept.
   auto yes = TimedWord::finite(symbols_of("aaa"), {1, 5, 9});
-  auto r = run_acceptor(algo, yes);
+  auto r = rtw::engine::run(algo, yes).result;
   EXPECT_TRUE(r.accepted);
   EXPECT_TRUE(r.exact);
   EXPECT_EQ(r.symbols_consumed, 3u);
   // Third a arrives after the window -> reject.
   auto no = TimedWord::finite(symbols_of("aaa"), {1, 5, 11});
-  r = run_acceptor(algo, no);
+  r = rtw::engine::run(algo, no).result;
   EXPECT_FALSE(r.accepted);
   EXPECT_TRUE(r.exact);
 }
@@ -162,10 +163,10 @@ TEST(RunAcceptorTest, CountingAcceptorSeesGatedInput) {
 TEST(RunAcceptorTest, ResetBetweenRuns) {
   CountingAcceptor algo(4, 2);
   auto w = TimedWord::finite(symbols_of("aa"), {0, 1});
-  EXPECT_TRUE(run_acceptor(algo, w).accepted);
+  EXPECT_TRUE(rtw::engine::run(algo, w).result.accepted);
   // Same algorithm object, fresh run: must not carry the old count.
   auto single = TimedWord::finite(symbols_of("a"), {0});
-  EXPECT_FALSE(run_acceptor(algo, single).accepted);
+  EXPECT_FALSE(rtw::engine::run(algo, single).result.accepted);
 }
 
 TEST(RunAcceptorTest, FastForwardSkipsIdleGaps) {
@@ -173,7 +174,7 @@ TEST(RunAcceptorTest, FastForwardSkipsIdleGaps) {
   auto w = TimedWord::finite(symbols_of("a"), {999999});
   RunOptions opt;
   opt.horizon = 2000000;
-  const auto r = run_acceptor(algo, w, opt);
+  const auto r = rtw::engine::run(algo, w, opt).result;
   EXPECT_TRUE(r.accepted);
   EXPECT_TRUE(r.exact);
 }
@@ -190,7 +191,7 @@ TEST(RunAcceptorTest, UnlockedAlgorithmGetsHorizonVerdict) {
   RunOptions opt;
   opt.horizon = 200;
   auto w = TimedWord::lasso({}, {{Symbol::chr('a'), 1}}, 1);
-  const auto r = run_acceptor(algo, w, opt);
+  const auto r = rtw::engine::run(algo, w, opt).result;
   EXPECT_TRUE(r.accepted);
   EXPECT_FALSE(r.exact);  // heuristic verdict
 }
@@ -203,19 +204,18 @@ TEST(RunAcceptorTest, SilentUnlockedAlgorithmRejectsAtHorizon) {
   RunOptions opt;
   opt.horizon = 100;
   const auto r =
-      run_acceptor(algo, TimedWord::lasso({}, {{Symbol::chr('a'), 1}}, 1), opt);
+      rtw::engine::run(algo, TimedWord::lasso({}, {{Symbol::chr('a'), 1}}, 1), opt).result;
   EXPECT_FALSE(r.accepted);
   EXPECT_FALSE(r.exact);
 }
 
-// Lock-protocol edge cases through the compat shim (run_acceptor is now a
-// thin wrapper over rtw::engine::Engine; these pin the boundary behaviour
-// of the historical loop).
+// Lock-protocol edge cases through rtw::engine::run; these pin the
+// boundary behaviour of the historical loop.
 
 TEST(RunAcceptorLockEdgeTest, LockOnTickZeroStopsImmediately) {
   AcceptAll algo;
-  const auto r = run_acceptor(algo, TimedWord::finite(symbols_of("abc"),
-                                                      {50, 60, 70}));
+  const auto r = rtw::engine::run(algo, TimedWord::finite(symbols_of("abc"),
+                                                      {50, 60, 70})).result;
   EXPECT_TRUE(r.accepted);
   EXPECT_TRUE(r.exact);
   // Locked on the very first tick: no arrival was ever needed or consumed.
@@ -228,7 +228,7 @@ TEST(RunAcceptorLockEdgeTest, LockAfterLastArrival) {
   // executor must keep stepping past the drained word until the lock.
   CountingAcceptor algo(30, 2);
   const auto r =
-      run_acceptor(algo, TimedWord::finite(symbols_of("aa"), {3, 9}));
+      rtw::engine::run(algo, TimedWord::finite(symbols_of("aa"), {3, 9})).result;
   EXPECT_TRUE(r.accepted);
   EXPECT_TRUE(r.exact);
   EXPECT_EQ(r.ticks, 30u);
@@ -245,8 +245,8 @@ TEST(RunAcceptorLockEdgeTest, NeverLocksIsNeverExact) {
   for (Tick horizon : {Tick{1}, Tick{10}, Tick{1000}}) {
     RunOptions opt;
     opt.horizon = horizon;
-    const auto r = run_acceptor(
-        algo, TimedWord::lasso({}, {{Symbol::chr('a'), 1}}, 1), opt);
+    const auto r = rtw::engine::run(
+        algo, TimedWord::lasso({}, {{Symbol::chr('a'), 1}}, 1), opt).result;
     EXPECT_FALSE(r.exact) << "horizon=" << horizon;
     EXPECT_FALSE(r.accepted) << "horizon=" << horizon;
   }
@@ -271,7 +271,7 @@ TEST_P(GateProperty, VerdictMatchesArithmetic) {
   CountingAcceptor algo(p.window, p.threshold);
   RunOptions opt;
   opt.horizon = p.window + p.arrival_step * (p.count + 2) + 10;
-  const auto r = run_acceptor(algo, TimedWord::finite(symbols), opt);
+  const auto r = rtw::engine::run(algo, TimedWord::finite(symbols), opt).result;
   std::uint64_t available = 0;
   for (std::uint64_t i = 0; i < p.count; ++i)
     if (p.arrival_step * (i + 1) <= p.window) ++available;

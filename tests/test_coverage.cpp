@@ -12,6 +12,7 @@
 #include "rtw/deadline/acceptor.hpp"
 #include "rtw/rtdb/algebra.hpp"
 #include "rtw/rtdb/recognition.hpp"
+#include "rtw/engine/engine.hpp"
 
 namespace {
 
@@ -48,7 +49,7 @@ TEST(RecognitionEdgeTest, UnknownQueryNameFails) {
   RecognitionAcceptor acceptor(tiny_catalog(), linear_cost());
   rtw::core::RunOptions options;
   options.horizon = 400;
-  const auto r = rtw::core::run_acceptor(acceptor, w, options);
+  const auto r = rtw::engine::run(acceptor, w, options).result;
   EXPECT_FALSE(r.accepted);
   EXPECT_TRUE(r.exact);
   EXPECT_EQ(acceptor.failed(), 1u);
@@ -59,7 +60,7 @@ TEST(RecognitionEdgeTest, WordWithoutQueryNeverDecides) {
   RecognitionAcceptor acceptor(tiny_catalog(), linear_cost());
   rtw::core::RunOptions options;
   options.horizon = 300;
-  const auto r = rtw::core::run_acceptor(acceptor, w, options);
+  const auto r = rtw::engine::run(acceptor, w, options).result;
   EXPECT_FALSE(r.accepted);
   EXPECT_FALSE(r.exact);
   EXPECT_EQ(acceptor.served() + acceptor.failed(), 0u);
@@ -74,7 +75,7 @@ TEST(RecognitionEdgeTest, PatienceBoundaryLocksAfterQuietWindow) {
   RecognitionAcceptor acceptor(tiny_catalog(), linear_cost(), /*patience=*/16);
   rtw::core::RunOptions options;
   options.horizon = 400;
-  const auto r = rtw::core::run_acceptor(acceptor, w, options);
+  const auto r = rtw::engine::run(acceptor, w, options).result;
   EXPECT_TRUE(r.accepted);
   EXPECT_TRUE(r.exact);
   // The lock arrives after the quiet patience window, not at first f.
@@ -201,7 +202,7 @@ TEST(DataaccEdgeTest, EmptyProposedOutputRejects) {
   rtw::core::RunOptions options;
   options.horizon = 2000;
   const auto r =
-      rtw::core::run_acceptor(acceptor, build_dataacc_word(inst), options);
+      rtw::engine::run(acceptor, build_dataacc_word(inst), options).result;
   EXPECT_TRUE(r.exact);
   EXPECT_FALSE(r.accepted);
 }

@@ -10,6 +10,7 @@
 #include "rtw/dataacc/d_algorithm.hpp"
 #include "rtw/dataacc/stream_problem.hpp"
 #include "rtw/dataacc/word.hpp"
+#include "rtw/engine/engine.hpp"
 
 namespace {
 
@@ -253,7 +254,7 @@ TEST(DataAccAcceptorTest, AcceptsTrueSolution) {
   auto inst = accepted_instance();
   DataAccAcceptor acceptor(std::make_unique<RunningSum>(), {1, 1});
   const auto r =
-      rtw::core::run_acceptor(acceptor, build_dataacc_word(inst));
+      rtw::engine::run(acceptor, build_dataacc_word(inst)).result;
   EXPECT_TRUE(r.exact);
   EXPECT_TRUE(r.accepted);
 }
@@ -263,7 +264,7 @@ TEST(DataAccAcceptorTest, RejectsWrongSolution) {
   inst.proposed_output = {Symbol::nat(999999)};
   DataAccAcceptor acceptor(std::make_unique<RunningSum>(), {1, 1});
   const auto r =
-      rtw::core::run_acceptor(acceptor, build_dataacc_word(inst));
+      rtw::engine::run(acceptor, build_dataacc_word(inst)).result;
   EXPECT_TRUE(r.exact);
   EXPECT_FALSE(r.accepted);
 }
@@ -277,7 +278,7 @@ TEST(DataAccAcceptorTest, DivergentStreamNeverLocks) {
   rtw::core::RunOptions options;
   options.horizon = 3000;
   const auto r =
-      rtw::core::run_acceptor(acceptor, build_dataacc_word(inst), options);
+      rtw::engine::run(acceptor, build_dataacc_word(inst), options).result;
   EXPECT_FALSE(r.exact);
   EXPECT_FALSE(r.accepted);
   EXPECT_EQ(r.f_count, 0u);
@@ -288,7 +289,7 @@ TEST(DataAccAcceptorTest, TerminationTimeMatchesExecutor) {
   RunningSum probe;
   const auto run = run_d_algorithm(inst.law, {1, 1}, probe, inst.datum, 5000);
   DataAccAcceptor acceptor(std::make_unique<RunningSum>(), {1, 1});
-  rtw::core::run_acceptor(acceptor, build_dataacc_word(inst));
+  rtw::engine::run(acceptor, build_dataacc_word(inst)).result;
   EXPECT_EQ(acceptor.termination_time(), run.termination_time);
   EXPECT_EQ(acceptor.processed(), run.processed);
 }
@@ -323,7 +324,7 @@ TEST_P(LawProperty, AcceptanceIffTermination) {
   rtw::core::RunOptions options;
   options.horizon = 4000;
   const auto r =
-      rtw::core::run_acceptor(acceptor, build_dataacc_word(inst), options);
+      rtw::engine::run(acceptor, build_dataacc_word(inst), options).result;
   EXPECT_EQ(r.accepted && r.exact, p.should_terminate);
 }
 
@@ -386,7 +387,7 @@ TEST(CorrectionAcceptorTest, AcceptsTrueCorrectedSum) {
   rtw::core::RunOptions options;
   options.horizon = 4000;
   const auto r0 =
-      rtw::core::run_acceptor(probe, build_correction_word(inst), options);
+      rtw::engine::run(probe, build_correction_word(inst), options).result;
   ASSERT_TRUE(r0.exact);
   ASSERT_FALSE(r0.accepted);
   const auto applied = probe.corrections_applied();
@@ -394,7 +395,7 @@ TEST(CorrectionAcceptorTest, AcceptsTrueCorrectedSum) {
   inst.proposed_output = {Symbol::nat(corrected_sum(inst, applied))};
   CorrectionAcceptor acceptor(1, 2);
   const auto r =
-      rtw::core::run_acceptor(acceptor, build_correction_word(inst), options);
+      rtw::engine::run(acceptor, build_correction_word(inst), options).result;
   EXPECT_TRUE(r.exact);
   EXPECT_TRUE(r.accepted);
   EXPECT_EQ(acceptor.corrections_applied(), applied);
@@ -411,7 +412,7 @@ TEST(CorrectionAcceptorTest, FastCorrectionsNeverLock) {
   rtw::core::RunOptions options;
   options.horizon = 1500;
   const auto r =
-      rtw::core::run_acceptor(acceptor, build_correction_word(inst), options);
+      rtw::engine::run(acceptor, build_correction_word(inst), options).result;
   EXPECT_FALSE(r.exact);
   EXPECT_FALSE(r.accepted);
 }

@@ -9,6 +9,7 @@
 #include "rtw/deadline/scheduling.hpp"
 #include "rtw/deadline/usefulness.hpp"
 #include "rtw/deadline/word.hpp"
+#include "rtw/engine/engine.hpp"
 
 namespace {
 
@@ -223,7 +224,7 @@ TEST(DeadlineAcceptorTest, CompletionTimeIsWorkCost) {
   inst.proposed_output = inst.input;
   inst.usefulness = Usefulness::firm(40, 5);
   inst.min_acceptable = 1;
-  const auto r = rtw::core::run_acceptor(acceptor, build_deadline_word(inst));
+  const auto r = rtw::engine::run(acceptor, build_deadline_word(inst)).result;
   EXPECT_TRUE(r.accepted);
   EXPECT_EQ(acceptor.completion_time(), 17u);
   EXPECT_EQ(r.first_f, 17u);

@@ -82,8 +82,9 @@ TEST(EngineTest, MatchesLegacyRejectVerdict) {
   EXPECT_TRUE(run.result.exact);
 }
 
-TEST(EngineTest, ShimAgreesWithEngineOnASweep) {
-  // core::run_acceptor is a shim over the engine: field-for-field parity.
+TEST(EngineTest, FreeRunAgreesWithConfiguredEngineOnASweep) {
+  // The one-shot free function and an explicitly constructed Engine are
+  // the same machine: field-for-field parity across a small sweep.
   for (Tick step : {1, 3, 7}) {
     for (std::uint64_t threshold : {1u, 3u, 5u}) {
       std::vector<TimedSymbol> symbols;
@@ -91,8 +92,9 @@ TEST(EngineTest, ShimAgreesWithEngineOnASweep) {
         symbols.push_back({Symbol::chr('a'), step * (i + 1)});
       const auto word = TimedWord::finite(symbols);
       CountingAcceptor a(12, threshold), b(12, threshold);
-      const auto legacy = run_acceptor(a, word);
-      const auto modern = rtw::engine::run(b, word).result;
+      const auto legacy = rtw::engine::run(a, word).result;
+      const auto modern =
+          rtw::engine::Engine(rtw::core::RunOptions{}).run(b, word).result;
       EXPECT_EQ(legacy.accepted, modern.accepted);
       EXPECT_EQ(legacy.exact, modern.exact);
       EXPECT_EQ(legacy.ticks, modern.ticks);
@@ -240,7 +242,7 @@ TEST(EngineCountersTest, RunsAreCounted) {
   EXPECT_GE(snap.ticks, 2u);
   EXPECT_EQ(snap.symbols, 2u);
   const std::string json = snap.to_json();
-  EXPECT_NE(json.find("\"runs\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"engine.runs\":2"), std::string::npos);
 }
 
 // --------------------------------------------------------- BatchRunner

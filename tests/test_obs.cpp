@@ -1,0 +1,480 @@
+// Tests for the rtw::obs observability layer: the Sink switchboard and
+// RTW_SPAN guard, the Tracer's per-thread rings, the MetricsRegistry, the
+// Chrome trace_event / JSONL exporters (including a byte-exact golden
+// file), and the bit-identity of instrumented-off runs (the zero-overhead
+// contract, checked through the proptest replay harness).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "rtw/rtw.hpp"
+#include "proptest.hpp"
+
+namespace {
+
+using rtw::obs::MetricsRegistry;
+using rtw::obs::QueueOp;
+using rtw::obs::Tracer;
+
+/// Every test leaves the process sink cleared; this guard makes that
+/// exception-safe.
+struct SinkGuard {
+  explicit SinkGuard(rtw::obs::Sink* s) { rtw::obs::set_sink(s); }
+  ~SinkGuard() { rtw::obs::set_sink(nullptr); }
+};
+
+// ------------------------------------------------------ mini JSON parser
+
+/// A tiny recursive-descent JSON validator: accepts exactly the RFC 8259
+/// grammar (minus the exotic number corners) and nothing else.  Used to
+/// check exporter output is *valid* JSON, not merely JSON-looking.
+class JsonParser {
+public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') return ++pos_, true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') return ++pos_, true;
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') return ++pos_, true;
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') return ++pos_, true;
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing '"'
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    return pos_ > start;
+  }
+
+  bool literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// ------------------------------------------------------------ Sink + span
+
+TEST(SinkTest, DisabledByDefaultAndSpanIsNoop) {
+  ASSERT_EQ(rtw::obs::sink(), nullptr);
+  EXPECT_FALSE(rtw::obs::enabled());
+  { RTW_SPAN("noop"); }  // must not crash or require a sink
+}
+
+TEST(SinkTest, SpanScopeReportsToInstalledSink) {
+  Tracer tracer;
+  {
+    SinkGuard guard(&tracer);
+    EXPECT_TRUE(rtw::obs::enabled());
+    { RTW_SPAN("unit.test"); }
+  }
+  const auto spans = tracer.drain();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "unit.test");
+  EXPECT_GE(spans[0].end_ns, spans[0].start_ns);
+  EXPECT_EQ(spans[0].tid, 1u);
+}
+
+TEST(SinkTest, SpanCapturesSinkAtEntry) {
+  // A span open when the sink is cleared still reports to the sink it
+  // captured at entry -- no torn half-spans.
+  Tracer tracer;
+  rtw::obs::set_sink(&tracer);
+  {
+    RTW_SPAN("crossing");
+    rtw::obs::set_sink(nullptr);
+  }
+  EXPECT_EQ(tracer.drain().size(), 1u);
+}
+
+// ----------------------------------------------------------------- Tracer
+
+TEST(TracerTest, RecordsDirectSpansInStartOrder) {
+  Tracer tracer;
+  tracer.on_span("b", 200, 300);
+  tracer.on_span("a", 100, 900);
+  tracer.on_span("c", 150, 160);
+  const auto spans = tracer.drain();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_STREQ(spans[0].name, "a");
+  EXPECT_STREQ(spans[1].name, "c");
+  EXPECT_STREQ(spans[2].name, "b");
+}
+
+TEST(TracerTest, ParentSortsBeforeChildAtEqualStart) {
+  Tracer tracer;
+  tracer.on_span("child", 100, 200);
+  tracer.on_span("parent", 100, 500);
+  const auto spans = tracer.drain();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_STREQ(spans[0].name, "parent");  // longer span first
+  EXPECT_STREQ(spans[1].name, "child");
+}
+
+TEST(TracerTest, RingOverflowDropsOldestAndCounts) {
+  Tracer tracer(4);
+  for (std::uint64_t i = 0; i < 6; ++i)
+    tracer.on_span("s", i * 10, i * 10 + 1);
+  const auto spans = tracer.drain();
+  EXPECT_EQ(spans.size(), 4u);
+  EXPECT_EQ(tracer.dropped_spans(), 2u);
+  // The newest spans win: starts 20,30,40,50 survive.
+  EXPECT_EQ(spans.front().start_ns, 20u);
+  EXPECT_EQ(spans.back().start_ns, 50u);
+}
+
+TEST(TracerTest, ThreadsGetDenseTids) {
+  Tracer tracer;
+  tracer.on_span("main", 1, 2);
+  std::thread worker([&tracer] { tracer.on_span("worker", 3, 4); });
+  worker.join();
+  EXPECT_EQ(tracer.threads_seen(), 2u);
+  const auto spans = tracer.drain();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].tid, 1u);
+  EXPECT_EQ(spans[1].tid, 2u);
+}
+
+TEST(TracerTest, CountsQueueOps) {
+  Tracer tracer;
+  tracer.on_queue_op(QueueOp::Schedule, 5);
+  tracer.on_queue_op(QueueOp::Schedule, 6);
+  tracer.on_queue_op(QueueOp::Fire, 5);
+  EXPECT_EQ(tracer.queue_ops(QueueOp::Schedule), 2u);
+  EXPECT_EQ(tracer.queue_ops(QueueOp::Fire), 1u);
+  EXPECT_EQ(tracer.queue_ops(QueueOp::Drop), 0u);
+}
+
+TEST(TracerTest, EventQueueEmitsKernelOps) {
+  Tracer tracer;
+  SinkGuard guard(&tracer);
+  rtw::sim::EventQueue q;
+  int fired = 0;
+  for (int i = 0; i < 5; ++i)
+    q.schedule_at(i, [&fired](rtw::sim::Tick) { ++fired; });
+  q.run_until(100);
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(tracer.queue_ops(QueueOp::Schedule), 5u);
+  EXPECT_EQ(tracer.queue_ops(QueueOp::Fire), 5u);
+}
+
+// --------------------------------------------------------- MetricsRegistry
+
+TEST(MetricsRegistryTest, CountersAccumulateThroughStableHandles) {
+  auto& reg = MetricsRegistry::instance();
+  auto& c = reg.counter("test.obs.counter");
+  const auto before = c.value();
+  c.add(3);
+  c.add();
+  EXPECT_EQ(reg.counter("test.obs.counter").value(), before + 4);
+  EXPECT_EQ(&reg.counter("test.obs.counter"), &c);  // same handle
+}
+
+TEST(MetricsRegistryTest, GaugeKeepsLastValue) {
+  auto& g = MetricsRegistry::instance().gauge("test.obs.gauge");
+  g.set(0.25);
+  g.set(0.75);
+  EXPECT_DOUBLE_EQ(g.value(), 0.75);
+}
+
+TEST(MetricsRegistryTest, HistogramBinsObservations) {
+  auto& h =
+      MetricsRegistry::instance().histogram("test.obs.histogram", 0, 4);
+  h.add(1);
+  h.add(1);
+  h.add(3);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.total(), 3u);
+  EXPECT_EQ(snap.count(1), 2u);
+  EXPECT_EQ(snap.count(3), 1u);
+}
+
+TEST(MetricsRegistryTest, KindClashThrows) {
+  auto& reg = MetricsRegistry::instance();
+  reg.counter("test.obs.clash");
+  EXPECT_THROW(reg.gauge("test.obs.clash"), std::logic_error);
+  EXPECT_THROW(reg.histogram("test.obs.clash", 0, 4), std::logic_error);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsNameSortedAndJsonlIsValid) {
+  auto& reg = MetricsRegistry::instance();
+  reg.counter("test.obs.zz").add(1);
+  reg.counter("test.obs.aa").add(1);
+  const auto views = reg.snapshot();
+  for (std::size_t i = 1; i < views.size(); ++i)
+    EXPECT_LT(views[i - 1].name, views[i].name);
+
+  std::istringstream lines(reg.to_jsonl());
+  std::string line;
+  std::size_t parsed = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(JsonParser(line).valid()) << line;
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, views.size());
+}
+
+TEST(MetricsRegistryTest, ResetZeroesButKeepsHandles) {
+  auto& reg = MetricsRegistry::instance();
+  auto& c = reg.counter("test.obs.reset");
+  c.add(7);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(2);
+  EXPECT_EQ(reg.counter("test.obs.reset").value(), 2u);
+}
+
+// ------------------------------------------------- engine registry folding
+
+TEST(EngineFoldTest, RunsFoldIntoRegistryOnlyWhenEnabled) {
+  auto& reg = MetricsRegistry::instance();
+  rtw::core::AcceptAll algorithm;
+  const auto word =
+      rtw::core::TimedWord::text_at("ab", 0);
+
+  const auto disabled_before = reg.counter("engine.runs").value();
+  (void)rtw::engine::run(algorithm, word);
+  EXPECT_EQ(reg.counter("engine.runs").value(), disabled_before);
+
+  Tracer tracer;
+  SinkGuard guard(&tracer);
+  (void)rtw::engine::run(algorithm, word);
+  EXPECT_EQ(reg.counter("engine.runs").value(), disabled_before + 1);
+}
+
+// ---------------------------------------------------------------- exporters
+
+/// The deterministic workload behind the golden file: three nested spans
+/// with fixed timestamps from one thread plus a few kernel-op tallies.
+void record_golden_workload(Tracer& tracer) {
+  tracer.on_span("outer", 1000, 9000);
+  tracer.on_span("inner", 2000, 5000);
+  tracer.on_span("leaf", 2500, 3000);
+  tracer.on_queue_op(QueueOp::Schedule, 1);
+  tracer.on_queue_op(QueueOp::Schedule, 2);
+  tracer.on_queue_op(QueueOp::Schedule, 3);
+  tracer.on_queue_op(QueueOp::Fire, 1);
+  tracer.on_queue_op(QueueOp::Fire, 2);
+  tracer.on_queue_op(QueueOp::Drop, 9);
+}
+
+TEST(ChromeTraceTest, MatchesGoldenFileByteForByte) {
+  Tracer tracer;
+  record_golden_workload(tracer);
+  const std::string produced = rtw::obs::chrome_trace_json(tracer);
+
+  std::ifstream golden(std::string(RTW_TEST_DATA_DIR) +
+                       "/chrome_trace_golden.json");
+  ASSERT_TRUE(golden) << "missing golden file";
+  std::stringstream expected;
+  expected << golden.rdbuf();
+  EXPECT_EQ(produced, expected.str());
+}
+
+TEST(ChromeTraceTest, OutputIsValidJsonWithNestedSpans) {
+  Tracer tracer;
+  record_golden_workload(tracer);
+  const std::string json = rtw::obs::chrome_trace_json(tracer);
+  EXPECT_TRUE(JsonParser(json).valid()) << json;
+
+  // Structure: the traceEvents array exists and spans nest -- each later
+  // "X" event with the same tid starts at or after its predecessor and the
+  // drain order puts enclosing spans first.
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  const auto spans = tracer.drain();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_LE(spans[0].start_ns, spans[1].start_ns);
+  EXPECT_GE(spans[0].end_ns, spans[1].end_ns);   // outer encloses inner
+  EXPECT_LE(spans[1].start_ns, spans[2].start_ns);
+  EXPECT_GE(spans[1].end_ns, spans[2].end_ns);   // inner encloses leaf
+  // Counter events carry nested args objects.
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"count\":3}"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, EmptyTracerYieldsValidEmptyTrace) {
+  Tracer tracer;
+  const std::string json = rtw::obs::chrome_trace_json(tracer);
+  EXPECT_TRUE(JsonParser(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\":[]"), std::string::npos);
+}
+
+TEST(SpansJsonlTest, OneValidLinePerSpanRebasedToZero) {
+  Tracer tracer;
+  record_golden_workload(tracer);
+  std::istringstream lines(rtw::obs::spans_jsonl(tracer));
+  std::string line;
+  std::size_t parsed = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(JsonParser(line).valid()) << line;
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, 3u);
+  // Rebased: the earliest span starts at 0.
+  EXPECT_NE(rtw::obs::spans_jsonl(tracer).find("\"start_ns\":0"),
+            std::string::npos);
+}
+
+TEST(FoldQueueOpsTest, TalliesLandAsNamedCounters) {
+  auto& reg = MetricsRegistry::instance();
+  const auto schedule_before = reg.counter("queue.schedule").value();
+  const auto drop_before = reg.counter("queue.drop").value();
+  Tracer tracer;
+  record_golden_workload(tracer);
+  rtw::obs::fold_queue_ops(tracer, reg);
+  EXPECT_EQ(reg.counter("queue.schedule").value(), schedule_before + 3);
+  EXPECT_EQ(reg.counter("queue.drop").value(), drop_before + 1);
+}
+
+// -------------------------------------------- zero-overhead bit-identity
+
+/// RunTrace comparison modulo wall_ns (the only nondeterministic field).
+std::string trace_fingerprint(const rtw::engine::EngineResult& er) {
+  rtw::sim::JsonLine line;
+  line.field("accepted", er.result.accepted)
+      .field("exact", er.result.exact)
+      .field("ticks", er.result.ticks)
+      .field("f_count", er.result.f_count)
+      .field("symbols", er.result.symbols_consumed)
+      .field("final_tick", er.trace.final_tick)
+      .field("ticks_executed", er.trace.ticks_executed)
+      .field("ticks_skipped", er.trace.ticks_skipped)
+      .field("events_executed", er.trace.events_executed)
+      .field("queue_hwm", er.trace.queue_depth_hwm);
+  return line.str();
+}
+
+TEST(ZeroOverheadTest, DisabledSinkRunsAreBitIdenticalToBaseline) {
+  // Property: for random words, a run before any sink was ever installed,
+  // a run with a live Tracer, and a run after the sink is cleared again
+  // all agree on every deterministic field.  This is the zero-overhead
+  // contract: observation must never perturb the machine.
+  rtw::proptest::Config cfg;
+  cfg.cases = 60;
+  cfg.max_size = 16;
+  const auto result = rtw::proptest::run_property(
+      "obs_disabled_bit_identity", cfg,
+      [](rtw::sim::Xoshiro256ss& rng, std::size_t size)
+          -> std::optional<std::string> {
+        const auto word = rtw::proptest::random_finite_word(rng, size);
+        rtw::core::RunOptions options;
+        options.horizon = 200;
+
+        rtw::core::AcceptAll algorithm;
+        const auto baseline = rtw::engine::run(algorithm, word, options);
+
+        Tracer tracer;
+        rtw::obs::set_sink(&tracer);
+        const auto traced = rtw::engine::run(algorithm, word, options);
+        rtw::obs::set_sink(nullptr);
+
+        const auto after = rtw::engine::run(algorithm, word, options);
+
+        const auto base_fp = trace_fingerprint(baseline);
+        if (trace_fingerprint(traced) != base_fp)
+          return "traced run diverged: " + trace_fingerprint(traced) +
+                 " vs " + base_fp;
+        if (trace_fingerprint(after) != base_fp)
+          return "post-trace run diverged: " + trace_fingerprint(after) +
+                 " vs " + base_fp;
+        return std::nullopt;
+      });
+  EXPECT_TRUE(result.ok()) << rtw::proptest::describe(
+      "obs_disabled_bit_identity", cfg, *result.failure);
+}
+
+}  // namespace

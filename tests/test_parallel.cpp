@@ -12,12 +12,14 @@
 #include "rtw/par/process.hpp"
 #include "rtw/par/rtproc.hpp"
 #include "rtw/par/rtproc_word.hpp"
-#include "rtw/par/thread_pool.hpp"
+#include "rtw/engine/engine.hpp"
+#include "rtw/sim/thread_pool.hpp"
 
 namespace {
 
 using namespace rtw::par;
 using rtw::core::Symbol;
+using rtw::sim::ThreadPool;
 
 // --------------------------------------------------------- ProcessSystem
 
@@ -267,7 +269,7 @@ TEST(TokenStreamTest, MatchingWorkersAccept) {
     rtw::core::RunOptions options;
     options.horizon = 300;
     const auto r =
-        rtw::core::run_acceptor(acceptor, build_token_word(m), options);
+        rtw::engine::run(acceptor, build_token_word(m), options).result;
     EXPECT_TRUE(r.accepted) << "m=" << m;
     EXPECT_FALSE(r.exact);  // the obligation never ends
     EXPECT_EQ(acceptor.peak_backlog(), m);  // one tick's worth in flight
@@ -279,7 +281,7 @@ TEST(TokenStreamTest, UnderProvisionedRejectsExactly) {
   rtw::core::RunOptions options;
   options.horizon = 300;
   const auto r =
-      rtw::core::run_acceptor(acceptor, build_token_word(3), options);
+      rtw::engine::run(acceptor, build_token_word(3), options).result;
   EXPECT_FALSE(r.accepted);
   EXPECT_TRUE(r.exact);  // the first late token locks s_r
 }

@@ -16,6 +16,7 @@
 #include "rtw/deadline/bridge.hpp"
 #include "rtw/rtdb/encode.hpp"
 #include "rtw/sim/rng.hpp"
+#include "rtw/engine/engine.hpp"
 
 namespace {
 
@@ -137,8 +138,8 @@ TEST(DeterminismLaws, AcceptorVerdictsAreStable) {
   inst.min_acceptable = 1;
   const auto word = build_deadline_word(inst);
   DeadlineAcceptor acceptor(sorter);
-  const auto r1 = run_acceptor(acceptor, word);
-  const auto r2 = run_acceptor(acceptor, word);  // reset() must suffice
+  const auto r1 = rtw::engine::run(acceptor, word).result;
+  const auto r2 = rtw::engine::run(acceptor, word).result;  // reset() must suffice
   EXPECT_EQ(r1.accepted, r2.accepted);
   EXPECT_EQ(r1.f_count, r2.f_count);
   EXPECT_EQ(r1.first_f, r2.first_f);

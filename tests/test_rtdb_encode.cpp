@@ -8,6 +8,7 @@
 #include "rtw/rtdb/algebra.hpp"
 #include "rtw/rtdb/encode.hpp"
 #include "rtw/rtdb/recognition.hpp"
+#include "rtw/engine/engine.hpp"
 
 namespace {
 
@@ -240,7 +241,7 @@ TEST(RecognitionAcceptorTest, AcceptsTrueAperiodicMembership) {
   RecognitionAcceptor acceptor(sensor_catalog(), linear_cost());
   rtw::core::RunOptions options;
   options.horizon = 600;
-  const auto r = rtw::core::run_acceptor(acceptor, w, options);
+  const auto r = rtw::engine::run(acceptor, w, options).result;
   EXPECT_TRUE(r.accepted);
   EXPECT_TRUE(r.exact);
   EXPECT_EQ(acceptor.served(), 1u);
@@ -255,7 +256,7 @@ TEST(RecognitionAcceptorTest, RejectsFalseMembership) {
   RecognitionAcceptor acceptor(sensor_catalog(), linear_cost());
   rtw::core::RunOptions options;
   options.horizon = 600;
-  const auto r = rtw::core::run_acceptor(acceptor, w, options);
+  const auto r = rtw::engine::run(acceptor, w, options).result;
   EXPECT_FALSE(r.accepted);
   EXPECT_TRUE(r.exact);
   EXPECT_EQ(acceptor.failed(), 1u);
@@ -272,7 +273,7 @@ TEST(RecognitionAcceptorTest, FirmDeadlineRejectsSlowEvaluation) {
   RecognitionAcceptor acceptor(sensor_catalog(), linear_cost());
   rtw::core::RunOptions options;
   options.horizon = 600;
-  const auto r = rtw::core::run_acceptor(acceptor, w, options);
+  const auto r = rtw::engine::run(acceptor, w, options).result;
   EXPECT_FALSE(r.accepted);
 }
 
@@ -287,7 +288,7 @@ TEST(RecognitionAcceptorTest, LooseDeadlineAccepts) {
   RecognitionAcceptor acceptor(sensor_catalog(), linear_cost());
   rtw::core::RunOptions options;
   options.horizon = 600;
-  const auto r = rtw::core::run_acceptor(acceptor, w, options);
+  const auto r = rtw::engine::run(acceptor, w, options).result;
   EXPECT_TRUE(r.accepted);
 }
 
@@ -303,7 +304,7 @@ TEST(RecognitionAcceptorTest, PeriodicServesRepeatedly) {
   RecognitionAcceptor acceptor(sensor_catalog(), linear_cost());
   rtw::core::RunOptions options;
   options.horizon = 400;
-  const auto r = rtw::core::run_acceptor(acceptor, w, options);
+  const auto r = rtw::engine::run(acceptor, w, options).result;
   EXPECT_TRUE(r.accepted);     // trailing-f heuristic
   EXPECT_FALSE(r.exact);       // never locks: infinitely many invocations
   EXPECT_GE(acceptor.served(), 5u);
@@ -337,7 +338,7 @@ TEST_P(IssueTimeProperty, MembershipMatchesGroundTruth) {
   RecognitionAcceptor acceptor(catalog, linear_cost());
   rtw::core::RunOptions options;
   options.horizon = 600;
-  const auto r = rtw::core::run_acceptor(acceptor, w, options);
+  const auto r = rtw::engine::run(acceptor, w, options).result;
   const bool truth = recognition_holds(catalog.get("hot"),
                                        render_relational(spec, t),
                                        {Value{std::string("temp")}});
