@@ -1,0 +1,186 @@
+// EXP-SVC: serving-layer throughput (sessions x shards sweep).
+//
+// Each cell opens S sessions over a SessionManager with N shards, feeds
+// every session the same number of monotone symbols round-robin from one
+// producer thread, then closes everything Truncated and drains.  Reported
+// per cell:
+//   * aggregate symbols/s (ingested / wall time, producer-side),
+//   * shed rate under the bounded per-shard rings,
+//   * p50/p99 feed() latency in ns (sampled every 16th call).
+//
+// The per-session acceptor is a non-locking counting algorithm behind
+// EngineOnlineAcceptor: every feed drives one real emulated tick, so the
+// cell measures the full ring -> shard worker -> engine path rather than a
+// latched no-op.  Stdout carries the human table; `--svc_json=PATH`
+// appends the JSONL records (CI scrapes them into BENCH_svc.json).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rtw/core/online.hpp"
+#include "rtw/sim/jsonl.hpp"
+#include "rtw/svc/service.hpp"
+
+namespace {
+
+using namespace rtw::core;
+using rtw::svc::Admit;
+using rtw::svc::ServiceConfig;
+using rtw::svc::SessionId;
+using rtw::svc::SessionManager;
+
+/// Counts arrivals forever; never locks.  The cheapest algorithm that
+/// still exercises the EngineOnlineAcceptor drive loop per feed.
+class CountingAlgorithm final : public RealTimeAlgorithm {
+public:
+  void on_tick(const StepContext& ctx) override {
+    seen_ += ctx.arrivals.size();
+  }
+  std::optional<bool> locked() const override { return std::nullopt; }
+  void reset() override { seen_ = 0; }
+  std::string name() const override { return "counting"; }
+
+private:
+  std::uint64_t seen_ = 0;
+};
+
+struct Cell {
+  unsigned sessions = 0;
+  unsigned shards = 0;
+  std::uint64_t symbols = 0;      ///< total admitted (ingested)
+  std::uint64_t offered = 0;      ///< total feed() calls
+  std::uint64_t shed = 0;
+  double wall_s = 0;
+  double symbols_per_sec = 0;
+  double shed_rate = 0;
+  std::uint64_t p50_feed_ns = 0;
+  std::uint64_t p99_feed_ns = 0;
+};
+
+Cell run_cell(unsigned sessions, unsigned shards,
+              std::uint64_t symbols_per_session) {
+  using clock = std::chrono::steady_clock;
+
+  ServiceConfig config;
+  config.shards = shards;
+  config.ring_capacity = 4096;
+  config.shed_on_full = true;   // overload -> shed, producer never stalls
+  SessionManager manager(config);
+
+  RunOptions options;
+  options.horizon = symbols_per_session + 16;
+  std::vector<SessionId> ids;
+  ids.reserve(sessions);
+  for (unsigned s = 0; s < sessions; ++s)
+    ids.push_back(manager.open(std::make_unique<EngineOnlineAcceptor>(
+        std::make_unique<CountingAlgorithm>(), options)));
+  manager.drain();
+
+  std::vector<std::uint64_t> samples;
+  samples.reserve(sessions * symbols_per_session / 16 + 1);
+
+  Cell cell;
+  cell.sessions = sessions;
+  cell.shards = shards;
+  const Symbol sym = Symbol::chr('a');
+  const auto start = clock::now();
+  std::uint64_t call = 0;
+  for (Tick t = 0; t < symbols_per_session; ++t) {
+    for (const auto id : ids) {
+      ++cell.offered;
+      if ((call++ & 15) == 0) {
+        const auto t0 = clock::now();
+        if (manager.feed(id, sym, t) == Admit::Shed) ++cell.shed;
+        samples.push_back(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                clock::now() - t0)
+                .count()));
+      } else if (manager.feed(id, sym, t) == Admit::Shed) {
+        ++cell.shed;
+      }
+    }
+  }
+  for (const auto id : ids) manager.close(id, StreamEnd::Truncated);
+  manager.drain();
+  const auto stop = clock::now();
+
+  const auto stats = manager.stats();
+  cell.symbols = stats.ingested;
+  cell.wall_s = std::chrono::duration<double>(stop - start).count();
+  cell.symbols_per_sec =
+      cell.wall_s > 0 ? static_cast<double>(cell.symbols) / cell.wall_s : 0;
+  cell.shed_rate = cell.offered
+                       ? static_cast<double>(cell.shed) /
+                             static_cast<double>(cell.offered)
+                       : 0;
+  std::sort(samples.begin(), samples.end());
+  if (!samples.empty()) {
+    cell.p50_feed_ns = samples[samples.size() / 2];
+    cell.p99_feed_ns = samples[std::min(samples.size() - 1,
+                                        samples.size() * 99 / 100)];
+  }
+  // Sanity: every opened session must come back exactly once.
+  if (manager.collect().size() != sessions)
+    std::cerr << "WARNING: report count != sessions\n";
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--svc_json=", 0) == 0) json_path = arg.substr(11);
+  }
+
+  const std::vector<unsigned> session_counts = {100, 1000};
+  const std::vector<unsigned> shard_counts = {1, 2, 4, 8};
+  const std::uint64_t symbols_per_session = 2000;
+
+  std::cout << "==========================================================\n";
+  std::cout << " EXP-SVC: sessions x shards, " << symbols_per_session
+            << " symbols/session, ring 4096, shed-on-full\n";
+  std::cout << "==========================================================\n\n";
+  std::cout << " sessions  shards    Msym/s   shed%   p50(ns)   p99(ns)\n";
+  std::cout << " -----------------------------------------------------\n";
+
+  std::vector<std::string> json;
+  for (const auto sessions : session_counts) {
+    for (const auto shards : shard_counts) {
+      const auto cell = run_cell(sessions, shards, symbols_per_session);
+      std::printf(" %8u  %6u  %8.3f  %6.2f  %8llu  %8llu\n", cell.sessions,
+                  cell.shards, cell.symbols_per_sec / 1e6,
+                  100.0 * cell.shed_rate,
+                  static_cast<unsigned long long>(cell.p50_feed_ns),
+                  static_cast<unsigned long long>(cell.p99_feed_ns));
+      json.push_back(rtw::sim::bench_record("svc")
+                         .field("sessions", cell.sessions)
+                         .field("shards", cell.shards)
+                         .field("symbols_per_session", symbols_per_session)
+                         .field("symbols_ingested", cell.symbols)
+                         .field("symbols_offered", cell.offered)
+                         .field("wall_s", cell.wall_s)
+                         .field("symbols_per_sec", cell.symbols_per_sec)
+                         .field("shed_rate", cell.shed_rate)
+                         .field("p50_feed_ns", cell.p50_feed_ns)
+                         .field("p99_feed_ns", cell.p99_feed_ns)
+                         .str());
+    }
+    std::cout << "\n";
+  }
+
+  std::cout << "--- jsonl ------------------------------------------------\n";
+  for (const auto& line : json) std::cout << line << "\n";
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::app);
+    for (const auto& line : json) out << line << "\n";
+  }
+  return 0;
+}

@@ -2,9 +2,10 @@
 /// \file rtw.hpp
 /// Umbrella header for the rt-omega foundation layers: core (timed words,
 /// acceptors, languages -- Definitions 3.2-3.5), sim (the discrete-event
-/// kernel and its infrastructure), engine (the unified acceptor executor)
-/// and obs (tracing + metrics).  One include for applications that want the
-/// paper's machine model without spelling out the layer diagram:
+/// kernel and its infrastructure), engine (the unified acceptor executor),
+/// obs (tracing + metrics) and svc (the sharded streaming acceptance
+/// service).  One include for applications that want the paper's machine
+/// model without spelling out the layer diagram:
 ///
 ///   #include "rtw/rtw.hpp"         // link: rtw (interface target)
 ///
@@ -18,6 +19,7 @@
 #include "rtw/core/concat.hpp"
 #include "rtw/core/error.hpp"
 #include "rtw/core/language.hpp"
+#include "rtw/core/online.hpp"
 #include "rtw/core/serialize.hpp"
 #include "rtw/core/symbol.hpp"
 #include "rtw/core/tape.hpp"
@@ -42,3 +44,8 @@
 #include "rtw/obs/metrics.hpp"
 #include "rtw/obs/sink.hpp"
 #include "rtw/obs/tracer.hpp"
+
+// svc: the serving layer (online sessions over shard workers).
+#include "rtw/svc/service.hpp"
+#include "rtw/svc/session.hpp"
+#include "rtw/svc/wire.hpp"

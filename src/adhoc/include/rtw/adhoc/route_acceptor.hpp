@@ -22,10 +22,12 @@
 /// s_r; an undelivered word never locks and is rejected at the horizon --
 /// exactly the R_{n,u} semantics.
 
+#include <memory>
 #include <optional>
 
 #include "rtw/adhoc/words.hpp"
 #include "rtw/core/acceptor.hpp"
+#include "rtw/core/online.hpp"
 
 namespace rtw::adhoc {
 
@@ -66,5 +68,16 @@ private:
   std::vector<HopMessage> hops_;      ///< sends observed for body b
   std::optional<bool> lock_;
 };
+
+/// Streaming face of R_{n,u} for the rtw::svc serving layer: an
+/// OnlineAcceptor checking the route-witness conditions as the trace word
+/// arrives (EngineOnlineAcceptor over a fresh RouteWordAcceptor, so online
+/// verdicts are exactly the batch engine's).  The shared_ptr keeps the
+/// network alive for the acceptor's non-owning reference.  Undelivered
+/// words never lock: close such streams with StreamEnd::Truncated to get
+/// the engine's horizon verdict.
+std::unique_ptr<rtw::core::OnlineAcceptor> make_online_route_acceptor(
+    std::shared_ptr<const Network> network, RouteQuery query,
+    rtw::core::RunOptions options = {});
 
 }  // namespace rtw::adhoc

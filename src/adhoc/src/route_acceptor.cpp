@@ -1,5 +1,7 @@
 #include "rtw/adhoc/route_acceptor.hpp"
 
+#include "rtw/core/error.hpp"
+
 namespace rtw::adhoc {
 
 using rtw::core::StepContext;
@@ -111,5 +113,16 @@ void RouteWordAcceptor::on_tick(const StepContext& ctx) {
 }
 
 std::optional<bool> RouteWordAcceptor::locked() const { return lock_; }
+
+std::unique_ptr<rtw::core::OnlineAcceptor> make_online_route_acceptor(
+    std::shared_ptr<const Network> network, RouteQuery query,
+    rtw::core::RunOptions options) {
+  if (!network)
+    throw rtw::core::ModelError(
+        "adhoc::make_online_route_acceptor: null network");
+  auto algorithm = std::make_unique<RouteWordAcceptor>(*network, query);
+  return std::make_unique<rtw::core::EngineOnlineAcceptor>(
+      std::move(algorithm), options, std::move(network));
+}
 
 }  // namespace rtw::adhoc

@@ -77,18 +77,6 @@ struct RunOptions {
   Symbol accept_symbol = marks::accept();
 };
 
-/// Runs `algorithm` on `word` under Definition 3.3 semantics and evaluates
-/// Definition 3.4.  Resets the algorithm first.
-///
-/// Retired compatibility shim: the executor lives in rtw::engine (see
-/// rtw/engine/engine.hpp; `rtw::engine::run(...).result` is the drop-in
-/// replacement and also yields the per-run RunTrace).  The declaration is
-/// kept only so external callers get a diagnostic instead of a silent
-/// signature mismatch; no definition is linked into any rtw_* library.
-[[deprecated("use rtw::engine::run(algorithm, word, options).result")]]
-RunResult run_acceptor(RealTimeAlgorithm& algorithm, const TimedWord& word,
-                       const RunOptions& options = {});
-
 /// A trivial always-accepting algorithm (writes f every tick).  Useful as a
 /// baseline and in tests.
 class AcceptAll final : public RealTimeAlgorithm {

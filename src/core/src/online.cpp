@@ -1,0 +1,160 @@
+#include "rtw/core/online.hpp"
+
+#include <algorithm>
+#include <span>
+
+#include "rtw/core/error.hpp"
+
+namespace rtw::core {
+
+std::string to_string(Verdict v) {
+  switch (v) {
+    case Verdict::Undetermined:
+      return "undetermined";
+    case Verdict::Accepting:
+      return "accepting";
+    case Verdict::Rejecting:
+      return "rejecting";
+  }
+  return "?";
+}
+
+EngineOnlineAcceptor::EngineOnlineAcceptor(
+    std::unique_ptr<RealTimeAlgorithm> algorithm, RunOptions options,
+    std::shared_ptr<const void> keepalive)
+    : algorithm_(std::move(algorithm)),
+      options_(options),
+      keepalive_(std::move(keepalive)),
+      out_(options.accept_symbol) {
+  if (!algorithm_)
+    throw ModelError("EngineOnlineAcceptor: null algorithm");
+  // The batch engine resets the algorithm at the top of every run; the
+  // online run starts here.
+  algorithm_->reset();
+}
+
+void EngineOnlineAcceptor::drive(std::optional<Tick> limit, bool truncated) {
+  while (!lock_ && !ended_) {
+    const Tick nd = next_tick_;
+    // Streaming: a driver tick is emulable only when its arrival set is
+    // complete, i.e. strictly behind the newest fed timestamp (later feeds
+    // may still carry symbols at `limit` itself).
+    if (limit && nd >= *limit) break;
+
+    // Deliver every buffered arrival with timestamp <= nd, in word order
+    // (exactly InputTape::take_available under the engine).
+    arrivals_.clear();
+    while (head_ < buffer_.size() && buffer_[head_].time <= nd)
+      arrivals_.push_back(buffer_[head_++]);
+    if (head_ == buffer_.size()) {
+      buffer_.clear();
+      head_ = 0;
+    } else if (head_ > 1024 && head_ * 2 > buffer_.size()) {
+      buffer_.erase(buffer_.begin(),
+                    buffer_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+    result_.symbols_consumed += arrivals_.size();
+
+    StepContext ctx{nd, std::span<const TimedSymbol>(arrivals_), out_};
+    algorithm_->on_tick(ctx);
+    result_.ticks = nd;
+
+    if (const auto lock = algorithm_->locked()) {
+      // Definition 3.4: committed to s_f or s_r; the run is decided.
+      result_.accepted = *lock;
+      result_.exact = true;
+      lock_ = lock;
+      break;
+    }
+
+    // The engine's reschedule rule: next tick is now + 1, fast-forwarded
+    // to the next arrival when the gap is idle; a next tick beyond the
+    // horizon ends the run.
+    Tick next = nd + 1;
+    if (options_.fast_forward) {
+      std::optional<Tick> arrival;
+      if (head_ < buffer_.size()) {
+        arrival = buffer_[head_].time;
+      } else if (!limit && truncated) {
+        // finish(Truncated): the word's next arrival exists but lies
+        // beyond the horizon; modelling it as horizon + 1 (saturating)
+        // makes the formula below stop the run, exactly as the engine
+        // does when InputTape::next_arrival() overshoots the horizon.
+        arrival = options_.horizon == ~Tick{0} ? ~Tick{0}
+                                               : options_.horizon + 1;
+      }
+      // Streaming with an empty remainder cannot happen: the symbol at
+      // `limit` is never delivered at a tick < limit, so the buffer keeps
+      // at least one element while a limit is in force.
+      if (arrival && *arrival > next) next = *arrival;
+    }
+    if (next > options_.horizon) {
+      ended_ = true;
+      break;
+    }
+    next_tick_ = next;
+  }
+  result_.f_count = out_.accept_count();
+  result_.first_f = out_.first_accept();
+}
+
+void EngineOnlineAcceptor::settle_heuristic() {
+  // Identical to the engine's horizon heuristic: f written within the
+  // trailing quarter of the run counts as evidence of infinitely many f's.
+  const auto window_start =
+      options_.horizon -
+      std::min<Tick>(options_.horizon / 4, options_.horizon);
+  result_.accepted =
+      out_.last_accept().has_value() && *out_.last_accept() >= window_start;
+  result_.exact = false;
+}
+
+Verdict EngineOnlineAcceptor::feed(Symbol symbol, Tick at) {
+  if (finished_ || lock_ || ended_) return verdict();
+  if (any_fed_ && at < last_fed_)
+    throw ModelError("OnlineAcceptor::feed: time went backwards (" +
+                     std::to_string(at) + " after " +
+                     std::to_string(last_fed_) + ")");
+  any_fed_ = true;
+  last_fed_ = at;
+  buffer_.push_back({symbol, at});
+  drive(at, /*truncated=*/false);
+  return verdict();
+}
+
+Verdict EngineOnlineAcceptor::finish(StreamEnd end) {
+  if (finished_) return verdict();
+  finished_ = true;
+  if (!lock_ && !ended_) drive(std::nullopt, end == StreamEnd::Truncated);
+  if (!lock_) settle_heuristic();
+  return verdict();
+}
+
+Verdict EngineOnlineAcceptor::verdict() const {
+  if (lock_) return *lock_ ? Verdict::Accepting : Verdict::Rejecting;
+  if (finished_)
+    return result_.accepted ? Verdict::Accepting : Verdict::Rejecting;
+  return Verdict::Undetermined;
+}
+
+void EngineOnlineAcceptor::reset() {
+  algorithm_->reset();
+  out_ = OutputTape(options_.accept_symbol);
+  buffer_.clear();
+  head_ = 0;
+  arrivals_.clear();
+  next_tick_ = 0;
+  last_fed_ = 0;
+  any_fed_ = false;
+  ended_ = false;
+  finished_ = false;
+  lock_.reset();
+  result_ = RunResult{};
+}
+
+std::string EngineOnlineAcceptor::name() const {
+  return "online(" + algorithm_->name() + ")";
+}
+
+}  // namespace rtw::core

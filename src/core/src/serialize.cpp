@@ -110,6 +110,72 @@ std::vector<TimedSymbol> parse_elements(std::string_view text) {
 
 }  // namespace
 
+std::string serialize_elements(const std::vector<TimedSymbol>& elements) {
+  std::ostringstream out;
+  emit_elements(out, elements);
+  return out.str();
+}
+
+ParsedPrefix parse_prefix(std::string_view text, std::size_t max_symbols,
+                          bool final_chunk) {
+  ParsedPrefix out;
+  std::size_t pos = 0;
+  while (out.symbols.size() < max_symbols) {
+    // Separator spaces are unambiguous: consume them eagerly so the resume
+    // point always sits on the start of an element.
+    while (pos < text.size() && text[pos] == ' ') ++pos;
+    out.consumed = pos;
+    if (pos >= text.size()) break;
+
+    // --- symbol ---------------------------------------------------------
+    std::size_t p = pos;
+    Symbol sym = Symbol::chr('?');
+    const char c = text[p];
+    if (c == '\'') {
+      if (p + 2 >= text.size()) {
+        if (!final_chunk) break;  // quote may complete in the next chunk
+        break;                    // final: malformed tail, stop unconsumed
+      }
+      if (text[p + 2] != '\'') break;  // malformed in any mode
+      sym = Symbol::chr(text[p + 1]);
+      p += 3;
+    } else if (c == '<') {
+      const auto close = text.find('>', p);
+      if (close == std::string_view::npos) break;  // partial or malformed
+      sym = Symbol::marker(std::string(text.substr(p + 1, close - p - 1)));
+      p = close + 1;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::uint64_t value = 0;
+      while (p < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[p])))
+        value = value * 10 + static_cast<std::uint64_t>(text[p++] - '0');
+      if (p >= text.size()) break;  // `7` needs its `@` (or more digits)
+      sym = Symbol::nat(value);
+    } else {
+      sym = Symbol::chr(c);
+      ++p;
+    }
+
+    // --- @time ----------------------------------------------------------
+    if (p >= text.size()) break;        // `a` with no `@` yet
+    if (text[p] != '@') break;          // malformed in any mode
+    ++p;
+    if (p >= text.size() ||
+        !std::isdigit(static_cast<unsigned char>(text[p])))
+      break;  // `a@` or `a@x`: partial or malformed
+    Tick time = 0;
+    while (p < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[p])))
+      time = time * 10 + static_cast<Tick>(text[p++] - '0');
+    if (p >= text.size() && !final_chunk) break;  // `a@3`: 3 may grow to 35
+
+    out.symbols.push_back({sym, time});
+    pos = p;
+    out.consumed = pos;
+  }
+  return out;
+}
+
 std::string serialize(const TimedWord& word) {
   std::ostringstream out;
   if (word.length()) {

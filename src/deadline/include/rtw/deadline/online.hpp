@@ -1,0 +1,25 @@
+#pragma once
+/// \file online.hpp
+/// Streaming face of the section 4.1 acceptor: an OnlineAcceptor that
+/// evaluates L(Pi) membership as the deadline word arrives, for serving
+/// through rtw::svc.
+///
+/// The adapter is EngineOnlineAcceptor over a fresh DeadlineAcceptor, so
+/// its verdicts are *provably* the batch engine's (same drive loop,
+/// replayed incrementally); the shared_ptr keeps the Problem alive for
+/// the acceptor's non-owning reference.
+
+#include <memory>
+
+#include "rtw/core/online.hpp"
+#include "rtw/deadline/problem.hpp"
+
+namespace rtw::deadline {
+
+/// An online acceptor for L(Pi).  The (P_w, P_m) pair always locks on a
+/// complete instance word, so finish() is only needed for abandoned
+/// streams.
+std::unique_ptr<rtw::core::OnlineAcceptor> make_online_acceptor(
+    std::shared_ptr<const Problem> problem, rtw::core::RunOptions options = {});
+
+}  // namespace rtw::deadline

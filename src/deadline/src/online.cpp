@@ -1,0 +1,17 @@
+#include "rtw/deadline/online.hpp"
+
+#include "rtw/core/error.hpp"
+#include "rtw/deadline/acceptor.hpp"
+
+namespace rtw::deadline {
+
+std::unique_ptr<rtw::core::OnlineAcceptor> make_online_acceptor(
+    std::shared_ptr<const Problem> problem, rtw::core::RunOptions options) {
+  if (!problem)
+    throw rtw::core::ModelError("deadline::make_online_acceptor: null problem");
+  auto algorithm = std::make_unique<DeadlineAcceptor>(*problem);
+  return std::make_unique<rtw::core::EngineOnlineAcceptor>(
+      std::move(algorithm), options, std::move(problem));
+}
+
+}  // namespace rtw::deadline

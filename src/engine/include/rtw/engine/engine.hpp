@@ -19,8 +19,10 @@
 ///     RunResult verdict, and feeds the process-wide engine::Counters.
 ///
 /// Verdict semantics are exactly those of the original core::run_acceptor,
-/// which has been retired (the declaration remains, [[deprecated]], with no
-/// linked definition; `rtw::engine::run(...).result` is the replacement).
+/// which has been fully retired (declaration deleted;
+/// `rtw::engine::run(...).result` is the replacement).  The same semantics
+/// are available incrementally through core::EngineOnlineAcceptor (see
+/// rtw/core/online.hpp) and the rtw::svc serving layer built on it.
 
 #include <functional>
 #include <memory>

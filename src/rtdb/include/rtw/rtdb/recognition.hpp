@@ -22,6 +22,7 @@
 
 #include "rtw/core/acceptor.hpp"
 #include "rtw/core/language.hpp"
+#include "rtw/core/online.hpp"
 #include "rtw/engine/batch.hpp"
 #include "rtw/rtdb/encode.hpp"
 #include "rtw/rtdb/query.hpp"
@@ -123,6 +124,15 @@ private:
   std::uint64_t invocations_seen_ = 0;
   std::optional<bool> lock_;
 };
+
+/// Streaming face of Definition 5.1 for the rtw::svc serving layer: an
+/// OnlineAcceptor evaluating L_aq / L_pq membership as the merged word
+/// arrives (EngineOnlineAcceptor over a fresh RecognitionAcceptor, so
+/// online verdicts are exactly the batch engine's).  The acceptor owns
+/// its catalog copy; no external lifetime to pin.
+std::unique_ptr<rtw::core::OnlineAcceptor> make_online_recognition(
+    QueryCatalog catalog, QueryCostModel cost, Tick patience = 256,
+    rtw::core::RunOptions options = {});
 
 /// L_aq (Definition 5.1) as a timed language: membership runs the acceptor
 /// on the word.  Exactness: aperiodic words lock (exact); periodic words

@@ -340,6 +340,15 @@ rtw::engine::AlgorithmFactory recognition_factory(QueryCatalog catalog,
 
 }  // namespace
 
+std::unique_ptr<rtw::core::OnlineAcceptor> make_online_recognition(
+    QueryCatalog catalog, QueryCostModel cost, Tick patience,
+    rtw::core::RunOptions options) {
+  auto algorithm = std::make_unique<RecognitionAcceptor>(
+      std::move(catalog), std::move(cost), patience);
+  return std::make_unique<rtw::core::EngineOnlineAcceptor>(
+      std::move(algorithm), options);
+}
+
 rtw::core::TimedLanguage recognition_language(QueryCatalog catalog,
                                               QueryCostModel cost,
                                               Tick horizon) {

@@ -1,0 +1,202 @@
+#pragma once
+/// \file service.hpp
+/// The sharded streaming acceptance service: thousands of concurrent
+/// online-acceptor sessions multiplexed over N shard workers.
+///
+/// Threading model (the whole point of the design):
+///
+///   producers --> per-shard bounded ingress ring (mutex-guarded MPSC)
+///                      |
+///                      v   at-most-one worker per shard (atomic handoff)
+///                 shard worker on the sim::ThreadPool
+///                      |   drains a batch per EventQueue epoch
+///                      v
+///                 sessions (hash-sharded by id; worker-private, lock-free)
+///
+/// A session id hashes to exactly one shard, every command for it goes
+/// through that shard's FIFO ring, and the shard's state is only ever
+/// touched by the one worker currently holding the shard's `scheduled`
+/// flag -- so per-session processing needs no locks at all, and a
+/// session's commands are processed in submission order.  The handoff
+/// protocol is the classic lost-wakeup-free pattern: a producer that
+/// flips `scheduled` false->true posts a worker task; the worker, after
+/// draining, stores false and re-checks the ring, re-electing itself if
+/// a command slipped in between.
+///
+/// Each shard advances a private sim::EventQueue one tick per drained
+/// batch; that tick count is the shard's *epoch* clock, against which
+/// idle sessions are aged and evicted.  (The queue also keeps the door
+/// open for in-shard timers -- periodic snapshots, per-session deadlines
+/// -- without changing the threading story.)
+///
+/// Backpressure is explicit: feed() returns Admit::Accepted when the
+/// command was enqueued, Admit::Shed when the shard's ring was full and
+/// the config says to drop (counted, never silent), or Admit::Blocked
+/// when the config says the *caller* should wait and retry.  Control
+/// commands (open/close/shutdown) bypass the bound: shedding a Close
+/// would leak the session, so only the data plane sheds.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "rtw/core/online.hpp"
+#include "rtw/sim/event_queue.hpp"
+#include "rtw/sim/thread_pool.hpp"
+#include "rtw/svc/session.hpp"
+#include "rtw/svc/wire.hpp"
+
+namespace rtw::svc {
+
+/// Ingress verdict for one command.
+enum class Admit : std::uint8_t {
+  Accepted,  ///< enqueued on the session's shard
+  Shed,      ///< ring full, command dropped (shed_on_full = true)
+  Blocked,   ///< ring full, caller should retry (shed_on_full = false)
+};
+
+std::string to_string(Admit a);
+
+struct ServiceConfig {
+  unsigned shards = 1;            ///< worker count (and ring count)
+  std::size_t ring_capacity = 1024;  ///< per-shard ingress bound (data plane)
+  bool shed_on_full = true;       ///< full ring: true = Shed, false = Blocked
+  /// Sessions idle for this many shard epochs are finished
+  /// (StreamEnd::Truncated) and reported with `evicted = true`.
+  /// 0 disables eviction.
+  std::uint64_t idle_epochs = 0;
+  std::size_t drain_batch = 256;  ///< commands per shard epoch
+};
+
+/// Monotone service-wide tallies (mirrored into obs metrics when a sink
+/// is installed).
+struct ServiceStats {
+  std::uint64_t opened = 0;
+  std::uint64_t closed = 0;      ///< includes evicted
+  std::uint64_t ingested = 0;    ///< symbols delivered to a session
+  std::uint64_t shed = 0;        ///< symbols dropped at a full ring
+  std::uint64_t blocked = 0;     ///< Blocked verdicts returned
+  std::uint64_t stale = 0;       ///< symbols dropped by the time filter
+  std::uint64_t evicted = 0;     ///< sessions closed by idle eviction
+  std::uint64_t unknown = 0;     ///< commands for sessions that don't exist
+  std::uint64_t active = 0;      ///< currently open sessions
+  std::uint64_t epochs = 0;      ///< summed shard epoch count
+};
+
+/// Builds the acceptor for a wire-opened session; `profile` is the Open
+/// frame's body, verbatim.  Returning nullptr refuses the session.
+using AcceptorFactory = std::function<std::unique_ptr<core::OnlineAcceptor>(
+    SessionId, std::string_view profile)>;
+
+class SessionManager {
+public:
+  explicit SessionManager(ServiceConfig config = {});
+  /// Drains and truncation-closes every remaining session.
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  // ------------------------------------------------------- direct API
+
+  /// Opens a session under a fresh id (control plane: never shed).
+  SessionId open(std::unique_ptr<core::OnlineAcceptor> acceptor);
+  /// Opens a session under a caller-chosen id (wire replay).  Opening an
+  /// id that is already live is counted as `unknown` and ignored by the
+  /// shard worker.
+  void open(SessionId id, std::unique_ptr<core::OnlineAcceptor> acceptor);
+
+  /// Routes one symbol to the session's shard (data plane: bounded).
+  Admit feed(SessionId id, core::Symbol symbol, core::Tick at);
+
+  /// Finishes the session and queues its SessionReport for collect().
+  void close(SessionId id, core::StreamEnd end = core::StreamEnd::EndOfWord);
+
+  // --------------------------------------------------- wire-driven API
+
+  /// Applies one decoded wire event.  Open events build their acceptor
+  /// through `factory`; Symbols events feed element-by-element, waiting
+  /// out Blocked verdicts (the wire reader *is* the backpressure point)
+  /// and reporting Shed if any element was shed.
+  Admit apply(const WireEvent& event, const AcceptorFactory& factory);
+
+  // ----------------------------------------------------- lifecycle
+
+  /// Blocks until every command enqueued before this call has been
+  /// processed and all shard workers are parked.
+  void drain();
+
+  /// Graceful shutdown: closes every live session with `end`, then
+  /// drains.  Idempotent; the manager stays usable afterwards.
+  void shutdown(core::StreamEnd end = core::StreamEnd::Truncated);
+
+  /// Takes the reports of sessions that finished since the last call.
+  std::vector<SessionReport> collect();
+
+  ServiceStats stats() const;
+  unsigned shards() const noexcept {
+    return static_cast<unsigned>(shards_.size());
+  }
+  /// The shard a session id routes to (exposed for tests and benches).
+  unsigned shard_of(SessionId id) const noexcept;
+
+private:
+  struct Command {
+    enum class Kind : std::uint8_t { Open, Feed, Close, CloseAll };
+    Kind kind = Kind::Feed;
+    SessionId id = 0;
+    core::Symbol symbol;
+    core::Tick at = 0;
+    core::StreamEnd end = core::StreamEnd::EndOfWord;
+    std::unique_ptr<core::OnlineAcceptor> acceptor;  ///< Open only
+  };
+
+  struct Entry {
+    Session session;
+    sim::Tick last_active;
+    Entry(Session s, sim::Tick epoch)
+        : session(std::move(s)), last_active(epoch) {}
+  };
+
+  struct Shard {
+    std::mutex mutex;             ///< guards `ring` only
+    std::deque<Command> ring;
+    std::atomic<bool> scheduled{false};
+
+    // Worker-private state (protected by the `scheduled` handoff).
+    sim::EventQueue queue;        ///< epoch clock + in-shard timers
+    std::unordered_map<SessionId, Entry> sessions;
+    std::vector<Command> staging;
+
+    std::mutex reports_mutex;
+    std::vector<SessionReport> reports;
+  };
+
+  Admit enqueue(Command command, bool bounded);
+  void run_shard(Shard& shard);
+  void process(Shard& shard, sim::Tick epoch);
+  void finish_session(Shard& shard, Entry& entry, core::StreamEnd end,
+                      bool evicted);
+  void evict_idle(Shard& shard, sim::Tick epoch);
+
+  ServiceConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  sim::ThreadPool pool_;
+  std::atomic<SessionId> next_id_{1};
+
+  struct AtomicStats {
+    std::atomic<std::uint64_t> opened{0}, closed{0}, ingested{0}, shed{0},
+        blocked{0}, stale{0}, evicted{0}, unknown{0}, active{0}, epochs{0};
+  };
+  mutable AtomicStats stats_;
+};
+
+}  // namespace rtw::svc

@@ -1,0 +1,96 @@
+#pragma once
+/// \file session.hpp
+/// One stream's server-side state: an OnlineAcceptor plus the ingress
+/// hygiene a real wire needs.
+///
+/// The OnlineAcceptor contract requires nondecreasing feed times (the
+/// stream *is* a timed word, Definition 3.1) and enforces it with a
+/// thrown ModelError.  A served stream cannot afford that strictness:
+/// fault-injected wire traffic reorders frames (delay faults), so a
+/// symbol can arrive carrying a timestamp below the session's high-water
+/// mark.  The Session absorbs those as *stale* -- dropped and counted,
+/// never fed -- which keeps the acceptor's view a well-formed timed word
+/// no matter what the wire did.  Duplicated frames pass through: a timed
+/// word may legitimately repeat (symbol, time) pairs, so deduplication is
+/// the acceptor's business (and the acceptors in this library are
+/// duplicate-tolerant by construction or lock first).
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "rtw/core/online.hpp"
+
+namespace rtw::svc {
+
+using SessionId = std::uint64_t;
+
+/// Terminal record for one stream, produced when the session closes (or
+/// is evicted / swept up by shutdown).
+struct SessionReport {
+  SessionId id = 0;
+  core::Verdict verdict = core::Verdict::Undetermined;
+  core::RunResult result;            ///< the acceptor's Definition 3.4 record
+  std::uint64_t fed = 0;             ///< symbols delivered to the acceptor
+  std::uint64_t stale_dropped = 0;   ///< symbols rejected by the time filter
+  bool evicted = false;              ///< closed by idle eviction, not a Close
+};
+
+/// A single stream.  Not thread-safe: a session lives on exactly one
+/// shard and is only touched by that shard's worker.
+class Session {
+public:
+  Session(SessionId id, std::unique_ptr<core::OnlineAcceptor> acceptor)
+      : id_(id), acceptor_(std::move(acceptor)) {}
+
+  SessionId id() const noexcept { return id_; }
+
+  /// Feeds one symbol, dropping it as stale when its time is below the
+  /// session's high-water mark.  Returns the (possibly unchanged) verdict.
+  core::Verdict feed(core::Symbol symbol, core::Tick at) {
+    if (finished_) return acceptor_->verdict();
+    if (any_ && at < high_water_) {
+      ++stale_;
+      return acceptor_->verdict();
+    }
+    high_water_ = at;
+    any_ = true;
+    ++fed_;
+    return acceptor_->feed(symbol, at);
+  }
+
+  /// Settles the verdict; idempotent.
+  core::Verdict finish(core::StreamEnd end) {
+    finished_ = true;
+    return acceptor_->finish(end);
+  }
+
+  core::Verdict verdict() const { return acceptor_->verdict(); }
+  bool finished() const noexcept { return finished_; }
+  std::uint64_t fed() const noexcept { return fed_; }
+  std::uint64_t stale_dropped() const noexcept { return stale_; }
+  const core::OnlineAcceptor& acceptor() const { return *acceptor_; }
+
+  /// The terminal record (call after finish()).
+  SessionReport report(bool evicted) const {
+    SessionReport r;
+    r.id = id_;
+    r.verdict = acceptor_->verdict();
+    r.result = acceptor_->result();
+    r.fed = fed_;
+    r.stale_dropped = stale_;
+    r.evicted = evicted;
+    return r;
+  }
+
+private:
+  SessionId id_;
+  std::unique_ptr<core::OnlineAcceptor> acceptor_;
+  core::Tick high_water_ = 0;
+  bool any_ = false;
+  bool finished_ = false;
+  std::uint64_t fed_ = 0;
+  std::uint64_t stale_ = 0;
+};
+
+}  // namespace rtw::svc

@@ -1,0 +1,137 @@
+#pragma once
+/// \file wire.hpp
+/// Length-prefixed binary frame codec for the serving layer.
+///
+/// A session's life on the wire is a frame sequence:
+///
+///       [u32le len][u64le session][u8 op][body ...]
+///       `--------'  `--------------------------- len bytes ------'
+///
+///   op 1  Open            body = profile string (acceptor selector,
+///                         handed to the caller's factory verbatim)
+///   op 2  Feed            body = core::serialize_elements text
+///                         ("a@3 <m>@5 7@9 ...")
+///   op 3  Close           stream complete (StreamEnd::EndOfWord)
+///   op 4  CloseTruncated  stream cut at the horizon (StreamEnd::Truncated)
+///
+/// The payload is textual on purpose: it reuses core/serialize.hpp, so a
+/// frame body is greppable in a capture and replay files double as fixture
+/// text.  The *codec* is still binary -- the length prefix makes framing
+/// O(1) and splittable at arbitrary byte boundaries.
+///
+/// Decoder is fully incremental: push() accepts any byte-chunking
+/// (including mid-header and mid-element splits) and next() surfaces
+/// events as soon as they are decodable.  A Feed frame does not need to
+/// be complete before its symbols start flowing: the decoder runs
+/// core::parse_prefix over the received part of the body
+/// (final_chunk = false) and emits partial Symbols events, holding back
+/// only the element that might still grow ("a@3" could become "a@35").
+/// This is the satellite fix for the old full-reparse-per-split behavior.
+///
+/// apply_faults() subjects an encoded frame sequence to a
+/// sim::FaultPlan at *frame* granularity (drop / duplicate / delay as
+/// reordering) -- the soak harness feeds the mangled stream through a
+/// Decoder into the SessionManager and checks verdicts never diverge.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rtw/core/online.hpp"
+#include "rtw/core/serialize.hpp"
+#include "rtw/core/timed_word.hpp"
+#include "rtw/sim/fault.hpp"
+
+namespace rtw::svc {
+
+using SessionId = std::uint64_t;
+
+/// Frame opcodes (the u8 after the session id).
+enum class Op : std::uint8_t {
+  Open = 1,
+  Feed = 2,
+  Close = 3,
+  CloseTruncated = 4,
+};
+
+/// Frame size cap the Decoder enforces by default (a corrupt length
+/// prefix must not look like a 4 GiB allocation request).
+inline constexpr std::size_t kDefaultMaxFrameBytes = 1u << 20;
+
+// ------------------------------------------------------------ encoding
+
+std::string encode_open(SessionId session, std::string_view profile = {});
+std::string encode_feed(SessionId session,
+                        const std::vector<core::TimedSymbol>& symbols);
+std::string encode_close(SessionId session,
+                         core::StreamEnd end = core::StreamEnd::EndOfWord);
+
+// ------------------------------------------------------------ decoding
+
+/// One decoded unit of the stream.  A single Feed frame may surface as
+/// several Symbols events (partial-body decoding); their concatenation is
+/// exactly the frame's element list.
+struct WireEvent {
+  enum class Kind : std::uint8_t { Open, Symbols, Close };
+
+  Kind kind = Kind::Symbols;
+  SessionId session = 0;
+  core::StreamEnd end = core::StreamEnd::EndOfWord;  ///< Close only
+  std::string profile;                               ///< Open only
+  std::vector<core::TimedSymbol> symbols;            ///< Symbols only
+};
+
+/// Incremental frame decoder.  Not thread-safe (one per byte stream).
+/// Errors (bad opcode, oversized or undersized length, malformed feed
+/// body) are sticky: the decoder refuses further input, because a framing
+/// error means byte alignment is lost for good.
+class Decoder {
+public:
+  explicit Decoder(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Appends raw bytes (any chunking) and decodes as far as possible.
+  void push(std::string_view bytes);
+
+  /// Pops the next decoded event; false when none is ready yet.
+  bool next(WireEvent& out);
+
+  bool ok() const noexcept { return error_.empty(); }
+  const std::string& error() const noexcept { return error_; }
+  /// Complete frames decoded so far (a multi-event Feed counts once).
+  std::uint64_t frames() const noexcept { return frames_; }
+
+private:
+  void decode();
+  void fail(std::string message);
+
+  std::size_t max_frame_bytes_;
+  std::string buffer_;        ///< undecoded bytes
+  std::size_t scan_ = 0;      ///< consumed prefix of buffer_
+  std::deque<WireEvent> ready_;
+  std::string error_;
+  std::uint64_t frames_ = 0;
+
+  // Streaming-body state: set while inside a Feed frame whose body has
+  // not fully arrived.
+  bool in_feed_ = false;
+  SessionId feed_session_ = 0;
+  std::size_t feed_remaining_ = 0;  ///< body bytes not yet consumed
+};
+
+/// Runs an encoded frame sequence through a fault plan at frame
+/// granularity.  Deterministic: decisions are drawn from
+/// sim::FaultInjector keyed on the frame index, so the same (frames,
+/// plan) pair always yields the same mangled sequence.  Drop removes the
+/// frame; duplicate emits an extra copy; delay pushes the frame later in
+/// the sequence by the drawn number of slots (reordering it past
+/// neighbors, which is how the stale-symbol filter in svc::Session gets
+/// exercised).  `counters`, when given, receives the injection tally.
+std::vector<std::string> apply_faults(const std::vector<std::string>& frames,
+                                      const sim::FaultPlan& plan,
+                                      sim::FaultCounters* counters = nullptr);
+
+}  // namespace rtw::svc

@@ -1,0 +1,372 @@
+#include "rtw/svc/service.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "rtw/obs/metrics.hpp"
+#include "rtw/obs/sink.hpp"
+
+namespace rtw::svc {
+
+namespace {
+
+/// splitmix64 finalizer: spreads consecutive session ids across shards.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Cold-path handle bundle for the svc metric family (names are the
+/// JSONL vocabulary: subsystem first, snake_case).
+struct Metrics {
+  obs::Counter& ingested;
+  obs::Counter& shed;
+  obs::Counter& stale;
+  obs::Counter& evicted;
+  obs::Counter& opened;
+  obs::Counter& closed;
+  obs::Counter& unknown;
+  obs::Gauge& active;
+
+  static Metrics& get() {
+    static Metrics m{
+        obs::MetricsRegistry::instance().counter("svc.symbols_ingested"),
+        obs::MetricsRegistry::instance().counter("svc.shed"),
+        obs::MetricsRegistry::instance().counter("svc.stale"),
+        obs::MetricsRegistry::instance().counter("svc.sessions_evicted"),
+        obs::MetricsRegistry::instance().counter("svc.sessions_opened"),
+        obs::MetricsRegistry::instance().counter("svc.sessions_closed"),
+        obs::MetricsRegistry::instance().counter("svc.unknown_session"),
+        obs::MetricsRegistry::instance().gauge("svc.sessions_active"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+std::string to_string(Admit a) {
+  switch (a) {
+    case Admit::Accepted: return "accepted";
+    case Admit::Shed: return "shed";
+    case Admit::Blocked: return "blocked";
+  }
+  return "admit?";
+}
+
+SessionManager::SessionManager(ServiceConfig config)
+    : config_(config),
+      pool_(config.shards == 0 ? 1 : config.shards) {
+  if (config_.shards == 0) config_.shards = 1;
+  if (config_.ring_capacity == 0) config_.ring_capacity = 1;
+  if (config_.drain_batch == 0) config_.drain_batch = 1;
+  shards_.reserve(config_.shards);
+  for (unsigned i = 0; i < config_.shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+SessionManager::~SessionManager() { shutdown(core::StreamEnd::Truncated); }
+
+unsigned SessionManager::shard_of(SessionId id) const noexcept {
+  return static_cast<unsigned>(mix(id) % shards_.size());
+}
+
+Admit SessionManager::enqueue(Command command, bool bounded) {
+  Shard& shard = *shards_[shard_of(command.id)];
+  {
+    std::lock_guard lock(shard.mutex);
+    if (bounded && shard.ring.size() >= config_.ring_capacity) {
+      if (config_.shed_on_full) {
+        stats_.shed.fetch_add(1, std::memory_order_relaxed);
+        if (obs::enabled()) Metrics::get().shed.add();
+        return Admit::Shed;
+      }
+      stats_.blocked.fetch_add(1, std::memory_order_relaxed);
+      return Admit::Blocked;
+    }
+    shard.ring.push_back(std::move(command));
+  }
+  // Lost-wakeup-free handoff: whoever flips scheduled false->true owns
+  // electing a worker for this shard.
+  if (!shard.scheduled.exchange(true, std::memory_order_acq_rel))
+    pool_.post([this, &shard] { run_shard(shard); });
+  return Admit::Accepted;
+}
+
+SessionId SessionManager::open(
+    std::unique_ptr<core::OnlineAcceptor> acceptor) {
+  const SessionId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  open(id, std::move(acceptor));
+  return id;
+}
+
+void SessionManager::open(SessionId id,
+                          std::unique_ptr<core::OnlineAcceptor> acceptor) {
+  Command c;
+  c.kind = Command::Kind::Open;
+  c.id = id;
+  c.acceptor = std::move(acceptor);
+  enqueue(std::move(c), /*bounded=*/false);
+}
+
+Admit SessionManager::feed(SessionId id, core::Symbol symbol, core::Tick at) {
+  Command c;
+  c.kind = Command::Kind::Feed;
+  c.id = id;
+  c.symbol = symbol;
+  c.at = at;
+  return enqueue(std::move(c), /*bounded=*/true);
+}
+
+void SessionManager::close(SessionId id, core::StreamEnd end) {
+  Command c;
+  c.kind = Command::Kind::Close;
+  c.id = id;
+  c.end = end;
+  enqueue(std::move(c), /*bounded=*/false);
+}
+
+Admit SessionManager::apply(const WireEvent& event,
+                            const AcceptorFactory& factory) {
+  switch (event.kind) {
+    case WireEvent::Kind::Open: {
+      auto acceptor =
+          factory ? factory(event.session, event.profile) : nullptr;
+      if (!acceptor) {
+        stats_.unknown.fetch_add(1, std::memory_order_relaxed);
+        if (obs::enabled()) Metrics::get().unknown.add();
+        return Admit::Shed;
+      }
+      open(event.session, std::move(acceptor));
+      return Admit::Accepted;
+    }
+    case WireEvent::Kind::Symbols: {
+      bool any_shed = false;
+      for (const auto& ts : event.symbols) {
+        for (;;) {
+          const Admit a = feed(event.session, ts.sym, ts.time);
+          if (a == Admit::Blocked) {
+            // The wire reader is the backpressure point: wait out the
+            // full ring instead of tearing a frame in half.
+            std::this_thread::yield();
+            continue;
+          }
+          if (a == Admit::Shed) any_shed = true;
+          break;
+        }
+      }
+      return any_shed ? Admit::Shed : Admit::Accepted;
+    }
+    case WireEvent::Kind::Close:
+      close(event.session, event.end);
+      return Admit::Accepted;
+  }
+  return Admit::Accepted;
+}
+
+void SessionManager::run_shard(Shard& shard) {
+  RTW_SPAN("svc.shard.run");
+  for (;;) {
+    shard.staging.clear();
+    {
+      std::lock_guard lock(shard.mutex);
+      const std::size_t take =
+          std::min(config_.drain_batch, shard.ring.size());
+      for (std::size_t i = 0; i < take; ++i) {
+        shard.staging.push_back(std::move(shard.ring.front()));
+        shard.ring.pop_front();
+      }
+    }
+    if (shard.staging.empty()) {
+      // Park; a producer that enqueued between our drain and this store
+      // may have lost the election to us, so re-check and re-elect.
+      shard.scheduled.store(false, std::memory_order_release);
+      bool more;
+      {
+        std::lock_guard lock(shard.mutex);
+        more = !shard.ring.empty();
+      }
+      if (more &&
+          !shard.scheduled.exchange(true, std::memory_order_acq_rel))
+        continue;
+      return;
+    }
+    // One EventQueue tick per batch: the shard's epoch clock.  The batch
+    // runs *as* a kernel event, so in-shard timers scheduled by future
+    // extensions interleave deterministically with ingress processing.
+    shard.queue.schedule_in(1, [this, &shard](sim::Tick epoch) {
+      process(shard, epoch);
+    });
+    shard.queue.run_until(shard.queue.now() + 1);
+    stats_.epochs.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void SessionManager::process(Shard& shard, sim::Tick epoch) {
+  std::uint64_t ingested = 0;
+  std::uint64_t unknown = 0;
+  for (auto& command : shard.staging) {
+    switch (command.kind) {
+      case Command::Kind::Open: {
+        const auto [it, inserted] = shard.sessions.try_emplace(
+            command.id, Session(command.id, std::move(command.acceptor)),
+            epoch);
+        if (!inserted) {
+          ++unknown;  // double open: id already live on this shard
+          break;
+        }
+        stats_.opened.fetch_add(1, std::memory_order_relaxed);
+        stats_.active.fetch_add(1, std::memory_order_relaxed);
+        if (obs::enabled()) {
+          Metrics::get().opened.add();
+          Metrics::get().active.set(static_cast<double>(
+              stats_.active.load(std::memory_order_relaxed)));
+        }
+        break;
+      }
+      case Command::Kind::Feed: {
+        const auto it = shard.sessions.find(command.id);
+        if (it == shard.sessions.end()) {
+          ++unknown;
+          break;
+        }
+        it->second.last_active = epoch;
+        const std::uint64_t stale_before = it->second.session.stale_dropped();
+        it->second.session.feed(command.symbol, command.at);
+        ++ingested;
+        if (it->second.session.stale_dropped() != stale_before) {
+          stats_.stale.fetch_add(1, std::memory_order_relaxed);
+          if (obs::enabled()) Metrics::get().stale.add();
+        }
+        break;
+      }
+      case Command::Kind::Close: {
+        const auto it = shard.sessions.find(command.id);
+        if (it == shard.sessions.end()) {
+          ++unknown;
+          break;
+        }
+        finish_session(shard, it->second, command.end, /*evicted=*/false);
+        shard.sessions.erase(it);
+        break;
+      }
+      case Command::Kind::CloseAll: {
+        for (auto& [id, entry] : shard.sessions)
+          finish_session(shard, entry, command.end, /*evicted=*/false);
+        shard.sessions.clear();
+        break;
+      }
+    }
+  }
+  if (ingested) {
+    stats_.ingested.fetch_add(ingested, std::memory_order_relaxed);
+    if (obs::enabled()) Metrics::get().ingested.add(ingested);
+  }
+  if (unknown) {
+    stats_.unknown.fetch_add(unknown, std::memory_order_relaxed);
+    if (obs::enabled()) Metrics::get().unknown.add(unknown);
+  }
+  if (config_.idle_epochs > 0) evict_idle(shard, epoch);
+}
+
+void SessionManager::finish_session(Shard& shard, Entry& entry,
+                                    core::StreamEnd end, bool evicted) {
+  entry.session.finish(end);
+  SessionReport report = entry.session.report(evicted);
+  stats_.closed.fetch_add(1, std::memory_order_relaxed);
+  stats_.active.fetch_sub(1, std::memory_order_relaxed);
+  if (obs::enabled()) {
+    Metrics::get().closed.add();
+    Metrics::get().active.set(static_cast<double>(
+        stats_.active.load(std::memory_order_relaxed)));
+  }
+  std::lock_guard lock(shard.reports_mutex);
+  shard.reports.push_back(std::move(report));
+}
+
+void SessionManager::evict_idle(Shard& shard, sim::Tick epoch) {
+  for (auto it = shard.sessions.begin(); it != shard.sessions.end();) {
+    if (epoch >= it->second.last_active &&
+        epoch - it->second.last_active >= config_.idle_epochs) {
+      finish_session(shard, it->second, core::StreamEnd::Truncated,
+                     /*evicted=*/true);
+      stats_.evicted.fetch_add(1, std::memory_order_relaxed);
+      if (obs::enabled()) Metrics::get().evicted.add();
+      it = shard.sessions.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SessionManager::drain() {
+  for (;;) {
+    pool_.wait_idle();
+    bool busy = false;
+    for (const auto& shard : shards_) {
+      if (shard->scheduled.load(std::memory_order_acquire)) {
+        busy = true;
+        break;
+      }
+      std::lock_guard lock(shard->mutex);
+      if (!shard->ring.empty()) {
+        busy = true;
+        break;
+      }
+    }
+    if (!busy) return;
+    std::this_thread::yield();
+  }
+}
+
+void SessionManager::shutdown(core::StreamEnd end) {
+  drain();  // let in-flight opens land before the close-all sweep
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Command c;
+    c.kind = Command::Kind::CloseAll;
+    c.end = end;
+    Shard& shard = *shards_[i];
+    {
+      std::lock_guard lock(shard.mutex);
+      shard.ring.push_back(std::move(c));
+    }
+    if (!shard.scheduled.exchange(true, std::memory_order_acq_rel))
+      pool_.post([this, &shard] { run_shard(shard); });
+  }
+  drain();
+}
+
+std::vector<SessionReport> SessionManager::collect() {
+  std::vector<SessionReport> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->reports_mutex);
+    if (out.empty()) {
+      out = std::move(shard->reports);
+      shard->reports.clear();
+    } else {
+      for (auto& r : shard->reports) out.push_back(std::move(r));
+      shard->reports.clear();
+    }
+  }
+  return out;
+}
+
+ServiceStats SessionManager::stats() const {
+  ServiceStats s;
+  s.opened = stats_.opened.load(std::memory_order_relaxed);
+  s.closed = stats_.closed.load(std::memory_order_relaxed);
+  s.ingested = stats_.ingested.load(std::memory_order_relaxed);
+  s.shed = stats_.shed.load(std::memory_order_relaxed);
+  s.blocked = stats_.blocked.load(std::memory_order_relaxed);
+  s.stale = stats_.stale.load(std::memory_order_relaxed);
+  s.evicted = stats_.evicted.load(std::memory_order_relaxed);
+  s.unknown = stats_.unknown.load(std::memory_order_relaxed);
+  s.active = stats_.active.load(std::memory_order_relaxed);
+  s.epochs = stats_.epochs.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace rtw::svc

@@ -1,0 +1,218 @@
+#include "rtw/svc/wire.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace rtw::svc {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 4;              ///< u32le payload length
+constexpr std::size_t kPayloadHeaderBytes = 8 + 1;   ///< session + op
+
+void put_u32le(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void put_u64le(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8)
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+}
+
+std::uint32_t get_u32le(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i)
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+std::uint64_t get_u64le(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i)
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+std::string encode(SessionId session, Op op, std::string_view body) {
+  std::string out;
+  out.reserve(kHeaderBytes + kPayloadHeaderBytes + body.size());
+  put_u32le(out,
+            static_cast<std::uint32_t>(kPayloadHeaderBytes + body.size()));
+  put_u64le(out, session);
+  out.push_back(static_cast<char>(op));
+  out.append(body);
+  return out;
+}
+
+}  // namespace
+
+std::string encode_open(SessionId session, std::string_view profile) {
+  return encode(session, Op::Open, profile);
+}
+
+std::string encode_feed(SessionId session,
+                        const std::vector<core::TimedSymbol>& symbols) {
+  return encode(session, Op::Feed, core::serialize_elements(symbols));
+}
+
+std::string encode_close(SessionId session, core::StreamEnd end) {
+  return encode(session,
+                end == core::StreamEnd::EndOfWord ? Op::Close
+                                                  : Op::CloseTruncated,
+                {});
+}
+
+void Decoder::push(std::string_view bytes) {
+  if (!ok()) return;
+  buffer_.append(bytes);
+  decode();
+  // Reclaim the consumed prefix so a long-lived stream stays O(frame).
+  if (scan_ > 0) {
+    buffer_.erase(0, scan_);
+    scan_ = 0;
+  }
+}
+
+bool Decoder::next(WireEvent& out) {
+  if (ready_.empty()) return false;
+  out = std::move(ready_.front());
+  ready_.pop_front();
+  return true;
+}
+
+void Decoder::fail(std::string message) {
+  error_ = std::move(message);
+  buffer_.clear();
+  scan_ = 0;
+  in_feed_ = false;
+}
+
+void Decoder::decode() {
+  while (ok()) {
+    const std::size_t available = buffer_.size() - scan_;
+
+    if (in_feed_) {
+      // Stream the Feed body: parse as many complete elements as the
+      // received bytes allow, holding back an element that might still
+      // grow across the chunk boundary (final_chunk = false) until the
+      // rest of the body arrives.
+      if (feed_remaining_ == 0) {
+        in_feed_ = false;
+        ++frames_;
+        continue;
+      }
+      if (available == 0) return;
+      const std::size_t take = std::min(available, feed_remaining_);
+      const bool final_chunk = take == feed_remaining_;
+      auto parsed =
+          core::parse_prefix(std::string_view(buffer_).substr(scan_, take),
+                             ~std::size_t{0}, final_chunk);
+      if (!parsed.symbols.empty()) {
+        WireEvent ev;
+        ev.kind = WireEvent::Kind::Symbols;
+        ev.session = feed_session_;
+        ev.symbols = std::move(parsed.symbols);
+        ready_.push_back(std::move(ev));
+      }
+      scan_ += parsed.consumed;
+      feed_remaining_ -= parsed.consumed;
+      if (final_chunk) {
+        if (parsed.consumed < take)
+          return fail("svc::Decoder: malformed feed body");
+        continue;  // frame complete; the branch above closes it
+      }
+      return;  // need more body bytes
+    }
+
+    if (available < kHeaderBytes + kPayloadHeaderBytes) return;
+    const std::size_t len = get_u32le(buffer_.data() + scan_);
+    if (len < kPayloadHeaderBytes)
+      return fail("svc::Decoder: frame shorter than its payload header");
+    if (len > max_frame_bytes_)
+      return fail("svc::Decoder: frame exceeds the size cap");
+
+    const SessionId session = get_u64le(buffer_.data() + scan_ + kHeaderBytes);
+    const auto op = static_cast<Op>(
+        static_cast<unsigned char>(buffer_[scan_ + kHeaderBytes + 8]));
+    const std::size_t body_len = len - kPayloadHeaderBytes;
+
+    if (op == Op::Feed) {
+      // Body may be consumed incrementally; commit to the frame now.
+      scan_ += kHeaderBytes + kPayloadHeaderBytes;
+      in_feed_ = true;
+      feed_session_ = session;
+      feed_remaining_ = body_len;
+      continue;
+    }
+
+    // Control frames are tiny: wait for the whole frame.
+    if (available < kHeaderBytes + len) return;
+    const std::string_view body =
+        std::string_view(buffer_).substr(scan_ + kHeaderBytes +
+                                             kPayloadHeaderBytes,
+                                         body_len);
+    WireEvent ev;
+    ev.session = session;
+    switch (op) {
+      case Op::Open:
+        ev.kind = WireEvent::Kind::Open;
+        ev.profile = std::string(body);
+        break;
+      case Op::Close:
+        ev.kind = WireEvent::Kind::Close;
+        ev.end = core::StreamEnd::EndOfWord;
+        break;
+      case Op::CloseTruncated:
+        ev.kind = WireEvent::Kind::Close;
+        ev.end = core::StreamEnd::Truncated;
+        break;
+      default:
+        return fail("svc::Decoder: unknown opcode");
+    }
+    ready_.push_back(std::move(ev));
+    scan_ += kHeaderBytes + len;
+    ++frames_;
+  }
+}
+
+std::vector<std::string> apply_faults(const std::vector<std::string>& frames,
+                                      const sim::FaultPlan& plan,
+                                      sim::FaultCounters* counters) {
+  sim::FaultInjector injector(plan);
+
+  // Each surviving copy is slotted at (original index + drawn delay); a
+  // stable sort on the slot reorders delayed frames past their neighbors
+  // while preserving emission order among ties -- deterministic for a
+  // given (frames, plan).
+  struct Slot {
+    std::uint64_t position;
+    const std::string* frame;
+  };
+  std::vector<Slot> slots;
+  slots.reserve(frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const auto verdict = injector.link_verdict(
+        0, 1, static_cast<std::uint64_t>(i), static_cast<sim::Tick>(i));
+    if (!verdict.deliver) continue;
+    for (std::uint32_t c = 0; c < verdict.copies; ++c)
+      slots.push_back(Slot{static_cast<std::uint64_t>(i) +
+                               verdict.extra_delay,
+                           &frames[i]});
+  }
+  std::stable_sort(slots.begin(), slots.end(),
+                   [](const Slot& a, const Slot& b) {
+                     return a.position < b.position;
+                   });
+
+  std::vector<std::string> out;
+  out.reserve(slots.size());
+  for (const auto& slot : slots) out.push_back(*slot.frame);
+  if (counters) *counters = injector.counters();
+  return out;
+}
+
+}  // namespace rtw::svc

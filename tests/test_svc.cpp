@@ -1,0 +1,1077 @@
+// rtw::svc test suite: the serving layer and its equivalence theorem.
+//
+//   1. parse_prefix / serialize_elements: the bounded streaming parser the
+//      wire codec is built on (satellite fix for the full-reparse gap).
+//   2. The wire codec: framing round-trips, arbitrary chunking, partial
+//      Feed-body streaming, sticky errors, frame-level fault application.
+//   3. EngineOnlineAcceptor: the online/batch equivalence contract on
+//      hand-picked words plus interface guarantees (monotonicity, verdict
+//      latching, reset).
+//   4. The tri-workload equivalence property: 500 seeded cases feeding
+//      randomized deadline / rtdb / adhoc words symbol-by-symbol and
+//      checking the final RunResult equals rtw::engine::run field by
+//      field.
+//   5. Session / SessionManager: stale filtering, lifecycle, explicit
+//      backpressure, idle eviction, shard-count invariance (1 vs 8),
+//      wire-driven operation.
+//   6. The fault-injected soak: mangled frame streams through the decoder
+//      into the manager, mirrored by a reference state machine --
+//      asserting zero verdict divergences (scaled by RTW_SVC_SOAK_SECONDS
+//      for the CI svc-soak job).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "proptest.hpp"
+#include "rtw/adhoc/mobility.hpp"
+#include "rtw/adhoc/route_acceptor.hpp"
+#include "rtw/adhoc/words.hpp"
+#include "rtw/core/error.hpp"
+#include "rtw/core/online.hpp"
+#include "rtw/core/serialize.hpp"
+#include "rtw/deadline/acceptor.hpp"
+#include "rtw/deadline/online.hpp"
+#include "rtw/deadline/word.hpp"
+#include "rtw/engine/engine.hpp"
+#include "rtw/obs/export.hpp"
+#include "rtw/rtdb/algebra.hpp"
+#include "rtw/rtdb/recognition.hpp"
+#include "rtw/svc/service.hpp"
+#include "rtw/svc/session.hpp"
+#include "rtw/svc/wire.hpp"
+
+namespace {
+
+using namespace rtw::core;
+using rtw::svc::Admit;
+using rtw::svc::Decoder;
+using rtw::svc::SessionId;
+using rtw::svc::SessionManager;
+using rtw::svc::SessionReport;
+using rtw::svc::ServiceConfig;
+using rtw::svc::WireEvent;
+
+// ====================================================== 1. parse_prefix
+
+TEST(ParsePrefix, ParsesCompleteTextAndReportsConsumption) {
+  const std::string text = "a@1 <m>@3 7@9 'x'@12";
+  const auto p = parse_prefix(text, 100);
+  ASSERT_EQ(p.symbols.size(), 4u);
+  EXPECT_EQ(p.consumed, text.size());
+  EXPECT_EQ(p.symbols[0], (TimedSymbol{Symbol::chr('a'), 1}));
+  EXPECT_EQ(p.symbols[1], (TimedSymbol{Symbol::marker("m"), 3}));
+  EXPECT_EQ(p.symbols[2], (TimedSymbol{Symbol::nat(7), 9}));
+  EXPECT_EQ(p.symbols[3], (TimedSymbol{Symbol::chr('x'), 12}));
+}
+
+TEST(ParsePrefix, HonorsTheSymbolBound) {
+  const auto p = parse_prefix("a@1 b@2 c@3", 2);
+  ASSERT_EQ(p.symbols.size(), 2u);
+  // Consumption stops at the start of the unparsed third element (the
+  // separator space is consumed eagerly).
+  const auto rest = parse_prefix(std::string_view("a@1 b@2 c@3").substr(p.consumed), 10);
+  ASSERT_EQ(rest.symbols.size(), 1u);
+  EXPECT_EQ(rest.symbols[0], (TimedSymbol{Symbol::chr('c'), 3}));
+}
+
+TEST(ParsePrefix, HoldsBackGrowableTailWhenNotFinal) {
+  // "a@3" is complete as a final chunk but the 3 could grow to 35.
+  const auto partial = parse_prefix("b@1 a@3", 10, /*final_chunk=*/false);
+  ASSERT_EQ(partial.symbols.size(), 1u);
+  EXPECT_EQ(partial.symbols[0].time, 1u);
+  const auto final = parse_prefix("b@1 a@3", 10, /*final_chunk=*/true);
+  ASSERT_EQ(final.symbols.size(), 2u);
+  EXPECT_EQ(final.symbols[1].time, 3u);
+}
+
+TEST(ParsePrefix, EverySplitPointOfAWordReassembles) {
+  const std::vector<TimedSymbol> elements = {
+      {Symbol::chr('a'), 1},  {Symbol::marker("wq"), 23},
+      {Symbol::nat(456), 23}, {Symbol::chr('@'), 30},
+      {Symbol::nat(0), 31},
+  };
+  const std::string text = serialize_elements(elements);
+  for (std::size_t split = 0; split <= text.size(); ++split) {
+    std::vector<TimedSymbol> got;
+    std::string pending(text.substr(0, split));
+    auto first = parse_prefix(pending, 100, /*final_chunk=*/false);
+    got.insert(got.end(), first.symbols.begin(), first.symbols.end());
+    pending.erase(0, first.consumed);
+    pending.append(text.substr(split));
+    auto second = parse_prefix(pending, 100, /*final_chunk=*/true);
+    EXPECT_EQ(second.consumed, pending.size()) << "split=" << split;
+    got.insert(got.end(), second.symbols.begin(), second.symbols.end());
+    EXPECT_EQ(got, elements) << "split=" << split;
+  }
+}
+
+TEST(ParsePrefix, StopsWithoutConsumingMalformedInput) {
+  const auto p = parse_prefix("a@1 b!2", 10);
+  ASSERT_EQ(p.symbols.size(), 1u);
+  EXPECT_EQ(p.consumed, 4u);  // "a@1 " only; "b!2" untouched
+  const auto q = parse_prefix("'unterminated", 10);
+  EXPECT_TRUE(q.symbols.empty());
+  EXPECT_EQ(q.consumed, 0u);
+}
+
+TEST(ParsePrefix, RoundTripsSerializeElements) {
+  rtw::sim::Xoshiro256ss rng(99);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<TimedSymbol> elements;
+    Tick t = 0;
+    const auto len = rng.uniform(std::uint64_t{12});
+    for (std::uint64_t i = 0; i < len; ++i) {
+      t += rng.uniform(std::uint64_t{9});
+      switch (rng.uniform(std::uint64_t{3})) {
+        case 0:
+          elements.push_back({Symbol::chr(static_cast<char>(
+                                  'a' + rng.uniform(std::uint64_t{26}))),
+                              t});
+          break;
+        case 1:
+          elements.push_back({Symbol::nat(rng.uniform(std::uint64_t{1000})), t});
+          break;
+        default:
+          elements.push_back({rtw::core::marks::dollar(), t});
+      }
+    }
+    const auto text = serialize_elements(elements);
+    const auto parsed = parse_prefix(text, elements.size() + 1);
+    EXPECT_EQ(parsed.symbols, elements);
+    EXPECT_EQ(parsed.consumed, text.size());
+  }
+}
+
+// ====================================================== 2. wire codec
+
+std::vector<TimedSymbol> sample_elements() {
+  return {{Symbol::chr('a'), 1},
+          {Symbol::marker("wq"), 4},
+          {Symbol::nat(19), 4},
+          {Symbol::chr('z'), 9}};
+}
+
+TEST(WireCodec, FramesRoundTrip) {
+  const auto elements = sample_elements();
+  std::string stream = rtw::svc::encode_open(7, "deadline");
+  stream += rtw::svc::encode_feed(7, elements);
+  stream += rtw::svc::encode_close(7, StreamEnd::Truncated);
+
+  Decoder decoder;
+  decoder.push(stream);
+  ASSERT_TRUE(decoder.ok()) << decoder.error();
+
+  WireEvent ev;
+  ASSERT_TRUE(decoder.next(ev));
+  EXPECT_EQ(ev.kind, WireEvent::Kind::Open);
+  EXPECT_EQ(ev.session, 7u);
+  EXPECT_EQ(ev.profile, "deadline");
+
+  std::vector<TimedSymbol> got;
+  while (decoder.next(ev) && ev.kind == WireEvent::Kind::Symbols)
+    got.insert(got.end(), ev.symbols.begin(), ev.symbols.end());
+  EXPECT_EQ(got, elements);
+  EXPECT_EQ(ev.kind, WireEvent::Kind::Close);
+  EXPECT_EQ(ev.end, StreamEnd::Truncated);
+  EXPECT_EQ(decoder.frames(), 3u);
+}
+
+TEST(WireCodec, EveryChunkingDecodesIdentically) {
+  const auto elements = sample_elements();
+  std::string stream = rtw::svc::encode_open(3, "p");
+  stream += rtw::svc::encode_feed(3, elements);
+  stream += rtw::svc::encode_feed(3, {});  // empty body is a valid frame
+  stream += rtw::svc::encode_close(3);
+
+  for (std::size_t chunk = 1; chunk <= 13; ++chunk) {
+    Decoder decoder;
+    for (std::size_t off = 0; off < stream.size(); off += chunk)
+      decoder.push(std::string_view(stream).substr(
+          off, std::min(chunk, stream.size() - off)));
+    ASSERT_TRUE(decoder.ok()) << "chunk=" << chunk << ": " << decoder.error();
+    std::vector<TimedSymbol> got;
+    bool open = false, close = false;
+    WireEvent ev;
+    while (decoder.next(ev)) {
+      if (ev.kind == WireEvent::Kind::Open) open = true;
+      if (ev.kind == WireEvent::Kind::Close) close = true;
+      if (ev.kind == WireEvent::Kind::Symbols)
+        got.insert(got.end(), ev.symbols.begin(), ev.symbols.end());
+    }
+    EXPECT_TRUE(open);
+    EXPECT_TRUE(close);
+    EXPECT_EQ(got, elements) << "chunk=" << chunk;
+    EXPECT_EQ(decoder.frames(), 4u);
+  }
+}
+
+TEST(WireCodec, PartialFeedBodySurfacesSymbolsEarly) {
+  const auto frame = rtw::svc::encode_feed(1, sample_elements());
+  Decoder decoder;
+  // Push everything except the last 3 bytes: the first elements must
+  // already be decodable even though the frame is incomplete.
+  decoder.push(std::string_view(frame).substr(0, frame.size() - 3));
+  WireEvent ev;
+  ASSERT_TRUE(decoder.next(ev));
+  EXPECT_EQ(ev.kind, WireEvent::Kind::Symbols);
+  EXPECT_FALSE(ev.symbols.empty());
+  EXPECT_EQ(decoder.frames(), 0u);  // frame itself still open
+  decoder.push(std::string_view(frame).substr(frame.size() - 3));
+  std::vector<TimedSymbol> rest;
+  while (decoder.next(ev)) rest.insert(rest.end(), ev.symbols.begin(), ev.symbols.end());
+  EXPECT_EQ(decoder.frames(), 1u);
+}
+
+TEST(WireCodec, ErrorsAreSticky) {
+  {
+    Decoder decoder;
+    std::string bad = rtw::svc::encode_open(1, "x");
+    bad[12] = 9;  // opcode byte -> unknown
+    decoder.push(bad);
+    EXPECT_FALSE(decoder.ok());
+    decoder.push(rtw::svc::encode_open(2, "y"));
+    WireEvent ev;
+    EXPECT_FALSE(decoder.next(ev));
+  }
+  {
+    Decoder small(/*max_frame_bytes=*/16);
+    small.push(rtw::svc::encode_feed(1, sample_elements()));
+    EXPECT_FALSE(small.ok());
+  }
+  {
+    Decoder decoder;
+    // A Feed body that is not serialize_elements text.
+    decoder.push(rtw::svc::encode_open(1, "x"));
+    std::string corrupt = rtw::svc::encode_feed(1, {{Symbol::chr('a'), 1}});
+    corrupt[corrupt.size() - 2] = '!';
+    decoder.push(corrupt);
+    EXPECT_FALSE(decoder.ok());
+  }
+}
+
+TEST(WireCodec, NoopFaultPlanIsIdentity) {
+  std::vector<std::string> frames;
+  for (SessionId id = 0; id < 6; ++id)
+    frames.push_back(rtw::svc::encode_open(id, "p"));
+  rtw::sim::FaultPlan noop;
+  rtw::sim::FaultCounters counters;
+  const auto out = rtw::svc::apply_faults(frames, noop, &counters);
+  EXPECT_EQ(out, frames);
+  EXPECT_TRUE(counters.empty());
+}
+
+TEST(WireCodec, FaultedFramesAreDeterministicAndCounted) {
+  std::vector<std::string> frames;
+  for (SessionId id = 0; id < 64; ++id)
+    frames.push_back(rtw::svc::encode_open(id, "p"));
+  rtw::sim::FaultPlan plan;
+  plan.seed = 0xfeedULL;
+  plan.link.drop = 0.25;
+  plan.link.duplicate = 0.25;
+  plan.link.delay = 0.5;
+  plan.link.max_delay = 4;
+  rtw::sim::FaultCounters c1, c2;
+  const auto a = rtw::svc::apply_faults(frames, plan, &c1);
+  const auto b = rtw::svc::apply_faults(frames, plan, &c2);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(c1, c2);
+  EXPECT_GT(c1.injected(), 0u);
+  EXPECT_EQ(a.size(), frames.size() - c1.dropped + c1.duplicated);
+}
+
+// ================================== 3. online/batch equivalence machinery
+
+/// The engine delivers exactly the symbols timestamped within the horizon;
+/// a finite word it exhausts ends the stream (EndOfWord), anything else is
+/// a truncation at the horizon.
+struct StreamPrefix {
+  std::vector<TimedSymbol> symbols;
+  StreamEnd end = StreamEnd::Truncated;
+};
+
+StreamPrefix stream_prefix(const TimedWord& word, Tick horizon,
+                           std::uint64_t cap = 200000) {
+  StreamPrefix out;
+  auto cursor = word.cursor();
+  for (std::uint64_t i = 0; i < cap; ++i) {
+    if (cursor.done()) {
+      out.end = StreamEnd::EndOfWord;
+      return out;
+    }
+    const auto ts = cursor.current();
+    if (ts.time > horizon) return out;
+    out.symbols.push_back(ts);
+    cursor.advance();
+  }
+  ADD_FAILURE() << "stream_prefix cap hit (horizon too large for the test)";
+  return out;
+}
+
+std::string render(const RunResult& r) {
+  std::ostringstream out;
+  out << "accepted=" << r.accepted << " exact=" << r.exact
+      << " ticks=" << r.ticks << " f_count=" << r.f_count << " first_f="
+      << (r.first_f ? std::to_string(*r.first_f) : std::string("-"))
+      << " consumed=" << r.symbols_consumed;
+  return out.str();
+}
+
+/// Runs `batch_algorithm` through the engine and the online acceptor over
+/// the same word; returns a violation message on any field mismatch.
+std::optional<std::string> equivalence_violation(
+    RealTimeAlgorithm& batch_algorithm,
+    std::unique_ptr<OnlineAcceptor> online, const TimedWord& word,
+    const RunOptions& options) {
+  const auto batch = rtw::engine::run(batch_algorithm, word, options).result;
+  const auto prefix = stream_prefix(word, options.horizon);
+  for (const auto& ts : prefix.symbols) online->feed(ts);
+  const auto verdict = online->finish(prefix.end);
+  const auto& r = online->result();
+  const bool online_accepted = verdict == Verdict::Accepting;
+  if (batch.accepted != r.accepted || batch.exact != r.exact ||
+      batch.ticks != r.ticks || batch.f_count != r.f_count ||
+      batch.first_f != r.first_f ||
+      batch.symbols_consumed != r.symbols_consumed ||
+      online_accepted != batch.accepted) {
+    return "batch{" + render(batch) + "} != online{" + render(r) +
+           " verdict=" + rtw::core::to_string(verdict) + "}";
+  }
+  return std::nullopt;
+}
+
+TEST(OnlineAcceptor, MatchesEngineOnTrivialAlgorithms) {
+  const auto word = TimedWord::finite(
+      {{Symbol::chr('a'), 0}, {Symbol::chr('b'), 3}, {Symbol::chr('c'), 9}});
+  RunOptions options;
+  options.horizon = 32;
+  {
+    AcceptAll batch;
+    auto online = std::make_unique<EngineOnlineAcceptor>(
+        std::make_unique<AcceptAll>(), options);
+    EXPECT_EQ(equivalence_violation(batch, std::move(online), word, options),
+              std::nullopt);
+  }
+  {
+    RejectAll batch;
+    auto online = std::make_unique<EngineOnlineAcceptor>(
+        std::make_unique<RejectAll>(), options);
+    EXPECT_EQ(equivalence_violation(batch, std::move(online), word, options),
+              std::nullopt);
+  }
+}
+
+TEST(OnlineAcceptor, VerdictLatchesAndFeedsBecomeNoops) {
+  auto online = std::make_unique<EngineOnlineAcceptor>(
+      std::make_unique<AcceptAll>(), RunOptions{});
+  // AcceptAll locks at tick 0, which becomes emulable at the first feed
+  // with a later timestamp.
+  EXPECT_EQ(online->feed(Symbol::chr('a'), 0), Verdict::Undetermined);
+  EXPECT_EQ(online->feed(Symbol::chr('b'), 5), Verdict::Accepting);
+  EXPECT_TRUE(final_verdict(online->verdict()));
+  // Latching: more feeds and even a Rejecting-flavored finish are no-ops.
+  EXPECT_EQ(online->feed(Symbol::chr('c'), 7), Verdict::Accepting);
+  EXPECT_EQ(online->finish(StreamEnd::Truncated), Verdict::Accepting);
+  EXPECT_TRUE(online->result().exact);
+}
+
+/// Never commits to a lock state: keeps the acceptor live so interface
+/// guarantees (like the monotonicity check) stay observable.
+class NeverLock final : public RealTimeAlgorithm {
+public:
+  void on_tick(const StepContext&) override {}
+  std::optional<bool> locked() const override { return std::nullopt; }
+  void reset() override {}
+  std::string name() const override { return "never-lock"; }
+};
+
+TEST(OnlineAcceptor, RejectsTimeGoingBackwards) {
+  EngineOnlineAcceptor online(std::make_unique<NeverLock>());
+  online.feed(Symbol::chr('a'), 10);
+  EXPECT_THROW(online.feed(Symbol::chr('b'), 9), ModelError);
+}
+
+TEST(OnlineAcceptor, ResetAllowsReuse) {
+  RunOptions options;
+  options.horizon = 64;
+  EngineOnlineAcceptor online(std::make_unique<AcceptAll>(), options);
+  online.feed(Symbol::chr('a'), 1);
+  online.finish(StreamEnd::EndOfWord);
+  const auto first = online.result();
+  online.reset();
+  EXPECT_EQ(online.verdict(), Verdict::Undetermined);
+  online.feed(Symbol::chr('a'), 1);
+  online.finish(StreamEnd::EndOfWord);
+  EXPECT_EQ(online.result().accepted, first.accepted);
+  EXPECT_EQ(online.result().ticks, first.ticks);
+}
+
+TEST(OnlineAcceptor, FinishFlavorsMatchTheEngineOnGappyWords) {
+  // A finite word with a symbol beyond the horizon: the engine stops at
+  // the idle gap instead of walking to the horizon, so Truncated is the
+  // faithful finish; EndOfWord must equal the engine run on the in-range
+  // prefix as its own complete word.
+  const auto word = TimedWord::finite(
+      {{Symbol::chr('a'), 2}, {Symbol::chr('b'), 500}});
+  RunOptions options;
+  options.horizon = 100;
+  RejectAll batch;
+  auto online = std::make_unique<EngineOnlineAcceptor>(
+      std::make_unique<RejectAll>(), options);
+  EXPECT_EQ(equivalence_violation(batch, std::move(online), word, options),
+            std::nullopt);
+}
+
+// =========================== 4. the tri-workload equivalence property
+
+using rtw::deadline::DeadlineInstance;
+using rtw::deadline::Usefulness;
+
+std::optional<std::string> deadline_case(rtw::sim::Xoshiro256ss& rng,
+                                         std::size_t size) {
+  DeadlineInstance inst;
+  const auto in_len = 1 + rng.uniform(std::uint64_t{1 + size / 4});
+  for (std::uint64_t i = 0; i < in_len; ++i)
+    inst.input.push_back(Symbol::nat(rng.uniform(std::uint64_t{9})));
+
+  std::shared_ptr<const rtw::deadline::Problem> problem;
+  if (rng.bernoulli(0.5))
+    problem = std::make_shared<rtw::deadline::SortProblem>();
+  else
+    problem = std::make_shared<rtw::deadline::FixedCostProblem>(
+        1 + rng.uniform(std::uint64_t{30}));
+
+  if (rng.bernoulli(0.7)) {
+    inst.proposed_output = problem->solve(inst.input);
+  } else {
+    const auto out_len = 1 + rng.uniform(std::uint64_t{4});
+    for (std::uint64_t i = 0; i < out_len; ++i)
+      inst.proposed_output.push_back(Symbol::nat(rng.uniform(std::uint64_t{9})));
+  }
+  if (rng.bernoulli(0.6)) {
+    inst.usefulness = Usefulness::firm(3 + rng.uniform(std::uint64_t{40}), 10);
+    inst.min_acceptable = rng.uniform(std::uint64_t{10});
+  } else {
+    inst.usefulness = Usefulness::none(10);
+  }
+
+  RunOptions options;
+  options.horizon = 120 + rng.uniform(std::uint64_t{200});
+  options.fast_forward = rng.bernoulli(0.8);
+  const auto word = rtw::deadline::build_deadline_word(inst);
+  rtw::deadline::DeadlineAcceptor batch(*problem);
+  auto online = rtw::deadline::make_online_acceptor(problem, options);
+  return equivalence_violation(batch, std::move(online), word, options);
+}
+
+rtw::rtdb::QueryCatalog image_catalog() {
+  rtw::rtdb::QueryCatalog catalog;
+  catalog.add(rtw::rtdb::Query("all-images", [](const rtw::rtdb::Database& db) {
+    return rtw::rtdb::project(
+        rtw::rtdb::select_eq(db.get("Objects"), "Kind",
+                             rtw::rtdb::Value{std::string("image")}),
+        {"Name"});
+  }));
+  return catalog;
+}
+
+std::optional<std::string> rtdb_case(rtw::sim::Xoshiro256ss& rng,
+                                     std::size_t size) {
+  using namespace rtw::rtdb;
+  RtdbWordSpec spec;
+  spec.invariants = {{"site", Value{std::string("plant")}}};
+  const auto images = 1 + rng.uniform(std::uint64_t{1 + size / 12});
+  for (std::uint64_t i = 0; i < images; ++i)
+    spec.images.push_back({"s" + std::to_string(i),
+                           2 + rng.uniform(std::uint64_t{4}), [i](Tick t) {
+                             return Value{static_cast<std::int64_t>(
+                                 10 * i + t % 5)};
+                           }});
+
+  const bool correct = rng.bernoulli(0.6);
+  const Tuple candidate = {
+      Value{std::string(correct ? "s0" : "nope")}};
+  TimedWord word = TimedWord::finite({});
+  if (rng.bernoulli(0.7)) {
+    AperiodicQuerySpec q;
+    q.query = "all-images";
+    q.candidate = candidate;
+    q.issue_time = 5 + rng.uniform(std::uint64_t{30});
+    if (rng.bernoulli(0.7)) {
+      q.usefulness = Usefulness::firm(2 + rng.uniform(std::uint64_t{30}), 10);
+      q.min_acceptable = 1;
+    } else {
+      q.usefulness = Usefulness::none(10);
+    }
+    word = rtw::core::concat(build_dbB(spec), build_aq(q));
+  } else {
+    PeriodicQuerySpec p;
+    p.query = "all-images";
+    p.candidate = [candidate](std::uint64_t) { return candidate; };
+    p.issue_time = 5 + rng.uniform(std::uint64_t{20});
+    p.period = 24 + rng.uniform(std::uint64_t{24});
+    p.usefulness = Usefulness::firm(4 + rng.uniform(std::uint64_t{16}), 10);
+    p.min_acceptable = 1;
+    word = rtw::core::concat(build_dbB(spec), build_pq(p));
+  }
+
+  RunOptions options;
+  options.horizon = 150 + rng.uniform(std::uint64_t{250});
+  options.fast_forward = rng.bernoulli(0.8);
+  const Tick patience = 64;
+  RecognitionAcceptor batch(image_catalog(), linear_cost(), patience);
+  auto online = make_online_recognition(image_catalog(), linear_cost(),
+                                        patience, options);
+  return equivalence_violation(batch, std::move(online), word, options);
+}
+
+std::optional<std::string> adhoc_case(rtw::sim::Xoshiro256ss& rng,
+                                      std::size_t size) {
+  using namespace rtw::adhoc;
+  const auto n = static_cast<NodeId>(3 + rng.uniform(std::uint64_t{1 + size / 8}));
+  std::vector<std::unique_ptr<Mobility>> nodes;
+  for (NodeId i = 0; i < n; ++i)
+    nodes.push_back(std::make_unique<Stationary>(Vec2{10.0 * i, 0.0}));
+  auto net = std::make_shared<const Network>(std::move(nodes), 12.0);
+
+  RouteTrace trace;
+  trace.source = 0;
+  trace.destination = n - 1;
+  trace.body = 100 + rng.uniform(std::uint64_t{900});
+  trace.originated_at = 2 + rng.uniform(std::uint64_t{10});
+  Tick t = trace.originated_at;
+  for (NodeId i = 0; i + 1 < n; ++i) {
+    trace.hops.push_back({t, t + 1, i, i + 1, trace.body});
+    t += 1;
+  }
+  trace.delivered = true;
+
+  switch (rng.uniform(std::uint64_t{4})) {
+    case 0:
+      break;  // valid chain
+    case 1:  // foreign body mid-chain: the witness chain breaks
+      trace.hops[trace.hops.size() / 2].body = trace.body + 1;
+      break;
+    case 2:  // teleport: d_i != s_{i+1}
+      if (trace.hops.size() >= 2) trace.hops.erase(trace.hops.begin() + 1);
+      break;
+    default:  // undelivered: drop the final hop
+      trace.hops.pop_back();
+      trace.delivered = false;
+      break;
+  }
+
+  RouteQuery query{0, static_cast<NodeId>(n - 1), trace.body,
+                   trace.originated_at};
+  const auto word = route_instance_word(trace, *net);
+  RunOptions options;
+  options.horizon = 60 + rng.uniform(std::uint64_t{80});
+  options.fast_forward = rng.bernoulli(0.8);
+  RouteWordAcceptor batch(*net, query);
+  auto online = make_online_route_acceptor(net, query, options);
+  return equivalence_violation(batch, std::move(online), word, options);
+}
+
+TEST(OnlineBatchEquivalence, FiveHundredSeededCasesAcrossThreeWorkloads) {
+  rtw::proptest::Config cfg;
+  cfg.seed = 0x73766331ULL;  // "svc1"
+  cfg.cases = 500;
+  cfg.max_size = 24;
+  const auto result = rtw::proptest::run_property(
+      "svc.online_batch_equivalence", cfg,
+      [](rtw::sim::Xoshiro256ss& rng, std::size_t size)
+          -> std::optional<std::string> {
+        switch (rng.uniform(std::uint64_t{3})) {
+          case 0:
+            return deadline_case(rng, size);
+          case 1:
+            return rtdb_case(rng, size);
+          default:
+            return adhoc_case(rng, size);
+        }
+      });
+  EXPECT_TRUE(result.ok()) << rtw::proptest::describe(
+      "svc.online_batch_equivalence", cfg, *result.failure);
+}
+
+// ========================================= 5. Session / SessionManager
+
+TEST(Session, DropsStaleSymbolsInsteadOfThrowing) {
+  rtw::svc::Session session(
+      1, std::make_unique<EngineOnlineAcceptor>(std::make_unique<RejectAll>()));
+  session.feed(Symbol::chr('a'), 5);
+  session.feed(Symbol::chr('b'), 3);  // reordered by the wire: stale
+  session.feed(Symbol::chr('c'), 5);  // equal time is legal
+  EXPECT_EQ(session.fed(), 2u);
+  EXPECT_EQ(session.stale_dropped(), 1u);
+  session.finish(StreamEnd::Truncated);
+  const auto report = session.report(false);
+  EXPECT_EQ(report.verdict, Verdict::Rejecting);
+  EXPECT_EQ(report.stale_dropped, 1u);
+}
+
+TEST(SessionManager, BasicLifecycle) {
+  SessionManager manager(ServiceConfig{});
+  const auto accept_id =
+      manager.open(std::make_unique<EngineOnlineAcceptor>(
+          std::make_unique<AcceptAll>()));
+  const auto reject_id =
+      manager.open(std::make_unique<EngineOnlineAcceptor>(
+          std::make_unique<RejectAll>()));
+  for (Tick t = 0; t < 4; ++t) {
+    EXPECT_EQ(manager.feed(accept_id, Symbol::chr('a'), t), Admit::Accepted);
+    EXPECT_EQ(manager.feed(reject_id, Symbol::chr('a'), t), Admit::Accepted);
+  }
+  manager.close(accept_id, StreamEnd::Truncated);
+  manager.close(reject_id, StreamEnd::Truncated);
+  manager.drain();
+  auto reports = manager.collect();
+  ASSERT_EQ(reports.size(), 2u);
+  std::map<SessionId, SessionReport> by_id;
+  for (auto& r : reports) by_id[r.id] = r;
+  EXPECT_EQ(by_id[accept_id].verdict, Verdict::Accepting);
+  EXPECT_EQ(by_id[reject_id].verdict, Verdict::Rejecting);
+  EXPECT_EQ(by_id[accept_id].fed, 4u);
+  const auto stats = manager.stats();
+  EXPECT_EQ(stats.opened, 2u);
+  EXPECT_EQ(stats.closed, 2u);
+  EXPECT_EQ(stats.ingested, 8u);
+  EXPECT_EQ(stats.active, 0u);
+  EXPECT_GT(stats.epochs, 0u);
+}
+
+TEST(SessionManager, UnknownSessionsAreCountedNotFatal) {
+  SessionManager manager(ServiceConfig{});
+  EXPECT_EQ(manager.feed(42, Symbol::chr('a'), 0), Admit::Accepted);
+  manager.close(42);
+  manager.drain();
+  EXPECT_EQ(manager.stats().unknown, 2u);
+  EXPECT_TRUE(manager.collect().empty());
+}
+
+/// An acceptor whose feed() blocks until the test releases it: pins the
+/// shard worker so ring occupancy becomes deterministic.
+class GateAcceptor final : public OnlineAcceptor {
+public:
+  struct Gate {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool open = false;
+    bool entered = false;
+
+    void release() {
+      std::lock_guard lock(mutex);
+      open = true;
+      cv.notify_all();
+    }
+    void await_entry() {
+      std::unique_lock lock(mutex);
+      cv.wait(lock, [this] { return entered; });
+    }
+  };
+
+  explicit GateAcceptor(std::shared_ptr<Gate> gate) : gate_(std::move(gate)) {}
+
+  Verdict feed(Symbol, Tick) override {
+    std::unique_lock lock(gate_->mutex);
+    gate_->entered = true;
+    gate_->cv.notify_all();
+    gate_->cv.wait(lock, [this] { return gate_->open; });
+    return Verdict::Undetermined;
+  }
+  Verdict finish(StreamEnd) override { return Verdict::Rejecting; }
+  Verdict verdict() const override { return Verdict::Undetermined; }
+  const RunResult& result() const override { return result_; }
+  void reset() override {}
+  std::string name() const override { return "gate"; }
+
+private:
+  std::shared_ptr<Gate> gate_;
+  RunResult result_;
+};
+
+TEST(SessionManager, FullRingShedsWhenConfigured) {
+  ServiceConfig config;
+  config.shards = 1;
+  config.ring_capacity = 2;
+  config.shed_on_full = true;
+  SessionManager manager(config);
+  auto gate = std::make_shared<GateAcceptor::Gate>();
+  const auto id = manager.open(std::make_unique<GateAcceptor>(gate));
+  manager.drain();  // the Open is processed; the worker parks
+
+  EXPECT_EQ(manager.feed(id, Symbol::chr('a'), 0), Admit::Accepted);
+  gate->await_entry();  // worker now blocked inside feed; ring is empty
+  EXPECT_EQ(manager.feed(id, Symbol::chr('b'), 1), Admit::Accepted);
+  EXPECT_EQ(manager.feed(id, Symbol::chr('c'), 2), Admit::Accepted);
+  EXPECT_EQ(manager.feed(id, Symbol::chr('d'), 3), Admit::Shed);
+
+  gate->release();
+  manager.drain();
+  const auto stats = manager.stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.ingested, 3u);
+}
+
+TEST(SessionManager, FullRingBlocksWhenShedDisabled) {
+  ServiceConfig config;
+  config.shards = 1;
+  config.ring_capacity = 1;
+  config.shed_on_full = false;
+  SessionManager manager(config);
+  auto gate = std::make_shared<GateAcceptor::Gate>();
+  const auto id = manager.open(std::make_unique<GateAcceptor>(gate));
+  manager.drain();
+
+  EXPECT_EQ(manager.feed(id, Symbol::chr('a'), 0), Admit::Accepted);
+  gate->await_entry();
+  EXPECT_EQ(manager.feed(id, Symbol::chr('b'), 1), Admit::Accepted);
+  EXPECT_EQ(manager.feed(id, Symbol::chr('c'), 2), Admit::Blocked);
+  gate->release();
+  manager.drain();
+  // After release the ring has space again: the caller's retry succeeds.
+  EXPECT_EQ(manager.feed(id, Symbol::chr('c'), 2), Admit::Accepted);
+  gate->release();
+  manager.drain();
+  EXPECT_EQ(manager.stats().blocked, 1u);
+}
+
+TEST(SessionManager, IdleSessionsAreEvicted) {
+  ServiceConfig config;
+  config.shards = 1;
+  config.idle_epochs = 2;
+  SessionManager manager(config);
+  const auto idle = manager.open(std::make_unique<EngineOnlineAcceptor>(
+      std::make_unique<AcceptAll>()));
+  const auto busy = manager.open(std::make_unique<EngineOnlineAcceptor>(
+      std::make_unique<AcceptAll>()));
+  manager.drain();
+  // Each feed+drain round is at least one shard epoch; the busy session
+  // stays active while the idle one ages out.
+  for (Tick t = 0; t < 6; ++t) {
+    manager.feed(busy, Symbol::chr('a'), t);
+    manager.drain();
+  }
+  auto reports = manager.collect();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].id, idle);
+  EXPECT_TRUE(reports[0].evicted);
+  EXPECT_EQ(manager.stats().evicted, 1u);
+  EXPECT_EQ(manager.stats().active, 1u);
+  manager.close(busy, StreamEnd::Truncated);
+  manager.drain();
+  ASSERT_EQ(manager.collect().size(), 1u);
+}
+
+/// Shard-count invariance: verdicts must not depend on how sessions are
+/// spread over workers.  Runs the same interleaved deadline workload at 1
+/// and at 8 shards and checks every report against the batch engine.
+TEST(SessionManager, ShardCountIsObservationallyIrrelevant) {
+  rtw::sim::Xoshiro256ss rng(0x5eed);
+  struct Job {
+    DeadlineInstance instance;
+    std::shared_ptr<const rtw::deadline::Problem> problem;
+    StreamPrefix prefix;
+    RunResult expected;
+  };
+  RunOptions options;
+  options.horizon = 160;
+  std::vector<Job> jobs;
+  for (int j = 0; j < 24; ++j) {
+    Job job;
+    job.problem = std::make_shared<rtw::deadline::SortProblem>();
+    const auto len = 1 + rng.uniform(std::uint64_t{5});
+    for (std::uint64_t i = 0; i < len; ++i)
+      job.instance.input.push_back(Symbol::nat(rng.uniform(std::uint64_t{9})));
+    job.instance.proposed_output =
+        rng.bernoulli(0.6) ? job.problem->solve(job.instance.input)
+                           : std::vector<Symbol>{Symbol::nat(1)};
+    job.instance.usefulness =
+        Usefulness::firm(5 + rng.uniform(std::uint64_t{30}), 10);
+    job.instance.min_acceptable = 1;
+    const auto word = rtw::deadline::build_deadline_word(job.instance);
+    job.prefix = stream_prefix(word, options.horizon);
+    rtw::deadline::DeadlineAcceptor batch(*job.problem);
+    job.expected = rtw::engine::run(batch, word, options).result;
+    jobs.push_back(std::move(job));
+  }
+
+  for (const unsigned shards : {1u, 8u}) {
+    ServiceConfig config;
+    config.shards = shards;
+    config.ring_capacity = 1 << 16;
+    SessionManager manager(config);
+    std::map<SessionId, const Job*> by_id;
+    for (const auto& job : jobs)
+      by_id[manager.open(rtw::deadline::make_online_acceptor(job.problem,
+                                                             options))] = &job;
+    // Interleave feeds round-robin across sessions: cross-session order
+    // must not matter.
+    for (std::size_t i = 0;; ++i) {
+      bool any = false;
+      for (const auto& [id, job] : by_id) {
+        if (i >= job->prefix.symbols.size()) continue;
+        any = true;
+        ASSERT_EQ(manager.feed(id, job->prefix.symbols[i].sym,
+                               job->prefix.symbols[i].time),
+                  Admit::Accepted);
+      }
+      if (!any) break;
+    }
+    for (const auto& [id, job] : by_id) manager.close(id, job->prefix.end);
+    manager.drain();
+    const auto reports = manager.collect();
+    ASSERT_EQ(reports.size(), jobs.size()) << "shards=" << shards;
+    for (const auto& r : reports) {
+      const auto& expected = by_id.at(r.id)->expected;
+      EXPECT_EQ(r.result.accepted, expected.accepted) << "shards=" << shards;
+      EXPECT_EQ(r.result.exact, expected.exact);
+      EXPECT_EQ(r.result.ticks, expected.ticks);
+      EXPECT_EQ(r.result.f_count, expected.f_count);
+      EXPECT_EQ(r.result.first_f, expected.first_f);
+      EXPECT_EQ(r.result.symbols_consumed, expected.symbols_consumed);
+      EXPECT_EQ(r.verdict == Verdict::Accepting, expected.accepted);
+    }
+  }
+}
+
+TEST(SessionManager, WireDrivenSessions) {
+  std::string stream = rtw::svc::encode_open(1, "accept");
+  stream += rtw::svc::encode_open(2, "reject");
+  stream += rtw::svc::encode_feed(1, {{Symbol::chr('a'), 0},
+                                      {Symbol::chr('b'), 2}});
+  stream += rtw::svc::encode_feed(2, {{Symbol::chr('a'), 1}});
+  stream += rtw::svc::encode_close(1, StreamEnd::Truncated);
+  stream += rtw::svc::encode_close(2, StreamEnd::Truncated);
+
+  const rtw::svc::AcceptorFactory factory =
+      [](SessionId, std::string_view profile)
+      -> std::unique_ptr<OnlineAcceptor> {
+    if (profile == "accept")
+      return std::make_unique<EngineOnlineAcceptor>(
+          std::make_unique<AcceptAll>());
+    if (profile == "reject")
+      return std::make_unique<EngineOnlineAcceptor>(
+          std::make_unique<RejectAll>());
+    return nullptr;
+  };
+
+  SessionManager manager(ServiceConfig{});
+  Decoder decoder;
+  decoder.push(stream);
+  ASSERT_TRUE(decoder.ok());
+  WireEvent ev;
+  while (decoder.next(ev))
+    EXPECT_EQ(manager.apply(ev, factory), Admit::Accepted);
+  manager.drain();
+  const auto reports = manager.collect();
+  ASSERT_EQ(reports.size(), 2u);
+  std::map<SessionId, Verdict> verdicts;
+  for (const auto& r : reports) verdicts[r.id] = r.verdict;
+  EXPECT_EQ(verdicts[1], Verdict::Accepting);
+  EXPECT_EQ(verdicts[2], Verdict::Rejecting);
+}
+
+TEST(SessionManager, ShutdownTruncatesRemainingSessions) {
+  SessionManager manager(ServiceConfig{});
+  const auto id = manager.open(std::make_unique<EngineOnlineAcceptor>(
+      std::make_unique<RejectAll>()));
+  manager.feed(id, Symbol::chr('a'), 0);
+  manager.shutdown(StreamEnd::Truncated);
+  const auto reports = manager.collect();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].id, id);
+  EXPECT_EQ(reports[0].verdict, Verdict::Rejecting);
+  EXPECT_FALSE(reports[0].evicted);
+  EXPECT_EQ(manager.stats().active, 0u);
+}
+
+// ============================================= 6. fault-injected soak
+
+/// One soak round: K deadline sessions encoded as an interleaved frame
+/// stream, mangled by a random FaultPlan, decoded and applied to a
+/// SessionManager while a reference state machine mirrors every decoded
+/// event.  Divergence = failure.
+void soak_round(std::uint64_t seed, unsigned shards) {
+  rtw::sim::Xoshiro256ss rng(seed);
+  RunOptions options;
+  options.horizon = 150;
+
+  struct Spec {
+    std::shared_ptr<const rtw::deadline::Problem> problem;
+    StreamPrefix prefix;
+  };
+  std::map<SessionId, Spec> specs;
+  std::vector<std::vector<std::string>> per_session_frames;
+  const unsigned sessions = 12;
+  for (unsigned s = 0; s < sessions; ++s) {
+    const SessionId id = 1000 + s;
+    Spec spec;
+    spec.problem = std::make_shared<rtw::deadline::SortProblem>();
+    DeadlineInstance inst;
+    const auto len = 1 + rng.uniform(std::uint64_t{5});
+    for (std::uint64_t i = 0; i < len; ++i)
+      inst.input.push_back(Symbol::nat(rng.uniform(std::uint64_t{9})));
+    inst.proposed_output = rng.bernoulli(0.6)
+                               ? spec.problem->solve(inst.input)
+                               : std::vector<Symbol>{Symbol::nat(2)};
+    inst.usefulness = Usefulness::firm(4 + rng.uniform(std::uint64_t{30}), 10);
+    inst.min_acceptable = 1;
+    spec.prefix = stream_prefix(rtw::deadline::build_deadline_word(inst),
+                                options.horizon);
+
+    std::vector<std::string> frames;
+    frames.push_back(rtw::svc::encode_open(id, "sort"));
+    const auto& symbols = spec.prefix.symbols;
+    const std::size_t per_frame = 1 + rng.uniform(std::uint64_t{7});
+    for (std::size_t off = 0; off < symbols.size(); off += per_frame)
+      frames.push_back(rtw::svc::encode_feed(
+          id, {symbols.begin() + off,
+               symbols.begin() +
+                   std::min(symbols.size(), off + per_frame)}));
+    frames.push_back(rtw::svc::encode_close(id, spec.prefix.end));
+    per_session_frames.push_back(std::move(frames));
+    specs.emplace(id, std::move(spec));
+  }
+
+  // Round-robin interleave, then mangle at frame granularity.
+  std::vector<std::string> frames;
+  for (std::size_t i = 0;; ++i) {
+    bool any = false;
+    for (const auto& fs : per_session_frames)
+      if (i < fs.size()) {
+        frames.push_back(fs[i]);
+        any = true;
+      }
+    if (!any) break;
+  }
+  const auto plan = rtw::proptest::random_fault_plan(rng, 2, 24);
+  const auto mangled = rtw::svc::apply_faults(frames, plan);
+
+  ServiceConfig config;
+  config.shards = shards;
+  config.ring_capacity = 1 << 20;  // soak measures divergence, not shedding
+  SessionManager manager(config);
+  const rtw::svc::AcceptorFactory factory =
+      [&](SessionId id, std::string_view) -> std::unique_ptr<OnlineAcceptor> {
+    const auto it = specs.find(id);
+    if (it == specs.end()) return nullptr;
+    return rtw::deadline::make_online_acceptor(it->second.problem, options);
+  };
+
+  // The reference: the same per-session state machine, run inline.
+  std::map<SessionId, rtw::svc::Session> mirror;
+  std::vector<SessionReport> expected;
+  const auto mirror_open = [&](SessionId id) {
+    if (mirror.count(id)) return;  // double open is ignored by the shard
+    mirror.emplace(id, rtw::svc::Session(
+                           id, rtw::deadline::make_online_acceptor(
+                                   specs.at(id).problem, options)));
+  };
+
+  Decoder decoder;
+  std::string stream;
+  for (const auto& f : mangled) stream += f;
+  std::size_t offset = 0;
+  while (offset < stream.size() || true) {
+    if (offset < stream.size()) {
+      const std::size_t chunk =
+          std::min<std::size_t>(1 + rng.uniform(std::uint64_t{96}),
+                                stream.size() - offset);
+      decoder.push(std::string_view(stream).substr(offset, chunk));
+      offset += chunk;
+    }
+    WireEvent ev;
+    while (decoder.next(ev)) {
+      switch (ev.kind) {
+        case WireEvent::Kind::Open:
+          mirror_open(ev.session);
+          manager.apply(ev, factory);
+          break;
+        case WireEvent::Kind::Symbols: {
+          const auto it = mirror.find(ev.session);
+          for (const auto& ts : ev.symbols) {
+            ASSERT_EQ(manager.feed(ev.session, ts.sym, ts.time),
+                      Admit::Accepted);
+            if (it != mirror.end()) it->second.feed(ts.sym, ts.time);
+          }
+          break;
+        }
+        case WireEvent::Kind::Close: {
+          manager.close(ev.session, ev.end);
+          const auto it = mirror.find(ev.session);
+          if (it != mirror.end()) {
+            it->second.finish(ev.end);
+            expected.push_back(it->second.report(false));
+            mirror.erase(it);
+          }
+          break;
+        }
+      }
+    }
+    if (offset >= stream.size()) break;
+  }
+  ASSERT_TRUE(decoder.ok()) << decoder.error();
+
+  // Sessions whose Close was dropped are swept by the graceful shutdown.
+  manager.shutdown(StreamEnd::Truncated);
+  for (auto& [id, session] : mirror) {
+    session.finish(StreamEnd::Truncated);
+    expected.push_back(session.report(false));
+  }
+  mirror.clear();
+
+  auto reports = manager.collect();
+  ASSERT_EQ(reports.size(), expected.size())
+      << "seed=" << seed << " shards=" << shards;
+  // Per-id chronological order is preserved on both sides; across ids the
+  // order is arbitrary, so compare sorted by (id, sequence).
+  const auto order = [](const SessionReport& a, const SessionReport& b) {
+    return a.id < b.id;
+  };
+  std::stable_sort(reports.begin(), reports.end(), order);
+  std::stable_sort(expected.begin(), expected.end(), order);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const auto& got = reports[i];
+    const auto& want = expected[i];
+    ASSERT_EQ(got.id, want.id) << "seed=" << seed << " shards=" << shards;
+    EXPECT_EQ(got.verdict, want.verdict)
+        << "seed=" << seed << " shards=" << shards << " id=" << got.id;
+    EXPECT_EQ(got.result.accepted, want.result.accepted);
+    EXPECT_EQ(got.result.exact, want.result.exact);
+    EXPECT_EQ(got.result.ticks, want.result.ticks);
+    EXPECT_EQ(got.result.f_count, want.result.f_count);
+    EXPECT_EQ(got.result.first_f, want.result.first_f);
+    EXPECT_EQ(got.result.symbols_consumed, want.result.symbols_consumed);
+    EXPECT_EQ(got.fed, want.fed);
+    EXPECT_EQ(got.stale_dropped, want.stale_dropped);
+  }
+}
+
+TEST(SvcSoak, FaultedWireStreamsNeverDiverge) {
+  rtw::obs::init_from_env();  // RTW_TRACE=<path> records the soak's spans
+  double seconds = 1.0;
+  if (const char* env = std::getenv("RTW_SVC_SOAK_SECONDS"))
+    seconds = std::atof(env);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(seconds);
+  std::uint64_t round = 0;
+  do {
+    soak_round(0x50414bULL + round, round % 2 ? 8u : 1u);
+    ++round;
+  } while (std::chrono::steady_clock::now() < deadline &&
+           !::testing::Test::HasFailure());
+  std::cout << "[svc-soak] rounds=" << round << "\n";
+  rtw::obs::flush_env_trace();
+}
+
+}  // namespace
