@@ -1,0 +1,335 @@
+// EXP-INGRESS: latency under offered load (the backpressure knee).
+//
+// A paced producer offers symbols at a *target* rate (yield-waiting
+// between micro-batches so the offered load, not the producer's raw
+// speed, is the independent variable) against a SessionManager whose
+// shard workers run a calibrated per-symbol workload.  Sweeping the
+// target rate across the service's capacity traces the knee:
+//
+//   * below capacity: ingested rate == offered rate, shed ~0, feed
+//     latency flat (a ring slot is drained almost immediately),
+//   * above capacity: ingested rate plateaus, shed rate climbs with
+//     load, and the feed latency p99 explodes as rings run full.
+//
+// Sessions carry a 10/80/10 High/Normal/Low priority mix, so the
+// overloaded cells also show *who* gets shed (the priority watermarks
+// shed Low first, then Normal -- see the shed_* reason fields).
+//
+// Stdout carries the human table; `--json=PATH` appends JSONL (CI runs
+// two load points per shard count, checks well-formedness + knee
+// monotonicity, and archives the records; the committed sweep lives in
+// BENCH_ingress.json).
+//
+// Flags (defaults are CI-smoke sized -- a couple of seconds total):
+//   --sessions=200       concurrent sessions
+//   --shards=1,2         shard counts to sweep
+//   --loads=0.5,1,2,4    offered-load multipliers over --base_rate
+//   --base_rate=2000000  symbols/s at load 1.0
+//   --duration_ms=150    offering window per cell
+//   --batch=64           producer-side run length per admission
+//   --ring=1024          ring slots per shard
+//   --work=400           spin iterations per symbol on the shard worker
+//                        (calibrates service capacity so the knee lands
+//                        inside the default load sweep)
+//   --json=PATH          append JSONL records
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rtw/core/online.hpp"
+#include "rtw/sim/jsonl.hpp"
+#include "rtw/svc/service.hpp"
+
+namespace {
+
+using namespace rtw::core;
+using rtw::svc::Admit;
+using rtw::svc::Priority;
+using rtw::svc::ServiceConfig;
+using rtw::svc::SessionId;
+using rtw::svc::SessionManager;
+
+/// Burns a calibrated number of iterations per arrival: stands in for a
+/// real acceptor's per-symbol work so service capacity is a knob.
+class SpinningAlgorithm final : public RealTimeAlgorithm {
+public:
+  explicit SpinningAlgorithm(std::uint64_t spins) : spins_(spins) {}
+  void on_tick(const StepContext& ctx) override {
+    for (std::size_t a = 0; a < ctx.arrivals.size(); ++a) {
+      volatile std::uint64_t sink = 0;
+      for (std::uint64_t i = 0; i < spins_; ++i) sink = sink + i;
+    }
+  }
+  std::optional<bool> locked() const override { return std::nullopt; }
+  void reset() override {}
+  std::string name() const override { return "spinning"; }
+
+private:
+  std::uint64_t spins_;
+};
+
+struct Percentiles {
+  std::uint64_t p50 = 0;
+  std::uint64_t p99 = 0;
+};
+
+Percentiles percentiles(std::vector<std::uint64_t> samples) {
+  Percentiles p;
+  if (samples.empty()) return p;
+  std::sort(samples.begin(), samples.end());
+  p.p50 = samples[samples.size() / 2];
+  p.p99 = samples[std::min(samples.size() - 1, samples.size() * 99 / 100)];
+  return p;
+}
+
+struct Cell {
+  unsigned shards = 0;
+  double load = 0;                ///< multiplier over base_rate
+  double target_rate = 0;         ///< symbols/s the producer aims for
+  std::uint64_t offered = 0;
+  double offered_rate = 0;        ///< what the pacing actually achieved
+  std::uint64_t ingested = 0;
+  double ingested_rate = 0;
+  double shed_rate = 0;
+  std::uint64_t shed_ring_full = 0;
+  std::uint64_t shed_session_bound = 0;
+  std::uint64_t shed_priority = 0;
+  double wall_s = 0;
+  Percentiles admit_ns;
+  Percentiles feed_ns;
+};
+
+Priority priority_of(unsigned session) {
+  if (session % 10 == 0) return Priority::High;   // 10%
+  if (session % 10 == 9) return Priority::Low;    // 10%
+  return Priority::Normal;                        // 80%
+}
+
+Cell run_cell(unsigned sessions, unsigned shards, double load,
+              double base_rate, std::uint64_t duration_ms, std::size_t batch,
+              std::size_t ring, std::uint64_t work) {
+  using clock = std::chrono::steady_clock;
+
+  ServiceConfig config;
+  config.shards = shards;
+  config.ring_capacity = ring;
+  config.shed_on_full = true;
+  SessionManager manager(config);
+
+  RunOptions options;
+  options.horizon = Tick{1} << 40;  // duration-bounded cells, not tick-bounded
+  std::vector<SessionId> ids;
+  ids.reserve(sessions);
+  for (unsigned s = 0; s < sessions; ++s)
+    ids.push_back(
+        manager.open(std::make_unique<EngineOnlineAcceptor>(
+                         std::make_unique<SpinningAlgorithm>(work), options),
+                     priority_of(s)));
+  manager.drain();
+
+  std::vector<std::vector<TimedSymbol>> buffers(sessions);
+  for (auto& b : buffers) b.reserve(batch);
+
+  Cell cell;
+  cell.shards = shards;
+  cell.load = load;
+  cell.target_rate = base_rate * load;
+
+  std::vector<std::uint64_t> admit_samples;
+  std::uint64_t flushes = 0;
+  const auto flush = [&](unsigned s) {
+    if (buffers[s].empty()) return;
+    if ((flushes++ & 15) == 0) {
+      const auto t0 = clock::now();
+      manager.feed_batch(ids[s], std::move(buffers[s]));
+      admit_samples.push_back(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                               t0)
+              .count()));
+    } else {
+      manager.feed_batch(ids[s], std::move(buffers[s]));
+    }
+    buffers[s].clear();
+  };
+
+  const auto start = clock::now();
+  const auto offer_deadline = start + std::chrono::milliseconds(duration_ms);
+  const double ns_per_symbol = 1e9 / cell.target_rate;
+  Tick t = 0;
+  unsigned s = 0;
+  for (;;) {
+    // Pace: this symbol is due at start + offered * (1/rate).  Yield past
+    // any lead the producer has built up, then offer the next symbol.
+    const auto due =
+        start + std::chrono::nanoseconds(static_cast<std::uint64_t>(
+                    static_cast<double>(cell.offered) * ns_per_symbol));
+    while (clock::now() < due) std::this_thread::yield();
+    if (clock::now() >= offer_deadline) break;
+    ++cell.offered;
+    buffers[s].push_back({Symbol::chr('a'), t});
+    if (buffers[s].size() >= batch) flush(s);
+    if (++s == sessions) {
+      s = 0;
+      ++t;  // one monotone tick per round-robin lap
+    }
+  }
+  for (unsigned i = 0; i < sessions; ++i) flush(i);
+  const auto offered_stop = clock::now();
+  for (const auto id : ids) manager.close(id, StreamEnd::Truncated);
+  manager.drain();
+  const auto stop = clock::now();
+
+  const auto stats = manager.stats();
+  const double offer_s =
+      std::chrono::duration<double>(offered_stop - start).count();
+  cell.wall_s = std::chrono::duration<double>(stop - start).count();
+  cell.offered_rate =
+      offer_s > 0 ? static_cast<double>(cell.offered) / offer_s : 0;
+  cell.ingested = stats.ingested;
+  cell.ingested_rate =
+      cell.wall_s > 0 ? static_cast<double>(cell.ingested) / cell.wall_s : 0;
+  cell.shed_rate = cell.offered ? static_cast<double>(stats.shed) /
+                                      static_cast<double>(cell.offered)
+                                : 0;
+  cell.shed_ring_full = stats.shed_ring_full;
+  cell.shed_session_bound = stats.shed_session_bound;
+  cell.shed_priority = stats.shed_priority;
+  cell.admit_ns = percentiles(std::move(admit_samples));
+  cell.feed_ns = percentiles(manager.take_feed_latency_samples());
+  if (manager.collect().size() != sessions)
+    std::cerr << "WARNING: report count != sessions\n";
+  return cell;
+}
+
+std::vector<unsigned> parse_unsigned_csv(const std::string& text) {
+  std::vector<unsigned> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const auto comma = text.find(',', pos);
+    const auto part = text.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (!part.empty()) out.push_back(static_cast<unsigned>(std::stoul(part)));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::vector<double> parse_double_csv(const std::string& text) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const auto comma = text.find(',', pos);
+    const auto part = text.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (!part.empty()) out.push_back(std::stod(part));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  unsigned sessions = 200;
+  std::vector<unsigned> shard_counts = {1, 2};
+  std::vector<double> loads = {0.5, 1.0, 2.0, 4.0};
+  double base_rate = 2e6;
+  std::uint64_t duration_ms = 150;
+  std::size_t batch = 64;
+  std::size_t ring = 1024;
+  std::uint64_t work = 400;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&arg](std::string_view flag) {
+      return arg.substr(flag.size());
+    };
+    if (arg.rfind("--json=", 0) == 0) json_path = value("--json=");
+    else if (arg.rfind("--sessions=", 0) == 0)
+      sessions = static_cast<unsigned>(std::stoul(value("--sessions=")));
+    else if (arg.rfind("--shards=", 0) == 0)
+      shard_counts = parse_unsigned_csv(value("--shards="));
+    else if (arg.rfind("--loads=", 0) == 0)
+      loads = parse_double_csv(value("--loads="));
+    else if (arg.rfind("--base_rate=", 0) == 0)
+      base_rate = std::stod(value("--base_rate="));
+    else if (arg.rfind("--duration_ms=", 0) == 0)
+      duration_ms = std::stoull(value("--duration_ms="));
+    else if (arg.rfind("--batch=", 0) == 0)
+      batch = std::stoull(value("--batch="));
+    else if (arg.rfind("--ring=", 0) == 0)
+      ring = std::stoull(value("--ring="));
+    else if (arg.rfind("--work=", 0) == 0)
+      work = std::stoull(value("--work="));
+    else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return 2;
+    }
+  }
+  if (batch == 0) batch = 1;
+
+  std::cout << "==========================================================\n";
+  std::cout << " EXP-INGRESS: offered load -> ingest/shed/latency knee\n";
+  std::cout << " sessions " << sessions << ", base rate " << base_rate / 1e6
+            << " Msym/s, " << duration_ms << " ms/cell, batch " << batch
+            << ", ring " << ring << ", work " << work << "\n";
+  std::cout << "==========================================================\n\n";
+  std::cout << " shards  load   offered(M/s)  ingested(M/s)   shed%"
+               "   feed p50/p99(us)\n";
+  std::cout << " ---------------------------------------------------------"
+               "--------\n";
+
+  std::vector<std::string> json;
+  for (const auto shards : shard_counts) {
+    for (const auto load : loads) {
+      const auto cell = run_cell(sessions, shards, load, base_rate,
+                                 duration_ms, batch, ring, work);
+      std::printf(" %6u  %4.2f  %12.3f  %13.3f  %6.2f  %8.1f /%8.1f\n",
+                  cell.shards, cell.load, cell.offered_rate / 1e6,
+                  cell.ingested_rate / 1e6, 100.0 * cell.shed_rate,
+                  static_cast<double>(cell.feed_ns.p50) / 1e3,
+                  static_cast<double>(cell.feed_ns.p99) / 1e3);
+      json.push_back(rtw::sim::bench_record("ingress")
+                         .field("sessions", sessions)
+                         .field("shards", cell.shards)
+                         .field("load", cell.load)
+                         .field("target_rate", cell.target_rate)
+                         .field("offered", cell.offered)
+                         .field("offered_rate", cell.offered_rate)
+                         .field("ingested", cell.ingested)
+                         .field("ingested_rate", cell.ingested_rate)
+                         .field("shed_rate", cell.shed_rate)
+                         .field("shed_ring_full", cell.shed_ring_full)
+                         .field("shed_session_bound", cell.shed_session_bound)
+                         .field("shed_priority", cell.shed_priority)
+                         .field("batch", batch)
+                         .field("ring", ring)
+                         .field("work", work)
+                         .field("wall_s", cell.wall_s)
+                         .field("p50_admit_ns", cell.admit_ns.p50)
+                         .field("p99_admit_ns", cell.admit_ns.p99)
+                         .field("p50_feed_ns", cell.feed_ns.p50)
+                         .field("p99_feed_ns", cell.feed_ns.p99)
+                         .str());
+    }
+    std::cout << "\n";
+  }
+
+  std::cout << "--- jsonl ------------------------------------------------\n";
+  for (const auto& line : json) std::cout << line << "\n";
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::app);
+    for (const auto& line : json) out << line << "\n";
+  }
+  return 0;
+}

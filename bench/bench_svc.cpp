@@ -2,21 +2,38 @@
 //
 // Each cell opens S sessions over a SessionManager with N shards, feeds
 // every session the same number of monotone symbols round-robin from one
-// producer thread, then closes everything Truncated and drains.  Reported
-// per cell:
+// producer thread -- buffered per session and admitted as feed_batch runs
+// (one ring slot per run) -- then closes everything Truncated and drains.
+// Reported per cell:
 //   * aggregate symbols/s (ingested / wall time, producer-side),
-//   * shed rate under the bounded per-shard rings,
-//   * p50/p99 feed() latency in ns (sampled every 16th call).
+//   * shed rate under the bounded per-shard rings, broken down by reason
+//     (ring_full / session_bound / priority),
+//   * p50/p99 *admit* latency in ns: the producer-side cost of one
+//     batched admission call (sampled every 16th run),
+//   * p50/p99 *feed* latency in ns: enqueue -> shard-worker-process delta
+//     from the manager's sampled stamps -- the time a symbol actually
+//     waited in the ring, which the old bench conflated with admission
+//     cost and reported as a constant.
 //
 // The per-session acceptor is a non-locking counting algorithm behind
 // EngineOnlineAcceptor: every feed drives one real emulated tick, so the
 // cell measures the full ring -> shard worker -> engine path rather than a
-// latched no-op.  Stdout carries the human table; `--svc_json=PATH`
-// appends the JSONL records (CI scrapes them into BENCH_svc.json).
+// latched no-op.  Stdout carries the human table; `--json=PATH` (alias
+// `--svc_json=PATH`) appends the JSONL records (CI scrapes them into
+// BENCH_svc.json).
+//
+// Flags (defaults reproduce the committed BENCH_svc.json sweep):
+//   --sessions=100,1000   session counts to sweep
+//   --shards=1,2,4,8      shard counts to sweep
+//   --symbols=2000        symbols per session
+//   --batch=256           producer-side run length (1 = per-symbol feeds)
+//   --ring=4096           ring slots per shard
+//   --json=PATH           append JSONL records
 
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -50,26 +67,44 @@ private:
   std::uint64_t seen_ = 0;
 };
 
+struct Percentiles {
+  std::uint64_t p50 = 0;
+  std::uint64_t p99 = 0;
+};
+
+Percentiles percentiles(std::vector<std::uint64_t> samples) {
+  Percentiles p;
+  if (samples.empty()) return p;
+  std::sort(samples.begin(), samples.end());
+  p.p50 = samples[samples.size() / 2];
+  p.p99 = samples[std::min(samples.size() - 1, samples.size() * 99 / 100)];
+  return p;
+}
+
 struct Cell {
   unsigned sessions = 0;
   unsigned shards = 0;
   std::uint64_t symbols = 0;      ///< total admitted (ingested)
-  std::uint64_t offered = 0;      ///< total feed() calls
+  std::uint64_t offered = 0;      ///< total symbols offered
   std::uint64_t shed = 0;
+  std::uint64_t shed_ring_full = 0;
+  std::uint64_t shed_session_bound = 0;
+  std::uint64_t shed_priority = 0;
   double wall_s = 0;
   double symbols_per_sec = 0;
   double shed_rate = 0;
-  std::uint64_t p50_feed_ns = 0;
-  std::uint64_t p99_feed_ns = 0;
+  Percentiles admit_ns;   ///< producer-side cost of one admission call
+  Percentiles feed_ns;    ///< enqueue -> worker-process ring wait
 };
 
 Cell run_cell(unsigned sessions, unsigned shards,
-              std::uint64_t symbols_per_session) {
+              std::uint64_t symbols_per_session, std::size_t batch,
+              std::size_t ring) {
   using clock = std::chrono::steady_clock;
 
   ServiceConfig config;
   config.shards = shards;
-  config.ring_capacity = 4096;
+  config.ring_capacity = ring;
   config.shed_on_full = true;   // overload -> shed, producer never stalls
   SessionManager manager(config);
 
@@ -82,36 +117,53 @@ Cell run_cell(unsigned sessions, unsigned shards,
         std::make_unique<CountingAlgorithm>(), options)));
   manager.drain();
 
-  std::vector<std::uint64_t> samples;
-  samples.reserve(sessions * symbols_per_session / 16 + 1);
+  // Per-session producer buffers: symbols accumulate in offer order and
+  // flush as one all-or-nothing feed_batch run of `batch` elements.
+  std::vector<std::vector<TimedSymbol>> buffers(sessions);
+  for (auto& b : buffers) b.reserve(batch);
+
+  std::vector<std::uint64_t> admit_samples;
+  admit_samples.reserve(sessions * symbols_per_session / (16 * batch) + 1);
 
   Cell cell;
   cell.sessions = sessions;
   cell.shards = shards;
   const Symbol sym = Symbol::chr('a');
+  std::uint64_t flushes = 0;
+  const auto flush = [&](unsigned s) {
+    if (buffers[s].empty()) return;
+    if ((flushes++ & 15) == 0) {
+      const auto t0 = clock::now();
+      manager.feed_batch(ids[s], std::move(buffers[s]));
+      admit_samples.push_back(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                               t0)
+              .count()));
+    } else {
+      manager.feed_batch(ids[s], std::move(buffers[s]));
+    }
+    buffers[s].clear();
+  };
+
   const auto start = clock::now();
-  std::uint64_t call = 0;
   for (Tick t = 0; t < symbols_per_session; ++t) {
-    for (const auto id : ids) {
+    for (unsigned s = 0; s < sessions; ++s) {
       ++cell.offered;
-      if ((call++ & 15) == 0) {
-        const auto t0 = clock::now();
-        if (manager.feed(id, sym, t) == Admit::Shed) ++cell.shed;
-        samples.push_back(static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                clock::now() - t0)
-                .count()));
-      } else if (manager.feed(id, sym, t) == Admit::Shed) {
-        ++cell.shed;
-      }
+      buffers[s].push_back({sym, t});
+      if (buffers[s].size() >= batch) flush(s);
     }
   }
+  for (unsigned s = 0; s < sessions; ++s) flush(s);
   for (const auto id : ids) manager.close(id, StreamEnd::Truncated);
   manager.drain();
   const auto stop = clock::now();
 
   const auto stats = manager.stats();
   cell.symbols = stats.ingested;
+  cell.shed = stats.shed;
+  cell.shed_ring_full = stats.shed_ring_full;
+  cell.shed_session_bound = stats.shed_session_bound;
+  cell.shed_priority = stats.shed_priority;
   cell.wall_s = std::chrono::duration<double>(stop - start).count();
   cell.symbols_per_sec =
       cell.wall_s > 0 ? static_cast<double>(cell.symbols) / cell.wall_s : 0;
@@ -119,58 +171,102 @@ Cell run_cell(unsigned sessions, unsigned shards,
                        ? static_cast<double>(cell.shed) /
                              static_cast<double>(cell.offered)
                        : 0;
-  std::sort(samples.begin(), samples.end());
-  if (!samples.empty()) {
-    cell.p50_feed_ns = samples[samples.size() / 2];
-    cell.p99_feed_ns = samples[std::min(samples.size() - 1,
-                                        samples.size() * 99 / 100)];
-  }
+  cell.admit_ns = percentiles(std::move(admit_samples));
+  cell.feed_ns = percentiles(manager.take_feed_latency_samples());
   // Sanity: every opened session must come back exactly once.
   if (manager.collect().size() != sessions)
     std::cerr << "WARNING: report count != sessions\n";
   return cell;
 }
 
+std::vector<unsigned> parse_csv(const std::string& text) {
+  std::vector<unsigned> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const auto comma = text.find(',', pos);
+    const auto part = text.substr(pos, comma == std::string::npos
+                                           ? std::string::npos
+                                           : comma - pos);
+    if (!part.empty()) out.push_back(static_cast<unsigned>(std::stoul(part)));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::vector<unsigned> session_counts = {100, 1000};
+  std::vector<unsigned> shard_counts = {1, 2, 4, 8};
+  std::uint64_t symbols_per_session = 2000;
+  std::size_t batch = 256;
+  std::size_t ring = 4096;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--svc_json=", 0) == 0) json_path = arg.substr(11);
+    const auto value = [&arg](std::string_view flag) {
+      return arg.substr(flag.size());
+    };
+    if (arg.rfind("--svc_json=", 0) == 0) json_path = value("--svc_json=");
+    else if (arg.rfind("--json=", 0) == 0) json_path = value("--json=");
+    else if (arg.rfind("--sessions=", 0) == 0)
+      session_counts = parse_csv(value("--sessions="));
+    else if (arg.rfind("--shards=", 0) == 0)
+      shard_counts = parse_csv(value("--shards="));
+    else if (arg.rfind("--symbols=", 0) == 0)
+      symbols_per_session = std::stoull(value("--symbols="));
+    else if (arg.rfind("--batch=", 0) == 0)
+      batch = std::stoull(value("--batch="));
+    else if (arg.rfind("--ring=", 0) == 0)
+      ring = std::stoull(value("--ring="));
+    else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return 2;
+    }
   }
-
-  const std::vector<unsigned> session_counts = {100, 1000};
-  const std::vector<unsigned> shard_counts = {1, 2, 4, 8};
-  const std::uint64_t symbols_per_session = 2000;
+  if (batch == 0) batch = 1;
 
   std::cout << "==========================================================\n";
   std::cout << " EXP-SVC: sessions x shards, " << symbols_per_session
-            << " symbols/session, ring 4096, shed-on-full\n";
+            << " symbols/session, ring " << ring << ", batch " << batch
+            << ", shed-on-full\n";
   std::cout << "==========================================================\n\n";
-  std::cout << " sessions  shards    Msym/s   shed%   p50(ns)   p99(ns)\n";
-  std::cout << " -----------------------------------------------------\n";
+  std::cout << " sessions  shards    Msym/s   shed%  admit p50/p99(ns)"
+               "  feed p50/p99(us)\n";
+  std::cout << " ---------------------------------------------------------"
+               "----------\n";
 
   std::vector<std::string> json;
   for (const auto sessions : session_counts) {
     for (const auto shards : shard_counts) {
-      const auto cell = run_cell(sessions, shards, symbols_per_session);
-      std::printf(" %8u  %6u  %8.3f  %6.2f  %8llu  %8llu\n", cell.sessions,
-                  cell.shards, cell.symbols_per_sec / 1e6,
+      const auto cell =
+          run_cell(sessions, shards, symbols_per_session, batch, ring);
+      std::printf(" %8u  %6u  %8.3f  %6.2f  %8llu /%8llu  %8.1f /%8.1f\n",
+                  cell.sessions, cell.shards, cell.symbols_per_sec / 1e6,
                   100.0 * cell.shed_rate,
-                  static_cast<unsigned long long>(cell.p50_feed_ns),
-                  static_cast<unsigned long long>(cell.p99_feed_ns));
+                  static_cast<unsigned long long>(cell.admit_ns.p50),
+                  static_cast<unsigned long long>(cell.admit_ns.p99),
+                  static_cast<double>(cell.feed_ns.p50) / 1e3,
+                  static_cast<double>(cell.feed_ns.p99) / 1e3);
       json.push_back(rtw::sim::bench_record("svc")
                          .field("sessions", cell.sessions)
                          .field("shards", cell.shards)
                          .field("symbols_per_session", symbols_per_session)
+                         .field("batch", batch)
+                         .field("ring", ring)
                          .field("symbols_ingested", cell.symbols)
                          .field("symbols_offered", cell.offered)
                          .field("wall_s", cell.wall_s)
                          .field("symbols_per_sec", cell.symbols_per_sec)
                          .field("shed_rate", cell.shed_rate)
-                         .field("p50_feed_ns", cell.p50_feed_ns)
-                         .field("p99_feed_ns", cell.p99_feed_ns)
+                         .field("shed_ring_full", cell.shed_ring_full)
+                         .field("shed_session_bound", cell.shed_session_bound)
+                         .field("shed_priority", cell.shed_priority)
+                         .field("p50_admit_ns", cell.admit_ns.p50)
+                         .field("p99_admit_ns", cell.admit_ns.p99)
+                         .field("p50_feed_ns", cell.feed_ns.p50)
+                         .field("p99_feed_ns", cell.feed_ns.p99)
                          .str());
     }
     std::cout << "\n";

@@ -5,12 +5,13 @@
 ///
 /// Threading model (the whole point of the design):
 ///
-///   producers --> per-shard bounded ingress ring (mutex-guarded MPSC)
+///   producers --> per-shard lock-free MPSC ring (Vyukov slot sequencing)
 ///                      |
 ///                      v   at-most-one worker per shard (atomic handoff)
 ///                 shard worker on the sim::ThreadPool
-///                      |   drains a batch per EventQueue epoch
-///                      v
+///                      |   drains up to drain_batch ring slots per
+///                      |   EventQueue epoch; a slot may carry a whole
+///                      v   run of symbols (batched admission)
 ///                 sessions (hash-sharded by id; worker-private, lock-free)
 ///
 /// A session id hashes to exactly one shard, every command for it goes
@@ -18,27 +19,38 @@
 /// touched by the one worker currently holding the shard's `scheduled`
 /// flag -- so per-session processing needs no locks at all, and a
 /// session's commands are processed in submission order.  The handoff
-/// protocol is the classic lost-wakeup-free pattern: a producer that
-/// flips `scheduled` false->true posts a worker task; the worker, after
-/// draining, stores false and re-checks the ring, re-electing itself if
-/// a command slipped in between.
+/// protocol is the classic lost-wakeup-free pattern, built entirely on
+/// RMW operations so it composes with the lock-free ring: a producer that
+/// flips `scheduled` false->true posts a worker task; the worker parks by
+/// *exchanging* `scheduled` to false (the RMW reads the latest producer
+/// election attempt, so the producer's ring publication happens-before
+/// the worker's re-check) and re-elects itself if a command slipped in.
+///
+/// Hot-path cost for a producer: one approx-occupancy read, at most one
+/// hint-table probe, one CAS ring claim, one release store, one RMW on
+/// the election flag.  No mutex, no syscall, no allocation beyond the
+/// command's own payload.
+///
+/// Backpressure is explicit and adaptive.  The data plane is bounded by
+/// `ring_capacity` ring slots; instead of first-come-first-shed, admission
+/// sheds by *priority watermarks*: above `watermark_low` occupancy only
+/// Normal and High priority sessions are admitted, above `watermark_high`
+/// only High, and a genuinely full ring sheds (or blocks) everything.
+/// A per-session in-flight quota (`session_quota`) prevents one hot
+/// session from monopolizing the ring, and an optional age watermark
+/// (`max_queue_delay_ns`) lets the worker drop data that waited in the
+/// ring past its freshness bound.  Every shed is counted under its
+/// reason: `ring_full`, `session_bound`, or `priority` (watermark + age).
+/// Control commands (open/close/shutdown) bypass every bound through the
+/// physical headroom the ring over-allocates: shedding a Close would leak
+/// the session, so only the data plane sheds.
 ///
 /// Each shard advances a private sim::EventQueue one tick per drained
 /// batch; that tick count is the shard's *epoch* clock, against which
-/// idle sessions are aged and evicted.  (The queue also keeps the door
-/// open for in-shard timers -- periodic snapshots, per-session deadlines
-/// -- without changing the threading story.)
-///
-/// Backpressure is explicit: feed() returns Admit::Accepted when the
-/// command was enqueued, Admit::Shed when the shard's ring was full and
-/// the config says to drop (counted, never silent), or Admit::Blocked
-/// when the config says the *caller* should wait and retry.  Control
-/// commands (open/close/shutdown) bypass the bound: shedding a Close
-/// would leak the session, so only the data plane sheds.
+/// idle sessions are aged and evicted.
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -51,44 +63,80 @@
 #include "rtw/core/online.hpp"
 #include "rtw/sim/event_queue.hpp"
 #include "rtw/sim/thread_pool.hpp"
+#include "rtw/svc/ring.hpp"
 #include "rtw/svc/session.hpp"
 #include "rtw/svc/wire.hpp"
 
 namespace rtw::svc {
 
-/// Ingress verdict for one command.
+/// Ingress verdict for one command (or one batched run of symbols --
+/// batched admission is all-or-nothing, a run never tears).
 enum class Admit : std::uint8_t {
   Accepted,  ///< enqueued on the session's shard
-  Shed,      ///< ring full, command dropped (shed_on_full = true)
-  Blocked,   ///< ring full, caller should retry (shed_on_full = false)
+  Shed,      ///< dropped at admission (shed_on_full = true)
+  Blocked,   ///< not admitted, caller should retry (shed_on_full = false)
+};
+
+/// Why a Shed (or Blocked) verdict was returned.
+enum class ShedReason : std::uint8_t {
+  None,          ///< admitted
+  RingFull,      ///< the shard ring had no free data-plane slot
+  SessionBound,  ///< the session's in-flight quota was exhausted
+  Priority,      ///< priority/age watermark shed under load
 };
 
 std::string to_string(Admit a);
+std::string to_string(ShedReason r);
 
 struct ServiceConfig {
-  unsigned shards = 1;            ///< worker count (and ring count)
-  std::size_t ring_capacity = 1024;  ///< per-shard ingress bound (data plane)
-  bool shed_on_full = true;       ///< full ring: true = Shed, false = Blocked
+  unsigned shards = 1;  ///< worker count (and ring count)
+  /// Data-plane bound per shard, in ring slots (a slot holds one command:
+  /// a single symbol or a whole batched run).  The physical ring is
+  /// allocated with extra headroom so control commands always land.
+  std::size_t ring_capacity = 1024;
+  bool shed_on_full = true;  ///< full ring: true = Shed, false = Blocked
   /// Sessions idle for this many shard epochs are finished
   /// (StreamEnd::Truncated) and reported with `evicted = true`.
   /// 0 disables eviction.
   std::uint64_t idle_epochs = 0;
-  std::size_t drain_batch = 256;  ///< commands per shard epoch
+  std::size_t drain_batch = 256;  ///< ring slots per shard epoch
+  /// Max in-flight (admitted, not yet processed) symbols per session;
+  /// 0 disables the quota.  Exceeding it sheds with `SessionBound`.
+  std::size_t session_quota = 0;
+  /// Occupancy fraction above which Priority::Low data is shed.
+  double watermark_low = 0.5;
+  /// Occupancy fraction above which Priority::Normal data is also shed
+  /// (High survives until the ring is physically full).
+  double watermark_high = 0.875;
+  /// Worker-side age watermark: a non-High data command that waited in
+  /// the ring longer than this many steady-clock ns is dropped (counted
+  /// as a Priority shed) instead of fed.  0 disables.
+  std::uint64_t max_queue_delay_ns = 0;
+  /// Per-shard capacity of the lock-free priority/quota hint table.
+  std::size_t session_slots = 8192;
+  /// Stamp every Nth data command with its enqueue time and record the
+  /// enqueue->process delta (the true feed latency) on the worker.
+  /// 0 disables sampling; age shedding stamps every command regardless.
+  std::size_t latency_sample_every = 16;
 };
 
 /// Monotone service-wide tallies (mirrored into obs metrics when a sink
 /// is installed).
 struct ServiceStats {
   std::uint64_t opened = 0;
-  std::uint64_t closed = 0;      ///< includes evicted
-  std::uint64_t ingested = 0;    ///< symbols delivered to a session
-  std::uint64_t shed = 0;        ///< symbols dropped at a full ring
-  std::uint64_t blocked = 0;     ///< Blocked verdicts returned
-  std::uint64_t stale = 0;       ///< symbols dropped by the time filter
-  std::uint64_t evicted = 0;     ///< sessions closed by idle eviction
-  std::uint64_t unknown = 0;     ///< commands for sessions that don't exist
-  std::uint64_t active = 0;      ///< currently open sessions
-  std::uint64_t epochs = 0;      ///< summed shard epoch count
+  std::uint64_t closed = 0;       ///< includes evicted
+  std::uint64_t ingested = 0;     ///< symbols delivered to a session
+  std::uint64_t shed = 0;         ///< symbols shed, all reasons
+  std::uint64_t shed_ring_full = 0;      ///< ... at a physically full ring
+  std::uint64_t shed_session_bound = 0;  ///< ... by the per-session quota
+  std::uint64_t shed_priority = 0;       ///< ... by priority/age watermarks
+  std::uint64_t blocked = 0;      ///< Blocked verdicts returned
+  std::uint64_t stale = 0;        ///< symbols dropped by the time filter
+  std::uint64_t evicted = 0;      ///< sessions closed by idle eviction
+  std::uint64_t unknown = 0;      ///< commands for sessions that don't exist
+  std::uint64_t active = 0;       ///< currently open sessions
+  std::uint64_t epochs = 0;       ///< summed shard epoch count
+  std::uint64_t batches = 0;      ///< ring slots drained (batch granularity)
 };
 
 /// Builds the acceptor for a wire-opened session; `profile` is the Open
@@ -108,14 +156,23 @@ public:
   // ------------------------------------------------------- direct API
 
   /// Opens a session under a fresh id (control plane: never shed).
-  SessionId open(std::unique_ptr<core::OnlineAcceptor> acceptor);
+  SessionId open(std::unique_ptr<core::OnlineAcceptor> acceptor,
+                 Priority priority = Priority::Normal);
   /// Opens a session under a caller-chosen id (wire replay).  Opening an
   /// id that is already live is counted as `unknown` and ignored by the
   /// shard worker.
-  void open(SessionId id, std::unique_ptr<core::OnlineAcceptor> acceptor);
+  void open(SessionId id, std::unique_ptr<core::OnlineAcceptor> acceptor,
+            Priority priority = Priority::Normal);
 
   /// Routes one symbol to the session's shard (data plane: bounded).
   Admit feed(SessionId id, core::Symbol symbol, core::Tick at);
+
+  /// Batched admission: publishes the whole run in one ring slot,
+  /// all-or-nothing.  Element times must be nondecreasing (they share the
+  /// session's stale filter symbol by symbol).  Admission cost -- the
+  /// occupancy read, table probe, ring claim and election -- is paid once
+  /// for the run instead of once per symbol.
+  Admit feed_batch(SessionId id, std::vector<core::TimedSymbol> run);
 
   /// Finishes the session and queues its SessionReport for collect().
   void close(SessionId id, core::StreamEnd end = core::StreamEnd::EndOfWord);
@@ -123,9 +180,9 @@ public:
   // --------------------------------------------------- wire-driven API
 
   /// Applies one decoded wire event.  Open events build their acceptor
-  /// through `factory`; Symbols events feed element-by-element, waiting
-  /// out Blocked verdicts (the wire reader *is* the backpressure point)
-  /// and reporting Shed if any element was shed.
+  /// through `factory`; Symbols events are admitted as one batched run
+  /// per event, waiting out Blocked verdicts (the wire reader *is* the
+  /// backpressure point) and reporting Shed if the run was shed.
   Admit apply(const WireEvent& event, const AcceptorFactory& factory);
 
   // ----------------------------------------------------- lifecycle
@@ -141,22 +198,37 @@ public:
   /// Takes the reports of sessions that finished since the last call.
   std::vector<SessionReport> collect();
 
+  /// Takes the sampled enqueue->process feed latencies (steady-clock ns)
+  /// accumulated since the last call.  Call only while drained (the
+  /// samples are worker-private between drains).
+  std::vector<std::uint64_t> take_feed_latency_samples();
+
   ServiceStats stats() const;
   unsigned shards() const noexcept {
     return static_cast<unsigned>(shards_.size());
   }
   /// The shard a session id routes to (exposed for tests and benches).
   unsigned shard_of(SessionId id) const noexcept;
+  /// Current occupancy of a shard's ingress ring, in slots.
+  std::size_t ring_depth(unsigned shard) const noexcept;
 
 private:
   struct Command {
     enum class Kind : std::uint8_t { Open, Feed, Close, CloseAll };
     Kind kind = Kind::Feed;
+    Priority priority = Priority::Normal;
     SessionId id = 0;
     core::Symbol symbol;
     core::Tick at = 0;
     core::StreamEnd end = core::StreamEnd::EndOfWord;
+    std::uint64_t enqueue_ns = 0;  ///< steady-clock stamp; 0 = unstamped
+    SessionTable::Slot* slot = nullptr;  ///< paired in-flight decrement
+    std::vector<core::TimedSymbol> run;  ///< batched Feed; empty = single
     std::unique_ptr<core::OnlineAcceptor> acceptor;  ///< Open only
+
+    std::size_t symbols() const noexcept {
+      return kind == Kind::Feed ? (run.empty() ? 1 : run.size()) : 0;
+    }
   };
 
   struct Entry {
@@ -167,20 +239,28 @@ private:
   };
 
   struct Shard {
-    std::mutex mutex;             ///< guards `ring` only
-    std::deque<Command> ring;
+    explicit Shard(const ServiceConfig& config);
+
+    MpscRing<Command> ring;
+    SessionTable table;           ///< producer-readable priority/quota hints
     std::atomic<bool> scheduled{false};
 
     // Worker-private state (protected by the `scheduled` handoff).
     sim::EventQueue queue;        ///< epoch clock + in-shard timers
     std::unordered_map<SessionId, Entry> sessions;
     std::vector<Command> staging;
+    std::vector<std::uint64_t> latency_samples;
 
     std::mutex reports_mutex;
     std::vector<SessionReport> reports;
   };
 
-  Admit enqueue(Command command, bool bounded);
+  /// Data-plane admission: watermarks, quota, ring claim, election.
+  Admit admit_data(Command command, std::size_t symbols);
+  /// Control-plane enqueue: never sheds; spins into the ring's headroom.
+  void enqueue_control(Command command);
+  void elect(Shard& shard);
+  void count_shed(ShedReason reason, std::size_t symbols);
   void run_shard(Shard& shard);
   void process(Shard& shard, sim::Tick epoch);
   void finish_session(Shard& shard, Entry& entry, core::StreamEnd end,
@@ -188,13 +268,18 @@ private:
   void evict_idle(Shard& shard, sim::Tick epoch);
 
   ServiceConfig config_;
+  std::size_t watermark_low_slots_ = 0;   ///< precomputed slot thresholds
+  std::size_t watermark_high_slots_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
   sim::ThreadPool pool_;
   std::atomic<SessionId> next_id_{1};
+  std::atomic<std::uint64_t> sample_tick_{0};
 
   struct AtomicStats {
     std::atomic<std::uint64_t> opened{0}, closed{0}, ingested{0}, shed{0},
-        blocked{0}, stale{0}, evicted{0}, unknown{0}, active{0}, epochs{0};
+        shed_ring_full{0}, shed_session_bound{0}, shed_priority{0},
+        blocked{0}, stale{0}, evicted{0}, unknown{0}, active{0}, epochs{0},
+        batches{0};
   };
   mutable AtomicStats stats_;
 };

@@ -20,6 +20,7 @@
 #include <utility>
 
 #include "rtw/core/online.hpp"
+#include "rtw/svc/ring.hpp"
 
 namespace rtw::svc {
 
@@ -33,6 +34,7 @@ struct SessionReport {
   core::RunResult result;            ///< the acceptor's Definition 3.4 record
   std::uint64_t fed = 0;             ///< symbols delivered to the acceptor
   std::uint64_t stale_dropped = 0;   ///< symbols rejected by the time filter
+  Priority priority = Priority::Normal;  ///< admission class of the stream
   bool evicted = false;              ///< closed by idle eviction, not a Close
 };
 
@@ -40,10 +42,20 @@ struct SessionReport {
 /// shard and is only touched by that shard's worker.
 class Session {
 public:
-  Session(SessionId id, std::unique_ptr<core::OnlineAcceptor> acceptor)
-      : id_(id), acceptor_(std::move(acceptor)) {}
+  Session(SessionId id, std::unique_ptr<core::OnlineAcceptor> acceptor,
+          Priority priority = Priority::Normal)
+      : id_(id), acceptor_(std::move(acceptor)), priority_(priority) {}
 
   SessionId id() const noexcept { return id_; }
+  Priority priority() const noexcept { return priority_; }
+
+  /// Wall-clock enqueue stamp (steady-clock ns) of the most recent command
+  /// the shard worker processed for this session; 0 until a stamped
+  /// command arrives.  Feeds the age watermark and latency accounting.
+  std::uint64_t last_enqueue_ns() const noexcept { return last_enqueue_ns_; }
+  void note_enqueue_ns(std::uint64_t ns) noexcept {
+    if (ns) last_enqueue_ns_ = ns;
+  }
 
   /// Feeds one symbol, dropping it as stale when its time is below the
   /// session's high-water mark.  Returns the (possibly unchanged) verdict.
@@ -57,6 +69,15 @@ public:
     any_ = true;
     ++fed_;
     return acceptor_->feed(symbol, at);
+  }
+
+  /// Feeds a run of symbols (one batched ring slot) through the same
+  /// stale filter; returns the verdict after the last element.  The
+  /// per-symbol filter is unchanged, so a batched stream is verdict-bit
+  /// identical to feeding the same elements one call at a time.
+  core::Verdict feed_run(const core::TimedSymbol* elements, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) feed(elements[i].sym, elements[i].time);
+    return acceptor_->verdict();
   }
 
   /// Settles the verdict; idempotent.
@@ -79,6 +100,7 @@ public:
     r.result = acceptor_->result();
     r.fed = fed_;
     r.stale_dropped = stale_;
+    r.priority = priority_;
     r.evicted = evicted;
     return r;
   }
@@ -87,6 +109,8 @@ private:
   SessionId id_;
   std::unique_ptr<core::OnlineAcceptor> acceptor_;
   core::Tick high_water_ = 0;
+  Priority priority_ = Priority::Normal;
+  std::uint64_t last_enqueue_ns_ = 0;
   bool any_ = false;
   bool finished_ = false;
   std::uint64_t fed_ = 0;

@@ -13,6 +13,13 @@
 ///                         ("a@3 <m>@5 7@9 ...")
 ///   op 3  Close           stream complete (StreamEnd::EndOfWord)
 ///   op 4  CloseTruncated  stream cut at the horizon (StreamEnd::Truncated)
+///   op 5  FeedBatch       body = serialize_elements text, decoded only as
+///                         a complete frame: the whole run surfaces as ONE
+///                         Symbols event, so the serving layer admits it
+///                         as one all-or-nothing batched ring slot
+///   op 6  OpenPri         body = [u8 priority][profile string]; an Open
+///                         carrying an admission priority for the
+///                         adaptive-shedding ingress
 ///
 /// The payload is textual on purpose: it reuses core/serialize.hpp, so a
 /// frame body is greppable in a capture and replay files double as fixture
@@ -44,6 +51,7 @@
 #include "rtw/core/serialize.hpp"
 #include "rtw/core/timed_word.hpp"
 #include "rtw/sim/fault.hpp"
+#include "rtw/svc/ring.hpp"
 
 namespace rtw::svc {
 
@@ -55,6 +63,8 @@ enum class Op : std::uint8_t {
   Feed = 2,
   Close = 3,
   CloseTruncated = 4,
+  FeedBatch = 5,
+  OpenPri = 6,
 };
 
 /// Frame size cap the Decoder enforces by default (a corrupt length
@@ -63,9 +73,15 @@ inline constexpr std::size_t kDefaultMaxFrameBytes = 1u << 20;
 
 // ------------------------------------------------------------ encoding
 
-std::string encode_open(SessionId session, std::string_view profile = {});
+/// Emits op 1 for Priority::Normal, op 6 otherwise (so streams that never
+/// touch priorities stay byte-identical to the PR-5 format).
+std::string encode_open(SessionId session, std::string_view profile = {},
+                        Priority priority = Priority::Normal);
 std::string encode_feed(SessionId session,
                         const std::vector<core::TimedSymbol>& symbols);
+/// Op 5: the run decodes as one event and admits as one ring slot.
+std::string encode_feed_batch(SessionId session,
+                              const std::vector<core::TimedSymbol>& symbols);
 std::string encode_close(SessionId session,
                          core::StreamEnd end = core::StreamEnd::EndOfWord);
 
@@ -73,13 +89,15 @@ std::string encode_close(SessionId session,
 
 /// One decoded unit of the stream.  A single Feed frame may surface as
 /// several Symbols events (partial-body decoding); their concatenation is
-/// exactly the frame's element list.
+/// exactly the frame's element list.  A FeedBatch frame always surfaces
+/// as exactly one Symbols event.
 struct WireEvent {
   enum class Kind : std::uint8_t { Open, Symbols, Close };
 
   Kind kind = Kind::Symbols;
   SessionId session = 0;
   core::StreamEnd end = core::StreamEnd::EndOfWord;  ///< Close only
+  Priority priority = Priority::Normal;              ///< Open only
   std::string profile;                               ///< Open only
   std::vector<core::TimedSymbol> symbols;            ///< Symbols only
 };

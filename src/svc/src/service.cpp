@@ -1,6 +1,9 @@
 #include "rtw/svc/service.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -19,11 +22,25 @@ std::uint64_t mix(std::uint64_t x) noexcept {
   return x ^ (x >> 31);
 }
 
+std::uint64_t steady_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Physical slots reserved above the data-plane bound so control
+/// commands (open/close/close-all) always find room.
+constexpr std::size_t kControlHeadroom = 64;
+
 /// Cold-path handle bundle for the svc metric family (names are the
 /// JSONL vocabulary: subsystem first, snake_case).
 struct Metrics {
   obs::Counter& ingested;
   obs::Counter& shed;
+  obs::Counter& shed_ring_full;
+  obs::Counter& shed_session_bound;
+  obs::Counter& shed_priority;
   obs::Counter& stale;
   obs::Counter& evicted;
   obs::Counter& opened;
@@ -35,6 +52,9 @@ struct Metrics {
     static Metrics m{
         obs::MetricsRegistry::instance().counter("svc.symbols_ingested"),
         obs::MetricsRegistry::instance().counter("svc.shed"),
+        obs::MetricsRegistry::instance().counter("svc.shed.ring_full"),
+        obs::MetricsRegistry::instance().counter("svc.shed.session_bound"),
+        obs::MetricsRegistry::instance().counter("svc.shed.priority"),
         obs::MetricsRegistry::instance().counter("svc.stale"),
         obs::MetricsRegistry::instance().counter("svc.sessions_evicted"),
         obs::MetricsRegistry::instance().counter("svc.sessions_opened"),
@@ -45,6 +65,12 @@ struct Metrics {
     return m;
   }
 };
+
+/// Per-shard ring-depth gauges, registered lazily on the cold path.
+obs::Gauge& depth_gauge(unsigned shard) {
+  return obs::MetricsRegistry::instance().gauge(
+      "svc.ring_depth.shard" + std::to_string(shard));
+}
 
 }  // namespace
 
@@ -57,15 +83,44 @@ std::string to_string(Admit a) {
   return "admit?";
 }
 
+std::string to_string(ShedReason r) {
+  switch (r) {
+    case ShedReason::None: return "none";
+    case ShedReason::RingFull: return "ring_full";
+    case ShedReason::SessionBound: return "session_bound";
+    case ShedReason::Priority: return "priority";
+  }
+  return "shed?";
+}
+
+SessionManager::Shard::Shard(const ServiceConfig& config)
+    : ring(config.ring_capacity + kControlHeadroom),
+      table(config.session_slots) {}
+
 SessionManager::SessionManager(ServiceConfig config)
     : config_(config),
       pool_(config.shards == 0 ? 1 : config.shards) {
   if (config_.shards == 0) config_.shards = 1;
   if (config_.ring_capacity == 0) config_.ring_capacity = 1;
   if (config_.drain_batch == 0) config_.drain_batch = 1;
+  const auto clamp01 = [](double f) {
+    return f < 0.0 ? 0.0 : (f > 1.0 ? 1.0 : f);
+  };
+  // Ceil, not floor: the watermark means "shed *above* this occupancy
+  // fraction", so a tiny ring must not round a threshold down into the
+  // always-shedding range (e.g. 0.875 of a 2-slot ring is still 2 slots).
+  watermark_low_slots_ = static_cast<std::size_t>(
+      std::ceil(clamp01(config_.watermark_low) *
+                static_cast<double>(config_.ring_capacity)));
+  watermark_high_slots_ = static_cast<std::size_t>(
+      std::ceil(clamp01(config_.watermark_high) *
+                static_cast<double>(config_.ring_capacity)));
+  if (watermark_low_slots_ < 1) watermark_low_slots_ = 1;
+  if (watermark_high_slots_ < watermark_low_slots_)
+    watermark_high_slots_ = watermark_low_slots_;
   shards_.reserve(config_.shards);
   for (unsigned i = 0; i < config_.shards; ++i)
-    shards_.push_back(std::make_unique<Shard>());
+    shards_.push_back(std::make_unique<Shard>(config_));
 }
 
 SessionManager::~SessionManager() { shutdown(core::StreamEnd::Truncated); }
@@ -74,42 +129,155 @@ unsigned SessionManager::shard_of(SessionId id) const noexcept {
   return static_cast<unsigned>(mix(id) % shards_.size());
 }
 
-Admit SessionManager::enqueue(Command command, bool bounded) {
+std::size_t SessionManager::ring_depth(unsigned shard) const noexcept {
+  return shard < shards_.size() ? shards_[shard]->ring.approx_size() : 0;
+}
+
+void SessionManager::elect(Shard& shard) {
+  // Lost-wakeup-free handoff: whoever flips scheduled false->true owns
+  // electing a worker for this shard.  The exchange is a release RMW, so
+  // the ring publication that preceded it is visible to the worker that
+  // parks with its own acquire RMW and re-checks the ring.
+  if (!shard.scheduled.exchange(true, std::memory_order_acq_rel))
+    pool_.post([this, &shard] { run_shard(shard); });
+}
+
+void SessionManager::count_shed(ShedReason reason, std::size_t symbols) {
+  stats_.shed.fetch_add(symbols, std::memory_order_relaxed);
+  switch (reason) {
+    case ShedReason::RingFull:
+      stats_.shed_ring_full.fetch_add(symbols, std::memory_order_relaxed);
+      break;
+    case ShedReason::SessionBound:
+      stats_.shed_session_bound.fetch_add(symbols, std::memory_order_relaxed);
+      break;
+    case ShedReason::Priority:
+      stats_.shed_priority.fetch_add(symbols, std::memory_order_relaxed);
+      break;
+    case ShedReason::None:
+      break;
+  }
+  if (obs::enabled()) {
+    auto& m = Metrics::get();
+    m.shed.add(symbols);
+    switch (reason) {
+      case ShedReason::RingFull: m.shed_ring_full.add(symbols); break;
+      case ShedReason::SessionBound: m.shed_session_bound.add(symbols); break;
+      case ShedReason::Priority: m.shed_priority.add(symbols); break;
+      case ShedReason::None: break;
+    }
+  }
+}
+
+Admit SessionManager::admit_data(Command command, std::size_t symbols) {
   Shard& shard = *shards_[shard_of(command.id)];
-  {
-    std::lock_guard lock(shard.mutex);
-    if (bounded && shard.ring.size() >= config_.ring_capacity) {
+  const std::size_t depth = shard.ring.approx_size();
+
+  // 1. Hard bound: the data plane never claims the control headroom.
+  if (depth >= config_.ring_capacity) {
+    if (config_.shed_on_full) {
+      count_shed(ShedReason::RingFull, symbols);
+      return Admit::Shed;
+    }
+    stats_.blocked.fetch_add(1, std::memory_order_relaxed);
+    return Admit::Blocked;
+  }
+
+  // 2. Adaptive admission: the hint table is consulted only when the
+  //    quota is on or the ring is deep enough for watermarks to matter,
+  //    keeping the uncontended fast path at one occupancy read.
+  SessionTable::Slot* slot = nullptr;
+  if (config_.session_quota > 0 || depth >= watermark_low_slots_) {
+    slot = shard.table.find(command.id);
+    const Priority priority =
+        slot ? static_cast<Priority>(
+                   slot->priority.load(std::memory_order_relaxed))
+             : Priority::Normal;
+    command.priority = priority;
+    if (config_.session_quota > 0 && slot &&
+        slot->inflight.load(std::memory_order_relaxed) + symbols >
+            config_.session_quota) {
       if (config_.shed_on_full) {
-        stats_.shed.fetch_add(1, std::memory_order_relaxed);
-        if (obs::enabled()) Metrics::get().shed.add();
+        count_shed(ShedReason::SessionBound, symbols);
         return Admit::Shed;
       }
       stats_.blocked.fetch_add(1, std::memory_order_relaxed);
       return Admit::Blocked;
     }
-    shard.ring.push_back(std::move(command));
+    if (config_.shed_on_full && priority < Priority::High) {
+      const std::size_t survives_until = priority == Priority::Low
+                                             ? watermark_low_slots_
+                                             : watermark_high_slots_;
+      if (depth >= survives_until) {
+        count_shed(ShedReason::Priority, symbols);
+        return Admit::Shed;
+      }
+    }
   }
-  // Lost-wakeup-free handoff: whoever flips scheduled false->true owns
-  // electing a worker for this shard.
-  if (!shard.scheduled.exchange(true, std::memory_order_acq_rel))
-    pool_.post([this, &shard] { run_shard(shard); });
+
+  // 3. Stamp for latency sampling and the age watermark.
+  if (config_.max_queue_delay_ns > 0) {
+    command.enqueue_ns = steady_ns();
+  } else if (config_.latency_sample_every > 0 &&
+             sample_tick_.fetch_add(1, std::memory_order_relaxed) %
+                     config_.latency_sample_every ==
+                 0) {
+    command.enqueue_ns = steady_ns();
+  }
+
+  // 4. Claim a ring slot.  The occupancy check above is approximate under
+  //    concurrency, so the push itself can still find the ring full.
+  if (slot) {
+    command.slot = slot;
+    slot->inflight.fetch_add(static_cast<std::uint32_t>(symbols),
+                             std::memory_order_relaxed);
+  }
+  if (!shard.ring.try_push(command)) {
+    if (command.slot)
+      command.slot->inflight.fetch_sub(static_cast<std::uint32_t>(symbols),
+                                       std::memory_order_relaxed);
+    if (config_.shed_on_full) {
+      count_shed(ShedReason::RingFull, symbols);
+      return Admit::Shed;
+    }
+    stats_.blocked.fetch_add(1, std::memory_order_relaxed);
+    return Admit::Blocked;
+  }
+  elect(shard);
   return Admit::Accepted;
 }
 
-SessionId SessionManager::open(
-    std::unique_ptr<core::OnlineAcceptor> acceptor) {
+void SessionManager::enqueue_control(Command command) {
+  Shard& shard = *shards_[shard_of(command.id)];
+  // Control never sheds: the physical headroom above ring_capacity is
+  // reserved for it, and in the pathological case of a headroom-full ring
+  // we spin -- the elected worker is guaranteed to be draining.
+  while (!shard.ring.try_push(command)) {
+    elect(shard);  // make sure a drainer exists before waiting on it
+    std::this_thread::yield();
+  }
+  elect(shard);
+}
+
+SessionId SessionManager::open(std::unique_ptr<core::OnlineAcceptor> acceptor,
+                               Priority priority) {
   const SessionId id = next_id_.fetch_add(1, std::memory_order_relaxed);
-  open(id, std::move(acceptor));
+  open(id, std::move(acceptor), priority);
   return id;
 }
 
 void SessionManager::open(SessionId id,
-                          std::unique_ptr<core::OnlineAcceptor> acceptor) {
+                          std::unique_ptr<core::OnlineAcceptor> acceptor,
+                          Priority priority) {
+  // Register the admission hint before the command is queued so feeds
+  // racing right behind the open already see the session's priority.
+  shards_[shard_of(id)]->table.insert(id, priority);
   Command c;
   c.kind = Command::Kind::Open;
   c.id = id;
+  c.priority = priority;
   c.acceptor = std::move(acceptor);
-  enqueue(std::move(c), /*bounded=*/false);
+  enqueue_control(std::move(c));
 }
 
 Admit SessionManager::feed(SessionId id, core::Symbol symbol, core::Tick at) {
@@ -118,7 +286,18 @@ Admit SessionManager::feed(SessionId id, core::Symbol symbol, core::Tick at) {
   c.id = id;
   c.symbol = symbol;
   c.at = at;
-  return enqueue(std::move(c), /*bounded=*/true);
+  return admit_data(std::move(c), 1);
+}
+
+Admit SessionManager::feed_batch(SessionId id,
+                                 std::vector<core::TimedSymbol> run) {
+  if (run.empty()) return Admit::Accepted;
+  Command c;
+  c.kind = Command::Kind::Feed;
+  c.id = id;
+  const std::size_t symbols = run.size();
+  c.run = std::move(run);
+  return admit_data(std::move(c), symbols);
 }
 
 void SessionManager::close(SessionId id, core::StreamEnd end) {
@@ -126,7 +305,7 @@ void SessionManager::close(SessionId id, core::StreamEnd end) {
   c.kind = Command::Kind::Close;
   c.id = id;
   c.end = end;
-  enqueue(std::move(c), /*bounded=*/false);
+  enqueue_control(std::move(c));
 }
 
 Admit SessionManager::apply(const WireEvent& event,
@@ -140,25 +319,18 @@ Admit SessionManager::apply(const WireEvent& event,
         if (obs::enabled()) Metrics::get().unknown.add();
         return Admit::Shed;
       }
-      open(event.session, std::move(acceptor));
+      open(event.session, std::move(acceptor), event.priority);
       return Admit::Accepted;
     }
     case WireEvent::Kind::Symbols: {
-      bool any_shed = false;
-      for (const auto& ts : event.symbols) {
-        for (;;) {
-          const Admit a = feed(event.session, ts.sym, ts.time);
-          if (a == Admit::Blocked) {
-            // The wire reader is the backpressure point: wait out the
-            // full ring instead of tearing a frame in half.
-            std::this_thread::yield();
-            continue;
-          }
-          if (a == Admit::Shed) any_shed = true;
-          break;
-        }
+      // One decoded event = one batched ring slot, all-or-nothing.  The
+      // wire reader is the backpressure point: wait out Blocked instead
+      // of tearing the run in half.
+      for (;;) {
+        const Admit a = feed_batch(event.session, event.symbols);
+        if (a != Admit::Blocked) return a;
+        std::this_thread::yield();
       }
-      return any_shed ? Admit::Shed : Admit::Accepted;
     }
     case WireEvent::Kind::Close:
       close(event.session, event.end);
@@ -172,26 +344,20 @@ void SessionManager::run_shard(Shard& shard) {
   for (;;) {
     shard.staging.clear();
     {
-      std::lock_guard lock(shard.mutex);
-      const std::size_t take =
-          std::min(config_.drain_batch, shard.ring.size());
-      for (std::size_t i = 0; i < take; ++i) {
-        shard.staging.push_back(std::move(shard.ring.front()));
-        shard.ring.pop_front();
-      }
+      Command c;
+      while (shard.staging.size() < config_.drain_batch &&
+             shard.ring.try_pop(c))
+        shard.staging.push_back(std::move(c));
     }
     if (shard.staging.empty()) {
-      // Park; a producer that enqueued between our drain and this store
-      // may have lost the election to us, so re-check and re-elect.
-      shard.scheduled.store(false, std::memory_order_release);
-      bool more;
-      {
-        std::lock_guard lock(shard.mutex);
-        more = !shard.ring.empty();
-      }
-      if (more &&
+      // Park with an RMW: it reads the latest election exchange, whose
+      // release makes any ring publication sequenced before it visible
+      // to the re-check below.  A producer that saw scheduled==true and
+      // skipped posting therefore cannot leave an invisible command.
+      shard.scheduled.exchange(false, std::memory_order_acq_rel);
+      if (!shard.ring.empty() &&
           !shard.scheduled.exchange(true, std::memory_order_acq_rel))
-        continue;
+        continue;  // a command slipped in: re-elect ourselves
       return;
     }
     // One EventQueue tick per batch: the shard's epoch clock.  The batch
@@ -202,17 +368,27 @@ void SessionManager::run_shard(Shard& shard) {
     });
     shard.queue.run_until(shard.queue.now() + 1);
     stats_.epochs.fetch_add(1, std::memory_order_relaxed);
+    stats_.batches.fetch_add(shard.staging.size(),
+                             std::memory_order_relaxed);
   }
 }
 
 void SessionManager::process(Shard& shard, sim::Tick epoch) {
   std::uint64_t ingested = 0;
   std::uint64_t unknown = 0;
+  std::uint64_t aged = 0;
+  // One clock read per epoch serves every stamped command in the batch.
+  const std::uint64_t now_ns =
+      (config_.max_queue_delay_ns > 0 || config_.latency_sample_every > 0)
+          ? steady_ns()
+          : 0;
   for (auto& command : shard.staging) {
     switch (command.kind) {
       case Command::Kind::Open: {
         const auto [it, inserted] = shard.sessions.try_emplace(
-            command.id, Session(command.id, std::move(command.acceptor)),
+            command.id,
+            Session(command.id, std::move(command.acceptor),
+                    command.priority),
             epoch);
         if (!inserted) {
           ++unknown;  // double open: id already live on this shard
@@ -228,22 +404,49 @@ void SessionManager::process(Shard& shard, sim::Tick epoch) {
         break;
       }
       case Command::Kind::Feed: {
+        const std::size_t n = command.symbols();
+        if (command.slot)
+          command.slot->inflight.fetch_sub(static_cast<std::uint32_t>(n),
+                                           std::memory_order_relaxed);
         const auto it = shard.sessions.find(command.id);
         if (it == shard.sessions.end()) {
           ++unknown;
           break;
         }
+        if (command.enqueue_ns && now_ns > command.enqueue_ns) {
+          const std::uint64_t waited = now_ns - command.enqueue_ns;
+          if (config_.latency_sample_every > 0)
+            shard.latency_samples.push_back(waited);
+          // Age watermark: stale-in-the-ring data is shed, not fed --
+          // unless the session is High priority, which always lands.  The
+          // session's own priority is authoritative here (the command may
+          // have been admitted without a hint-table probe).
+          if (config_.max_queue_delay_ns > 0 &&
+              waited > config_.max_queue_delay_ns &&
+              it->second.session.priority() < Priority::High) {
+            aged += n;
+            break;
+          }
+        }
         it->second.last_active = epoch;
+        it->second.session.note_enqueue_ns(command.enqueue_ns);
         const std::uint64_t stale_before = it->second.session.stale_dropped();
-        it->second.session.feed(command.symbol, command.at);
-        ++ingested;
-        if (it->second.session.stale_dropped() != stale_before) {
-          stats_.stale.fetch_add(1, std::memory_order_relaxed);
-          if (obs::enabled()) Metrics::get().stale.add();
+        if (command.run.empty()) {
+          it->second.session.feed(command.symbol, command.at);
+        } else {
+          it->second.session.feed_run(command.run.data(), command.run.size());
+        }
+        ingested += n;
+        const std::uint64_t stale_delta =
+            it->second.session.stale_dropped() - stale_before;
+        if (stale_delta) {
+          stats_.stale.fetch_add(stale_delta, std::memory_order_relaxed);
+          if (obs::enabled()) Metrics::get().stale.add(stale_delta);
         }
         break;
       }
       case Command::Kind::Close: {
+        shard.table.erase(command.id);
         const auto it = shard.sessions.find(command.id);
         if (it == shard.sessions.end()) {
           ++unknown;
@@ -254,8 +457,10 @@ void SessionManager::process(Shard& shard, sim::Tick epoch) {
         break;
       }
       case Command::Kind::CloseAll: {
-        for (auto& [id, entry] : shard.sessions)
+        for (auto& [id, entry] : shard.sessions) {
+          shard.table.erase(id);
           finish_session(shard, entry, command.end, /*evicted=*/false);
+        }
         shard.sessions.clear();
         break;
       }
@@ -265,9 +470,18 @@ void SessionManager::process(Shard& shard, sim::Tick epoch) {
     stats_.ingested.fetch_add(ingested, std::memory_order_relaxed);
     if (obs::enabled()) Metrics::get().ingested.add(ingested);
   }
+  if (aged) count_shed(ShedReason::Priority, aged);
   if (unknown) {
     stats_.unknown.fetch_add(unknown, std::memory_order_relaxed);
     if (obs::enabled()) Metrics::get().unknown.add(unknown);
+  }
+  if (obs::enabled()) {
+    // Ring depth after the drain: one gauge per shard, resolved once.
+    const auto index = static_cast<unsigned>(
+        std::find_if(shards_.begin(), shards_.end(),
+                     [&shard](const auto& p) { return p.get() == &shard; }) -
+        shards_.begin());
+    depth_gauge(index).set(static_cast<double>(shard.ring.approx_size()));
   }
   if (config_.idle_epochs > 0) evict_idle(shard, epoch);
 }
@@ -291,6 +505,7 @@ void SessionManager::evict_idle(Shard& shard, sim::Tick epoch) {
   for (auto it = shard.sessions.begin(); it != shard.sessions.end();) {
     if (epoch >= it->second.last_active &&
         epoch - it->second.last_active >= config_.idle_epochs) {
+      shard.table.erase(it->first);
       finish_session(shard, it->second, core::StreamEnd::Truncated,
                      /*evicted=*/true);
       stats_.evicted.fetch_add(1, std::memory_order_relaxed);
@@ -307,12 +522,8 @@ void SessionManager::drain() {
     pool_.wait_idle();
     bool busy = false;
     for (const auto& shard : shards_) {
-      if (shard->scheduled.load(std::memory_order_acquire)) {
-        busy = true;
-        break;
-      }
-      std::lock_guard lock(shard->mutex);
-      if (!shard->ring.empty()) {
+      if (shard->scheduled.load(std::memory_order_acquire) ||
+          !shard->ring.empty()) {
         busy = true;
         break;
       }
@@ -328,13 +539,14 @@ void SessionManager::shutdown(core::StreamEnd end) {
     Command c;
     c.kind = Command::Kind::CloseAll;
     c.end = end;
+    // CloseAll is processed per shard regardless of id; route it to shard
+    // i by construction instead of by hash.
     Shard& shard = *shards_[i];
-    {
-      std::lock_guard lock(shard.mutex);
-      shard.ring.push_back(std::move(c));
+    while (!shard.ring.try_push(c)) {
+      elect(shard);
+      std::this_thread::yield();
     }
-    if (!shard.scheduled.exchange(true, std::memory_order_acq_rel))
-      pool_.post([this, &shard] { run_shard(shard); });
+    elect(shard);
   }
   drain();
 }
@@ -354,18 +566,33 @@ std::vector<SessionReport> SessionManager::collect() {
   return out;
 }
 
+std::vector<std::uint64_t> SessionManager::take_feed_latency_samples() {
+  std::vector<std::uint64_t> out;
+  for (const auto& shard : shards_) {
+    out.insert(out.end(), shard->latency_samples.begin(),
+               shard->latency_samples.end());
+    shard->latency_samples.clear();
+  }
+  return out;
+}
+
 ServiceStats SessionManager::stats() const {
   ServiceStats s;
   s.opened = stats_.opened.load(std::memory_order_relaxed);
   s.closed = stats_.closed.load(std::memory_order_relaxed);
   s.ingested = stats_.ingested.load(std::memory_order_relaxed);
   s.shed = stats_.shed.load(std::memory_order_relaxed);
+  s.shed_ring_full = stats_.shed_ring_full.load(std::memory_order_relaxed);
+  s.shed_session_bound =
+      stats_.shed_session_bound.load(std::memory_order_relaxed);
+  s.shed_priority = stats_.shed_priority.load(std::memory_order_relaxed);
   s.blocked = stats_.blocked.load(std::memory_order_relaxed);
   s.stale = stats_.stale.load(std::memory_order_relaxed);
   s.evicted = stats_.evicted.load(std::memory_order_relaxed);
   s.unknown = stats_.unknown.load(std::memory_order_relaxed);
   s.active = stats_.active.load(std::memory_order_relaxed);
   s.epochs = stats_.epochs.load(std::memory_order_relaxed);
+  s.batches = stats_.batches.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -50,13 +50,24 @@ std::string encode(SessionId session, Op op, std::string_view body) {
 
 }  // namespace
 
-std::string encode_open(SessionId session, std::string_view profile) {
-  return encode(session, Op::Open, profile);
+std::string encode_open(SessionId session, std::string_view profile,
+                        Priority priority) {
+  if (priority == Priority::Normal) return encode(session, Op::Open, profile);
+  std::string body;
+  body.reserve(1 + profile.size());
+  body.push_back(static_cast<char>(priority));
+  body.append(profile);
+  return encode(session, Op::OpenPri, body);
 }
 
 std::string encode_feed(SessionId session,
                         const std::vector<core::TimedSymbol>& symbols) {
   return encode(session, Op::Feed, core::serialize_elements(symbols));
+}
+
+std::string encode_feed_batch(SessionId session,
+                              const std::vector<core::TimedSymbol>& symbols) {
+  return encode(session, Op::FeedBatch, core::serialize_elements(symbols));
 }
 
 std::string encode_close(SessionId session, core::StreamEnd end) {
@@ -149,7 +160,8 @@ void Decoder::decode() {
       continue;
     }
 
-    // Control frames are tiny: wait for the whole frame.
+    // Control frames are tiny, and a FeedBatch is one all-or-nothing
+    // admission unit: wait for the whole frame.
     if (available < kHeaderBytes + len) return;
     const std::string_view body =
         std::string_view(buffer_).substr(scan_ + kHeaderBytes +
@@ -162,6 +174,26 @@ void Decoder::decode() {
         ev.kind = WireEvent::Kind::Open;
         ev.profile = std::string(body);
         break;
+      case Op::OpenPri: {
+        if (body.empty())
+          return fail("svc::Decoder: OpenPri frame without a priority byte");
+        const auto raw = static_cast<unsigned char>(body[0]);
+        if (raw > static_cast<unsigned char>(Priority::High))
+          return fail("svc::Decoder: OpenPri with an unknown priority");
+        ev.kind = WireEvent::Kind::Open;
+        ev.priority = static_cast<Priority>(raw);
+        ev.profile = std::string(body.substr(1));
+        break;
+      }
+      case Op::FeedBatch: {
+        auto parsed = core::parse_prefix(body, ~std::size_t{0},
+                                         /*final_chunk=*/true);
+        if (parsed.consumed < body.size())
+          return fail("svc::Decoder: malformed feed-batch body");
+        ev.kind = WireEvent::Kind::Symbols;
+        ev.symbols = std::move(parsed.symbols);
+        break;
+      }
       case Op::Close:
         ev.kind = WireEvent::Kind::Close;
         ev.end = core::StreamEnd::EndOfWord;

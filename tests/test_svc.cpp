@@ -24,12 +24,14 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdlib>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "proptest.hpp"
@@ -55,6 +57,7 @@ namespace {
 using namespace rtw::core;
 using rtw::svc::Admit;
 using rtw::svc::Decoder;
+using rtw::svc::Priority;
 using rtw::svc::SessionId;
 using rtw::svc::SessionManager;
 using rtw::svc::SessionReport;
@@ -289,6 +292,64 @@ TEST(WireCodec, FaultedFramesAreDeterministicAndCounted) {
   EXPECT_EQ(a.size(), frames.size() - c1.dropped + c1.duplicated);
 }
 
+TEST(WireCodec, FeedBatchDecodesAsExactlyOneEvent) {
+  const auto elements = sample_elements();
+  const auto frame = rtw::svc::encode_feed_batch(5, elements);
+  Decoder decoder;
+  // Unlike Feed, a FeedBatch body never surfaces early: the run is one
+  // all-or-nothing admission unit, so nothing decodes until the frame
+  // completes.
+  for (std::size_t i = 0; i + 1 < frame.size(); ++i) {
+    decoder.push(std::string_view(frame).substr(i, 1));
+    WireEvent probe;
+    ASSERT_FALSE(decoder.next(probe)) << "event surfaced at byte " << i;
+  }
+  decoder.push(std::string_view(frame).substr(frame.size() - 1));
+  ASSERT_TRUE(decoder.ok()) << decoder.error();
+  WireEvent ev;
+  ASSERT_TRUE(decoder.next(ev));
+  EXPECT_EQ(ev.kind, WireEvent::Kind::Symbols);
+  EXPECT_EQ(ev.session, 5u);
+  EXPECT_EQ(ev.symbols, elements);
+  EXPECT_FALSE(decoder.next(ev));
+  EXPECT_EQ(decoder.frames(), 1u);
+}
+
+TEST(WireCodec, MalformedFeedBatchBodyIsFatal) {
+  auto frame = rtw::svc::encode_feed_batch(1, sample_elements());
+  frame[frame.size() - 2] = '!';
+  Decoder decoder;
+  decoder.push(frame);
+  EXPECT_FALSE(decoder.ok());
+}
+
+TEST(WireCodec, OpenPriorityRoundTrips) {
+  using rtw::svc::Priority;
+  // Normal emits the PR-5 opcode: priority-free streams stay
+  // byte-identical to the old format.
+  EXPECT_EQ(rtw::svc::encode_open(3, "p", Priority::Normal),
+            rtw::svc::encode_open(3, "p"));
+  for (const auto priority : {Priority::Low, Priority::High}) {
+    Decoder decoder;
+    decoder.push(rtw::svc::encode_open(9, "profile!", priority));
+    ASSERT_TRUE(decoder.ok()) << decoder.error();
+    WireEvent ev;
+    ASSERT_TRUE(decoder.next(ev));
+    EXPECT_EQ(ev.kind, WireEvent::Kind::Open);
+    EXPECT_EQ(ev.session, 9u);
+    EXPECT_EQ(ev.priority, priority);
+    EXPECT_EQ(ev.profile, "profile!");
+  }
+}
+
+TEST(WireCodec, OpenPriorityRejectsUnknownPriorityByte) {
+  auto frame = rtw::svc::encode_open(1, "p", rtw::svc::Priority::High);
+  frame[13] = 9;  // the priority byte, right after the opcode
+  Decoder decoder;
+  decoder.push(frame);
+  EXPECT_FALSE(decoder.ok());
+}
+
 // ================================== 3. online/batch equivalence machinery
 
 /// The engine delivers exactly the symbols timestamped within the horizon;
@@ -436,8 +497,22 @@ TEST(OnlineAcceptor, FinishFlavorsMatchTheEngineOnGappyWords) {
 using rtw::deadline::DeadlineInstance;
 using rtw::deadline::Usefulness;
 
-std::optional<std::string> deadline_case(rtw::sim::Xoshiro256ss& rng,
-                                         std::size_t size) {
+/// One generated workload case, separated from how it is checked: the
+/// equivalence property runs batch-vs-online over it, the batched-ingress
+/// property streams it through two SessionManagers.
+struct GeneratedCase {
+  std::unique_ptr<RealTimeAlgorithm> batch;
+  std::function<std::unique_ptr<OnlineAcceptor>()> make_online;
+  TimedWord word = TimedWord::finite({});
+  RunOptions options;
+  std::shared_ptr<const void> hold;  ///< keeps the batch acceptor's deps alive
+};
+
+std::optional<std::string> check_equivalence(GeneratedCase c) {
+  return equivalence_violation(*c.batch, c.make_online(), c.word, c.options);
+}
+
+GeneratedCase deadline_gen(rtw::sim::Xoshiro256ss& rng, std::size_t size) {
   DeadlineInstance inst;
   const auto in_len = 1 + rng.uniform(std::uint64_t{1 + size / 4});
   for (std::uint64_t i = 0; i < in_len; ++i)
@@ -464,13 +539,22 @@ std::optional<std::string> deadline_case(rtw::sim::Xoshiro256ss& rng,
     inst.usefulness = Usefulness::none(10);
   }
 
-  RunOptions options;
-  options.horizon = 120 + rng.uniform(std::uint64_t{200});
-  options.fast_forward = rng.bernoulli(0.8);
-  const auto word = rtw::deadline::build_deadline_word(inst);
-  rtw::deadline::DeadlineAcceptor batch(*problem);
-  auto online = rtw::deadline::make_online_acceptor(problem, options);
-  return equivalence_violation(batch, std::move(online), word, options);
+  GeneratedCase c;
+  c.options.horizon = 120 + rng.uniform(std::uint64_t{200});
+  c.options.fast_forward = rng.bernoulli(0.8);
+  c.word = rtw::deadline::build_deadline_word(inst);
+  c.batch = std::make_unique<rtw::deadline::DeadlineAcceptor>(*problem);
+  c.hold = problem;
+  const auto options = c.options;
+  c.make_online = [problem, options] {
+    return rtw::deadline::make_online_acceptor(problem, options);
+  };
+  return c;
+}
+
+std::optional<std::string> deadline_case(rtw::sim::Xoshiro256ss& rng,
+                                         std::size_t size) {
+  return check_equivalence(deadline_gen(rng, size));
 }
 
 rtw::rtdb::QueryCatalog image_catalog() {
@@ -484,8 +568,7 @@ rtw::rtdb::QueryCatalog image_catalog() {
   return catalog;
 }
 
-std::optional<std::string> rtdb_case(rtw::sim::Xoshiro256ss& rng,
-                                     std::size_t size) {
+GeneratedCase rtdb_gen(rtw::sim::Xoshiro256ss& rng, std::size_t size) {
   using namespace rtw::rtdb;
   RtdbWordSpec spec;
   spec.invariants = {{"site", Value{std::string("plant")}}};
@@ -524,18 +607,27 @@ std::optional<std::string> rtdb_case(rtw::sim::Xoshiro256ss& rng,
     word = rtw::core::concat(build_dbB(spec), build_pq(p));
   }
 
-  RunOptions options;
-  options.horizon = 150 + rng.uniform(std::uint64_t{250});
-  options.fast_forward = rng.bernoulli(0.8);
+  GeneratedCase c;
+  c.options.horizon = 150 + rng.uniform(std::uint64_t{250});
+  c.options.fast_forward = rng.bernoulli(0.8);
+  c.word = std::move(word);
   const Tick patience = 64;
-  RecognitionAcceptor batch(image_catalog(), linear_cost(), patience);
-  auto online = make_online_recognition(image_catalog(), linear_cost(),
-                                        patience, options);
-  return equivalence_violation(batch, std::move(online), word, options);
+  c.batch = std::make_unique<RecognitionAcceptor>(image_catalog(),
+                                                  linear_cost(), patience);
+  const auto options = c.options;
+  c.make_online = [options, patience] {
+    return make_online_recognition(image_catalog(), linear_cost(), patience,
+                                   options);
+  };
+  return c;
 }
 
-std::optional<std::string> adhoc_case(rtw::sim::Xoshiro256ss& rng,
-                                      std::size_t size) {
+std::optional<std::string> rtdb_case(rtw::sim::Xoshiro256ss& rng,
+                                     std::size_t size) {
+  return check_equivalence(rtdb_gen(rng, size));
+}
+
+GeneratedCase adhoc_gen(rtw::sim::Xoshiro256ss& rng, std::size_t size) {
   using namespace rtw::adhoc;
   const auto n = static_cast<NodeId>(3 + rng.uniform(std::uint64_t{1 + size / 8}));
   std::vector<std::unique_ptr<Mobility>> nodes;
@@ -572,13 +664,22 @@ std::optional<std::string> adhoc_case(rtw::sim::Xoshiro256ss& rng,
 
   RouteQuery query{0, static_cast<NodeId>(n - 1), trace.body,
                    trace.originated_at};
-  const auto word = route_instance_word(trace, *net);
-  RunOptions options;
-  options.horizon = 60 + rng.uniform(std::uint64_t{80});
-  options.fast_forward = rng.bernoulli(0.8);
-  RouteWordAcceptor batch(*net, query);
-  auto online = make_online_route_acceptor(net, query, options);
-  return equivalence_violation(batch, std::move(online), word, options);
+  GeneratedCase c;
+  c.word = route_instance_word(trace, *net);
+  c.options.horizon = 60 + rng.uniform(std::uint64_t{80});
+  c.options.fast_forward = rng.bernoulli(0.8);
+  c.batch = std::make_unique<RouteWordAcceptor>(*net, query);
+  c.hold = net;
+  const auto options = c.options;
+  c.make_online = [net, query, options] {
+    return make_online_route_acceptor(net, query, options);
+  };
+  return c;
+}
+
+std::optional<std::string> adhoc_case(rtw::sim::Xoshiro256ss& rng,
+                                      std::size_t size) {
+  return check_equivalence(adhoc_gen(rng, size));
 }
 
 TEST(OnlineBatchEquivalence, FiveHundredSeededCasesAcrossThreeWorkloads) {
@@ -601,6 +702,85 @@ TEST(OnlineBatchEquivalence, FiveHundredSeededCasesAcrossThreeWorkloads) {
       });
   EXPECT_TRUE(result.ok()) << rtw::proptest::describe(
       "svc.online_batch_equivalence", cfg, *result.failure);
+}
+
+/// Batched ingress must be invisible to verdicts: the same stream admitted
+/// as random-length feed_batch runs and admitted symbol-by-symbol, through
+/// managers at 1 and 2 shards, must produce field-identical reports on the
+/// tri-workload mix.  Managers are shared across the 500 cases (one
+/// session each) so the property stays cheap.
+TEST(OnlineBatchEquivalence, BatchedIngressIsVerdictIdenticalToPerSymbol) {
+  ServiceConfig config;
+  config.ring_capacity = 1 << 13;  // the workload never sheds
+  config.shards = 1;
+  SessionManager single_1(config), batched_1(config);
+  config.shards = 2;
+  SessionManager single_2(config), batched_2(config);
+
+  rtw::proptest::Config cfg;
+  cfg.seed = 0x62617463ULL;  // "batc"
+  cfg.cases = 500;
+  cfg.max_size = 24;
+  const auto result = rtw::proptest::run_property(
+      "svc.batched_ingress_equivalence", cfg,
+      [&](rtw::sim::Xoshiro256ss& rng,
+          std::size_t size) -> std::optional<std::string> {
+        GeneratedCase c;
+        switch (rng.uniform(std::uint64_t{3})) {
+          case 0: c = deadline_gen(rng, size); break;
+          case 1: c = rtdb_gen(rng, size); break;
+          default: c = adhoc_gen(rng, size); break;
+        }
+        const auto prefix = stream_prefix(c.word, c.options.horizon);
+        const bool two_shards = rng.bernoulli(0.5);
+        SessionManager& per = two_shards ? single_2 : single_1;
+        SessionManager& bat = two_shards ? batched_2 : batched_1;
+        const auto id_per = per.open(c.make_online());
+        const auto id_bat = bat.open(c.make_online());
+
+        for (const auto& ts : prefix.symbols)
+          if (per.feed(id_per, ts.sym, ts.time) != Admit::Accepted)
+            return "per-symbol feed not accepted";
+        std::size_t off = 0;
+        while (off < prefix.symbols.size()) {
+          const std::size_t len =
+              std::min<std::size_t>(prefix.symbols.size() - off,
+                                    1 + rng.uniform(std::uint64_t{16}));
+          if (bat.feed_batch(id_bat,
+                             {prefix.symbols.begin() + off,
+                              prefix.symbols.begin() + off + len}) !=
+              Admit::Accepted)
+            return "batched feed not accepted";
+          off += len;
+        }
+
+        per.close(id_per, prefix.end);
+        bat.close(id_bat, prefix.end);
+        per.drain();
+        bat.drain();
+        const auto r_per = per.collect();
+        const auto r_bat = bat.collect();
+        if (r_per.size() != 1 || r_bat.size() != 1)
+          return "expected exactly one report per manager";
+        const auto& a = r_per[0];
+        const auto& b = r_bat[0];
+        if (a.verdict != b.verdict || a.fed != b.fed ||
+            a.stale_dropped != b.stale_dropped ||
+            a.result.accepted != b.result.accepted ||
+            a.result.exact != b.result.exact ||
+            a.result.ticks != b.result.ticks ||
+            a.result.f_count != b.result.f_count ||
+            a.result.first_f != b.result.first_f ||
+            a.result.symbols_consumed != b.result.symbols_consumed) {
+          return "per-symbol{" + render(a.result) +
+                 " verdict=" + rtw::core::to_string(a.verdict) +
+                 "} != batched{" + render(b.result) +
+                 " verdict=" + rtw::core::to_string(b.verdict) + "}";
+        }
+        return std::nullopt;
+      });
+  EXPECT_TRUE(result.ok()) << rtw::proptest::describe(
+      "svc.batched_ingress_equivalence", cfg, *result.failure);
 }
 
 // ========================================= 5. Session / SessionManager
@@ -719,6 +899,8 @@ TEST(SessionManager, FullRingShedsWhenConfigured) {
   manager.drain();
   const auto stats = manager.stats();
   EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.shed_ring_full, 1u);  // a physically full ring, by reason
+  EXPECT_EQ(stats.shed_priority, 0u);
   EXPECT_EQ(stats.ingested, 3u);
 }
 
@@ -743,6 +925,149 @@ TEST(SessionManager, FullRingBlocksWhenShedDisabled) {
   gate->release();
   manager.drain();
   EXPECT_EQ(manager.stats().blocked, 1u);
+}
+
+/// Adaptive admission: with the worker pinned, ring depth is exact, so
+/// each feed's admission verdict is a deterministic function of priority
+/// and occupancy.  Ring of 8 slots: Low sheds at depth >= 4, Normal at
+/// depth >= 7, High only when the data plane is physically full.
+TEST(SessionManager, WatermarksShedByPriorityUnderLoad) {
+  ServiceConfig config;
+  config.shards = 1;
+  config.ring_capacity = 8;
+  config.shed_on_full = true;
+  SessionManager manager(config);
+  auto gate = std::make_shared<GateAcceptor::Gate>();
+  const auto pinned =
+      manager.open(std::make_unique<GateAcceptor>(gate), Priority::High);
+  const auto low = manager.open(
+      std::make_unique<EngineOnlineAcceptor>(std::make_unique<AcceptAll>()),
+      Priority::Low);
+  const auto normal = manager.open(
+      std::make_unique<EngineOnlineAcceptor>(std::make_unique<AcceptAll>()));
+  const auto high = manager.open(
+      std::make_unique<EngineOnlineAcceptor>(std::make_unique<AcceptAll>()),
+      Priority::High);
+  manager.drain();
+
+  ASSERT_EQ(manager.feed(pinned, Symbol::chr('a'), 0), Admit::Accepted);
+  gate->await_entry();  // worker blocked inside feed; ring drained to empty
+
+  for (Tick t = 0; t < 4; ++t)
+    ASSERT_EQ(manager.feed(high, Symbol::chr('h'), t), Admit::Accepted);
+  // Depth 4 = the low watermark: Low data sheds, Normal still lands.
+  EXPECT_EQ(manager.feed(low, Symbol::chr('l'), 9), Admit::Shed);
+  for (Tick t = 4; t < 7; ++t)
+    ASSERT_EQ(manager.feed(normal, Symbol::chr('n'), t), Admit::Accepted);
+  // Depth 7 = the high watermark: Normal sheds, High still lands.
+  EXPECT_EQ(manager.feed(normal, Symbol::chr('n'), 9), Admit::Shed);
+  ASSERT_EQ(manager.feed(high, Symbol::chr('h'), 9), Admit::Accepted);
+  // Depth 8 = ring_capacity: everything sheds, and it counts as ring_full.
+  EXPECT_EQ(manager.feed(high, Symbol::chr('h'), 10), Admit::Shed);
+
+  gate->release();
+  manager.drain();
+  const auto stats = manager.stats();
+  EXPECT_EQ(stats.shed, 3u);
+  EXPECT_EQ(stats.shed_priority, 2u);
+  EXPECT_EQ(stats.shed_ring_full, 1u);
+  EXPECT_EQ(stats.shed_session_bound, 0u);
+  EXPECT_EQ(stats.ingested, 9u);
+}
+
+TEST(SessionManager, SessionQuotaShedsWithSessionBound) {
+  ServiceConfig config;
+  config.shards = 1;
+  config.ring_capacity = 64;
+  config.session_quota = 2;
+  config.shed_on_full = true;
+  SessionManager manager(config);
+  auto gate = std::make_shared<GateAcceptor::Gate>();
+  const auto pinned = manager.open(std::make_unique<GateAcceptor>(gate));
+  const auto greedy = manager.open(
+      std::make_unique<EngineOnlineAcceptor>(std::make_unique<AcceptAll>()));
+  const auto other = manager.open(
+      std::make_unique<EngineOnlineAcceptor>(std::make_unique<AcceptAll>()));
+  manager.drain();
+
+  ASSERT_EQ(manager.feed(pinned, Symbol::chr('a'), 0), Admit::Accepted);
+  gate->await_entry();
+  // The hot session exhausts its in-flight quota...
+  ASSERT_EQ(manager.feed(greedy, Symbol::chr('g'), 0), Admit::Accepted);
+  ASSERT_EQ(manager.feed(greedy, Symbol::chr('g'), 1), Admit::Accepted);
+  EXPECT_EQ(manager.feed(greedy, Symbol::chr('g'), 2), Admit::Shed);
+  // ...without starving anyone else, and a batch that would overshoot the
+  // quota sheds whole (admission never tears a run).
+  EXPECT_EQ(manager.feed(other, Symbol::chr('o'), 0), Admit::Accepted);
+  EXPECT_EQ(manager.feed_batch(other, {{Symbol::chr('o'), 1},
+                                       {Symbol::chr('o'), 2}}),
+            Admit::Shed);
+
+  gate->release();
+  manager.drain();
+  const auto stats = manager.stats();
+  EXPECT_EQ(stats.shed_session_bound, 3u);  // 1 single + a run of 2
+  EXPECT_EQ(stats.ingested, 4u);
+  // The quota bounds in-flight symbols, not lifetime: drained work frees it.
+  EXPECT_EQ(manager.feed(greedy, Symbol::chr('g'), 9), Admit::Accepted);
+  manager.drain();
+  EXPECT_EQ(manager.stats().ingested, 5u);
+}
+
+TEST(SessionManager, AgedRingDataIsShedUnlessHighPriority) {
+  ServiceConfig config;
+  config.shards = 1;
+  config.max_queue_delay_ns = 1'000'000;  // 1 ms freshness bound
+  SessionManager manager(config);
+  auto gate = std::make_shared<GateAcceptor::Gate>();
+  const auto pinned =
+      manager.open(std::make_unique<GateAcceptor>(gate), Priority::High);
+  const auto normal = manager.open(
+      std::make_unique<EngineOnlineAcceptor>(std::make_unique<AcceptAll>()));
+  const auto vip = manager.open(
+      std::make_unique<EngineOnlineAcceptor>(std::make_unique<AcceptAll>()),
+      Priority::High);
+  manager.drain();
+
+  ASSERT_EQ(manager.feed(pinned, Symbol::chr('a'), 0), Admit::Accepted);
+  gate->await_entry();
+  for (Tick t = 0; t < 8; ++t)
+    ASSERT_EQ(manager.feed(normal, Symbol::chr('n'), t), Admit::Accepted);
+  for (Tick t = 0; t < 8; ++t)
+    ASSERT_EQ(manager.feed(vip, Symbol::chr('v'), t), Admit::Accepted);
+  // Everything queued behind the pinned worker is now past its freshness
+  // bound; only the High-priority session's data survives the age check.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  gate->release();
+  manager.drain();
+
+  manager.close(normal);
+  manager.close(vip);
+  manager.close(pinned);
+  manager.drain();
+  std::map<SessionId, SessionReport> by_id;
+  for (auto& r : manager.collect()) by_id[r.id] = r;
+  EXPECT_EQ(by_id[normal].fed, 0u);
+  EXPECT_EQ(by_id[vip].fed, 8u);
+  const auto stats = manager.stats();
+  EXPECT_EQ(stats.shed_priority, 8u);
+  EXPECT_EQ(stats.ingested, 9u);
+}
+
+TEST(SessionManager, FeedLatencySamplesAreRecorded) {
+  ServiceConfig config;
+  config.shards = 1;
+  config.latency_sample_every = 1;  // stamp every data command
+  SessionManager manager(config);
+  const auto id = manager.open(
+      std::make_unique<EngineOnlineAcceptor>(std::make_unique<AcceptAll>()));
+  for (Tick t = 0; t < 64; ++t) manager.feed(id, Symbol::chr('a'), t);
+  manager.drain();
+  const auto samples = manager.take_feed_latency_samples();
+  EXPECT_FALSE(samples.empty());
+  EXPECT_LE(samples.size(), 64u);
+  // Taking transfers ownership: the buffer starts over.
+  EXPECT_TRUE(manager.take_feed_latency_samples().empty());
 }
 
 TEST(SessionManager, IdleSessionsAreEvicted) {
@@ -808,7 +1133,11 @@ TEST(SessionManager, ShardCountIsObservationallyIrrelevant) {
   for (const unsigned shards : {1u, 8u}) {
     ServiceConfig config;
     config.shards = shards;
-    config.ring_capacity = 1 << 16;
+    // Big enough that nothing sheds -- the workload is ~7.4k symbols, so
+    // even the Normal-priority watermark (87.5% occupancy) stays out of
+    // reach when the single-shard worker lags behind the producer -- but
+    // small enough that eight eagerly-allocated rings stay cheap.
+    config.ring_capacity = 1 << 14;
     SessionManager manager(config);
     std::map<SessionId, const Job*> by_id;
     for (const auto& job : jobs)
@@ -959,7 +1288,7 @@ void soak_round(std::uint64_t seed, unsigned shards) {
 
   ServiceConfig config;
   config.shards = shards;
-  config.ring_capacity = 1 << 20;  // soak measures divergence, not shedding
+  config.ring_capacity = 1 << 13;  // soak measures divergence, not shedding
   SessionManager manager(config);
   const rtw::svc::AcceptorFactory factory =
       [&](SessionId id, std::string_view) -> std::unique_ptr<OnlineAcceptor> {
