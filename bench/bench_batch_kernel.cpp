@@ -1,0 +1,242 @@
+// EXP-BATCH-KERNEL: per-variant throughput of the deadline lane kernel.
+//
+// Strips the serving layer away and measures the kernel itself: L promoted
+// deadline lanes (compressed Working phase, completion past the horizon so
+// no lane ever settles), stepped through R rounds of W-symbol runs.  Four
+// legs over identical streams:
+//   engine   Session::feed_run over deadline::make_online_acceptor -- the
+//            per-symbol virtual drive loop the kernel replaces;
+//   scalar   BatchStepper(Scalar) over promoted lanes -- the portable
+//            reference kernel, also the RTW_FORCE_SCALAR path;
+//   sse2     BatchStepper(SSE2), 2 lanes per instruction;
+//   avx2     BatchStepper(AVX2), 4 lanes per instruction (skipped with a
+//            note when the build or CPU lacks it).
+// Every leg feeds the same symbols, so symbols/s divides out and the
+// `speedup_vs_engine` field is the honest per-core kernel win.  Rows append
+// to BENCH_kernel.json beside the sim EventQueue rows under the distinct
+// bench name "batch_kernel".
+//
+// Flags:
+//   --lanes=1024    concurrent sessions (lanes)
+//   --run=64        symbols per run (ring-slot batch the shard would stage)
+//   --rounds=200    measured rounds (each: one run per lane)
+//   --kernel_json=PATH | --json=PATH   append JSONL records
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rtw/core/lane.hpp"
+#include "rtw/core/online.hpp"
+#include "rtw/deadline/lane.hpp"
+#include "rtw/deadline/online.hpp"
+#include "rtw/deadline/problem.hpp"
+#include "rtw/sim/jsonl.hpp"
+#include "rtw/svc/session.hpp"
+
+namespace {
+
+using namespace rtw::core;
+using rtw::svc::Session;
+
+struct Config {
+  std::size_t lanes = 1024;
+  std::size_t run = 64;
+  std::size_t rounds = 200;
+};
+
+/// The shared symbol stream: every lane sees the same timed word, so one
+/// run buffer serves all lanes of a round.  Mostly waits, with a
+/// (deadline, usefulness) pair every 32 ticks to exercise the P_m fold.
+std::vector<std::vector<TimedSymbol>> build_rounds(const Config& cfg) {
+  std::vector<std::vector<TimedSymbol>> rounds(cfg.rounds);
+  Tick t = 1;
+  for (auto& round : rounds) {
+    round.reserve(cfg.run);
+    while (round.size() < cfg.run) {
+      if (t % 32 == 0 && round.size() + 2 <= cfg.run) {
+        round.push_back({marks::deadline(), t});
+        round.push_back({Symbol::nat(t % 7), t});
+      } else {
+        round.push_back({Symbol::chr('w'), t});
+      }
+      ++t;
+    }
+  }
+  return rounds;
+}
+
+/// Opens `lanes` sessions over `factory`, feeds the promotion header (time
+/// 0) plus one symbol at time 1 so fast-forwarding lane acceptors reach the
+/// compressed phase before measurement starts.
+template <typename Factory>
+std::vector<std::unique_ptr<Session>> open_lanes(const Config& cfg,
+                                                 Factory&& factory) {
+  RunOptions options;
+  // Far horizon and a completion beyond it: lanes never settle mid-bench.
+  const std::uint64_t span = cfg.run * cfg.rounds + 64;
+  options.horizon = span + 16;
+  const auto problem =
+      std::make_shared<rtw::deadline::FixedCostProblem>(span + 64);
+  std::vector<std::unique_ptr<Session>> sessions;
+  sessions.reserve(cfg.lanes);
+  for (std::size_t i = 0; i < cfg.lanes; ++i) {
+    auto s = std::make_unique<Session>(i, factory(problem, options));
+    s->feed(Symbol::nat(1), 0);
+    s->feed(marks::dollar(), 0);
+    s->feed(Symbol::nat(1), 0);
+    s->feed(marks::dollar(), 0);
+    s->feed(Symbol::chr('w'), 1);  // past time 0: triggers lane promotion
+    sessions.push_back(std::move(s));
+  }
+  return sessions;
+}
+
+struct Leg {
+  std::string name;
+  double wall_s = 0;
+  double symbols_per_sec = 0;
+  std::uint64_t symbols = 0;
+  bool ran = false;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+Leg run_engine(const Config& cfg,
+               const std::vector<std::vector<TimedSymbol>>& rounds) {
+  auto sessions = open_lanes(cfg, [](const auto& problem, const auto& opt) {
+    return rtw::deadline::make_online_acceptor(problem, opt);
+  });
+  Leg leg{"engine"};
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& round : rounds)
+    for (auto& s : sessions) {
+      s->feed_run(round.data(), round.size());
+      leg.symbols += round.size();
+    }
+  leg.wall_s = seconds_since(t0);
+  leg.symbols_per_sec =
+      leg.wall_s > 0 ? static_cast<double>(leg.symbols) / leg.wall_s : 0;
+  leg.ran = true;
+  return leg;
+}
+
+Leg run_kernel(const Config& cfg,
+               const std::vector<std::vector<TimedSymbol>>& rounds,
+               KernelVariant variant) {
+  Leg leg{std::string(to_string(variant))};
+  auto sessions = open_lanes(cfg, [](const auto& problem, const auto& opt) {
+    return rtw::deadline::make_lane_acceptor(problem, opt);
+  });
+  auto stepper = sessions.front()->acceptor().make_lane_stepper(variant);
+  if (!stepper || stepper->variant() != variant) {
+    std::cout << " (" << to_string(variant)
+              << " unavailable on this build/CPU -- skipped)\n";
+    return leg;
+  }
+  std::vector<LaneRun> runs(cfg.lanes);
+  for (std::size_t i = 0; i < cfg.lanes; ++i) {
+    void* state = sessions[i]->acceptor().lane_state();
+    if (!state) {
+      std::cerr << "lane " << i << " failed to promote\n";
+      return leg;
+    }
+    runs[i].filter = &sessions[i]->lane_filter();
+    runs[i].state = state;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& round : rounds) {
+    for (auto& r : runs) {
+      r.data = round.data();
+      r.size = round.size();
+    }
+    stepper->step(runs.data(), runs.size());
+    leg.symbols += round.size() * cfg.lanes;
+  }
+  leg.wall_s = seconds_since(t0);
+  leg.symbols_per_sec =
+      leg.wall_s > 0 ? static_cast<double>(leg.symbols) / leg.wall_s : 0;
+  leg.ran = true;
+  return leg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--lanes=", 0) == 0)
+      cfg.lanes = std::stoull(arg.substr(8));
+    else if (arg.rfind("--run=", 0) == 0)
+      cfg.run = std::stoull(arg.substr(6));
+    else if (arg.rfind("--rounds=", 0) == 0)
+      cfg.rounds = std::stoull(arg.substr(9));
+    else if (arg.rfind("--kernel_json=", 0) == 0)
+      json_path = arg.substr(14);
+    else if (arg.rfind("--json=", 0) == 0)
+      json_path = arg.substr(7);
+    else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return 2;
+    }
+  }
+  if (cfg.lanes == 0 || cfg.run == 0 || cfg.rounds == 0) {
+    std::cerr << "lanes/run/rounds must be nonzero\n";
+    return 2;
+  }
+
+  const auto rounds = build_rounds(cfg);
+
+  std::cout << "==========================================================\n";
+  std::cout << " EXP-BATCH-KERNEL: " << cfg.lanes << " lanes x " << cfg.rounds
+            << " rounds x " << cfg.run << " symbols/run\n";
+  std::cout << " dispatch would pick: " << to_string(dispatch_variant())
+            << "\n";
+  std::cout << "==========================================================\n\n";
+
+  std::vector<Leg> legs;
+  legs.push_back(run_engine(cfg, rounds));
+  for (const auto variant :
+       {KernelVariant::Scalar, KernelVariant::SSE2, KernelVariant::AVX2})
+    legs.push_back(run_kernel(cfg, rounds, variant));
+
+  const double engine_rate = legs.front().symbols_per_sec;
+  std::cout << " leg        Msym/s    speedup vs engine\n";
+  std::cout << " -------------------------------------\n";
+  std::vector<std::string> json;
+  for (const auto& leg : legs) {
+    if (!leg.ran) continue;
+    const double speedup =
+        engine_rate > 0 ? leg.symbols_per_sec / engine_rate : 0;
+    std::printf(" %-8s  %8.2f    %6.2fx\n", leg.name.c_str(),
+                leg.symbols_per_sec / 1e6, speedup);
+    json.push_back(rtw::sim::bench_record("batch_kernel")
+                       .field("leg", leg.name)
+                       .field("lanes", cfg.lanes)
+                       .field("run_len", cfg.run)
+                       .field("rounds", cfg.rounds)
+                       .field("symbols", leg.symbols)
+                       .field("wall_s", leg.wall_s)
+                       .field("symbols_per_sec", leg.symbols_per_sec)
+                       .field("speedup_vs_engine", speedup)
+                       .str());
+  }
+
+  std::cout << "\n--- jsonl ----------------------------------------------\n";
+  for (const auto& line : json) std::cout << line << "\n";
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::app);
+    for (const auto& line : json) out << line << "\n";
+  }
+  return 0;
+}

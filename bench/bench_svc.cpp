@@ -5,22 +5,43 @@
 // producer thread -- buffered per session and admitted as feed_batch runs
 // (one ring slot per run) -- then closes everything Truncated and drains.
 // Reported per cell:
-//   * aggregate symbols/s (ingested / wall time, producer-side),
+//   * aggregate symbols/s (ingested / wall time, producer-side) and the
+//     per-core rate (divided by the worker threads actually running),
 //   * shed rate under the bounded per-shard rings, broken down by reason
 //     (ring_full / session_bound / priority),
 //   * p50/p99 *admit* latency in ns: the producer-side cost of one
 //     batched admission call (sampled every 16th run),
 //   * p50/p99 *feed* latency in ns: enqueue -> shard-worker-process delta
 //     from the manager's sampled stamps -- the time a symbol actually
-//     waited in the ring, which the old bench conflated with admission
-//     cost and reported as a constant.
+//     waited in the ring -- with the sample count (`feed_samples`) emitted
+//     so a reader can judge how much the percentiles are worth,
+//   * lane-kernel effectiveness: symbols stepped by the SIMD batch kernel
+//     and the wave count.
 //
-// The per-session acceptor is a non-locking counting algorithm behind
-// EngineOnlineAcceptor: every feed drives one real emulated tick, so the
-// cell measures the full ring -> shard worker -> engine path rather than a
-// latched no-op.  Stdout carries the human table; `--json=PATH` (alias
-// `--svc_json=PATH`) appends the JSONL records (CI scrapes them into
-// BENCH_svc.json).
+// The first `--warmup` fraction of each session's stream is fed, drained
+// and *excluded*: stats are deltaed and latency samples discarded, so the
+// reported numbers cover the steady state rather than the cold ramp
+// (session opens, first-touch allocation, lane promotion).
+//
+// Workloads:
+//   --workload=counting   a non-locking counting algorithm behind
+//                         EngineOnlineAcceptor (every feed drives one real
+//                         emulated tick; the PR-6 baseline workload);
+//   --workload=deadline   section 4.1 deadline sessions whose completion
+//                         sits past the horizon, so every session stays in
+//                         the compressed Working phase for the whole run --
+//                         the batch-lane target workload.
+// Acceptors (deadline workload only):
+//   --acceptor=engine     deadline::make_online_acceptor (engine replica,
+//                         per-symbol drive loop);
+//   --acceptor=lane       deadline::make_lane_acceptor (vectorizable).
+// Kernel:
+//   --kernel=on|off       ServiceConfig::lane_kernel; with `off` (or with
+//                         --acceptor=engine) every run takes the
+//                         per-symbol feed_run path.
+//
+// Stdout carries the human table; `--json=PATH` (alias `--svc_json=PATH`)
+// appends the JSONL records (CI scrapes them into BENCH_svc.json).
 //
 // Flags (defaults reproduce the committed BENCH_svc.json sweep):
 //   --sessions=100,1000   session counts to sweep
@@ -28,6 +49,7 @@
 //   --symbols=2000        symbols per session
 //   --batch=256           producer-side run length (1 = per-symbol feeds)
 //   --ring=4096           ring slots per shard
+//   --warmup=0.2          warmup fraction excluded from measurement
 //   --json=PATH           append JSONL records
 
 #include <algorithm>
@@ -38,9 +60,14 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "rtw/core/lane.hpp"
 #include "rtw/core/online.hpp"
+#include "rtw/deadline/lane.hpp"
+#include "rtw/deadline/online.hpp"
+#include "rtw/deadline/problem.hpp"
 #include "rtw/sim/jsonl.hpp"
 #include "rtw/svc/service.hpp"
 
@@ -70,10 +97,12 @@ private:
 struct Percentiles {
   std::uint64_t p50 = 0;
   std::uint64_t p99 = 0;
+  std::size_t samples = 0;
 };
 
 Percentiles percentiles(std::vector<std::uint64_t> samples) {
   Percentiles p;
+  p.samples = samples.size();
   if (samples.empty()) return p;
   std::sort(samples.begin(), samples.end());
   p.p50 = samples[samples.size() / 2];
@@ -81,54 +110,98 @@ Percentiles percentiles(std::vector<std::uint64_t> samples) {
   return p;
 }
 
-struct Cell {
+enum class Workload { Counting, Deadline };
+enum class AcceptorKind { Engine, Lane };
+
+struct CellConfig {
   unsigned sessions = 0;
   unsigned shards = 0;
-  std::uint64_t symbols = 0;      ///< total admitted (ingested)
-  std::uint64_t offered = 0;      ///< total symbols offered
+  std::uint64_t symbols_per_session = 2000;
+  std::size_t batch = 256;
+  std::size_t ring = 4096;
+  double warmup = 0.2;
+  Workload workload = Workload::Counting;
+  AcceptorKind acceptor = AcceptorKind::Engine;
+  bool kernel = true;
+};
+
+struct Cell {
+  std::uint64_t symbols = 0;      ///< admitted (ingested) in measurement
+  std::uint64_t offered = 0;      ///< symbols offered in measurement
   std::uint64_t shed = 0;
   std::uint64_t shed_ring_full = 0;
   std::uint64_t shed_session_bound = 0;
   std::uint64_t shed_priority = 0;
+  std::uint64_t lane_symbols = 0;
+  std::uint64_t lane_waves = 0;
   double wall_s = 0;
   double symbols_per_sec = 0;
+  double per_core_symbols_per_sec = 0;
   double shed_rate = 0;
   Percentiles admit_ns;   ///< producer-side cost of one admission call
   Percentiles feed_ns;    ///< enqueue -> worker-process ring wait
 };
 
-Cell run_cell(unsigned sessions, unsigned shards,
-              std::uint64_t symbols_per_session, std::size_t batch,
-              std::size_t ring) {
+/// One deadline session's acceptor.  Completion is pushed past the horizon
+/// so the session stays in the compressed Working phase for the whole
+/// stream: the steady state the lane kernel exists for.
+std::unique_ptr<OnlineAcceptor> make_deadline_session(
+    const std::shared_ptr<const rtw::deadline::Problem>& problem,
+    const RunOptions& options, AcceptorKind kind) {
+  if (kind == AcceptorKind::Lane)
+    return rtw::deadline::make_lane_acceptor(problem, options);
+  return rtw::deadline::make_online_acceptor(problem, options);
+}
+
+Cell run_cell(const CellConfig& cc) {
   using clock = std::chrono::steady_clock;
 
   ServiceConfig config;
-  config.shards = shards;
-  config.ring_capacity = ring;
+  config.shards = cc.shards;
+  config.ring_capacity = cc.ring;
   config.shed_on_full = true;   // overload -> shed, producer never stalls
+  config.lane_kernel = cc.kernel;
   SessionManager manager(config);
 
   RunOptions options;
-  options.horizon = symbols_per_session + 16;
+  options.horizon = cc.symbols_per_session + 16;
   std::vector<SessionId> ids;
-  ids.reserve(sessions);
-  for (unsigned s = 0; s < sessions; ++s)
-    ids.push_back(manager.open(std::make_unique<EngineOnlineAcceptor>(
-        std::make_unique<CountingAlgorithm>(), options)));
+  ids.reserve(cc.sessions);
+  if (cc.workload == Workload::Counting) {
+    for (unsigned s = 0; s < cc.sessions; ++s)
+      ids.push_back(manager.open(std::make_unique<EngineOnlineAcceptor>(
+          std::make_unique<CountingAlgorithm>(), options)));
+  } else {
+    const auto problem = std::make_shared<rtw::deadline::FixedCostProblem>(
+        cc.symbols_per_session + 64);  // completion > horizon: never locks
+    for (unsigned s = 0; s < cc.sessions; ++s)
+      ids.push_back(
+          manager.open(make_deadline_session(problem, options, cc.acceptor)));
+  }
   manager.drain();
+
+  if (cc.workload == Workload::Deadline) {
+    // Header run at time 0: proposed output {1} $ input {1} $ (identity
+    // problem, so the claimed solution matches).  A fast-forwarding
+    // acceptor promotes to its lane on the first post-header symbol.
+    const std::vector<TimedSymbol> header = {{Symbol::nat(1), 0},
+                                             {marks::dollar(), 0},
+                                             {Symbol::nat(1), 0},
+                                             {marks::dollar(), 0}};
+    for (const auto id : ids) manager.feed_batch(id, header);
+    manager.drain();
+  }
 
   // Per-session producer buffers: symbols accumulate in offer order and
   // flush as one all-or-nothing feed_batch run of `batch` elements.
-  std::vector<std::vector<TimedSymbol>> buffers(sessions);
-  for (auto& b : buffers) b.reserve(batch);
+  std::vector<std::vector<TimedSymbol>> buffers(cc.sessions);
+  for (auto& b : buffers) b.reserve(cc.batch);
 
   std::vector<std::uint64_t> admit_samples;
-  admit_samples.reserve(sessions * symbols_per_session / (16 * batch) + 1);
+  admit_samples.reserve(
+      cc.sessions * cc.symbols_per_session / (16 * cc.batch) + 1);
 
   Cell cell;
-  cell.sessions = sessions;
-  cell.shards = shards;
-  const Symbol sym = Symbol::chr('a');
   std::uint64_t flushes = 0;
   const auto flush = [&](unsigned s) {
     if (buffers[s].empty()) return;
@@ -143,30 +216,66 @@ Cell run_cell(unsigned sessions, unsigned shards,
       manager.feed_batch(ids[s], std::move(buffers[s]));
     }
     buffers[s].clear();
+    buffers[s].reserve(cc.batch);  // moved-from: recover capacity up front
+  };
+  const auto offer = [&](unsigned s, Symbol sym, Tick t) {
+    ++cell.offered;
+    buffers[s].push_back({sym, t});
+    if (buffers[s].size() >= cc.batch) flush(s);
   };
 
-  const auto start = clock::now();
-  for (Tick t = 0; t < symbols_per_session; ++t) {
-    for (unsigned s = 0; s < sessions; ++s) {
-      ++cell.offered;
-      buffers[s].push_back({sym, t});
-      if (buffers[s].size() >= batch) flush(s);
+  const Symbol wait_sym =
+      cc.workload == Workload::Counting ? Symbol::chr('a') : Symbol::chr('w');
+  const Symbol d_sym = marks::deadline();
+  const auto feed_tick = [&](Tick t) {
+    for (unsigned s = 0; s < cc.sessions; ++s) {
+      if (cc.workload == Workload::Deadline && t % 32 == 0) {
+        // Exercise the P_m fold: a (d, usefulness) pair instead of `w`.
+        offer(s, d_sym, t);
+        offer(s, Symbol::nat(t % 7), t);
+      } else {
+        offer(s, wait_sym, t);
+      }
     }
-  }
-  for (unsigned s = 0; s < sessions; ++s) flush(s);
+  };
+
+  // Warmup: feed the cold ramp, drain it, and zero every meter.
+  const Tick first = cc.workload == Workload::Deadline ? 1 : 0;
+  Tick t = first;
+  const Tick warmup_end =
+      first + static_cast<Tick>(cc.warmup *
+                                static_cast<double>(cc.symbols_per_session));
+  for (; t < warmup_end; ++t) feed_tick(t);
+  for (unsigned s = 0; s < cc.sessions; ++s) flush(s);
+  manager.drain();
+  const auto warm = manager.stats();
+  (void)manager.take_feed_latency_samples();  // discard warmup samples
+  admit_samples.clear();
+  cell.offered = 0;
+
+  const auto start = clock::now();
+  for (; t < first + cc.symbols_per_session; ++t) feed_tick(t);
+  for (unsigned s = 0; s < cc.sessions; ++s) flush(s);
   for (const auto id : ids) manager.close(id, StreamEnd::Truncated);
   manager.drain();
   const auto stop = clock::now();
 
   const auto stats = manager.stats();
-  cell.symbols = stats.ingested;
-  cell.shed = stats.shed;
-  cell.shed_ring_full = stats.shed_ring_full;
-  cell.shed_session_bound = stats.shed_session_bound;
-  cell.shed_priority = stats.shed_priority;
+  cell.symbols = stats.ingested - warm.ingested;
+  cell.shed = stats.shed - warm.shed;
+  cell.shed_ring_full = stats.shed_ring_full - warm.shed_ring_full;
+  cell.shed_session_bound =
+      stats.shed_session_bound - warm.shed_session_bound;
+  cell.shed_priority = stats.shed_priority - warm.shed_priority;
+  cell.lane_symbols = stats.lane_symbols - warm.lane_symbols;
+  cell.lane_waves = stats.lane_waves - warm.lane_waves;
   cell.wall_s = std::chrono::duration<double>(stop - start).count();
   cell.symbols_per_sec =
       cell.wall_s > 0 ? static_cast<double>(cell.symbols) / cell.wall_s : 0;
+  const unsigned cores = std::max(1u, std::min(
+      cc.shards, std::thread::hardware_concurrency()));
+  cell.per_core_symbols_per_sec =
+      cell.symbols_per_sec / static_cast<double>(cores);
   cell.shed_rate = cell.offered
                        ? static_cast<double>(cell.shed) /
                              static_cast<double>(cell.offered)
@@ -174,7 +283,7 @@ Cell run_cell(unsigned sessions, unsigned shards,
   cell.admit_ns = percentiles(std::move(admit_samples));
   cell.feed_ns = percentiles(manager.take_feed_latency_samples());
   // Sanity: every opened session must come back exactly once.
-  if (manager.collect().size() != sessions)
+  if (manager.collect().size() != cc.sessions)
     std::cerr << "WARNING: report count != sessions\n";
   return cell;
 }
@@ -200,9 +309,7 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::vector<unsigned> session_counts = {100, 1000};
   std::vector<unsigned> shard_counts = {1, 2, 4, 8};
-  std::uint64_t symbols_per_session = 2000;
-  std::size_t batch = 256;
-  std::size_t ring = 4096;
+  CellConfig cc;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&arg](std::string_view flag) {
@@ -215,56 +322,93 @@ int main(int argc, char** argv) {
     else if (arg.rfind("--shards=", 0) == 0)
       shard_counts = parse_csv(value("--shards="));
     else if (arg.rfind("--symbols=", 0) == 0)
-      symbols_per_session = std::stoull(value("--symbols="));
+      cc.symbols_per_session = std::stoull(value("--symbols="));
     else if (arg.rfind("--batch=", 0) == 0)
-      batch = std::stoull(value("--batch="));
+      cc.batch = std::stoull(value("--batch="));
     else if (arg.rfind("--ring=", 0) == 0)
-      ring = std::stoull(value("--ring="));
+      cc.ring = std::stoull(value("--ring="));
+    else if (arg.rfind("--warmup=", 0) == 0)
+      cc.warmup = std::stod(value("--warmup="));
+    else if (arg == "--workload=counting") cc.workload = Workload::Counting;
+    else if (arg == "--workload=deadline") cc.workload = Workload::Deadline;
+    else if (arg == "--acceptor=engine") cc.acceptor = AcceptorKind::Engine;
+    else if (arg == "--acceptor=lane") cc.acceptor = AcceptorKind::Lane;
+    else if (arg == "--kernel=on") cc.kernel = true;
+    else if (arg == "--kernel=off") cc.kernel = false;
     else {
       std::cerr << "unknown flag: " << arg << "\n";
       return 2;
     }
   }
-  if (batch == 0) batch = 1;
+  if (cc.batch == 0) cc.batch = 1;
+  if (cc.warmup < 0) cc.warmup = 0;
+  if (cc.warmup > 0.9) cc.warmup = 0.9;
+
+  const char* workload =
+      cc.workload == Workload::Counting ? "counting" : "deadline";
+  const char* acceptor = cc.acceptor == AcceptorKind::Engine ? "engine" : "lane";
+  const auto variant = rtw::core::dispatch_variant();
 
   std::cout << "==========================================================\n";
-  std::cout << " EXP-SVC: sessions x shards, " << symbols_per_session
-            << " symbols/session, ring " << ring << ", batch " << batch
+  std::cout << " EXP-SVC: sessions x shards, " << cc.symbols_per_session
+            << " symbols/session, ring " << cc.ring << ", batch " << cc.batch
             << ", shed-on-full\n";
+  std::cout << " workload " << workload << ", acceptor " << acceptor
+            << ", kernel " << (cc.kernel ? "on" : "off") << " ("
+            << rtw::core::to_string(variant) << "), warmup " << cc.warmup
+            << "\n";
   std::cout << "==========================================================\n\n";
   std::cout << " sessions  shards    Msym/s   shed%  admit p50/p99(ns)"
-               "  feed p50/p99(us)\n";
+               "  feed p50/p99(us)  lane%\n";
   std::cout << " ---------------------------------------------------------"
-               "----------\n";
+               "----------------\n";
 
   std::vector<std::string> json;
   for (const auto sessions : session_counts) {
     for (const auto shards : shard_counts) {
-      const auto cell =
-          run_cell(sessions, shards, symbols_per_session, batch, ring);
-      std::printf(" %8u  %6u  %8.3f  %6.2f  %8llu /%8llu  %8.1f /%8.1f\n",
-                  cell.sessions, cell.shards, cell.symbols_per_sec / 1e6,
-                  100.0 * cell.shed_rate,
-                  static_cast<unsigned long long>(cell.admit_ns.p50),
-                  static_cast<unsigned long long>(cell.admit_ns.p99),
-                  static_cast<double>(cell.feed_ns.p50) / 1e3,
-                  static_cast<double>(cell.feed_ns.p99) / 1e3);
+      cc.sessions = sessions;
+      cc.shards = shards;
+      const auto cell = run_cell(cc);
+      const double lane_frac =
+          cell.symbols ? 100.0 * static_cast<double>(cell.lane_symbols) /
+                             static_cast<double>(cell.symbols)
+                       : 0.0;
+      std::printf(
+          " %8u  %6u  %8.3f  %6.2f  %8llu /%8llu  %8.1f /%8.1f  %5.1f\n",
+          sessions, shards, cell.symbols_per_sec / 1e6,
+          100.0 * cell.shed_rate,
+          static_cast<unsigned long long>(cell.admit_ns.p50),
+          static_cast<unsigned long long>(cell.admit_ns.p99),
+          static_cast<double>(cell.feed_ns.p50) / 1e3,
+          static_cast<double>(cell.feed_ns.p99) / 1e3, lane_frac);
       json.push_back(rtw::sim::bench_record("svc")
-                         .field("sessions", cell.sessions)
-                         .field("shards", cell.shards)
-                         .field("symbols_per_session", symbols_per_session)
-                         .field("batch", batch)
-                         .field("ring", ring)
+                         .field("workload", workload)
+                         .field("acceptor", acceptor)
+                         .field("kernel", cc.kernel ? "on" : "off")
+                         .field("kernel_variant",
+                                std::string(rtw::core::to_string(variant)))
+                         .field("sessions", sessions)
+                         .field("shards", shards)
+                         .field("symbols_per_session", cc.symbols_per_session)
+                         .field("batch", cc.batch)
+                         .field("ring", cc.ring)
+                         .field("warmup_frac", cc.warmup)
                          .field("symbols_ingested", cell.symbols)
                          .field("symbols_offered", cell.offered)
                          .field("wall_s", cell.wall_s)
                          .field("symbols_per_sec", cell.symbols_per_sec)
+                         .field("per_core_symbols_per_sec",
+                                cell.per_core_symbols_per_sec)
+                         .field("lane_symbols", cell.lane_symbols)
+                         .field("lane_waves", cell.lane_waves)
                          .field("shed_rate", cell.shed_rate)
                          .field("shed_ring_full", cell.shed_ring_full)
                          .field("shed_session_bound", cell.shed_session_bound)
                          .field("shed_priority", cell.shed_priority)
+                         .field("admit_samples", cell.admit_ns.samples)
                          .field("p50_admit_ns", cell.admit_ns.p50)
                          .field("p99_admit_ns", cell.admit_ns.p99)
+                         .field("feed_samples", cell.feed_ns.samples)
                          .field("p50_feed_ns", cell.feed_ns.p50)
                          .field("p99_feed_ns", cell.feed_ns.p99)
                          .str());

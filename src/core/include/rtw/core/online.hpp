@@ -34,10 +34,12 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "rtw/core/acceptor.hpp"
+#include "rtw/core/lane.hpp"
 #include "rtw/core/tape.hpp"
 #include "rtw/core/timed_word.hpp"
 
@@ -106,6 +108,31 @@ public:
   virtual void reset() = 0;
 
   virtual std::string name() const = 0;
+
+  /// \name Batch-lane hooks (see rtw/core/lane.hpp)
+  /// An acceptor whose automaton state compresses to fixed-width registers
+  /// can advertise a lane family; the serving layer then steps many such
+  /// sessions per SIMD instruction instead of one virtual feed per symbol.
+  /// The defaults opt out: family None, no lane state, no stepper.
+  ///@{
+
+  /// The kernel family this acceptor belongs to (None = per-symbol only).
+  virtual LaneFamily lane_family() const noexcept { return LaneFamily::None; }
+
+  /// The lane-state POD a family stepper advances, or nullptr while the
+  /// acceptor is not (yet, or no longer) in a vectorizable phase.  Callers
+  /// must re-query before every batch: acceptors may enter the compressed
+  /// phase mid-stream (e.g. once a header is parsed).
+  virtual void* lane_state() noexcept { return nullptr; }
+
+  /// Builds the family's batch kernel for `variant` (one stepper serves
+  /// every lane of the family; it holds no per-session state).
+  virtual std::unique_ptr<BatchStepper> make_lane_stepper(
+      KernelVariant variant) const {
+    (void)variant;
+    return nullptr;
+  }
+  ///@}
 };
 
 /// Drives any RealTimeAlgorithm online with the batch engine's exact
@@ -133,6 +160,16 @@ public:
   bool finished() const noexcept { return finished_; }
   /// Virtual time of the next driver tick the adapter will emulate.
   Tick frontier() const noexcept { return next_tick_; }
+  /// Lock state: engaged once the algorithm committed s_f / s_r.
+  std::optional<bool> lock() const noexcept { return lock_; }
+  /// True when the drive loop already stopped at the horizon.
+  bool ended() const noexcept { return ended_; }
+  /// Fed elements not yet delivered to the algorithm.  While streaming
+  /// (pre-finish, unlocked, not ended) every buffered element is stamped at
+  /// frontier(): older ticks were drained the moment a newer feed arrived.
+  std::span<const TimedSymbol> pending_buffer() const noexcept {
+    return {buffer_.data() + head_, buffer_.size() - head_};
+  }
 
 private:
   /// Emulates driver ticks while their arrival sets are complete.

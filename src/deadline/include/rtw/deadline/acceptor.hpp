@@ -42,6 +42,22 @@ public:
     return usefulness_seen_;
   }
 
+  /// The registers a lane kernel needs to continue this acceptor's run
+  /// without the Reading-phase machinery (header parsing, P_w dispatch):
+  /// everything P_m consults between now and the lock.
+  struct WorkingSnapshot {
+    rtw::core::Tick completion = 0;
+    std::uint64_t min_acceptable = 0;
+    std::uint64_t usefulness = 0;
+    bool deadline_passed = false;
+    bool matches = false;  ///< solution == proposed output (fixed at parse)
+  };
+
+  /// Engaged exactly while P_w is still working: the header parsed, the
+  /// verdict not yet locked.  This is the phase the deadline lane kernel
+  /// compresses (see rtw/deadline/lane.hpp).
+  std::optional<WorkingSnapshot> working_snapshot() const;
+
 private:
   enum class Phase { Reading, Working, AcceptLock, RejectLock };
 

@@ -87,6 +87,18 @@ void DeadlineAcceptor::on_tick(const StepContext& ctx) {
     ctx.out.write(ctx.now, ctx.out.accept_symbol());
 }
 
+std::optional<DeadlineAcceptor::WorkingSnapshot>
+DeadlineAcceptor::working_snapshot() const {
+  if (phase_ != Phase::Working) return std::nullopt;
+  WorkingSnapshot snapshot;
+  snapshot.completion = completion_;
+  snapshot.min_acceptable = header_.min_acceptable;
+  snapshot.usefulness = usefulness_seen_;
+  snapshot.deadline_passed = deadline_passed_;
+  snapshot.matches = solution_ == header_.proposed_output;
+  return snapshot;
+}
+
 std::optional<bool> DeadlineAcceptor::locked() const {
   switch (phase_) {
     case Phase::AcceptLock:

@@ -1,0 +1,202 @@
+// AVX2 deadline lane kernel: 4 sessions per instruction.
+//
+// Same mask algebra as the SSE2 wave (see lane_sse2.cpp for the field
+// walkthrough); the differences are width (4 u64 lanes), native 64-bit
+// compares (vpcmpgtq after a sign bias) and masked vpgatherqq element
+// loads: the wave gathers each element's kind/payload/time directly from
+// the four runs' TimedSymbol arrays by absolute address, with exhausted
+// lanes masked off so no out-of-bounds address is ever dereferenced.  The
+// kind byte sits at offset 0 of a 24-byte element, so its gather drags in
+// 7 payload bytes that must be masked to the low byte before comparing.
+//
+// This TU is compiled with -mavx2 when the toolchain allows (see
+// src/deadline/CMakeLists.txt); otherwise it degrades to a forward to the
+// scalar kernel and the dispatch factory clamps AVX2 requests down.
+
+#include "rtw/deadline/lane.hpp"
+
+#if (defined(__x86_64__) || defined(_M_X64)) && defined(__AVX2__) && \
+    !defined(RTW_LANE_NO_AVX2)
+#define RTW_LANE_AVX2 1
+#include <immintrin.h>
+#endif
+
+namespace rtw::deadline {
+
+#if defined(RTW_LANE_AVX2)
+
+namespace {
+
+inline __m256i cmpgt_u64(__m256i a, __m256i b) {
+  const __m256i bias = _mm256_set1_epi64x(
+      static_cast<long long>(0x8000000000000000ULL));
+  return _mm256_cmpgt_epi64(_mm256_xor_si256(a, bias),
+                            _mm256_xor_si256(b, bias));
+}
+
+/// One wave of 4 lanes; commits SoA registers on exit, finishes scalar
+/// from the first lock/end event (terminal and rare; see lane_sse2.cpp).
+void step_wave4(const core::LaneRun* runs, std::uint64_t d_id) {
+  DeadlineLaneState* states[4];
+  core::LaneFilter* filters[4];
+  std::size_t maxlen = 0;
+  for (int k = 0; k < 4; ++k) {
+    states[k] = static_cast<DeadlineLaneState*>(runs[k].state);
+    filters[k] = runs[k].filter;
+    maxlen = std::max(maxlen, runs[k].size);
+  }
+
+  const auto pack = [](std::uint64_t e0, std::uint64_t e1, std::uint64_t e2,
+                       std::uint64_t e3) {
+    return _mm256_set_epi64x(static_cast<long long>(e3),
+                             static_cast<long long>(e2),
+                             static_cast<long long>(e1),
+                             static_cast<long long>(e0));
+  };
+  const auto pack_field = [&pack](auto&& get) {
+    return pack(get(0), get(1), get(2), get(3));
+  };
+
+  __m256i hw = pack_field([&](int k) { return filters[k]->high_water; });
+  __m256i fed = pack_field([&](int k) { return filters[k]->fed; });
+  __m256i stale = pack_field([&](int k) { return filters[k]->stale; });
+  __m256i any =
+      pack_field([&](int k) { return filters[k]->any ? ~0ULL : 0ULL; });
+  __m256i ticks = pack_field([&](int k) { return states[k]->ticks; });
+  __m256i usefulness =
+      pack_field([&](int k) { return states[k]->usefulness; });
+  __m256i pend = pack_field([&](int k) { return states[k]->pending; });
+  __m256i deliv = pack_field([&](int k) { return states[k]->delivered; });
+  __m256i dp = pack_field(
+      [&](int k) { return states[k]->deadline_passed ? ~0ULL : 0ULL; });
+  const __m256i completion =
+      pack_field([&](int k) { return states[k]->completion; });
+  const __m256i horizon = pack_field([&](int k) { return states[k]->horizon; });
+  const __m256i settled = pack_field(
+      [&](int k) { return states[k]->status != kLaneLive ? ~0ULL : 0ULL; });
+  const __m256i base = pack_field([&](int k) {
+    return static_cast<std::uint64_t>(
+        reinterpret_cast<std::uintptr_t>(runs[k].data));
+  });
+  const __m256i sizes = pack_field([&](int k) {
+    return static_cast<std::uint64_t>(runs[k].size);
+  });
+  const __m256i d_vec = _mm256_set1_epi64x(static_cast<long long>(d_id));
+  const __m256i kind_nat = _mm256_set1_epi64x(kLaneKindNat);
+  const __m256i kind_marker = _mm256_set1_epi64x(kLaneKindMarker);
+  const __m256i byte_mask = _mm256_set1_epi64x(0xff);
+  const __m256i one = _mm256_set1_epi64x(1);
+
+  const auto commit = [&](std::size_t upto) {
+    alignas(32) std::uint64_t hw_a[4], fed_a[4], stale_a[4], any_a[4],
+        ticks_a[4], u_a[4], pend_a[4], deliv_a[4], dp_a[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(hw_a), hw);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(fed_a), fed);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(stale_a), stale);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(any_a), any);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(ticks_a), ticks);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(u_a), usefulness);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(pend_a), pend);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(deliv_a), deliv);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(dp_a), dp);
+    for (int k = 0; k < 4; ++k) {
+      filters[k]->high_water = hw_a[k];
+      filters[k]->fed = fed_a[k];
+      filters[k]->stale = stale_a[k];
+      filters[k]->any = any_a[k] != 0;
+      if (states[k]->status == kLaneLive) {
+        states[k]->frontier = hw_a[k];
+        states[k]->ticks = ticks_a[k];
+        states[k]->usefulness = u_a[k];
+        states[k]->pending = pend_a[k];
+        states[k]->delivered = deliv_a[k];
+        states[k]->deadline_passed = dp_a[k] != 0;
+      }
+    }
+    for (int k = 0; k < 4; ++k)
+      for (std::size_t i = upto; i < runs[k].size; ++i)
+        lane_step_element(*filters[k], *states[k], runs[k].data[i], d_id);
+  };
+
+  for (std::size_t j = 0; j < maxlen; ++j) {
+    const __m256i jv = _mm256_set1_epi64x(static_cast<long long>(j));
+    const __m256i active = cmpgt_u64(sizes, jv);  // j < size
+    const __m256i addr = _mm256_add_epi64(
+        base, _mm256_set1_epi64x(static_cast<long long>(
+                  j * sizeof(core::TimedSymbol))));
+    const __m256i zero = _mm256_setzero_si256();
+    const __m256i kind_raw = _mm256_mask_i64gather_epi64(
+        zero, reinterpret_cast<const long long*>(0), addr, active, 1);
+    const __m256i value = _mm256_mask_i64gather_epi64(
+        zero, reinterpret_cast<const long long*>(0),
+        _mm256_add_epi64(addr, _mm256_set1_epi64x(8)), active, 1);
+    const __m256i t = _mm256_mask_i64gather_epi64(
+        zero, reinterpret_cast<const long long*>(0),
+        _mm256_add_epi64(addr, _mm256_set1_epi64x(16)), active, 1);
+    const __m256i kind = _mm256_and_si256(kind_raw, byte_mask);
+
+    // Session stale filter.
+    const __m256i is_stale =
+        _mm256_and_si256(active, _mm256_and_si256(any, cmpgt_u64(hw, t)));
+    const __m256i passed = _mm256_andnot_si256(is_stale, active);
+
+    // Hot transition masks (live lanes only).  No register may change
+    // before the event check (the scalar tail reprocesses element j).
+    const __m256i live = _mm256_andnot_si256(settled, passed);
+    const __m256i newer = _mm256_and_si256(live, cmpgt_u64(t, hw));
+    const __m256i c_gt_hw = cmpgt_u64(completion, hw);
+    const __m256i lock_event = _mm256_andnot_si256(c_gt_hw, newer);
+    const __m256i end_event = _mm256_and_si256(
+        newer, _mm256_and_si256(c_gt_hw, cmpgt_u64(t, horizon)));
+    const __m256i event = _mm256_or_si256(lock_event, end_event);
+    if (!_mm256_testz_si256(event, event)) {
+      commit(j);
+      return;
+    }
+
+    // Eventless transition.
+    stale = _mm256_sub_epi64(stale, is_stale);
+    fed = _mm256_sub_epi64(fed, passed);
+    deliv = _mm256_add_epi64(deliv, _mm256_and_si256(pend, newer));
+    ticks = _mm256_blendv_epi8(ticks, hw, newer);
+    const __m256i tie = _mm256_andnot_si256(newer, live);
+    pend = _mm256_sub_epi64(pend, tie);
+    pend = _mm256_blendv_epi8(pend, one, newer);
+    const __m256i fold =
+        _mm256_andnot_si256(cmpgt_u64(t, completion), live);
+    const __m256i is_d =
+        _mm256_and_si256(_mm256_cmpeq_epi64(kind, kind_marker),
+                         _mm256_cmpeq_epi64(value, d_vec));
+    const __m256i is_nat = _mm256_cmpeq_epi64(kind, kind_nat);
+    dp = _mm256_or_si256(dp, _mm256_and_si256(fold, is_d));
+    usefulness = _mm256_blendv_epi8(usefulness, value,
+                                    _mm256_and_si256(fold, is_nat));
+    hw = _mm256_blendv_epi8(hw, t, passed);
+    any = _mm256_or_si256(any, passed);
+  }
+  commit(maxlen);
+}
+
+}  // namespace
+
+void step_lanes_avx2(const core::LaneRun* runs, std::size_t count,
+                     std::uint64_t d_id) noexcept {
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) step_wave4(runs + i, d_id);
+  if (i < count) step_lanes_sse2(runs + i, count - i, d_id);
+}
+
+bool avx2_kernel_compiled() noexcept { return true; }
+
+#else  // !RTW_LANE_AVX2
+
+void step_lanes_avx2(const core::LaneRun* runs, std::size_t count,
+                     std::uint64_t d_id) noexcept {
+  step_lanes_sse2(runs, count, d_id);
+}
+
+bool avx2_kernel_compiled() noexcept { return false; }
+
+#endif
+
+}  // namespace rtw::deadline

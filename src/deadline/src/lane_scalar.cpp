@@ -1,0 +1,20 @@
+// Portable reference kernel: one lane at a time through the shared inline
+// step.  Every SIMD variant must be bit-identical to this TU; the SIMD TUs
+// also call into it for remainder lanes and post-lock tails.
+
+#include "rtw/deadline/lane.hpp"
+
+namespace rtw::deadline {
+
+void step_lanes_scalar(const core::LaneRun* runs, std::size_t count,
+                       std::uint64_t d_id) noexcept {
+  for (std::size_t lane = 0; lane < count; ++lane) {
+    const core::LaneRun& run = runs[lane];
+    auto& filter = *run.filter;
+    auto& state = *static_cast<DeadlineLaneState*>(run.state);
+    for (std::size_t i = 0; i < run.size; ++i)
+      lane_step_element(filter, state, run.data[i], d_id);
+  }
+}
+
+}  // namespace rtw::deadline

@@ -1,0 +1,202 @@
+// SSE2 deadline lane kernel: 2 sessions per instruction.
+//
+// Register file per wave (one __m128i = 2 u64 lanes of one field):
+//   HW (filter high-water = live frontier), FED, STALE, ANY  -- the filter;
+//   TICKS, C (completion), U (usefulness), PEND, DELIV, DP, HORIZON,
+//   SETTLED -- the DeadlineLaneState registers lane_hot_feed touches.
+// Per element j the wave evaluates the stale filter and the hot transition
+// as mask algebra (see lane.hpp for the derivation).  Lock/end events are
+// terminal and at most one per lane lifetime, so the wave does not fix them
+// up in-register: it commits the SoA state and finishes the wave through
+// the scalar reference from element j -- rare by construction, and the two
+// paths share lane_step_element so they cannot drift.
+//
+// SSE2 is x86-64 baseline, so this TU needs no extra ISA flags; on non-x86
+// targets it degrades to a forward to the scalar kernel.
+
+#include "rtw/deadline/lane.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__) || \
+    defined(_M_IX86)
+#define RTW_LANE_SSE2 1
+#include <emmintrin.h>
+#endif
+
+namespace rtw::deadline {
+
+#if defined(RTW_LANE_SSE2)
+
+namespace {
+
+inline __m128i blendv_u64(__m128i a, __m128i b, __m128i mask) {
+  return _mm_or_si128(_mm_and_si128(mask, b), _mm_andnot_si128(mask, a));
+}
+
+/// Unsigned 64-bit a > b without pcmpgtq (SSE4.2+): bias both 32-bit
+/// halves so pcmpgtd orders them unsigned, then hi_gt | (hi_eq & lo_gt).
+inline __m128i cmpgt_u64(__m128i a, __m128i b) {
+  const __m128i bias = _mm_set1_epi32(static_cast<int>(0x80000000u));
+  const __m128i a_biased = _mm_xor_si128(a, bias);
+  const __m128i b_biased = _mm_xor_si128(b, bias);
+  const __m128i gt32 = _mm_cmpgt_epi32(a_biased, b_biased);
+  const __m128i eq32 = _mm_cmpeq_epi32(a, b);
+  const __m128i gt_hi = _mm_shuffle_epi32(gt32, _MM_SHUFFLE(3, 3, 1, 1));
+  const __m128i gt_lo = _mm_shuffle_epi32(gt32, _MM_SHUFFLE(2, 2, 0, 0));
+  const __m128i eq_hi = _mm_shuffle_epi32(eq32, _MM_SHUFFLE(3, 3, 1, 1));
+  return _mm_or_si128(gt_hi, _mm_and_si128(eq_hi, gt_lo));
+}
+
+inline __m128i cmpeq_u64(__m128i a, __m128i b) {
+  const __m128i eq32 = _mm_cmpeq_epi32(a, b);
+  return _mm_and_si128(eq32,
+                       _mm_shuffle_epi32(eq32, _MM_SHUFFLE(2, 3, 0, 1)));
+}
+
+/// One wave of 2 lanes.  Commits SoA registers back to the filters/states;
+/// on the first lock/end event it commits and finishes scalar from there.
+void step_wave2(const core::LaneRun* runs, std::uint64_t d_id) {
+  DeadlineLaneState* states[2];
+  core::LaneFilter* filters[2];
+  for (int k = 0; k < 2; ++k) {
+    states[k] = static_cast<DeadlineLaneState*>(runs[k].state);
+    filters[k] = runs[k].filter;
+  }
+  const std::size_t maxlen = std::max(runs[0].size, runs[1].size);
+
+  const auto pack = [](std::uint64_t lo, std::uint64_t hi) {
+    return _mm_set_epi64x(static_cast<long long>(hi),
+                          static_cast<long long>(lo));
+  };
+  const auto pack_mask = [&pack](bool lo, bool hi) {
+    return pack(lo ? ~0ULL : 0, hi ? ~0ULL : 0);
+  };
+
+  __m128i hw = pack(filters[0]->high_water, filters[1]->high_water);
+  __m128i fed = pack(filters[0]->fed, filters[1]->fed);
+  __m128i stale = pack(filters[0]->stale, filters[1]->stale);
+  __m128i any = pack_mask(filters[0]->any, filters[1]->any);
+  __m128i ticks = pack(states[0]->ticks, states[1]->ticks);
+  __m128i completion = pack(states[0]->completion, states[1]->completion);
+  __m128i usefulness = pack(states[0]->usefulness, states[1]->usefulness);
+  __m128i pend = pack(states[0]->pending, states[1]->pending);
+  __m128i deliv = pack(states[0]->delivered, states[1]->delivered);
+  __m128i dp = pack_mask(states[0]->deadline_passed, states[1]->deadline_passed);
+  const __m128i horizon = pack(states[0]->horizon, states[1]->horizon);
+  const __m128i settled = pack_mask(states[0]->status != kLaneLive,
+                                    states[1]->status != kLaneLive);
+  const __m128i d_vec = pack(d_id, d_id);
+  const __m128i kind_nat = pack(kLaneKindNat, kLaneKindNat);
+  const __m128i kind_marker = pack(kLaneKindMarker, kLaneKindMarker);
+  const __m128i one = pack(1, 1);
+
+  const auto commit = [&](std::size_t upto) {
+    alignas(16) std::uint64_t hw_a[2], fed_a[2], stale_a[2], ticks_a[2],
+        u_a[2], pend_a[2], deliv_a[2], any_a[2], dp_a[2];
+    _mm_store_si128(reinterpret_cast<__m128i*>(hw_a), hw);
+    _mm_store_si128(reinterpret_cast<__m128i*>(fed_a), fed);
+    _mm_store_si128(reinterpret_cast<__m128i*>(stale_a), stale);
+    _mm_store_si128(reinterpret_cast<__m128i*>(ticks_a), ticks);
+    _mm_store_si128(reinterpret_cast<__m128i*>(u_a), usefulness);
+    _mm_store_si128(reinterpret_cast<__m128i*>(pend_a), pend);
+    _mm_store_si128(reinterpret_cast<__m128i*>(deliv_a), deliv);
+    _mm_store_si128(reinterpret_cast<__m128i*>(any_a), any);
+    _mm_store_si128(reinterpret_cast<__m128i*>(dp_a), dp);
+    for (int k = 0; k < 2; ++k) {
+      filters[k]->high_water = hw_a[k];
+      filters[k]->fed = fed_a[k];
+      filters[k]->stale = stale_a[k];
+      filters[k]->any = any_a[k] != 0;
+      if (states[k]->status == kLaneLive) {
+        states[k]->frontier = hw_a[k];
+        states[k]->ticks = ticks_a[k];
+        states[k]->usefulness = u_a[k];
+        states[k]->pending = pend_a[k];
+        states[k]->delivered = deliv_a[k];
+        states[k]->deadline_passed = dp_a[k] != 0;
+      }
+    }
+    // Finish the tail scalar (no-op when upto == maxlen).
+    for (int k = 0; k < 2; ++k)
+      for (std::size_t i = upto; i < runs[k].size; ++i)
+        lane_step_element(*filters[k], *states[k], runs[k].data[i], d_id);
+  };
+
+  for (std::size_t j = 0; j < maxlen; ++j) {
+    const bool a0 = j < runs[0].size;
+    const bool a1 = j < runs[1].size;
+    const auto load = [&](auto&& field) {
+      return pack(a0 ? field(runs[0].data[j]) : 0,
+                  a1 ? field(runs[1].data[j]) : 0);
+    };
+    const __m128i t = load([](const core::TimedSymbol& ts) { return ts.time; });
+    const __m128i kind = load(
+        [](const core::TimedSymbol& ts) -> std::uint64_t {
+          return lane_raw_kind(ts);
+        });
+    const __m128i value =
+        load([](const core::TimedSymbol& ts) { return lane_raw_value(ts); });
+    const __m128i active = pack_mask(a0, a1);
+
+    // Session stale filter: drop (and count) below the high-water mark.
+    const __m128i is_stale =
+        _mm_and_si128(active, _mm_and_si128(any, cmpgt_u64(hw, t)));
+    const __m128i passed = _mm_andnot_si128(is_stale, active);
+
+    // Hot transition masks (live lanes only).  No register may change
+    // before the event check: on a bailout the scalar tail reprocesses
+    // element j from scratch, so updating first would double-count it.
+    const __m128i live = _mm_andnot_si128(settled, passed);
+    const __m128i newer = _mm_and_si128(live, cmpgt_u64(t, hw));
+    const __m128i c_gt_hw = cmpgt_u64(completion, hw);
+    const __m128i lock_event = _mm_andnot_si128(c_gt_hw, newer);
+    const __m128i end_event = _mm_and_si128(
+        newer, _mm_and_si128(c_gt_hw, cmpgt_u64(t, horizon)));
+    const __m128i event = _mm_or_si128(lock_event, end_event);
+    if (_mm_movemask_epi8(event) != 0) {
+      commit(j);
+      return;
+    }
+
+    // Eventless transition, pure mask algebra.
+    stale = _mm_sub_epi64(stale, is_stale);  // mask is -1 per stale lane
+    fed = _mm_sub_epi64(fed, passed);
+    deliv = _mm_add_epi64(deliv, _mm_and_si128(pend, newer));
+    ticks = blendv_u64(ticks, hw, newer);
+    const __m128i tie = _mm_andnot_si128(newer, live);
+    pend = _mm_sub_epi64(pend, tie);  // ++pending on same-frontier ties
+    pend = blendv_u64(pend, one, newer);
+    const __m128i fold = _mm_andnot_si128(cmpgt_u64(t, completion), live);
+    const __m128i is_d = _mm_and_si128(cmpeq_u64(kind, kind_marker),
+                                       cmpeq_u64(value, d_vec));
+    const __m128i is_nat = cmpeq_u64(kind, kind_nat);
+    dp = _mm_or_si128(dp, _mm_and_si128(fold, is_d));
+    usefulness = blendv_u64(usefulness, value, _mm_and_si128(fold, is_nat));
+    hw = blendv_u64(hw, t, passed);
+    any = _mm_or_si128(any, passed);
+  }
+  commit(maxlen);
+}
+
+}  // namespace
+
+void step_lanes_sse2(const core::LaneRun* runs, std::size_t count,
+                     std::uint64_t d_id) noexcept {
+  std::size_t i = 0;
+  for (; i + 2 <= count; i += 2) step_wave2(runs + i, d_id);
+  if (i < count) step_lanes_scalar(runs + i, count - i, d_id);
+}
+
+bool sse2_kernel_compiled() noexcept { return true; }
+
+#else  // !RTW_LANE_SSE2
+
+void step_lanes_sse2(const core::LaneRun* runs, std::size_t count,
+                     std::uint64_t d_id) noexcept {
+  step_lanes_scalar(runs, count, d_id);
+}
+
+bool sse2_kernel_compiled() noexcept { return false; }
+
+#endif
+
+}  // namespace rtw::deadline

@@ -118,6 +118,12 @@ struct ServiceConfig {
   /// enqueue->process delta (the true feed latency) on the worker.
   /// 0 disables sampling; age shedding stamps every command regardless.
   std::size_t latency_sample_every = 16;
+  /// Route batched runs of lane-family sessions through the SIMD batch
+  /// kernel (rtw/core/lane.hpp) instead of per-symbol feed_run.  Verdicts
+  /// are bit-identical either way; off = always the virtual path.
+  bool lane_kernel = true;
+  /// Max staged lane runs before the worker flushes a kernel wave.
+  std::size_t lane_wave = 256;
 };
 
 /// Monotone service-wide tallies (mirrored into obs metrics when a sink
@@ -137,6 +143,8 @@ struct ServiceStats {
   std::uint64_t active = 0;       ///< currently open sessions
   std::uint64_t epochs = 0;       ///< summed shard epoch count
   std::uint64_t batches = 0;      ///< ring slots drained (batch granularity)
+  std::uint64_t lane_symbols = 0; ///< symbols advanced by the batch kernel
+  std::uint64_t lane_waves = 0;   ///< kernel wave dispatches
 };
 
 /// Builds the acceptor for a wire-opened session; `profile` is the Open
@@ -251,6 +259,15 @@ private:
     std::vector<Command> staging;
     std::vector<std::uint64_t> latency_samples;
 
+    // Lane-kernel wave, staged during one process() pass and always
+    // flushed before it returns (the LaneRuns point into `staging`).
+    // One stepper per shard, built lazily from the first lane-family
+    // acceptor; sessions of other families fall back to feed_run.
+    std::unique_ptr<core::BatchStepper> stepper;
+    bool stepper_probed = false;
+    std::vector<core::LaneRun> wave;
+    std::vector<Session*> wave_sessions;
+
     std::mutex reports_mutex;
     std::vector<SessionReport> reports;
   };
@@ -263,6 +280,9 @@ private:
   void count_shed(ShedReason reason, std::size_t symbols);
   void run_shard(Shard& shard);
   void process(Shard& shard, sim::Tick epoch);
+  /// Dispatches the staged lane wave through the shard's batch stepper and
+  /// folds the per-lane stale deltas into the service stats.
+  void flush_wave(Shard& shard);
   void finish_session(Shard& shard, Entry& entry, core::StreamEnd end,
                       bool evicted);
   void evict_idle(Shard& shard, sim::Tick epoch);
@@ -279,7 +299,7 @@ private:
     std::atomic<std::uint64_t> opened{0}, closed{0}, ingested{0}, shed{0},
         shed_ring_full{0}, shed_session_bound{0}, shed_priority{0},
         blocked{0}, stale{0}, evicted{0}, unknown{0}, active{0}, epochs{0},
-        batches{0};
+        batches{0}, lane_symbols{0}, lane_waves{0};
   };
   mutable AtomicStats stats_;
 };

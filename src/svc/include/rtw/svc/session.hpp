@@ -19,6 +19,7 @@
 #include <memory>
 #include <utility>
 
+#include "rtw/core/lane.hpp"
 #include "rtw/core/online.hpp"
 #include "rtw/svc/ring.hpp"
 
@@ -61,13 +62,13 @@ public:
   /// session's high-water mark.  Returns the (possibly unchanged) verdict.
   core::Verdict feed(core::Symbol symbol, core::Tick at) {
     if (finished_) return acceptor_->verdict();
-    if (any_ && at < high_water_) {
-      ++stale_;
+    if (filter_.any && at < filter_.high_water) {
+      ++filter_.stale;
       return acceptor_->verdict();
     }
-    high_water_ = at;
-    any_ = true;
-    ++fed_;
+    filter_.high_water = at;
+    filter_.any = true;
+    ++filter_.fed;
     return acceptor_->feed(symbol, at);
   }
 
@@ -76,6 +77,23 @@ public:
   /// per-symbol filter is unchanged, so a batched stream is verdict-bit
   /// identical to feeding the same elements one call at a time.
   core::Verdict feed_run(const core::TimedSymbol* elements, std::size_t n) {
+    if (finished_) return acceptor_->verdict();
+    const core::Verdict settled = acceptor_->verdict();
+    if (core::final_verdict(settled)) {
+      // Settled acceptor: every feed is a no-op, but the stale filter
+      // still counts -- run it without n virtual calls.
+      for (std::size_t i = 0; i < n; ++i) {
+        const core::Tick at = elements[i].time;
+        if (filter_.any && at < filter_.high_water) {
+          ++filter_.stale;
+          continue;
+        }
+        filter_.high_water = at;
+        filter_.any = true;
+        ++filter_.fed;
+      }
+      return settled;
+    }
     for (std::size_t i = 0; i < n; ++i) feed(elements[i].sym, elements[i].time);
     return acceptor_->verdict();
   }
@@ -88,9 +106,21 @@ public:
 
   core::Verdict verdict() const { return acceptor_->verdict(); }
   bool finished() const noexcept { return finished_; }
-  std::uint64_t fed() const noexcept { return fed_; }
-  std::uint64_t stale_dropped() const noexcept { return stale_; }
+  std::uint64_t fed() const noexcept { return filter_.fed; }
+  std::uint64_t stale_dropped() const noexcept { return filter_.stale; }
   const core::OnlineAcceptor& acceptor() const { return *acceptor_; }
+  core::OnlineAcceptor& acceptor() { return *acceptor_; }
+
+  /// The stale filter as lane-kernel state: a batch stepper advances it in
+  /// SIMD registers with feed()'s exact semantics (see rtw/core/lane.hpp).
+  core::LaneFilter& lane_filter() noexcept { return filter_; }
+
+  /// Wave membership flag, owned by the shard worker: set while a run for
+  /// this session sits in the staged lane wave, so a second run (or a
+  /// close) for the same session flushes the wave first to preserve
+  /// submission order.
+  bool in_wave() const noexcept { return in_wave_; }
+  void set_in_wave(bool in_wave) noexcept { in_wave_ = in_wave; }
 
   /// The terminal record (call after finish()).
   SessionReport report(bool evicted) const {
@@ -98,8 +128,8 @@ public:
     r.id = id_;
     r.verdict = acceptor_->verdict();
     r.result = acceptor_->result();
-    r.fed = fed_;
-    r.stale_dropped = stale_;
+    r.fed = filter_.fed;
+    r.stale_dropped = filter_.stale;
     r.priority = priority_;
     r.evicted = evicted;
     return r;
@@ -108,13 +138,11 @@ public:
 private:
   SessionId id_;
   std::unique_ptr<core::OnlineAcceptor> acceptor_;
-  core::Tick high_water_ = 0;
+  core::LaneFilter filter_;
   Priority priority_ = Priority::Normal;
   std::uint64_t last_enqueue_ns_ = 0;
-  bool any_ = false;
   bool finished_ = false;
-  std::uint64_t fed_ = 0;
-  std::uint64_t stale_ = 0;
+  bool in_wave_ = false;
 };
 
 }  // namespace rtw::svc

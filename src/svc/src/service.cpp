@@ -413,6 +413,10 @@ void SessionManager::process(Shard& shard, sim::Tick epoch) {
           ++unknown;
           break;
         }
+        // A second command for a session whose run is already staged in
+        // the lane wave must not overtake it: flush to keep per-session
+        // submission order.
+        if (it->second.session.in_wave()) flush_wave(shard);
         if (command.enqueue_ns && now_ns > command.enqueue_ns) {
           const std::uint64_t waited = now_ns - command.enqueue_ns;
           if (config_.latency_sample_every > 0)
@@ -430,11 +434,39 @@ void SessionManager::process(Shard& shard, sim::Tick epoch) {
         }
         it->second.last_active = epoch;
         it->second.session.note_enqueue_ns(command.enqueue_ns);
-        const std::uint64_t stale_before = it->second.session.stale_dropped();
+        Session& session = it->second.session;
+        // Batched runs of lane-family sessions stage into the wave and are
+        // stepped many-at-a-time by the SIMD kernel; everything else (single
+        // symbols, cold acceptors, foreign families) takes feed_run.  The
+        // LaneRun aliases the command's run, which outlives the wave: the
+        // staging vector is stable until the next drain and every wave is
+        // flushed before process() returns.
+        if (config_.lane_kernel && !command.run.empty() &&
+            !session.finished() &&
+            session.acceptor().lane_family() != core::LaneFamily::None) {
+          core::OnlineAcceptor& acceptor = session.acceptor();
+          if (!shard.stepper && !shard.stepper_probed) {
+            shard.stepper_probed = true;
+            shard.stepper = acceptor.make_lane_stepper(core::dispatch_variant());
+          }
+          void* lane = acceptor.lane_state();
+          if (lane && shard.stepper &&
+              shard.stepper->family() == acceptor.lane_family()) {
+            shard.wave.push_back(core::LaneRun{command.run.data(),
+                                               command.run.size(),
+                                               &session.lane_filter(), lane});
+            shard.wave_sessions.push_back(&session);
+            session.set_in_wave(true);
+            ingested += n;
+            if (shard.wave.size() >= config_.lane_wave) flush_wave(shard);
+            break;
+          }
+        }
+        const std::uint64_t stale_before = session.stale_dropped();
         if (command.run.empty()) {
-          it->second.session.feed(command.symbol, command.at);
+          session.feed(command.symbol, command.at);
         } else {
-          it->second.session.feed_run(command.run.data(), command.run.size());
+          session.feed_run(command.run.data(), command.run.size());
         }
         ingested += n;
         const std::uint64_t stale_delta =
@@ -452,11 +484,15 @@ void SessionManager::process(Shard& shard, sim::Tick epoch) {
           ++unknown;
           break;
         }
+        // The staged wave may hold a run for this session: land it before
+        // the finish, and before erase invalidates the wave's pointers.
+        if (it->second.session.in_wave()) flush_wave(shard);
         finish_session(shard, it->second, command.end, /*evicted=*/false);
         shard.sessions.erase(it);
         break;
       }
       case Command::Kind::CloseAll: {
+        flush_wave(shard);
         for (auto& [id, entry] : shard.sessions) {
           shard.table.erase(id);
           finish_session(shard, entry, command.end, /*evicted=*/false);
@@ -466,6 +502,7 @@ void SessionManager::process(Shard& shard, sim::Tick epoch) {
       }
     }
   }
+  flush_wave(shard);  // nothing staged survives the epoch
   if (ingested) {
     stats_.ingested.fetch_add(ingested, std::memory_order_relaxed);
     if (obs::enabled()) Metrics::get().ingested.add(ingested);
@@ -484,6 +521,32 @@ void SessionManager::process(Shard& shard, sim::Tick epoch) {
     depth_gauge(index).set(static_cast<double>(shard.ring.approx_size()));
   }
   if (config_.idle_epochs > 0) evict_idle(shard, epoch);
+}
+
+void SessionManager::flush_wave(Shard& shard) {
+  if (shard.wave.empty()) return;
+  // The kernel advances each lane's stale filter in-register; recover the
+  // per-epoch stale delta the same way the feed_run path does, by differencing
+  // the filters around the step.
+  std::uint64_t stale_before = 0;
+  std::uint64_t symbols = 0;
+  for (const auto& run : shard.wave) {
+    stale_before += run.filter->stale;
+    symbols += run.size;
+  }
+  shard.stepper->step(shard.wave.data(), shard.wave.size());
+  std::uint64_t stale_after = 0;
+  for (const auto& run : shard.wave) stale_after += run.filter->stale;
+  const std::uint64_t stale_delta = stale_after - stale_before;
+  if (stale_delta) {
+    stats_.stale.fetch_add(stale_delta, std::memory_order_relaxed);
+    if (obs::enabled()) Metrics::get().stale.add(stale_delta);
+  }
+  stats_.lane_symbols.fetch_add(symbols, std::memory_order_relaxed);
+  stats_.lane_waves.fetch_add(1, std::memory_order_relaxed);
+  for (Session* session : shard.wave_sessions) session->set_in_wave(false);
+  shard.wave.clear();
+  shard.wave_sessions.clear();
 }
 
 void SessionManager::finish_session(Shard& shard, Entry& entry,
@@ -593,6 +656,8 @@ ServiceStats SessionManager::stats() const {
   s.active = stats_.active.load(std::memory_order_relaxed);
   s.epochs = stats_.epochs.load(std::memory_order_relaxed);
   s.batches = stats_.batches.load(std::memory_order_relaxed);
+  s.lane_symbols = stats_.lane_symbols.load(std::memory_order_relaxed);
+  s.lane_waves = stats_.lane_waves.load(std::memory_order_relaxed);
   return s;
 }
 
