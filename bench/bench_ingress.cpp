@@ -53,7 +53,7 @@ namespace {
 using namespace rtw::core;
 using rtw::svc::Admit;
 using rtw::svc::Priority;
-using rtw::svc::ServiceConfig;
+
 using rtw::svc::SessionId;
 using rtw::svc::SessionManager;
 
@@ -118,11 +118,12 @@ Cell run_cell(unsigned sessions, unsigned shards, double load,
               std::size_t ring, std::uint64_t work) {
   using clock = std::chrono::steady_clock;
 
-  ServiceConfig config;
-  config.shards = shards;
-  config.ring_capacity = ring;
-  config.shed_on_full = true;
-  SessionManager manager(config);
+  rtw::svc::ShardConfig shard;
+  shard.count = shards;
+  rtw::svc::IngressConfig ingress;
+  ingress.ring_capacity = ring;
+  ingress.shed_on_full = true;
+  SessionManager manager(shard, ingress);
 
   RunOptions options;
   options.horizon = Tick{1} << 40;  // duration-bounded cells, not tick-bounded

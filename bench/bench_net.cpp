@@ -1,0 +1,583 @@
+// bench_net: TCP load generator for rtw_svcd.
+//
+// Holds N concurrent connections (default 10000) against a running
+// rtw_svcd, streams S sessions of L symbols each per connection over the
+// v1 wire protocol (Hello handshake, count:K profiles), collects the
+// Verdict notifications, and reports:
+//
+//   - connect / Hello round-trip / Close->Verdict round-trip percentiles
+//   - end-to-end symbol throughput
+//   - verdict parity: the same frame streams are replayed through an
+//     in-process SessionManager (the wire-driven apply() path) and every
+//     verdict must be bit-identical (verdict, exact, fed, stale) to what
+//     came back over the socket -- any mismatch fails the run
+//   - admit/feed latency percentiles from the in-process replay (same
+//     word set, same admission machinery the daemon runs)
+//
+// Results go to stdout as a table plus a JSONL row under the standard
+// bench envelope; --json PATH appends the row to a file (CI artifact).
+//
+//   ./rtw_svcd --port 4600 &
+//   ./bench_net --port 4600 --connections 10000
+//
+// Exit code: 0 only when every session's verdict arrived and parity held.
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rtw/sim/jsonl.hpp"
+#include "rtw/svc/net/epoll.hpp"
+#include "rtw/svc/net/socket.hpp"
+#include "rtw/svc/profiles.hpp"
+#include "rtw/svc/service.hpp"
+#include "rtw/svc/wire.hpp"
+
+namespace {
+
+using namespace rtw::svc;
+using rtw::core::TimedSymbol;
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct Percentiles {
+  std::uint64_t p50 = 0;
+  std::uint64_t p99 = 0;
+};
+
+Percentiles percentiles(std::vector<std::uint64_t> samples) {
+  Percentiles p;
+  if (samples.empty()) return p;
+  std::sort(samples.begin(), samples.end());
+  p.p50 = samples[samples.size() / 2];
+  p.p99 = samples[std::min(samples.size() - 1, samples.size() * 99 / 100)];
+  return p;
+}
+
+struct Options {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 4600;
+  std::size_t connections = 10000;
+  std::size_t sessions = 1;    ///< per connection
+  std::size_t symbols = 16;    ///< per session
+  std::size_t ramp = 512;      ///< max in-flight connect attempts
+  std::uint64_t deadline_s = 120;
+  std::string json_path;
+};
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const auto as_size = [&](std::size_t& out) {
+      const char* v = next();
+      if (!v) return false;
+      out = static_cast<std::size_t>(std::atoll(v));
+      return true;
+    };
+    if (arg == "--host") {
+      const char* v = next();
+      if (!v) return false;
+      opt.host = v;
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (!v) return false;
+      opt.port = static_cast<std::uint16_t>(std::atoi(v));
+    } else if (arg == "--connections") {
+      if (!as_size(opt.connections)) return false;
+    } else if (arg == "--sessions") {
+      if (!as_size(opt.sessions)) return false;
+    } else if (arg == "--symbols") {
+      if (!as_size(opt.symbols)) return false;
+    } else if (arg == "--ramp") {
+      if (!as_size(opt.ramp)) return false;
+    } else if (arg == "--deadline-s") {
+      std::size_t v = 0;
+      if (!as_size(v)) return false;
+      opt.deadline_s = v;
+    } else if (arg == "--json") {
+      const char* v = next();
+      if (!v) return false;
+      opt.json_path = v;
+    } else {
+      std::cerr << "bench_net: unknown argument '" << arg << "'\n"
+                << "usage: bench_net [--host A] [--port N] "
+                   "[--connections N] [--sessions N] [--symbols N] "
+                   "[--ramp N] [--deadline-s N] [--json PATH]\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// One session's deterministic workload.  Half the sessions hit their
+/// count:K target exactly (Accepting), half overshoot by one (Rejecting,
+/// locked early) -- both verdict paths stay exercised.
+struct SessionPlan {
+  SessionId wire_id = 0;  ///< conn-local id on the wire
+  std::string profile;
+  std::vector<TimedSymbol> word;
+  bool expect_accept = false;
+};
+
+SessionPlan make_plan(std::size_t conn, std::size_t session,
+                      std::size_t symbols) {
+  SessionPlan plan;
+  plan.wire_id = session + 1;
+  plan.expect_accept = (conn + session) % 2 == 0;
+  const std::uint64_t target =
+      plan.expect_accept ? symbols : (symbols > 1 ? symbols - 1 : 0);
+  plan.profile = "count:" + std::to_string(target);
+  plan.word.reserve(symbols);
+  for (std::size_t i = 0; i < symbols; ++i)
+    plan.word.push_back(TimedSymbol{
+        rtw::core::Symbol::nat(static_cast<std::uint32_t>(i % 7)),
+        static_cast<rtw::core::Tick>(i + 1)});
+  return plan;
+}
+
+/// The whole connection's byte stream: Hello, then per session
+/// Open/FeedBatch.../Close.
+std::string make_stream(const std::vector<SessionPlan>& plans) {
+  std::string out = encode_hello();
+  constexpr std::size_t kRun = 8;  ///< symbols per FeedBatch frame
+  for (const auto& plan : plans) {
+    out += encode_open(plan.wire_id, plan.profile);
+    for (std::size_t off = 0; off < plan.word.size(); off += kRun) {
+      const std::size_t end = std::min(plan.word.size(), off + kRun);
+      out += encode_feed_batch(
+          plan.wire_id,
+          std::vector<TimedSymbol>(
+              plan.word.begin() + static_cast<std::ptrdiff_t>(off),
+              plan.word.begin() + static_cast<std::ptrdiff_t>(end)));
+    }
+    out += encode_close(plan.wire_id);
+  }
+  return out;
+}
+
+struct VerdictRecord {
+  bool arrived = false;
+  bool accepted = false;
+  bool exact = false;
+  std::uint64_t fed = 0;
+  std::uint64_t stale = 0;
+};
+
+enum class ConnState : std::uint8_t {
+  Idle,        ///< not yet initiated
+  Connecting,  ///< connect(2) in flight, waiting for writability
+  Streaming,   ///< pushing the preformatted byte stream
+  Waiting,     ///< all bytes flushed, collecting verdicts
+  Done,        ///< every verdict arrived (socket held open)
+  Failed,
+};
+
+struct ClientConn {
+  net::Fd fd;
+  ConnState state = ConnState::Idle;
+  std::string out;
+  std::size_t off = 0;
+  Decoder decoder;
+  std::vector<SessionPlan> plans;
+  std::unordered_map<SessionId, std::size_t> by_wire_id;
+  std::vector<VerdictRecord> verdicts;
+  std::size_t remaining = 0;
+  bool hello_acked = false;
+  std::uint64_t t_connect_start = 0;
+  std::uint64_t t_connected = 0;
+  std::uint64_t t_flushed = 0;
+};
+
+struct RunTotals {
+  std::size_t connected = 0;
+  std::size_t peak = 0;
+  std::size_t done = 0;
+  std::size_t failed = 0;
+  std::uint64_t verdicts = 0;
+  std::uint64_t wire_mismatches = 0;  ///< verdict != analytic expectation
+  std::vector<std::uint64_t> connect_ns;
+  std::vector<std::uint64_t> hello_rtt_ns;
+  std::vector<std::uint64_t> verdict_rtt_ns;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return 2;
+  std::signal(SIGPIPE, SIG_IGN);
+  const std::uint64_t fd_limit =
+      net::raise_nofile_limit(opt.connections + 1024);
+  if (fd_limit < opt.connections + 64)
+    std::cerr << "bench_net: warning: RLIMIT_NOFILE " << fd_limit
+              << " is tight for " << opt.connections << " connections\n";
+
+  // ---- build every connection's workload up front ---------------------
+  std::vector<ClientConn> conns(opt.connections);
+  for (std::size_t c = 0; c < conns.size(); ++c) {
+    ClientConn& conn = conns[c];
+    conn.plans.reserve(opt.sessions);
+    for (std::size_t s = 0; s < opt.sessions; ++s)
+      conn.plans.push_back(make_plan(c, s, opt.symbols));
+    conn.out = make_stream(conn.plans);
+    conn.verdicts.assign(conn.plans.size(), {});
+    for (std::size_t s = 0; s < conn.plans.size(); ++s)
+      conn.by_wire_id.emplace(conn.plans[s].wire_id, s);
+    conn.remaining = conn.plans.size();
+  }
+
+  net::Epoll epoll;
+  if (!epoll.ok()) {
+    std::cerr << "bench_net: " << epoll.error() << "\n";
+    return 1;
+  }
+
+  RunTotals totals;
+  std::size_t initiated = 0;
+  std::size_t inflight_connects = 0;
+  std::size_t established = 0;  ///< live, successfully connected sockets
+  const std::uint64_t t_start = now_ns();
+  const std::uint64_t t_deadline = t_start + opt.deadline_s * 1'000'000'000ULL;
+  bool deadline_hit = false;
+
+  const auto fail_conn = [&](std::size_t idx) {
+    ClientConn& conn = conns[idx];
+    if (conn.state == ConnState::Connecting) --inflight_connects;
+    if (conn.state == ConnState::Streaming ||
+        conn.state == ConnState::Waiting || conn.state == ConnState::Done)
+      --established;
+    if (conn.fd.valid()) {
+      epoll.del(conn.fd.get());
+      conn.fd.reset();
+    }
+    conn.state = ConnState::Failed;
+    ++totals.failed;
+  };
+
+  const auto pump_writes = [&](std::size_t idx) {
+    ClientConn& conn = conns[idx];
+    while (conn.off < conn.out.size()) {
+      const ssize_t n =
+          ::write(conn.fd.get(), conn.out.data() + conn.off,
+                  conn.out.size() - conn.off);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EINTR) continue;
+        fail_conn(idx);
+        return;
+      }
+      conn.off += static_cast<std::size_t>(n);
+    }
+    conn.state = ConnState::Waiting;
+    conn.t_flushed = now_ns();
+    epoll.mod(conn.fd.get(), EPOLLIN, idx);  // write side is finished
+  };
+
+  const auto pump_reads = [&](std::size_t idx) {
+    ClientConn& conn = conns[idx];
+    char buffer[16 * 1024];
+    for (;;) {
+      const ssize_t n = ::read(conn.fd.get(), buffer, sizeof(buffer));
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EINTR) continue;
+        fail_conn(idx);
+        return;
+      }
+      if (n == 0) {  // server closed early
+        if (conn.state != ConnState::Done) fail_conn(idx);
+        return;
+      }
+      conn.decoder.push(
+          std::string_view(buffer, static_cast<std::size_t>(n)));
+      WireEvent ev;
+      while (conn.decoder.next(ev)) {
+        switch (ev.kind) {
+          case WireEvent::Kind::HelloAck:
+            if (!conn.hello_acked) {
+              conn.hello_acked = true;
+              totals.hello_rtt_ns.push_back(now_ns() - conn.t_connected);
+            }
+            break;
+          case WireEvent::Kind::Verdict: {
+            const auto it = conn.by_wire_id.find(ev.session);
+            if (it == conn.by_wire_id.end()) break;
+            VerdictRecord& rec = conn.verdicts[it->second];
+            if (rec.arrived) break;
+            rec.arrived = true;
+            rec.accepted = ev.verdict == rtw::core::Verdict::Accepting;
+            rec.exact = ev.exact;
+            rec.fed = ev.fed;
+            rec.stale = ev.stale;
+            ++totals.verdicts;
+            totals.verdict_rtt_ns.push_back(now_ns() - conn.t_flushed);
+            if (rec.accepted != conn.plans[it->second].expect_accept)
+              ++totals.wire_mismatches;
+            if (--conn.remaining == 0 && conn.state == ConnState::Waiting) {
+              conn.state = ConnState::Done;
+              ++totals.done;
+              epoll.del(conn.fd.get());  // hold the socket open, stop polling
+            }
+            break;
+          }
+          default:
+            break;  // shed notices etc: not expected at this load
+        }
+      }
+      if (!conn.decoder.ok()) {
+        fail_conn(idx);
+        return;
+      }
+    }
+  };
+
+  // ---- the client reactor ---------------------------------------------
+  while (totals.done + totals.failed < conns.size()) {
+    if (now_ns() >= t_deadline) {
+      deadline_hit = true;
+      break;
+    }
+    // Ramped connect initiation: bounded in-flight handshakes so the
+    // listener backlog never overflows.
+    while (initiated < conns.size() && inflight_connects < opt.ramp) {
+      ClientConn& conn = conns[initiated];
+      conn.t_connect_start = now_ns();
+      auto res = net::connect_nonblocking(opt.host, opt.port);
+      if (!res.ok()) {
+        conn.state = ConnState::Failed;
+        ++totals.failed;
+        ++initiated;
+        continue;
+      }
+      conn.fd = std::move(res.fd);
+      conn.state = ConnState::Connecting;
+      epoll.add(conn.fd.get(), EPOLLIN | EPOLLOUT, initiated);
+      ++inflight_connects;
+      ++initiated;
+    }
+
+    const auto& ready = epoll.wait(20);
+    for (const auto& ev : ready) {
+      const std::size_t idx = static_cast<std::size_t>(ev.data.u64);
+      ClientConn& conn = conns[idx];
+      if (conn.state == ConnState::Failed || conn.state == ConnState::Done)
+        continue;
+
+      if (conn.state == ConnState::Connecting) {
+        if (ev.events & (EPOLLHUP | EPOLLERR)) {
+          fail_conn(idx);
+          continue;
+        }
+        if (ev.events & EPOLLOUT) {
+          int err = 0;
+          socklen_t len = sizeof(err);
+          if (::getsockopt(conn.fd.get(), SOL_SOCKET, SO_ERROR, &err,
+                           &len) != 0 ||
+              err != 0) {
+            fail_conn(idx);
+            continue;
+          }
+          --inflight_connects;
+          conn.state = ConnState::Streaming;
+          conn.t_connected = now_ns();
+          net::set_tcp_nodelay(conn.fd.get());
+          totals.connect_ns.push_back(conn.t_connected -
+                                      conn.t_connect_start);
+          ++totals.connected;
+          ++established;
+          totals.peak = std::max(totals.peak, established);
+          pump_writes(idx);
+        }
+        continue;
+      }
+      if (ev.events & (EPOLLHUP | EPOLLERR)) {
+        fail_conn(idx);
+        continue;
+      }
+      if ((ev.events & EPOLLOUT) && conn.state == ConnState::Streaming)
+        pump_writes(idx);
+      if ((ev.events & EPOLLIN) && conn.state != ConnState::Failed)
+        pump_reads(idx);
+    }
+  }
+
+  const double wall_s =
+      static_cast<double>(now_ns() - t_start) / 1e9;
+  // Sockets held open end to end: Done conns stay connected, so the hold
+  // level equals every successfully connected conn still alive here.
+  totals.peak = std::max(totals.peak, established);
+  for (auto& conn : conns) conn.fd.reset();
+
+  // ---- in-process parity replay ---------------------------------------
+  // The same byte streams, fed through Decoder -> SessionManager::apply
+  // (the wire-driven path the soak tests exercise).  Admission latency is
+  // sampled per Symbols event; feed latency comes from the manager's own
+  // enqueue->process sampling.  Verdicts must match the wire bit for bit.
+  std::uint64_t parity_mismatches = 0;
+  std::uint64_t missing_verdicts = 0;
+  std::vector<std::uint64_t> admit_ns;
+  Percentiles feed_lat;
+  {
+    ShardConfig shard;
+    shard.count = 2;
+    IngressConfig ingress;
+    ingress.ring_capacity = 4096;
+    ingress.latency_sample_every = 16;
+    // The replay enqueues at memory speed, far faster than the network
+    // paced the daemon; block instead of shedding so no symbol is lost
+    // and fed counts stay comparable.
+    ingress.shed_on_full = false;
+    ingress.session_slots = 1 << 15;
+    SessionManager manager(shard, ingress);
+    const AcceptorFactory factory = profile_factory();
+    std::unordered_map<SessionId, VerdictRecord> replayed;
+
+    for (std::size_t c = 0; c < conns.size(); ++c) {
+      Decoder decoder;
+      decoder.push(conns[c].out);
+      WireEvent ev;
+      while (decoder.next(ev)) {
+        if (ev.kind == WireEvent::Kind::Hello) continue;
+        // Remap conn-local wire ids to a process-wide id space, exactly
+        // like the Server facade does.
+        ev.session = (static_cast<SessionId>(c) << 20) | ev.session;
+        if (ev.kind == WireEvent::Kind::Symbols) {
+          const std::uint64_t t0 = now_ns();
+          manager.apply(ev, factory);
+          admit_ns.push_back(now_ns() - t0);
+        } else {
+          manager.apply(ev, factory);
+        }
+      }
+    }
+    manager.drain();
+    feed_lat = percentiles(manager.take_feed_latency_samples());
+    for (const auto& report : manager.collect()) {
+      VerdictRecord rec;
+      rec.arrived = true;
+      rec.accepted = report.verdict == rtw::core::Verdict::Accepting;
+      rec.exact = report.result.exact;
+      rec.fed = report.fed;
+      rec.stale = report.stale_dropped;
+      replayed.emplace(report.id, rec);
+    }
+
+    for (std::size_t c = 0; c < conns.size(); ++c) {
+      if (conns[c].state == ConnState::Failed) continue;
+      for (std::size_t s = 0; s < conns[c].plans.size(); ++s) {
+        const VerdictRecord& wire = conns[c].verdicts[s];
+        if (!wire.arrived) {
+          ++missing_verdicts;
+          continue;
+        }
+        const SessionId rid = (static_cast<SessionId>(c) << 20) |
+                              conns[c].plans[s].wire_id;
+        const auto it = replayed.find(rid);
+        if (it == replayed.end() || !it->second.arrived ||
+            it->second.accepted != wire.accepted ||
+            it->second.exact != wire.exact || it->second.fed != wire.fed ||
+            it->second.stale != wire.stale)
+          ++parity_mismatches;
+      }
+    }
+  }
+
+  // ---- report ----------------------------------------------------------
+  const std::uint64_t total_symbols = totals.verdicts * opt.symbols;
+  const double throughput =
+      wall_s > 0 ? static_cast<double>(total_symbols) / wall_s : 0.0;
+  const auto connect_p = percentiles(totals.connect_ns);
+  const auto hello_p = percentiles(totals.hello_rtt_ns);
+  const auto rtt_p = percentiles(totals.verdict_rtt_ns);
+  const auto admit_p = percentiles(std::move(admit_ns));
+
+  std::printf(
+      "bench_net: %zu conns (%zu done, %zu failed, peak %zu held), "
+      "%llu verdicts in %.2fs\n",
+      conns.size(), totals.done, totals.failed, totals.peak,
+      static_cast<unsigned long long>(totals.verdicts), wall_s);
+  std::printf("  throughput      %12.0f symbols/s\n", throughput);
+  std::printf("  connect         p50 %8.1fus   p99 %8.1fus\n",
+              static_cast<double>(connect_p.p50) / 1e3,
+              static_cast<double>(connect_p.p99) / 1e3);
+  std::printf("  hello rtt       p50 %8.1fus   p99 %8.1fus\n",
+              static_cast<double>(hello_p.p50) / 1e3,
+              static_cast<double>(hello_p.p99) / 1e3);
+  std::printf("  verdict rtt     p50 %8.1fus   p99 %8.1fus\n",
+              static_cast<double>(rtt_p.p50) / 1e3,
+              static_cast<double>(rtt_p.p99) / 1e3);
+  std::printf("  admit (replay)  p50 %8.1fus   p99 %8.1fus\n",
+              static_cast<double>(admit_p.p50) / 1e3,
+              static_cast<double>(admit_p.p99) / 1e3);
+  std::printf("  feed (replay)   p50 %8.1fus   p99 %8.1fus\n",
+              static_cast<double>(feed_lat.p50) / 1e3,
+              static_cast<double>(feed_lat.p99) / 1e3);
+  std::printf(
+      "  parity          %llu mismatches, %llu wire-expectation "
+      "mismatches, %llu missing\n",
+      static_cast<unsigned long long>(parity_mismatches),
+      static_cast<unsigned long long>(totals.wire_mismatches),
+      static_cast<unsigned long long>(missing_verdicts));
+  if (deadline_hit)
+    std::printf("  DEADLINE: run cut off after %llus\n",
+                static_cast<unsigned long long>(opt.deadline_s));
+
+  const std::string row =
+      rtw::sim::bench_record("net")
+          .field("connections", static_cast<std::uint64_t>(conns.size()))
+          .field("sessions_per_conn",
+                 static_cast<std::uint64_t>(opt.sessions))
+          .field("symbols_per_session",
+                 static_cast<std::uint64_t>(opt.symbols))
+          .field("connected", static_cast<std::uint64_t>(totals.connected))
+          .field("failed", static_cast<std::uint64_t>(totals.failed))
+          .field("peak_held", static_cast<std::uint64_t>(totals.peak))
+          .field("verdicts", totals.verdicts)
+          .field("missing_verdicts", missing_verdicts)
+          .field("parity_mismatches", parity_mismatches)
+          .field("expectation_mismatches", totals.wire_mismatches)
+          .field("total_symbols", total_symbols)
+          .field("wall_s", wall_s)
+          .field("throughput_sym_s", throughput)
+          .field("p50_connect_ns", connect_p.p50)
+          .field("p99_connect_ns", connect_p.p99)
+          .field("p50_hello_rtt_ns", hello_p.p50)
+          .field("p99_hello_rtt_ns", hello_p.p99)
+          .field("p50_rtt_ns", rtt_p.p50)
+          .field("p99_rtt_ns", rtt_p.p99)
+          .field("p50_admit_ns", admit_p.p50)
+          .field("p99_admit_ns", admit_p.p99)
+          .field("p50_feed_ns", feed_lat.p50)
+          .field("p99_feed_ns", feed_lat.p99)
+          .field("deadline_hit", deadline_hit)
+          .str();
+  std::cout << row << std::endl;
+  if (!opt.json_path.empty()) {
+    std::ofstream out(opt.json_path, std::ios::app);
+    out << row << "\n";
+  }
+
+  const bool ok = !deadline_hit && totals.failed == 0 &&
+                  missing_verdicts == 0 && parity_mismatches == 0 &&
+                  totals.wire_mismatches == 0;
+  return ok ? 0 : 1;
+}

@@ -36,7 +36,7 @@
 //                         per-symbol drive loop);
 //   --acceptor=lane       deadline::make_lane_acceptor (vectorizable).
 // Kernel:
-//   --kernel=on|off       ServiceConfig::lane_kernel; with `off` (or with
+//   --kernel=on|off       ShardConfig::lane_kernel; with `off` (or with
 //                         --acceptor=engine) every run takes the
 //                         per-symbol feed_run path.
 //
@@ -75,7 +75,7 @@ namespace {
 
 using namespace rtw::core;
 using rtw::svc::Admit;
-using rtw::svc::ServiceConfig;
+
 using rtw::svc::SessionId;
 using rtw::svc::SessionManager;
 
@@ -156,12 +156,13 @@ std::unique_ptr<OnlineAcceptor> make_deadline_session(
 Cell run_cell(const CellConfig& cc) {
   using clock = std::chrono::steady_clock;
 
-  ServiceConfig config;
-  config.shards = cc.shards;
-  config.ring_capacity = cc.ring;
-  config.shed_on_full = true;   // overload -> shed, producer never stalls
-  config.lane_kernel = cc.kernel;
-  SessionManager manager(config);
+  rtw::svc::ShardConfig shard;
+  shard.count = cc.shards;
+  shard.lane_kernel = cc.kernel;
+  rtw::svc::IngressConfig ingress;
+  ingress.ring_capacity = cc.ring;
+  ingress.shed_on_full = true;  // overload -> shed, producer never stalls
+  SessionManager manager(shard, ingress);
 
   RunOptions options;
   options.horizon = cc.symbols_per_session + 16;

@@ -1,0 +1,155 @@
+// rtw_svcd: the serving layer as a network daemon.
+//
+// Binds the epoll TCP front-end to a Server speaking the wire protocol
+// with the built-in profile acceptors ("accept", "reject", "count:K" --
+// see rtw/svc/profiles.hpp), serves until SIGINT/SIGTERM, then drains
+// gracefully: every still-open session is truncate-closed and its
+// verdict flushed to the owning client before the socket closes.
+//
+//   ./rtw_svcd --port 4600 --shards 4
+//   ./rtw_svcd --port 0            # kernel-assigned; parse the line below
+//
+// Startup prints exactly one line to stdout:
+//
+//   rtw_svcd listening on 127.0.0.1:4600
+//
+// and shutdown appends a JSONL stats row (standard bench envelope) to
+// stdout and, with --json PATH, to that file -- the net-smoke CI job
+// asserts on those fields.
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "rtw/sim/jsonl.hpp"
+#include "rtw/svc/net/tcp_server.hpp"
+#include "rtw/svc/profiles.hpp"
+#include "rtw/svc/server.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true, std::memory_order_release); }
+
+struct Options {
+  std::string bind = "127.0.0.1";
+  std::uint16_t port = 4600;
+  unsigned shards = 2;
+  std::size_t ring = 4096;
+  std::string json_path;
+  std::uint64_t max_runtime_s = 0;  ///< 0 = until signal (CI safety net)
+};
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--bind") {
+      const char* v = next();
+      if (!v) return false;
+      opt.bind = v;
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (!v) return false;
+      opt.port = static_cast<std::uint16_t>(std::atoi(v));
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (!v) return false;
+      opt.shards = static_cast<unsigned>(std::atoi(v));
+    } else if (arg == "--ring") {
+      const char* v = next();
+      if (!v) return false;
+      opt.ring = static_cast<std::size_t>(std::atoll(v));
+    } else if (arg == "--json") {
+      const char* v = next();
+      if (!v) return false;
+      opt.json_path = v;
+    } else if (arg == "--max-runtime-s") {
+      const char* v = next();
+      if (!v) return false;
+      opt.max_runtime_s = static_cast<std::uint64_t>(std::atoll(v));
+    } else {
+      std::cerr << "rtw_svcd: unknown argument '" << arg << "'\n"
+                << "usage: rtw_svcd [--bind A] [--port N] [--shards N] "
+                   "[--ring N] [--json PATH] [--max-runtime-s N]\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return 2;
+
+  rtw::svc::net::raise_nofile_limit(1 << 18);
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  rtw::svc::ServerConfig config;
+  config.shard.count = opt.shards;
+  config.ingress.ring_capacity = opt.ring;
+  config.net.bind_address = opt.bind;
+  config.net.port = opt.port;
+
+  rtw::svc::Server server(config, rtw::svc::profile_factory());
+  rtw::svc::net::TcpServer transport(server);
+  if (!transport.start()) {
+    std::cerr << "rtw_svcd: " << transport.error() << "\n";
+    return 1;
+  }
+  std::cout << "rtw_svcd listening on " << opt.bind << ":"
+            << transport.port() << std::endl;  // flush: CI parses this line
+
+  const auto started = std::chrono::steady_clock::now();
+  while (!g_stop.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (opt.max_runtime_s > 0 &&
+        std::chrono::steady_clock::now() - started >=
+            std::chrono::seconds(opt.max_runtime_s))
+      break;
+  }
+
+  transport.stop();  // graceful drain (see net/tcp_server.hpp)
+
+  const auto net = transport.stats();
+  const auto svc = server.manager().stats();
+  const std::string row =
+      rtw::sim::bench_record("svcd")
+          .field("shards", opt.shards)
+          .field("ring", static_cast<std::uint64_t>(opt.ring))
+          .field("accepted_conns", net.accepted)
+          .field("closed_conns", net.closed)
+          .field("rejected_capacity", net.rejected_capacity)
+          .field("read_bytes", net.read_bytes)
+          .field("written_bytes", net.written_bytes)
+          .field("read_pauses", net.read_pauses)
+          .field("frame_errors", net.frame_errors)
+          .field("sessions_opened", svc.opened)
+          .field("sessions_closed", svc.closed)
+          .field("sessions_active", svc.active)
+          .field("symbols_ingested", svc.ingested)
+          .field("symbols_shed", svc.shed)
+          .field("stale_dropped", svc.stale)
+          .field("unknown", svc.unknown)
+          .str();
+  std::cout << row << std::endl;
+  if (!opt.json_path.empty()) {
+    std::ofstream out(opt.json_path, std::ios::app);
+    out << row << "\n";
+  }
+  return 0;
+}

@@ -61,9 +61,9 @@ std::string client_stream(rtw::svc::SessionId id, bool correct_output) {
 }  // namespace
 
 int main() {
-  rtw::svc::ServiceConfig config;
-  config.shards = 2;
-  SessionManager manager(config);
+  rtw::svc::ShardConfig shard;
+  shard.count = 2;
+  SessionManager manager(shard, rtw::svc::IngressConfig{});
 
   // The factory maps a wire profile string to a fresh online acceptor.
   const rtw::svc::AcceptorFactory factory =

@@ -1,0 +1,53 @@
+#pragma once
+/// \file admit.hpp
+/// Admission verdicts for the serving layer's bounded data plane.
+///
+/// `Admit` is the three-way outcome of offering a command to a shard
+/// ring; `AdmitResult` is the structured form the redesigned API returns:
+/// the outcome *plus the reason* a non-Accepted verdict was handed out,
+/// so callers (and the wire, via the ShedNotice frame) can distinguish a
+/// physically full ring from a quota hit or a priority watermark without
+/// diffing service-wide counters.  `AdmitResult` converts implicitly to
+/// `Admit`, so pre-split call sites comparing against the enum compile
+/// unchanged.
+
+#include <cstdint>
+#include <string>
+
+namespace rtw::svc {
+
+/// Ingress verdict for one command (or one batched run of symbols --
+/// batched admission is all-or-nothing, a run never tears).
+enum class Admit : std::uint8_t {
+  Accepted,  ///< enqueued on the session's shard
+  Shed,      ///< dropped at admission (shed_on_full = true)
+  Blocked,   ///< not admitted, caller should retry (shed_on_full = false)
+};
+
+/// Why a Shed (or Blocked) verdict was returned.
+enum class ShedReason : std::uint8_t {
+  None,          ///< admitted
+  RingFull,      ///< the shard ring had no free data-plane slot
+  SessionBound,  ///< the session's in-flight quota was exhausted
+  Priority,      ///< priority/age watermark shed under load
+};
+
+std::string to_string(Admit a);
+std::string to_string(ShedReason r);
+
+/// Admission outcome with its structured shed reason.  The implicit
+/// conversion keeps `feed(...) == Admit::Shed` style call sites working;
+/// new code reads `.reason` instead of correlating counters.
+struct AdmitResult {
+  Admit admit = Admit::Accepted;
+  ShedReason reason = ShedReason::None;
+
+  constexpr operator Admit() const noexcept { return admit; }
+  constexpr bool accepted() const noexcept {
+    return admit == Admit::Accepted;
+  }
+};
+
+std::string to_string(const AdmitResult& r);
+
+}  // namespace rtw::svc

@@ -1,0 +1,56 @@
+#pragma once
+/// \file net/epoll.hpp
+/// RAII wrappers over epoll(7) and eventfd(2), the two kernel objects
+/// the reactor is built on.  Edge-triggered by convention: every
+/// interest set this codebase registers carries EPOLLET, so handlers
+/// must always drain to EAGAIN.
+
+#include <sys/epoll.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtw/svc/net/socket.hpp"
+
+namespace rtw::svc::net {
+
+/// The epoll instance plus a reusable event buffer.
+class Epoll {
+public:
+  Epoll();
+  bool ok() const noexcept { return fd_.valid(); }
+  const std::string& error() const noexcept { return error_; }
+
+  bool add(int fd, std::uint32_t events, std::uint64_t tag);
+  bool mod(int fd, std::uint32_t events, std::uint64_t tag);
+  bool del(int fd);
+
+  /// Waits up to timeout_ms (-1 = forever).  Returns the ready events
+  /// (valid until the next wait call); empty on timeout or EINTR.
+  const std::vector<epoll_event>& wait(int timeout_ms);
+
+private:
+  Fd fd_;
+  std::string error_;
+  std::vector<epoll_event> events_;  ///< kernel-filled buffer
+  std::vector<epoll_event> ready_;   ///< the n ready entries handed out
+};
+
+/// Cross-thread doorbell: any thread rings, the event loop wakes.
+/// Registered in the epoll set like any other fd (level semantics are
+/// fine under ET because drain() zeroes the counter).
+class EventFd {
+public:
+  EventFd();
+  bool ok() const noexcept { return fd_.valid(); }
+  int fd() const noexcept { return fd_.get(); }
+
+  void ring() noexcept;   ///< async-signal-safe, callable from any thread
+  void drain() noexcept;  ///< zero the counter (event-loop side)
+
+private:
+  Fd fd_;
+};
+
+}  // namespace rtw::svc::net

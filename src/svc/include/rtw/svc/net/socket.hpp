@@ -1,0 +1,80 @@
+#pragma once
+/// \file net/socket.hpp
+/// Thin POSIX socket helpers for the TCP front-end: an RAII fd, a bound
+/// nonblocking listener, and the option twiddles the reactor needs.
+/// Everything returns errors by value (errno captured into a string);
+/// nothing throws, because transport setup failures are operational, not
+/// logic bugs.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace rtw::svc::net {
+
+/// Owning file descriptor.  Move-only; closes on destruction.
+class Fd {
+public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  int release() noexcept { return std::exchange(fd_, -1); }
+  void reset() noexcept;
+
+private:
+  int fd_ = -1;
+};
+
+/// Result of listener setup: the listening fd plus the port the kernel
+/// actually bound (meaningful when the config asked for port 0).
+struct Listener {
+  Fd fd;
+  std::uint16_t port = 0;
+  std::string error;  ///< non-empty = setup failed, fd invalid
+
+  bool ok() const noexcept { return error.empty(); }
+};
+
+/// Creates a nonblocking, SO_REUSEADDR listening socket bound to
+/// `address:port` with the given backlog.
+Listener make_listener(const std::string& address, std::uint16_t port,
+                       int backlog);
+
+/// Connects a nonblocking client socket to `address:port`.  The connect
+/// may still be in flight (EINPROGRESS) when this returns; the caller's
+/// event loop observes writability for completion.
+struct ConnectResult {
+  Fd fd;
+  std::string error;
+  bool ok() const noexcept { return error.empty(); }
+};
+ConnectResult connect_nonblocking(const std::string& address,
+                                  std::uint16_t port);
+
+bool set_nonblocking(int fd);
+/// Disables Nagle; latency benches would otherwise measure the 40 ms
+/// delayed-ack dance, not the server.
+bool set_tcp_nodelay(int fd);
+bool set_sndbuf(int fd, int bytes);
+bool set_rcvbuf(int fd, int bytes);
+
+/// Raises RLIMIT_NOFILE toward `want` (clamped to the hard limit).
+/// Returns the resulting soft limit.  10k-connection runs need this on
+/// stock 1024-fd defaults.
+std::uint64_t raise_nofile_limit(std::uint64_t want);
+
+}  // namespace rtw::svc::net

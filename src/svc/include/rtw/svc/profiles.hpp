@@ -1,0 +1,160 @@
+#pragma once
+/// \file profiles.hpp
+/// Wire-profile acceptors: tiny deterministic OnlineAcceptors the network
+/// front-end, the load generator and the hermetic tests all share.
+///
+/// The Open frame's body selects the acceptor ("profile"):
+///
+///   "accept"    settles Accepting at finish, whatever arrived
+///   "reject"    settles Rejecting at finish
+///   "count:K"   accepts iff exactly K symbols arrive; the (K+1)-th
+///               symbol locks Rejecting *early* (exact verdict), so the
+///               profile exercises both the heuristic and the locked path
+///
+/// Determinism is the point: the verdict is a pure function of the fed
+/// symbol sequence, so the load generator can replay the same words
+/// through an in-process SessionManager and demand bit-identical
+/// verdicts -- the acceptance criterion for the TCP path.  Verdict-bearing
+/// paper workloads (deadline, rtdb, adhoc) plug into the same factory
+/// seam via their own make_online_* adapters; these profiles exist so the
+/// transport can be validated without dragging an application module into
+/// every net binary.
+
+#include <charconv>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "rtw/core/acceptor.hpp"
+#include "rtw/core/online.hpp"
+#include "rtw/svc/service.hpp"
+
+namespace rtw::svc {
+
+/// Counts symbols; accepts iff the total equals `target`.  Overshooting
+/// locks Rejecting immediately (exact), undershoot/exact-hit settle at
+/// finish (heuristic).
+class CountAcceptor final : public core::OnlineAcceptor {
+public:
+  explicit CountAcceptor(std::uint64_t target) : target_(target) {}
+
+  core::Verdict feed(core::Symbol, core::Tick at) override {
+    if (finished_ || core::final_verdict(verdict_)) return verdict_;
+    ++count_;
+    high_water_ = at;
+    result_.symbols_consumed = count_;
+    result_.ticks = at;
+    if (count_ > target_) {
+      verdict_ = core::Verdict::Rejecting;  // can never be exactly K again
+      result_.accepted = false;
+      result_.exact = true;
+    }
+    return verdict_;
+  }
+
+  core::Verdict finish(core::StreamEnd) override {
+    if (finished_) return verdict_;
+    finished_ = true;
+    if (!core::final_verdict(verdict_)) {
+      const bool hit = count_ == target_;
+      verdict_ = hit ? core::Verdict::Accepting : core::Verdict::Rejecting;
+      result_.accepted = hit;
+      result_.exact = false;
+      if (hit) {
+        result_.f_count = 1;
+        result_.first_f = high_water_;
+      }
+    }
+    return verdict_;
+  }
+
+  core::Verdict verdict() const override { return verdict_; }
+  const core::RunResult& result() const override { return result_; }
+  void reset() override {
+    count_ = 0;
+    high_water_ = 0;
+    finished_ = false;
+    verdict_ = core::Verdict::Undetermined;
+    result_ = {};
+  }
+  std::string name() const override {
+    return "count:" + std::to_string(target_);
+  }
+
+private:
+  std::uint64_t target_;
+  std::uint64_t count_ = 0;
+  core::Tick high_water_ = 0;
+  bool finished_ = false;
+  core::Verdict verdict_ = core::Verdict::Undetermined;
+  core::RunResult result_;
+};
+
+/// Settles to a fixed verdict at finish; Undetermined while streaming.
+class FixedAcceptor final : public core::OnlineAcceptor {
+public:
+  explicit FixedAcceptor(bool accept) : accept_(accept) {}
+
+  core::Verdict feed(core::Symbol, core::Tick at) override {
+    if (finished_) return verdict_;
+    ++count_;
+    result_.symbols_consumed = count_;
+    result_.ticks = at;
+    return verdict_;
+  }
+
+  core::Verdict finish(core::StreamEnd) override {
+    if (finished_) return verdict_;
+    finished_ = true;
+    verdict_ = accept_ ? core::Verdict::Accepting : core::Verdict::Rejecting;
+    result_.accepted = accept_;
+    result_.exact = false;
+    return verdict_;
+  }
+
+  core::Verdict verdict() const override { return verdict_; }
+  const core::RunResult& result() const override { return result_; }
+  void reset() override {
+    count_ = 0;
+    finished_ = false;
+    verdict_ = core::Verdict::Undetermined;
+    result_ = {};
+  }
+  std::string name() const override { return accept_ ? "accept" : "reject"; }
+
+private:
+  bool accept_;
+  std::uint64_t count_ = 0;
+  bool finished_ = false;
+  core::Verdict verdict_ = core::Verdict::Undetermined;
+  core::RunResult result_;
+};
+
+/// Builds the acceptor a profile string names; nullptr refuses (unknown
+/// profile -> the server refuses the Open, clients see a shed notice).
+inline std::unique_ptr<core::OnlineAcceptor> make_profile_acceptor(
+    std::string_view profile) {
+  if (profile == "accept") return std::make_unique<FixedAcceptor>(true);
+  if (profile == "reject") return std::make_unique<FixedAcceptor>(false);
+  constexpr std::string_view kCount = "count:";
+  if (profile.substr(0, kCount.size()) == kCount) {
+    const std::string_view digits = profile.substr(kCount.size());
+    std::uint64_t target = 0;
+    const auto [ptr, ec] =
+        std::from_chars(digits.data(), digits.data() + digits.size(), target);
+    if (ec != std::errc{} || ptr != digits.data() + digits.size())
+      return nullptr;
+    return std::make_unique<CountAcceptor>(target);
+  }
+  return nullptr;
+}
+
+/// The factory form the Server facade and SessionManager::apply consume.
+inline AcceptorFactory profile_factory() {
+  return [](SessionId, std::string_view profile) {
+    return make_profile_acceptor(profile);
+  };
+}
+
+}  // namespace rtw::svc

@@ -1,0 +1,246 @@
+#pragma once
+/// \file server.hpp
+/// Transport-agnostic serving facade: byte streams in, byte streams out.
+///
+/// `Server` is the redesigned public entry point of the serving layer.
+/// It owns a SessionManager and speaks the wire protocol, but knows
+/// nothing about sockets: a transport (net::TcpServer, a test harness, a
+/// future UDS/QUIC front-end) hands it byte chunks per *connection* and
+/// drains the bytes the server wants written back.  Everything between --
+/// incremental decoding, session multiplexing, admission, verdict
+/// routing -- is the server's business, so every transport gets identical
+/// semantics and the hermetic tests can drive the facade without a single
+/// syscall.
+///
+/// Connection model:
+///
+///   transport          Server / Connection               SessionManager
+///   ---------          -------------------               --------------
+///   bytes arrive  -->  Decoder -> WireEvents
+///                      Open: client id -> fresh global id,
+///                            owner registered         --> open()
+///                      Symbols: id remapped           --> feed_batch()
+///                      Close: id remapped             --> close()
+///                      Hello: version negotiated,
+///                             HelloAck queued on the output buffer
+///   writable      <--  take_output(): HelloAck / Verdict / ShedNotice
+///                      frames, byte-exact wire format
+///                                                     <-- report sink:
+///                      finished sessions route back to their owning
+///                      connection as Verdict frames (client-side ids)
+///
+/// Session ids on the wire are *client-chosen*; two connections may both
+/// open "session 1".  The connection remaps every client id to a fresh
+/// global id before it touches the manager, so wire sessions never
+/// collide with each other or with in-process open() callers.
+///
+/// Thread model: a connection's input plane (on_bytes / finish_input /
+/// retry_pending) is single-threaded -- the transport's event loop.  The
+/// output buffer is also fed by shard workers delivering verdicts, so it
+/// is mutex-guarded; take_output() may race deliver_report() safely.
+/// Lock order is Server::mutex_ before Connection::mutex_ (never
+/// inverted: the input plane takes the server mutex only between
+/// connection-mutex critical sections).
+///
+/// Fault tolerance mirrors the manager: duplicate Opens, Closes for
+/// unknown ids and Symbols for never-opened sessions are counted and
+/// ignored, not fatal -- fault-injected streams legitimately duplicate
+/// and reorder frames.  Only *framing* damage (Decoder errors) kills a
+/// connection, because byte alignment is unrecoverable.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "rtw/svc/service.hpp"
+#include "rtw/svc/wire.hpp"
+
+namespace rtw::svc {
+
+class Server;
+
+/// Per-connection tallies (input plane unless noted).
+struct ConnectionStats {
+  std::uint64_t opens = 0;           ///< sessions opened through this conn
+  std::uint64_t dup_opens = 0;       ///< duplicate client ids, ignored
+  std::uint64_t refused_opens = 0;   ///< factory returned nullptr
+  std::uint64_t unknown_frames = 0;  ///< Symbols/Close for unmapped ids
+  std::uint64_t sheds = 0;           ///< admission refusals (runs, not symbols)
+  std::uint64_t verdicts = 0;        ///< Verdict frames queued (output plane)
+};
+
+/// One client byte stream.  Created by Server::connect(); the transport
+/// drives the input plane and drains the output plane.
+class Connection : public std::enable_shared_from_this<Connection> {
+public:
+  /// Feeds received bytes through the decoder and applies every decodable
+  /// event.  Returns false when the connection has died (framing error):
+  /// the transport should stop reading and tear it down via
+  /// Server::disconnect().  Safe to call with the connection paused; the
+  /// bytes queue behind the pending event.
+  bool on_bytes(std::string_view bytes);
+
+  /// Half-close (client FIN): no more input will arrive.  Sessions the
+  /// client left open are truncate-closed; the connection stays alive
+  /// until their verdicts have been delivered and drained.
+  void finish_input();
+
+  /// Retries the admission-blocked event, if any.  Returns true when the
+  /// connection is unblocked (event admitted, or nothing was pending) and
+  /// the transport may resume reading.
+  bool retry_pending();
+
+  /// Moves up to max_bytes of queued output into `out` (appended).
+  /// Returns the number of bytes appended.
+  std::size_t take_output(std::string& out, std::size_t max_bytes);
+  /// Re-queues the unwritten tail of a partial write, in front.
+  void push_front_output(std::string_view bytes);
+
+  std::size_t output_size() const;
+  bool has_output() const { return output_size() > 0; }
+
+  /// True while an admission-blocked event is parked (shed_on_full off).
+  /// The transport should stop reading until retry_pending() succeeds.
+  bool paused() const noexcept { return paused_.load(std::memory_order_acquire); }
+  /// True once a framing error killed the stream.
+  bool dead() const noexcept { return dead_.load(std::memory_order_acquire); }
+  const std::string& error() const noexcept { return error_; }
+
+  /// True when the connection has nothing left to do: input finished,
+  /// every owned session settled, output drained.  The transport closes
+  /// such connections.
+  bool complete() const;
+
+  std::uint64_t id() const noexcept { return id_; }
+  /// Sessions opened on this connection whose verdict has not yet been
+  /// delivered.
+  std::size_t owned_sessions() const;
+  bool input_finished() const noexcept {
+    return input_finished_.load(std::memory_order_acquire);
+  }
+  /// Negotiated protocol version (0 until a Hello arrives).
+  std::uint8_t version() const noexcept {
+    return version_.load(std::memory_order_acquire);
+  }
+  ConnectionStats stats() const;
+
+private:
+  friend class Server;
+
+  struct Owned {
+    SessionId global = 0;
+    bool close_sent = false;  ///< client Close observed (or FIN sweep)
+  };
+
+  Connection(Server& server, std::uint64_t id, std::size_t max_frame_bytes);
+
+  /// Drains decoder events (and the parked event first); false = died.
+  bool pump();
+  bool apply_event(WireEvent& event);
+  /// Feeds one remapped run; parks it when admission blocks.
+  bool submit_symbols(SessionId client, std::vector<core::TimedSymbol> run);
+  void queue_output(std::string frame);
+  void fail_stream(std::string message);
+
+  /// Report delivery (shard-worker thread, via Server::on_report).
+  void deliver_report(SessionId client, const SessionReport& report);
+
+  Server& server_;
+  const std::uint64_t id_;
+  Decoder decoder_;
+
+  // Input-plane state (event-loop thread only).
+  struct Pending {
+    SessionId client = 0;
+    std::vector<core::TimedSymbol> run;
+  };
+  std::optional<Pending> pending_;
+
+  std::atomic<bool> paused_{false};
+  std::atomic<bool> dead_{false};
+  std::atomic<bool> input_finished_{false};
+  std::atomic<std::uint8_t> version_{0};
+  std::string error_;  ///< written once before dead_ is published
+
+  mutable std::mutex mutex_;  ///< guards everything below
+  std::string output_;
+  std::unordered_map<SessionId, Owned> sessions_;   ///< client id -> state
+  std::unordered_map<SessionId, SessionId> remap_;  ///< global -> client id
+  ConnectionStats stats_;
+};
+
+/// The serving facade.  Owns the SessionManager; transports own the
+/// Server.
+class Server {
+public:
+  /// `factory` builds acceptors for wire-opened sessions (profile =
+  /// the Open frame's body, verbatim).
+  Server(ServerConfig config, AcceptorFactory factory);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds a new logical client stream.  The transport keeps the
+  /// shared_ptr; the server holds a registry entry until disconnect().
+  std::shared_ptr<Connection> connect();
+
+  /// Hard teardown: truncate-closes the connection's live sessions and
+  /// drops it from the registry.  Verdicts still in flight for it are
+  /// consumed and discarded (never leak into collect()).
+  void disconnect(const std::shared_ptr<Connection>& conn);
+
+  /// Graceful drain: truncate-closes every session (wire and direct),
+  /// which routes the final verdicts into their connections' output
+  /// buffers.  The transport then flushes and closes.  Idempotent.
+  void shutdown();
+
+  /// Transport hook: invoked (possibly from a shard worker) whenever a
+  /// connection gains output outside the input plane -- i.e. a verdict
+  /// landed.  The callback must be thread-safe and must not call back
+  /// into the Server.  Install before traffic starts.
+  void set_wakeup(std::function<void(const std::shared_ptr<Connection>&)> fn) {
+    wakeup_ = std::move(fn);
+  }
+
+  SessionManager& manager() noexcept { return manager_; }
+  const ServerConfig& config() const noexcept { return config_; }
+  std::size_t connection_count() const;
+
+private:
+  friend class Connection;
+
+  /// Report sink installed on the manager: routes a finished session's
+  /// report to its owning connection as a Verdict frame.  Returns true
+  /// (consumed) for wire-owned sessions, false for direct open() callers.
+  bool on_report(const SessionReport& report);
+
+  SessionId allocate_session();
+  void register_owner(SessionId global, std::shared_ptr<Connection> conn);
+  void wake(const std::shared_ptr<Connection>& conn);
+
+  ServerConfig config_;
+  AcceptorFactory factory_;
+  SessionManager manager_;
+
+  mutable std::mutex mutex_;  ///< guards owners_ and connections_
+  /// Global session id -> owning connection.  A null mapped value is a
+  /// tombstone: the owner died, consume and discard the report.
+  std::unordered_map<SessionId, std::shared_ptr<Connection>> owners_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Connection>> connections_;
+
+  std::function<void(const std::shared_ptr<Connection>&)> wakeup_;
+  std::atomic<std::uint64_t> next_conn_id_{1};
+  /// Wire-session ids start far above the manager's own open() counter so
+  /// mixed wire + direct workloads never collide on an id.
+  std::atomic<SessionId> next_session_{SessionId{1} << 32};
+};
+
+}  // namespace rtw::svc

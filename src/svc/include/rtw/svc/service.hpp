@@ -63,68 +63,56 @@
 #include "rtw/core/online.hpp"
 #include "rtw/sim/event_queue.hpp"
 #include "rtw/sim/thread_pool.hpp"
+#include "rtw/svc/admit.hpp"
+#include "rtw/svc/config.hpp"
 #include "rtw/svc/ring.hpp"
 #include "rtw/svc/session.hpp"
 #include "rtw/svc/wire.hpp"
 
 namespace rtw::svc {
 
-/// Ingress verdict for one command (or one batched run of symbols --
-/// batched admission is all-or-nothing, a run never tears).
-enum class Admit : std::uint8_t {
-  Accepted,  ///< enqueued on the session's shard
-  Shed,      ///< dropped at admission (shed_on_full = true)
-  Blocked,   ///< not admitted, caller should retry (shed_on_full = false)
-};
-
-/// Why a Shed (or Blocked) verdict was returned.
-enum class ShedReason : std::uint8_t {
-  None,          ///< admitted
-  RingFull,      ///< the shard ring had no free data-plane slot
-  SessionBound,  ///< the session's in-flight quota was exhausted
-  Priority,      ///< priority/age watermark shed under load
-};
-
-std::string to_string(Admit a);
-std::string to_string(ShedReason r);
-
+/// Pre-split flat configuration (the PR 5-7 API).  Every field is a
+/// deprecated alias of its home in the ShardConfig/IngressConfig split;
+/// the implicit conversion lets old call sites hand it straight to
+/// SessionManager for one more PR cycle.  New code assembles a
+/// ServerConfig instead.
+// The pragma silences the *implicit* special members (whose synthesized
+// definitions touch every deprecated field and are attributed to the
+// struct itself); direct field access at call sites still warns.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 struct ServiceConfig {
-  unsigned shards = 1;  ///< worker count (and ring count)
-  /// Data-plane bound per shard, in ring slots (a slot holds one command:
-  /// a single symbol or a whole batched run).  The physical ring is
-  /// allocated with extra headroom so control commands always land.
+  [[deprecated("use ShardConfig::count")]]
+  unsigned shards = 1;
+  [[deprecated("use IngressConfig::ring_capacity")]]
   std::size_t ring_capacity = 1024;
-  bool shed_on_full = true;  ///< full ring: true = Shed, false = Blocked
-  /// Sessions idle for this many shard epochs are finished
-  /// (StreamEnd::Truncated) and reported with `evicted = true`.
-  /// 0 disables eviction.
+  [[deprecated("use IngressConfig::shed_on_full")]]
+  bool shed_on_full = true;
+  [[deprecated("use ShardConfig::idle_epochs")]]
   std::uint64_t idle_epochs = 0;
-  std::size_t drain_batch = 256;  ///< ring slots per shard epoch
-  /// Max in-flight (admitted, not yet processed) symbols per session;
-  /// 0 disables the quota.  Exceeding it sheds with `SessionBound`.
+  [[deprecated("use ShardConfig::drain_batch")]]
+  std::size_t drain_batch = 256;
+  [[deprecated("use IngressConfig::session_quota")]]
   std::size_t session_quota = 0;
-  /// Occupancy fraction above which Priority::Low data is shed.
+  [[deprecated("use IngressConfig::watermark_low")]]
   double watermark_low = 0.5;
-  /// Occupancy fraction above which Priority::Normal data is also shed
-  /// (High survives until the ring is physically full).
+  [[deprecated("use IngressConfig::watermark_high")]]
   double watermark_high = 0.875;
-  /// Worker-side age watermark: a non-High data command that waited in
-  /// the ring longer than this many steady-clock ns is dropped (counted
-  /// as a Priority shed) instead of fed.  0 disables.
+  [[deprecated("use IngressConfig::max_queue_delay_ns")]]
   std::uint64_t max_queue_delay_ns = 0;
-  /// Per-shard capacity of the lock-free priority/quota hint table.
+  [[deprecated("use IngressConfig::session_slots")]]
   std::size_t session_slots = 8192;
-  /// Stamp every Nth data command with its enqueue time and record the
-  /// enqueue->process delta (the true feed latency) on the worker.
-  /// 0 disables sampling; age shedding stamps every command regardless.
+  [[deprecated("use IngressConfig::latency_sample_every")]]
   std::size_t latency_sample_every = 16;
-  /// Route batched runs of lane-family sessions through the SIMD batch
-  /// kernel (rtw/core/lane.hpp) instead of per-symbol feed_run.  Verdicts
-  /// are bit-identical either way; off = always the virtual path.
+  [[deprecated("use ShardConfig::lane_kernel")]]
   bool lane_kernel = true;
-  /// Max staged lane runs before the worker flushes a kernel wave.
+  [[deprecated("use ShardConfig::lane_wave")]]
   std::size_t lane_wave = 256;
+
+  /// Folds the flat fields into their split homes (net stays default).
+  operator ServerConfig() const;
 };
+#pragma GCC diagnostic pop
 
 /// Monotone service-wide tallies (mirrored into obs metrics when a sink
 /// is installed).
@@ -152,9 +140,19 @@ struct ServiceStats {
 using AcceptorFactory = std::function<std::unique_ptr<core::OnlineAcceptor>(
     SessionId, std::string_view profile)>;
 
+/// Observer for finished sessions, installed with set_report_sink().
+/// Invoked on the shard worker that finished the session, outside any
+/// manager lock.  Return true to consume the report (it will NOT be
+/// queued for collect()); false to fall through to the collect() queue.
+/// The Server facade uses this to push Verdict frames to the owning
+/// connection the moment a stream settles.
+using ReportSink = std::function<bool(const SessionReport&)>;
+
 class SessionManager {
 public:
-  explicit SessionManager(ServiceConfig config = {});
+  explicit SessionManager(ServerConfig config = {});
+  /// Convenience: shard + ingress blocks without a NetConfig.
+  SessionManager(ShardConfig shard, IngressConfig ingress);
   /// Drains and truncation-closes every remaining session.
   ~SessionManager();
 
@@ -173,16 +171,19 @@ public:
             Priority priority = Priority::Normal);
 
   /// Routes one symbol to the session's shard (data plane: bounded).
-  Admit feed(SessionId id, core::Symbol symbol, core::Tick at);
+  /// Returns the admission outcome with its structured shed reason;
+  /// converts implicitly to the bare Admit for pre-split call sites.
+  AdmitResult feed(SessionId id, core::Symbol symbol, core::Tick at);
 
   /// Batched admission: publishes the whole run in one ring slot,
   /// all-or-nothing.  Element times must be nondecreasing (they share the
   /// session's stale filter symbol by symbol).  Admission cost -- the
   /// occupancy read, table probe, ring claim and election -- is paid once
   /// for the run instead of once per symbol.
-  Admit feed_batch(SessionId id, std::vector<core::TimedSymbol> run);
+  AdmitResult feed_batch(SessionId id, std::vector<core::TimedSymbol> run);
 
-  /// Finishes the session and queues its SessionReport for collect().
+  /// Finishes the session and queues its SessionReport for collect()
+  /// (or hands it to the report sink when one is installed).
   void close(SessionId id, core::StreamEnd end = core::StreamEnd::EndOfWord);
 
   // --------------------------------------------------- wire-driven API
@@ -191,7 +192,10 @@ public:
   /// through `factory`; Symbols events are admitted as one batched run
   /// per event, waiting out Blocked verdicts (the wire reader *is* the
   /// backpressure point) and reporting Shed if the run was shed.
-  Admit apply(const WireEvent& event, const AcceptorFactory& factory);
+  /// Protocol-level events (Hello and the server->client notifications)
+  /// are not servable traffic and report Shed; the Server facade handles
+  /// those before they reach the manager.
+  AdmitResult apply(const WireEvent& event, const AcceptorFactory& factory);
 
   // ----------------------------------------------------- lifecycle
 
@@ -205,6 +209,11 @@ public:
 
   /// Takes the reports of sessions that finished since the last call.
   std::vector<SessionReport> collect();
+
+  /// Installs (or clears, with nullptr) the report sink.  Not
+  /// thread-safe against in-flight traffic: install before feeding, on
+  /// the thread that owns the manager.
+  void set_report_sink(ReportSink sink) { report_sink_ = std::move(sink); }
 
   /// Takes the sampled enqueue->process feed latencies (steady-clock ns)
   /// accumulated since the last call.  Call only while drained (the
@@ -247,7 +256,7 @@ private:
   };
 
   struct Shard {
-    explicit Shard(const ServiceConfig& config);
+    explicit Shard(const IngressConfig& ingress);
 
     MpscRing<Command> ring;
     SessionTable table;           ///< producer-readable priority/quota hints
@@ -273,7 +282,7 @@ private:
   };
 
   /// Data-plane admission: watermarks, quota, ring claim, election.
-  Admit admit_data(Command command, std::size_t symbols);
+  AdmitResult admit_data(Command command, std::size_t symbols);
   /// Control-plane enqueue: never sheds; spins into the ring's headroom.
   void enqueue_control(Command command);
   void elect(Shard& shard);
@@ -287,13 +296,15 @@ private:
                       bool evicted);
   void evict_idle(Shard& shard, sim::Tick epoch);
 
-  ServiceConfig config_;
+  ShardConfig shard_cfg_;
+  IngressConfig ingress_cfg_;
   std::size_t watermark_low_slots_ = 0;   ///< precomputed slot thresholds
   std::size_t watermark_high_slots_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
   sim::ThreadPool pool_;
   std::atomic<SessionId> next_id_{1};
   std::atomic<std::uint64_t> sample_tick_{0};
+  ReportSink report_sink_;
 
   struct AtomicStats {
     std::atomic<std::uint64_t> opened{0}, closed{0}, ingested{0}, shed{0},

@@ -21,6 +21,23 @@
 ///                         carrying an admission priority for the
 ///                         adaptive-shedding ingress
 ///
+/// Protocol v1 (this PR) adds a version handshake and the server->client
+/// notification plane.  Ops 1-6 are byte-identical to the v0 wiring; a
+/// client that never sends Hello speaks v0 and simply receives no
+/// notifications.
+///
+///   op 7  Hello           client->server, body = [u8 min][u8 max]: the
+///                         closed version range the client can speak
+///   op 8  HelloAck        server->client, body = [u8 version]: the
+///                         version the server selected (today: 1)
+///   op 9  Verdict         server->client, body = [u8 verdict][u8 exact]
+///                         [u8 evicted][u64le fed][u64le stale]: the
+///                         session's settled acceptance verdict
+///                         (core::Verdict) the moment the stream finishes
+///   op 10 ShedNotice      server->client, body = [u8 admit][u8 reason]
+///                         [u64le symbols]: an admission refusal surfaced
+///                         to the client that sent the refused frame
+///
 /// The payload is textual on purpose: it reuses core/serialize.hpp, so a
 /// frame body is greppable in a capture and replay files double as fixture
 /// text.  The *codec* is still binary -- the length prefix makes framing
@@ -51,6 +68,7 @@
 #include "rtw/core/serialize.hpp"
 #include "rtw/core/timed_word.hpp"
 #include "rtw/sim/fault.hpp"
+#include "rtw/svc/admit.hpp"
 #include "rtw/svc/ring.hpp"
 
 namespace rtw::svc {
@@ -65,7 +83,17 @@ enum class Op : std::uint8_t {
   CloseTruncated = 4,
   FeedBatch = 5,
   OpenPri = 6,
+  Hello = 7,
+  HelloAck = 8,
+  Verdict = 9,
+  ShedNotice = 10,
 };
+
+std::string to_string(Op op);
+
+/// The protocol version this build speaks.  Version 0 is the pre-Hello
+/// frame set (ops 1-6); version 1 adds the handshake and notifications.
+inline constexpr std::uint8_t kWireVersion = 1;
 
 /// Frame size cap the Decoder enforces by default (a corrupt length
 /// prefix must not look like a 4 GiB allocation request).
@@ -84,6 +112,20 @@ std::string encode_feed_batch(SessionId session,
                               const std::vector<core::TimedSymbol>& symbols);
 std::string encode_close(SessionId session,
                          core::StreamEnd end = core::StreamEnd::EndOfWord);
+/// Op 7: client hello advertising the closed version range [min, max].
+std::string encode_hello(std::uint8_t min_version = kWireVersion,
+                         std::uint8_t max_version = kWireVersion);
+/// Op 8: the server's selected version.
+std::string encode_hello_ack(std::uint8_t version);
+/// Op 9: a finished session's settled verdict (session id ties the
+/// notification back to the client's Open).
+std::string encode_verdict(SessionId session, core::Verdict verdict,
+                           bool exact, bool evicted, std::uint64_t fed,
+                           std::uint64_t stale);
+/// Op 10: an admission refusal, surfaced to the client that sent the
+/// refused frame.  `symbols` is the size of the refused run.
+std::string encode_shed(SessionId session, AdmitResult admit,
+                        std::uint64_t symbols);
 
 // ------------------------------------------------------------ decoding
 
@@ -92,7 +134,15 @@ std::string encode_close(SessionId session,
 /// exactly the frame's element list.  A FeedBatch frame always surfaces
 /// as exactly one Symbols event.
 struct WireEvent {
-  enum class Kind : std::uint8_t { Open, Symbols, Close };
+  enum class Kind : std::uint8_t {
+    Open,
+    Symbols,
+    Close,
+    Hello,     ///< op 7: client version advertisement
+    HelloAck,  ///< op 8: server version selection
+    Verdict,   ///< op 9: settled session verdict notification
+    Shed,      ///< op 10: admission-refusal notification
+  };
 
   Kind kind = Kind::Symbols;
   SessionId session = 0;
@@ -100,7 +150,30 @@ struct WireEvent {
   Priority priority = Priority::Normal;              ///< Open only
   std::string profile;                               ///< Open only
   std::vector<core::TimedSymbol> symbols;            ///< Symbols only
+
+  // Protocol-plane payloads (v1).
+  std::uint8_t version_min = 0;  ///< Hello
+  std::uint8_t version_max = 0;  ///< Hello
+  std::uint8_t version = 0;      ///< HelloAck
+  core::Verdict verdict = core::Verdict::Undetermined;  ///< Verdict
+  bool exact = false;            ///< Verdict: acceptance was exactly timed
+  bool evicted = false;          ///< Verdict: closed by idle eviction
+  std::uint64_t fed = 0;         ///< Verdict: symbols the session consumed
+  std::uint64_t stale = 0;       ///< Verdict: symbols the time filter dropped
+  AdmitResult admit;             ///< Shed: the refusal and its reason
+  std::uint64_t shed_symbols = 0;  ///< Shed: size of the refused run
 };
+
+/// Typed decode failure, exposed alongside the human-readable error().
+enum class DecodeError : std::uint8_t {
+  None,           ///< stream healthy
+  ShortFrame,     ///< length prefix smaller than the payload header
+  Oversized,      ///< length prefix exceeds the frame size cap
+  UnknownOp,      ///< opcode outside the known set (typed rejection)
+  MalformedBody,  ///< body failed its op-specific validation
+};
+
+std::string to_string(DecodeError e);
 
 /// Incremental frame decoder.  Not thread-safe (one per byte stream).
 /// Errors (bad opcode, oversized or undersized length, malformed feed
@@ -117,20 +190,23 @@ public:
   /// Pops the next decoded event; false when none is ready yet.
   bool next(WireEvent& out);
 
-  bool ok() const noexcept { return error_.empty(); }
+  bool ok() const noexcept { return error_code_ == DecodeError::None; }
   const std::string& error() const noexcept { return error_; }
+  /// The typed form of error(); DecodeError::None while ok().
+  DecodeError error_code() const noexcept { return error_code_; }
   /// Complete frames decoded so far (a multi-event Feed counts once).
   std::uint64_t frames() const noexcept { return frames_; }
 
 private:
   void decode();
-  void fail(std::string message);
+  void fail(DecodeError code, std::string message);
 
   std::size_t max_frame_bytes_;
   std::string buffer_;        ///< undecoded bytes
   std::size_t scan_ = 0;      ///< consumed prefix of buffer_
   std::deque<WireEvent> ready_;
   std::string error_;
+  DecodeError error_code_ = DecodeError::None;
   std::uint64_t frames_ = 0;
 
   // Streaming-body state: set while inside a Feed frame whose body has

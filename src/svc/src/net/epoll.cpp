@@ -1,0 +1,61 @@
+#include "rtw/svc/net/epoll.hpp"
+
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace rtw::svc::net {
+
+Epoll::Epoll() : fd_(::epoll_create1(EPOLL_CLOEXEC)) {
+  if (!fd_.valid())
+    error_ = std::string("epoll_create1: ") + std::strerror(errno);
+  events_.resize(1024);
+}
+
+bool Epoll::add(int fd, std::uint32_t events, std::uint64_t tag) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = tag;
+  return ::epoll_ctl(fd_.get(), EPOLL_CTL_ADD, fd, &ev) == 0;
+}
+
+bool Epoll::mod(int fd, std::uint32_t events, std::uint64_t tag) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = tag;
+  return ::epoll_ctl(fd_.get(), EPOLL_CTL_MOD, fd, &ev) == 0;
+}
+
+bool Epoll::del(int fd) {
+  return ::epoll_ctl(fd_.get(), EPOLL_CTL_DEL, fd, nullptr) == 0;
+}
+
+const std::vector<epoll_event>& Epoll::wait(int timeout_ms) {
+  static const std::vector<epoll_event> kEmpty;
+  const int n = ::epoll_wait(fd_.get(), events_.data(),
+                             static_cast<int>(events_.size()), timeout_ms);
+  if (n <= 0) return kEmpty;
+  if (static_cast<std::size_t>(n) == events_.size())
+    events_.resize(events_.size() * 2);  // saturated: grow for next time
+  ready_.assign(events_.begin(), events_.begin() + n);
+  return ready_;
+}
+
+EventFd::EventFd() : fd_(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)) {}
+
+void EventFd::ring() noexcept {
+  const std::uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) already guarantees a pending wakeup.
+  [[maybe_unused]] const auto n =
+      ::write(fd_.get(), &one, sizeof(one));
+}
+
+void EventFd::drain() noexcept {
+  std::uint64_t value = 0;
+  [[maybe_unused]] const auto n =
+      ::read(fd_.get(), &value, sizeof(value));
+}
+
+}  // namespace rtw::svc::net

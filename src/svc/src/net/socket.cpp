@@ -1,0 +1,127 @@
+#include "rtw/svc/net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace rtw::svc::net {
+
+namespace {
+
+std::string errno_string(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+bool parse_addr(const std::string& address, std::uint16_t port,
+                sockaddr_in& out, std::string& error) {
+  out = {};
+  out.sin_family = AF_INET;
+  out.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &out.sin_addr) != 1) {
+    error = "inet_pton: invalid IPv4 address '" + address + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void Fd::reset() noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+Listener make_listener(const std::string& address, std::uint16_t port,
+                       int backlog) {
+  Listener out;
+  sockaddr_in addr{};
+  if (!parse_addr(address, port, addr, out.error)) return out;
+
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) {
+    out.error = errno_string("socket");
+    return out;
+  }
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) <
+      0) {
+    out.error = errno_string("setsockopt(SO_REUSEADDR)");
+    return out;
+  }
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    out.error = errno_string("bind");
+    return out;
+  }
+  if (::listen(fd.get(), backlog) < 0) {
+    out.error = errno_string("listen");
+    return out;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) <
+      0) {
+    out.error = errno_string("getsockname");
+    return out;
+  }
+  out.port = ntohs(bound.sin_port);
+  out.fd = std::move(fd);
+  return out;
+}
+
+ConnectResult connect_nonblocking(const std::string& address,
+                                  std::uint16_t port) {
+  ConnectResult out;
+  sockaddr_in addr{};
+  if (!parse_addr(address, port, addr, out.error)) return out;
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) {
+    out.error = errno_string("socket");
+    return out;
+  }
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0 &&
+      errno != EINPROGRESS) {
+    out.error = errno_string("connect");
+    return out;
+  }
+  out.fd = std::move(fd);
+  return out;
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool set_tcp_nodelay(int fd) {
+  const int one = 1;
+  return ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) == 0;
+}
+
+bool set_sndbuf(int fd, int bytes) {
+  return ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes)) == 0;
+}
+
+bool set_rcvbuf(int fd, int bytes) {
+  return ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof(bytes)) == 0;
+}
+
+std::uint64_t raise_nofile_limit(std::uint64_t want) {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) return 0;
+  if (lim.rlim_cur >= want) return lim.rlim_cur;
+  rlimit raised = lim;
+  raised.rlim_cur = want > lim.rlim_max ? lim.rlim_max : want;
+  if (::setrlimit(RLIMIT_NOFILE, &raised) != 0) return lim.rlim_cur;
+  return raised.rlim_cur;
+}
+
+}  // namespace rtw::svc::net

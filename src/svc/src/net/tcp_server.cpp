@@ -1,0 +1,356 @@
+#include "rtw/svc/net/tcp_server.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace rtw::svc::net {
+
+namespace {
+
+/// Staging-buffer refill size: big enough to amortize write(2) calls,
+/// small enough that a slow reader's memory cost stays bounded by the
+/// logical buffer's write_buffer_limit accounting.
+constexpr std::size_t kStageBytes = 256 * 1024;
+
+/// Reactor poll cadence (ms) while admission-parked connections exist:
+/// ring drain has no doorbell, so unblocking is polled.
+constexpr int kRetryTickMs = 2;
+
+std::uint64_t now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+TcpServer::TcpServer(Server& server)
+    : server_(server), net_(server.config().net) {}
+
+TcpServer::~TcpServer() { stop(); }
+
+bool TcpServer::start() {
+  if (running_.load(std::memory_order_acquire)) return true;
+  if (!epoll_.ok()) {
+    error_ = epoll_.error();
+    return false;
+  }
+  if (!wakeup_.ok()) {
+    error_ = "eventfd: setup failed";
+    return false;
+  }
+  listener_ = make_listener(net_.bind_address, net_.port, net_.backlog);
+  if (!listener_.ok()) {
+    error_ = listener_.error;
+    return false;
+  }
+  port_ = listener_.port;
+  if (!epoll_.add(listener_.fd.get(), EPOLLIN | EPOLLET,
+                  static_cast<std::uint64_t>(listener_.fd.get())) ||
+      !epoll_.add(wakeup_.fd(), EPOLLIN,
+                  static_cast<std::uint64_t>(wakeup_.fd()))) {
+    error_ = std::string("epoll_ctl: ") + std::strerror(errno);
+    return false;
+  }
+  read_buffer_.resize(net_.read_chunk ? net_.read_chunk : 4096);
+
+  // Verdicts land on shard workers; hand the reactor a doorbell.
+  server_.set_wakeup([this](const std::shared_ptr<Connection>& conn) {
+    {
+      std::lock_guard lock(pending_mutex_);
+      pending_.push_back(conn->id());
+    }
+    wakeup_.ring();
+  });
+
+  running_.store(true, std::memory_order_release);
+  stopping_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { loop(); });
+  return true;
+}
+
+void TcpServer::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_release);
+  wakeup_.ring();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+TcpServerStats TcpServer::stats() const {
+  TcpServerStats s;
+  s.accepted = stats_.accepted.load(std::memory_order_relaxed);
+  s.rejected_capacity =
+      stats_.rejected_capacity.load(std::memory_order_relaxed);
+  s.closed = stats_.closed.load(std::memory_order_relaxed);
+  s.active = stats_.active.load(std::memory_order_relaxed);
+  s.read_bytes = stats_.read_bytes.load(std::memory_order_relaxed);
+  s.written_bytes = stats_.written_bytes.load(std::memory_order_relaxed);
+  s.read_pauses = stats_.read_pauses.load(std::memory_order_relaxed);
+  s.frame_errors = stats_.frame_errors.load(std::memory_order_relaxed);
+  return s;
+}
+
+void TcpServer::loop() {
+  bool draining = false;
+  std::uint64_t drain_deadline_ms = 0;
+
+  for (;;) {
+    if (stopping_.load(std::memory_order_acquire) && !draining) {
+      // Graceful drain, phase 1: no new connections, no new sessions.
+      if (listener_.fd.valid()) {
+        epoll_.del(listener_.fd.get());
+        listener_.fd.reset();
+      }
+      for (auto& [fd, conn] : conns_) conn.logical->finish_input();
+      // Phase 2: settle every verdict into the output buffers.  Blocks
+      // this thread, but wakeups only enqueue to pending_, so the drain
+      // cannot deadlock on us.
+      server_.shutdown();
+      draining = true;
+      drain_deadline_ms = now_ms() + net_.drain_timeout_ms;
+    }
+
+    if (draining) {
+      // Phase 3: flush.  Exit once every connection completed (or gave
+      // up) or the drain budget is spent.
+      for (auto it = conns_.begin(); it != conns_.end();) {
+        const int fd = it->first;
+        Conn& conn = it->second;
+        ++it;  // flush/reap may erase
+        if (!flush_writes(fd, conn)) continue;
+        reap_if_finished(fd, conn);
+      }
+      if (conns_.empty() || now_ms() >= drain_deadline_ms) break;
+    }
+
+    int timeout = -1;
+    if (draining)
+      timeout = kRetryTickMs;
+    else if (admission_paused_count_ > 0)
+      timeout = kRetryTickMs;
+    const auto& ready = epoll_.wait(timeout);
+
+    for (const auto& ev : ready) {
+      const int fd = static_cast<int>(ev.data.u64);
+      if (listener_.fd.valid() && fd == listener_.fd.get()) {
+        do_accept();
+        continue;
+      }
+      if (fd == wakeup_.fd()) {
+        wakeup_.drain();
+        continue;  // pending_ handled below
+      }
+      const auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;  // closed earlier this batch
+      Conn& conn = it->second;
+
+      if (ev.events & (EPOLLHUP | EPOLLERR)) {
+        close_conn(fd);
+        continue;
+      }
+      if (ev.events & EPOLLOUT) {
+        if (!flush_writes(fd, conn)) continue;
+        maybe_resume_reads(fd, conn);
+      }
+      if (ev.events & (EPOLLIN | EPOLLRDHUP)) {
+        if (conn.read_paused) {
+          conn.read_ready = true;  // remember the edge for the resume
+        } else {
+          handle_readable(fd, conn);
+        }
+      }
+    }
+
+    drain_wakeups();
+
+    // Retry admission-parked connections: the shard rings drain without a
+    // doorbell, so this is polled at kRetryTickMs.
+    if (admission_paused_count_ > 0) {
+      for (auto it = conns_.begin(); it != conns_.end();) {
+        const int fd = it->first;
+        Conn& conn = it->second;
+        ++it;
+        if (conn.admission_paused) maybe_resume_reads(fd, conn);
+      }
+    }
+  }
+
+  // Force-close whatever outlived the drain budget.
+  while (!conns_.empty()) close_conn(conns_.begin()->first);
+  server_.set_wakeup(nullptr);
+}
+
+void TcpServer::do_accept() {
+  for (;;) {
+    const int raw = ::accept4(listener_.fd.get(), nullptr, nullptr,
+                              SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (raw < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // EMFILE etc: drop the edge; next accept retries
+    }
+    if (conns_.size() >= net_.max_connections) {
+      ::close(raw);
+      stats_.rejected_capacity.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    Fd fd(raw);
+    set_tcp_nodelay(raw);
+    if (net_.sndbuf > 0) set_sndbuf(raw, net_.sndbuf);
+    if (net_.rcvbuf > 0) set_rcvbuf(raw, net_.rcvbuf);
+    if (!epoll_.add(raw, EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET,
+                    static_cast<std::uint64_t>(raw))) {
+      continue;  // fd closes via RAII
+    }
+    Conn conn;
+    conn.fd = std::move(fd);
+    conn.logical = server_.connect();
+    by_logical_.emplace(conn.logical->id(), raw);
+    conns_.emplace(raw, std::move(conn));
+    stats_.accepted.fetch_add(1, std::memory_order_relaxed);
+    stats_.active.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void TcpServer::handle_readable(int fd, Conn& conn) {
+  for (;;) {
+    const ssize_t n = ::read(fd, read_buffer_.data(), read_buffer_.size());
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      close_conn(fd);  // ECONNRESET and friends
+      return;
+    }
+    if (n == 0) {
+      conn.peer_eof = true;
+      conn.logical->finish_input();
+      break;
+    }
+    stats_.read_bytes.fetch_add(static_cast<std::uint64_t>(n),
+                                std::memory_order_relaxed);
+    if (!conn.logical->on_bytes(
+            std::string_view(read_buffer_.data(),
+                             static_cast<std::size_t>(n)))) {
+      stats_.frame_errors.fetch_add(1, std::memory_order_relaxed);
+      close_conn(fd);
+      return;
+    }
+    if (conn.logical->paused()) {
+      // Admission-Blocked event parked: stop reading, poll-retry.
+      conn.read_paused = true;
+      conn.admission_paused = true;
+      ++admission_paused_count_;
+      stats_.read_pauses.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (conn.logical->output_size() > net_.write_buffer_limit) {
+      // Slow reader: flush what the socket takes, then pause reads until
+      // the buffer drains below half the limit.
+      if (!flush_writes(fd, conn)) return;
+      if (conn.logical->output_size() > net_.write_buffer_limit) {
+        conn.read_paused = true;
+        stats_.read_pauses.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+    }
+  }
+  // Replies (HelloAck, notices) usually fit the socket buffer: write
+  // eagerly instead of waiting for an EPOLLOUT edge.
+  if (conns_.count(fd) == 0) return;  // closed above
+  if (!flush_writes(fd, conn)) return;
+  reap_if_finished(fd, conn);
+}
+
+bool TcpServer::flush_writes(int fd, Conn& conn) {
+  for (;;) {
+    if (conn.out_off == conn.outbuf.size()) {
+      conn.outbuf.clear();
+      conn.out_off = 0;
+      if (conn.logical->take_output(conn.outbuf, kStageBytes) == 0) break;
+    }
+    const ssize_t n = ::write(fd, conn.outbuf.data() + conn.out_off,
+                              conn.outbuf.size() - conn.out_off);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;  // EPOLLOUT edge pending
+      if (errno == EINTR) continue;
+      close_conn(fd);  // EPIPE/ECONNRESET
+      return false;
+    }
+    conn.out_off += static_cast<std::size_t>(n);
+    stats_.written_bytes.fetch_add(static_cast<std::uint64_t>(n),
+                                   std::memory_order_relaxed);
+  }
+  return true;
+}
+
+void TcpServer::maybe_resume_reads(int fd, Conn& conn) {
+  if (!conn.read_paused) return;
+  if (conn.admission_paused) {
+    if (!conn.logical->retry_pending()) return;  // rings still full
+    conn.admission_paused = false;
+    --admission_paused_count_;
+  }
+  // Write-side backpressure releases at half the limit (hysteresis so a
+  // borderline conn doesn't thrash pause/resume per frame).
+  const std::size_t staged =
+      conn.outbuf.size() - conn.out_off + conn.logical->output_size();
+  if (staged > net_.write_buffer_limit / 2) return;
+  conn.read_paused = false;
+  if (std::exchange(conn.read_ready, false)) handle_readable(fd, conn);
+}
+
+bool TcpServer::reap_if_finished(int fd, Conn& conn) {
+  if (conn.logical->dead()) {
+    close_conn(fd);
+    return true;
+  }
+  // complete() implies input finished -- via physical FIN (peer_eof) or
+  // the drain's finish_input() -- so no peer_eof check: a drained conn
+  // whose verdicts are flushed closes without waiting for the client.
+  if (conn.logical->complete() && conn.out_off == conn.outbuf.size()) {
+    close_conn(fd);
+    return true;
+  }
+  return false;
+}
+
+void TcpServer::close_conn(int fd) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  if (conn.admission_paused) --admission_paused_count_;
+  epoll_.del(fd);
+  by_logical_.erase(conn.logical->id());
+  server_.disconnect(conn.logical);
+  conns_.erase(it);  // Fd RAII closes the socket
+  stats_.closed.fetch_add(1, std::memory_order_relaxed);
+  stats_.active.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void TcpServer::drain_wakeups() {
+  std::vector<std::uint64_t> ids;
+  {
+    std::lock_guard lock(pending_mutex_);
+    ids.swap(pending_);
+  }
+  for (const std::uint64_t id : ids) {
+    const auto lit = by_logical_.find(id);
+    if (lit == by_logical_.end()) continue;  // conn already closed
+    const int fd = lit->second;
+    const auto it = conns_.find(fd);
+    if (it == conns_.end()) continue;
+    Conn& conn = it->second;
+    if (!flush_writes(fd, conn)) continue;
+    maybe_resume_reads(fd, conn);
+    reap_if_finished(fd, conn);
+  }
+}
+
+}  // namespace rtw::svc::net

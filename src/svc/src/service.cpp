@@ -93,16 +93,49 @@ std::string to_string(ShedReason r) {
   return "shed?";
 }
 
-SessionManager::Shard::Shard(const ServiceConfig& config)
-    : ring(config.ring_capacity + kControlHeadroom),
-      table(config.session_slots) {}
+std::string to_string(const AdmitResult& r) {
+  std::string out = to_string(r.admit);
+  if (r.reason != ShedReason::None) {
+    out += '(';
+    out += to_string(r.reason);
+    out += ')';
+  }
+  return out;
+}
 
-SessionManager::SessionManager(ServiceConfig config)
-    : config_(config),
-      pool_(config.shards == 0 ? 1 : config.shards) {
-  if (config_.shards == 0) config_.shards = 1;
-  if (config_.ring_capacity == 0) config_.ring_capacity = 1;
-  if (config_.drain_batch == 0) config_.drain_batch = 1;
+// The deprecation shim reads its own deprecated fields by design.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+ServiceConfig::operator ServerConfig() const {
+  ServerConfig out;
+  out.shard.count = shards;
+  out.shard.drain_batch = drain_batch;
+  out.shard.idle_epochs = idle_epochs;
+  out.shard.lane_kernel = lane_kernel;
+  out.shard.lane_wave = lane_wave;
+  out.ingress.ring_capacity = ring_capacity;
+  out.ingress.shed_on_full = shed_on_full;
+  out.ingress.session_quota = session_quota;
+  out.ingress.watermark_low = watermark_low;
+  out.ingress.watermark_high = watermark_high;
+  out.ingress.max_queue_delay_ns = max_queue_delay_ns;
+  out.ingress.session_slots = session_slots;
+  out.ingress.latency_sample_every = latency_sample_every;
+  return out;
+}
+#pragma GCC diagnostic pop
+
+SessionManager::Shard::Shard(const IngressConfig& ingress)
+    : ring(ingress.ring_capacity + kControlHeadroom),
+      table(ingress.session_slots) {}
+
+SessionManager::SessionManager(ServerConfig config)
+    : shard_cfg_(config.shard),
+      ingress_cfg_(config.ingress),
+      pool_(config.shard.count == 0 ? 1 : config.shard.count) {
+  if (shard_cfg_.count == 0) shard_cfg_.count = 1;
+  if (ingress_cfg_.ring_capacity == 0) ingress_cfg_.ring_capacity = 1;
+  if (shard_cfg_.drain_batch == 0) shard_cfg_.drain_batch = 1;
   const auto clamp01 = [](double f) {
     return f < 0.0 ? 0.0 : (f > 1.0 ? 1.0 : f);
   };
@@ -110,18 +143,21 @@ SessionManager::SessionManager(ServiceConfig config)
   // fraction", so a tiny ring must not round a threshold down into the
   // always-shedding range (e.g. 0.875 of a 2-slot ring is still 2 slots).
   watermark_low_slots_ = static_cast<std::size_t>(
-      std::ceil(clamp01(config_.watermark_low) *
-                static_cast<double>(config_.ring_capacity)));
+      std::ceil(clamp01(ingress_cfg_.watermark_low) *
+                static_cast<double>(ingress_cfg_.ring_capacity)));
   watermark_high_slots_ = static_cast<std::size_t>(
-      std::ceil(clamp01(config_.watermark_high) *
-                static_cast<double>(config_.ring_capacity)));
+      std::ceil(clamp01(ingress_cfg_.watermark_high) *
+                static_cast<double>(ingress_cfg_.ring_capacity)));
   if (watermark_low_slots_ < 1) watermark_low_slots_ = 1;
   if (watermark_high_slots_ < watermark_low_slots_)
     watermark_high_slots_ = watermark_low_slots_;
-  shards_.reserve(config_.shards);
-  for (unsigned i = 0; i < config_.shards; ++i)
-    shards_.push_back(std::make_unique<Shard>(config_));
+  shards_.reserve(shard_cfg_.count);
+  for (unsigned i = 0; i < shard_cfg_.count; ++i)
+    shards_.push_back(std::make_unique<Shard>(ingress_cfg_));
 }
+
+SessionManager::SessionManager(ShardConfig shard, IngressConfig ingress)
+    : SessionManager(ServerConfig{shard, ingress, {}}) {}
 
 SessionManager::~SessionManager() { shutdown(core::StreamEnd::Truncated); }
 
@@ -169,58 +205,53 @@ void SessionManager::count_shed(ShedReason reason, std::size_t symbols) {
   }
 }
 
-Admit SessionManager::admit_data(Command command, std::size_t symbols) {
+AdmitResult SessionManager::admit_data(Command command, std::size_t symbols) {
   Shard& shard = *shards_[shard_of(command.id)];
   const std::size_t depth = shard.ring.approx_size();
-
-  // 1. Hard bound: the data plane never claims the control headroom.
-  if (depth >= config_.ring_capacity) {
-    if (config_.shed_on_full) {
-      count_shed(ShedReason::RingFull, symbols);
-      return Admit::Shed;
+  const auto refuse = [this](ShedReason reason,
+                             std::size_t n) -> AdmitResult {
+    if (ingress_cfg_.shed_on_full) {
+      count_shed(reason, n);
+      return AdmitResult{Admit::Shed, reason};
     }
     stats_.blocked.fetch_add(1, std::memory_order_relaxed);
-    return Admit::Blocked;
-  }
+    return AdmitResult{Admit::Blocked, reason};
+  };
+
+  // 1. Hard bound: the data plane never claims the control headroom.
+  if (depth >= ingress_cfg_.ring_capacity)
+    return refuse(ShedReason::RingFull, symbols);
 
   // 2. Adaptive admission: the hint table is consulted only when the
   //    quota is on or the ring is deep enough for watermarks to matter,
   //    keeping the uncontended fast path at one occupancy read.
   SessionTable::Slot* slot = nullptr;
-  if (config_.session_quota > 0 || depth >= watermark_low_slots_) {
+  if (ingress_cfg_.session_quota > 0 || depth >= watermark_low_slots_) {
     slot = shard.table.find(command.id);
     const Priority priority =
         slot ? static_cast<Priority>(
                    slot->priority.load(std::memory_order_relaxed))
              : Priority::Normal;
     command.priority = priority;
-    if (config_.session_quota > 0 && slot &&
+    if (ingress_cfg_.session_quota > 0 && slot &&
         slot->inflight.load(std::memory_order_relaxed) + symbols >
-            config_.session_quota) {
-      if (config_.shed_on_full) {
-        count_shed(ShedReason::SessionBound, symbols);
-        return Admit::Shed;
-      }
-      stats_.blocked.fetch_add(1, std::memory_order_relaxed);
-      return Admit::Blocked;
-    }
-    if (config_.shed_on_full && priority < Priority::High) {
+            ingress_cfg_.session_quota)
+      return refuse(ShedReason::SessionBound, symbols);
+    if (ingress_cfg_.shed_on_full && priority < Priority::High) {
       const std::size_t survives_until = priority == Priority::Low
                                              ? watermark_low_slots_
                                              : watermark_high_slots_;
-      if (depth >= survives_until) {
-        count_shed(ShedReason::Priority, symbols);
-        return Admit::Shed;
-      }
+      if (depth >= survives_until)
+        return refuse(ShedReason::Priority, symbols);
     }
   }
 
   // 3. Stamp for latency sampling and the age watermark.
-  if (config_.max_queue_delay_ns > 0) {
+  if (ingress_cfg_.max_queue_delay_ns > 0) {
     command.enqueue_ns = steady_ns();
-  } else if (config_.latency_sample_every > 0 &&
+  } else if (ingress_cfg_.latency_sample_every > 0 &&
              sample_tick_.fetch_add(1, std::memory_order_relaxed) %
-                     config_.latency_sample_every ==
+                     ingress_cfg_.latency_sample_every ==
                  0) {
     command.enqueue_ns = steady_ns();
   }
@@ -236,15 +267,10 @@ Admit SessionManager::admit_data(Command command, std::size_t symbols) {
     if (command.slot)
       command.slot->inflight.fetch_sub(static_cast<std::uint32_t>(symbols),
                                        std::memory_order_relaxed);
-    if (config_.shed_on_full) {
-      count_shed(ShedReason::RingFull, symbols);
-      return Admit::Shed;
-    }
-    stats_.blocked.fetch_add(1, std::memory_order_relaxed);
-    return Admit::Blocked;
+    return refuse(ShedReason::RingFull, symbols);
   }
   elect(shard);
-  return Admit::Accepted;
+  return AdmitResult{};
 }
 
 void SessionManager::enqueue_control(Command command) {
@@ -280,7 +306,8 @@ void SessionManager::open(SessionId id,
   enqueue_control(std::move(c));
 }
 
-Admit SessionManager::feed(SessionId id, core::Symbol symbol, core::Tick at) {
+AdmitResult SessionManager::feed(SessionId id, core::Symbol symbol,
+                                 core::Tick at) {
   Command c;
   c.kind = Command::Kind::Feed;
   c.id = id;
@@ -289,9 +316,9 @@ Admit SessionManager::feed(SessionId id, core::Symbol symbol, core::Tick at) {
   return admit_data(std::move(c), 1);
 }
 
-Admit SessionManager::feed_batch(SessionId id,
-                                 std::vector<core::TimedSymbol> run) {
-  if (run.empty()) return Admit::Accepted;
+AdmitResult SessionManager::feed_batch(SessionId id,
+                                       std::vector<core::TimedSymbol> run) {
+  if (run.empty()) return AdmitResult{};
   Command c;
   c.kind = Command::Kind::Feed;
   c.id = id;
@@ -308,8 +335,8 @@ void SessionManager::close(SessionId id, core::StreamEnd end) {
   enqueue_control(std::move(c));
 }
 
-Admit SessionManager::apply(const WireEvent& event,
-                            const AcceptorFactory& factory) {
+AdmitResult SessionManager::apply(const WireEvent& event,
+                                  const AcceptorFactory& factory) {
   switch (event.kind) {
     case WireEvent::Kind::Open: {
       auto acceptor =
@@ -317,26 +344,30 @@ Admit SessionManager::apply(const WireEvent& event,
       if (!acceptor) {
         stats_.unknown.fetch_add(1, std::memory_order_relaxed);
         if (obs::enabled()) Metrics::get().unknown.add();
-        return Admit::Shed;
+        return AdmitResult{Admit::Shed, ShedReason::None};
       }
       open(event.session, std::move(acceptor), event.priority);
-      return Admit::Accepted;
+      return AdmitResult{};
     }
     case WireEvent::Kind::Symbols: {
       // One decoded event = one batched ring slot, all-or-nothing.  The
       // wire reader is the backpressure point: wait out Blocked instead
       // of tearing the run in half.
       for (;;) {
-        const Admit a = feed_batch(event.session, event.symbols);
+        const AdmitResult a = feed_batch(event.session, event.symbols);
         if (a != Admit::Blocked) return a;
         std::this_thread::yield();
       }
     }
     case WireEvent::Kind::Close:
       close(event.session, event.end);
-      return Admit::Accepted;
+      return AdmitResult{};
+    default:
+      // Protocol-level events (Hello, server->client notifications) are
+      // not servable traffic; the Server facade consumes them upstream.
+      break;
   }
-  return Admit::Accepted;
+  return AdmitResult{Admit::Shed, ShedReason::None};
 }
 
 void SessionManager::run_shard(Shard& shard) {
@@ -345,7 +376,7 @@ void SessionManager::run_shard(Shard& shard) {
     shard.staging.clear();
     {
       Command c;
-      while (shard.staging.size() < config_.drain_batch &&
+      while (shard.staging.size() < shard_cfg_.drain_batch &&
              shard.ring.try_pop(c))
         shard.staging.push_back(std::move(c));
     }
@@ -379,7 +410,8 @@ void SessionManager::process(Shard& shard, sim::Tick epoch) {
   std::uint64_t aged = 0;
   // One clock read per epoch serves every stamped command in the batch.
   const std::uint64_t now_ns =
-      (config_.max_queue_delay_ns > 0 || config_.latency_sample_every > 0)
+      (ingress_cfg_.max_queue_delay_ns > 0 ||
+       ingress_cfg_.latency_sample_every > 0)
           ? steady_ns()
           : 0;
   for (auto& command : shard.staging) {
@@ -419,14 +451,14 @@ void SessionManager::process(Shard& shard, sim::Tick epoch) {
         if (it->second.session.in_wave()) flush_wave(shard);
         if (command.enqueue_ns && now_ns > command.enqueue_ns) {
           const std::uint64_t waited = now_ns - command.enqueue_ns;
-          if (config_.latency_sample_every > 0)
+          if (ingress_cfg_.latency_sample_every > 0)
             shard.latency_samples.push_back(waited);
           // Age watermark: stale-in-the-ring data is shed, not fed --
           // unless the session is High priority, which always lands.  The
           // session's own priority is authoritative here (the command may
           // have been admitted without a hint-table probe).
-          if (config_.max_queue_delay_ns > 0 &&
-              waited > config_.max_queue_delay_ns &&
+          if (ingress_cfg_.max_queue_delay_ns > 0 &&
+              waited > ingress_cfg_.max_queue_delay_ns &&
               it->second.session.priority() < Priority::High) {
             aged += n;
             break;
@@ -441,7 +473,7 @@ void SessionManager::process(Shard& shard, sim::Tick epoch) {
         // LaneRun aliases the command's run, which outlives the wave: the
         // staging vector is stable until the next drain and every wave is
         // flushed before process() returns.
-        if (config_.lane_kernel && !command.run.empty() &&
+        if (shard_cfg_.lane_kernel && !command.run.empty() &&
             !session.finished() &&
             session.acceptor().lane_family() != core::LaneFamily::None) {
           core::OnlineAcceptor& acceptor = session.acceptor();
@@ -458,7 +490,7 @@ void SessionManager::process(Shard& shard, sim::Tick epoch) {
             shard.wave_sessions.push_back(&session);
             session.set_in_wave(true);
             ingested += n;
-            if (shard.wave.size() >= config_.lane_wave) flush_wave(shard);
+            if (shard.wave.size() >= shard_cfg_.lane_wave) flush_wave(shard);
             break;
           }
         }
@@ -520,7 +552,7 @@ void SessionManager::process(Shard& shard, sim::Tick epoch) {
         shards_.begin());
     depth_gauge(index).set(static_cast<double>(shard.ring.approx_size()));
   }
-  if (config_.idle_epochs > 0) evict_idle(shard, epoch);
+  if (shard_cfg_.idle_epochs > 0) evict_idle(shard, epoch);
 }
 
 void SessionManager::flush_wave(Shard& shard) {
@@ -560,6 +592,10 @@ void SessionManager::finish_session(Shard& shard, Entry& entry,
     Metrics::get().active.set(static_cast<double>(
         stats_.active.load(std::memory_order_relaxed)));
   }
+  // A sink that consumes the report keeps it out of the collect() queue.
+  // It runs on the shard worker with no manager locks held, so it may call
+  // back into feed/close (but must not block on shard progress).
+  if (report_sink_ && report_sink_(report)) return;
   std::lock_guard lock(shard.reports_mutex);
   shard.reports.push_back(std::move(report));
 }
@@ -567,7 +603,7 @@ void SessionManager::finish_session(Shard& shard, Entry& entry,
 void SessionManager::evict_idle(Shard& shard, sim::Tick epoch) {
   for (auto it = shard.sessions.begin(); it != shard.sessions.end();) {
     if (epoch >= it->second.last_active &&
-        epoch - it->second.last_active >= config_.idle_epochs) {
+        epoch - it->second.last_active >= shard_cfg_.idle_epochs) {
       shard.table.erase(it->first);
       finish_session(shard, it->second, core::StreamEnd::Truncated,
                      /*evicted=*/true);

@@ -50,6 +50,33 @@ std::string encode(SessionId session, Op op, std::string_view body) {
 
 }  // namespace
 
+std::string to_string(Op op) {
+  switch (op) {
+    case Op::Open: return "open";
+    case Op::Feed: return "feed";
+    case Op::Close: return "close";
+    case Op::CloseTruncated: return "close_truncated";
+    case Op::FeedBatch: return "feed_batch";
+    case Op::OpenPri: return "open_pri";
+    case Op::Hello: return "hello";
+    case Op::HelloAck: return "hello_ack";
+    case Op::Verdict: return "verdict";
+    case Op::ShedNotice: return "shed_notice";
+  }
+  return "op?" + std::to_string(static_cast<unsigned>(op));
+}
+
+std::string to_string(DecodeError e) {
+  switch (e) {
+    case DecodeError::None: return "none";
+    case DecodeError::ShortFrame: return "short_frame";
+    case DecodeError::Oversized: return "oversized";
+    case DecodeError::UnknownOp: return "unknown_op";
+    case DecodeError::MalformedBody: return "malformed_body";
+  }
+  return "decode_error?";
+}
+
 std::string encode_open(SessionId session, std::string_view profile,
                         Priority priority) {
   if (priority == Priority::Normal) return encode(session, Op::Open, profile);
@@ -77,6 +104,41 @@ std::string encode_close(SessionId session, core::StreamEnd end) {
                 {});
 }
 
+std::string encode_hello(std::uint8_t min_version, std::uint8_t max_version) {
+  std::string body;
+  body.push_back(static_cast<char>(min_version));
+  body.push_back(static_cast<char>(max_version));
+  return encode(/*session=*/0, Op::Hello, body);
+}
+
+std::string encode_hello_ack(std::uint8_t version) {
+  std::string body(1, static_cast<char>(version));
+  return encode(/*session=*/0, Op::HelloAck, body);
+}
+
+std::string encode_verdict(SessionId session, core::Verdict verdict,
+                           bool exact, bool evicted, std::uint64_t fed,
+                           std::uint64_t stale) {
+  std::string body;
+  body.reserve(3 + 8 + 8);
+  body.push_back(static_cast<char>(verdict));
+  body.push_back(static_cast<char>(exact ? 1 : 0));
+  body.push_back(static_cast<char>(evicted ? 1 : 0));
+  put_u64le(body, fed);
+  put_u64le(body, stale);
+  return encode(session, Op::Verdict, body);
+}
+
+std::string encode_shed(SessionId session, AdmitResult admit,
+                        std::uint64_t symbols) {
+  std::string body;
+  body.reserve(2 + 8);
+  body.push_back(static_cast<char>(admit.admit));
+  body.push_back(static_cast<char>(admit.reason));
+  put_u64le(body, symbols);
+  return encode(session, Op::ShedNotice, body);
+}
+
 void Decoder::push(std::string_view bytes) {
   if (!ok()) return;
   buffer_.append(bytes);
@@ -95,7 +157,8 @@ bool Decoder::next(WireEvent& out) {
   return true;
 }
 
-void Decoder::fail(std::string message) {
+void Decoder::fail(DecodeError code, std::string message) {
+  error_code_ = code;
   error_ = std::move(message);
   buffer_.clear();
   scan_ = 0;
@@ -133,7 +196,8 @@ void Decoder::decode() {
       feed_remaining_ -= parsed.consumed;
       if (final_chunk) {
         if (parsed.consumed < take)
-          return fail("svc::Decoder: malformed feed body");
+          return fail(DecodeError::MalformedBody,
+                      "svc::Decoder: malformed feed body");
         continue;  // frame complete; the branch above closes it
       }
       return;  // need more body bytes
@@ -142,9 +206,11 @@ void Decoder::decode() {
     if (available < kHeaderBytes + kPayloadHeaderBytes) return;
     const std::size_t len = get_u32le(buffer_.data() + scan_);
     if (len < kPayloadHeaderBytes)
-      return fail("svc::Decoder: frame shorter than its payload header");
+      return fail(DecodeError::ShortFrame,
+                  "svc::Decoder: frame shorter than its payload header");
     if (len > max_frame_bytes_)
-      return fail("svc::Decoder: frame exceeds the size cap");
+      return fail(DecodeError::Oversized,
+                  "svc::Decoder: frame exceeds the size cap");
 
     const SessionId session = get_u64le(buffer_.data() + scan_ + kHeaderBytes);
     const auto op = static_cast<Op>(
@@ -176,10 +242,12 @@ void Decoder::decode() {
         break;
       case Op::OpenPri: {
         if (body.empty())
-          return fail("svc::Decoder: OpenPri frame without a priority byte");
+          return fail(DecodeError::MalformedBody,
+                      "svc::Decoder: OpenPri frame without a priority byte");
         const auto raw = static_cast<unsigned char>(body[0]);
         if (raw > static_cast<unsigned char>(Priority::High))
-          return fail("svc::Decoder: OpenPri with an unknown priority");
+          return fail(DecodeError::MalformedBody,
+                      "svc::Decoder: OpenPri with an unknown priority");
         ev.kind = WireEvent::Kind::Open;
         ev.priority = static_cast<Priority>(raw);
         ev.profile = std::string(body.substr(1));
@@ -189,7 +257,8 @@ void Decoder::decode() {
         auto parsed = core::parse_prefix(body, ~std::size_t{0},
                                          /*final_chunk=*/true);
         if (parsed.consumed < body.size())
-          return fail("svc::Decoder: malformed feed-batch body");
+          return fail(DecodeError::MalformedBody,
+                      "svc::Decoder: malformed feed-batch body");
         ev.kind = WireEvent::Kind::Symbols;
         ev.symbols = std::move(parsed.symbols);
         break;
@@ -202,8 +271,60 @@ void Decoder::decode() {
         ev.kind = WireEvent::Kind::Close;
         ev.end = core::StreamEnd::Truncated;
         break;
+      case Op::Hello:
+        if (body.size() != 2)
+          return fail(DecodeError::MalformedBody,
+                      "svc::Decoder: Hello body must be [min][max]");
+        ev.kind = WireEvent::Kind::Hello;
+        ev.version_min = static_cast<std::uint8_t>(body[0]);
+        ev.version_max = static_cast<std::uint8_t>(body[1]);
+        if (ev.version_min > ev.version_max)
+          return fail(DecodeError::MalformedBody,
+                      "svc::Decoder: Hello with an inverted version range");
+        break;
+      case Op::HelloAck:
+        if (body.size() != 1)
+          return fail(DecodeError::MalformedBody,
+                      "svc::Decoder: HelloAck body must be [version]");
+        ev.kind = WireEvent::Kind::HelloAck;
+        ev.version = static_cast<std::uint8_t>(body[0]);
+        break;
+      case Op::Verdict: {
+        if (body.size() != 3 + 8 + 8)
+          return fail(DecodeError::MalformedBody,
+                      "svc::Decoder: Verdict body has a fixed 19-byte layout");
+        const auto raw = static_cast<unsigned char>(body[0]);
+        if (raw > static_cast<unsigned char>(core::Verdict::Rejecting))
+          return fail(DecodeError::MalformedBody,
+                      "svc::Decoder: Verdict with an unknown verdict byte");
+        ev.kind = WireEvent::Kind::Verdict;
+        ev.verdict = static_cast<core::Verdict>(raw);
+        ev.exact = body[1] != 0;
+        ev.evicted = body[2] != 0;
+        ev.fed = get_u64le(body.data() + 3);
+        ev.stale = get_u64le(body.data() + 11);
+        break;
+      }
+      case Op::ShedNotice: {
+        if (body.size() != 2 + 8)
+          return fail(DecodeError::MalformedBody,
+                      "svc::Decoder: ShedNotice body has a fixed "
+                      "10-byte layout");
+        const auto raw_admit = static_cast<unsigned char>(body[0]);
+        const auto raw_reason = static_cast<unsigned char>(body[1]);
+        if (raw_admit > static_cast<unsigned char>(Admit::Blocked) ||
+            raw_reason > static_cast<unsigned char>(ShedReason::Priority))
+          return fail(DecodeError::MalformedBody,
+                      "svc::Decoder: ShedNotice with an unknown "
+                      "admit/reason byte");
+        ev.kind = WireEvent::Kind::Shed;
+        ev.admit = AdmitResult{static_cast<Admit>(raw_admit),
+                               static_cast<ShedReason>(raw_reason)};
+        ev.shed_symbols = get_u64le(body.data() + 2);
+        break;
+      }
       default:
-        return fail("svc::Decoder: unknown opcode");
+        return fail(DecodeError::UnknownOp, "svc::Decoder: unknown opcode");
     }
     ready_.push_back(std::move(ev));
     scan_ += kHeaderBytes + len;

@@ -53,7 +53,7 @@ using rtw::deadline::Usefulness;
 using rtw::svc::Admit;
 using rtw::svc::Session;
 using rtw::svc::SessionManager;
-using rtw::svc::ServiceConfig;
+
 
 // ====================================== 1. dispatch and layout probes
 
@@ -555,19 +555,22 @@ ManagedCase managed_adhoc(rtw::sim::Xoshiro256ss& rng, std::size_t size) {
 /// fed per symbol into a reference manager with the kernel off, at 1 and 2
 /// shards, must produce field-identical reports.
 TEST(ManagedLaneEquivalence, FiveHundredTriWorkloadCasesAcrossShardCounts) {
-  ServiceConfig reference_config;
-  reference_config.ring_capacity = 1 << 13;  // the workload never sheds
-  reference_config.lane_kernel = false;
-  ServiceConfig lane_config = reference_config;
-  lane_config.lane_kernel = true;
-  lane_config.lane_wave = 8;  // small waves: exercise mid-batch flushes
+  rtw::svc::IngressConfig ingress;
+  ingress.ring_capacity = 1 << 13;  // the workload never sheds
+  rtw::svc::ShardConfig reference_shard;
+  reference_shard.lane_kernel = false;
+  rtw::svc::ShardConfig lane_shard;
+  lane_shard.lane_kernel = true;
+  lane_shard.lane_wave = 8;  // small waves: exercise mid-batch flushes
 
-  reference_config.shards = 1;
-  lane_config.shards = 1;
-  SessionManager reference_1(reference_config), lane_1(lane_config);
-  reference_config.shards = 2;
-  lane_config.shards = 2;
-  SessionManager reference_2(reference_config), lane_2(lane_config);
+  reference_shard.count = 1;
+  lane_shard.count = 1;
+  SessionManager reference_1(reference_shard, ingress),
+      lane_1(lane_shard, ingress);
+  reference_shard.count = 2;
+  lane_shard.count = 2;
+  SessionManager reference_2(reference_shard, ingress),
+      lane_2(lane_shard, ingress);
 
   rtw::proptest::Config cfg;
   cfg.seed = 0x77617665ULL;  // "wave"

@@ -29,6 +29,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -61,7 +62,9 @@ using rtw::svc::Priority;
 using rtw::svc::SessionId;
 using rtw::svc::SessionManager;
 using rtw::svc::SessionReport;
+using rtw::svc::IngressConfig;
 using rtw::svc::ServiceConfig;
+using rtw::svc::ShardConfig;
 using rtw::svc::WireEvent;
 
 // ====================================================== 1. parse_prefix
@@ -239,7 +242,7 @@ TEST(WireCodec, ErrorsAreSticky) {
   {
     Decoder decoder;
     std::string bad = rtw::svc::encode_open(1, "x");
-    bad[12] = 9;  // opcode byte -> unknown
+    bad[12] = 99;  // opcode byte -> unknown
     decoder.push(bad);
     EXPECT_FALSE(decoder.ok());
     decoder.push(rtw::svc::encode_open(2, "y"));
@@ -348,6 +351,251 @@ TEST(WireCodec, OpenPriorityRejectsUnknownPriorityByte) {
   Decoder decoder;
   decoder.push(frame);
   EXPECT_FALSE(decoder.ok());
+}
+
+/// Hand-assembles a frame: [u32le len][u64le session][u8 op][body].
+std::string raw_frame(std::uint8_t op, std::string_view body,
+                      SessionId session = 1) {
+  std::string frame;
+  const std::uint32_t len = static_cast<std::uint32_t>(9 + body.size());
+  for (int i = 0; i < 4; ++i)
+    frame.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+  for (int i = 0; i < 8; ++i)
+    frame.push_back(static_cast<char>((session >> (8 * i)) & 0xff));
+  frame.push_back(static_cast<char>(op));
+  frame.append(body);
+  return frame;
+}
+
+TEST(WireCodec, OpToStringIsExhaustive) {
+  using rtw::svc::Op;
+  // Every enumerator prints a distinct, non-empty, non-fallback name.
+  std::set<std::string> names;
+  for (const auto op : {Op::Open, Op::Feed, Op::Close, Op::CloseTruncated,
+                        Op::FeedBatch, Op::OpenPri, Op::Hello, Op::HelloAck,
+                        Op::Verdict, Op::ShedNotice}) {
+    const auto name = rtw::svc::to_string(op);
+    EXPECT_FALSE(name.empty());
+    EXPECT_EQ(name.find("Op("), std::string::npos) << name;
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), 10u);
+  // Out-of-range values fall back to a numeric form instead of aliasing.
+  EXPECT_NE(rtw::svc::to_string(static_cast<Op>(99)).find("99"),
+            std::string::npos);
+}
+
+TEST(WireCodec, HelloFramesRoundTripEveryVersionRange) {
+  for (std::uint8_t lo = 0; lo <= 2; ++lo) {
+    for (std::uint8_t hi = lo; hi <= 3; ++hi) {
+      Decoder decoder;
+      decoder.push(rtw::svc::encode_hello(lo, hi));
+      ASSERT_TRUE(decoder.ok()) << decoder.error();
+      WireEvent ev;
+      ASSERT_TRUE(decoder.next(ev));
+      EXPECT_EQ(ev.kind, WireEvent::Kind::Hello);
+      EXPECT_EQ(ev.version_min, lo);
+      EXPECT_EQ(ev.version_max, hi);
+    }
+  }
+  Decoder decoder;
+  decoder.push(rtw::svc::encode_hello_ack(rtw::svc::kWireVersion));
+  WireEvent ev;
+  ASSERT_TRUE(decoder.next(ev));
+  EXPECT_EQ(ev.kind, WireEvent::Kind::HelloAck);
+  EXPECT_EQ(ev.version, rtw::svc::kWireVersion);
+}
+
+TEST(WireCodec, VerdictFramesRoundTripEveryEnumerator) {
+  for (const auto verdict :
+       {Verdict::Undetermined, Verdict::Accepting, Verdict::Rejecting}) {
+    for (const bool exact : {false, true}) {
+      for (const bool evicted : {false, true}) {
+        Decoder decoder;
+        decoder.push(rtw::svc::encode_verdict(77, verdict, exact, evicted,
+                                              123456789, 42));
+        ASSERT_TRUE(decoder.ok()) << decoder.error();
+        WireEvent ev;
+        ASSERT_TRUE(decoder.next(ev));
+        EXPECT_EQ(ev.kind, WireEvent::Kind::Verdict);
+        EXPECT_EQ(ev.session, 77u);
+        EXPECT_EQ(ev.verdict, verdict);
+        EXPECT_EQ(ev.exact, exact);
+        EXPECT_EQ(ev.evicted, evicted);
+        EXPECT_EQ(ev.fed, 123456789u);
+        EXPECT_EQ(ev.stale, 42u);
+      }
+    }
+  }
+}
+
+TEST(WireCodec, ShedNoticeFramesRoundTripEveryEnumerator) {
+  using rtw::svc::AdmitResult;
+  using rtw::svc::ShedReason;
+  for (const auto admit : {Admit::Accepted, Admit::Shed, Admit::Blocked}) {
+    for (const auto reason :
+         {ShedReason::None, ShedReason::RingFull, ShedReason::SessionBound,
+          ShedReason::Priority}) {
+      Decoder decoder;
+      decoder.push(
+          rtw::svc::encode_shed(5, AdmitResult{admit, reason}, 999));
+      ASSERT_TRUE(decoder.ok()) << decoder.error();
+      WireEvent ev;
+      ASSERT_TRUE(decoder.next(ev));
+      EXPECT_EQ(ev.kind, WireEvent::Kind::Shed);
+      EXPECT_EQ(ev.session, 5u);
+      EXPECT_EQ(ev.admit.admit, admit);
+      EXPECT_EQ(ev.admit.reason, reason);
+      EXPECT_EQ(ev.shed_symbols, 999u);
+    }
+  }
+}
+
+TEST(WireCodec, UnknownOpsAreTypedRejections) {
+  using rtw::svc::DecodeError;
+  for (const std::uint8_t op : {std::uint8_t{0}, std::uint8_t{11},
+                                std::uint8_t{99}, std::uint8_t{255}}) {
+    Decoder decoder;
+    decoder.push(raw_frame(op, "body"));
+    EXPECT_FALSE(decoder.ok());
+    EXPECT_EQ(decoder.error_code(), DecodeError::UnknownOp) << unsigned(op);
+    WireEvent ev;
+    EXPECT_FALSE(decoder.next(ev));
+    // Sticky: later well-formed frames stay rejected.
+    decoder.push(rtw::svc::encode_open(1, "x"));
+    EXPECT_FALSE(decoder.next(ev));
+  }
+}
+
+TEST(WireCodec, MalformedV1BodiesAreTypedRejections) {
+  using rtw::svc::DecodeError;
+  const auto expect_malformed = [](std::string frame, const char* what) {
+    Decoder decoder;
+    decoder.push(frame);
+    EXPECT_FALSE(decoder.ok()) << what;
+    EXPECT_EQ(decoder.error_code(), DecodeError::MalformedBody) << what;
+  };
+  // Hello with an inverted range.
+  expect_malformed(raw_frame(7, std::string("\x02\x01", 2)),
+                   "hello min > max");
+  // Hello with the wrong body size.
+  expect_malformed(raw_frame(7, std::string("\x01", 1)), "hello short");
+  // Verdict body truncated to 5 of 19 bytes.
+  expect_malformed(raw_frame(9, std::string(5, '\0')), "verdict short");
+  // Verdict byte outside core::Verdict.
+  {
+    std::string body(19, '\0');
+    body[0] = 7;
+    expect_malformed(raw_frame(9, body), "verdict enum");
+  }
+  // ShedNotice admit byte outside Admit.
+  {
+    std::string body(10, '\0');
+    body[0] = 7;
+    expect_malformed(raw_frame(10, body), "shed admit enum");
+  }
+  // ShedNotice reason byte outside ShedReason.
+  {
+    std::string body(10, '\0');
+    body[1] = 9;
+    expect_malformed(raw_frame(10, body), "shed reason enum");
+  }
+  // Typed names for the error enum itself (UI/log surface).
+  std::set<std::string> names;
+  for (const auto e :
+       {DecodeError::None, DecodeError::ShortFrame, DecodeError::Oversized,
+        DecodeError::UnknownOp, DecodeError::MalformedBody}) {
+    const auto name = rtw::svc::to_string(e);
+    EXPECT_FALSE(name.empty());
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), 5u);
+}
+
+TEST(AdmitApi, ToStringIsExhaustive) {
+  using rtw::svc::AdmitResult;
+  using rtw::svc::ShedReason;
+  std::set<std::string> names;
+  for (const auto a : {Admit::Accepted, Admit::Shed, Admit::Blocked}) {
+    const auto name = rtw::svc::to_string(a);
+    EXPECT_FALSE(name.empty());
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), 3u);
+  names.clear();
+  for (const auto r : {ShedReason::None, ShedReason::RingFull,
+                       ShedReason::SessionBound, ShedReason::Priority}) {
+    const auto name = rtw::svc::to_string(r);
+    EXPECT_FALSE(name.empty());
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), 4u);
+  // The structured form prints outcome and reason together.
+  const auto both = rtw::svc::to_string(
+      AdmitResult{Admit::Shed, ShedReason::RingFull});
+  EXPECT_NE(both.find(rtw::svc::to_string(Admit::Shed)), std::string::npos);
+  EXPECT_NE(both.find(rtw::svc::to_string(ShedReason::RingFull)),
+            std::string::npos);
+}
+
+TEST(AdmitApi, AdmitResultConvertsLikeTheOldEnum) {
+  using rtw::svc::AdmitResult;
+  using rtw::svc::ShedReason;
+  constexpr AdmitResult ok{};
+  static_assert(ok.accepted());
+  static_assert(ok == Admit::Accepted);
+  constexpr AdmitResult shed{Admit::Shed, ShedReason::SessionBound};
+  static_assert(!shed.accepted());
+  static_assert(shed == Admit::Shed);
+  EXPECT_EQ(shed.reason, ShedReason::SessionBound);
+}
+
+/// The pre-split flat config must keep compiling (deprecation shims) and
+/// fold field-for-field into the ShardConfig/IngressConfig split.
+TEST(ServiceConfigCompat, DeprecatedFlatFieldsFoldIntoTheSplitConfig) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  ServiceConfig flat;
+  flat.shards = 3;
+  flat.ring_capacity = 512;
+  flat.shed_on_full = false;
+  flat.idle_epochs = 4;
+  flat.drain_batch = 128;
+  flat.session_quota = 7;
+  flat.watermark_low = 0.25;
+  flat.watermark_high = 0.75;
+  flat.max_queue_delay_ns = 5'000;
+  flat.session_slots = 4096;
+  flat.latency_sample_every = 2;
+  flat.lane_kernel = false;
+  flat.lane_wave = 64;
+  const rtw::svc::ServerConfig folded = flat;
+#pragma GCC diagnostic pop
+  EXPECT_EQ(folded.shard.count, 3u);
+  EXPECT_EQ(folded.shard.idle_epochs, 4u);
+  EXPECT_EQ(folded.shard.drain_batch, 128u);
+  EXPECT_FALSE(folded.shard.lane_kernel);
+  EXPECT_EQ(folded.shard.lane_wave, 64u);
+  EXPECT_EQ(folded.ingress.ring_capacity, 512u);
+  EXPECT_FALSE(folded.ingress.shed_on_full);
+  EXPECT_EQ(folded.ingress.session_quota, 7u);
+  EXPECT_DOUBLE_EQ(folded.ingress.watermark_low, 0.25);
+  EXPECT_DOUBLE_EQ(folded.ingress.watermark_high, 0.75);
+  EXPECT_EQ(folded.ingress.max_queue_delay_ns, 5'000u);
+  EXPECT_EQ(folded.ingress.session_slots, 4096u);
+  EXPECT_EQ(folded.ingress.latency_sample_every, 2u);
+
+  // The folded config still drives a manager end to end.
+  SessionManager manager(folded);
+  const auto id = manager.open(std::make_unique<EngineOnlineAcceptor>(
+      std::make_unique<AcceptAll>()));
+  for (Tick t = 0; t < 4; ++t)
+    EXPECT_EQ(manager.feed(id, Symbol::chr('a'), t), Admit::Accepted);
+  manager.close(id);
+  manager.drain();
+  const auto reports = manager.collect();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].verdict, Verdict::Accepting);
 }
 
 // ================================== 3. online/batch equivalence machinery
@@ -710,12 +958,13 @@ TEST(OnlineBatchEquivalence, FiveHundredSeededCasesAcrossThreeWorkloads) {
 /// tri-workload mix.  Managers are shared across the 500 cases (one
 /// session each) so the property stays cheap.
 TEST(OnlineBatchEquivalence, BatchedIngressIsVerdictIdenticalToPerSymbol) {
-  ServiceConfig config;
-  config.ring_capacity = 1 << 13;  // the workload never sheds
-  config.shards = 1;
-  SessionManager single_1(config), batched_1(config);
-  config.shards = 2;
-  SessionManager single_2(config), batched_2(config);
+  ShardConfig shard;
+  IngressConfig ingress;
+  ingress.ring_capacity = 1 << 13;  // the workload never sheds
+  shard.count = 1;
+  SessionManager single_1(shard, ingress), batched_1(shard, ingress);
+  shard.count = 2;
+  SessionManager single_2(shard, ingress), batched_2(shard, ingress);
 
   rtw::proptest::Config cfg;
   cfg.seed = 0x62617463ULL;  // "batc"
@@ -800,7 +1049,7 @@ TEST(Session, DropsStaleSymbolsInsteadOfThrowing) {
 }
 
 TEST(SessionManager, BasicLifecycle) {
-  SessionManager manager(ServiceConfig{});
+  SessionManager manager;
   const auto accept_id =
       manager.open(std::make_unique<EngineOnlineAcceptor>(
           std::make_unique<AcceptAll>()));
@@ -830,7 +1079,7 @@ TEST(SessionManager, BasicLifecycle) {
 }
 
 TEST(SessionManager, UnknownSessionsAreCountedNotFatal) {
-  SessionManager manager(ServiceConfig{});
+  SessionManager manager;
   EXPECT_EQ(manager.feed(42, Symbol::chr('a'), 0), Admit::Accepted);
   manager.close(42);
   manager.drain();
@@ -880,11 +1129,12 @@ private:
 };
 
 TEST(SessionManager, FullRingShedsWhenConfigured) {
-  ServiceConfig config;
-  config.shards = 1;
-  config.ring_capacity = 2;
-  config.shed_on_full = true;
-  SessionManager manager(config);
+  ShardConfig shard;
+  shard.count = 1;
+  IngressConfig ingress;
+  ingress.ring_capacity = 2;
+  ingress.shed_on_full = true;
+  SessionManager manager(shard, ingress);
   auto gate = std::make_shared<GateAcceptor::Gate>();
   const auto id = manager.open(std::make_unique<GateAcceptor>(gate));
   manager.drain();  // the Open is processed; the worker parks
@@ -905,11 +1155,12 @@ TEST(SessionManager, FullRingShedsWhenConfigured) {
 }
 
 TEST(SessionManager, FullRingBlocksWhenShedDisabled) {
-  ServiceConfig config;
-  config.shards = 1;
-  config.ring_capacity = 1;
-  config.shed_on_full = false;
-  SessionManager manager(config);
+  ShardConfig shard;
+  shard.count = 1;
+  IngressConfig ingress;
+  ingress.ring_capacity = 1;
+  ingress.shed_on_full = false;
+  SessionManager manager(shard, ingress);
   auto gate = std::make_shared<GateAcceptor::Gate>();
   const auto id = manager.open(std::make_unique<GateAcceptor>(gate));
   manager.drain();
@@ -932,11 +1183,12 @@ TEST(SessionManager, FullRingBlocksWhenShedDisabled) {
 /// and occupancy.  Ring of 8 slots: Low sheds at depth >= 4, Normal at
 /// depth >= 7, High only when the data plane is physically full.
 TEST(SessionManager, WatermarksShedByPriorityUnderLoad) {
-  ServiceConfig config;
-  config.shards = 1;
-  config.ring_capacity = 8;
-  config.shed_on_full = true;
-  SessionManager manager(config);
+  ShardConfig shard;
+  shard.count = 1;
+  IngressConfig ingress;
+  ingress.ring_capacity = 8;
+  ingress.shed_on_full = true;
+  SessionManager manager(shard, ingress);
   auto gate = std::make_shared<GateAcceptor::Gate>();
   const auto pinned =
       manager.open(std::make_unique<GateAcceptor>(gate), Priority::High);
@@ -976,12 +1228,13 @@ TEST(SessionManager, WatermarksShedByPriorityUnderLoad) {
 }
 
 TEST(SessionManager, SessionQuotaShedsWithSessionBound) {
-  ServiceConfig config;
-  config.shards = 1;
-  config.ring_capacity = 64;
-  config.session_quota = 2;
-  config.shed_on_full = true;
-  SessionManager manager(config);
+  ShardConfig shard;
+  shard.count = 1;
+  IngressConfig ingress;
+  ingress.ring_capacity = 64;
+  ingress.session_quota = 2;
+  ingress.shed_on_full = true;
+  SessionManager manager(shard, ingress);
   auto gate = std::make_shared<GateAcceptor::Gate>();
   const auto pinned = manager.open(std::make_unique<GateAcceptor>(gate));
   const auto greedy = manager.open(
@@ -1015,10 +1268,11 @@ TEST(SessionManager, SessionQuotaShedsWithSessionBound) {
 }
 
 TEST(SessionManager, AgedRingDataIsShedUnlessHighPriority) {
-  ServiceConfig config;
-  config.shards = 1;
-  config.max_queue_delay_ns = 1'000'000;  // 1 ms freshness bound
-  SessionManager manager(config);
+  ShardConfig shard;
+  shard.count = 1;
+  IngressConfig ingress;
+  ingress.max_queue_delay_ns = 1'000'000;  // 1 ms freshness bound
+  SessionManager manager(shard, ingress);
   auto gate = std::make_shared<GateAcceptor::Gate>();
   const auto pinned =
       manager.open(std::make_unique<GateAcceptor>(gate), Priority::High);
@@ -1055,10 +1309,11 @@ TEST(SessionManager, AgedRingDataIsShedUnlessHighPriority) {
 }
 
 TEST(SessionManager, FeedLatencySamplesAreRecorded) {
-  ServiceConfig config;
-  config.shards = 1;
-  config.latency_sample_every = 1;  // stamp every data command
-  SessionManager manager(config);
+  ShardConfig shard;
+  shard.count = 1;
+  IngressConfig ingress;
+  ingress.latency_sample_every = 1;  // stamp every data command
+  SessionManager manager(shard, ingress);
   const auto id = manager.open(
       std::make_unique<EngineOnlineAcceptor>(std::make_unique<AcceptAll>()));
   for (Tick t = 0; t < 64; ++t) manager.feed(id, Symbol::chr('a'), t);
@@ -1071,10 +1326,10 @@ TEST(SessionManager, FeedLatencySamplesAreRecorded) {
 }
 
 TEST(SessionManager, IdleSessionsAreEvicted) {
-  ServiceConfig config;
-  config.shards = 1;
-  config.idle_epochs = 2;
-  SessionManager manager(config);
+  ShardConfig shard;
+  shard.count = 1;
+  shard.idle_epochs = 2;
+  SessionManager manager(shard, IngressConfig{});
   const auto idle = manager.open(std::make_unique<EngineOnlineAcceptor>(
       std::make_unique<AcceptAll>()));
   const auto busy = manager.open(std::make_unique<EngineOnlineAcceptor>(
@@ -1131,14 +1386,15 @@ TEST(SessionManager, ShardCountIsObservationallyIrrelevant) {
   }
 
   for (const unsigned shards : {1u, 8u}) {
-    ServiceConfig config;
-    config.shards = shards;
+    ShardConfig shard;
+    shard.count = shards;
+    IngressConfig ingress;
     // Big enough that nothing sheds -- the workload is ~7.4k symbols, so
     // even the Normal-priority watermark (87.5% occupancy) stays out of
     // reach when the single-shard worker lags behind the producer -- but
     // small enough that eight eagerly-allocated rings stay cheap.
-    config.ring_capacity = 1 << 14;
-    SessionManager manager(config);
+    ingress.ring_capacity = 1 << 14;
+    SessionManager manager(shard, ingress);
     std::map<SessionId, const Job*> by_id;
     for (const auto& job : jobs)
       by_id[manager.open(rtw::deadline::make_online_acceptor(job.problem,
@@ -1194,7 +1450,7 @@ TEST(SessionManager, WireDrivenSessions) {
     return nullptr;
   };
 
-  SessionManager manager(ServiceConfig{});
+  SessionManager manager;
   Decoder decoder;
   decoder.push(stream);
   ASSERT_TRUE(decoder.ok());
@@ -1211,7 +1467,7 @@ TEST(SessionManager, WireDrivenSessions) {
 }
 
 TEST(SessionManager, ShutdownTruncatesRemainingSessions) {
-  SessionManager manager(ServiceConfig{});
+  SessionManager manager;
   const auto id = manager.open(std::make_unique<EngineOnlineAcceptor>(
       std::make_unique<RejectAll>()));
   manager.feed(id, Symbol::chr('a'), 0);
@@ -1286,10 +1542,11 @@ void soak_round(std::uint64_t seed, unsigned shards) {
   const auto plan = rtw::proptest::random_fault_plan(rng, 2, 24);
   const auto mangled = rtw::svc::apply_faults(frames, plan);
 
-  ServiceConfig config;
-  config.shards = shards;
-  config.ring_capacity = 1 << 13;  // soak measures divergence, not shedding
-  SessionManager manager(config);
+  ShardConfig shard;
+  shard.count = shards;
+  IngressConfig ingress;
+  ingress.ring_capacity = 1 << 13;  // soak measures divergence, not shedding
+  SessionManager manager(shard, ingress);
   const rtw::svc::AcceptorFactory factory =
       [&](SessionId id, std::string_view) -> std::unique_ptr<OnlineAcceptor> {
     const auto it = specs.find(id);
@@ -1345,6 +1602,8 @@ void soak_round(std::uint64_t seed, unsigned shards) {
           }
           break;
         }
+        default:
+          break;  // v1 notification frames never occur in this stream
       }
     }
     if (offset >= stream.size()) break;

@@ -1,0 +1,447 @@
+// Hermetic loopback tests for the epoll TCP front-end.
+//
+//   1. Single-client round trip: Hello negotiation, count-profile
+//      sessions, Verdict notifications.
+//   2. Adversarial byte boundaries: the whole stream delivered in 1-byte
+//      and prime-sized chunks with write pacing, so server-side read()
+//      calls observe frames split at every offset.
+//   3. Multi-client parity: N concurrent clients stream deterministic
+//      words; every wire verdict must be bit-identical (verdict, exact,
+//      fed, stale) to an in-process SessionManager replay of the same
+//      word set.
+//   4. Slow reader / partial writes: tiny socket buffers and a tiny
+//      write_buffer_limit force the flush path through EAGAIN and the
+//      read-pause hysteresis; every verdict must still arrive.
+//   5. Graceful drain: stop() truncate-closes abandoned sessions and
+//      flushes their verdicts before the socket closes.
+//
+// Everything binds port 0 on 127.0.0.1: no fixed ports, no external
+// daemon, safe for parallel ctest.
+
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rtw/svc/net/tcp_server.hpp"
+#include "rtw/svc/profiles.hpp"
+#include "rtw/svc/server.hpp"
+#include "rtw/svc/service.hpp"
+#include "rtw/svc/wire.hpp"
+
+namespace {
+
+using namespace rtw::svc;
+using rtw::core::StreamEnd;
+using rtw::core::Symbol;
+using rtw::core::Tick;
+using rtw::core::TimedSymbol;
+using rtw::core::Verdict;
+
+/// Blocking loopback client with an incremental Decoder on the read side.
+class TestClient {
+public:
+  ~TestClient() { close(); }
+
+  bool connect_to(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      close();
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return true;
+  }
+
+  /// Writes `bytes` in `chunk`-sized pieces, sleeping `pace_us` between
+  /// them -- small chunks + pacing force the server's read() calls to see
+  /// frames split at arbitrary byte boundaries.
+  bool send_all(std::string_view bytes, std::size_t chunk = SIZE_MAX,
+                unsigned pace_us = 0) {
+    for (std::size_t off = 0; off < bytes.size();) {
+      const std::size_t n = std::min(chunk, bytes.size() - off);
+      const ssize_t wrote = ::write(fd_, bytes.data() + off, n);
+      if (wrote < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(wrote);
+      if (pace_us > 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(pace_us));
+    }
+    return true;
+  }
+
+  /// Pops the next decoded event, reading from the socket (with a poll
+  /// timeout) until one is available.  False on timeout/EOF/decode error.
+  bool next_event(WireEvent& out, int timeout_ms = 10000) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      if (decoder_.next(out)) return true;
+      if (!decoder_.ok()) return false;
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return false;
+      pollfd pfd{fd_, POLLIN, 0};
+      const int remaining = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                now)
+              .count());
+      const int ready = ::poll(&pfd, 1, std::max(1, remaining));
+      if (ready < 0 && errno != EINTR) return false;
+      if (ready <= 0) continue;
+      char buffer[4096];
+      const ssize_t n = ::read(fd_, buffer, sizeof(buffer));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if (n == 0) return decoder_.next(out);  // EOF: only buffered events
+      decoder_.push(std::string_view(buffer, static_cast<std::size_t>(n)));
+    }
+  }
+
+  /// Reads until EOF, decoding everything that still arrives.
+  std::vector<WireEvent> drain_until_eof(int timeout_ms = 10000) {
+    std::vector<WireEvent> events;
+    WireEvent ev;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      while (decoder_.next(ev)) events.push_back(ev);
+      if (std::chrono::steady_clock::now() >= deadline) break;
+      pollfd pfd{fd_, POLLIN, 0};
+      if (::poll(&pfd, 1, 100) <= 0) continue;
+      char buffer[4096];
+      const ssize_t n = ::read(fd_, buffer, sizeof(buffer));
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        break;
+      }
+      decoder_.push(std::string_view(buffer, static_cast<std::size_t>(n)));
+    }
+    while (decoder_.next(ev)) events.push_back(ev);
+    return events;
+  }
+
+  void close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  const Decoder& decoder() const { return decoder_; }
+
+private:
+  int fd_ = -1;
+  Decoder decoder_;
+};
+
+std::vector<TimedSymbol> word_of(std::size_t n) {
+  std::vector<TimedSymbol> word;
+  word.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    word.push_back({Symbol::nat(i % 5), static_cast<Tick>(i + 1)});
+  return word;
+}
+
+/// A server on 127.0.0.1:0 with the profile factory; tears down in order.
+struct Harness {
+  explicit Harness(ServerConfig config = make_default_config())
+      : server(std::move(config), profile_factory()), transport(server) {}
+
+  static ServerConfig make_default_config() {
+    ServerConfig config;
+    config.net.port = 0;
+    config.shard.count = 2;
+    return config;
+  }
+
+  bool start() { return transport.start(); }
+
+  Server server;
+  net::TcpServer transport;
+};
+
+TEST(NetLoopback, SingleClientHelloAndVerdictRoundTrip) {
+  Harness h;
+  ASSERT_TRUE(h.start()) << h.transport.error();
+
+  TestClient client;
+  ASSERT_TRUE(client.connect_to(h.transport.port()));
+  std::string stream = encode_hello();
+  stream += encode_open(1, "count:3");
+  stream += encode_feed_batch(1, word_of(3));
+  stream += encode_close(1);
+  ASSERT_TRUE(client.send_all(stream));
+
+  WireEvent ev;
+  ASSERT_TRUE(client.next_event(ev));
+  EXPECT_EQ(ev.kind, WireEvent::Kind::HelloAck);
+  EXPECT_EQ(ev.version, kWireVersion);
+  ASSERT_TRUE(client.next_event(ev));
+  EXPECT_EQ(ev.kind, WireEvent::Kind::Verdict);
+  EXPECT_EQ(ev.session, 1u);
+  EXPECT_EQ(ev.verdict, Verdict::Accepting);
+  EXPECT_FALSE(ev.exact);
+  EXPECT_FALSE(ev.evicted);
+  EXPECT_EQ(ev.fed, 3u);
+  EXPECT_EQ(ev.stale, 0u);
+}
+
+TEST(NetLoopback, UnknownProfileDrawsAShedNotice) {
+  Harness h;
+  ASSERT_TRUE(h.start()) << h.transport.error();
+
+  TestClient client;
+  ASSERT_TRUE(client.connect_to(h.transport.port()));
+  std::string stream = encode_hello();
+  stream += encode_open(4, "no-such-profile");
+  ASSERT_TRUE(client.send_all(stream));
+
+  WireEvent ev;
+  ASSERT_TRUE(client.next_event(ev));
+  EXPECT_EQ(ev.kind, WireEvent::Kind::HelloAck);
+  ASSERT_TRUE(client.next_event(ev));
+  EXPECT_EQ(ev.kind, WireEvent::Kind::Shed);
+  EXPECT_EQ(ev.session, 4u);
+  EXPECT_EQ(ev.admit.admit, Admit::Shed);
+}
+
+TEST(NetLoopback, AdversarialByteSplitsDecodeIdentically) {
+  Harness h;
+  ASSERT_TRUE(h.start()) << h.transport.error();
+
+  std::string stream = encode_hello();
+  stream += encode_open(1, "count:5");
+  // Feed (op 2, textual body) exercises the parse_prefix hold-back;
+  // FeedBatch (op 5) the one-event path.  Split both.
+  const auto word = word_of(5);
+  stream += encode_feed(
+      1, std::vector<TimedSymbol>(word.begin(), word.begin() + 2));
+  stream += encode_feed_batch(
+      1, std::vector<TimedSymbol>(word.begin() + 2, word.end()));
+  stream += encode_close(1);
+
+  // chunk=1 with pacing: every server read() sees a handful of bytes at
+  // most, so headers, session ids and element text all split mid-field.
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{7}}) {
+    TestClient client;
+    ASSERT_TRUE(client.connect_to(h.transport.port()));
+    ASSERT_TRUE(client.send_all(stream, chunk, /*pace_us=*/chunk == 1 ? 50
+                                                                      : 0));
+    WireEvent ev;
+    ASSERT_TRUE(client.next_event(ev)) << "chunk=" << chunk;
+    EXPECT_EQ(ev.kind, WireEvent::Kind::HelloAck);
+    ASSERT_TRUE(client.next_event(ev)) << "chunk=" << chunk;
+    EXPECT_EQ(ev.kind, WireEvent::Kind::Verdict);
+    EXPECT_EQ(ev.verdict, Verdict::Accepting) << "chunk=" << chunk;
+    EXPECT_EQ(ev.fed, 5u);
+  }
+}
+
+/// N concurrent clients, deterministic count-profile words, and a replay
+/// of the same words through an in-process SessionManager: the wire
+/// verdicts must match the in-process reports field for field.
+TEST(NetLoopback, ManyClientsMatchInProcessVerdictsBitForBit) {
+  Harness h;
+  ASSERT_TRUE(h.start()) << h.transport.error();
+
+  constexpr std::size_t kClients = 24;
+  constexpr std::size_t kSessions = 3;
+
+  struct WireVerdict {
+    bool arrived = false;
+    Verdict verdict = Verdict::Undetermined;
+    bool exact = false;
+    std::uint64_t fed = 0, stale = 0;
+  };
+  std::vector<std::array<WireVerdict, kSessions>> wire(kClients);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+
+  const auto word_len = [](std::size_t c, std::size_t s) {
+    return 2 + (c + s) % 6;
+  };
+  // Session s on client c: target == length for even (c+s) -> Accepting;
+  // target == length - 1 for odd -> the overshoot locks Rejecting exactly.
+  const auto target = [&](std::size_t c, std::size_t s) {
+    const auto len = word_len(c, s);
+    return (c + s) % 2 == 0 ? len : len - 1;
+  };
+
+  for (std::size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      TestClient client;
+      if (!client.connect_to(h.transport.port())) {
+        ++failures;
+        return;
+      }
+      std::string stream = encode_hello();
+      for (std::size_t s = 0; s < kSessions; ++s) {
+        stream += encode_open(s + 1,
+                              "count:" + std::to_string(target(c, s)));
+        stream += encode_feed_batch(s + 1, word_of(word_len(c, s)));
+        stream += encode_close(s + 1);
+      }
+      if (!client.send_all(stream, /*chunk=*/13)) {
+        ++failures;
+        return;
+      }
+      std::size_t verdicts = 0;
+      WireEvent ev;
+      while (verdicts < kSessions && client.next_event(ev)) {
+        if (ev.kind != WireEvent::Kind::Verdict) continue;
+        auto& slot = wire[c][ev.session - 1];
+        slot.arrived = true;
+        slot.verdict = ev.verdict;
+        slot.exact = ev.exact;
+        slot.fed = ev.fed;
+        slot.stale = ev.stale;
+        ++verdicts;
+      }
+      if (verdicts != kSessions) ++failures;
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  // In-process replay: same words, blocking ingress so nothing sheds.
+  ShardConfig shard;
+  shard.count = 2;
+  IngressConfig ingress;
+  ingress.shed_on_full = false;
+  SessionManager manager(shard, ingress);
+  const auto factory = profile_factory();
+  std::map<SessionId, std::pair<std::size_t, std::size_t>> who;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      const SessionId id = c * kSessions + s + 1;
+      who[id] = {c, s};
+      manager.open(id, factory(id, "count:" + std::to_string(target(c, s))),
+                   Priority::Normal);
+      manager.feed_batch(id, word_of(word_len(c, s)));
+      manager.close(id);
+    }
+  }
+  manager.drain();
+  std::size_t compared = 0;
+  for (const auto& report : manager.collect()) {
+    const auto [c, s] = who.at(report.id);
+    const WireVerdict& w = wire[c][s];
+    ASSERT_TRUE(w.arrived) << "client " << c << " session " << s;
+    EXPECT_EQ(w.verdict, report.verdict) << "client " << c << " session " << s;
+    EXPECT_EQ(w.exact, report.result.exact);
+    EXPECT_EQ(w.fed, report.fed);
+    EXPECT_EQ(w.stale, report.stale_dropped);
+    ++compared;
+  }
+  EXPECT_EQ(compared, kClients * kSessions);
+}
+
+/// Tiny socket buffers + a tiny write_buffer_limit: the server's flush
+/// hits EAGAIN (partial writes) while the client sleeps, the output
+/// buffer crosses the limit, reads pause, and the hysteresis resumes them
+/// once the client finally drains.  All verdicts must still arrive.
+TEST(NetLoopback, SlowReaderSurvivesPartialWritesAndBackpressure) {
+  ServerConfig config = Harness::make_default_config();
+  config.net.sndbuf = 4096;
+  config.net.rcvbuf = 4096;
+  config.net.write_buffer_limit = 8192;
+  Harness h(config);
+  ASSERT_TRUE(h.start()) << h.transport.error();
+
+  TestClient client;
+  ASSERT_TRUE(client.connect_to(h.transport.port()));
+
+  // Many sessions, each with a fat profile echoing back a 19-byte Verdict
+  // frame: ~256 verdicts > sndbuf + write_buffer_limit, so the reactor
+  // must stage partial writes while the client reads nothing.
+  constexpr std::size_t kSessionCount = 256;
+  std::string stream = encode_hello();
+  for (std::size_t s = 1; s <= kSessionCount; ++s) {
+    stream += encode_open(s, "count:2");
+    stream += encode_feed_batch(s, word_of(2));
+    stream += encode_close(s);
+  }
+  ASSERT_TRUE(client.send_all(stream));
+  // Sleep without reading: verdict frames pile into the server's buffers.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  std::size_t verdicts = 0;
+  WireEvent ev;
+  while (verdicts < kSessionCount && client.next_event(ev)) {
+    if (ev.kind == WireEvent::Kind::Verdict) {
+      EXPECT_EQ(ev.verdict, Verdict::Accepting);
+      EXPECT_EQ(ev.fed, 2u);
+      ++verdicts;
+    }
+  }
+  EXPECT_EQ(verdicts, kSessionCount);
+  EXPECT_TRUE(client.decoder().ok()) << client.decoder().error();
+}
+
+TEST(NetLoopback, GracefulDrainFlushesTruncatedVerdicts) {
+  auto h = std::make_unique<Harness>();
+  ASSERT_TRUE(h->start()) << h->transport.error();
+
+  TestClient client;
+  ASSERT_TRUE(client.connect_to(h->transport.port()));
+  std::string stream = encode_hello();
+  stream += encode_open(9, "count:8");
+  stream += encode_feed_batch(9, word_of(4));  // never closed by the client
+  ASSERT_TRUE(client.send_all(stream));
+
+  // Wait for the HelloAck so the server has definitely consumed the open.
+  WireEvent ev;
+  ASSERT_TRUE(client.next_event(ev));
+  EXPECT_EQ(ev.kind, WireEvent::Kind::HelloAck);
+
+  h->transport.stop();  // graceful drain: truncate-close, flush, close
+
+  bool saw_verdict = false;
+  for (const auto& event : client.drain_until_eof()) {
+    if (event.kind != WireEvent::Kind::Verdict) continue;
+    saw_verdict = true;
+    EXPECT_EQ(event.session, 9u);
+    // count:8 truncated at 4 symbols: settled Rejecting, heuristically.
+    EXPECT_EQ(event.verdict, Verdict::Rejecting);
+    EXPECT_FALSE(event.exact);
+    EXPECT_EQ(event.fed, 4u);
+  }
+  EXPECT_TRUE(saw_verdict);
+  EXPECT_EQ(h->server.manager().stats().active, 0u);
+}
+
+// The slow-reader test can race a close into a write: never die on
+// SIGPIPE.  Runs before gtest_main enters main.
+const int kIgnoreSigpipe = [] {
+  std::signal(SIGPIPE, SIG_IGN);
+  return 0;
+}();
+
+}  // namespace
