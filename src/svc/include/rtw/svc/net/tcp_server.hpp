@@ -121,6 +121,9 @@ private:
   std::unordered_map<int, Conn> conns_;                 ///< fd -> state
   std::unordered_map<std::uint64_t, int> by_logical_;   ///< conn id -> fd
   std::size_t admission_paused_count_ = 0;
+  /// accept4 failed with EMFILE/ENFILE-class errno: the edge-triggered
+  /// listener event is spent, so poll-retry accepts each loop tick.
+  bool accept_retry_ = false;
   std::vector<char> read_buffer_;
 
   std::mutex pending_mutex_;  ///< guards pending_ (shard workers ring in)

@@ -205,8 +205,10 @@ public:
   /// Transport hook: invoked (possibly from a shard worker) whenever a
   /// connection gains output outside the input plane -- i.e. a verdict
   /// landed.  The callback must be thread-safe and must not call back
-  /// into the Server.  Install before traffic starts.
+  /// into the Server.  Mutex-guarded against concurrent wake(): safe to
+  /// install or clear (nullptr) while shard workers are still reporting.
   void set_wakeup(std::function<void(const std::shared_ptr<Connection>&)> fn) {
+    std::lock_guard lock(wakeup_mutex_);
     wakeup_ = std::move(fn);
   }
 
@@ -236,6 +238,7 @@ private:
   std::unordered_map<SessionId, std::shared_ptr<Connection>> owners_;
   std::unordered_map<std::uint64_t, std::shared_ptr<Connection>> connections_;
 
+  mutable std::mutex wakeup_mutex_;  ///< guards wakeup_ (workers vs teardown)
   std::function<void(const std::shared_ptr<Connection>&)> wakeup_;
   std::atomic<std::uint64_t> next_conn_id_{1};
   /// Wire-session ids start far above the manager's own open() counter so

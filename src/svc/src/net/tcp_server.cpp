@@ -107,6 +107,7 @@ void TcpServer::loop() {
       if (listener_.fd.valid()) {
         epoll_.del(listener_.fd.get());
         listener_.fd.reset();
+        accept_retry_ = false;
       }
       for (auto& [fd, conn] : conns_) conn.logical->finish_input();
       // Phase 2: settle every verdict into the output buffers.  Blocks
@@ -131,11 +132,12 @@ void TcpServer::loop() {
     }
 
     int timeout = -1;
-    if (draining)
-      timeout = kRetryTickMs;
-    else if (admission_paused_count_ > 0)
+    if (draining || admission_paused_count_ > 0 || accept_retry_)
       timeout = kRetryTickMs;
     const auto& ready = epoll_.wait(timeout);
+
+    // Retry accepts dropped on fd exhaustion: the backlog never re-edges.
+    if (accept_retry_ && listener_.fd.valid()) do_accept();
 
     for (const auto& ev : ready) {
       const int fd = static_cast<int>(ev.data.u64);
@@ -158,6 +160,7 @@ void TcpServer::loop() {
       if (ev.events & EPOLLOUT) {
         if (!flush_writes(fd, conn)) continue;
         maybe_resume_reads(fd, conn);
+        if (conns_.count(fd) == 0) continue;  // resume read tore it down
       }
       if (ev.events & (EPOLLIN | EPOLLRDHUP)) {
         if (conn.read_paused) {
@@ -188,13 +191,19 @@ void TcpServer::loop() {
 }
 
 void TcpServer::do_accept() {
+  accept_retry_ = false;
   for (;;) {
     const int raw = ::accept4(listener_.fd.get(), nullptr, nullptr,
                               SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (raw < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
       if (errno == EINTR || errno == ECONNABORTED) continue;
-      return;  // EMFILE etc: drop the edge; next accept retries
+      // EMFILE/ENFILE/ENOBUFS etc: the listener edge is consumed but the
+      // backlog still holds queued connections that will never re-edge.
+      // Poll-retry every loop tick instead of stranding them until a new
+      // SYN arrives.
+      accept_retry_ = true;
+      return;
     }
     if (conns_.size() >= net_.max_connections) {
       ::close(raw);
@@ -303,7 +312,14 @@ void TcpServer::maybe_resume_reads(int fd, Conn& conn) {
       conn.outbuf.size() - conn.out_off + conn.logical->output_size();
   if (staged > net_.write_buffer_limit / 2) return;
   conn.read_paused = false;
-  if (std::exchange(conn.read_ready, false)) handle_readable(fd, conn);
+  conn.read_ready = false;
+  // Edge-triggered sockets never re-announce bytes that were already in
+  // the kernel rcvbuf when the pause began, so resume with an
+  // unconditional read -- read_ready alone would stall any stream whose
+  // tail arrived before the pause lifted.  A spurious resume costs one
+  // EAGAIN.  May tear the connection down (framing error, EOF + complete):
+  // callers must re-look-up `fd` before touching `conn` again.
+  handle_readable(fd, conn);
 }
 
 bool TcpServer::reap_if_finished(int fd, Conn& conn) {
@@ -349,7 +365,9 @@ void TcpServer::drain_wakeups() {
     Conn& conn = it->second;
     if (!flush_writes(fd, conn)) continue;
     maybe_resume_reads(fd, conn);
-    reap_if_finished(fd, conn);
+    const auto again = conns_.find(fd);  // resume read may have closed it
+    if (again == conns_.end()) continue;
+    reap_if_finished(fd, again->second);
   }
 }
 

@@ -337,7 +337,14 @@ void Server::register_owner(SessionId global,
 }
 
 void Server::wake(const std::shared_ptr<Connection>& conn) {
-  if (wakeup_) wakeup_(conn);
+  // Copy under the lock, invoke outside it: the callback rings an eventfd
+  // and must not serialize every reporting worker behind it.
+  std::function<void(const std::shared_ptr<Connection>&)> fn;
+  {
+    std::lock_guard lock(wakeup_mutex_);
+    fn = wakeup_;
+  }
+  if (fn) fn(conn);
 }
 
 }  // namespace rtw::svc

@@ -58,9 +58,13 @@ class TestClient {
 public:
   ~TestClient() { close(); }
 
-  bool connect_to(std::uint16_t port) {
+  /// `rcvbuf` > 0 shrinks SO_RCVBUF before connect (the kernel clamps to
+  /// its minimum), so the server's writes hit EAGAIN after a few KB.
+  bool connect_to(std::uint16_t port, int rcvbuf = 0) {
     fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (fd_ < 0) return false;
+    if (rcvbuf > 0)
+      ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(port);
@@ -398,6 +402,164 @@ TEST(NetLoopback, SlowReaderSurvivesPartialWritesAndBackpressure) {
     if (ev.kind == WireEvent::Kind::Verdict) {
       EXPECT_EQ(ev.verdict, Verdict::Accepting);
       EXPECT_EQ(ev.fed, 2u);
+      ++verdicts;
+    }
+  }
+  EXPECT_EQ(verdicts, kSessionCount);
+  EXPECT_TRUE(client.decoder().ok()) << client.decoder().error();
+}
+
+/// Write-side backpressure with the stream pre-buffered: the client's
+/// entire input lands in the kernel rcvbuf, the output buffer crosses
+/// write_buffer_limit mid-stream, and reads pause with most of the input
+/// unread.  Resuming must deliver that buffered tail without a fresh
+/// EPOLLIN edge announcing it -- the unconditional re-read guarantees
+/// this by construction, where gating on an edge would depend on epoll
+/// happening to re-report EPOLLIN alongside the EPOLLOUT that triggers
+/// the resume.
+///
+/// Worker-delivered verdicts would make the pause position racy, so the
+/// output pressure here is ShedNotice frames: an in-process flood keeps
+/// the single tiny ring full, every wire feed sheds, and each shed queues
+/// its notice *synchronously* on the reactor.  The pause point is then a
+/// pure function of bytes read -- always mid-stream, long after loopback
+/// delivery finished.
+TEST(NetLoopback, ResumeAfterBackpressureReadsBufferedTail) {
+  ServerConfig config = Harness::make_default_config();
+  config.shard.count = 1;
+  config.ingress.ring_capacity = 8;  // shed_on_full stays true: shed storm
+  config.net.sndbuf = 1;             // clamped up to the kernel minimum
+  // Tiny read chunks make consuming the stream (hundreds of read() +
+  // decode rounds) far slower than loopback delivery, so the whole stream
+  // is buffered long before the pause can trigger.
+  config.net.read_chunk = 64;
+  config.net.write_buffer_limit = 512;
+  Harness h(config);
+  ASSERT_TRUE(h.start()) << h.transport.error();
+
+  auto& manager = h.server.manager();
+  const auto factory = profile_factory();
+  constexpr SessionId kFloodSession = SessionId{1} << 20;
+  manager.open(kFloodSession, factory(kFloodSession, "accept"),
+               Priority::High);
+  std::atomic<bool> flood{true};
+  std::vector<std::thread> flooders;
+  for (int i = 0; i < 3; ++i) {
+    flooders.emplace_back([&] {
+      const auto big = word_of(20000);
+      while (flood.load(std::memory_order_relaxed))
+        manager.feed_batch(kFloodSession, big);  // Shed/full = just retry
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  TestClient client;
+  ASSERT_TRUE(client.connect_to(h.transport.port(), /*rcvbuf=*/1));
+
+  // 2000 single-symbol feeds: ~38KB of shed notices against ~10KB of
+  // socket capacity guarantees the pause, with most of the stream still
+  // unread when it hits.  Ticks increase across feeds so admitted symbols
+  // are never dropped as stale.
+  constexpr std::size_t kFeeds = 2000;
+  std::string stream = encode_hello();
+  stream += encode_open(1, "count:" + std::to_string(kFeeds));
+  for (std::size_t i = 0; i < kFeeds; ++i) {
+    stream += encode_feed_batch(
+        1, {{Symbol::nat(i % 5), static_cast<Tick>(i + 1)}});
+  }
+  stream += encode_close(1);
+  ASSERT_TRUE(client.send_all(stream));
+  // Sleep without reading: the server sheds feed after feed until its
+  // output fills, pauses reads, and from here on only EPOLLOUT (us
+  // draining) can wake the connection.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  flood.store(false, std::memory_order_relaxed);
+  for (auto& t : flooders) t.join();
+  manager.close(kFloodSession);
+
+  // Every feed either queued a ShedNotice or reached the session; the
+  // close's Verdict is last, so its arrival proves the whole tail was
+  // read after the resume.
+  std::uint64_t sheds = 0;
+  std::uint64_t fed = 0;
+  bool saw_verdict = false;
+  WireEvent ev;
+  while (!saw_verdict && client.next_event(ev)) {
+    if (ev.kind == WireEvent::Kind::Shed) {
+      ++sheds;
+    } else if (ev.kind == WireEvent::Kind::Verdict) {
+      EXPECT_EQ(ev.session, 1u);
+      fed = ev.fed;
+      saw_verdict = true;
+    }
+  }
+  ASSERT_TRUE(saw_verdict) << "verdict never arrived: tail stranded";
+  EXPECT_EQ(sheds + fed, kFeeds);
+  EXPECT_TRUE(client.decoder().ok()) << client.decoder().error();
+  // The scenario must actually have paused reads, or it proves nothing.
+  EXPECT_GE(h.transport.stats().read_pauses, 1u);
+}
+
+/// Regression: admission parking over TCP.  A tiny single-shard ring with
+/// shed_on_full=false makes wire feeds hit Admit::Blocked while an
+/// in-process flooder keeps the shard saturated; the reactor parks the
+/// connection with most of the (tiny) client stream still unread in the
+/// kernel rcvbuf.  When the flood stops and retry_pending() succeeds, the
+/// resume must re-read that tail without waiting for an input edge.
+TEST(NetLoopback, AdmissionParkResumesBufferedTail) {
+  ServerConfig config = Harness::make_default_config();
+  config.shard.count = 1;
+  config.ingress.ring_capacity = 2;
+  config.ingress.shed_on_full = false;  // full ring parks, never sheds
+  config.net.read_chunk = 64;  // park mid-stream, tail stays in rcvbuf
+  Harness h(config);
+  ASSERT_TRUE(h.start()) << h.transport.error();
+
+  auto& manager = h.server.manager();
+  const auto factory = profile_factory();
+  constexpr SessionId kFloodSession = SessionId{1} << 20;
+  manager.open(kFloodSession, factory(kFloodSession, "accept"),
+               Priority::High);
+  std::atomic<bool> flood{true};
+  // Several flooders: feed_batch copies the run (tens of us per call), so
+  // one thread alone leaves refill gaps where a wire feed could slip in
+  // without ever seeing Blocked.
+  std::vector<std::thread> flooders;
+  for (int i = 0; i < 3; ++i) {
+    flooders.emplace_back([&] {
+      const auto big = word_of(20000);
+      while (flood.load(std::memory_order_relaxed))
+        manager.feed_batch(kFloodSession, big);  // Blocked = just retry
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  TestClient client;
+  ASSERT_TRUE(client.connect_to(h.transport.port()));
+  constexpr std::size_t kSessionCount = 8;
+  std::string stream = encode_hello();
+  for (std::size_t s = 1; s <= kSessionCount; ++s) {
+    stream += encode_open(s, "count:3");
+    stream += encode_feed_batch(s, word_of(3));
+    stream += encode_close(s);
+  }
+  // One small write: the whole stream is in the server's rcvbuf long
+  // before the park lifts, so no further input edge will arrive.
+  ASSERT_TRUE(client.send_all(stream));
+
+  // Let the reactor park on a Blocked feed while the flood saturates the
+  // ring, then stop the flood so the poll-retry can admit the rest.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  flood.store(false, std::memory_order_relaxed);
+  for (auto& t : flooders) t.join();
+  manager.close(kFloodSession);
+
+  std::size_t verdicts = 0;
+  WireEvent ev;
+  while (verdicts < kSessionCount && client.next_event(ev)) {
+    if (ev.kind == WireEvent::Kind::Verdict) {
+      EXPECT_EQ(ev.verdict, Verdict::Accepting);
+      EXPECT_EQ(ev.fed, 3u);
       ++verdicts;
     }
   }
