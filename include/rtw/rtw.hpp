@@ -3,7 +3,8 @@
 /// Umbrella header for the rt-omega foundation layers: core (timed words,
 /// acceptors, languages -- Definitions 3.2-3.5), sim (the discrete-event
 /// kernel and its infrastructure), engine (the unified acceptor executor),
-/// obs (tracing + metrics) and svc (the sharded streaming acceptance
+/// obs (tracing + metrics), cer (timed-pattern queries compiled to
+/// online acceptors) and svc (the sharded streaming acceptance
 /// service).  One include for applications that want the paper's machine
 /// model without spelling out the layer diagram:
 ///
@@ -44,6 +45,13 @@
 #include "rtw/obs/metrics.hpp"
 #include "rtw/obs/sink.hpp"
 #include "rtw/obs/tracer.hpp"
+
+// cer: timed-pattern queries -> clocked position automata -> acceptors.
+#include "rtw/cer/acceptor.hpp"
+#include "rtw/cer/compile.hpp"
+#include "rtw/cer/parser.hpp"
+#include "rtw/cer/query.hpp"
+#include "rtw/cer/reference.hpp"
 
 // svc: the serving layer (online sessions over shard workers).
 #include "rtw/svc/service.hpp"

@@ -1,0 +1,54 @@
+#pragma once
+/// \file parser.hpp
+/// Text form of timed-pattern queries.
+///
+/// Concrete grammar (whitespace-insensitive):
+///
+///   query   :=  alt
+///   alt     :=  seq  ( '|' seq )*
+///   seq     :=  post ( ';' post )*
+///   post    :=  prim ( '+' )*
+///   prim    :=  atom
+///            |  '(' alt ')'
+///            |  'within' '(' NAT ')' '{' alt '}'
+///   atom    :=  LETTER          one event equal to that character
+///            |  '\'' CHAR '\''  quoted character (for digits/punctuation)
+///            |  NAT             one event equal to that natural number
+///            |  '<' NAME '>'    one event equal to the interned marker
+///            |  '.'             one event, any symbol
+///
+/// Precedence, loosest to tightest: `|` < `;` < `+`.  So
+/// `a ; b | c+` parses as `(a ; b) | (c+)`.
+///
+/// `parse` never throws: queries arrive over the wire from untrusted
+/// clients, and the svc Decoder validates SubmitQuery bodies on the
+/// network thread, where an exception would tear down the connection
+/// loop rather than the one bad frame.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "rtw/cer/query.hpp"
+
+namespace rtw::cer {
+
+/// Outcome of parsing a query string.  Exactly one of `query` /
+/// `error` is meaningful: `ok()` implies `query` holds the AST,
+/// otherwise `error` is a human-readable message and `offset` is the
+/// byte position in the input where parsing failed.
+struct ParseResult {
+  std::optional<Query> query;
+  std::string error;
+  std::size_t offset = 0;
+
+  bool ok() const noexcept { return query.has_value(); }
+};
+
+/// Parses `text` into a Query.  Total: malformed input (including
+/// pathological nesting past an internal depth limit) yields an error
+/// result, never a throw or a crash.
+ParseResult parse(std::string_view text);
+
+}  // namespace rtw::cer

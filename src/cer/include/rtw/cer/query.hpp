@@ -1,0 +1,121 @@
+#pragma once
+/// \file query.hpp
+/// Timed-pattern query AST: the complex-event-recognition (CER) workload.
+///
+/// García & Riveros ("Complex event recognition under time constraints",
+/// PAPERS.md) formalize pattern queries with time-window constraints
+/// evaluated online over event streams -- the general version of the
+/// paper's four fixed acceptor families.  A query describes a timed
+/// language over the core Symbol alphabet:
+///
+///   P  ::=  sym            one event matching a symbol predicate
+///        |  P ; P          sequence (concatenation)
+///        |  P | P          disjunction
+///        |  P +            iteration, one or more times
+///        |  within(t){ P } P, with the constraint that the time between
+///                          its first and last matched event is <= t
+///
+/// Every operator consumes at least one event (iteration is one-or-more,
+/// predicates consume exactly one), so the language never contains the
+/// empty word and a `within` group's "first matched event" is always
+/// defined.  Times are the discrete Ticks of Definition 3.1; a window
+/// constraint `within(t)` over a sub-match spanning elements i..j demands
+/// tau_j - tau_i <= t.
+///
+/// The AST is immutable and shared (cheap Query copies); construction
+/// goes through the combinator functions below or the text parser in
+/// parser.hpp.  Compilation onto the serving stack lives in compile.hpp
+/// (timed-automaton product) and acceptor.hpp (core::OnlineAcceptor
+/// adapter); reference.hpp holds the naive direct-AST evaluator the
+/// property suite differential-tests the compiled form against.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rtw/core/symbol.hpp"
+#include "rtw/core/timed_word.hpp"
+
+namespace rtw::cer {
+
+/// Per-event predicate: matches one symbol of the stream.
+struct SymbolPred {
+  enum class Kind : std::uint8_t {
+    Exact,  ///< equal to `sym` (Symbol disjointness does the rest)
+    Any,    ///< wildcard `.`: matches every symbol
+  };
+
+  Kind kind = Kind::Any;
+  core::Symbol sym;
+
+  bool matches(core::Symbol s) const noexcept {
+    return kind == Kind::Any || s == sym;
+  }
+
+  std::string to_string() const;
+};
+
+/// One AST node.  Interior nodes own their children through the shared
+/// Query handles, so subtrees can be reused across queries.
+struct Node;
+using NodeRef = std::shared_ptr<const Node>;
+
+struct Node {
+  enum class Kind : std::uint8_t {
+    Sym,     ///< leaf: one event matching `pred`
+    Seq,     ///< left then right
+    Alt,     ///< left or right
+    Iter,    ///< left, one or more times
+    Within,  ///< left, with first-to-last span <= `window`
+  };
+
+  Kind kind = Kind::Sym;
+  SymbolPred pred;        ///< Sym only
+  NodeRef left;           ///< Seq/Alt/Iter/Within
+  NodeRef right;          ///< Seq/Alt only
+  core::Tick window = 0;  ///< Within only
+};
+
+/// A parsed timed-pattern query: shared immutable AST plus the source
+/// text it was parsed from (empty for combinator-built queries).
+class Query {
+public:
+  Query() = default;
+  explicit Query(NodeRef root, std::string text = {})
+      : root_(std::move(root)), text_(std::move(text)) {}
+
+  const NodeRef& root() const noexcept { return root_; }
+  bool empty() const noexcept { return root_ == nullptr; }
+  /// The source text, when the query came from parse().
+  const std::string& text() const noexcept { return text_; }
+
+  /// Canonical rendering (re-parseable; minimal parentheses).
+  std::string to_string() const;
+
+  /// Node count of the AST (shared subtrees counted once per reference).
+  std::size_t size() const noexcept;
+
+private:
+  NodeRef root_;
+  std::string text_;
+};
+
+// ------------------------------------------------------------ combinators
+
+/// One event equal to `s`.
+Query sym(core::Symbol s);
+/// Convenience: one event equal to the character `c`.
+Query chr(char c);
+/// One event, any symbol (`.`).
+Query any();
+/// a then b.
+Query seq(Query a, Query b);
+/// a or b.
+Query alt(Query a, Query b);
+/// a, one or more times.
+Query iter(Query a);
+/// a, first-to-last span within `window` ticks.
+Query within(core::Tick window, Query a);
+
+}  // namespace rtw::cer

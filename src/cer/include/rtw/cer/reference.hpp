@@ -1,0 +1,29 @@
+#pragma once
+/// \file reference.hpp
+/// Naive reference evaluator: the compiled acceptor's ground truth.
+///
+/// eval_reference interprets the query AST directly over a fully
+/// materialized word: memoized match sets "word[i..j) matches node"
+/// computed bottom-up (O(size(query) * n^2) time, no automata, no
+/// clocks).  It is deliberately written from the declarative semantics
+/// of query.hpp -- sequence splits, disjunction unions, iteration as a
+/// reachability fixpoint, `within` as a filter on first-to-last
+/// timestamp span -- so that agreement with CerAcceptor (which takes
+/// the Glushkov + clock-guard route) is evidence for both.  The
+/// property suite in tests/test_cer.cpp differential-tests the two on
+/// random queries x fault-mutated words, comparing verdicts after
+/// every element.
+
+#include <span>
+
+#include "rtw/cer/query.hpp"
+#include "rtw/core/timed_word.hpp"
+
+namespace rtw::cer {
+
+/// True iff the whole word (anchored: all of it) is in the query's
+/// language.  The empty word is never in the language.
+bool eval_reference(const Query& query,
+                    std::span<const core::TimedSymbol> word);
+
+}  // namespace rtw::cer

@@ -1,0 +1,192 @@
+#include "rtw/cer/parser.hpp"
+
+#include <cctype>
+#include <cstdint>
+#include <utility>
+
+namespace rtw::cer {
+
+namespace {
+
+/// Recursion ceiling for nested `(`/`within{` groups.  Queries come from
+/// untrusted clients; without a ceiling a kilobyte of '(' would overflow
+/// the network thread's stack.
+constexpr int kMaxDepth = 64;
+
+class Parser {
+public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  ParseResult run() {
+    Query q = parse_alt(0);
+    if (!failed_) {
+      skip_ws();
+      if (pos_ != text_.size()) fail("unexpected trailing input");
+    }
+    if (failed_) {
+      ParseResult r;
+      r.error = std::move(error_);
+      r.offset = error_pos_;
+      return r;
+    }
+    ParseResult r;
+    r.query = Query(q.root(), std::string(text_));
+    return r;
+  }
+
+private:
+  // ---- character stream ------------------------------------------------
+  bool eof() const noexcept { return pos_ >= text_.size(); }
+  char peek() const noexcept { return text_[pos_]; }
+  void skip_ws() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) ++pos_;
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (eof() || peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void expect(char c, const char* what) {
+    if (!consume(c)) fail(what);
+  }
+
+  void fail(std::string msg) {
+    if (failed_) return;  // keep the first error
+    failed_ = true;
+    error_ = std::move(msg);
+    error_pos_ = pos_;
+  }
+
+  // ---- grammar ---------------------------------------------------------
+  Query parse_alt(int depth) {
+    Query q = parse_seq(depth);
+    while (!failed_ && consume('|')) q = alt(std::move(q), parse_seq(depth));
+    return q;
+  }
+
+  Query parse_seq(int depth) {
+    Query q = parse_post(depth);
+    while (!failed_ && consume(';')) q = seq(std::move(q), parse_post(depth));
+    return q;
+  }
+
+  Query parse_post(int depth) {
+    Query q = parse_prim(depth);
+    while (!failed_ && consume('+')) q = iter(std::move(q));
+    return q;
+  }
+
+  Query parse_prim(int depth) {
+    skip_ws();
+    if (failed_) return {};
+    if (eof()) {
+      fail("expected a pattern");
+      return {};
+    }
+    if (depth >= kMaxDepth) {
+      fail("query nesting too deep");
+      return {};
+    }
+    const char c = peek();
+    if (c == '(') {
+      ++pos_;
+      Query q = parse_alt(depth + 1);
+      expect(')', "expected ')'");
+      return q;
+    }
+    if (c == '.') {
+      ++pos_;
+      return any();
+    }
+    if (c == '\'') {
+      ++pos_;
+      if (eof()) {
+        fail("unterminated character literal");
+        return {};
+      }
+      const char lit = peek();
+      ++pos_;
+      expect('\'', "expected closing '''");
+      return chr(lit);
+    }
+    if (c == '<') {
+      ++pos_;
+      const std::size_t start = pos_;
+      while (!eof() && peek() != '>') ++pos_;
+      if (eof()) {
+        fail("unterminated marker name");
+        return {};
+      }
+      if (pos_ == start) {
+        fail("empty marker name");
+        return {};
+      }
+      std::string_view name = text_.substr(start, pos_ - start);
+      ++pos_;  // '>'
+      return sym(core::Symbol::marker(name));
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::uint64_t n = 0;
+      if (!parse_nat(n)) return {};
+      return sym(core::Symbol::nat(n));
+    }
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      const std::size_t start = pos_;
+      while (!eof() && std::isalpha(static_cast<unsigned char>(peek()))) ++pos_;
+      std::string_view word = text_.substr(start, pos_ - start);
+      if (word.size() == 1) return chr(word[0]);
+      if (word == "within") return parse_within(depth);
+      pos_ = start;
+      fail("unknown keyword '" + std::string(word) + "'");
+      return {};
+    }
+    fail(std::string("unexpected character '") + c + "'");
+    return {};
+  }
+
+  /// `within` keyword already consumed.
+  Query parse_within(int depth) {
+    expect('(', "expected '(' after 'within'");
+    skip_ws();
+    std::uint64_t window = 0;
+    if (!failed_ && (eof() || !std::isdigit(static_cast<unsigned char>(peek())))) {
+      fail("expected a tick count in 'within(...)'");
+    }
+    if (!failed_) parse_nat(window);
+    expect(')', "expected ')' after window");
+    expect('{', "expected '{' after 'within(t)'");
+    Query body = parse_alt(depth + 1);
+    expect('}', "expected '}'");
+    if (failed_) return {};
+    return within(static_cast<core::Tick>(window), std::move(body));
+  }
+
+  bool parse_nat(std::uint64_t& out) {
+    out = 0;
+    const std::size_t start = pos_;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      const std::uint64_t digit = static_cast<std::uint64_t>(peek() - '0');
+      if (out > (UINT64_MAX - digit) / 10) {
+        pos_ = start;
+        fail("number too large");
+        return false;
+      }
+      out = out * 10 + digit;
+      ++pos_;
+    }
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+  std::string error_;
+  std::size_t error_pos_ = 0;
+};
+
+}  // namespace
+
+ParseResult parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace rtw::cer

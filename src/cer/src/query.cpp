@@ -1,0 +1,134 @@
+#include "rtw/cer/query.hpp"
+
+#include <utility>
+
+namespace rtw::cer {
+
+namespace {
+
+/// Binding strength for minimal-parenthesis rendering: Alt < Seq < Iter.
+int precedence(Node::Kind kind) {
+  switch (kind) {
+    case Node::Kind::Alt: return 0;
+    case Node::Kind::Seq: return 1;
+    case Node::Kind::Iter: return 2;
+    case Node::Kind::Sym:
+    case Node::Kind::Within: return 3;  // self-delimiting
+  }
+  return 3;
+}
+
+void render(const NodeRef& node, int min_prec, std::string& out) {
+  if (!node) return;
+  const int prec = precedence(node->kind);
+  const bool parens = prec < min_prec;
+  if (parens) out += '(';
+  switch (node->kind) {
+    case Node::Kind::Sym:
+      out += node->pred.to_string();
+      break;
+    case Node::Kind::Seq:
+      render(node->left, 1, out);
+      out += " ; ";
+      render(node->right, 2, out);
+      break;
+    case Node::Kind::Alt:
+      render(node->left, 0, out);
+      out += " | ";
+      render(node->right, 1, out);
+      break;
+    case Node::Kind::Iter:
+      render(node->left, 3, out);
+      out += '+';
+      break;
+    case Node::Kind::Within:
+      out += "within(";
+      out += std::to_string(node->window);
+      out += "){ ";
+      render(node->left, 0, out);
+      out += " }";
+      break;
+  }
+  if (parens) out += ')';
+}
+
+std::size_t count_nodes(const NodeRef& node) {
+  if (!node) return 0;
+  return 1 + count_nodes(node->left) + count_nodes(node->right);
+}
+
+}  // namespace
+
+std::string SymbolPred::to_string() const {
+  if (kind == Kind::Any) return ".";
+  if (sym.is_char()) {
+    const char c = sym.as_char();
+    // Letters render bare; anything the parser could misread is quoted
+    // (digits would parse as naturals, punctuation as operators).
+    const bool bare = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+    if (bare) return std::string(1, c);
+    std::string out = "'";
+    out += c;
+    out += '\'';
+    return out;
+  }
+  if (sym.is_nat()) return std::to_string(sym.as_nat());
+  std::string out = "<";
+  out += sym.name();
+  out += '>';
+  return out;
+}
+
+std::string Query::to_string() const {
+  std::string out;
+  render(root_, 0, out);
+  return out;
+}
+
+std::size_t Query::size() const noexcept { return count_nodes(root_); }
+
+Query sym(core::Symbol s) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::Sym;
+  node->pred = SymbolPred{SymbolPred::Kind::Exact, s};
+  return Query(std::move(node));
+}
+
+Query chr(char c) { return sym(core::Symbol::chr(c)); }
+
+Query any() {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::Sym;
+  node->pred = SymbolPred{SymbolPred::Kind::Any, {}};
+  return Query(std::move(node));
+}
+
+namespace {
+Query binary(Node::Kind kind, Query a, Query b) {
+  auto node = std::make_shared<Node>();
+  node->kind = kind;
+  node->left = a.root();
+  node->right = b.root();
+  return Query(std::move(node));
+}
+}  // namespace
+
+Query seq(Query a, Query b) { return binary(Node::Kind::Seq, std::move(a), std::move(b)); }
+Query alt(Query a, Query b) { return binary(Node::Kind::Alt, std::move(a), std::move(b)); }
+
+Query iter(Query a) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::Iter;
+  node->left = a.root();
+  return Query(std::move(node));
+}
+
+Query within(core::Tick window, Query a) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::Within;
+  node->window = window;
+  node->left = a.root();
+  return Query(std::move(node));
+}
+
+}  // namespace rtw::cer

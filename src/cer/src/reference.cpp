@@ -1,0 +1,108 @@
+#include "rtw/cer/reference.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+namespace rtw::cer {
+
+namespace {
+
+/// Memoized match-set computation.  ends(node, i) is the set of j > i
+/// such that word[i..j) matches node, represented as a bitmap over
+/// 0..n.  Every construct consumes >= 1 event, so j > i strictly and
+/// the iteration fixpoint below terminates.
+class Evaluator {
+public:
+  explicit Evaluator(std::span<const core::TimedSymbol> word) : word_(word) {}
+
+  bool accepts(const NodeRef& root) {
+    if (!root) return false;
+    const std::vector<char>& e = ends(root, 0);
+    return e[word_.size()] != 0;
+  }
+
+private:
+  using Bitmap = std::vector<char>;  // index j in [0, n], 1 = match ends at j
+
+  const Bitmap& ends(const NodeRef& node, std::size_t i) {
+    const auto key = std::make_pair(node.get(), i);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    Bitmap out(word_.size() + 1, 0);
+    switch (node->kind) {
+      case Node::Kind::Sym:
+        if (i < word_.size() && node->pred.matches(word_[i].sym)) {
+          out[i + 1] = 1;
+        }
+        break;
+      case Node::Kind::Seq: {
+        const Bitmap left = ends(node->left, i);
+        for (std::size_t k = i + 1; k <= word_.size(); ++k) {
+          if (!left[k]) continue;
+          const Bitmap& right = ends(node->right, k);
+          for (std::size_t j = k + 1; j <= word_.size(); ++j) {
+            if (right[j]) out[j] = 1;
+          }
+        }
+        break;
+      }
+      case Node::Kind::Alt: {
+        const Bitmap left = ends(node->left, i);
+        const Bitmap& right = ends(node->right, i);
+        for (std::size_t j = 0; j <= word_.size(); ++j) {
+          out[j] = static_cast<char>(left[j] | right[j]);
+        }
+        break;
+      }
+      case Node::Kind::Iter: {
+        // Reachability fixpoint: one or more back-to-back body matches.
+        // Work outward from i; since body matches strictly advance, a
+        // single left-to-right frontier sweep reaches the closure.
+        std::vector<char> frontier(word_.size() + 1, 0);
+        frontier[i] = 1;
+        for (std::size_t k = i; k <= word_.size(); ++k) {
+          if (!frontier[k]) continue;
+          const Bitmap body = ends(node->left, k);
+          for (std::size_t j = k + 1; j <= word_.size(); ++j) {
+            if (!body[j]) continue;
+            out[j] = 1;
+            frontier[j] = 1;
+          }
+        }
+        break;
+      }
+      case Node::Kind::Within: {
+        const Bitmap& inner = ends(node->left, i);
+        for (std::size_t j = i + 1; j <= word_.size(); ++j) {
+          if (!inner[j]) continue;
+          // Span of word[i..j): first event i, last event j-1.
+          if (word_[j - 1].time - word_[i].time <= node->window) out[j] = 1;
+        }
+        break;
+      }
+    }
+    return memo_.emplace(key, std::move(out)).first->second;
+  }
+
+  struct KeyHash {
+    std::size_t operator()(
+        const std::pair<const Node*, std::size_t>& k) const noexcept {
+      return std::hash<const void*>()(k.first) ^ (k.second * 0x9e3779b97f4a7c15ULL);
+    }
+  };
+
+  std::span<const core::TimedSymbol> word_;
+  std::unordered_map<std::pair<const Node*, std::size_t>, Bitmap, KeyHash>
+      memo_;
+};
+
+}  // namespace
+
+bool eval_reference(const Query& query,
+                    std::span<const core::TimedSymbol> word) {
+  if (query.empty() || word.empty()) return false;
+  Evaluator ev(word);
+  return ev.accepts(query.root());
+}
+
+}  // namespace rtw::cer

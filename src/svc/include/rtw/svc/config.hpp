@@ -2,19 +2,16 @@
 /// \file config.hpp
 /// Split serving-layer configuration.
 ///
-/// The pre-split flat `ServiceConfig` mixed three concerns that have
-/// different owners: how the shard workers run, how the bounded ingress
-/// admits, and (new with the network front-end) how a transport behaves.
-/// They are now three sub-structs assembled into one `ServerConfig`:
+/// Serving-layer configuration is three sub-structs with different
+/// owners -- how the shard workers run, how the bounded ingress admits,
+/// and how a transport behaves -- assembled into one `ServerConfig`:
 ///
 ///   ShardConfig    worker count, drain batching, eviction, lane kernel
 ///   IngressConfig  ring bound, shed policy, watermarks, quota, latency
 ///   NetConfig      listener address, buffers, notification policy, drain
 ///
 /// `SessionManager` consumes shard + ingress; `Server`/`net::TcpServer`
-/// consume all three.  The flat `ServiceConfig` survives one PR cycle as
-/// a deprecated shim in service.hpp (every old field converts into its
-/// split home).
+/// consume all three.
 
 #include <cstddef>
 #include <cstdint>

@@ -71,49 +71,6 @@
 
 namespace rtw::svc {
 
-/// Pre-split flat configuration (the PR 5-7 API).  Every field is a
-/// deprecated alias of its home in the ShardConfig/IngressConfig split;
-/// the implicit conversion lets old call sites hand it straight to
-/// SessionManager for one more PR cycle.  New code assembles a
-/// ServerConfig instead.
-// The pragma silences the *implicit* special members (whose synthesized
-// definitions touch every deprecated field and are attributed to the
-// struct itself); direct field access at call sites still warns.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-struct ServiceConfig {
-  [[deprecated("use ShardConfig::count")]]
-  unsigned shards = 1;
-  [[deprecated("use IngressConfig::ring_capacity")]]
-  std::size_t ring_capacity = 1024;
-  [[deprecated("use IngressConfig::shed_on_full")]]
-  bool shed_on_full = true;
-  [[deprecated("use ShardConfig::idle_epochs")]]
-  std::uint64_t idle_epochs = 0;
-  [[deprecated("use ShardConfig::drain_batch")]]
-  std::size_t drain_batch = 256;
-  [[deprecated("use IngressConfig::session_quota")]]
-  std::size_t session_quota = 0;
-  [[deprecated("use IngressConfig::watermark_low")]]
-  double watermark_low = 0.5;
-  [[deprecated("use IngressConfig::watermark_high")]]
-  double watermark_high = 0.875;
-  [[deprecated("use IngressConfig::max_queue_delay_ns")]]
-  std::uint64_t max_queue_delay_ns = 0;
-  [[deprecated("use IngressConfig::session_slots")]]
-  std::size_t session_slots = 8192;
-  [[deprecated("use IngressConfig::latency_sample_every")]]
-  std::size_t latency_sample_every = 16;
-  [[deprecated("use ShardConfig::lane_kernel")]]
-  bool lane_kernel = true;
-  [[deprecated("use ShardConfig::lane_wave")]]
-  std::size_t lane_wave = 256;
-
-  /// Folds the flat fields into their split homes (net stays default).
-  operator ServerConfig() const;
-};
-#pragma GCC diagnostic pop
-
 /// Monotone service-wide tallies (mirrored into obs metrics when a sink
 /// is installed).
 struct ServiceStats {
@@ -133,6 +90,8 @@ struct ServiceStats {
   std::uint64_t batches = 0;      ///< ring slots drained (batch granularity)
   std::uint64_t lane_symbols = 0; ///< symbols advanced by the batch kernel
   std::uint64_t lane_waves = 0;   ///< kernel wave dispatches
+  std::uint64_t query_compiled = 0;  ///< SubmitQuery opens that compiled
+  std::uint64_t query_rejected = 0;  ///< ... refused by a CompileLimits cap
 };
 
 /// Builds the acceptor for a wire-opened session; `profile` is the Open
@@ -196,6 +155,15 @@ public:
   /// are not servable traffic and report Shed; the Server facade handles
   /// those before they reach the manager.
   AdmitResult apply(const WireEvent& event, const AcceptorFactory& factory);
+
+  /// Compiles a SubmitQuery body into a per-session acceptor.  The text
+  /// is already syntax-checked by the wire Decoder, but this method
+  /// re-parses defensively (direct callers exist) and applies the
+  /// CompileLimits resource policy; nullptr refuses the session, with
+  /// the attempt tallied under query_compiled / query_rejected and the
+  /// svc.query.* metrics (including the compile-latency histogram).
+  std::unique_ptr<core::OnlineAcceptor> build_query_acceptor(
+      SessionId id, std::string_view query);
 
   // ----------------------------------------------------- lifecycle
 
@@ -310,7 +278,8 @@ private:
     std::atomic<std::uint64_t> opened{0}, closed{0}, ingested{0}, shed{0},
         shed_ring_full{0}, shed_session_bound{0}, shed_priority{0},
         blocked{0}, stale{0}, evicted{0}, unknown{0}, active{0}, epochs{0},
-        batches{0}, lane_symbols{0}, lane_waves{0};
+        batches{0}, lane_symbols{0}, lane_waves{0}, query_compiled{0},
+        query_rejected{0};
   };
   mutable AtomicStats stats_;
 };

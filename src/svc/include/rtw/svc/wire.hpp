@@ -37,6 +37,15 @@
 ///   op 10 ShedNotice      server->client, body = [u8 admit][u8 reason]
 ///                         [u64le symbols]: an admission refusal surfaced
 ///                         to the client that sent the refused frame
+///   op 11 SubmitQuery     body = timed-pattern query text (cer/parser.hpp
+///                         grammar); opens the session with a compiled
+///                         per-session acceptor instead of a named
+///                         profile.  The decoder parses the query during
+///                         frame validation: a syntax error is a sticky
+///                         MalformedBody, exactly like a bad Feed body.
+///                         Structural blow-ups (CompileLimits) are not a
+///                         framing matter and surface as a refused open
+///                         (ShedNotice) instead.
 ///
 /// The payload is textual on purpose: it reuses core/serialize.hpp, so a
 /// frame body is greppable in a capture and replay files double as fixture
@@ -87,6 +96,7 @@ enum class Op : std::uint8_t {
   HelloAck = 8,
   Verdict = 9,
   ShedNotice = 10,
+  SubmitQuery = 11,
 };
 
 std::string to_string(Op op);
@@ -126,6 +136,8 @@ std::string encode_verdict(SessionId session, core::Verdict verdict,
 /// refused frame.  `symbols` is the size of the refused run.
 std::string encode_shed(SessionId session, AdmitResult admit,
                         std::uint64_t symbols);
+/// Op 11: open a session evaluating an inline timed-pattern query.
+std::string encode_submit_query(SessionId session, std::string_view query);
 
 // ------------------------------------------------------------ decoding
 
@@ -142,13 +154,14 @@ struct WireEvent {
     HelloAck,  ///< op 8: server version selection
     Verdict,   ///< op 9: settled session verdict notification
     Shed,      ///< op 10: admission-refusal notification
+    SubmitQuery,  ///< op 11: open with an inline query (text in `profile`)
   };
 
   Kind kind = Kind::Symbols;
   SessionId session = 0;
   core::StreamEnd end = core::StreamEnd::EndOfWord;  ///< Close only
   Priority priority = Priority::Normal;              ///< Open only
-  std::string profile;                               ///< Open only
+  std::string profile;  ///< Open: profile; SubmitQuery: query text
   std::vector<core::TimedSymbol> symbols;            ///< Symbols only
 
   // Protocol-plane payloads (v1).

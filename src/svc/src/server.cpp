@@ -80,7 +80,8 @@ bool Connection::apply_event(WireEvent& event) {
       queue_output(encode_hello_ack(chosen));
       return true;
     }
-    case WireEvent::Kind::Open: {
+    case WireEvent::Kind::Open:
+    case WireEvent::Kind::SubmitQuery: {
       {
         std::lock_guard lock(mutex_);
         if (sessions_.count(event.session)) {
@@ -89,9 +90,16 @@ bool Connection::apply_event(WireEvent& event) {
         }
       }
       const SessionId global = server_.allocate_session();
-      auto acceptor = server_.factory_
-                          ? server_.factory_(global, event.profile)
-                          : nullptr;
+      // An Open names a profile for the server's factory; a SubmitQuery
+      // carries an inline query (already syntax-checked by the Decoder)
+      // compiled into a per-session acceptor.  Both refuse identically:
+      // a CompileLimits hit is the query-plane twin of an unknown
+      // profile, not a framing error.
+      auto acceptor =
+          event.kind == WireEvent::Kind::SubmitQuery
+              ? server_.manager().build_query_acceptor(global, event.profile)
+              : (server_.factory_ ? server_.factory_(global, event.profile)
+                                  : nullptr);
       if (!acceptor) {
         std::lock_guard lock(mutex_);
         ++stats_.refused_opens;

@@ -1,12 +1,16 @@
 #include "rtw/svc/service.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <string>
 #include <thread>
 #include <utility>
 
+#include "rtw/cer/acceptor.hpp"
+#include "rtw/cer/compile.hpp"
+#include "rtw/cer/parser.hpp"
 #include "rtw/obs/metrics.hpp"
 #include "rtw/obs/sink.hpp"
 
@@ -47,6 +51,9 @@ struct Metrics {
   obs::Counter& closed;
   obs::Counter& unknown;
   obs::Gauge& active;
+  obs::Counter& query_compiled;
+  obs::Counter& query_rejected;
+  obs::HistogramMetric& query_compile_ns;
 
   static Metrics& get() {
     static Metrics m{
@@ -61,6 +68,12 @@ struct Metrics {
         obs::MetricsRegistry::instance().counter("svc.sessions_closed"),
         obs::MetricsRegistry::instance().counter("svc.unknown_session"),
         obs::MetricsRegistry::instance().gauge("svc.sessions_active"),
+        obs::MetricsRegistry::instance().counter("svc.query.compiled"),
+        obs::MetricsRegistry::instance().counter("svc.query.rejected"),
+        // Compile latency in log2(ns) bins: 2^0 .. 2^32 ns covers a
+        // sub-microsecond parse through a pathological multi-second one.
+        obs::MetricsRegistry::instance().histogram("svc.query.compile_ns", 0,
+                                                   32),
     };
     return m;
   }
@@ -102,28 +115,6 @@ std::string to_string(const AdmitResult& r) {
   }
   return out;
 }
-
-// The deprecation shim reads its own deprecated fields by design.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-ServiceConfig::operator ServerConfig() const {
-  ServerConfig out;
-  out.shard.count = shards;
-  out.shard.drain_batch = drain_batch;
-  out.shard.idle_epochs = idle_epochs;
-  out.shard.lane_kernel = lane_kernel;
-  out.shard.lane_wave = lane_wave;
-  out.ingress.ring_capacity = ring_capacity;
-  out.ingress.shed_on_full = shed_on_full;
-  out.ingress.session_quota = session_quota;
-  out.ingress.watermark_low = watermark_low;
-  out.ingress.watermark_high = watermark_high;
-  out.ingress.max_queue_delay_ns = max_queue_delay_ns;
-  out.ingress.session_slots = session_slots;
-  out.ingress.latency_sample_every = latency_sample_every;
-  return out;
-}
-#pragma GCC diagnostic pop
 
 SessionManager::Shard::Shard(const IngressConfig& ingress)
     : ring(ingress.ring_capacity + kControlHeadroom),
@@ -335,6 +326,33 @@ void SessionManager::close(SessionId id, core::StreamEnd end) {
   enqueue_control(std::move(c));
 }
 
+std::unique_ptr<core::OnlineAcceptor> SessionManager::build_query_acceptor(
+    SessionId id, std::string_view query) {
+  (void)id;
+  const std::uint64_t begin_ns = steady_ns();
+  std::unique_ptr<core::OnlineAcceptor> acceptor;
+  auto parsed = cer::parse(query);
+  if (parsed.ok()) {
+    auto compiled = cer::compile(*parsed.query);
+    if (compiled.ok()) {
+      acceptor = cer::make_online_acceptor(std::move(*compiled.compiled));
+    }
+  }
+  const std::uint64_t elapsed_ns = steady_ns() - begin_ns;
+  if (acceptor) {
+    stats_.query_compiled.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stats_.query_rejected.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (obs::enabled()) {
+    auto& m = Metrics::get();
+    (acceptor ? m.query_compiled : m.query_rejected).add();
+    m.query_compile_ns.add(
+        static_cast<std::int64_t>(std::bit_width(elapsed_ns | 1) - 1));
+  }
+  return acceptor;
+}
+
 AdmitResult SessionManager::apply(const WireEvent& event,
                                   const AcceptorFactory& factory) {
   switch (event.kind) {
@@ -358,6 +376,12 @@ AdmitResult SessionManager::apply(const WireEvent& event,
         if (a != Admit::Blocked) return a;
         std::this_thread::yield();
       }
+    }
+    case WireEvent::Kind::SubmitQuery: {
+      auto acceptor = build_query_acceptor(event.session, event.profile);
+      if (!acceptor) return AdmitResult{Admit::Shed, ShedReason::None};
+      open(event.session, std::move(acceptor), event.priority);
+      return AdmitResult{};
     }
     case WireEvent::Kind::Close:
       close(event.session, event.end);
@@ -694,6 +718,8 @@ ServiceStats SessionManager::stats() const {
   s.batches = stats_.batches.load(std::memory_order_relaxed);
   s.lane_symbols = stats_.lane_symbols.load(std::memory_order_relaxed);
   s.lane_waves = stats_.lane_waves.load(std::memory_order_relaxed);
+  s.query_compiled = stats_.query_compiled.load(std::memory_order_relaxed);
+  s.query_rejected = stats_.query_rejected.load(std::memory_order_relaxed);
   return s;
 }
 

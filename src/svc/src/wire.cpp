@@ -4,6 +4,8 @@
 #include <cstring>
 #include <utility>
 
+#include "rtw/cer/parser.hpp"
+
 namespace rtw::svc {
 
 namespace {
@@ -62,6 +64,7 @@ std::string to_string(Op op) {
     case Op::HelloAck: return "hello_ack";
     case Op::Verdict: return "verdict";
     case Op::ShedNotice: return "shed_notice";
+    case Op::SubmitQuery: return "submit_query";
   }
   return "op?" + std::to_string(static_cast<unsigned>(op));
 }
@@ -127,6 +130,10 @@ std::string encode_verdict(SessionId session, core::Verdict verdict,
   put_u64le(body, fed);
   put_u64le(body, stale);
   return encode(session, Op::Verdict, body);
+}
+
+std::string encode_submit_query(SessionId session, std::string_view query) {
+  return encode(session, Op::SubmitQuery, query);
 }
 
 std::string encode_shed(SessionId session, AdmitResult admit,
@@ -303,6 +310,24 @@ void Decoder::decode() {
         ev.evicted = body[2] != 0;
         ev.fed = get_u64le(body.data() + 3);
         ev.stale = get_u64le(body.data() + 11);
+        break;
+      }
+      case Op::SubmitQuery: {
+        // Validate the query text while the frame is in hand: a client
+        // that cannot even form a syntactically valid query is as broken
+        // as one sending a garbled Feed body, and gets the same sticky
+        // treatment.  (Compile limits are a resource policy, not a
+        // framing error -- the session layer handles those.)
+        auto parsed = cer::parse(body);
+        if (!parsed.ok()) {
+          std::string msg = "svc::Decoder: malformed query: ";
+          msg += parsed.error;
+          msg += " at offset ";
+          msg += std::to_string(parsed.offset);
+          return fail(DecodeError::MalformedBody, std::move(msg));
+        }
+        ev.kind = WireEvent::Kind::SubmitQuery;
+        ev.profile = std::string(body);
         break;
       }
       case Op::ShedNotice: {

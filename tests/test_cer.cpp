@@ -1,0 +1,496 @@
+/// \file test_cer.cpp
+/// The timed-pattern query subsystem: parser, compiler, runtime acceptor,
+/// reference evaluator, and the compiled-vs-reference differential
+/// property (standalone and through SessionManager at 1 and 8 shards).
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "proptest.hpp"
+#include "rtw/cer/acceptor.hpp"
+#include "rtw/cer/compile.hpp"
+#include "rtw/cer/parser.hpp"
+#include "rtw/cer/query.hpp"
+#include "rtw/cer/reference.hpp"
+#include "rtw/core/error.hpp"
+#include "rtw/svc/service.hpp"
+
+using rtw::core::StreamEnd;
+using rtw::core::Symbol;
+using rtw::core::Tick;
+using rtw::core::TimedSymbol;
+using rtw::core::Verdict;
+namespace cer = rtw::cer;
+
+namespace {
+
+std::vector<TimedSymbol> word_of(
+    std::initializer_list<std::pair<char, Tick>> elems) {
+  std::vector<TimedSymbol> out;
+  for (const auto& [c, t] : elems) out.push_back({Symbol::chr(c), t});
+  return out;
+}
+
+/// Compiles or aborts the test.
+cer::CompiledQuery must_compile(const cer::Query& q,
+                                cer::CompileLimits limits = {}) {
+  auto r = cer::compile(q, limits);
+  EXPECT_TRUE(r.ok()) << r.error;
+  return std::move(*r.compiled);
+}
+
+Verdict run_to_end(const cer::CompiledQuery& compiled,
+                   std::span<const TimedSymbol> word,
+                   StreamEnd end = StreamEnd::EndOfWord) {
+  cer::CerAcceptor acceptor(compiled);
+  for (const auto& e : word) acceptor.feed(e.sym, e.time);
+  return acceptor.finish(end);
+}
+
+}  // namespace
+
+// ============================================================== 1. parser
+
+TEST(CerParser, AtomsAndPrecedence) {
+  // `|` binds loosest, then `;`, then `+`.
+  auto r = cer::parse("a ; b | c+");
+  ASSERT_TRUE(r.ok()) << r.error;
+  const auto& root = r.query->root();
+  ASSERT_EQ(root->kind, cer::Node::Kind::Alt);
+  EXPECT_EQ(root->left->kind, cer::Node::Kind::Seq);
+  EXPECT_EQ(root->right->kind, cer::Node::Kind::Iter);
+  EXPECT_EQ(r.query->text(), "a ; b | c+");
+
+  // Every atom form: bare letter, quoted char, nat, marker, wildcard.
+  auto atoms = cer::parse("x ; '3' ; 42 ; <boom> ; .");
+  ASSERT_TRUE(atoms.ok()) << atoms.error;
+  std::vector<Symbol> expected{Symbol::chr('x'), Symbol::chr('3'),
+                               Symbol::nat(42), Symbol::marker("boom")};
+  const cer::Node* n = atoms.query->root().get();
+  std::vector<const cer::Node*> leaves;
+  // Left-assoc Seq spine: ((((x ; '3') ; 42) ; <boom>) ; .)
+  while (n->kind == cer::Node::Kind::Seq) {
+    leaves.push_back(n->right.get());
+    n = n->left.get();
+  }
+  leaves.push_back(n);
+  ASSERT_EQ(leaves.size(), 5u);
+  EXPECT_EQ(leaves[0]->pred.kind, cer::SymbolPred::Kind::Any);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const auto& pred = leaves[leaves.size() - 1 - i]->pred;
+    EXPECT_EQ(pred.kind, cer::SymbolPred::Kind::Exact);
+    EXPECT_EQ(pred.sym, expected[i]);
+  }
+}
+
+TEST(CerParser, WithinGroupsAndParens) {
+  auto r = cer::parse("within(7){ a ; (b | c)+ }");
+  ASSERT_TRUE(r.ok()) << r.error;
+  const auto& root = r.query->root();
+  ASSERT_EQ(root->kind, cer::Node::Kind::Within);
+  EXPECT_EQ(root->window, 7u);
+  EXPECT_EQ(root->left->kind, cer::Node::Kind::Seq);
+  EXPECT_EQ(root->left->right->kind, cer::Node::Kind::Iter);
+}
+
+TEST(CerParser, RejectsMalformedInput) {
+  for (const char* bad : {
+           "",                // nothing
+           "a ;",             // dangling operator
+           "(a",              // unclosed group
+           "a)",              // trailing junk
+           "within(){a}",     // missing window
+           "within(3) a",     // missing braces
+           "within(3){}",     // empty body
+           "ab",              // unknown keyword
+           "'x",              // unterminated literal
+           "<>",              // empty marker
+           "<m",              // unterminated marker
+           "+",               // operator without operand
+           "a | | b",         // operator gap
+           "99999999999999999999",  // nat overflow
+       }) {
+    auto r = cer::parse(bad);
+    EXPECT_FALSE(r.ok()) << "accepted: " << bad;
+    EXPECT_FALSE(r.error.empty());
+  }
+}
+
+TEST(CerParser, DeepNestingIsAnErrorNotACrash) {
+  std::string bomb(4096, '(');
+  bomb += 'a';
+  bomb.append(4096, ')');
+  auto r = cer::parse(bomb);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("nesting"), std::string::npos);
+}
+
+TEST(CerParser, CanonicalTextRoundTrips) {
+  for (const char* text : {"a", "a ; b | c+", "within(3){ a ; b }",
+                           "(a | b) ; c", "((a ; b) | c)+",
+                           "within(2){ within(1){ a ; b } ; c }",
+                           ". ; '(' ; <m> ; 7"}) {
+    auto first = cer::parse(text);
+    ASSERT_TRUE(first.ok()) << text << ": " << first.error;
+    const std::string canon = first.query->to_string();
+    auto second = cer::parse(canon);
+    ASSERT_TRUE(second.ok()) << canon << ": " << second.error;
+    EXPECT_EQ(second.query->to_string(), canon) << "from " << text;
+  }
+}
+
+// ============================================================ 2. compiler
+
+TEST(CerCompile, PositionAutomatonShape) {
+  // a ; (b | c)+  -- 3 positions + start; transitions: start->a,
+  // a->{b,c}, loop-backs {b,c}x{b,c}.
+  auto compiled = must_compile(*cer::parse("a ; (b | c)+").query);
+  EXPECT_EQ(compiled.num_states, 4u);
+  EXPECT_EQ(compiled.num_clocks, 0u);
+  EXPECT_EQ(compiled.transitions.size(), 1u + 2u + 4u);
+  EXPECT_FALSE(compiled.accepting[0]);
+  std::size_t accepting = 0;
+  for (bool a : compiled.accepting) accepting += a ? 1 : 0;
+  EXPECT_EQ(accepting, 2u);  // b and c positions
+}
+
+TEST(CerCompile, WithinAllocatesClocksAndCapsValuations) {
+  auto compiled =
+      must_compile(*cer::parse("within(9){ a ; b } ; within(4){ c ; d }").query);
+  EXPECT_EQ(compiled.num_clocks, 2u);
+  EXPECT_EQ(compiled.clock_cap, 10u);  // cmax + 1
+}
+
+TEST(CerCompile, LimitsRefuseStructuralBlowups) {
+  // 33 nested within() -> clock limit.
+  std::string nested;
+  for (int i = 0; i < 33; ++i) nested += "within(1){ ";
+  nested += "a";
+  for (int i = 0; i < 33; ++i) nested += " }";
+  auto parsed = cer::parse(nested);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  auto r = cer::compile(*parsed.query);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("clock"), std::string::npos);
+
+  // (x1|...|x70)+ -> ~70^2 loop-backs, past the transition limit.
+  cer::Query wide = cer::chr('a');
+  for (int i = 0; i < 69; ++i) wide = cer::alt(std::move(wide), cer::any());
+  auto big = cer::compile(cer::iter(std::move(wide)));
+  ASSERT_FALSE(big.ok());
+  EXPECT_NE(big.error.find("transition"), std::string::npos);
+
+  EXPECT_FALSE(cer::compile(cer::Query{}).ok());  // empty query
+}
+
+// ===================================================== 3. runtime acceptor
+
+TEST(CerAcceptor, AnchoredSequenceSemantics) {
+  auto compiled = must_compile(*cer::parse("a ; b").query);
+  EXPECT_EQ(run_to_end(compiled, word_of({{'a', 0}, {'b', 1}})),
+            Verdict::Accepting);
+  EXPECT_EQ(run_to_end(compiled, word_of({{'a', 0}})), Verdict::Rejecting);
+  EXPECT_EQ(run_to_end(compiled, word_of({{'a', 0}, {'b', 1}, {'c', 2}})),
+            Verdict::Rejecting);
+  EXPECT_EQ(run_to_end(compiled, {}), Verdict::Rejecting);  // no empty word
+}
+
+TEST(CerAcceptor, DeadConfigSetLocksRejectingEarly) {
+  auto compiled = must_compile(*cer::parse("a ; b").query);
+  cer::CerAcceptor acceptor(compiled);
+  EXPECT_EQ(acceptor.feed(Symbol::chr('x'), 0), Verdict::Rejecting);
+  EXPECT_TRUE(acceptor.result().exact);
+  // Final verdicts are sticky; further feeds are no-ops.
+  EXPECT_EQ(acceptor.feed(Symbol::chr('a'), 1), Verdict::Rejecting);
+  EXPECT_EQ(acceptor.finish(StreamEnd::EndOfWord), Verdict::Rejecting);
+  EXPECT_EQ(acceptor.result().symbols_consumed, 1u);
+}
+
+TEST(CerAcceptor, WindowConstraintUsesEventTimes) {
+  auto compiled = must_compile(*cer::parse("within(3){ a ; b }").query);
+  EXPECT_EQ(run_to_end(compiled, word_of({{'a', 10}, {'b', 13}})),
+            Verdict::Accepting);
+  EXPECT_EQ(run_to_end(compiled, word_of({{'a', 10}, {'b', 14}})),
+            Verdict::Rejecting);
+  // Single-event within: trivially inside any window.
+  auto single = must_compile(*cer::parse("within(0){ a }").query);
+  EXPECT_EQ(run_to_end(single, word_of({{'a', 99}})), Verdict::Accepting);
+}
+
+TEST(CerAcceptor, IterationReopensWindowsPerPass) {
+  // Each a;b pass must fit in 2 ticks, but passes may be far apart.
+  auto compiled = must_compile(*cer::parse("(within(2){ a ; b })+").query);
+  EXPECT_EQ(run_to_end(compiled, word_of({{'a', 0}, {'b', 2}, {'a', 50},
+                                          {'b', 51}})),
+            Verdict::Accepting);
+  EXPECT_EQ(run_to_end(compiled, word_of({{'a', 0}, {'b', 2}, {'a', 50},
+                                          {'b', 53}})),
+            Verdict::Rejecting);
+}
+
+TEST(CerAcceptor, WindowOverWholeIteration) {
+  auto compiled = must_compile(*cer::parse("within(5){ (a)+ }").query);
+  EXPECT_EQ(run_to_end(compiled, word_of({{'a', 0}, {'a', 3}, {'a', 5}})),
+            Verdict::Accepting);
+  EXPECT_EQ(run_to_end(compiled, word_of({{'a', 0}, {'a', 3}, {'a', 6}})),
+            Verdict::Rejecting);
+}
+
+TEST(CerAcceptor, TruncatedFinishIsInexact) {
+  auto compiled = must_compile(*cer::parse("a ; b").query);
+  cer::CerAcceptor acceptor(compiled);
+  acceptor.feed(Symbol::chr('a'), 0);
+  acceptor.feed(Symbol::chr('b'), 1);
+  EXPECT_EQ(acceptor.verdict(), Verdict::Undetermined);  // anchored: not yet
+  EXPECT_EQ(acceptor.finish(StreamEnd::Truncated), Verdict::Accepting);
+  EXPECT_FALSE(acceptor.result().exact);
+
+  acceptor.reset();
+  acceptor.feed(Symbol::chr('a'), 0);
+  acceptor.feed(Symbol::chr('b'), 1);
+  EXPECT_EQ(acceptor.finish(StreamEnd::EndOfWord), Verdict::Accepting);
+  EXPECT_TRUE(acceptor.result().exact);
+  EXPECT_EQ(acceptor.result().f_count, 1u);       // accepting config at b@1
+  ASSERT_TRUE(acceptor.result().first_f.has_value());
+  EXPECT_EQ(*acceptor.result().first_f, 1u);
+}
+
+TEST(CerAcceptor, NonMonotoneFeedThrows) {
+  auto compiled = must_compile(*cer::parse("(a)+").query);
+  cer::CerAcceptor acceptor(compiled);
+  acceptor.feed(Symbol::chr('a'), 5);
+  EXPECT_THROW(acceptor.feed(Symbol::chr('a'), 3), rtw::core::ModelError);
+}
+
+TEST(CerAcceptor, FactoryRefusesOversizedQueriesWithNullptr) {
+  EXPECT_EQ(cer::make_online_acceptor(cer::chr('a'),
+                                      cer::CompileLimits{.max_states = 0}),
+            nullptr);
+  auto ok = cer::make_online_acceptor(*cer::parse("a | b").query);
+  ASSERT_NE(ok, nullptr);
+  EXPECT_EQ(ok->feed(Symbol::chr('b'), 0), Verdict::Undetermined);
+  EXPECT_EQ(ok->finish(StreamEnd::EndOfWord), Verdict::Accepting);
+}
+
+// ==================================================== 4. reference evaluator
+
+TEST(CerReference, MatchesHandEvaluatedExamples) {
+  const auto q = *cer::parse("within(4){ a ; (b | c)+ }").query;
+  const auto yes = word_of({{'a', 0}, {'c', 2}, {'b', 4}});
+  const auto no_window = word_of({{'a', 0}, {'c', 2}, {'b', 5}});
+  const auto no_shape = word_of({{'a', 0}, {'a', 1}});
+  EXPECT_TRUE(cer::eval_reference(q, yes));
+  EXPECT_FALSE(cer::eval_reference(q, no_window));
+  EXPECT_FALSE(cer::eval_reference(q, no_shape));
+  EXPECT_FALSE(cer::eval_reference(q, {}));
+}
+
+// =========================================== 5. differential property suite
+
+namespace {
+
+/// Random query AST over the word generators' alphabet ('a'..'d' plus
+/// the wildcard), node count bounded by `budget`.
+cer::Query random_query(rtw::sim::Xoshiro256ss& rng, std::size_t budget) {
+  if (budget <= 1 || rng.uniform(std::uint64_t{4}) == 0) {
+    if (rng.uniform(std::uint64_t{5}) == 0) return cer::any();
+    return cer::chr(static_cast<char>('a' + rng.uniform(std::uint64_t{4})));
+  }
+  switch (rng.uniform(std::uint64_t{4})) {
+    case 0: {
+      const std::size_t left = 1 + rng.uniform(budget - 1);
+      return cer::seq(random_query(rng, left),
+                      random_query(rng, budget - left));
+    }
+    case 1: {
+      const std::size_t left = 1 + rng.uniform(budget - 1);
+      return cer::alt(random_query(rng, left),
+                      random_query(rng, budget - left));
+    }
+    case 2:
+      return cer::iter(random_query(rng, budget - 1));
+    default:
+      return cer::within(rng.uniform(std::uint64_t{8}),
+                         random_query(rng, budget - 1));
+  }
+}
+
+/// Random monotone word, then fault-style mutations that preserve
+/// monotonicity: drops, duplicates (same timestamp), and cumulative
+/// delay jitter -- the wire-level fault modes as seen by one session.
+std::vector<TimedSymbol> random_mutated_word(rtw::sim::Xoshiro256ss& rng,
+                                             std::size_t size) {
+  std::vector<TimedSymbol> word;
+  const std::size_t len = rng.uniform(size + 1);
+  Tick t = rng.uniform(std::uint64_t{4});
+  for (std::size_t i = 0; i < len; ++i) {
+    t += rng.uniform(std::uint64_t{4});
+    word.push_back({Symbol::chr(static_cast<char>(
+                        'a' + rng.uniform(std::uint64_t{4}))),
+                    t});
+  }
+  std::vector<TimedSymbol> mutated;
+  Tick shift = 0;
+  for (const auto& e : word) {
+    if (rng.bernoulli(0.1)) continue;                     // drop
+    if (rng.bernoulli(0.1)) shift += rng.uniform(std::uint64_t{3});  // delay
+    TimedSymbol out{e.sym, e.time + shift};
+    mutated.push_back(out);
+    if (rng.bernoulli(0.08)) mutated.push_back(out);      // duplicate
+  }
+  return mutated;
+}
+
+}  // namespace
+
+TEST(CerDifferential, CompiledAcceptorAgreesWithReferenceOnEveryPrefix) {
+  rtw::proptest::Config cfg;
+  cfg.cases = 500;
+  cfg.max_size = 24;
+  const auto result = rtw::proptest::run_property(
+      "cer_compiled_vs_reference", cfg,
+      [](rtw::sim::Xoshiro256ss& rng,
+         std::size_t size) -> std::optional<std::string> {
+        const cer::Query query =
+            random_query(rng, 2 + rng.uniform(std::uint64_t{8}));
+        auto compiled = cer::compile(query);
+        if (!compiled.ok()) return std::nullopt;  // limits are not a bug
+        const auto word = random_mutated_word(rng, size);
+
+        // The canonical rendering must parse back to an equivalent query.
+        auto reparsed = cer::parse(query.to_string());
+        if (!reparsed.ok())
+          return "canonical text failed to parse: " + query.to_string() +
+                 " (" + reparsed.error + ")";
+
+        for (std::size_t len = 0; len <= word.size(); ++len) {
+          const std::span<const TimedSymbol> prefix(word.data(), len);
+          cer::CerAcceptor fresh(*compiled.compiled);
+          for (const auto& e : prefix) fresh.feed(e.sym, e.time);
+          const bool acc =
+              fresh.finish(StreamEnd::EndOfWord) == Verdict::Accepting;
+          const bool ref = cer::eval_reference(query, prefix);
+          const bool ref2 = cer::eval_reference(*reparsed.query, prefix);
+          if (acc != ref)
+            return "compiled=" + std::to_string(acc) +
+                   " reference=" + std::to_string(ref) + " at prefix " +
+                   std::to_string(len) + " of query " + query.to_string();
+          if (ref2 != ref)
+            return "round-tripped query diverged: " + query.to_string();
+        }
+
+        // Incremental run: never Accepting mid-stream (anchored), and a
+        // Rejecting lock must be justified by the reference.
+        cer::CerAcceptor inc(*compiled.compiled);
+        for (std::size_t i = 0; i < word.size(); ++i) {
+          const Verdict v = inc.feed(word[i].sym, word[i].time);
+          if (v == Verdict::Accepting)
+            return "accepting verdict before finish at element " +
+                   std::to_string(i);
+          if (v == Verdict::Rejecting) {
+            const std::span<const TimedSymbol> prefix(word.data(), i + 1);
+            if (cer::eval_reference(query, prefix))
+              return "early Rejecting lock contradicts the reference at " +
+                     std::to_string(i);
+          }
+        }
+        return std::nullopt;
+      });
+  EXPECT_TRUE(result.ok()) << rtw::proptest::describe(
+      "cer_compiled_vs_reference", cfg, *result.failure);
+  EXPECT_EQ(result.cases_run, cfg.cases);
+}
+
+namespace {
+
+/// The same differential, but the compiled side runs as real
+/// SessionManager sessions opened through SubmitQuery wire events.
+void run_shard_differential(unsigned shards) {
+  rtw::svc::ShardConfig shard_cfg;
+  shard_cfg.count = shards;
+  rtw::svc::IngressConfig ingress_cfg;
+  ingress_cfg.ring_capacity = 4096;
+  rtw::svc::SessionManager manager(shard_cfg, ingress_cfg);
+
+  rtw::proptest::Config cfg;
+  cfg.cases = 500;
+  cfg.max_size = 24;
+  // Distinct suite seed per shard count so the two runs are independent
+  // samples rather than the same 500 scenarios twice.
+  cfg.seed ^= shards * 0x5bd1e995u;
+
+  rtw::svc::SessionId next_id = 1;
+  const auto result = rtw::proptest::run_property(
+      "cer_shard_differential", cfg,
+      [&](rtw::sim::Xoshiro256ss& rng,
+          std::size_t size) -> std::optional<std::string> {
+        const cer::Query query =
+            random_query(rng, 2 + rng.uniform(std::uint64_t{8}));
+        if (!cer::compile(query).ok()) return std::nullopt;
+        const auto word = random_mutated_word(rng, size);
+
+        const rtw::svc::SessionId id = next_id++;
+        rtw::svc::WireEvent open;
+        open.kind = rtw::svc::WireEvent::Kind::SubmitQuery;
+        open.session = id;
+        open.profile = query.to_string();
+        if (manager.apply(open, {}).admit != rtw::svc::Admit::Accepted)
+          return "SubmitQuery refused for " + query.to_string();
+        if (!word.empty() &&
+            manager.feed_batch(id, word).admit != rtw::svc::Admit::Accepted)
+          return "run unexpectedly shed";
+        manager.close(id, StreamEnd::EndOfWord);
+        manager.drain();
+
+        std::optional<Verdict> verdict;
+        for (const auto& report : manager.collect())
+          if (report.id == id) verdict = report.verdict;
+        if (!verdict) return "no session report collected";
+        const bool acc = *verdict == Verdict::Accepting;
+        const bool ref = cer::eval_reference(query, word);
+        if (acc != ref)
+          return "session=" + std::to_string(acc) +
+                 " reference=" + std::to_string(ref) + " for query " +
+                 query.to_string() + " at " + std::to_string(shards) +
+                 " shards";
+        return std::nullopt;
+      });
+  EXPECT_TRUE(result.ok()) << rtw::proptest::describe("cer_shard_differential",
+                                                      cfg, *result.failure);
+  const auto stats = manager.stats();
+  EXPECT_GT(stats.query_compiled, 0u);
+  EXPECT_EQ(stats.query_rejected, 0u);
+}
+
+}  // namespace
+
+TEST(CerShardDifferential, OneShard) { run_shard_differential(1); }
+TEST(CerShardDifferential, EightShards) { run_shard_differential(8); }
+
+// ============================================= 6. service-layer bookkeeping
+
+TEST(CerService, CompileLimitRejectionIsARefusedOpenNotACrash) {
+  rtw::svc::SessionManager manager(rtw::svc::ShardConfig{},
+                                   rtw::svc::IngressConfig{});
+  std::string nested;
+  for (int i = 0; i < 33; ++i) nested += "within(1){ ";
+  nested += "a";
+  for (int i = 0; i < 33; ++i) nested += " }";
+
+  rtw::svc::WireEvent open;
+  open.kind = rtw::svc::WireEvent::Kind::SubmitQuery;
+  open.session = 7;
+  open.profile = nested;
+  const auto admitted = manager.apply(open, {});
+  EXPECT_EQ(admitted.admit, rtw::svc::Admit::Shed);
+
+  const auto stats = manager.stats();
+  EXPECT_EQ(stats.query_rejected, 1u);
+  EXPECT_EQ(stats.query_compiled, 0u);
+  EXPECT_EQ(stats.opened, 0u);
+  manager.drain();
+}

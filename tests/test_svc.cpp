@@ -63,7 +63,6 @@ using rtw::svc::SessionId;
 using rtw::svc::SessionManager;
 using rtw::svc::SessionReport;
 using rtw::svc::IngressConfig;
-using rtw::svc::ServiceConfig;
 using rtw::svc::ShardConfig;
 using rtw::svc::WireEvent;
 
@@ -453,7 +452,7 @@ TEST(WireCodec, ShedNoticeFramesRoundTripEveryEnumerator) {
 
 TEST(WireCodec, UnknownOpsAreTypedRejections) {
   using rtw::svc::DecodeError;
-  for (const std::uint8_t op : {std::uint8_t{0}, std::uint8_t{11},
+  for (const std::uint8_t op : {std::uint8_t{0}, std::uint8_t{12},
                                 std::uint8_t{99}, std::uint8_t{255}}) {
     Decoder decoder;
     decoder.push(raw_frame(op, "body"));
@@ -512,6 +511,44 @@ TEST(WireCodec, MalformedV1BodiesAreTypedRejections) {
   EXPECT_EQ(names.size(), 5u);
 }
 
+TEST(WireCodec, SubmitQueryRoundTrips) {
+  const std::string query = "within(4){ a ; (b | c)+ }";
+  const std::string frame = rtw::svc::encode_submit_query(42, query);
+  Decoder decoder;
+  decoder.push(frame);
+  ASSERT_TRUE(decoder.ok()) << decoder.error();
+  WireEvent ev;
+  ASSERT_TRUE(decoder.next(ev));
+  EXPECT_EQ(ev.kind, WireEvent::Kind::SubmitQuery);
+  EXPECT_EQ(ev.session, 42u);
+  EXPECT_EQ(ev.profile, query);
+  EXPECT_EQ(decoder.frames(), 1u);
+
+  // Byte-at-a-time chunking decodes to the same single event.
+  Decoder slow;
+  for (char c : frame) slow.push(std::string_view(&c, 1));
+  ASSERT_TRUE(slow.ok()) << slow.error();
+  ASSERT_TRUE(slow.next(ev));
+  EXPECT_EQ(ev.kind, WireEvent::Kind::SubmitQuery);
+  EXPECT_EQ(ev.profile, query);
+}
+
+TEST(WireCodec, MalformedSubmitQueryIsAStickyTypedRejection) {
+  using rtw::svc::DecodeError;
+  for (const char* bad : {"", "a ;", "within(){x}", "(a", "qq"}) {
+    Decoder decoder;
+    decoder.push(rtw::svc::encode_submit_query(5, bad));
+    EXPECT_FALSE(decoder.ok()) << '"' << bad << '"';
+    EXPECT_EQ(decoder.error_code(), DecodeError::MalformedBody)
+        << '"' << bad << '"';
+    EXPECT_NE(decoder.error().find("malformed query"), std::string::npos);
+    // Sticky: a later well-formed frame must not resurrect the stream.
+    decoder.push(rtw::svc::encode_submit_query(6, "a | b"));
+    WireEvent ev;
+    EXPECT_FALSE(decoder.next(ev));
+  }
+}
+
 TEST(AdmitApi, ToStringIsExhaustive) {
   using rtw::svc::AdmitResult;
   using rtw::svc::ShedReason;
@@ -548,54 +585,6 @@ TEST(AdmitApi, AdmitResultConvertsLikeTheOldEnum) {
   static_assert(!shed.accepted());
   static_assert(shed == Admit::Shed);
   EXPECT_EQ(shed.reason, ShedReason::SessionBound);
-}
-
-/// The pre-split flat config must keep compiling (deprecation shims) and
-/// fold field-for-field into the ShardConfig/IngressConfig split.
-TEST(ServiceConfigCompat, DeprecatedFlatFieldsFoldIntoTheSplitConfig) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  ServiceConfig flat;
-  flat.shards = 3;
-  flat.ring_capacity = 512;
-  flat.shed_on_full = false;
-  flat.idle_epochs = 4;
-  flat.drain_batch = 128;
-  flat.session_quota = 7;
-  flat.watermark_low = 0.25;
-  flat.watermark_high = 0.75;
-  flat.max_queue_delay_ns = 5'000;
-  flat.session_slots = 4096;
-  flat.latency_sample_every = 2;
-  flat.lane_kernel = false;
-  flat.lane_wave = 64;
-  const rtw::svc::ServerConfig folded = flat;
-#pragma GCC diagnostic pop
-  EXPECT_EQ(folded.shard.count, 3u);
-  EXPECT_EQ(folded.shard.idle_epochs, 4u);
-  EXPECT_EQ(folded.shard.drain_batch, 128u);
-  EXPECT_FALSE(folded.shard.lane_kernel);
-  EXPECT_EQ(folded.shard.lane_wave, 64u);
-  EXPECT_EQ(folded.ingress.ring_capacity, 512u);
-  EXPECT_FALSE(folded.ingress.shed_on_full);
-  EXPECT_EQ(folded.ingress.session_quota, 7u);
-  EXPECT_DOUBLE_EQ(folded.ingress.watermark_low, 0.25);
-  EXPECT_DOUBLE_EQ(folded.ingress.watermark_high, 0.75);
-  EXPECT_EQ(folded.ingress.max_queue_delay_ns, 5'000u);
-  EXPECT_EQ(folded.ingress.session_slots, 4096u);
-  EXPECT_EQ(folded.ingress.latency_sample_every, 2u);
-
-  // The folded config still drives a manager end to end.
-  SessionManager manager(folded);
-  const auto id = manager.open(std::make_unique<EngineOnlineAcceptor>(
-      std::make_unique<AcceptAll>()));
-  for (Tick t = 0; t < 4; ++t)
-    EXPECT_EQ(manager.feed(id, Symbol::chr('a'), t), Admit::Accepted);
-  manager.close(id);
-  manager.drain();
-  const auto reports = manager.collect();
-  ASSERT_EQ(reports.size(), 1u);
-  EXPECT_EQ(reports[0].verdict, Verdict::Accepting);
 }
 
 // ================================== 3. online/batch equivalence machinery

@@ -599,6 +599,103 @@ TEST(NetLoopback, GracefulDrainFlushesTruncatedVerdicts) {
   EXPECT_EQ(h->server.manager().stats().active, 0u);
 }
 
+TEST(NetLoopback, SubmitQuerySessionRoundTripsUnderByteSplits) {
+  Harness h;
+  ASSERT_TRUE(h.start()) << h.transport.error();
+
+  std::string stream = encode_hello();
+  stream += encode_submit_query(1, "within(4){ a ; (b | c)+ }");
+  stream += encode_feed_batch(1, {{Symbol::chr('a'), 10},
+                                  {Symbol::chr('c'), 12},
+                                  {Symbol::chr('b'), 14}});
+  stream += encode_close(1);
+
+  // chunk=1 with pacing: the query text itself arrives one byte per
+  // read(), so the decoder's frame reassembly -- not the parser -- must
+  // hold the partial body.
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{5}}) {
+    TestClient client;
+    ASSERT_TRUE(client.connect_to(h.transport.port()));
+    ASSERT_TRUE(client.send_all(stream, chunk, /*pace_us=*/chunk == 1 ? 50
+                                                                      : 0));
+    WireEvent ev;
+    ASSERT_TRUE(client.next_event(ev)) << "chunk=" << chunk;
+    EXPECT_EQ(ev.kind, WireEvent::Kind::HelloAck);
+    ASSERT_TRUE(client.next_event(ev)) << "chunk=" << chunk;
+    EXPECT_EQ(ev.kind, WireEvent::Kind::Verdict);
+    EXPECT_EQ(ev.session, 1u);
+    EXPECT_EQ(ev.verdict, Verdict::Accepting) << "chunk=" << chunk;
+    EXPECT_TRUE(ev.exact);
+    EXPECT_EQ(ev.fed, 3u);
+  }
+  EXPECT_GE(h.server.manager().stats().query_compiled, 2u);
+}
+
+TEST(NetLoopback, MalformedSubmitQueryKillsTheConnectionNotTheServer) {
+  Harness h;
+  ASSERT_TRUE(h.start()) << h.transport.error();
+
+  TestClient bad;
+  ASSERT_TRUE(bad.connect_to(h.transport.port()));
+  std::string stream = encode_hello();
+  stream += encode_submit_query(3, "within(){ oops");
+  // Paced 1-byte writes: the server sees the malformed body assemble
+  // byte by byte and must reject only once the frame completes.
+  ASSERT_TRUE(bad.send_all(stream, /*chunk=*/1, /*pace_us=*/50));
+
+  // The sticky DecodeError closes the connection; the drain must see EOF
+  // rather than hang, and no Verdict/Shed for the dead session.
+  for (const auto& event : bad.drain_until_eof(5000)) {
+    EXPECT_NE(event.kind, WireEvent::Kind::Verdict);
+    EXPECT_NE(event.kind, WireEvent::Kind::Shed);
+  }
+  EXPECT_EQ(h.server.manager().stats().opened, 0u);
+
+  // The listener is unharmed: a fresh client still gets full service.
+  TestClient good;
+  ASSERT_TRUE(good.connect_to(h.transport.port()));
+  std::string ok = encode_hello();
+  ok += encode_submit_query(4, "(a)+");
+  ok += encode_feed_batch(4, {{Symbol::chr('a'), 1}, {Symbol::chr('a'), 2}});
+  ok += encode_close(4);
+  ASSERT_TRUE(good.send_all(ok));
+  WireEvent ev;
+  ASSERT_TRUE(good.next_event(ev));
+  EXPECT_EQ(ev.kind, WireEvent::Kind::HelloAck);
+  ASSERT_TRUE(good.next_event(ev));
+  EXPECT_EQ(ev.kind, WireEvent::Kind::Verdict);
+  EXPECT_EQ(ev.verdict, Verdict::Accepting);
+}
+
+TEST(NetLoopback, TruncatedSubmitQueryBodyNeverHangsTheConnection) {
+  Harness h;
+  ASSERT_TRUE(h.start()) << h.transport.error();
+
+  TestClient client;
+  ASSERT_TRUE(client.connect_to(h.transport.port()));
+  std::string stream = encode_hello();
+  // A SubmitQuery frame whose header promises more body bytes than the
+  // client will ever send, then EOF mid-frame.
+  const std::string frame = encode_submit_query(6, "within(3){ a ; b }");
+  stream += frame.substr(0, frame.size() - 7);
+  ASSERT_TRUE(client.send_all(stream, /*chunk=*/1, /*pace_us=*/50));
+
+  WireEvent ev;
+  ASSERT_TRUE(client.next_event(ev));
+  EXPECT_EQ(ev.kind, WireEvent::Kind::HelloAck);
+  client.close();  // EOF with the frame still open
+
+  // The server must tear the half-open connection down without opening a
+  // session; give the reactor a moment and assert nothing leaked.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (h.server.manager().stats().active > 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(h.server.manager().stats().opened, 0u);
+  EXPECT_EQ(h.server.manager().stats().active, 0u);
+}
+
 // The slow-reader test can race a close into a write: never die on
 // SIGPIPE.  Runs before gtest_main enters main.
 const int kIgnoreSigpipe = [] {
